@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Ablation of selective INA enabling (Section 5.2 step ④): NetPack
+ * shifts scarce switch memory toward jobs with the highest aggregation
+ * efficiency AE = throughput x fan-in, instead of enabling INA for
+ * everyone. The effect shows when PAT is scarce and/or the core is
+ * oversubscribed (Figure 12's explanation credits this step).
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "placement/netpack_placer.h"
+#include "sim/flow_model.h"
+
+namespace netpack {
+namespace {
+
+double
+runWith(bool selective, const JobTrace &trace,
+        const ClusterConfig &cluster)
+{
+    NetPackConfig placer_config;
+    placer_config.selectiveIna = selective;
+    const ClusterTopology topo(cluster);
+    SimConfig sim_config;
+    sim_config.placementPeriod = 5.0;
+    ClusterSimulator sim(topo, std::make_unique<FlowNetworkModel>(topo),
+                         std::make_unique<NetPackPlacer>(placer_config),
+                         sim_config);
+    return sim.run(trace).avgJct();
+}
+
+} // namespace
+} // namespace netpack
+
+int
+main(int argc, char **argv)
+{
+    using namespace netpack;
+    const auto options = benchutil::parseOptions(argc, argv);
+
+    benchutil::printHeader(
+        "Ablation — selective INA enabling vs INA-for-all",
+        "DESIGN.md ablation for Section 5.2 step ④",
+        "selective enabling should match or beat INA-for-all, most "
+        "visibly under scarce PAT and oversubscription");
+
+    const int jobs = options.full ? 240 : 90;
+    TraceGenConfig gen;
+    gen.numJobs = jobs;
+    gen.seed = 177;
+    gen.distribution = DemandDistribution::Poisson;
+    gen.demandMean = 10.0;
+    gen.maxGpuDemand = 32;
+    gen.meanInterarrival = 3.0;
+    gen.durationLogMu = 4.3;
+    const JobTrace trace = generateTrace(gen);
+
+    Table table({"PAT (Gbps)", "oversub", "selective JCT (s)",
+                 "INA-for-all JCT (s)", "all / selective"});
+    struct Point
+    {
+        Gbps pat;
+        double oversub;
+    };
+    const std::vector<Point> points = {{400.0, 1.0},
+                                       {100.0, 1.0},
+                                       {100.0, 4.0},
+                                       {50.0, 10.0}};
+    for (const Point &point : points) {
+        ClusterConfig cluster = benchutil::simulatorCluster();
+        cluster.serversPerRack = 8;
+        cluster.torPatGbps = point.pat;
+        cluster.oversubscription = point.oversub;
+
+        const double selective = runWith(true, trace, cluster);
+        const double all = runWith(false, trace, cluster);
+        table.addRow({formatDouble(point.pat, 0),
+                      formatDouble(point.oversub, 0) + ":1",
+                      formatDouble(selective, 2), formatDouble(all, 2),
+                      formatDouble(all / selective, 3)});
+    }
+    benchutil::emit(table, options);
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Ablation of the 2-D knapsack weight (Section 5.2 step ②): the worker
+ * DP tracks (max per-server flows, GPUs) so that the PS-placement
+ * hot-spot penalty can punish plans that pile flows onto one server.
+ * With the flow dimension disabled the weight degenerates to GPUs only.
+ * This bench compares JCT with and without the 2-D weight on a
+ * flow-contended workload.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "placement/netpack_placer.h"
+#include "sim/flow_model.h"
+
+namespace netpack {
+namespace {
+
+double
+runWith(bool two_dim, const JobTrace &trace, const ClusterConfig &cluster)
+{
+    NetPackConfig placer_config;
+    placer_config.twoDimWeight = two_dim;
+    const ClusterTopology topo(cluster);
+    SimConfig sim_config;
+    sim_config.placementPeriod = 5.0;
+    ClusterSimulator sim(topo, std::make_unique<FlowNetworkModel>(topo),
+                         std::make_unique<NetPackPlacer>(placer_config),
+                         sim_config);
+    return sim.run(trace).avgJct();
+}
+
+} // namespace
+} // namespace netpack
+
+int
+main(int argc, char **argv)
+{
+    using namespace netpack;
+    const auto options = benchutil::parseOptions(argc, argv);
+
+    benchutil::printHeader(
+        "Ablation — 2-D knapsack weight (flows x GPUs) vs GPUs only",
+        "DESIGN.md ablation for Section 5.2 step ② / Equation 1",
+        "the 2-D weight should match or beat the 1-D variant, most "
+        "visibly on communication-heavy mixes");
+
+    ClusterConfig cluster = benchutil::simulatorCluster();
+    cluster.serversPerRack = 8;
+    cluster.torPatGbps = 200.0;
+
+    const int jobs = options.full ? 240 : 90;
+    Table table({"workload", "2-D weight JCT (s)", "1-D weight JCT (s)",
+                 "1-D / 2-D"});
+    for (DemandDistribution dist : {DemandDistribution::Philly,
+                                    DemandDistribution::Poisson}) {
+        TraceGenConfig gen;
+        gen.numJobs = jobs;
+        gen.seed = 143;
+        gen.distribution = dist;
+        gen.demandMean = 10.0;
+        gen.maxGpuDemand = 32;
+        gen.meanInterarrival = 3.0;
+        gen.durationLogMu = 4.3;
+        const JobTrace trace = generateTrace(gen);
+
+        const double with2d = runWith(true, trace, cluster);
+        const double with1d = runWith(false, trace, cluster);
+        table.addRow({demandDistributionName(dist),
+                      formatDouble(with2d, 2), formatDouble(with1d, 2),
+                      formatDouble(with1d / with2d, 3)});
+    }
+    benchutil::emit(table, options);
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Extension: the AllReduce-alternative comparison behind Section 2.1's
+ * motivation. For the evaluation models and growing fan-in, prints the
+ * per-iteration bottleneck volume and communication time of direct PS
+ * exchange, ring AllReduce, halving-doubling, and PS+INA — showing the
+ * n*d -> d collapse that makes in-network aggregation attractive, and
+ * where latency-bound collectives win instead (tiny gradients).
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "ina/collectives.h"
+#include "workload/models.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace netpack;
+    const auto options = benchutil::parseOptions(argc, argv);
+
+    benchutil::printHeader(
+        "Extension — AllReduce alternatives vs PS+INA",
+        "Section 2.1 (AllReduce methods) and the INA motivation",
+        "bottleneck volume: PS = n*d, Ring ~= 2d, INA = d; INA's comm "
+        "time lowest at every fan-in for large gradients");
+
+    const Gbps rate = 100.0;
+    const Seconds latency = 50e-6;
+
+    Table table({"model", "workers", "PS (MB | ms)", "Ring (MB | ms)",
+                 "HalvDoub (MB | ms)", "PS+INA (MB | ms)"});
+    const std::vector<int> fanins =
+        options.full ? std::vector<int>{2, 4, 8, 16, 32, 64}
+                     : std::vector<int>{2, 8, 32};
+    for (const char *model_name : {"VGG16", "ResNet50"}) {
+        const ModelProfile &model = ModelZoo::byName(model_name);
+        for (int n : fanins) {
+            const auto cell = [&](CollectiveAlgorithm algorithm) {
+                const CollectiveCost cost =
+                    collectiveCost(algorithm, n, model.modelSizeMb, 1.0);
+                return formatDouble(cost.bottleneckVolume, 0) + " | " +
+                       formatDouble(cost.commTime(rate, latency) * 1e3,
+                                    1);
+            };
+            table.addRow({model.name, std::to_string(n),
+                          cell(CollectiveAlgorithm::PsDirect),
+                          cell(CollectiveAlgorithm::RingAllReduce),
+                          cell(CollectiveAlgorithm::HalvingDoubling),
+                          cell(CollectiveAlgorithm::PsWithIna)});
+        }
+    }
+    benchutil::emit(table, options);
+
+    std::cout << "Partial aggregation (VGG16, 8 workers): bottleneck "
+                 "volume vs aggregation ratio\n";
+    Table partial({"agg ratio", "PS-side volume (MB)", "comm time (ms)"});
+    for (double ratio : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+        const CollectiveCost cost = collectiveCost(
+            CollectiveAlgorithm::PsWithIna, 8, 554.0, ratio);
+        partial.addRow({formatDouble(ratio, 2),
+                        formatDouble(cost.bottleneckVolume, 0),
+                        formatDouble(cost.commTime(rate) * 1e3, 1)});
+    }
+    benchutil::emit(partial, options);
+    return 0;
+}

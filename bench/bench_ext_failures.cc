@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Extension: placement under server failures. Servers fail on a Poisson
+ * schedule and every affected job restarts from scratch, so placement
+ * policies that concentrate jobs onto few servers lose less work per
+ * crash than policies that scatter them (a failed server kills every
+ * job touching it). Reports JCT and restart counts per policy as the
+ * failure rate grows.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/rng.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace netpack;
+    const auto options = benchutil::parseOptions(argc, argv);
+
+    benchutil::printHeader(
+        "Extension — JCT and lost work under injected server failures",
+        "DESIGN.md extension (failure injection)",
+        "restarts scale with per-job server spread; NetPack stays "
+        "competitive while policies that scatter workers restart more "
+        "jobs per crash");
+
+    const int jobs = options.full ? 200 : 80;
+    TraceGenConfig gen;
+    gen.numJobs = jobs;
+    gen.seed = 31;
+    gen.distribution = DemandDistribution::Poisson;
+    gen.demandMean = 8.0;
+    gen.maxGpuDemand = 32;
+    gen.meanInterarrival = 1.5;
+    gen.durationLogMu = 4.4;
+    const JobTrace trace = generateTrace(gen);
+
+    ClusterConfig cluster = benchutil::simulatorCluster();
+    cluster.serversPerRack = 8;
+    cluster.torPatGbps = 200.0;
+
+    Table table({"MTBF (s)", "placer", "avg JCT (s)", "restarts"});
+    for (double mtbf : {0.0, 120.0, 30.0}) {
+        // Poisson failure schedule over the trace's active window.
+        std::vector<ServerFailure> failures;
+        if (mtbf > 0.0) {
+            Rng rng(17);
+            Seconds t = 0.0;
+            const Seconds window = 600.0;
+            while (true) {
+                t += rng.exponential(1.0 / mtbf);
+                if (t > window)
+                    break;
+                ServerFailure failure;
+                failure.time = t;
+                failure.server = ServerId(static_cast<int>(
+                    rng.uniformInt(0, cluster.numRacks *
+                                          cluster.serversPerRack -
+                                      1)));
+                failure.downtime = 60.0;
+                failures.push_back(failure);
+            }
+        }
+
+        for (const std::string placer : {"NetPack", "GB", "Optimus"}) {
+            ExperimentConfig config;
+            config.cluster = cluster;
+            config.placer = placer;
+            config.sim.placementPeriod = 5.0;
+            config.sim.failures = failures;
+            const RunMetrics metrics = runExperiment(config, trace);
+            table.addRow({mtbf > 0.0 ? formatDouble(mtbf, 0) : "none",
+                          placer, formatDouble(metrics.avgJct(), 2),
+                          std::to_string(metrics.jobRestarts)});
+        }
+    }
+    benchutil::emit(table, options);
+    return 0;
+}

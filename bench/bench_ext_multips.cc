@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Extension: sharded parameter servers. Section 4.1 notes that
+ * multi-PS AllReduce composes from one-PS AllReduces; this bench
+ * quantifies the composition on a PS-bottlenecked workload — sweeping
+ * the shard count and reporting JCT under the flow-level simulator.
+ * Sharding helps until the extra shards start competing for the same
+ * links (and extra PSes consume server bandwidth cluster-wide).
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "placement/netpack_placer.h"
+#include "sim/flow_model.h"
+
+namespace netpack {
+namespace {
+
+double
+runWithShards(int shards, const JobTrace &trace,
+              const ClusterConfig &cluster)
+{
+    NetPackConfig placer_config;
+    placer_config.psShards = shards;
+    const ClusterTopology topo(cluster);
+    SimConfig sim_config;
+    sim_config.placementPeriod = 5.0;
+    ClusterSimulator sim(topo, std::make_unique<FlowNetworkModel>(topo),
+                         std::make_unique<NetPackPlacer>(placer_config),
+                         sim_config);
+    return sim.run(trace).avgJct();
+}
+
+} // namespace
+} // namespace netpack
+
+int
+main(int argc, char **argv)
+{
+    using namespace netpack;
+    const auto options = benchutil::parseOptions(argc, argv);
+
+    benchutil::printHeader(
+        "Extension — sharded PS AllReduce (k one-PS trees per job)",
+        "Section 4.1 (multi-PS composition), DESIGN.md extension",
+        "moderate sharding relieves PS-side bottlenecks on "
+        "communication-heavy jobs; returns diminish as shards contend");
+
+    const int jobs = options.full ? 200 : 80;
+    TraceGenConfig gen;
+    gen.numJobs = jobs;
+    gen.seed = 311;
+    gen.distribution = DemandDistribution::Poisson;
+    gen.demandMean = 10.0; // multi-server, comm-heavy jobs
+    gen.maxGpuDemand = 32;
+    gen.meanInterarrival = 1.2;
+    gen.durationLogMu = 4.4;
+    const JobTrace trace = generateTrace(gen);
+
+    ClusterConfig cluster = benchutil::simulatorCluster();
+    cluster.serversPerRack = 8;
+    cluster.torPatGbps = 200.0;
+
+    Table table({"PS shards", "avg JCT (s)", "vs 1 shard"});
+    double base = 0.0;
+    for (int shards : {1, 2, 4}) {
+        const double jct = runWithShards(shards, trace, cluster);
+        if (shards == 1)
+            base = jct;
+        table.addRow({std::to_string(shards), formatDouble(jct, 2),
+                      formatDouble(jct / base, 3)});
+    }
+    benchutil::emit(table, options);
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Extension: runtime INA rebalancing — the paper's future-work "joint
+ * placement and scheduling" restricted to the migration-free resource
+ * (INA enablement). As jobs churn, the static placement-time INA
+ * assignment drifts from the optimum; this bench measures the JCT
+ * effect of re-running the AE-ordered selective assignment over running
+ * jobs at different periods, under scarce PAT where the assignment
+ * actually binds.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "placement/netpack_placer.h"
+#include "sim/flow_model.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace netpack;
+    const auto options = benchutil::parseOptions(argc, argv);
+
+    benchutil::printHeader(
+        "Extension — runtime INA rebalancing of running jobs",
+        "Section 7 future work (joint placement + scheduling), "
+        "DESIGN.md extension",
+        "rebalancing should never hurt (estimator-guarded) and helps "
+        "most under scarce PAT with heavy churn");
+
+    const int jobs = options.full ? 240 : 100;
+    TraceGenConfig gen;
+    gen.numJobs = jobs;
+    gen.seed = 271;
+    gen.distribution = DemandDistribution::Poisson;
+    gen.demandMean = 10.0;
+    gen.maxGpuDemand = 32;
+    gen.meanInterarrival = 1.5;
+    gen.durationLogMu = 4.4;
+    const JobTrace trace = generateTrace(gen);
+
+    Table table({"PAT (Gbps)", "no rebalance JCT (s)",
+                 "period 60s JCT (s)", "period 20s JCT (s)",
+                 "best speedup"});
+    for (Gbps pat : {200.0, 100.0, 50.0}) {
+        ClusterConfig cluster = benchutil::simulatorCluster();
+        cluster.serversPerRack = 8;
+        cluster.torPatGbps = pat;
+        const ClusterTopology topo(cluster);
+
+        const auto run = [&](Seconds period) {
+            SimConfig sim_config;
+            sim_config.placementPeriod = 5.0;
+            sim_config.inaRebalancePeriod = period;
+            ClusterSimulator sim(
+                topo, std::make_unique<FlowNetworkModel>(topo),
+                std::make_unique<NetPackPlacer>(), sim_config);
+            return sim.run(trace).avgJct();
+        };
+        const double none = run(0.0);
+        const double slow = run(60.0);
+        const double fast = run(20.0);
+        table.addRow({formatDouble(pat, 0), formatDouble(none, 2),
+                      formatDouble(slow, 2), formatDouble(fast, 2),
+                      formatDouble(none / std::min(slow, fast), 3)});
+    }
+    benchutil::emit(table, options);
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Extension: placement on a two-tier (pod-based) core. The paper
+ * evaluates the "one big switch" abstraction; real fat-trees also
+ * oversubscribe at the pod layer. This bench sweeps the pod uplink
+ * oversubscription on a 4-pod cluster and compares NetPack (whose
+ * PS-scoring penalty extends to pod uplinks) against the baselines —
+ * the cross-rack story of Figure 12 should repeat one tier higher.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace netpack;
+    const auto options = benchutil::parseOptions(argc, argv);
+
+    benchutil::printHeader(
+        "Extension — two-tier core: JCT vs pod oversubscription "
+        "(NetPack = 1.0 per row)",
+        "DESIGN.md extension (Figure 12's shape at the pod layer)",
+        "baselines >= 1 and their gap grows with pod oversubscription");
+
+    const std::vector<double> ratios =
+        options.full ? std::vector<double>{1.0, 4.0, 8.0, 16.0}
+                     : std::vector<double>{1.0, 8.0, 16.0};
+    const auto placers = benchutil::figurePlacers();
+    const int jobs = options.full ? 240 : 100;
+
+    TraceGenConfig gen;
+    gen.numJobs = jobs;
+    gen.seed = 83;
+    gen.distribution = DemandDistribution::Poisson;
+    gen.demandMean = 10.0;
+    gen.maxGpuDemand = 32;
+    gen.meanInterarrival = 1.0;
+    gen.durationLogMu = 4.6;
+    const JobTrace trace = generateTrace(gen);
+
+    std::vector<std::string> headers = {"pod oversub"};
+    for (const auto &placer : placers)
+        headers.push_back(placer);
+    Table table(std::move(headers));
+
+    for (double ratio : ratios) {
+        ExperimentConfig config;
+        config.cluster = benchutil::simulatorCluster();
+        config.cluster.numRacks = 16;
+        config.cluster.serversPerRack = 8;
+        config.cluster.racksPerPod = 4; // 4 pods
+        config.cluster.podOversubscription = ratio;
+        config.cluster.torPatGbps = 400.0;
+        config.sim.placementPeriod = 10.0;
+
+        std::map<std::string, double> jct;
+        for (const auto &placer : placers) {
+            config.placer = placer;
+            jct[placer] = runExperiment(config, trace).avgJct();
+        }
+        const auto normalized = normalizeTo(jct, "NetPack");
+        std::vector<std::string> row = {formatDouble(ratio, 0) + ":1"};
+        for (const auto &placer : placers)
+            row.push_back(formatDouble(normalized.at(placer), 3));
+        table.addRow(std::move(row));
+    }
+    benchutil::emit(table, options);
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figure 5 (and Table 1): flow counts of a hierarchically aggregated job
+ * as the worker send rate sweeps past each switch's PAT. The paper's
+ * example has four racks with two workers each and PATs
+ * A1 < Ap < A3 < A4; FS (flows on the ToR(PS)->PS link) and FC (flows on
+ * the DCN->ToR(PS) hop) climb stepwise from (1, 3) to (8, 6).
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "ina/aggregation.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace netpack;
+    const auto options = benchutil::parseOptions(argc, argv);
+
+    benchutil::printHeader(
+        "Figure 5 — hierarchical aggregation flow counts vs send rate",
+        "Section 4.1, Figure 5b and Table 1",
+        "FS/FC staircase: (FS,FC)=(1,3) at low rate; FC->4 past A1; "
+        "FS->6 past Ap; FC->6, FS->8 past A4");
+
+    // The paper's example: A1 < Ap < A3 < A4.
+    HierarchicalJobModel model;
+    model.remoteRackWorkers = {2, 2, 2};
+    model.remoteRackPat = {10.0, 30.0, 40.0}; // A1, A3, A4
+    model.psRackWorkers = 2;
+    model.psRackPat = 20.0; // Ap
+
+    Table table({"send rate C (Gbps)", "FS (ToR_PS->PS)",
+                 "FC (DCN->ToR_PS)", "traffic to PS (Gbps)",
+                 "agg ratio"});
+    const double step = options.full ? 1.0 : 2.5;
+    for (double c = step; c <= 50.0 + 1e-9; c += step) {
+        const auto eval = model.evaluate(c);
+        table.addRow({formatDouble(c, 1), std::to_string(eval.flowsToPs),
+                      std::to_string(eval.flowsCrossRack),
+                      formatDouble(eval.trafficToPs, 1),
+                      formatDouble(eval.aggregationRatio, 3)});
+    }
+    benchutil::emit(table, options);
+
+    // Table 1 itself, for reference.
+    Table t1({"case", "flows", "aggregated", "unaggregated"});
+    const auto full = aggregateAtSwitch(10.0, 20.0, 4);
+    const auto partial = aggregateAtSwitch(10.0, 4.0, 4);
+    t1.addRow({"A >= C (A=20, C=10, n=4)", std::to_string(full.flows),
+               formatDouble(full.aggregated, 1),
+               formatDouble(full.unaggregated, 1)});
+    t1.addRow({"A <  C (A=4, C=10, n=4)", std::to_string(partial.flows),
+               formatDouble(partial.aggregated, 1),
+               formatDouble(partial.unaggregated, 1)});
+    std::cout << "Table 1 — per-switch aggregation model\n";
+    benchutil::emit(t1, options);
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Figure 6: simulator validation. The same job traces are replayed on
+ * the packet-level model (the testbed stand-in) and on the flow-level
+ * simulator; the paper reports a 98% linear correlation between the two
+ * normalized JCT series. We regenerate the scatter, the least-squares
+ * fit, and the Pearson coefficient.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/stats.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace netpack;
+    const auto options = benchutil::parseOptions(argc, argv);
+
+    benchutil::printHeader(
+        "Figure 6 — simulator validation (flow-level vs packet-level JCT)",
+        "Section 6.1, Figure 6",
+        "strongly linear relation; paper reports correlation ~0.98");
+
+    const int traces = options.full ? 12 : 6;
+    const int jobs = options.full ? 16 : 10;
+
+    std::vector<double> flow_jcts, packet_jcts;
+    Table table({"trace", "flow-sim avg JCT (s)", "packet-sim avg JCT (s)"});
+    for (int t = 0; t < traces; ++t) {
+        const JobTrace trace = benchutil::testbedTrace(
+            t % 2 == 0 ? DemandDistribution::Philly
+                       : DemandDistribution::Poisson,
+            jobs, 1000 + static_cast<std::uint64_t>(t));
+
+        ExperimentConfig config;
+        config.cluster = benchutil::testbedCluster();
+        config.sim.placementPeriod = 5.0;
+        config.fidelity = Fidelity::Flow;
+        const double flow_jct = runExperiment(config, trace).avgJct();
+        config.fidelity = Fidelity::Packet;
+        const double packet_jct = runExperiment(config, trace).avgJct();
+
+        flow_jcts.push_back(flow_jct);
+        packet_jcts.push_back(packet_jct);
+        table.addRow({"trace-" + std::to_string(t),
+                      formatDouble(flow_jct, 2),
+                      formatDouble(packet_jct, 2)});
+    }
+    benchutil::emit(table, options);
+
+    const double r = pearsonCorrelation(flow_jcts, packet_jcts);
+    const LinearFit fit = fitLine(flow_jcts, packet_jcts);
+    std::cout << "Pearson correlation: " << formatDouble(r, 4)
+              << " (paper: ~0.98)\n"
+              << "Linear fit: packet = " << formatDouble(fit.slope, 3)
+              << " * flow + " << formatDouble(fit.intercept, 3)
+              << "  (R^2 = " << formatDouble(fit.r2, 4) << ")\n";
+    return 0;
+}

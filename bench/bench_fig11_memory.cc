@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Figure 11: average JCT on the testbed stand-in as the switch memory
+ * available to INA shrinks (other switch functions may occupy memory in
+ * practice). The paper reports 30-92% JCT reduction over baselines,
+ * with NetPack's advantage *growing* as memory shrinks, and a large win
+ * even at PAT = 0 because its heuristics also balance GPU and
+ * bandwidth.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace netpack;
+    const auto options = benchutil::parseOptions(argc, argv);
+
+    benchutil::printHeader(
+        "Figure 11 — normalized average JCT vs switch memory "
+        "(NetPack = 1.0 per row)",
+        "Section 6.3, Figure 11",
+        "baselines >= 1 everywhere; their gap grows as PAT shrinks; "
+        "NetPack still wins at PAT = 0");
+
+    const std::vector<Gbps> pats =
+        options.full ? std::vector<Gbps>{400.0, 200.0, 100.0, 50.0, 25.0,
+                                         0.0}
+                     : std::vector<Gbps>{400.0, 100.0, 25.0, 0.0};
+    const std::vector<std::string> placers = {"NetPack", "GB", "LF",
+                                              "Tetris"};
+    const int jobs = options.full ? 32 : 16;
+    const JobTrace trace =
+        benchutil::testbedTrace(DemandDistribution::Philly, jobs, 97);
+
+    std::vector<std::string> headers = {"PAT (Gbps)"};
+    for (const auto &placer : placers)
+        headers.push_back(placer);
+    Table table(std::move(headers));
+
+    for (Gbps pat : pats) {
+        ExperimentConfig config;
+        config.cluster = benchutil::testbedCluster();
+        config.cluster.torPatGbps = pat;
+        config.fidelity = Fidelity::Packet;
+        config.sim.placementPeriod = 5.0;
+
+        std::map<std::string, double> jct;
+        for (const auto &placer : placers) {
+            config.placer = placer;
+            jct[placer] = runExperiment(config, trace).avgJct();
+        }
+        const auto normalized = normalizeTo(jct, "NetPack");
+        std::vector<std::string> row = {formatDouble(pat, 0)};
+        for (const auto &placer : placers)
+            row.push_back(formatDouble(normalized.at(placer), 3));
+        table.addRow(std::move(row));
+    }
+    benchutil::emit(table, options);
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Figure 12: average JCT in oversubscribed networks. The cross-rack
+ * bandwidth shrinks from 1:1 to 20:1; NetPack's rack-aware penalty and
+ * selective INA enabling should widen its lead as the core gets tighter
+ * (the paper reports the average reduction growing from 52% at 1:1 to
+ * 89% at 20:1).
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace netpack;
+    const auto options = benchutil::parseOptions(argc, argv);
+
+    benchutil::printHeader(
+        "Figure 12 — normalized average JCT vs core oversubscription "
+        "(NetPack = 1.0 per row)",
+        "Section 6.3, Figure 12",
+        "baselines >= 1 everywhere and their gap grows with the "
+        "oversubscription ratio");
+
+    const std::vector<double> ratios =
+        options.full ? std::vector<double>{1.0, 2.0, 4.0, 10.0, 20.0}
+                     : std::vector<double>{1.0, 4.0, 20.0};
+    const auto placers = benchutil::figurePlacers();
+    const int jobs = options.full ? 300 : 100;
+
+    // Cross-rack pressure needs multi-server jobs: Poisson(8) demands.
+    TraceGenConfig gen;
+    gen.numJobs = jobs;
+    gen.seed = 57;
+    gen.distribution = DemandDistribution::Poisson;
+    gen.demandMean = 10.0;
+    gen.maxGpuDemand = 64;
+    gen.meanInterarrival = 1.0;
+    gen.durationLogMu = 4.6;
+    gen.durationLogSigma = 0.9;
+    const JobTrace trace = generateTrace(gen);
+
+    std::vector<std::string> headers = {"oversubscription"};
+    for (const auto &placer : placers)
+        headers.push_back(placer);
+    Table table(std::move(headers));
+
+    for (double ratio : ratios) {
+        ExperimentConfig config;
+        config.cluster = benchutil::simulatorCluster();
+        config.cluster.serversPerRack = 8; // tighter cluster: 128 servers
+        config.cluster.oversubscription = ratio;
+        config.cluster.torPatGbps = 400.0;
+        config.sim.placementPeriod = 10.0;
+
+        std::map<std::string, double> jct;
+        for (const auto &placer : placers) {
+            config.placer = placer;
+            jct[placer] = runExperiment(config, trace).avgJct();
+        }
+        const auto normalized = normalizeTo(jct, "NetPack");
+        std::vector<std::string> row = {formatDouble(ratio, 0) + ":1"};
+        for (const auto &placer : placers)
+            row.push_back(formatDouble(normalized.at(placer), 3));
+        table.addRow(std::move(row));
+    }
+    benchutil::emit(table, options);
+    return 0;
+}

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Micro-benchmarks (google-benchmark) of the hot paths: water-filling
+ * steady-state estimation, the worker-placement DP, the job-subset
+ * knapsack, hierarchy construction, and one packet-model slot.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "placement/knapsack.h"
+#include "placement/netpack_placer.h"
+#include "sim/packet_model.h"
+#include "waterfill/steady_state.h"
+
+namespace netpack {
+namespace {
+
+/** A cluster with `racks` racks of 8 servers, partially loaded. */
+ClusterTopology
+scaledTopo(int racks)
+{
+    ClusterConfig config;
+    config.numRacks = racks;
+    config.serversPerRack = 8;
+    config.gpusPerServer = 4;
+    config.serverLinkGbps = 100.0;
+    config.torPatGbps = 400.0;
+    return ClusterTopology(config);
+}
+
+/** `n` cross-server jobs spread deterministically over the cluster. */
+std::vector<PlacedJob>
+spreadJobs(const ClusterTopology &topo, int n)
+{
+    std::vector<PlacedJob> jobs;
+    for (int j = 0; j < n; ++j) {
+        PlacedJob job;
+        job.id = JobId(j);
+        const int base = (j * 3) % (topo.numServers() - 2);
+        job.placement.workers[ServerId(base)] = 2;
+        job.placement.workers[ServerId(base + 1)] = 2;
+        job.placement.psServer = ServerId(base + 2);
+        for (RackId rack : job.placement.allRacks(topo))
+            job.placement.inaRacks.insert(rack);
+        jobs.push_back(std::move(job));
+    }
+    return jobs;
+}
+
+void
+BM_WaterFilling(benchmark::State &state)
+{
+    const ClusterTopology topo(scaledTopo(static_cast<int>(state.range(0))));
+    WaterFillingEstimator estimator(topo);
+    const auto jobs = spreadJobs(topo, static_cast<int>(state.range(1)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(estimator.estimate(jobs));
+    }
+    state.SetLabel(std::to_string(topo.numServers()) + " servers, " +
+                   std::to_string(jobs.size()) + " jobs");
+}
+BENCHMARK(BM_WaterFilling)
+    ->Args({2, 8})
+    ->Args({16, 32})
+    ->Args({64, 128});
+
+void
+BM_WorkerPlacementDp(benchmark::State &state)
+{
+    const ClusterTopology topo(scaledTopo(static_cast<int>(state.range(0))));
+    GpuLedger gpus(topo);
+    NetPackPlacer placer;
+    JobSpec spec;
+    spec.id = JobId(0);
+    spec.modelName = "VGG16";
+    spec.gpuDemand = 4 * topo.gpusPerServer() + 2; // forces the DP path
+    spec.iterations = 10;
+    for (auto _ : state) {
+        GpuLedger fresh = gpus;
+        benchmark::DoNotOptimize(
+            placer.placeBatch({spec}, topo, fresh, {}));
+    }
+    state.SetLabel(std::to_string(topo.numServers()) + " servers");
+}
+BENCHMARK(BM_WorkerPlacementDp)->Arg(2)->Arg(16)->Arg(64)->Arg(256);
+
+void
+BM_Knapsack(benchmark::State &state)
+{
+    Rng rng(5);
+    std::vector<KnapsackItem> items;
+    for (int i = 0; i < state.range(0); ++i)
+        items.push_back({static_cast<int>(rng.uniformInt(1, 64)),
+                         rng.uniform(0.5, 4.0)});
+    const int capacity = static_cast<int>(state.range(0)) * 16;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(solveKnapsack(items, capacity));
+    }
+}
+BENCHMARK(BM_Knapsack)->Arg(64)->Arg(512)->Arg(2048);
+
+void
+BM_HierarchyBuild(benchmark::State &state)
+{
+    const ClusterTopology topo(scaledTopo(8));
+    Placement placement;
+    for (int s = 0; s < static_cast<int>(state.range(0)); ++s)
+        placement.workers[ServerId(s * 2)] = 2;
+    placement.psServer = ServerId(1);
+    for (RackId rack : placement.allRacks(topo))
+        placement.inaRacks.insert(rack);
+    for (auto _ : state) {
+        JobHierarchy h(topo, JobId(0), placement);
+        benchmark::DoNotOptimize(h);
+    }
+}
+BENCHMARK(BM_HierarchyBuild)->Arg(2)->Arg(8)->Arg(24);
+
+void
+BM_PacketSlot(benchmark::State &state)
+{
+    const ClusterTopology topo(scaledTopo(2));
+    PacketNetworkModel model(topo);
+    for (int j = 0; j < state.range(0); ++j) {
+        JobSpec spec;
+        spec.id = JobId(j);
+        spec.modelName = "VGG16";
+        spec.gpuDemand = 4;
+        spec.iterations = 1'000'000;
+        Placement placement;
+        placement.workers[ServerId((2 * j) % 15)] = 2;
+        placement.workers[ServerId((2 * j + 1) % 15)] = 2;
+        placement.psServer = ServerId(15);
+        placement.inaRacks = {topo.rackOf(placement.psServer)};
+        for (RackId rack : placement.allRacks(topo))
+            placement.inaRacks.insert(rack);
+        model.jobStarted(spec, placement, 0.0);
+    }
+    std::vector<JobId> completed;
+    Seconds now = 0.0;
+    for (auto _ : state) {
+        now = model.advance(now, now + 50e-6, completed);
+    }
+    state.SetLabel(std::to_string(state.range(0)) + " jobs");
+}
+BENCHMARK(BM_PacketSlot)->Arg(2)->Arg(8);
+
+} // namespace
+} // namespace netpack

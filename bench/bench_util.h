@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Shared scaffolding for the figure-regeneration benches: the two
+ * canonical cluster configurations (the 5-server testbed stand-in and
+ * the paper's default 16-rack simulator cluster), trace builders sized
+ * for each, and uniform banner/CSV output. Every bench accepts
+ * `--full` (paper-scale parameters; slower) and `--csv` (machine-
+ * readable output in addition to the table).
+ */
+
+#ifndef NETPACK_BENCH_BENCH_UTIL_H
+#define NETPACK_BENCH_BENCH_UTIL_H
+
+#include <string>
+
+#include "common/stats.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "core/experiment.h"
+#include "workload/trace_gen.h"
+
+namespace netpack {
+namespace benchutil {
+
+/** Parsed command-line options shared by all benches. */
+struct Options
+{
+    /** Paper-scale parameters (slower); default is a quick profile. */
+    bool full = false;
+    /** Also emit CSV after the human-readable table. */
+    bool csv = false;
+};
+
+/** Parse --full / --csv; exits with a usage message on anything else. */
+Options parseOptions(int argc, char **argv);
+
+/**
+ * The testbed stand-in (paper Section 6.1): five 2-GPU servers under a
+ * single ToR with 100 Gbps links.
+ */
+ClusterConfig testbedCluster();
+
+/**
+ * The paper's default simulated cluster: 16 racks x 16 servers x 4
+ * GPUs, 1:1 oversubscription, 1 Tbps PAT per ToR.
+ */
+ClusterConfig simulatorCluster();
+
+/** A trace sized for the testbed (small jobs, short durations). */
+JobTrace testbedTrace(DemandDistribution dist, int jobs,
+                      std::uint64_t seed);
+
+/** A trace sized for the simulator cluster. */
+JobTrace simulatorTrace(DemandDistribution dist, int jobs,
+                        std::uint64_t seed);
+
+/** Print the bench banner: what figure, what the paper showed. */
+void printHeader(const std::string &title, const std::string &paper_ref,
+                 const std::string &expectation);
+
+/** Print @p table, then CSV when requested. */
+void emit(const Table &table, const Options &options);
+
+/** The Figure 7-9 placer lineup including NetPack. */
+std::vector<std::string> figurePlacers();
+
+/**
+ * The Figure 7/8 experiment matrix: {Real, Poisson, Normal} traces x
+ * {testbed (packet model), simulator (flow model)} x the full placer
+ * lineup. Both figures share the same runs (JCT for Figure 7, DE for
+ * Figure 8), so the matrix is computed once per bench invocation.
+ */
+struct MatrixCell
+{
+    /** Per-seed JCT ratios vs NetPack (the paper's error bars). */
+    RunningStats jctRatio;
+    /** Per-seed DE ratios vs NetPack. */
+    RunningStats deRatio;
+};
+
+struct Figure7Matrix
+{
+    std::vector<std::string> placers;
+    std::vector<DemandDistribution> traces;
+    std::vector<std::string> platforms; // "testbed", "simulator"
+    /** key: trace|platform|placer */
+    std::map<std::string, MatrixCell> cells;
+
+    static std::string key(const std::string &trace,
+                           const std::string &platform,
+                           const std::string &placer)
+    {
+        return trace + "|" + platform + "|" + placer;
+    }
+};
+
+/** Run the full Figure 7/8 matrix (shared by both benches). */
+Figure7Matrix runFigure7Matrix(const Options &options);
+
+/**
+ * Render one metric of the matrix as a table with rows = trace x
+ * platform groups, columns = placers, normalized so NetPack = 1.
+ */
+Table matrixTable(const Figure7Matrix &matrix, bool use_de);
+
+} // namespace benchutil
+} // namespace netpack
+
+#endif // NETPACK_BENCH_BENCH_UTIL_H

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Placement explainer: loads a cluster into a mid-life state (several
+ * running jobs fragmenting GPUs and bandwidth), then places one new job
+ * with NetPack and with each baseline, showing side by side where each
+ * policy puts the workers/PS, whether it crosses racks, and what
+ * throughput the water-filling estimator predicts. A compact window
+ * into *why* cross-layer placement differs from GPU-only packing.
+ *
+ * Usage: placement_explainer [--gpus N]
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "common/strings.h"
+#include "common/table.h"
+#include "placement/baselines.h"
+#include "placement/netpack_placer.h"
+#include "waterfill/steady_state.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace netpack;
+
+    int demand = 8;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--gpus" && i + 1 < argc)
+            demand = std::stoi(argv[++i]);
+        else {
+            std::cerr << "usage: " << argv[0] << " [--gpus N]\n";
+            return 2;
+        }
+    }
+
+    ClusterConfig cluster;
+    cluster.numRacks = 3;
+    cluster.serversPerRack = 4;
+    cluster.gpusPerServer = 4;
+    cluster.serverLinkGbps = 100.0;
+    cluster.torPatGbps = 150.0;
+    cluster.oversubscription = 4.0;
+    const ClusterTopology topo(cluster);
+
+    // Fragment the cluster with running jobs: a big VGG16 spanning rack
+    // 0, a ResNet on rack 1, and scattered single-server jobs.
+    std::vector<PlacedJob> running;
+    GpuLedger base_gpus(topo);
+    const auto add_running = [&](int id,
+                                 std::initializer_list<
+                                     std::pair<int, int>> workers,
+                                 int ps) {
+        PlacedJob job;
+        job.id = JobId(id);
+        for (const auto &[server, count] : workers) {
+            job.placement.workers[ServerId(server)] = count;
+            base_gpus.allocate(ServerId(server), job.id, count);
+        }
+        job.placement.psServer = ServerId(ps);
+        if (!job.placement.singleServer()) {
+            for (RackId rack : job.placement.allRacks(topo))
+                job.placement.inaRacks.insert(rack);
+        }
+        running.push_back(std::move(job));
+    };
+    add_running(100, {{0, 4}, {1, 4}, {2, 2}}, 3); // spans rack 0
+    add_running(101, {{4, 4}, {5, 3}}, 6);         // rack 1
+    add_running(102, {{8, 4}}, 8);                 // local, rack 2
+    add_running(103, {{9, 2}}, 9);                 // local, rack 2
+
+    std::cout << "cluster: 3 racks x 4 servers x 4 GPUs, PAT 150 Gbps, "
+                 "4:1 oversubscription\n"
+              << "running jobs fragment racks 0-2; free GPUs per server:";
+    for (int s = 0; s < topo.numServers(); ++s)
+        std::cout << " " << base_gpus.freeGpus(ServerId(s));
+    std::cout << "\n\nplacing a new " << demand << "-GPU VGG16 job:\n\n";
+
+    JobSpec spec;
+    spec.id = JobId(0);
+    spec.modelName = "VGG16";
+    spec.gpuDemand = demand;
+    spec.iterations = 1000;
+
+    Table table({"placer", "workers (server x gpus)", "PS", "racks",
+                 "INA", "est. Gbps"});
+    for (const char *name :
+         {"NetPack", "GB", "FB", "LF", "Optimus", "Tetris", "Comb"}) {
+        GpuLedger gpus = base_gpus;
+        const auto placer = makePlacerByName(name);
+        const BatchResult result =
+            placer->placeBatch({spec}, topo, gpus, running);
+        if (result.placed.empty()) {
+            table.addRow({name, "(deferred)", "-", "-", "-", "-"});
+            continue;
+        }
+        const Placement &p = result.placed[0].placement;
+
+        std::string workers;
+        for (const auto &[server, count] : p.workers) {
+            if (!workers.empty())
+                workers += " ";
+            workers += "s" + std::to_string(server.value) + "x" +
+                       std::to_string(count);
+        }
+        std::string ina;
+        for (RackId rack : p.inaRacks) {
+            if (!ina.empty())
+                ina += ",";
+            ina += "r" + std::to_string(rack.value);
+        }
+        if (ina.empty())
+            ina = "off";
+
+        std::vector<PlacedJob> all = running;
+        all.push_back(result.placed[0]);
+        WaterFillingEstimator estimator(topo);
+        const SteadyState steady = estimator.estimate(all);
+        const Gbps rate = steady.jobThroughput(spec.id);
+
+        table.addRow({name, workers,
+                      "s" + std::to_string(p.psServer.value),
+                      std::to_string(p.allRacks(topo).size()), ina,
+                      std::isfinite(rate) ? formatDouble(rate, 1)
+                                          : "local"});
+    }
+    table.print(std::cout);
+    std::cout << "\nNote how GPU-only policies scatter the job across "
+                 "racks over the 4:1 core,\nwhile NetPack trades a "
+                 "little GPU locality for an uncongested path.\n";
+    return 0;
+}

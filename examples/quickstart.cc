@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Quickstart: the embeddable NetPack API in ~60 lines. Build a cluster
+ * topology, create a JobManager (NetPack placement by default), submit a
+ * few training jobs, run one scheduling round, and inspect where the
+ * workers/PS landed and what throughput the steady-state estimator
+ * predicts for each job.
+ *
+ * Run: ./quickstart
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "core/manager.h"
+
+int
+main()
+{
+    using namespace netpack;
+
+    // A small cluster: 4 racks x 4 servers x 4 GPUs, 100 Gbps links,
+    // 400 Gbps of aggregation throughput (PAT) per ToR switch.
+    ClusterConfig cluster;
+    cluster.numRacks = 4;
+    cluster.serversPerRack = 4;
+    cluster.gpusPerServer = 4;
+    cluster.serverLinkGbps = 100.0;
+    cluster.torPatGbps = 400.0;
+    const ClusterTopology topo(cluster);
+
+    JobManager manager(topo); // NetPack placement by default
+
+    // Submit three jobs: a small one that fits one server, and two that
+    // must span servers and share the network.
+    struct Request
+    {
+        int gpus;
+        const char *model;
+    };
+    const Request requests[] = {{4, "ResNet50"}, {8, "VGG16"},
+                                {12, "VGG19"}};
+    int next_id = 0;
+    for (const Request &request : requests) {
+        JobSpec spec;
+        spec.id = JobId(next_id++);
+        spec.modelName = request.model;
+        spec.gpuDemand = request.gpus;
+        spec.iterations = 1000;
+        manager.submit(spec);
+    }
+
+    // One scheduling round (Algorithm 2 under the hood).
+    const std::vector<PlacedJob> placed = manager.placeRound();
+    std::cout << "placed " << placed.size() << " job(s)\n\n";
+
+    const SteadyState steady = manager.estimateSteadyState();
+    for (const PlacedJob &job : placed) {
+        std::cout << "job " << job.id.value << ":\n  workers:";
+        for (const auto &[server, count] : job.placement.workers)
+            std::cout << " server" << server.value << " x" << count;
+        std::cout << "\n  PS: server" << job.placement.psServer.value
+                  << "\n  INA racks:";
+        if (job.placement.inaRacks.empty())
+            std::cout << " (none — local or INA disabled)";
+        for (RackId rack : job.placement.inaRacks)
+            std::cout << " rack" << rack.value;
+        const Gbps rate = steady.jobThroughput(job.id);
+        std::cout << "\n  estimated throughput: ";
+        if (std::isfinite(rate))
+            std::cout << rate << " Gbps\n\n";
+        else
+            std::cout << "local (no network traffic)\n\n";
+    }
+
+    std::cout << "free GPUs left: " << manager.gpus().totalFreeGpus()
+              << " / " << topo.totalGpus() << "\n";
+
+    // When a job finishes, its GPUs return to the pool.
+    manager.finish(placed.front().id);
+    std::cout << "after finishing job " << placed.front().id.value << ": "
+              << manager.gpus().totalFreeGpus() << " free GPUs\n";
+    return 0;
+}

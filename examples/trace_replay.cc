@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Trace replay: run a job trace through the cluster simulator under any
+ * placement policy and report JCT/DE statistics — the workflow behind
+ * the paper's Figures 7-9. Traces can be generated (Philly-like,
+ * Poisson, or Normal demands), saved to CSV, and replayed from CSV so
+ * experiments are exactly repeatable.
+ *
+ * Usage:
+ *   trace_replay [--placer NAME] [--jobs N] [--seed S]
+ *                [--dist real|poisson|normal] [--fidelity flow|packet]
+ *                [--racks R] [--servers-per-rack M] [--pat GBPS]
+ *                [--oversub X] [--save FILE] [--load FILE]
+ *
+ * Examples:
+ *   trace_replay --placer NetPack --jobs 200
+ *   trace_replay --placer GB --load mytrace.csv --fidelity packet
+ */
+
+#include <fstream>
+#include <iostream>
+
+#include "common/check.h"
+#include "common/strings.h"
+#include "core/experiment.h"
+#include "workload/trace_gen.h"
+
+namespace {
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::cerr
+        << "usage: " << argv0
+        << " [--placer NAME] [--jobs N] [--seed S]\n"
+           "       [--dist real|poisson|normal] [--fidelity flow|packet]\n"
+           "       [--racks R] [--servers-per-rack M] [--pat GBPS]\n"
+           "       [--oversub X] [--save FILE] [--load FILE]\n";
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace netpack;
+
+    std::string placer = "NetPack";
+    std::string dist_name = "real";
+    std::string fidelity = "flow";
+    std::string save_path, load_path;
+    int jobs = 200;
+    std::uint64_t seed = 1;
+    ClusterConfig cluster;
+    cluster.numRacks = 8;
+    cluster.serversPerRack = 8;
+    cluster.gpusPerServer = 4;
+    cluster.torPatGbps = 400.0;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--placer")
+            placer = next();
+        else if (arg == "--jobs")
+            jobs = std::stoi(next());
+        else if (arg == "--seed")
+            seed = std::stoull(next());
+        else if (arg == "--dist")
+            dist_name = toLower(next());
+        else if (arg == "--fidelity")
+            fidelity = toLower(next());
+        else if (arg == "--racks")
+            cluster.numRacks = std::stoi(next());
+        else if (arg == "--servers-per-rack")
+            cluster.serversPerRack = std::stoi(next());
+        else if (arg == "--pat")
+            cluster.torPatGbps = std::stod(next());
+        else if (arg == "--oversub")
+            cluster.oversubscription = std::stod(next());
+        else if (arg == "--save")
+            save_path = next();
+        else if (arg == "--load")
+            load_path = next();
+        else
+            usage(argv[0]);
+    }
+
+    try {
+        JobTrace trace;
+        if (!load_path.empty()) {
+            std::ifstream in(load_path);
+            if (!in)
+                throw ConfigError("cannot open trace '" + load_path + "'");
+            trace = JobTrace::loadCsv(in);
+            std::cout << "loaded " << trace.size() << " jobs from "
+                      << load_path << "\n";
+        } else {
+            TraceGenConfig gen;
+            gen.numJobs = jobs;
+            gen.seed = seed;
+            gen.distribution =
+                dist_name == "poisson"  ? DemandDistribution::Poisson
+                : dist_name == "normal" ? DemandDistribution::Normal
+                                        : DemandDistribution::Philly;
+            // Keep packet-model replays tractable: shorter jobs.
+            if (fidelity == "packet") {
+                gen.durationLogMu = 3.6;
+                gen.durationLogSigma = 0.8;
+                gen.maxGpuDemand = cluster.gpusPerServer *
+                                   cluster.serversPerRack;
+            }
+            trace = generateTrace(gen);
+            std::cout << "generated " << trace.size() << " jobs ("
+                      << demandDistributionName(gen.distribution)
+                      << " demands, seed " << seed << ")\n";
+        }
+        if (!save_path.empty()) {
+            std::ofstream out(save_path);
+            trace.saveCsv(out);
+            std::cout << "saved trace to " << save_path << "\n";
+        }
+
+        ExperimentConfig config;
+        config.cluster = cluster;
+        config.placer = placer;
+        config.fidelity = fidelity == "packet" ? Fidelity::Packet
+                                               : Fidelity::Flow;
+
+        const RunMetrics metrics = runExperiment(config, trace);
+        const SampleSet jct = metrics.jctSamples();
+
+        std::cout << "\n=== " << placer << " on " << trace.size()
+                  << " jobs (" << fidelity << " model) ===\n"
+                  << "avg JCT:       " << formatDouble(metrics.avgJct(), 2)
+                  << " s\n"
+                  << "p50 / p90 JCT: " << formatDouble(jct.median(), 2)
+                  << " / " << formatDouble(jct.percentile(90.0), 2)
+                  << " s\n"
+                  << "avg DE:        " << formatDouble(metrics.avgDe(), 3)
+                  << "\n"
+                  << "makespan:      "
+                  << formatDouble(metrics.makespan, 1) << " s\n"
+                  << "GPU util:      "
+                  << formatDouble(metrics.avgGpuUtilization * 100.0, 1)
+                  << " %\n"
+                  << "fragmentation: "
+                  << formatDouble(metrics.avgFragmentation * 100.0, 1)
+                  << " % of free GPUs stranded\n"
+                  << "placement:     " << metrics.placementRounds
+                  << " rounds, "
+                  << formatDouble(metrics.placementSeconds * 1000.0, 1)
+                  << " ms total\n";
+    } catch (const std::exception &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Workload report: characterize a job trace the way trace studies do —
+ * demand histogram, model mix, arrival statistics, duration percentiles
+ * — and estimate its network pressure (aggregate comm intensity). Works
+ * on generated traces or on Microsoft Philly-style log exports via the
+ * adapter, so operators can sanity-check a trace before replaying it.
+ *
+ * Usage:
+ *   workload_report [--jobs N] [--seed S] [--dist real|poisson|normal]
+ *   workload_report --philly-log FILE.csv
+ */
+
+#include <fstream>
+#include <iostream>
+
+#include "common/strings.h"
+#include "common/table.h"
+#include "workload/philly_log.h"
+#include "workload/trace_gen.h"
+#include "workload/workload_stats.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace netpack;
+
+    int jobs = 500;
+    std::uint64_t seed = 1;
+    std::string dist_name = "real";
+    std::string philly_path;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--jobs" && i + 1 < argc)
+            jobs = std::stoi(argv[++i]);
+        else if (arg == "--seed" && i + 1 < argc)
+            seed = std::stoull(argv[++i]);
+        else if (arg == "--dist" && i + 1 < argc)
+            dist_name = toLower(argv[++i]);
+        else if (arg == "--philly-log" && i + 1 < argc)
+            philly_path = argv[++i];
+        else {
+            std::cerr << "usage: " << argv[0]
+                      << " [--jobs N] [--seed S]"
+                         " [--dist real|poisson|normal]"
+                         " [--philly-log FILE]\n";
+            return 2;
+        }
+    }
+
+    try {
+        JobTrace trace;
+        if (!philly_path.empty()) {
+            std::ifstream in(philly_path);
+            if (!in) {
+                std::cerr << "cannot open " << philly_path << "\n";
+                return 1;
+            }
+            const PhillyLogParse parse = parsePhillyCsv(in);
+            std::cout << "parsed " << parse.records.size()
+                      << " usable log rows (" << parse.skipped
+                      << " skipped)\n";
+            trace = traceFromPhillyLog(parse.records);
+        } else {
+            TraceGenConfig gen;
+            gen.numJobs = jobs;
+            gen.seed = seed;
+            gen.distribution =
+                dist_name == "poisson"  ? DemandDistribution::Poisson
+                : dist_name == "normal" ? DemandDistribution::Normal
+                                        : DemandDistribution::Philly;
+            trace = generateTrace(gen);
+        }
+
+        const TraceStats stats = analyzeTrace(trace);
+        std::cout << "\n=== trace summary: " << stats.jobs
+                  << " jobs ===\n";
+
+        Table demands({"GPUs", "jobs", "share"});
+        for (const auto &[gpus, count] : stats.demandHistogram) {
+            demands.addRow(
+                {std::to_string(gpus), std::to_string(count),
+                 formatDouble(100.0 * count /
+                                  static_cast<double>(stats.jobs),
+                              1) +
+                     "%"});
+        }
+        demands.print(std::cout);
+
+        std::cout << "\nmodel mix:";
+        for (const auto &[name, count] : stats.modelMix)
+            std::cout << " " << name << "=" << count;
+        std::cout << "\ncompute demand: "
+                  << formatCount(stats.computeGpuSeconds)
+                  << " GPU-seconds\n"
+                  << "comm demand (at 50 Gbps): "
+                  << formatCount(stats.commGpuSeconds) << " GPU-seconds ("
+                  << formatDouble(100.0 * stats.commFraction(), 1)
+                  << "% of total)\n"
+                  << "multi-server jobs (4 GPUs/server): "
+                  << stats.multiServerJobs << "\n";
+
+        if (stats.interarrivals.count() > 0) {
+            std::cout << "mean interarrival: "
+                      << formatDouble(stats.interarrivals.mean(), 1)
+                      << " s\n";
+        }
+        std::cout << "compute-only duration p50/p90/p99: "
+                  << formatDouble(stats.computeDurations.percentile(50.0),
+                                  0)
+                  << " / "
+                  << formatDouble(stats.computeDurations.percentile(90.0),
+                                  0)
+                  << " / "
+                  << formatDouble(stats.computeDurations.percentile(99.0),
+                                  0)
+                  << " s\n"
+                  << "total GPU demand: " << stats.totalGpuDemand
+                  << " (max single job: " << stats.maxGpuDemand << ")\n";
+    } catch (const std::exception &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Build, test, and regenerate every figure/table of the reproduction.
+#
+# Usage: scripts/run_all.sh [--full]
+#   --full  paper-scale bench parameters (slower)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FULL_FLAG="${1:-}"
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure | tee test_output.txt
+
+{
+    for b in build/bench/*; do
+        if [ -f "$b" ] && [ -x "$b" ]; then
+            echo "################ $(basename "$b")"
+            case "$(basename "$b")" in
+              bench_micro) "$b" ;; # google-benchmark: own flag parser
+              # shellcheck disable=SC2086
+              *) "$b" ${FULL_FLAG} ;;
+            esac
+        fi
+    done
+} 2>&1 | tee bench_output.txt
+
+echo "done: see test_output.txt and bench_output.txt"

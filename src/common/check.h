@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Error-handling primitives, following the panic/fatal split used by
+ * architecture simulators (gem5): NETPACK_CHECK guards internal invariants
+ * (a failure is a NetPack bug), NETPACK_REQUIRE guards user-facing inputs
+ * (a failure is a configuration error).
+ */
+
+#ifndef NETPACK_COMMON_CHECK_H
+#define NETPACK_COMMON_CHECK_H
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace netpack {
+
+/** Thrown when an internal invariant is violated (a NetPack bug). */
+class InternalError : public std::logic_error
+{
+  public:
+    explicit InternalError(const std::string &msg)
+        : std::logic_error(msg)
+    {}
+};
+
+/** Thrown on invalid user input (bad configuration, malformed trace...). */
+class ConfigError : public std::runtime_error
+{
+  public:
+    explicit ConfigError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+namespace detail {
+
+inline std::string
+checkMessage(const char *kind, const char *cond, const char *file, int line,
+             const std::string &extra)
+{
+    std::ostringstream oss;
+    oss << kind << " failed: (" << cond << ") at " << file << ":" << line;
+    if (!extra.empty())
+        oss << " — " << extra;
+    return oss.str();
+}
+
+} // namespace detail
+
+} // namespace netpack
+
+/** Internal invariant; failure means a NetPack bug (panic-class). */
+#define NETPACK_CHECK(cond)                                                 \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            throw ::netpack::InternalError(::netpack::detail::checkMessage( \
+                "NETPACK_CHECK", #cond, __FILE__, __LINE__, ""));           \
+        }                                                                   \
+    } while (0)
+
+/** Internal invariant with an explanatory message. */
+#define NETPACK_CHECK_MSG(cond, msg)                                        \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            std::ostringstream netpack_oss_;                                \
+            netpack_oss_ << msg;                                            \
+            throw ::netpack::InternalError(::netpack::detail::checkMessage( \
+                "NETPACK_CHECK", #cond, __FILE__, __LINE__,                 \
+                netpack_oss_.str()));                                       \
+        }                                                                   \
+    } while (0)
+
+/** User-input validation; failure is a configuration error (fatal-class). */
+#define NETPACK_REQUIRE(cond, msg)                                          \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            std::ostringstream netpack_oss_;                                \
+            netpack_oss_ << msg;                                            \
+            throw ::netpack::ConfigError(::netpack::detail::checkMessage(   \
+                "NETPACK_REQUIRE", #cond, __FILE__, __LINE__,               \
+                netpack_oss_.str()));                                       \
+        }                                                                   \
+    } while (0)
+
+#endif // NETPACK_COMMON_CHECK_H

@@ -1,0 +1,47 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <iostream>
+
+namespace netpack {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "DEBUG";
+      case LogLevel::Info: return "INFO";
+      case LogLevel::Warn: return "WARN";
+      case LogLevel::Error: return "ERROR";
+      case LogLevel::Off: return "OFF";
+    }
+    return "?";
+}
+
+} // namespace
+
+LogLevel
+Log::level()
+{
+    return g_level.load(std::memory_order_relaxed);
+}
+
+void
+Log::setLevel(LogLevel level)
+{
+    g_level.store(level, std::memory_order_relaxed);
+}
+
+void
+Log::write(LogLevel level, const std::string &msg)
+{
+    if (level < Log::level())
+        return;
+    std::cerr << "[netpack " << levelName(level) << "] " << msg << "\n";
+}
+
+} // namespace netpack

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Minimal leveled logger. Benches and examples print their deliverable
+ * tables directly; the logger is for diagnostic traces (placement
+ * decisions, water-filling iterations) that can be silenced wholesale.
+ */
+
+#ifndef NETPACK_COMMON_LOG_H
+#define NETPACK_COMMON_LOG_H
+
+#include <sstream>
+#include <string>
+
+namespace netpack {
+
+/** Severity of a log record. */
+enum class LogLevel
+{
+    Debug = 0,
+    Info = 1,
+    Warn = 2,
+    Error = 3,
+    Off = 4,
+};
+
+/** Process-wide log configuration and sink. */
+class Log
+{
+  public:
+    /** Current threshold; records below it are dropped. */
+    static LogLevel level();
+
+    /** Set the threshold (e.g. LogLevel::Off in benchmarks). */
+    static void setLevel(LogLevel level);
+
+    /** Emit one record (used by the NETPACK_LOG macro). */
+    static void write(LogLevel level, const std::string &msg);
+};
+
+} // namespace netpack
+
+/** Log with lazy formatting: NETPACK_LOG(Info, "placed " << n << " jobs"). */
+#define NETPACK_LOG(level_name, expr)                                      \
+    do {                                                                   \
+        if (::netpack::LogLevel::level_name >= ::netpack::Log::level()) {  \
+            std::ostringstream netpack_log_oss_;                           \
+            netpack_log_oss_ << expr;                                      \
+            ::netpack::Log::write(::netpack::LogLevel::level_name,         \
+                                  netpack_log_oss_.str());                 \
+        }                                                                  \
+    } while (0)
+
+#endif // NETPACK_COMMON_LOG_H

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Deterministic random number generation. NetPack experiments must be
+ * reproducible run-to-run, so every stochastic component takes an explicit
+ * Rng (xoshiro256**) seeded from the experiment configuration.
+ */
+
+#ifndef NETPACK_COMMON_RNG_H
+#define NETPACK_COMMON_RNG_H
+
+#include <array>
+#include <cstdint>
+
+namespace netpack {
+
+/**
+ * xoshiro256** generator with SplitMix64 seeding. Satisfies the C++
+ * UniformRandomBitGenerator concept so it can drive <random>
+ * distributions, but the common draws are provided as members.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Seed the generator; equal seeds give equal streams. */
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~result_type{0}; }
+
+    /** Next raw 64-bit draw. */
+    result_type operator()();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [lo, hi] (inclusive). */
+    std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+    /** Standard normal draw (Box–Muller, cached pair). */
+    double normal();
+
+    /** Normal draw with the given mean and standard deviation. */
+    double normal(double mean, double stddev);
+
+    /** Exponential draw with the given rate (mean 1/rate). */
+    double exponential(double rate);
+
+    /** Log-normal draw: exp(N(mu, sigma)). */
+    double logNormal(double mu, double sigma);
+
+    /** Poisson draw with the given mean (inversion for small means). */
+    std::int64_t poisson(double mean);
+
+    /** Derive an independent child stream (for per-component seeding). */
+    Rng fork();
+
+  private:
+    std::array<std::uint64_t, 4> state_;
+    double cachedNormal_ = 0.0;
+    bool hasCachedNormal_ = false;
+};
+
+} // namespace netpack
+
+#endif // NETPACK_COMMON_RNG_H

@@ -1,0 +1,170 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace netpack {
+
+void
+RunningStats::add(double x)
+{
+    if (count_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double n1 = static_cast<double>(count_);
+    const double n2 = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    mean_ += delta * n2 / (n1 + n2);
+    m2_ += other.m2_ + delta * delta * n1 * n2 / (n1 + n2);
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double
+RunningStats::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+RunningStats::min() const
+{
+    return count_ ? min_ : std::numeric_limits<double>::infinity();
+}
+
+double
+RunningStats::max() const
+{
+    return count_ ? max_ : -std::numeric_limits<double>::infinity();
+}
+
+void
+SampleSet::add(double x)
+{
+    samples_.push_back(x);
+    sortedValid_ = false;
+}
+
+double
+SampleSet::mean() const
+{
+    RunningStats rs;
+    for (double s : samples_)
+        rs.add(s);
+    return rs.mean();
+}
+
+double
+SampleSet::stddev() const
+{
+    RunningStats rs;
+    for (double s : samples_)
+        rs.add(s);
+    return rs.stddev();
+}
+
+double
+SampleSet::percentile(double p) const
+{
+    NETPACK_REQUIRE(p >= 0.0 && p <= 100.0,
+                    "percentile must be in [0, 100], got " << p);
+    NETPACK_REQUIRE(!samples_.empty(),
+                    "percentile of an empty sample set");
+    if (!sortedValid_) {
+        sorted_ = samples_;
+        std::sort(sorted_.begin(), sorted_.end());
+        sortedValid_ = true;
+    }
+    if (sorted_.size() == 1)
+        return sorted_.front();
+    const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const auto hi = std::min(lo + 1, sorted_.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+double
+pearsonCorrelation(const std::vector<double> &xs,
+                   const std::vector<double> &ys)
+{
+    NETPACK_CHECK(xs.size() == ys.size());
+    const std::size_t n = xs.size();
+    if (n < 2)
+        return 0.0;
+    RunningStats sx, sy;
+    for (std::size_t i = 0; i < n; ++i) {
+        sx.add(xs[i]);
+        sy.add(ys[i]);
+    }
+    const double mx = sx.mean(), my = sy.mean();
+    double cov = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        cov += (xs[i] - mx) * (ys[i] - my);
+    cov /= static_cast<double>(n - 1);
+    const double denom = sx.stddev() * sy.stddev();
+    if (denom == 0.0)
+        return 0.0;
+    return cov / denom;
+}
+
+LinearFit
+fitLine(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    NETPACK_CHECK(xs.size() == ys.size());
+    LinearFit fit;
+    const std::size_t n = xs.size();
+    if (n < 2)
+        return fit;
+    RunningStats sx, sy;
+    for (std::size_t i = 0; i < n; ++i) {
+        sx.add(xs[i]);
+        sy.add(ys[i]);
+    }
+    const double mx = sx.mean(), my = sy.mean();
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        sxy += (xs[i] - mx) * (ys[i] - my);
+        sxx += (xs[i] - mx) * (xs[i] - mx);
+        syy += (ys[i] - my) * (ys[i] - my);
+    }
+    if (sxx == 0.0)
+        return fit;
+    fit.slope = sxy / sxx;
+    fit.intercept = my - fit.slope * mx;
+    fit.r2 = (syy == 0.0) ? 1.0 : (sxy * sxy) / (sxx * syy);
+    return fit;
+}
+
+} // namespace netpack

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Statistics helpers used by the simulators and the benchmark harnesses:
+ * a streaming mean/variance accumulator and a small sample container with
+ * percentile queries.
+ */
+
+#ifndef NETPACK_COMMON_STATS_H
+#define NETPACK_COMMON_STATS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace netpack {
+
+/** Streaming mean / variance / extrema (Welford's algorithm). */
+class RunningStats
+{
+  public:
+    /** Add one observation. */
+    void add(double x);
+
+    /** Merge another accumulator into this one. */
+    void merge(const RunningStats &other);
+
+    /** Number of observations. */
+    std::size_t count() const { return count_; }
+
+    /** Sample mean (0 when empty). */
+    double mean() const { return count_ ? mean_ : 0.0; }
+
+    /** Unbiased sample variance (0 with <2 observations). */
+    double variance() const;
+
+    /** Unbiased sample standard deviation. */
+    double stddev() const;
+
+    /** Smallest observation (+inf when empty). */
+    double min() const;
+
+    /** Largest observation (-inf when empty). */
+    double max() const;
+
+    /** Sum of all observations. */
+    double sum() const { return mean_ * static_cast<double>(count_); }
+
+  private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Collects raw samples and answers percentile queries by sorting on
+ * demand. Intended for experiment post-processing, not hot paths.
+ */
+class SampleSet
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Number of samples. */
+    std::size_t count() const { return samples_.size(); }
+
+    /** Sample mean. */
+    double mean() const;
+
+    /** Unbiased sample standard deviation. */
+    double stddev() const;
+
+    /**
+     * Percentile by linear interpolation between closest ranks.
+     * @param p percentile in [0, 100]
+     */
+    double percentile(double p) const;
+
+    /** Median (50th percentile). */
+    double median() const { return percentile(50.0); }
+
+    /** Read access to the raw samples (unsorted insertion order). */
+    const std::vector<double> &samples() const { return samples_; }
+
+  private:
+    std::vector<double> samples_;
+    mutable std::vector<double> sorted_;
+    mutable bool sortedValid_ = false;
+};
+
+/**
+ * Pearson correlation coefficient of two equally-sized series.
+ * Returns 0 when either series has zero variance or fewer than 2 points.
+ */
+double pearsonCorrelation(const std::vector<double> &xs,
+                          const std::vector<double> &ys);
+
+/** Least-squares line fit y = slope*x + intercept. */
+struct LinearFit
+{
+    double slope = 0.0;
+    double intercept = 0.0;
+    /** Coefficient of determination of the fit. */
+    double r2 = 0.0;
+};
+
+/** Fit a least-squares line through (xs, ys). */
+LinearFit fitLine(const std::vector<double> &xs,
+                  const std::vector<double> &ys);
+
+} // namespace netpack
+
+#endif // NETPACK_COMMON_STATS_H

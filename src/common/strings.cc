@@ -1,0 +1,78 @@
+#include "common/strings.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace netpack {
+
+std::vector<std::string>
+split(std::string_view s, char sep)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t pos = s.find(sep, start);
+        if (pos == std::string_view::npos) {
+            out.emplace_back(s.substr(start));
+            break;
+        }
+        out.emplace_back(s.substr(start, pos - start));
+        start = pos + 1;
+    }
+    return out;
+}
+
+std::string
+trim(std::string_view s)
+{
+    std::size_t begin = 0;
+    std::size_t end = s.size();
+    while (begin < end && std::isspace(static_cast<unsigned char>(s[begin])))
+        ++begin;
+    while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1])))
+        --end;
+    return std::string(s.substr(begin, end - begin));
+}
+
+std::string
+formatDouble(double x, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, x);
+    return buf;
+}
+
+std::string
+formatCount(double x)
+{
+    const double ax = std::fabs(x);
+    char buf[64];
+    if (ax >= 1e9)
+        std::snprintf(buf, sizeof(buf), "%.1fG", x / 1e9);
+    else if (ax >= 1e6)
+        std::snprintf(buf, sizeof(buf), "%.1fM", x / 1e6);
+    else if (ax >= 1e3)
+        std::snprintf(buf, sizeof(buf), "%.1fK", x / 1e3);
+    else
+        std::snprintf(buf, sizeof(buf), "%g", x);
+    return buf;
+}
+
+bool
+startsWith(std::string_view s, std::string_view prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.substr(0, prefix.size()) == prefix;
+}
+
+std::string
+toLower(std::string_view s)
+{
+    std::string out(s);
+    for (char &c : out)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+} // namespace netpack

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Small string utilities shared by trace I/O and table printing.
+ */
+
+#ifndef NETPACK_COMMON_STRINGS_H
+#define NETPACK_COMMON_STRINGS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace netpack {
+
+/** Split @p s on @p sep; empty fields are preserved. */
+std::vector<std::string> split(std::string_view s, char sep);
+
+/** Strip ASCII whitespace from both ends. */
+std::string trim(std::string_view s);
+
+/** printf-style number formatting with a fixed precision. */
+std::string formatDouble(double x, int precision = 3);
+
+/** Human-friendly engineering format ("1.2K", "3.4M"). */
+std::string formatCount(double x);
+
+/** True if @p s begins with @p prefix. */
+bool startsWith(std::string_view s, std::string_view prefix);
+
+/** Lower-case ASCII copy of @p s. */
+std::string toLower(std::string_view s);
+
+} // namespace netpack
+
+#endif // NETPACK_COMMON_STRINGS_H

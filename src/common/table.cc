@@ -1,0 +1,93 @@
+#include "common/table.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace netpack {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    NETPACK_REQUIRE(!headers_.empty(), "a table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    NETPACK_REQUIRE(cells.size() == headers_.size(),
+                    "row has " << cells.size() << " cells, table has "
+                               << headers_.size() << " columns");
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::addRow(const std::string &label, const std::vector<double> &values,
+              int precision)
+{
+    std::vector<std::string> cells;
+    cells.reserve(values.size() + 1);
+    cells.push_back(label);
+    for (double v : values)
+        cells.push_back(formatDouble(v, precision));
+    addRow(std::move(cells));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << row[c];
+            if (c + 1 < row.size())
+                os << std::string(widths[c] - row[c].size() + 2, ' ');
+        }
+        os << "\n";
+    };
+
+    print_row(headers_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto escape = [](const std::string &cell) {
+        if (cell.find_first_of(",\"\n") == std::string::npos)
+            return cell;
+        std::string out = "\"";
+        for (char ch : cell) {
+            if (ch == '"')
+                out += '"';
+            out += ch;
+        }
+        out += '"';
+        return out;
+    };
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << escape(row[c]);
+            if (c + 1 < row.size())
+                os << ",";
+        }
+        os << "\n";
+    };
+    print_row(headers_);
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+} // namespace netpack

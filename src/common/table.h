@@ -1,0 +1,47 @@
+/**
+ * @file
+ * ASCII table and CSV emission for the benchmark harnesses. Every figure
+ * bench prints the same rows/series the paper reports, both as an aligned
+ * table on stdout and (optionally) as CSV for downstream plotting.
+ */
+
+#ifndef NETPACK_COMMON_TABLE_H
+#define NETPACK_COMMON_TABLE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace netpack {
+
+/** Column-aligned table with a header row. */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must have exactly one cell per column. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: append a row of doubles at the given precision. */
+    void addRow(const std::string &label, const std::vector<double> &values,
+                int precision = 3);
+
+    /** Number of data rows. */
+    std::size_t rowCount() const { return rows_.size(); }
+
+    /** Render as an aligned ASCII table. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (RFC-4180-ish quoting). */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace netpack
+
+#endif // NETPACK_COMMON_TABLE_H

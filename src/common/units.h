@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Units used throughout NetPack. Rates are plain doubles in Gbps, data
+ * volumes in megabytes, times in seconds; the helpers here exist to make
+ * the unit of every literal explicit at the point of use.
+ */
+
+#ifndef NETPACK_COMMON_UNITS_H
+#define NETPACK_COMMON_UNITS_H
+
+namespace netpack {
+
+/** Bandwidth/throughput in Gbps. */
+using Gbps = double;
+/** Data volume in megabytes. */
+using MBytes = double;
+/** Time in seconds. */
+using Seconds = double;
+
+namespace units {
+
+/** Bits in one megabyte. */
+inline constexpr double kBitsPerMByte = 8.0e6;
+/** Bits in one gigabit. */
+inline constexpr double kBitsPerGbit = 1.0e9;
+
+/** Convert a volume (MB) and a rate (Gbps) into a transfer time. */
+constexpr Seconds
+transferTime(MBytes volume, Gbps rate)
+{
+    return (volume * kBitsPerMByte) / (rate * kBitsPerGbit);
+}
+
+/** Convert Gbps sustained for @p t seconds into a volume in MB. */
+constexpr MBytes
+volumeAtRate(Gbps rate, Seconds t)
+{
+    return rate * kBitsPerGbit * t / kBitsPerMByte;
+}
+
+/**
+ * Peak Aggregation Throughput of a switch (Section 4.1): a switch with
+ * @p memory_packets aggregator slots and round-trip time @p rtt can
+ * aggregate at most one window of memory_packets packets per RTT.
+ *
+ * @param memory_packets number of aggregator slots (one packet each)
+ * @param packet_bytes payload bytes carried per aggregator slot
+ * @param rtt worker-to-PS round-trip time in seconds
+ * @return the PAT in Gbps
+ */
+constexpr Gbps
+patFromMemory(double memory_packets, double packet_bytes, Seconds rtt)
+{
+    return memory_packets * packet_bytes * 8.0 / rtt / kBitsPerGbit;
+}
+
+/** Inverse of patFromMemory: aggregator slots needed to sustain a PAT. */
+constexpr double
+memoryForPat(Gbps pat, double packet_bytes, Seconds rtt)
+{
+    return pat * kBitsPerGbit * rtt / (packet_bytes * 8.0);
+}
+
+} // namespace units
+
+} // namespace netpack
+
+#endif // NETPACK_COMMON_UNITS_H

@@ -1,0 +1,58 @@
+#include "core/experiment.h"
+
+#include "common/check.h"
+#include "placement/baselines.h"
+#include "sim/flow_model.h"
+
+namespace netpack {
+
+std::unique_ptr<NetworkModel>
+makeNetworkModel(const ExperimentConfig &config, const ClusterTopology &topo)
+{
+    switch (config.fidelity) {
+      case Fidelity::Flow:
+        return std::make_unique<FlowNetworkModel>(topo);
+      case Fidelity::Packet:
+        return std::make_unique<PacketNetworkModel>(topo, config.packet);
+    }
+    throw InternalError("unknown fidelity");
+}
+
+RunMetrics
+runExperiment(const ExperimentConfig &config, const JobTrace &trace)
+{
+    ClusterTopology topo(config.cluster);
+    ClusterSimulator sim(topo, makeNetworkModel(config, topo),
+                         makePlacerByName(config.placer), config.sim);
+    return sim.run(trace);
+}
+
+std::map<std::string, RunMetrics>
+comparePlacers(const ExperimentConfig &config, const JobTrace &trace,
+               const std::vector<std::string> &placers)
+{
+    std::map<std::string, RunMetrics> results;
+    for (const std::string &placer : placers) {
+        ExperimentConfig variant = config;
+        variant.placer = placer;
+        results.emplace(placer, runExperiment(variant, trace));
+    }
+    return results;
+}
+
+std::map<std::string, double>
+normalizeTo(const std::map<std::string, double> &values,
+            const std::string &reference)
+{
+    const auto it = values.find(reference);
+    NETPACK_REQUIRE(it != values.end(),
+                    "reference '" << reference << "' missing from values");
+    NETPACK_REQUIRE(it->second != 0.0,
+                    "reference value is zero; cannot normalize");
+    std::map<std::string, double> out;
+    for (const auto &[name, value] : values)
+        out[name] = value / it->second;
+    return out;
+}
+
+} // namespace netpack

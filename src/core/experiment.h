@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Experiment runner shared by the benchmark harnesses: builds a cluster,
+ * a network model of the requested fidelity, and a placer by name, runs
+ * a trace through the manager loop, and returns the metrics. Also the
+ * normalization helper used by every JCT/DE figure (the paper normalizes
+ * each group so NetPack = 1).
+ */
+
+#ifndef NETPACK_CORE_EXPERIMENT_H
+#define NETPACK_CORE_EXPERIMENT_H
+
+#include <map>
+#include <string>
+
+#include "sim/cluster_sim.h"
+#include "sim/packet_model.h"
+#include "workload/trace.h"
+
+namespace netpack {
+
+/** Which network model backs the run. */
+enum class Fidelity
+{
+    /** Water-filling flow-level simulator (large scale). */
+    Flow,
+    /** RTT-slotted packet model (the testbed stand-in). */
+    Packet,
+};
+
+/** Full experiment description. */
+struct ExperimentConfig
+{
+    ClusterConfig cluster;
+    SimConfig sim;
+    PacketModelConfig packet;
+    Fidelity fidelity = Fidelity::Flow;
+    /** Placer name, resolved by makePlacerByName. */
+    std::string placer = "NetPack";
+};
+
+/** Build the network model of @p config over @p topo. */
+std::unique_ptr<NetworkModel> makeNetworkModel(const ExperimentConfig &config,
+                                               const ClusterTopology &topo);
+
+/** Run @p trace under @p config and return the metrics. */
+RunMetrics runExperiment(const ExperimentConfig &config,
+                         const JobTrace &trace);
+
+/**
+ * Run the same trace under every placer in @p placers and return
+ * placer -> metrics (the backbone of Figures 7-9 and 11-13).
+ */
+std::map<std::string, RunMetrics>
+comparePlacers(const ExperimentConfig &config, const JobTrace &trace,
+               const std::vector<std::string> &placers);
+
+/**
+ * Normalize a metric map so that @p reference maps to 1.0 (the paper
+ * plots JCT/DE normalized to NetPack).
+ */
+std::map<std::string, double>
+normalizeTo(const std::map<std::string, double> &values,
+            const std::string &reference);
+
+} // namespace netpack
+
+#endif // NETPACK_CORE_EXPERIMENT_H

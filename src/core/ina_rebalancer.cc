@@ -1,0 +1,19 @@
+#include "core/ina_rebalancer.h"
+
+namespace netpack {
+
+InaRebalancer::InaRebalancer(const ClusterTopology &topo)
+    : topo_(&topo)
+{
+}
+
+InaAssignmentResult
+InaRebalancer::rebalance(std::vector<PlacedJob> &running,
+                         const VolumeLookup &volume_of) const
+{
+    // All running jobs are targets; nothing is fixed background, so the
+    // assignment starts from the whole PAT budget.
+    return assignSelectiveIna(*topo_, running, {}, volume_of);
+}
+
+} // namespace netpack

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Runtime INA rebalancing — the paper's future-work direction ("joint
+ * job placement and scheduling") restricted to the one resource that
+ * can be rescheduled without migration: which jobs use statistical INA
+ * on which ToRs. GPUs stay pinned (Section 3.1), but INA enablement is
+ * an endpoint-side tag, so the manager can periodically re-run the
+ * AE-ordered selective assignment (Algorithm 2 step ④) over *running*
+ * jobs as the mix churns.
+ */
+
+#ifndef NETPACK_CORE_INA_REBALANCER_H
+#define NETPACK_CORE_INA_REBALANCER_H
+
+#include "placement/ina_policy.h"
+#include "topology/cluster.h"
+
+namespace netpack {
+
+/** Periodically re-optimizes INA enablement across running jobs. */
+class InaRebalancer
+{
+  public:
+    explicit InaRebalancer(const ClusterTopology &topo);
+
+    /**
+     * Recompute the INA rack sets of @p running in place against the
+     * full PAT budget. @p volume_of provides gradient volumes for the
+     * estimator guard.
+     * @return the number of jobs whose assignment changed
+     */
+    InaAssignmentResult rebalance(std::vector<PlacedJob> &running,
+                                  const VolumeLookup &volume_of) const;
+
+  private:
+    const ClusterTopology *topo_;
+};
+
+} // namespace netpack
+
+#endif // NETPACK_CORE_INA_REBALANCER_H

@@ -1,0 +1,100 @@
+#include "core/manager.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "placement/netpack_placer.h"
+
+namespace netpack {
+
+JobManager::JobManager(const ClusterTopology &topo,
+                       std::unique_ptr<Placer> placer,
+                       double starvation_boost)
+    : topo_(&topo),
+      placer_(placer ? std::move(placer)
+                     : std::make_unique<NetPackPlacer>()),
+      starvationBoost_(starvation_boost), gpus_(topo)
+{
+    NETPACK_REQUIRE(starvation_boost >= 0.0,
+                    "starvation boost must be non-negative");
+}
+
+void
+JobManager::submit(const JobSpec &spec)
+{
+    NETPACK_REQUIRE(spec.id.valid(), "job id must be set");
+    NETPACK_REQUIRE(spec.gpuDemand >= 1,
+                    "job " << spec.id.value << " demands no GPUs");
+    NETPACK_REQUIRE(spec.gpuDemand <= topo_->totalGpus(),
+                    "job " << spec.id.value << " demands " << spec.gpuDemand
+                           << " GPUs; the cluster has "
+                           << topo_->totalGpus());
+    NETPACK_REQUIRE(ModelZoo::contains(spec.modelName),
+                    "job " << spec.id.value << " names unknown model '"
+                           << spec.modelName << "'");
+    const bool duplicate =
+        runningIndex_.count(spec.id) > 0 ||
+        std::any_of(pending_.begin(), pending_.end(),
+                    [&](const JobSpec &p) { return p.id == spec.id; });
+    NETPACK_REQUIRE(!duplicate,
+                    "job id " << spec.id.value << " already in the system");
+    pending_.push_back(spec);
+}
+
+std::vector<PlacedJob>
+JobManager::placeRound()
+{
+    if (pending_.empty())
+        return {};
+    BatchResult result =
+        placer_->placeBatch(pending_, *topo_, gpus_, running_);
+
+    std::vector<PlacedJob> placed = result.placed;
+    for (const PlacedJob &job : placed) {
+        const auto it = std::find_if(
+            pending_.begin(), pending_.end(),
+            [&](const JobSpec &p) { return p.id == job.id; });
+        NETPACK_CHECK_MSG(it != pending_.end(),
+                          "placer invented job " << job.id.value);
+        pending_.erase(it);
+        runningIndex_[job.id] = running_.size();
+        running_.push_back(job);
+    }
+    for (JobSpec &spec : pending_)
+        spec.value += starvationBoost_;
+    return placed;
+}
+
+void
+JobManager::finish(JobId id)
+{
+    const auto it = runningIndex_.find(id);
+    NETPACK_REQUIRE(it != runningIndex_.end(),
+                    "job " << id.value << " is not running");
+    const std::size_t index = it->second;
+    gpus_.releaseJob(id);
+    runningIndex_.erase(it);
+    if (index + 1 != running_.size()) {
+        running_[index] = std::move(running_.back());
+        runningIndex_[running_[index].id] = index;
+    }
+    running_.pop_back();
+}
+
+std::optional<Placement>
+JobManager::placementOf(JobId id) const
+{
+    const auto it = runningIndex_.find(id);
+    if (it == runningIndex_.end())
+        return std::nullopt;
+    return running_[it->second].placement;
+}
+
+SteadyState
+JobManager::estimateSteadyState() const
+{
+    WaterFillingEstimator estimator(*topo_);
+    return estimator.estimate(running_);
+}
+
+} // namespace netpack

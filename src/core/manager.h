@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The NetPack job manager (Figure 4): the embeddable, real-time facade of
+ * the system. Users submit jobs; the manager batches them, consults the
+ * network information base (topology + current placements), runs the
+ * steady-state estimation and the placement algorithm at each scheduling
+ * round, and reports the plans to enforce. This is the API a production
+ * deployment would drive from its RPC layer; the simulators drive the
+ * same placement machinery through ClusterSimulator.
+ */
+
+#ifndef NETPACK_CORE_MANAGER_H
+#define NETPACK_CORE_MANAGER_H
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "placement/placer.h"
+#include "topology/cluster.h"
+#include "topology/gpu_ledger.h"
+#include "waterfill/steady_state.h"
+#include "workload/job.h"
+
+namespace netpack {
+
+/** Embeddable cluster job manager. */
+class JobManager
+{
+  public:
+    /**
+     * @param topo cluster topology (must outlive the manager)
+     * @param placer placement policy (owned); defaults to NetPack
+     * @param starvation_boost value added to a job per missed round
+     */
+    JobManager(const ClusterTopology &topo,
+               std::unique_ptr<Placer> placer = nullptr,
+               double starvation_boost = 1.0);
+
+    /**
+     * Submit a job (Step ① of Figure 4). The id must be fresh.
+     * ConfigError if the demand can never fit the cluster.
+     */
+    void submit(const JobSpec &spec);
+
+    /**
+     * Run one scheduling round over the pending batch (Steps ②-⑤).
+     * Deferred jobs stay queued with boosted value.
+     * @return the placements decided this round
+     */
+    std::vector<PlacedJob> placeRound();
+
+    /** A running job finished; its GPUs return to the pool. */
+    void finish(JobId id);
+
+    /** Placement of a running job, if any. */
+    std::optional<Placement> placementOf(JobId id) const;
+
+    /** Jobs waiting for placement, in submit order. */
+    const std::vector<JobSpec> &pending() const { return pending_; }
+
+    /** Running jobs' placements (the network information base view). */
+    const std::vector<PlacedJob> &running() const { return running_; }
+
+    /** GPU occupancy ledger. */
+    const GpuLedger &gpus() const { return gpus_; }
+
+    /**
+     * Estimate the current steady state of the cluster — per-job
+     * throughput and residual resources (Step ③ standalone, for
+     * dashboards and what-if tooling).
+     */
+    SteadyState estimateSteadyState() const;
+
+    /** The placement policy in use. */
+    const Placer &placer() const { return *placer_; }
+
+  private:
+    const ClusterTopology *topo_;
+    std::unique_ptr<Placer> placer_;
+    double starvationBoost_;
+    GpuLedger gpus_;
+    std::vector<JobSpec> pending_;
+    std::vector<PlacedJob> running_;
+    std::unordered_map<JobId, std::size_t> runningIndex_;
+};
+
+} // namespace netpack
+
+#endif // NETPACK_CORE_MANAGER_H

@@ -1,0 +1,79 @@
+#include "ina/aggregation.h"
+
+#include "common/check.h"
+
+namespace netpack {
+
+SwitchAggregation
+aggregateAtSwitch(Gbps send_rate, Gbps pat, int incoming_flows)
+{
+    NETPACK_CHECK(send_rate >= 0.0);
+    NETPACK_CHECK(pat >= 0.0);
+    NETPACK_CHECK(incoming_flows >= 0);
+
+    SwitchAggregation out;
+    if (incoming_flows == 0 || send_rate == 0.0)
+        return out;
+
+    if (pat >= send_rate) {
+        // Table 1, A >= C: everything is merged into one result stream.
+        out.flows = 1;
+        out.aggregated = send_rate;
+        out.unaggregated = 0.0;
+    } else {
+        // Table 1, A < C: the switch merges a PAT's worth; each incoming
+        // flow passes its residue (C - A) through unaggregated.
+        out.flows = incoming_flows;
+        out.aggregated = pat;
+        out.unaggregated = (send_rate - pat) *
+                           static_cast<double>(incoming_flows);
+    }
+    return out;
+}
+
+int
+HierarchicalJobModel::totalWorkers() const
+{
+    int total = psRackWorkers;
+    for (int w : remoteRackWorkers)
+        total += w;
+    return total;
+}
+
+HierarchicalJobModel::Evaluation
+HierarchicalJobModel::evaluate(Gbps c) const
+{
+    NETPACK_REQUIRE(remoteRackWorkers.size() == remoteRackPat.size(),
+                    "remote rack worker counts and PATs must align");
+    NETPACK_REQUIRE(c >= 0.0, "send rate must be non-negative");
+
+    Evaluation eval;
+    int flows_into_ps_tor = psRackWorkers;
+    for (std::size_t i = 0; i < remoteRackWorkers.size(); ++i) {
+        const SwitchAggregation remote =
+            aggregateAtSwitch(c, remoteRackPat[i], remoteRackWorkers[i]);
+        eval.flowsCrossRack += remote.flows;
+        flows_into_ps_tor += remote.flows;
+    }
+
+    const SwitchAggregation root =
+        aggregateAtSwitch(c, psRackPat, flows_into_ps_tor);
+    eval.flowsToPs = root.flows;
+    eval.trafficToPs = root.total();
+
+    const int n = totalWorkers();
+    if (n > 1 && c > 0.0) {
+        const double egress = static_cast<double>(n) * c;
+        eval.aggregationRatio =
+            (egress - eval.trafficToPs) / (static_cast<double>(n - 1) * c);
+        if (eval.aggregationRatio < 0.0)
+            eval.aggregationRatio = 0.0;
+        if (eval.aggregationRatio > 1.0)
+            eval.aggregationRatio = 1.0;
+    } else if (n == 1) {
+        eval.aggregationRatio = 1.0;
+    }
+    return eval;
+}
+
+} // namespace netpack

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The single-job aggregation model of Section 4.1 / Table 1: given a
+ * worker send rate C and a switch's Peak Aggregation Throughput A, how
+ * much traffic leaves the switch aggregated vs unaggregated, and how many
+ * flows continue upward. Also the full hierarchical instantiation used to
+ * regenerate Figure 5 (FS/FC flow counts versus send rate).
+ */
+
+#ifndef NETPACK_INA_AGGREGATION_H
+#define NETPACK_INA_AGGREGATION_H
+
+#include <vector>
+
+#include "common/units.h"
+
+namespace netpack {
+
+/** Output of the Table-1 per-switch model. */
+struct SwitchAggregation
+{
+    /** Flows continuing upward from this switch. */
+    int flows = 0;
+    /** Throughput leaving the switch in aggregated form (Gbps). */
+    Gbps aggregated = 0.0;
+    /** Throughput leaving unaggregated (pass-through residue, Gbps). */
+    Gbps unaggregated = 0.0;
+
+    /** Total upward traffic. */
+    Gbps total() const { return aggregated + unaggregated; }
+};
+
+/**
+ * Apply Table 1 to one switch.
+ *
+ * @param send_rate  worker send rate C (all workers of a job send equally)
+ * @param pat        the switch PAT A available to this job
+ * @param incoming_flows  Σ n_i, total flows entering from all subtrees
+ * @return flows / aggregated / unaggregated leaving the switch
+ */
+SwitchAggregation aggregateAtSwitch(Gbps send_rate, Gbps pat,
+                                    int incoming_flows);
+
+/**
+ * The Figure-5 scenario: a job spanning several racks, each worker rack's
+ * ToR aggregating first, then the PS rack's ToR aggregating everything
+ * that arrives (remote flows plus its local workers).
+ */
+struct HierarchicalJobModel
+{
+    /** Worker-server count per remote (non-PS) rack. */
+    std::vector<int> remoteRackWorkers;
+    /** PAT of each remote rack's ToR, aligned with remoteRackWorkers. */
+    std::vector<Gbps> remoteRackPat;
+    /** Worker-server count in the PS rack (local workers). */
+    int psRackWorkers = 0;
+    /** PAT of the PS rack's ToR. */
+    Gbps psRackPat = 0.0;
+
+    /** Result of evaluating the hierarchy at one send rate. */
+    struct Evaluation
+    {
+        /** FS: flows on the ToR(PS) → PS link. */
+        int flowsToPs = 0;
+        /** FC: total flows on the DCN → ToR(PS) hop (Σ remote ToRs). */
+        int flowsCrossRack = 0;
+        /** Traffic on the ToR(PS) → PS link, Gbps. */
+        Gbps trafficToPs = 0.0;
+        /** Aggregated fraction of the job's total gradient volume. */
+        double aggregationRatio = 0.0;
+    };
+
+    /** Evaluate the two-level aggregation at send rate @p c. */
+    Evaluation evaluate(Gbps c) const;
+
+    /** Total workers across all racks. */
+    int totalWorkers() const;
+};
+
+} // namespace netpack
+
+#endif // NETPACK_INA_AGGREGATION_H

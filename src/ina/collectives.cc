@@ -1,0 +1,82 @@
+#include "ina/collectives.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace netpack {
+
+const char *
+collectiveName(CollectiveAlgorithm algorithm)
+{
+    switch (algorithm) {
+      case CollectiveAlgorithm::PsDirect: return "PS";
+      case CollectiveAlgorithm::PsWithIna: return "PS+INA";
+      case CollectiveAlgorithm::RingAllReduce: return "Ring";
+      case CollectiveAlgorithm::HalvingDoubling: return "HalvDoub";
+    }
+    return "?";
+}
+
+Seconds
+CollectiveCost::commTime(Gbps rate, Seconds round_latency) const
+{
+    NETPACK_REQUIRE(rate > 0.0, "rate must be positive");
+    return units::transferTime(bottleneckVolume, rate) +
+           static_cast<double>(rounds) * round_latency;
+}
+
+CollectiveCost
+collectiveCost(CollectiveAlgorithm algorithm, int n, MBytes model_mb,
+               double aggregation_ratio)
+{
+    NETPACK_REQUIRE(n >= 1, "need at least one worker, got " << n);
+    NETPACK_REQUIRE(model_mb >= 0.0, "model size must be non-negative");
+    NETPACK_REQUIRE(aggregation_ratio >= 0.0 && aggregation_ratio <= 1.0,
+                    "aggregation ratio must be in [0, 1], got "
+                        << aggregation_ratio);
+
+    CollectiveCost cost;
+    if (n == 1 || model_mb == 0.0)
+        return cost; // nothing to exchange
+
+    const double dn = static_cast<double>(n);
+    switch (algorithm) {
+      case CollectiveAlgorithm::PsDirect:
+        // Every worker pushes d; the PS access link absorbs all n
+        // streams (and multicasts the result back — undirected
+        // accounting counts the heavier direction once).
+        cost.perWorkerEgress = model_mb;
+        cost.bottleneckVolume = dn * model_mb;
+        cost.rounds = 1;
+        break;
+      case CollectiveAlgorithm::PsWithIna: {
+        // Switches merge a fraction rho of the removable (n-1)d, so the
+        // PS sees n*d - rho*(n-1)*d; full aggregation leaves exactly d.
+        cost.perWorkerEgress = model_mb;
+        cost.bottleneckVolume =
+            dn * model_mb -
+            aggregation_ratio * (dn - 1.0) * model_mb;
+        cost.rounds = 1;
+        break;
+      }
+      case CollectiveAlgorithm::RingAllReduce:
+        // Reduce-scatter + all-gather: 2(n-1) chunks of d/n per worker;
+        // every link carries the same volume (no hot spot).
+        cost.perWorkerEgress = 2.0 * (dn - 1.0) / dn * model_mb;
+        cost.bottleneckVolume = cost.perWorkerEgress;
+        cost.rounds = 2 * (n - 1);
+        break;
+      case CollectiveAlgorithm::HalvingDoubling:
+        // Same total volume as ring but in 2*log2(n) larger rounds.
+        cost.perWorkerEgress = 2.0 * (dn - 1.0) / dn * model_mb;
+        cost.bottleneckVolume = cost.perWorkerEgress;
+        cost.rounds = 2 * std::max(1, static_cast<int>(
+                                          std::ceil(std::log2(dn))));
+        break;
+    }
+    return cost;
+}
+
+} // namespace netpack

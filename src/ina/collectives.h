@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Analytic cost model of the AllReduce alternatives the paper positions
+ * INA against (Section 2.1): direct parameter-server exchange, ring
+ * AllReduce, recursive halving-doubling, and PS+INA at a given
+ * aggregation ratio. For each algorithm we model the per-iteration
+ * volumes that drive placement decisions — what each worker sends, what
+ * the most loaded link carries — and the resulting communication time
+ * at a given per-link rate. This is the quantitative backing for INA's
+ * motivation: it collapses the PS bottleneck from n*d to d.
+ */
+
+#ifndef NETPACK_INA_COLLECTIVES_H
+#define NETPACK_INA_COLLECTIVES_H
+
+#include <string>
+
+#include "common/units.h"
+
+namespace netpack {
+
+/** Gradient exchange strategy. */
+enum class CollectiveAlgorithm
+{
+    /** Workers push to / pull from one PS; PS link carries n*d. */
+    PsDirect,
+    /** PS exchange with in-network aggregation at a given ratio. */
+    PsWithIna,
+    /** Ring AllReduce: 2(n-1)/n * d per worker, no PS. */
+    RingAllReduce,
+    /** Recursive halving-doubling: same volume, log2(n) rounds. */
+    HalvingDoubling,
+};
+
+/** Display name for tables. */
+const char *collectiveName(CollectiveAlgorithm algorithm);
+
+/** Per-iteration traffic profile of a collective. */
+struct CollectiveCost
+{
+    /** Bytes each worker sends per iteration (MB). */
+    MBytes perWorkerEgress = 0.0;
+    /** Volume crossing the most loaded access link per iteration (MB). */
+    MBytes bottleneckVolume = 0.0;
+    /** Number of sequential communication rounds. */
+    int rounds = 1;
+
+    /**
+     * Communication time at @p rate per link plus @p round_latency per
+     * round (latency matters for halving-doubling at small d).
+     */
+    Seconds commTime(Gbps rate, Seconds round_latency = 0.0) const;
+};
+
+/**
+ * Cost of exchanging a gradient of @p model_mb MB among @p n workers.
+ *
+ * @param aggregation_ratio for PsWithIna: the fraction of aggregatable
+ *        traffic the switches actually merge (1 = full aggregation,
+ *        0 = degenerates to PsDirect); ignored otherwise
+ */
+CollectiveCost collectiveCost(CollectiveAlgorithm algorithm, int n,
+                              MBytes model_mb,
+                              double aggregation_ratio = 1.0);
+
+} // namespace netpack
+
+#endif // NETPACK_INA_COLLECTIVES_H

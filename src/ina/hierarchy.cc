@@ -1,0 +1,199 @@
+#include "ina/hierarchy.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/check.h"
+
+namespace netpack {
+
+namespace {
+
+/** PAT below this is considered exhausted (Gbps). */
+constexpr Gbps kPatEpsilon = 1e-9;
+
+} // namespace
+
+JobHierarchy::JobHierarchy(const ClusterTopology &topo, JobId job,
+                           const Placement &placement)
+    : job_(job)
+{
+    placement.validate();
+    if (placement.singleServer() || placement.totalWorkers() <= 1) {
+        // Local job: no AllReduce over the network.
+        return;
+    }
+    NETPACK_CHECK_MSG(placement.psServer.valid(),
+                      "multi-server job " << job.value << " lacks a PS");
+
+    const RackId ps_rack = topo.rackOf(placement.psServer);
+
+    // Root: the PS itself.
+    HierarchyNode root;
+    root.kind = HierarchyNode::Kind::Ps;
+    root.server = placement.psServer;
+    root.parent = 0;
+    nodes_.push_back(root);
+
+    // The PS rack's ToR: every stream funnels through it to reach the PS.
+    HierarchyNode ps_tor;
+    ps_tor.kind = HierarchyNode::Kind::Switch;
+    ps_tor.rack = ps_rack;
+    ps_tor.parent = 0;
+    ps_tor.uplinks = {topo.accessLink(placement.psServer)};
+    ps_tor.inaEnabled = placement.inaRacks.count(ps_rack) > 0;
+    const std::size_t ps_tor_idx = nodes_.size();
+    nodes_.push_back(ps_tor);
+    nodes_[0].children.push_back(ps_tor_idx);
+    if (nodes_[ps_tor_idx].inaEnabled)
+        inaRacks_.push_back(ps_rack);
+
+    // Group worker servers by rack.
+    std::map<RackId, std::vector<std::pair<ServerId, int>>> by_rack;
+    for (const auto &[server, count] : placement.workers)
+        by_rack[topo.rackOf(server)].emplace_back(server, count);
+
+    for (const auto &[rack, servers] : by_rack) {
+        std::size_t parent_idx;
+        if (rack == ps_rack) {
+            // Local workers attach straight below the PS ToR.
+            parent_idx = ps_tor_idx;
+        } else {
+            // Remote rack: its ToR aggregates first, then the stream(s)
+            // cross the remote rack's core link (plus, in two-tier mode,
+            // both pods' uplinks when the racks sit in different pods)
+            // and the PS rack's core link to reach the PS ToR.
+            HierarchyNode remote_tor;
+            remote_tor.kind = HierarchyNode::Kind::Switch;
+            remote_tor.rack = rack;
+            remote_tor.parent = ps_tor_idx;
+            remote_tor.uplinks = {topo.coreLink(rack)};
+            if (topo.twoTier() &&
+                topo.podOf(rack) != topo.podOf(ps_rack)) {
+                remote_tor.uplinks.push_back(
+                    topo.podUplink(topo.podOf(rack)));
+                remote_tor.uplinks.push_back(
+                    topo.podUplink(topo.podOf(ps_rack)));
+            }
+            remote_tor.uplinks.push_back(topo.coreLink(ps_rack));
+            remote_tor.inaEnabled = placement.inaRacks.count(rack) > 0;
+            parent_idx = nodes_.size();
+            nodes_.push_back(remote_tor);
+            nodes_[ps_tor_idx].children.push_back(parent_idx);
+            if (nodes_[parent_idx].inaEnabled)
+                inaRacks_.push_back(rack);
+        }
+        for (const auto &[server, count] : servers) {
+            (void)count; // intra-server workers merge locally: one stream
+            HierarchyNode leaf;
+            leaf.kind = HierarchyNode::Kind::Worker;
+            leaf.server = server;
+            leaf.parent = parent_idx;
+            leaf.uplinks = {topo.accessLink(server)};
+            const std::size_t leaf_idx = nodes_.size();
+            nodes_.push_back(leaf);
+            nodes_[parent_idx].children.push_back(leaf_idx);
+            ++workerServers_;
+        }
+    }
+    std::sort(inaRacks_.begin(), inaRacks_.end());
+}
+
+int
+JobHierarchy::recomputeFlows(std::size_t node,
+                             const std::vector<Gbps> &pat_residual)
+{
+    HierarchyNode &n = nodes_[node];
+    switch (n.kind) {
+      case HierarchyNode::Kind::Worker:
+        n.flows = 1;
+        return n.flows;
+      case HierarchyNode::Kind::Ps: {
+        for (std::size_t child : n.children)
+            recomputeFlows(child, pat_residual);
+        n.flows = 0;
+        return n.flows;
+      }
+      case HierarchyNode::Kind::Switch: {
+        int child_flows = 0;
+        for (std::size_t child : n.children)
+            child_flows += recomputeFlows(child, pat_residual);
+        const bool aggregating =
+            n.inaEnabled && n.rack.valid() &&
+            n.rack.index() < pat_residual.size() &&
+            pat_residual[n.rack.index()] > kPatEpsilon;
+        n.flows = aggregating ? 1 : child_flows;
+        return n.flows;
+      }
+    }
+    NETPACK_CHECK_MSG(false, "unreachable hierarchy node kind");
+    return 0;
+}
+
+void
+JobHierarchy::updateFlows(const std::vector<Gbps> &pat_residual)
+{
+    if (local())
+        return;
+    recomputeFlows(0, pat_residual);
+}
+
+int
+JobHierarchy::incomingFlowsAtRack(RackId rack) const
+{
+    for (const auto &node : nodes_) {
+        if (node.kind == HierarchyNode::Kind::Switch && node.rack == rack) {
+            int incoming = 0;
+            for (std::size_t child : node.children)
+                incoming += nodes_[child].flows;
+            return incoming;
+        }
+    }
+    return 0;
+}
+
+int
+JobHierarchy::totalIncomingInaFlows() const
+{
+    int total = 0;
+    for (const auto &node : nodes_) {
+        if (node.kind != HierarchyNode::Kind::Switch || !node.inaEnabled)
+            continue;
+        for (std::size_t child : node.children)
+            total += nodes_[child].flows;
+    }
+    return total;
+}
+
+std::vector<JobHierarchy>
+buildShardHierarchies(const ClusterTopology &topo, JobId job,
+                      const Placement &placement)
+{
+    std::vector<JobHierarchy> shards;
+    if (placement.psShards() <= 1 || placement.singleServer() ||
+        placement.totalWorkers() <= 1) {
+        shards.emplace_back(topo, job, placement);
+        return shards;
+    }
+    for (ServerId ps : placement.psServers()) {
+        Placement shard = placement;
+        shard.psServer = ps;
+        shard.extraPsServers.clear();
+        shards.emplace_back(topo, job, shard);
+    }
+    return shards;
+}
+
+void
+JobHierarchy::accumulateLinkFlows(std::vector<int> &accum) const
+{
+    for (const auto &node : nodes_) {
+        for (LinkId link : node.uplinks) {
+            NETPACK_CHECK(link.valid() &&
+                          link.index() < accum.size());
+            accum[link.index()] += node.flows;
+        }
+    }
+}
+
+} // namespace netpack

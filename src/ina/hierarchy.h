@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Per-job aggregation hierarchy (Section 3.2 runtime properties and
+ * Algorithm 1's UpdateFlows): a placed multi-server job forms a tree with
+ * the PS as root, the PS rack's ToR below it, remote rack ToRs and worker
+ * servers as the lower levels. Each tree edge records the physical links
+ * it crosses so the water-filling algorithm can charge bandwidth, and
+ * each switch node knows whether statistical INA is enabled for this job
+ * on that ToR (z_r^(j)).
+ */
+
+#ifndef NETPACK_INA_HIERARCHY_H
+#define NETPACK_INA_HIERARCHY_H
+
+#include <cstddef>
+#include <vector>
+
+#include "common/units.h"
+#include "topology/cluster.h"
+#include "topology/ids.h"
+#include "workload/job.h"
+
+namespace netpack {
+
+/** One node of a job's aggregation tree. */
+struct HierarchyNode
+{
+    enum class Kind
+    {
+        /** A worker server (intra-server workers merge locally). */
+        Worker,
+        /** A ToR switch on the aggregation path. */
+        Switch,
+        /** The parameter server (tree root). */
+        Ps,
+    };
+
+    Kind kind = Kind::Worker;
+    /** Hosting server for Worker/Ps nodes. */
+    ServerId server;
+    /** Rack for Switch nodes. */
+    RackId rack;
+    /** Children node indices (empty for leaves). */
+    std::vector<std::size_t> children;
+    /** Physical links this node's upward edge crosses (empty for root). */
+    std::vector<LinkId> uplinks;
+    /** Parent node index (root points at itself). */
+    std::size_t parent = 0;
+    /**
+     * Whether this switch aggregates for the job (z_r^(j)); meaningful
+     * only for Switch nodes.
+     */
+    bool inaEnabled = false;
+    /** Upward flow count, recomputed by updateFlows. */
+    int flows = 0;
+};
+
+/**
+ * The aggregation tree of one placed job. Single-server jobs produce an
+ * empty tree (local() is true): they generate no network traffic (MIP
+ * Eq. 6/7) and are skipped by water-filling.
+ */
+class JobHierarchy
+{
+  public:
+    /** Build the tree for @p placement of job @p job on @p topo. */
+    JobHierarchy(const ClusterTopology &topo, JobId job,
+                 const Placement &placement);
+
+    /** Job this tree belongs to. */
+    JobId job() const { return job_; }
+
+    /** True when the job generates no network traffic. */
+    bool local() const { return nodes_.empty(); }
+
+    /** All nodes; index 0 is the PS root when non-local. */
+    const std::vector<HierarchyNode> &nodes() const { return nodes_; }
+
+    /** Number of worker-server leaves. */
+    int workerServerCount() const { return workerServers_; }
+
+    /**
+     * Recompute per-node upward flow counts (Algorithm 1 lines 10-15):
+     * worker → 1; switch → 1 if it still aggregates (INA enabled and
+     * residual PAT > 0 per @p pat_residual, indexed by rack), otherwise
+     * the sum of its children's flows; PS → 0.
+     */
+    void updateFlows(const std::vector<Gbps> &pat_residual);
+
+    /** Racks whose ToR has INA enabled for this job. */
+    const std::vector<RackId> &inaRacks() const { return inaRacks_; }
+
+    /** Incoming flows at the switch node for @p rack (0 if absent). */
+    int incomingFlowsAtRack(RackId rack) const;
+
+    /** Sum of incoming flows over all INA-enabled switches (AE metric). */
+    int totalIncomingInaFlows() const;
+
+    /**
+     * Per-link flow counts of this job at the current updateFlows state:
+     * for every tree edge, the child's flow count is charged to each
+     * physical link the edge crosses. @p accum must have topo.numLinks()
+     * entries; counts are added into it.
+     */
+    void accumulateLinkFlows(std::vector<int> &accum) const;
+
+  private:
+    int recomputeFlows(std::size_t node,
+                       const std::vector<Gbps> &pat_residual);
+
+    JobId job_;
+    std::vector<HierarchyNode> nodes_;
+    std::vector<RackId> inaRacks_;
+    int workerServers_ = 0;
+};
+
+/**
+ * Decompose a (possibly multi-PS) placement into its one-PS shard
+ * hierarchies: one JobHierarchy per PS, each carrying 1/k of the
+ * gradient as its own aggregation tree (Section 4.1's composition).
+ * Single-PS placements yield exactly one hierarchy; local placements
+ * yield one local hierarchy.
+ */
+std::vector<JobHierarchy> buildShardHierarchies(const ClusterTopology &topo,
+                                                JobId job,
+                                                const Placement &placement);
+
+} // namespace netpack
+
+#endif // NETPACK_INA_HIERARCHY_H

@@ -1,0 +1,296 @@
+#include "placement/baselines.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+#include "placement/netpack_placer.h"
+
+namespace netpack {
+
+namespace {
+
+/** All server ids 0..n-1. */
+std::vector<ServerId>
+allServers(const ClusterTopology &topo)
+{
+    std::vector<ServerId> servers;
+    servers.reserve(static_cast<std::size_t>(topo.numServers()));
+    for (int s = 0; s < topo.numServers(); ++s)
+        servers.emplace_back(s);
+    return servers;
+}
+
+} // namespace
+
+BatchResult
+BaselinePlacer::placeBatch(const std::vector<JobSpec> &batch,
+                           const ClusterTopology &topo, GpuLedger &gpus,
+                           const std::vector<PlacedJob> &running)
+{
+    BatchResult result;
+
+    SteadyState steady;
+    const SteadyState *steady_ptr = nullptr;
+    if (needsSteadyState()) {
+        WaterFillingEstimator wf(topo);
+        steady = wf.estimate(running);
+        steady_ptr = &steady;
+    }
+
+    for (const JobSpec &spec : batch) {
+        if (gpus.totalFreeGpus() < spec.gpuDemand) {
+            result.deferred.push_back(spec.id);
+            continue;
+        }
+        Placement placement;
+        if (placeOne(spec, topo, gpus, steady_ptr, placement))
+            result.placed.push_back({spec.id, placement});
+        else
+            result.deferred.push_back(spec.id);
+    }
+    return result;
+}
+
+bool
+BaselinePlacer::placeOne(const JobSpec &spec, const ClusterTopology &topo,
+                         GpuLedger &gpus, const SteadyState *steady,
+                         Placement &out)
+{
+    const std::vector<ServerId> order =
+        serverOrder(spec, topo, gpus, steady);
+    const std::map<ServerId, int> taken =
+        placement_util::greedyTake(order, gpus, spec.gpuDemand);
+    if (taken.empty())
+        return false;
+    out = placement_util::finalizeBaseline(topo, gpus, spec.id, taken);
+    return true;
+}
+
+std::vector<ServerId>
+GpuBalancePlacer::serverOrder(const JobSpec &spec,
+                              const ClusterTopology &topo,
+                              const GpuLedger &gpus,
+                              const SteadyState *steady)
+{
+    (void)spec;
+    (void)steady;
+    std::vector<ServerId> servers = allServers(topo);
+    std::stable_sort(servers.begin(), servers.end(),
+                     [&](ServerId a, ServerId b) {
+                         return gpus.freeGpus(a) > gpus.freeGpus(b);
+                     });
+    return servers;
+}
+
+std::vector<ServerId>
+FlowBalancePlacer::serverOrder(const JobSpec &spec,
+                               const ClusterTopology &topo,
+                               const GpuLedger &gpus,
+                               const SteadyState *steady)
+{
+    (void)spec;
+    NETPACK_CHECK(steady != nullptr);
+    std::vector<ServerId> servers = allServers(topo);
+    std::stable_sort(servers.begin(), servers.end(),
+                     [&](ServerId a, ServerId b) {
+                         const int fa = steady->serverFlows(topo, a);
+                         const int fb = steady->serverFlows(topo, b);
+                         if (fa != fb)
+                             return fa < fb;
+                         return gpus.freeGpus(a) > gpus.freeGpus(b);
+                     });
+    return servers;
+}
+
+std::vector<ServerId>
+LeastFragmentationPlacer::serverOrder(const JobSpec &spec,
+                                      const ClusterTopology &topo,
+                                      const GpuLedger &gpus,
+                                      const SteadyState *steady)
+{
+    (void)spec;
+    (void)steady;
+    // Best-fit: drain partially-used servers before opening fresh ones.
+    std::vector<ServerId> servers = allServers(topo);
+    const int per_server = topo.gpusPerServer();
+    std::stable_sort(servers.begin(), servers.end(),
+                     [&](ServerId a, ServerId b) {
+                         const int fa = gpus.freeGpus(a);
+                         const int fb = gpus.freeGpus(b);
+                         const bool partial_a = fa > 0 && fa < per_server;
+                         const bool partial_b = fb > 0 && fb < per_server;
+                         if (partial_a != partial_b)
+                             return partial_a;
+                         return fa < fb;
+                     });
+    return servers;
+}
+
+std::vector<ServerId>
+OptimusPlacer::serverOrder(const JobSpec &spec, const ClusterTopology &topo,
+                           const GpuLedger &gpus, const SteadyState *steady)
+{
+    (void)spec;
+    (void)steady;
+    std::vector<ServerId> servers = allServers(topo);
+    std::stable_sort(servers.begin(), servers.end(),
+                     [&](ServerId a, ServerId b) {
+                         return gpus.freeGpus(a) > gpus.freeGpus(b);
+                     });
+    return servers;
+}
+
+bool
+OptimusPlacer::placeOne(const JobSpec &spec, const ClusterTopology &topo,
+                        GpuLedger &gpus, const SteadyState *steady,
+                        Placement &out)
+{
+    // Minimal top-k prefix (by free GPUs) covering the demand, then an
+    // even round-robin spread of workers over it.
+    const std::vector<ServerId> order =
+        serverOrder(spec, topo, gpus, steady);
+    std::vector<ServerId> top;
+    int covered = 0;
+    for (ServerId server : order) {
+        if (covered >= spec.gpuDemand)
+            break;
+        const int free = gpus.freeGpus(server);
+        if (free <= 0)
+            continue;
+        top.push_back(server);
+        covered += free;
+    }
+    if (covered < spec.gpuDemand)
+        return false;
+
+    std::map<ServerId, int> taken;
+    int remaining = spec.gpuDemand;
+    std::size_t cursor = 0;
+    while (remaining > 0) {
+        const ServerId server = top[cursor % top.size()];
+        ++cursor;
+        const int used = taken.count(server) ? taken[server] : 0;
+        if (used < gpus.freeGpus(server)) {
+            ++taken[server];
+            --remaining;
+        }
+        // Termination: `covered >= demand` guarantees capacity exists.
+    }
+    out = placement_util::finalizeBaseline(topo, gpus, spec.id, taken);
+    return true;
+}
+
+std::vector<ServerId>
+TetrisPlacer::serverOrder(const JobSpec &spec, const ClusterTopology &topo,
+                          const GpuLedger &gpus, const SteadyState *steady)
+{
+    NETPACK_CHECK(steady != nullptr);
+    const Gbps c = topo.config().serverLinkGbps;
+    const ModelProfile &model = ModelZoo::byName(spec.modelName);
+    // Job requirement vector, normalized: GPUs relative to a server's
+    // capacity, bandwidth demand relative to the access link.
+    const double gpu_req =
+        std::min(1.0, static_cast<double>(spec.gpuDemand) /
+                          static_cast<double>(topo.gpusPerServer()));
+    const Gbps bw_demand =
+        model.commVolumePerIter() * units::kBitsPerMByte /
+        model.computeTimePerIter / units::kBitsPerGbit;
+    const double bw_req = std::min(1.0, bw_demand / c);
+
+    std::vector<ServerId> servers = allServers(topo);
+    std::vector<double> score(servers.size());
+    for (std::size_t i = 0; i < servers.size(); ++i) {
+        const double gpu_avail =
+            static_cast<double>(gpus.freeGpus(servers[i])) /
+            static_cast<double>(topo.gpusPerServer());
+        const double bw_avail =
+            steady->serverAvailBw(topo, servers[i]) / c;
+        score[i] = gpu_avail * gpu_req + bw_avail * bw_req;
+    }
+    std::vector<std::size_t> rank(servers.size());
+    std::iota(rank.begin(), rank.end(), 0);
+    std::stable_sort(rank.begin(), rank.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return score[a] > score[b];
+                     });
+    std::vector<ServerId> ordered;
+    ordered.reserve(servers.size());
+    for (std::size_t i : rank)
+        ordered.push_back(servers[i]);
+    return ordered;
+}
+
+std::vector<ServerId>
+CombPlacer::serverOrder(const JobSpec &spec, const ClusterTopology &topo,
+                        const GpuLedger &gpus, const SteadyState *steady)
+{
+    (void)spec;
+    NETPACK_CHECK(steady != nullptr);
+    std::vector<ServerId> servers = allServers(topo);
+    std::stable_sort(
+        servers.begin(), servers.end(), [&](ServerId a, ServerId b) {
+            const int ga = gpus.freeGpus(a), gb = gpus.freeGpus(b);
+            if (ga != gb)
+                return ga > gb;
+            const Gbps pa = steady->patResidual[topo.rackOf(a).index()];
+            const Gbps pb = steady->patResidual[topo.rackOf(b).index()];
+            if (pa != pb)
+                return pa > pb;
+            return steady->serverAvailBw(topo, a) >
+                   steady->serverAvailBw(topo, b);
+        });
+    return servers;
+}
+
+RandomPlacer::RandomPlacer(std::uint64_t seed)
+    : rng_(seed)
+{
+}
+
+std::vector<ServerId>
+RandomPlacer::serverOrder(const JobSpec &spec, const ClusterTopology &topo,
+                          const GpuLedger &gpus, const SteadyState *steady)
+{
+    (void)spec;
+    (void)gpus;
+    (void)steady;
+    std::vector<ServerId> servers = allServers(topo);
+    // Fisher-Yates with the placer's own deterministic stream.
+    for (std::size_t i = servers.size(); i > 1; --i) {
+        const auto j = static_cast<std::size_t>(
+            rng_.uniformInt(0, static_cast<std::int64_t>(i) - 1));
+        std::swap(servers[i - 1], servers[j]);
+    }
+    return servers;
+}
+
+std::unique_ptr<Placer>
+makePlacerByName(const std::string &name)
+{
+    if (name == "NetPack")
+        return std::make_unique<NetPackPlacer>();
+    if (name == "GB")
+        return std::make_unique<GpuBalancePlacer>();
+    if (name == "FB")
+        return std::make_unique<FlowBalancePlacer>();
+    if (name == "LF")
+        return std::make_unique<LeastFragmentationPlacer>();
+    if (name == "Optimus")
+        return std::make_unique<OptimusPlacer>();
+    if (name == "Tetris")
+        return std::make_unique<TetrisPlacer>();
+    if (name == "Comb")
+        return std::make_unique<CombPlacer>();
+    if (name == "Random")
+        return std::make_unique<RandomPlacer>();
+    throw ConfigError("unknown placer '" + name + "'");
+}
+
+std::vector<std::string>
+baselineNames()
+{
+    return {"GB", "FB", "LF", "Optimus", "Tetris"};
+}
+
+} // namespace netpack

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Baseline placement policies from the paper's evaluation (Section 6.1):
+ * three single-resource heuristics (GPU-balance, Flow-balance,
+ * Least-fragmentation), two prior-art placers (Optimus, Tetris), the
+ * naive multi-resource combination Comb (Section 6.4), and a Random
+ * control. None of them reason about INA during placement; INA is
+ * enabled transparently for their jobs at runtime, exactly as in the
+ * paper's experiments.
+ */
+
+#ifndef NETPACK_PLACEMENT_BASELINES_H
+#define NETPACK_PLACEMENT_BASELINES_H
+
+#include <memory>
+
+#include "common/rng.h"
+#include "placement/placer.h"
+
+namespace netpack {
+
+/**
+ * Common machinery: FIFO admission (submit order, defer what does not
+ * fit), one steady-state estimate per batch for policies that need
+ * network state, greedy worker packing along a policy-specific server
+ * preference order, PS on the least-loaded chosen server, INA everywhere.
+ */
+class BaselinePlacer : public Placer
+{
+  public:
+    BatchResult placeBatch(const std::vector<JobSpec> &batch,
+                           const ClusterTopology &topo, GpuLedger &gpus,
+                           const std::vector<PlacedJob> &running) final;
+
+  protected:
+    /** Whether serverOrder consumes the steady-state estimate. */
+    virtual bool needsSteadyState() const { return false; }
+
+    /**
+     * Policy-specific preference order (most preferred first). Servers
+     * without free GPUs may be included; they are skipped when packing.
+     */
+    virtual std::vector<ServerId>
+    serverOrder(const JobSpec &spec, const ClusterTopology &topo,
+                const GpuLedger &gpus, const SteadyState *steady) = 0;
+
+    /**
+     * Hook for policies that do more than greedy packing (Optimus).
+     * Default: greedyTake along serverOrder, then finalizeBaseline.
+     * Returns false when the job cannot be placed.
+     */
+    virtual bool placeOne(const JobSpec &spec, const ClusterTopology &topo,
+                          GpuLedger &gpus, const SteadyState *steady,
+                          Placement &out);
+};
+
+/** GB: prefer servers with the most free GPUs. */
+class GpuBalancePlacer : public BaselinePlacer
+{
+  public:
+    std::string name() const override { return "GB"; }
+
+  protected:
+    std::vector<ServerId> serverOrder(const JobSpec &spec,
+                                      const ClusterTopology &topo,
+                                      const GpuLedger &gpus,
+                                      const SteadyState *steady) override;
+};
+
+/** FB: prefer servers whose access link carries the fewest flows. */
+class FlowBalancePlacer : public BaselinePlacer
+{
+  public:
+    std::string name() const override { return "FB"; }
+
+  protected:
+    bool needsSteadyState() const override { return true; }
+    std::vector<ServerId> serverOrder(const JobSpec &spec,
+                                      const ClusterTopology &topo,
+                                      const GpuLedger &gpus,
+                                      const SteadyState *steady) override;
+};
+
+/** LF: use up partially-occupied servers first (best-fit packing). */
+class LeastFragmentationPlacer : public BaselinePlacer
+{
+  public:
+    std::string name() const override { return "LF"; }
+
+  protected:
+    std::vector<ServerId> serverOrder(const JobSpec &spec,
+                                      const ClusterTopology &topo,
+                                      const GpuLedger &gpus,
+                                      const SteadyState *steady) override;
+};
+
+/**
+ * Optimus [32]: sort servers by available GPUs and spread the workers
+ * and the PS evenly over the minimal top-k prefix that covers the demand.
+ */
+class OptimusPlacer : public BaselinePlacer
+{
+  public:
+    std::string name() const override { return "Optimus"; }
+
+  protected:
+    std::vector<ServerId> serverOrder(const JobSpec &spec,
+                                      const ClusterTopology &topo,
+                                      const GpuLedger &gpus,
+                                      const SteadyState *steady) override;
+    bool placeOne(const JobSpec &spec, const ClusterTopology &topo,
+                  GpuLedger &gpus, const SteadyState *steady,
+                  Placement &out) override;
+};
+
+/**
+ * Tetris [14]: rank servers by the alignment score — the dot product of
+ * the server's available-resource vector (GPUs, bandwidth) with the
+ * job's requirement vector.
+ */
+class TetrisPlacer : public BaselinePlacer
+{
+  public:
+    std::string name() const override { return "Tetris"; }
+
+  protected:
+    bool needsSteadyState() const override { return true; }
+    std::vector<ServerId> serverOrder(const JobSpec &spec,
+                                      const ClusterTopology &topo,
+                                      const GpuLedger &gpus,
+                                      const SteadyState *steady) override;
+};
+
+/**
+ * Comb (Section 6.4): the naive combination that sorts servers by
+ * available GPUs, then ToR PAT residual, then link bandwidth — each
+ * resource considered separately rather than jointly.
+ */
+class CombPlacer : public BaselinePlacer
+{
+  public:
+    std::string name() const override { return "Comb"; }
+
+  protected:
+    bool needsSteadyState() const override { return true; }
+    std::vector<ServerId> serverOrder(const JobSpec &spec,
+                                      const ClusterTopology &topo,
+                                      const GpuLedger &gpus,
+                                      const SteadyState *steady) override;
+};
+
+/** Uniform-random feasible placement (control for tests/ablation). */
+class RandomPlacer : public BaselinePlacer
+{
+  public:
+    explicit RandomPlacer(std::uint64_t seed = 7);
+
+    std::string name() const override { return "Random"; }
+
+  protected:
+    std::vector<ServerId> serverOrder(const JobSpec &spec,
+                                      const ClusterTopology &topo,
+                                      const GpuLedger &gpus,
+                                      const SteadyState *steady) override;
+
+  private:
+    Rng rng_;
+};
+
+/** Factory by figure label; ConfigError for unknown names. */
+std::unique_ptr<Placer> makePlacerByName(const std::string &name);
+
+/** The placer lineup of Figures 7-9: GB, FB, LF, Optimus, Tetris. */
+std::vector<std::string> baselineNames();
+
+} // namespace netpack
+
+#endif // NETPACK_PLACEMENT_BASELINES_H

@@ -1,0 +1,173 @@
+#include "placement/exhaustive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "waterfill/steady_state.h"
+
+namespace netpack {
+
+double
+placementObjective(const ClusterTopology &topo,
+                   const std::vector<JobSpec> &jobs,
+                   const std::vector<PlacedJob> &placements)
+{
+    NETPACK_CHECK(jobs.size() == placements.size());
+    WaterFillingEstimator wf(topo);
+    const SteadyState steady = wf.estimate(placements);
+
+    double objective = 0.0;
+    for (const PlacedJob &placed : placements) {
+        const Placement &p = placed.placement;
+        if (p.singleServer() || p.totalWorkers() <= 1)
+            continue; // no network communication
+        const auto spec = std::find_if(jobs.begin(), jobs.end(),
+                                       [&](const JobSpec &s) {
+                                           return s.id == placed.id;
+                                       });
+        NETPACK_CHECK_MSG(spec != jobs.end(),
+                          "placement for unknown job " << placed.id.value);
+        const ModelProfile &model = ModelZoo::byName(spec->modelName);
+        const Gbps rate = steady.jobThroughput(placed.id);
+        if (rate <= 0.0)
+            return std::numeric_limits<double>::infinity();
+        objective += units::transferTime(model.commVolumePerIter(), rate);
+    }
+    return objective;
+}
+
+ExhaustiveSolver::ExhaustiveSolver(long long max_plans)
+    : maxPlans_(max_plans)
+{
+    NETPACK_REQUIRE(max_plans > 0, "max_plans must be positive");
+}
+
+namespace {
+
+/** Recursion state shared across the joint search. */
+struct SearchState
+{
+    const std::vector<JobSpec> *jobs = nullptr;
+    const ClusterTopology *topo = nullptr;
+    std::vector<int> freeGpus;     // mutable residual free GPUs
+    std::vector<PlacedJob> chosen; // placements decided so far
+    std::vector<PlacedJob> best;
+    double bestObjective = std::numeric_limits<double>::infinity();
+    long long plans = 0;
+    long long maxPlans = 0;
+};
+
+/** Enumerate worker distributions of `remaining` GPUs over servers. */
+void
+enumerateDistributions(SearchState &state, std::size_t job_index,
+                       int server, int remaining,
+                       std::map<ServerId, int> &current,
+                       const std::function<void()> &on_complete)
+{
+    if (remaining == 0) {
+        on_complete();
+        return;
+    }
+    if (server >= state.topo->numServers())
+        return;
+    const int avail = state.freeGpus[static_cast<std::size_t>(server)];
+    const int take_max = std::min(avail, remaining);
+    for (int take = 0; take <= take_max; ++take) {
+        if (take > 0) {
+            current[ServerId(server)] = take;
+            state.freeGpus[static_cast<std::size_t>(server)] -= take;
+        }
+        enumerateDistributions(state, job_index, server + 1,
+                               remaining - take, current, on_complete);
+        if (take > 0) {
+            state.freeGpus[static_cast<std::size_t>(server)] += take;
+            current.erase(ServerId(server));
+        }
+    }
+}
+
+void searchJob(SearchState &state, std::size_t job_index);
+
+/** Complete one job's placement (PS choice) and recurse to the next. */
+void
+completeJob(SearchState &state, std::size_t job_index,
+            const std::map<ServerId, int> &workers)
+{
+    const JobSpec &spec = (*state.jobs)[job_index];
+
+    auto recurse_with = [&](ServerId ps) {
+        Placement placement;
+        placement.workers = workers;
+        placement.psServer = ps;
+        if (!placement.singleServer())
+            placement.inaRacks = placement.allRacks(*state.topo);
+        state.chosen.push_back({spec.id, placement});
+        searchJob(state, job_index + 1);
+        state.chosen.pop_back();
+    };
+
+    if (workers.size() == 1) {
+        // Colocated PS: the job is local and traffic-free.
+        recurse_with(workers.begin()->first);
+        return;
+    }
+    // Multi-server: try every server as the PS location.
+    for (int s = 0; s < state.topo->numServers(); ++s)
+        recurse_with(ServerId(s));
+}
+
+void
+searchJob(SearchState &state, std::size_t job_index)
+{
+    if (job_index == state.jobs->size()) {
+        ++state.plans;
+        NETPACK_REQUIRE(state.plans <= state.maxPlans,
+                        "exhaustive search exceeded "
+                            << state.maxPlans
+                            << " joint plans; shrink the instance");
+        const double objective =
+            placementObjective(*state.topo, *state.jobs, state.chosen);
+        if (objective < state.bestObjective) {
+            state.bestObjective = objective;
+            state.best = state.chosen;
+        }
+        return;
+    }
+    const JobSpec &spec = (*state.jobs)[job_index];
+    std::map<ServerId, int> current;
+    enumerateDistributions(state, job_index, 0, spec.gpuDemand, current,
+                           [&] { completeJob(state, job_index, current); });
+}
+
+} // namespace
+
+ExhaustiveResult
+ExhaustiveSolver::solve(const std::vector<JobSpec> &jobs,
+                        const ClusterTopology &topo,
+                        const GpuLedger &gpus) const
+{
+    NETPACK_REQUIRE(!jobs.empty(), "no jobs to place");
+
+    SearchState state;
+    state.jobs = &jobs;
+    state.topo = &topo;
+    state.freeGpus.resize(static_cast<std::size_t>(topo.numServers()));
+    for (int s = 0; s < topo.numServers(); ++s)
+        state.freeGpus[static_cast<std::size_t>(s)] =
+            gpus.freeGpus(ServerId(s));
+    state.maxPlans = maxPlans_;
+
+    searchJob(state, 0);
+
+    NETPACK_REQUIRE(!state.best.empty(),
+                    "no feasible joint placement for the given batch");
+    ExhaustiveResult result;
+    result.placements = std::move(state.best);
+    result.objective = state.bestObjective;
+    result.plansEvaluated = state.plans;
+    return result;
+}
+
+} // namespace netpack

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Exhaustive joint placement for small instances. The paper formulates
+ * offline placement as a MIP (Table 3) and reports that Gurobi needs
+ * hours at scale; we have no Gurobi, so this solver enumerates every
+ * feasible joint placement of a small batch and minimizes the MIP
+ * objective Σ_j d^(j)/v^(j) with v^(j) evaluated by the water-filling
+ * steady state. It is the ground truth for DP-quality tests and the
+ * `bench_mip_vs_dp` ablation.
+ */
+
+#ifndef NETPACK_PLACEMENT_EXHAUSTIVE_H
+#define NETPACK_PLACEMENT_EXHAUSTIVE_H
+
+#include <vector>
+
+#include "placement/placer.h"
+
+namespace netpack {
+
+/** Result of an exhaustive search. */
+struct ExhaustiveResult
+{
+    /** The optimal joint placement (one entry per input job). */
+    std::vector<PlacedJob> placements;
+    /** Optimal objective: total communication time Σ d^(j)/v^(j). */
+    double objective = 0.0;
+    /** Joint plans evaluated (search-space size witness). */
+    long long plansEvaluated = 0;
+};
+
+/**
+ * Evaluate the MIP objective of a given joint placement: the sum over
+ * network jobs of (gradient size / converged throughput), in seconds.
+ * Local jobs contribute zero.
+ */
+double placementObjective(const ClusterTopology &topo,
+                          const std::vector<JobSpec> &jobs,
+                          const std::vector<PlacedJob> &placements);
+
+/** Exact solver; refuses instances beyond its plan budget. */
+class ExhaustiveSolver
+{
+  public:
+    /** Abort threshold on enumerated joint plans. */
+    explicit ExhaustiveSolver(long long max_plans = 2'000'000);
+
+    /**
+     * Find the objective-minimal joint placement of @p jobs on a cluster
+     * whose current occupancy is @p gpus. ConfigError when the search
+     * space exceeds the plan budget or a job cannot fit.
+     */
+    ExhaustiveResult solve(const std::vector<JobSpec> &jobs,
+                           const ClusterTopology &topo,
+                           const GpuLedger &gpus) const;
+
+  private:
+    long long maxPlans_;
+};
+
+} // namespace netpack
+
+#endif // NETPACK_PLACEMENT_EXHAUSTIVE_H

@@ -1,0 +1,139 @@
+#include "placement/ina_policy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "ina/hierarchy.h"
+
+namespace netpack {
+
+namespace {
+
+constexpr double kRateEpsilon = 1e-9;
+
+/** Estimated total communication time of @p targets (guard objective). */
+double
+commObjective(const ClusterTopology &topo,
+              const std::vector<PlacedJob> &targets,
+              const std::vector<PlacedJob> &background,
+              const VolumeLookup &volume_of)
+{
+    WaterFillingEstimator wf(topo);
+    std::vector<PlacedJob> combined = background;
+    combined.insert(combined.end(), targets.begin(), targets.end());
+    const SteadyState steady = wf.estimate(combined);
+
+    double total = 0.0;
+    for (const PlacedJob &job : targets) {
+        const Gbps rate = steady.jobThroughput(job.id);
+        if (!std::isfinite(rate))
+            continue; // local job, no network time
+        if (rate <= 0.0)
+            return std::numeric_limits<double>::infinity();
+        MBytes volume = volume_of ? volume_of(job.id) : 0.0;
+        if (volume <= 0.0)
+            volume = 1.0; // uniform weight fallback
+        total += units::transferTime(volume, rate);
+    }
+    return total;
+}
+
+} // namespace
+
+InaAssignmentResult
+assignSelectiveIna(const ClusterTopology &topo,
+                   std::vector<PlacedJob> &targets,
+                   const std::vector<PlacedJob> &background,
+                   const VolumeLookup &volume_of)
+{
+    InaAssignmentResult result;
+
+    // Start every target from INA-on everywhere it has presence.
+    std::vector<PlacedJob> original = targets;
+    std::vector<PlacedJob> all_enabled = targets;
+    for (PlacedJob &job : all_enabled) {
+        if (job.placement.singleServer() ||
+            job.placement.totalWorkers() <= 1) {
+            job.placement.inaRacks.clear();
+        } else {
+            job.placement.inaRacks = job.placement.allRacks(topo);
+        }
+    }
+    targets = all_enabled;
+
+    WaterFillingEstimator wf(topo);
+
+    // Remaining PAT once the background jobs take their share.
+    const SteadyState base = wf.estimate(background);
+    std::vector<Gbps> budget = base.patResidual;
+
+    // Rates and fan-ins with everything enabled drive the AE order.
+    std::vector<PlacedJob> combined = background;
+    combined.insert(combined.end(), targets.begin(), targets.end());
+    const SteadyState full = wf.estimate(combined);
+
+    struct Entry
+    {
+        std::size_t index = 0;
+        double ae = 0.0;
+        Gbps rate = 0.0;
+    };
+    std::vector<Entry> entries;
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+        const PlacedJob &job = targets[i];
+        if (job.placement.inaRacks.empty())
+            continue;
+        JobHierarchy hierarchy(topo, job.id, job.placement);
+        if (hierarchy.local())
+            continue;
+        hierarchy.updateFlows(full.patResidual);
+        Entry entry;
+        entry.index = i;
+        entry.rate = full.jobThroughput(job.id);
+        if (!std::isfinite(entry.rate))
+            continue;
+        entry.ae = entry.rate *
+                   static_cast<double>(hierarchy.totalIncomingInaFlows());
+        entries.push_back(entry);
+    }
+    std::stable_sort(entries.begin(), entries.end(),
+                     [](const Entry &a, const Entry &b) {
+                         return a.ae > b.ae;
+                     });
+
+    // Enable in AE order until the pool budget is spent; the last job on
+    // a rack may overdraw (statistical pools degrade gracefully), but
+    // once the budget is gone, lower-AE jobs are disabled there.
+    for (const Entry &entry : entries) {
+        Placement &placement = targets[entry.index].placement;
+        const Gbps need = std::max(entry.rate, kRateEpsilon);
+        std::set<RackId> kept;
+        for (RackId rack : placement.inaRacks) {
+            if (budget[rack.index()] > kRateEpsilon) {
+                budget[rack.index()] -= need;
+                kept.insert(rack);
+            }
+        }
+        placement.inaRacks = std::move(kept);
+    }
+
+    // Estimator guard: never ship an assignment predicted to regress
+    // the targets' total communication time vs plain INA-for-all.
+    if (commObjective(topo, targets, background, volume_of) >
+        commObjective(topo, all_enabled, background, volume_of)) {
+        targets = all_enabled;
+        result.revertedToAllEnabled = true;
+    }
+
+    NETPACK_CHECK(targets.size() == original.size());
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+        if (targets[i].placement.inaRacks !=
+            original[i].placement.inaRacks)
+            ++result.jobsChanged;
+    }
+    return result;
+}
+
+} // namespace netpack

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Selective INA assignment (Algorithm 2 step ④) as a reusable policy:
+ * sort the target jobs by aggregation efficiency AE = throughput x
+ * fan-in, enable INA in that order until each rack's PAT budget is
+ * spent, then keep the result only if the water-filling estimator
+ * predicts it does not regress the targets' total communication time
+ * versus INA-for-all. Used by NetPackPlacer at placement time and by
+ * the InaRebalancer for already-running jobs (INA toggling needs no
+ * GPU migration, so it can be re-optimized at runtime — the paper's
+ * "joint placement and scheduling" future-work direction).
+ */
+
+#ifndef NETPACK_PLACEMENT_INA_POLICY_H
+#define NETPACK_PLACEMENT_INA_POLICY_H
+
+#include <functional>
+#include <vector>
+
+#include "topology/cluster.h"
+#include "waterfill/steady_state.h"
+
+namespace netpack {
+
+/** Looks up a job's per-iteration gradient volume (MB). */
+using VolumeLookup = std::function<MBytes(JobId)>;
+
+/** Outcome of one selective-INA pass. */
+struct InaAssignmentResult
+{
+    /** Jobs whose INA rack set changed. */
+    int jobsChanged = 0;
+    /** Whether the estimator guard reverted to INA-for-all. */
+    bool revertedToAllEnabled = false;
+};
+
+/**
+ * Recompute the INA rack sets of @p targets in place.
+ *
+ * @param topo the cluster
+ * @param targets jobs to (re)assign; their inaRacks are overwritten,
+ *        starting from INA-on-all-their-racks
+ * @param background jobs whose assignment is fixed (they consume PAT
+ *        budget first)
+ * @param volume_of gradient volume per target job, for the guard's
+ *        communication-time objective (may return 0 for unknown ids,
+ *        which weighs the job uniformly)
+ */
+InaAssignmentResult assignSelectiveIna(const ClusterTopology &topo,
+                                       std::vector<PlacedJob> &targets,
+                                       const std::vector<PlacedJob> &background,
+                                       const VolumeLookup &volume_of);
+
+} // namespace netpack
+
+#endif // NETPACK_PLACEMENT_INA_POLICY_H

@@ -1,0 +1,69 @@
+#include "placement/knapsack.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace netpack {
+
+std::vector<std::size_t>
+solveKnapsack(const std::vector<KnapsackItem> &items, int capacity)
+{
+    NETPACK_CHECK(capacity >= 0);
+    const std::size_t n = items.size();
+    std::vector<std::size_t> selected;
+    if (n == 0 || capacity == 0)
+        return selected;
+
+    // Fast path: everything fits.
+    long long total_weight = 0;
+    bool all_valuable = true;
+    for (const auto &item : items) {
+        NETPACK_CHECK(item.weight >= 0);
+        total_weight += item.weight;
+        if (item.value < 0.0)
+            all_valuable = false;
+    }
+    if (all_valuable && total_weight <= capacity) {
+        selected.resize(n);
+        for (std::size_t i = 0; i < n; ++i)
+            selected[i] = i;
+        return selected;
+    }
+
+    const auto width = static_cast<std::size_t>(capacity) + 1;
+    std::vector<double> best(width, 0.0);
+    // took[i][w] records whether item i is taken at residual capacity w.
+    std::vector<std::vector<bool>> took(n, std::vector<bool>(width, false));
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const int w = items[i].weight;
+        const double v = items[i].value;
+        if (w > capacity || v <= 0.0)
+            continue;
+        for (std::size_t c = width - 1;
+             c >= static_cast<std::size_t>(w); --c) {
+            const double candidate = best[c - static_cast<std::size_t>(w)] + v;
+            if (candidate > best[c]) {
+                best[c] = candidate;
+                took[i][c] = true;
+            }
+            if (c == static_cast<std::size_t>(w))
+                break; // avoid unsigned wraparound
+        }
+    }
+
+    // Reconstruct from the best final capacity.
+    std::size_t c = static_cast<std::size_t>(
+        std::max_element(best.begin(), best.end()) - best.begin());
+    for (std::size_t i = n; i-- > 0;) {
+        if (took[i][c]) {
+            selected.push_back(i);
+            c -= static_cast<std::size_t>(items[i].weight);
+        }
+    }
+    std::reverse(selected.begin(), selected.end());
+    return selected;
+}
+
+} // namespace netpack

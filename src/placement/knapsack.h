@@ -1,0 +1,40 @@
+/**
+ * @file
+ * 0/1 knapsack used by Algorithm 2 step ①: choose the subset of pending
+ * jobs with maximum total value whose combined GPU demand fits the free
+ * GPUs of the cluster.
+ */
+
+#ifndef NETPACK_PLACEMENT_KNAPSACK_H
+#define NETPACK_PLACEMENT_KNAPSACK_H
+
+#include <vector>
+
+namespace netpack {
+
+/** One knapsack item. */
+struct KnapsackItem
+{
+    /** Integer weight (GPU demand). */
+    int weight = 0;
+    /** Value (job importance, aged against starvation). */
+    double value = 0.0;
+};
+
+/**
+ * Solve 0/1 knapsack exactly by dynamic programming.
+ *
+ * @param items the candidate items
+ * @param capacity knapsack capacity (total free GPUs)
+ * @return indices of the selected items, in ascending order
+ *
+ * Items with weight > capacity are never selected; items with weight 0
+ * and positive value are always selected. Complexity O(n * capacity)
+ * time, O(n * capacity) bits of memory for reconstruction.
+ */
+std::vector<std::size_t> solveKnapsack(const std::vector<KnapsackItem> &items,
+                                       int capacity);
+
+} // namespace netpack
+
+#endif // NETPACK_PLACEMENT_KNAPSACK_H

@@ -1,0 +1,272 @@
+#include "placement/mip_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+#include "ina/hierarchy.h"
+#include "waterfill/steady_state.h"
+
+namespace netpack {
+
+namespace {
+
+constexpr double kTolerance = 1e-6;
+
+const JobSpec &
+specOf(const std::vector<JobSpec> &jobs, JobId id)
+{
+    const auto it = std::find_if(jobs.begin(), jobs.end(),
+                                 [&](const JobSpec &s) {
+                                     return s.id == id;
+                                 });
+    NETPACK_CHECK_MSG(it != jobs.end(),
+                      "placement for unknown job " << id.value);
+    return *it;
+}
+
+} // namespace
+
+std::vector<MipJobVariables>
+materializeMipVariables(const ClusterTopology &topo,
+                        const std::vector<JobSpec> &jobs,
+                        const std::vector<PlacedJob> &placements)
+{
+    (void)jobs; // geometry + steady state suffice; kept for symmetry
+    // The steady state can only be computed over structurally valid
+    // placements; invalid ones (e.g. a multi-server job without a PS)
+    // still get geometry variables so the constraint checks can flag
+    // them, but contribute no traffic.
+    const auto structurally_valid = [](const Placement &p) {
+        if (p.workers.empty())
+            return false;
+        if (p.singleServer() || p.totalWorkers() <= 1)
+            return true;
+        return p.psServer.valid();
+    };
+    std::vector<PlacedJob> valid;
+    for (const PlacedJob &placed : placements) {
+        if (structurally_valid(placed.placement))
+            valid.push_back(placed);
+    }
+    WaterFillingEstimator wf(topo);
+    const SteadyState steady = wf.estimate(valid);
+
+    std::vector<MipJobVariables> variables;
+    variables.reserve(placements.size());
+    for (const PlacedJob &placed : placements) {
+        MipJobVariables var;
+        var.job = placed.id;
+        var.w.assign(static_cast<std::size_t>(topo.numServers()), 0);
+        var.x.assign(static_cast<std::size_t>(topo.numServers()), 0);
+        var.y.assign(static_cast<std::size_t>(topo.numServers()), 0);
+        var.z.assign(static_cast<std::size_t>(topo.numRacks()), 0);
+
+        for (const auto &[server, count] : placed.placement.workers) {
+            var.w[server.index()] = count;
+            var.x[server.index()] = count > 0 ? 1 : 0;
+        }
+        const bool local = placed.placement.singleServer() ||
+                           placed.placement.totalWorkers() <= 1;
+        if (!local) {
+            for (ServerId ps : placed.placement.psServers())
+                var.y[ps.index()] = 1;
+        }
+        for (RackId rack : placed.placement.inaRacks)
+            var.z[rack.index()] = 1;
+
+        // Throughput split: local jobs have no PS and hence v = 0
+        // (Eq. 7); network jobs take their converged max-min rate, and
+        // the binary aggregation state of the final water-filling round
+        // decides a vs b. (Under mid-fill PAT exhaustion the true state
+        // is a mixture; see checkMipFeasibility's note.)
+        if (!local && structurally_valid(placed.placement)) {
+            const Gbps rate = steady.jobThroughput(placed.id);
+            var.v = std::isfinite(rate) ? rate : 0.0;
+            JobHierarchy hierarchy(topo, placed.id, placed.placement);
+            hierarchy.updateFlows(steady.patResidual);
+            bool fully_aggregated = !hierarchy.nodes().empty();
+            for (const auto &node : hierarchy.nodes()) {
+                if (node.kind == HierarchyNode::Kind::Switch &&
+                    node.flows > 1)
+                    fully_aggregated = false;
+            }
+            if (fully_aggregated && !placed.placement.inaRacks.empty()) {
+                var.a = var.v;
+                var.b = 0.0;
+            } else {
+                var.a = 0.0;
+                var.b = var.v;
+            }
+        }
+        variables.push_back(std::move(var));
+    }
+    return variables;
+}
+
+MipCheckResult
+checkMipFeasibility(const ClusterTopology &topo,
+                    const std::vector<JobSpec> &jobs,
+                    const std::vector<PlacedJob> &placements)
+{
+    MipCheckResult result;
+    const auto fail = [&result](const std::string &message) {
+        result.feasible = false;
+        result.violations.push_back(message);
+    };
+
+    const std::vector<MipJobVariables> variables =
+        materializeMipVariables(topo, jobs, placements);
+
+    const auto servers = static_cast<std::size_t>(topo.numServers());
+    const auto racks = static_cast<std::size_t>(topo.numRacks());
+
+    for (const MipJobVariables &var : variables) {
+        const JobSpec &spec = specOf(jobs, var.job);
+
+        // Eq. 1: GPU requirement met exactly.
+        int total_w = 0;
+        for (std::size_t i = 0; i < servers; ++i)
+            total_w += var.w[i];
+        if (total_w != spec.gpuDemand) {
+            std::ostringstream oss;
+            oss << "Eq.1 job " << var.job.value << ": placed " << total_w
+                << " GPUs, demand " << spec.gpuDemand;
+            fail(oss.str());
+        }
+
+        int sum_x = 0, sum_y = 0, sum_z = 0;
+        for (std::size_t i = 0; i < servers; ++i) {
+            // Eq. 9/10: domains.
+            if (var.w[i] < 0)
+                fail("Eq.10 negative w");
+            if (var.x[i] != 0 && var.x[i] != 1)
+                fail("Eq.9 non-binary x");
+            // Eq. 5: worker placement and GPU usage consistent.
+            if (var.w[i] * (1 - var.x[i]) != 0 ||
+                (var.x[i] == 1 && var.w[i] == 0)) {
+                std::ostringstream oss;
+                oss << "Eq.5 job " << var.job.value << " server " << i
+                    << ": w=" << var.w[i] << " x=" << var.x[i];
+                fail(oss.str());
+            }
+            sum_x += var.x[i];
+            sum_y += var.y[i];
+        }
+        for (std::size_t r = 0; r < racks; ++r)
+            sum_z += var.z[r];
+
+        // Eq. 6: multi-server jobs need exactly one PS.
+        // (sum_y may exceed 1 for the sharded-PS extension: the paper
+        // composes multi-PS AllReduce from one-PS trees, Section 4.1.)
+        if ((sum_x - 1) * (1 - std::min(sum_y, 1)) != 0) {
+            std::ostringstream oss;
+            oss << "Eq.6 job " << var.job.value << ": " << sum_x
+                << " worker servers but " << sum_y << " PS";
+            fail(oss.str());
+        }
+
+        // Eq. 7: only jobs with a PS generate traffic.
+        if (var.v * (1 - sum_y) > kTolerance) {
+            std::ostringstream oss;
+            oss << "Eq.7 job " << var.job.value << ": v=" << var.v
+                << " without a PS";
+            fail(oss.str());
+        }
+
+        // Eq. 8: only INA-enabled jobs generate aggregated traffic.
+        if (var.a > kTolerance && sum_z == 0) {
+            std::ostringstream oss;
+            oss << "Eq.8 job " << var.job.value << ": a=" << var.a
+                << " with INA disabled everywhere";
+            fail(oss.str());
+        }
+        // z support: INA only on racks the job actually touches.
+        const PlacedJob &placed = *std::find_if(
+            placements.begin(), placements.end(),
+            [&](const PlacedJob &p) { return p.id == var.job; });
+        const auto touched = placed.placement.allRacks(topo);
+        for (std::size_t r = 0; r < racks; ++r) {
+            if (var.z[r] == 1 &&
+                touched.count(RackId(static_cast<int>(r))) == 0) {
+                std::ostringstream oss;
+                oss << "z job " << var.job.value << ": INA on rack " << r
+                    << " the job does not touch";
+                fail(oss.str());
+            }
+        }
+    }
+
+    // Eq. 2: per-server GPU capacity.
+    for (std::size_t i = 0; i < servers; ++i) {
+        int used = 0;
+        for (const MipJobVariables &var : variables)
+            used += var.w[i];
+        if (used > topo.gpusPerServer()) {
+            std::ostringstream oss;
+            oss << "Eq.2 server " << i << ": " << used << " GPUs > "
+                << topo.gpusPerServer();
+            fail(oss.str());
+        }
+    }
+
+    // Eq. 3: access-link bandwidth. LHS per server i:
+    // Σ_j [x_i v + y_i (a + Σ_k x_k b)].
+    for (std::size_t i = 0; i < servers; ++i) {
+        double load = 0.0;
+        for (const MipJobVariables &var : variables) {
+            int worker_servers = 0;
+            for (std::size_t k = 0; k < servers; ++k)
+                worker_servers += var.x[k];
+            load += var.x[i] * var.v +
+                    var.y[i] * (var.a + worker_servers * var.b);
+        }
+        const Gbps cap =
+            topo.serverLinkCapacity(ServerId(static_cast<int>(i)));
+        if (load > cap + kTolerance) {
+            std::ostringstream oss;
+            oss << "Eq.3 server " << i << ": load " << load << " Gbps > "
+                << cap;
+            fail(oss.str());
+        }
+    }
+
+    // Eq. 4: per-rack PAT.
+    for (std::size_t r = 0; r < racks; ++r) {
+        double aggregated = 0.0;
+        for (const MipJobVariables &var : variables)
+            aggregated += var.a * var.z[r];
+        const Gbps pat = topo.torPat(RackId(static_cast<int>(r)));
+        if (aggregated > pat + kTolerance) {
+            std::ostringstream oss;
+            oss << "Eq.4 rack " << r << ": aggregated " << aggregated
+                << " Gbps > PAT " << pat;
+            fail(oss.str());
+        }
+    }
+
+    return result;
+}
+
+double
+mipObjective(const ClusterTopology &topo, const std::vector<JobSpec> &jobs,
+             const std::vector<PlacedJob> &placements)
+{
+    const std::vector<MipJobVariables> variables =
+        materializeMipVariables(topo, jobs, placements);
+    double objective = 0.0;
+    for (const MipJobVariables &var : variables) {
+        int sum_y = 0;
+        for (int y : var.y)
+            sum_y += y;
+        if (sum_y == 0 || var.v <= 0.0)
+            continue;
+        const JobSpec &spec = specOf(jobs, var.job);
+        const ModelProfile &model = ModelZoo::byName(spec.modelName);
+        objective += units::transferTime(model.commVolumePerIter(), var.v);
+    }
+    return objective;
+}
+
+} // namespace netpack

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The paper's formal MIP (Table 3) as an executable constraint checker.
+ * We have no Gurobi, but the model itself is still valuable: given a
+ * topology, a set of jobs, and their placements plus the water-filling
+ * steady state, this module materializes the MIP variables
+ * (w, x, y, z, a, b, v per job/server/rack) and verifies every
+ * constraint Eq. 1-10. Tests use it as an oracle — every placement any
+ * policy emits must be MIP-feasible — and the objective evaluator
+ * Σ y_i d/v matches placementObjective.
+ */
+
+#ifndef NETPACK_PLACEMENT_MIP_MODEL_H
+#define NETPACK_PLACEMENT_MIP_MODEL_H
+
+#include <string>
+#include <vector>
+
+#include "placement/placer.h"
+
+namespace netpack {
+
+/** The MIP variable assignment induced by one job's placement. */
+struct MipJobVariables
+{
+    JobId job;
+    /** w_i: GPUs of this job on server i. */
+    std::vector<int> w;
+    /** x_i: 1 iff the job has workers on server i. */
+    std::vector<int> x;
+    /** y_i: 1 iff the job's PS is on server i (all zero for local). */
+    std::vector<int> y;
+    /** z_r: 1 iff INA is enabled for the job on rack r. */
+    std::vector<int> z;
+    /** a: aggregated throughput (Gbps). */
+    double a = 0.0;
+    /** b: per-flow unaggregated throughput (Gbps). */
+    double b = 0.0;
+    /** v: total per-worker throughput (Gbps). */
+    double v = 0.0;
+};
+
+/** Outcome of the feasibility check. */
+struct MipCheckResult
+{
+    bool feasible = true;
+    /** Human-readable violations ("Eq.2 server 3: 5 GPUs > 4"). */
+    std::vector<std::string> violations;
+};
+
+/**
+ * Materialize the MIP variables for @p jobs/@p placements: placement
+ * geometry gives w/x/y/z; the water-filling steady state gives the
+ * throughput split (v from the converged rate; a/b from whether the
+ * job's racks still hold PAT).
+ */
+std::vector<MipJobVariables>
+materializeMipVariables(const ClusterTopology &topo,
+                        const std::vector<JobSpec> &jobs,
+                        const std::vector<PlacedJob> &placements);
+
+/**
+ * Check constraints Eq. 1-10 of Table 3 against the materialized
+ * variables. Eq. 3/4 (capacity) are checked against the topology's
+ * link/PAT capacities with a small tolerance, since the steady state is
+ * a max-min allocation, not a reservation.
+ */
+MipCheckResult checkMipFeasibility(const ClusterTopology &topo,
+                                   const std::vector<JobSpec> &jobs,
+                                   const std::vector<PlacedJob> &placements);
+
+/** The MIP objective Σ_j Σ_i y_i^(j) d^(j) / v^(j), in seconds. */
+double mipObjective(const ClusterTopology &topo,
+                    const std::vector<JobSpec> &jobs,
+                    const std::vector<PlacedJob> &placements);
+
+} // namespace netpack
+
+#endif // NETPACK_PLACEMENT_MIP_MODEL_H

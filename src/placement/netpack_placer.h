@@ -1,0 +1,135 @@
+/**
+ * @file
+ * NetPack's placement algorithm (Section 5.2, Algorithm 2). Four steps
+ * per scheduling period:
+ *
+ *  ① Choose the job subset to admit via a 0/1 knapsack over the free
+ *    GPUs (job values age in the manager to avoid starvation).
+ *  ② For each admitted job (value-descending): if one server can host it
+ *    entirely, take the best fit; otherwise re-estimate the steady state
+ *    (water-filling) and run the worker-placement dynamic program — a
+ *    knapsack whose weight is the 2-D tuple (max per-server flows, GPUs)
+ *    and whose per-server value rewards residual bandwidth and punishes
+ *    throughput loss inflicted on existing flows.
+ *  ③ Score every PS location within every candidate worker plan with
+ *    Equation 1 (including the hot-spot penalty, and the rack-aware
+ *    penalty in oversubscribed networks) and keep the best full plan.
+ *  ④ Selectively enable INA for the admitted jobs in descending
+ *    "aggregation efficiency" order until the switch PAT budget is spent.
+ */
+
+#ifndef NETPACK_PLACEMENT_NETPACK_PLACER_H
+#define NETPACK_PLACEMENT_NETPACK_PLACER_H
+
+#include <optional>
+
+#include "placement/placer.h"
+
+namespace netpack {
+
+/** Tunables of the NetPack placer (ablation switches included). */
+struct NetPackConfig
+{
+    /**
+     * Clamp of the DP's flow dimension (FS_max). Per-server flow counts
+     * above the clamp saturate; the paper bounds FS_max by a per-server
+     * constant.
+     */
+    int maxFlowsTracked = 16;
+    /** Step ④ on/off: selective INA enabling vs INA-for-all (ablation). */
+    bool selectiveIna = true;
+    /**
+     * Track the flow dimension in the worker DP. When off, the knapsack
+     * weight degenerates to GPUs only and the hot-spot penalty loses its
+     * bite (ablation for the 2-D weight design choice).
+     */
+    bool twoDimWeight = true;
+    /**
+     * Apply the oversubscription-aware penalty
+     * max_r(C_rack/(FC_r + n_r), C/(f_max + 1)); when off, always use the
+     * plain hot-spot penalty C/(f_max + 1).
+     */
+    bool oversubPenalty = true;
+    /**
+     * PS shards per multi-server job: the gradient splits over this
+     * many PSes, each hosting its own one-PS AllReduce (Section 4.1's
+     * composition). The extra PSes are the next-best scoring distinct
+     * servers of the winning plan. 1 = the paper's single-PS placement.
+     */
+    int psShards = 1;
+};
+
+/** The NetPack placement policy. */
+class NetPackPlacer : public Placer
+{
+  public:
+    explicit NetPackPlacer(NetPackConfig config = {});
+
+    std::string name() const override { return "NetPack"; }
+
+    BatchResult placeBatch(const std::vector<JobSpec> &batch,
+                           const ClusterTopology &topo, GpuLedger &gpus,
+                           const std::vector<PlacedJob> &running) override;
+
+    /** Config in use (read-only; for tests). */
+    const NetPackConfig &config() const { return config_; }
+
+  private:
+    /** A worker plan recovered from the DP table. */
+    struct WorkerPlan
+    {
+        /** Chosen servers with the free-GPU count each contributes. */
+        std::vector<std::pair<ServerId, int>> servers;
+        /** max per-server flow count among chosen servers (DP f). */
+        int fMax = 0;
+        /** total GPUs the plan takes (DP g). */
+        int gpus = 0;
+        /** accumulated server value. */
+        double value = 0.0;
+    };
+
+    /** A full plan: workers + PS + score. */
+    struct FullPlan
+    {
+        Placement placement;
+        double score = 0.0;
+        int gpusTaken = 0;
+    };
+
+    /**
+     * Step ② DP: candidate worker plans for @p spec. When
+     * @p restrict_rack is valid only that rack's servers are candidates
+     * — in oversubscribed networks the placer additionally searches
+     * rack-local plans so the cross-rack penalty has in-rack
+     * alternatives to prefer.
+     */
+    std::vector<WorkerPlan> workerPlacement(const JobSpec &spec,
+                                            const ClusterTopology &topo,
+                                            const GpuLedger &gpus,
+                                            const SteadyState &steady,
+                                            RackId restrict_rack = {},
+                                            int restrict_pod = -1) const;
+
+    /** Step ③: best PS location over all candidate plans. */
+    std::optional<FullPlan> psPlacement(const JobSpec &spec,
+                                        const ClusterTopology &topo,
+                                        const std::vector<WorkerPlan> &plans,
+                                        const SteadyState &steady) const;
+
+    /**
+     * Step ④: selective INA enabling over the newly placed jobs. The
+     * batch specs provide the gradient sizes for the estimator guard
+     * that keeps the selective assignment only when the predicted
+     * total communication time does not regress vs INA-for-all.
+     */
+    void selectiveInaEnable(std::vector<PlacedJob> &placed,
+                            const ClusterTopology &topo,
+                            const std::vector<PlacedJob> &running,
+                            const std::vector<JobSpec> &batch) const;
+
+    NetPackConfig config_;
+};
+
+} // namespace netpack
+
+#endif // NETPACK_PLACEMENT_NETPACK_PLACER_H

@@ -1,0 +1,89 @@
+#include "placement/placer.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace netpack {
+namespace placement_util {
+
+std::map<ServerId, int>
+greedyTake(const std::vector<ServerId> &server_order, const GpuLedger &gpus,
+           int demand)
+{
+    NETPACK_CHECK(demand >= 1);
+    std::map<ServerId, int> taken;
+    int remaining = demand;
+    for (ServerId server : server_order) {
+        if (remaining == 0)
+            break;
+        const int avail = gpus.freeGpus(server);
+        if (avail <= 0)
+            continue;
+        const int take = std::min(avail, remaining);
+        taken[server] = take;
+        remaining -= take;
+    }
+    if (remaining > 0)
+        return {};
+    return taken;
+}
+
+Placement
+finalizeBaseline(const ClusterTopology &topo, GpuLedger &gpus, JobId job,
+                 const std::map<ServerId, int> &workers)
+{
+    NETPACK_CHECK(!workers.empty());
+    Placement placement;
+    placement.workers = workers;
+
+    if (workers.size() == 1) {
+        // Single-server job: PS colocates (no network traffic).
+        placement.psServer = workers.begin()->first;
+    } else {
+        // PS goes to the chosen server with the most free GPUs after
+        // taking the workers ("least loaded" among the job's servers).
+        ServerId best;
+        int best_free = -1;
+        for (const auto &[server, count] : workers) {
+            const int free_after = gpus.freeGpus(server) - count;
+            if (free_after > best_free) {
+                best_free = free_after;
+                best = server;
+            }
+        }
+        placement.psServer = best;
+        // Baselines enable INA transparently on every rack the job uses.
+        placement.inaRacks = placement.allRacks(topo);
+    }
+    applyAllocation(gpus, job, placement);
+    return placement;
+}
+
+void
+applyAllocation(GpuLedger &gpus, JobId job, const Placement &placement)
+{
+    for (const auto &[server, count] : placement.workers)
+        gpus.allocate(server, job, count);
+}
+
+ServerId
+bestFitSingleServer(const ClusterTopology &topo, const GpuLedger &gpus,
+                    int demand)
+{
+    ServerId best;
+    int best_free = std::numeric_limits<int>::max();
+    for (int s = 0; s < topo.numServers(); ++s) {
+        const ServerId server(s);
+        const int free = gpus.freeGpus(server);
+        if (free >= demand && free < best_free) {
+            best_free = free;
+            best = server;
+        }
+    }
+    return best;
+}
+
+} // namespace placement_util
+} // namespace netpack

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The placement interface shared by NetPack and all baseline algorithms.
+ * A placer receives the batch of pending jobs for this scheduling period,
+ * the topology, the GPU ledger, and the placements of currently running
+ * jobs; it decides which jobs to admit, where their workers and PS go,
+ * and on which racks INA is enabled — applying GPU allocations to the
+ * ledger as it goes.
+ */
+
+#ifndef NETPACK_PLACEMENT_PLACER_H
+#define NETPACK_PLACEMENT_PLACER_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "topology/cluster.h"
+#include "topology/gpu_ledger.h"
+#include "waterfill/steady_state.h"
+#include "workload/job.h"
+
+namespace netpack {
+
+/** Outcome of one placement round. */
+struct BatchResult
+{
+    /** Jobs placed this round (GPU allocations already applied). */
+    std::vector<PlacedJob> placed;
+    /** Jobs that could not be placed and wait for the next round. */
+    std::vector<JobId> deferred;
+};
+
+/** Abstract placement policy. */
+class Placer
+{
+  public:
+    virtual ~Placer() = default;
+
+    /** Display name used in figures ("NetPack", "GB", "Tetris"...). */
+    virtual std::string name() const = 0;
+
+    /**
+     * Place a batch of jobs.
+     *
+     * @param batch pending jobs for this period (submit order)
+     * @param topo cluster topology
+     * @param gpus GPU ledger; allocations for placed jobs are applied
+     * @param running placements of currently running jobs
+     */
+    virtual BatchResult placeBatch(const std::vector<JobSpec> &batch,
+                                   const ClusterTopology &topo,
+                                   GpuLedger &gpus,
+                                   const std::vector<PlacedJob> &running) = 0;
+};
+
+namespace placement_util {
+
+/**
+ * Greedily allocate @p demand GPUs over @p server_order (a preference
+ * order, most preferred first), taking as many free GPUs per server as
+ * needed. Returns an empty map if the demand cannot be met.
+ */
+std::map<ServerId, int> greedyTake(const std::vector<ServerId> &server_order,
+                                   const GpuLedger &gpus, int demand);
+
+/**
+ * Finish a baseline placement: choose the PS (the chosen server with the
+ * most free GPUs post-allocation, mirroring "least loaded"), enable INA
+ * on every rack the job touches (baselines enable INA for all jobs,
+ * Section 6.1), and apply the allocation to the ledger.
+ */
+Placement finalizeBaseline(const ClusterTopology &topo, GpuLedger &gpus,
+                           JobId job, const std::map<ServerId, int> &workers);
+
+/** Apply @p placement's worker GPUs for @p job to the ledger. */
+void applyAllocation(GpuLedger &gpus, JobId job, const Placement &placement);
+
+/**
+ * Best-fit single-server candidate: the server whose free GPU count is
+ * the smallest one still >= @p demand; invalid id when none qualifies.
+ */
+ServerId bestFitSingleServer(const ClusterTopology &topo,
+                             const GpuLedger &gpus, int demand);
+
+} // namespace placement_util
+
+} // namespace netpack
+
+#endif // NETPACK_PLACEMENT_PLACER_H

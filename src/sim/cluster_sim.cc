@@ -1,0 +1,365 @@
+#include "sim/cluster_sim.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/log.h"
+#include "placement/ina_policy.h"
+
+namespace netpack {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/** Job-id space reserved for "server offline" sentinel allocations. */
+constexpr int kFailureSentinelBase = 1 << 30;
+
+} // namespace
+
+ClusterSimulator::ClusterSimulator(const ClusterTopology &topo,
+                                   std::unique_ptr<NetworkModel> model,
+                                   std::unique_ptr<Placer> placer,
+                                   SimConfig config)
+    : topo_(&topo), model_(std::move(model)), placer_(std::move(placer)),
+      config_(config)
+{
+    NETPACK_REQUIRE(model_ != nullptr, "network model is required");
+    NETPACK_REQUIRE(placer_ != nullptr, "placer is required");
+    NETPACK_REQUIRE(config.placementPeriod > 0.0,
+                    "placementPeriod must be positive");
+    NETPACK_REQUIRE(config.maxSimTime > 0.0,
+                    "maxSimTime must be positive");
+}
+
+void
+ClusterSimulator::setObserver(SimObserver observer)
+{
+    NETPACK_REQUIRE(config_.samplePeriod > 0.0,
+                    "setObserver requires samplePeriod > 0");
+    observer_ = std::move(observer);
+}
+
+RunMetrics
+ClusterSimulator::run(const JobTrace &trace)
+{
+    for (const JobSpec &spec : trace.jobs()) {
+        NETPACK_REQUIRE(spec.gpuDemand <= topo_->totalGpus(),
+                        "job " << spec.id.value << " demands "
+                               << spec.gpuDemand
+                               << " GPUs but the cluster only has "
+                               << topo_->totalGpus());
+    }
+
+    GpuLedger gpus(*topo_);
+    RunMetrics metrics;
+
+    // Manager state.
+    std::vector<JobSpec> pending; // value field ages in place
+    struct Active
+    {
+        JobSpec spec;
+        Placement placement;
+        Seconds startTime = 0.0;
+    };
+    std::unordered_map<JobId, Active> active;
+    std::vector<PlacedJob> running_placements; // kept in sync with active
+
+    const auto &arrivals = trace.jobs();
+    std::size_t next_arrival = 0;
+
+    Seconds now = 0.0;
+    Seconds next_epoch = 0.0;
+    Seconds next_sample =
+        (observer_ && config_.samplePeriod > 0.0) ? 0.0 : kInf;
+    Seconds next_rebalance = config_.inaRebalancePeriod > 0.0
+                                 ? config_.inaRebalancePeriod
+                                 : kInf;
+
+    // Injected failures, sorted by time, plus pending recoveries.
+    std::vector<ServerFailure> failures = config_.failures;
+    for (const ServerFailure &failure : failures) {
+        NETPACK_REQUIRE(failure.server.valid() &&
+                            failure.server.value < topo_->numServers(),
+                        "failure names invalid server "
+                            << failure.server.value);
+        NETPACK_REQUIRE(failure.time >= 0.0 && failure.downtime >= 0.0,
+                        "failure times must be non-negative");
+    }
+    std::sort(failures.begin(), failures.end(),
+              [](const ServerFailure &a, const ServerFailure &b) {
+                  return a.time < b.time;
+              });
+    std::size_t next_failure = 0;
+    // (recovery time, server) min-ordered.
+    std::vector<std::pair<Seconds, int>> recoveries;
+
+    double gpu_busy_time = 0.0;     // ∫ used_gpus dt
+    double fragmentation_time = 0.0; // ∫ stranded_fraction dt
+
+    // Fraction of free GPUs stranded on partially-occupied servers.
+    const auto fragmentation = [&] {
+        int free_total = 0, free_partial = 0;
+        for (int s = 0; s < topo_->numServers(); ++s) {
+            const int free = gpus.freeGpus(ServerId(s));
+            free_total += free;
+            if (free > 0 && free < topo_->gpusPerServer())
+                free_partial += free;
+        }
+        return free_total > 0 ? static_cast<double>(free_partial) /
+                                    static_cast<double>(free_total)
+                              : 0.0;
+    };
+
+    const auto rebuild_running = [&] {
+        running_placements.clear();
+        running_placements.reserve(active.size());
+        for (const auto &[id, job] : active)
+            running_placements.push_back({id, job.placement});
+    };
+
+    const auto retire = [&](JobId id, Seconds finish_time) {
+        const auto it = active.find(id);
+        NETPACK_CHECK_MSG(it != active.end(),
+                          "model completed unknown job " << id.value);
+        JobRecord record;
+        record.spec = it->second.spec;
+        record.placement = it->second.placement;
+        record.submitTime = it->second.spec.submitTime;
+        record.startTime = it->second.startTime;
+        record.finishTime = finish_time;
+        metrics.records.push_back(std::move(record));
+        model_->jobFinished(id, finish_time);
+        gpus.releaseJob(id);
+        active.erase(it);
+    };
+
+    while (next_arrival < arrivals.size() || !pending.empty() ||
+           !active.empty()) {
+        NETPACK_REQUIRE(now <= config_.maxSimTime,
+                        "simulation exceeded maxSimTime = "
+                            << config_.maxSimTime
+                            << "s; the workload appears stuck");
+
+        const Seconds arrival_time = next_arrival < arrivals.size()
+                                         ? arrivals[next_arrival].submitTime
+                                         : kInf;
+        // Epochs only matter while jobs wait for placement.
+        const Seconds epoch_time = pending.empty() ? kInf : next_epoch;
+        const Seconds rebalance_time =
+            active.empty() ? kInf : next_rebalance;
+        const Seconds failure_time = next_failure < failures.size()
+                                         ? failures[next_failure].time
+                                         : kInf;
+        Seconds recovery_time = kInf;
+        for (const auto &[when, server] : recoveries)
+            recovery_time = std::min(recovery_time, when);
+        Seconds next_event =
+            std::min({arrival_time, epoch_time, next_sample,
+                      rebalance_time, failure_time, recovery_time});
+        if (!std::isfinite(next_event)) {
+            // Only completions remain.
+            NETPACK_CHECK(!active.empty());
+            next_event = config_.maxSimTime;
+        }
+        next_event = std::max(next_event, now);
+
+        // Advance the network model, retiring completions as they come.
+        while (now < next_event) {
+            if (active.empty() && !std::isfinite(
+                    std::min({arrival_time, epoch_time, next_sample,
+                              rebalance_time, failure_time,
+                              recovery_time}))) {
+                // Nothing left that could generate an event.
+                break;
+            }
+            std::vector<JobId> completed;
+            const int used = topo_->totalGpus() - gpus.totalFreeGpus();
+            const double frag = fragmentation();
+            const Seconds reached =
+                model_->advance(now, next_event, completed);
+            gpu_busy_time += static_cast<double>(used) * (reached - now);
+            fragmentation_time += frag * (reached - now);
+            now = reached;
+            if (completed.empty())
+                break;
+            for (JobId id : completed)
+                retire(id, now);
+            rebuild_running();
+        }
+
+        // Ingest arrivals that are due.
+        while (next_arrival < arrivals.size() &&
+               arrivals[next_arrival].submitTime <= now) {
+            pending.push_back(arrivals[next_arrival]);
+            ++next_arrival;
+        }
+
+        // Recoveries: a repaired server's GPUs rejoin the pool.
+        for (std::size_t r = 0; r < recoveries.size();) {
+            if (recoveries[r].first <= now) {
+                gpus.releaseJob(
+                    JobId(kFailureSentinelBase + recoveries[r].second));
+                recoveries.erase(recoveries.begin() +
+                                 static_cast<std::ptrdiff_t>(r));
+            } else {
+                ++r;
+            }
+        }
+
+        // Failures: kill and resubmit affected jobs, take the server's
+        // GPUs offline until recovery.
+        while (next_failure < failures.size() &&
+               failures[next_failure].time <= now) {
+            const ServerFailure &failure = failures[next_failure++];
+            std::vector<JobId> victims;
+            for (const auto &[id, job] : active) {
+                if (job.placement.workers.count(failure.server) > 0 ||
+                    job.placement.psServer == failure.server)
+                    victims.push_back(id);
+            }
+            for (JobId id : victims) {
+                const auto it = active.find(id);
+                NETPACK_CHECK(it != active.end());
+                // The resubmitted job restarts from scratch, or — with
+                // checkpointing — from its last completed checkpoint;
+                // the lost work is paid in its eventual JCT either way.
+                JobSpec respawn = it->second.spec;
+                if (config_.checkpointIters > 0) {
+                    const double done =
+                        model_->progressFraction(id) *
+                        static_cast<double>(it->second.spec.iterations);
+                    const std::int64_t checkpointed =
+                        static_cast<std::int64_t>(done) /
+                        config_.checkpointIters *
+                        config_.checkpointIters;
+                    respawn.iterations = std::max<std::int64_t>(
+                        1, it->second.spec.iterations - checkpointed);
+                }
+                pending.push_back(respawn);
+                model_->jobFinished(id, now);
+                gpus.releaseJob(id);
+                active.erase(it);
+                ++metrics.jobRestarts;
+            }
+            rebuild_running();
+            const int free = gpus.freeGpus(failure.server);
+            if (free > 0) {
+                gpus.allocate(failure.server,
+                              JobId(kFailureSentinelBase +
+                                    failure.server.value),
+                              free);
+            }
+            recoveries.emplace_back(now + failure.downtime,
+                                    failure.server.value);
+            NETPACK_LOG(Info, "t=" << now << "s server "
+                                   << failure.server.value << " failed, "
+                                   << victims.size()
+                                   << " job(s) resubmitted");
+        }
+
+        // Runtime INA rebalancing: re-run the selective assignment over
+        // the running jobs; endpoints re-tag, nothing migrates.
+        if (config_.inaRebalancePeriod > 0.0 && now >= next_rebalance) {
+            if (!running_placements.empty()) {
+                const VolumeLookup volume_of = [&](JobId id) -> MBytes {
+                    const auto it = active.find(id);
+                    if (it == active.end())
+                        return 0.0;
+                    return ModelZoo::byName(it->second.spec.modelName)
+                        .commVolumePerIter();
+                };
+                const InaAssignmentResult change = assignSelectiveIna(
+                    *topo_, running_placements, {}, volume_of);
+                if (change.jobsChanged > 0) {
+                    for (const PlacedJob &job : running_placements) {
+                        auto it = active.find(job.id);
+                        NETPACK_CHECK(it != active.end());
+                        if (it->second.placement.inaRacks !=
+                            job.placement.inaRacks) {
+                            it->second.placement.inaRacks =
+                                job.placement.inaRacks;
+                            model_->updateInaRacks(
+                                job.id, job.placement.inaRacks);
+                        }
+                    }
+                    NETPACK_LOG(Debug,
+                                "t=" << now << "s INA rebalance changed "
+                                     << change.jobsChanged << " job(s)");
+                }
+            }
+            while (next_rebalance <= now)
+                next_rebalance += config_.inaRebalancePeriod;
+        }
+
+        // Periodic observation (Figure 15 instrumentation).
+        if (observer_ && now >= next_sample) {
+            observer_(now, *model_, running_placements);
+            next_sample += config_.samplePeriod;
+        }
+
+        // Placement round. Epoch boundaries that passed while the queue
+        // was empty are skipped: a job arriving mid-idle waits for the
+        // next k*period boundary, exactly like the periodic batching of
+        // Figure 4.
+        if (!pending.empty()) {
+            while (next_epoch < now - 1e-12)
+                next_epoch += config_.placementPeriod;
+        }
+        if (!pending.empty() && now >= next_epoch - 1e-12) {
+            const auto t0 = std::chrono::steady_clock::now();
+            BatchResult result = placer_->placeBatch(
+                pending, *topo_, gpus, running_placements);
+            const auto t1 = std::chrono::steady_clock::now();
+            metrics.placementSeconds +=
+                std::chrono::duration<double>(t1 - t0).count();
+            ++metrics.placementRounds;
+
+            for (PlacedJob &placed : result.placed) {
+                const auto it = std::find_if(
+                    pending.begin(), pending.end(),
+                    [&](const JobSpec &s) { return s.id == placed.id; });
+                NETPACK_CHECK_MSG(it != pending.end(),
+                                  "placer returned unknown job "
+                                      << placed.id.value);
+                Active job;
+                job.spec = *it;
+                job.placement = placed.placement;
+                job.startTime = now;
+                model_->jobStarted(job.spec, job.placement, now);
+                active.emplace(placed.id, std::move(job));
+                pending.erase(it);
+            }
+            // Deferred jobs gain value so they cannot starve.
+            for (JobSpec &spec : pending)
+                spec.value += config_.starvationBoost;
+            rebuild_running();
+
+            NETPACK_LOG(Debug, "t=" << now << "s placed "
+                                    << result.placed.size() << ", deferred "
+                                    << pending.size());
+            next_epoch += config_.placementPeriod;
+        }
+    }
+
+    // Makespan is the last completion, not wherever the loop stopped.
+    metrics.makespan = 0.0;
+    for (const auto &record : metrics.records)
+        metrics.makespan = std::max(metrics.makespan, record.finishTime);
+    if (metrics.makespan > 0.0) {
+        metrics.avgGpuUtilization =
+            gpu_busy_time /
+            (static_cast<double>(topo_->totalGpus()) * metrics.makespan);
+        metrics.avgFragmentation = fragmentation_time / metrics.makespan;
+    }
+    std::sort(metrics.records.begin(), metrics.records.end(),
+              [](const JobRecord &a, const JobRecord &b) {
+                  return a.spec.id < b.spec.id;
+              });
+    return metrics;
+}
+
+} // namespace netpack

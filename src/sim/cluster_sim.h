@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The cluster manager loop (Figure 4): batches arriving jobs, runs the
+ * configured placement policy every scheduling period, starts/retires
+ * jobs against the chosen network model, ages deferred jobs' values to
+ * prevent starvation, and records JCT/DE metrics. The same loop drives
+ * both the flow-level simulator and the packet-level testbed stand-in.
+ */
+
+#ifndef NETPACK_SIM_CLUSTER_SIM_H
+#define NETPACK_SIM_CLUSTER_SIM_H
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "placement/placer.h"
+#include "sim/metrics.h"
+#include "sim/network_model.h"
+#include "topology/cluster.h"
+#include "topology/gpu_ledger.h"
+#include "workload/trace.h"
+
+namespace netpack {
+
+/**
+ * A scheduled server failure: at @p time the server drops out — every
+ * job with a worker or PS on it is killed and resubmitted (training
+ * restarts from scratch; the lost work shows up as JCT) — and the
+ * server's GPUs return after @p downtime.
+ */
+struct ServerFailure
+{
+    Seconds time = 0.0;
+    ServerId server;
+    Seconds downtime = 60.0;
+};
+
+/** Manager-loop parameters. */
+struct SimConfig
+{
+    /** Scheduling period: pending jobs are (re)considered this often. */
+    Seconds placementPeriod = 10.0;
+    /** Value added to a job each time it misses a round (Alg. 2 step ①). */
+    double starvationBoost = 1.0;
+    /** Hard wall on simulated time; exceeding it is a ConfigError. */
+    Seconds maxSimTime = 400.0 * 24.0 * 3600.0;
+    /** Observer sampling period; 0 disables sampling. */
+    Seconds samplePeriod = 0.0;
+    /**
+     * Runtime INA rebalancing period (the paper's future-work joint
+     * placement+scheduling, restricted to migration-free INA toggling);
+     * 0 disables it. Each period the manager re-runs the AE-ordered
+     * selective assignment over all running jobs.
+     */
+    Seconds inaRebalancePeriod = 0.0;
+    /** Injected server failures (any order; sorted internally). */
+    std::vector<ServerFailure> failures;
+    /**
+     * Checkpoint interval in iterations for failure restarts: a killed
+     * job resumes from its last completed multiple of this many
+     * iterations instead of from scratch. 0 = no checkpointing.
+     */
+    std::int64_t checkpointIters = 0;
+};
+
+/** Periodic observation callback (time, model, running placements). */
+using SimObserver = std::function<void(
+    Seconds, const NetworkModel &, const std::vector<PlacedJob> &)>;
+
+/** Discrete-event cluster simulation around a pluggable network model. */
+class ClusterSimulator
+{
+  public:
+    /**
+     * @param topo cluster topology (must outlive the simulator)
+     * @param model network/progress model (owned)
+     * @param placer placement policy (owned)
+     * @param config manager parameters
+     */
+    ClusterSimulator(const ClusterTopology &topo,
+                     std::unique_ptr<NetworkModel> model,
+                     std::unique_ptr<Placer> placer, SimConfig config = {});
+
+    /** Install a periodic observer (requires config.samplePeriod > 0). */
+    void setObserver(SimObserver observer);
+
+    /** Replay @p trace to completion and return the metrics. */
+    RunMetrics run(const JobTrace &trace);
+
+    /** The network model (instrumentation access for benches). */
+    const NetworkModel &model() const { return *model_; }
+
+    /** The placement policy in use. */
+    const Placer &placer() const { return *placer_; }
+
+  private:
+    const ClusterTopology *topo_;
+    std::unique_ptr<NetworkModel> model_;
+    std::unique_ptr<Placer> placer_;
+    SimConfig config_;
+    SimObserver observer_;
+};
+
+} // namespace netpack
+
+#endif // NETPACK_SIM_CLUSTER_SIM_H

@@ -1,0 +1,152 @@
+#include "sim/flow_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace netpack {
+
+namespace {
+
+/** Remaining iterations below this count as finished (fp hygiene). */
+constexpr double kIterEpsilon = 1e-9;
+
+} // namespace
+
+FlowNetworkModel::FlowNetworkModel(const ClusterTopology &topo)
+    : topo_(&topo), estimator_(topo)
+{
+}
+
+void
+FlowNetworkModel::jobStarted(const JobSpec &spec, const Placement &placement,
+                             Seconds now)
+{
+    (void)now;
+    NETPACK_CHECK_MSG(jobs_.find(spec.id) == jobs_.end(),
+                      "job " << spec.id.value << " started twice");
+    Running job;
+    job.spec = spec;
+    job.placement = placement;
+    job.model = &ModelZoo::byName(spec.modelName);
+    job.remaining = static_cast<double>(spec.iterations);
+    jobs_.emplace(spec.id, std::move(job));
+    dirty_ = true;
+}
+
+void
+FlowNetworkModel::jobFinished(JobId id, Seconds now)
+{
+    (void)now;
+    const auto erased = jobs_.erase(id);
+    NETPACK_CHECK_MSG(erased == 1,
+                      "finishing unknown job " << id.value);
+    dirty_ = true;
+}
+
+void
+FlowNetworkModel::updateInaRacks(JobId id, const std::set<RackId> &ina_racks)
+{
+    const auto it = jobs_.find(id);
+    NETPACK_CHECK_MSG(it != jobs_.end(),
+                      "updating INA of unknown job " << id.value);
+    if (it->second.placement.inaRacks == ina_racks)
+        return;
+    it->second.placement.inaRacks = ina_racks;
+    dirty_ = true;
+}
+
+const SteadyState &
+FlowNetworkModel::steadyState() const
+{
+    if (dirty_)
+        refreshRates();
+    return steady_;
+}
+
+void
+FlowNetworkModel::refreshRates() const
+{
+    std::vector<PlacedJob> placed;
+    placed.reserve(jobs_.size());
+    for (const auto &[id, job] : jobs_)
+        placed.push_back({id, job.placement});
+    steady_ = estimator_.estimate(placed);
+    for (auto &[id, job] : jobs_) {
+        const Gbps rate = steady_.jobThroughput(id);
+        job.iterTime = iterationTime(job.spec, *job.model, job.placement,
+                                     std::isfinite(rate)
+                                         ? rate
+                                         : std::numeric_limits<
+                                               double>::infinity());
+    }
+    dirty_ = false;
+}
+
+Seconds
+FlowNetworkModel::advance(Seconds now, Seconds until,
+                          std::vector<JobId> &completed)
+{
+    completed.clear();
+    NETPACK_CHECK(until >= now);
+    if (jobs_.empty())
+        return until;
+    if (dirty_)
+        refreshRates();
+
+    // Earliest completion under the current rates.
+    double min_finish = std::numeric_limits<double>::infinity();
+    for (const auto &[id, job] : jobs_) {
+        if (!std::isfinite(job.iterTime) || job.iterTime <= 0.0)
+            continue; // stalled (zero throughput) or instantaneous
+        min_finish = std::min(min_finish, job.remaining * job.iterTime);
+    }
+
+    const double horizon = until - now;
+    const double dt = std::min(horizon, min_finish);
+    if (dt > 0.0) {
+        for (auto &[id, job] : jobs_) {
+            if (!std::isfinite(job.iterTime) || job.iterTime <= 0.0)
+                continue;
+            job.remaining -= dt / job.iterTime;
+        }
+    }
+    if (min_finish <= horizon) {
+        for (const auto &[id, job] : jobs_) {
+            if (job.remaining <= kIterEpsilon)
+                completed.push_back(id);
+        }
+        NETPACK_CHECK_MSG(!completed.empty(),
+                          "flow model lost a completion event");
+        std::sort(completed.begin(), completed.end());
+        return now + dt;
+    }
+    return until;
+}
+
+double
+FlowNetworkModel::progressFraction(JobId id) const
+{
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end())
+        return 0.0;
+    const double total = static_cast<double>(it->second.spec.iterations);
+    if (total <= 0.0)
+        return 1.0;
+    return std::clamp(1.0 - it->second.remaining / total, 0.0, 1.0);
+}
+
+Gbps
+FlowNetworkModel::currentRate(JobId id) const
+{
+    if (dirty_)
+        refreshRates();
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end())
+        return 0.0;
+    return steady_.jobThroughput(id);
+}
+
+} // namespace netpack

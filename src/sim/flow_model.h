@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Flow-level network model: the discrete-time flow-level simulator of
+ * Section 6.1. Job communication throughput is the converged water-
+ * filling rate; a job's per-iteration time is compute + gradient
+ * transfer at that rate, and progress is continuous between membership
+ * changes. Membership changes (start/finish) trigger re-estimation.
+ */
+
+#ifndef NETPACK_SIM_FLOW_MODEL_H
+#define NETPACK_SIM_FLOW_MODEL_H
+
+#include <unordered_map>
+
+#include "sim/network_model.h"
+#include "topology/cluster.h"
+#include "waterfill/steady_state.h"
+
+namespace netpack {
+
+/** Water-filling-driven continuous progress model. */
+class FlowNetworkModel : public NetworkModel
+{
+  public:
+    explicit FlowNetworkModel(const ClusterTopology &topo);
+
+    void jobStarted(const JobSpec &spec, const Placement &placement,
+                    Seconds now) override;
+    void jobFinished(JobId id, Seconds now) override;
+    void updateInaRacks(JobId id,
+                        const std::set<RackId> &ina_racks) override;
+    Seconds advance(Seconds now, Seconds until,
+                    std::vector<JobId> &completed) override;
+    std::size_t runningJobs() const override { return jobs_.size(); }
+    Gbps currentRate(JobId id) const override;
+    double progressFraction(JobId id) const override;
+
+    /** Current steady-state estimate (refreshed on demand). */
+    const SteadyState &steadyState() const;
+
+  private:
+    struct Running
+    {
+        JobSpec spec;
+        Placement placement;
+        const ModelProfile *model = nullptr;
+        /** Remaining iterations (fractional). */
+        double remaining = 0.0;
+        /** Current per-iteration wall time at the converged rate. */
+        Seconds iterTime = 0.0;
+    };
+
+    /**
+     * Re-run water-filling and refresh every job's iteration time.
+     * Mutable/const because rate queries trigger it lazily after
+     * membership changes.
+     */
+    void refreshRates() const;
+
+    const ClusterTopology *topo_;
+    WaterFillingEstimator estimator_;
+    mutable std::unordered_map<JobId, Running> jobs_;
+    mutable SteadyState steady_;
+    mutable bool dirty_ = false;
+};
+
+} // namespace netpack
+
+#endif // NETPACK_SIM_FLOW_MODEL_H

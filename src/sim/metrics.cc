@@ -1,0 +1,56 @@
+#include "sim/metrics.h"
+
+#include "common/check.h"
+
+namespace netpack {
+
+double
+JobRecord::distributionEfficiency() const
+{
+    const ModelProfile &model = ModelZoo::byName(spec.modelName);
+    const Seconds serial = static_cast<double>(spec.iterations) *
+                           model.computeTimePerIter *
+                           static_cast<double>(spec.gpuDemand);
+    const Seconds t = jct();
+    NETPACK_CHECK_MSG(t > 0.0, "job " << spec.id.value
+                                      << " has non-positive JCT");
+    return serial / (t * static_cast<double>(spec.gpuDemand));
+}
+
+Seconds
+RunMetrics::avgJct() const
+{
+    RunningStats stats;
+    for (const auto &record : records)
+        stats.add(record.jct());
+    return stats.mean();
+}
+
+double
+RunMetrics::avgDe() const
+{
+    RunningStats stats;
+    for (const auto &record : records)
+        stats.add(record.distributionEfficiency());
+    return stats.mean();
+}
+
+SampleSet
+RunMetrics::jctSamples() const
+{
+    SampleSet samples;
+    for (const auto &record : records)
+        samples.add(record.jct());
+    return samples;
+}
+
+SampleSet
+RunMetrics::deSamples() const
+{
+    SampleSet samples;
+    for (const auto &record : records)
+        samples.add(record.distributionEfficiency());
+    return samples;
+}
+
+} // namespace netpack

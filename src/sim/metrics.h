@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Experiment metrics (Section 6.1): per-job records, average Job
+ * Completion Time, and Distribution Efficiency
+ * DE = JCT_with_1_GPU / (Real_JCT x No_of_GPUs), which factors model
+ * size and job length out of JCT and isolates the placement effect.
+ */
+
+#ifndef NETPACK_SIM_METRICS_H
+#define NETPACK_SIM_METRICS_H
+
+#include <vector>
+
+#include "common/stats.h"
+#include "common/units.h"
+#include "workload/job.h"
+
+namespace netpack {
+
+/** Lifecycle record of one completed job. */
+struct JobRecord
+{
+    JobSpec spec;
+    Placement placement;
+    Seconds submitTime = 0.0;
+    /** When the job began executing (end of queueing). */
+    Seconds startTime = 0.0;
+    Seconds finishTime = 0.0;
+
+    /** Job completion time: finish minus submission (queueing included). */
+    Seconds jct() const { return finishTime - submitTime; }
+
+    /** Queueing delay before the job started. */
+    Seconds waitTime() const { return startTime - submitTime; }
+
+    /**
+     * Distribution efficiency. The serial (1-GPU) completion time of the
+     * same work is iterations x computeTime x gpus, so
+     * DE = iterations x computeTime / JCT; 1.0 means perfect linear
+     * scaling with zero network and queueing overhead.
+     */
+    double distributionEfficiency() const;
+};
+
+/** Aggregate result of one simulated run. */
+struct RunMetrics
+{
+    std::vector<JobRecord> records;
+    /** Time the last job finished. */
+    Seconds makespan = 0.0;
+    /** Wall-clock seconds spent inside the placement algorithm. */
+    double placementSeconds = 0.0;
+    /** Number of placement rounds executed. */
+    long long placementRounds = 0;
+    /** Time-averaged GPU occupancy in [0, 1]. */
+    double avgGpuUtilization = 0.0;
+    /** Jobs killed by injected server failures and resubmitted. */
+    long long jobRestarts = 0;
+    /**
+     * Time-averaged GPU fragmentation: the fraction of free GPUs that
+     * sit on partially-occupied servers (stranded capacity a
+     * whole-server job cannot use). 0 = perfectly packed.
+     */
+    double avgFragmentation = 0.0;
+
+    /** Mean JCT over all records. */
+    Seconds avgJct() const;
+
+    /** Mean DE over all records. */
+    double avgDe() const;
+
+    /** JCT sample set (percentiles, stddev). */
+    SampleSet jctSamples() const;
+
+    /** DE sample set. */
+    SampleSet deSamples() const;
+};
+
+} // namespace netpack
+
+#endif // NETPACK_SIM_METRICS_H

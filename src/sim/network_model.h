@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The network-model interface that decouples the cluster manager loop
+ * from the fidelity of the network simulation. Two implementations:
+ *
+ *  - FlowNetworkModel — the paper's discrete-time flow-level simulator:
+ *    per-job throughput comes straight from the water-filling steady
+ *    state and jobs progress continuously (fast; used for large-scale
+ *    experiments, Figures 7b/8b/9/12).
+ *
+ *  - PacketNetworkModel — the testbed stand-in: RTT-slotted simulation
+ *    with AIMD congestion control, a shared (or statically partitioned)
+ *    aggregator pool per ToR, PS fallback, and compute/communicate phase
+ *    interleaving (Figures 2/6/7a/8a/11/13/14/15).
+ */
+
+#ifndef NETPACK_SIM_NETWORK_MODEL_H
+#define NETPACK_SIM_NETWORK_MODEL_H
+
+#include <vector>
+
+#include "common/units.h"
+#include "topology/ids.h"
+#include "workload/job.h"
+
+namespace netpack {
+
+/** Abstract network/progress model consumed by ClusterSimulator. */
+class NetworkModel
+{
+  public:
+    virtual ~NetworkModel() = default;
+
+    /** A job began executing at @p now with the given placement. */
+    virtual void jobStarted(const JobSpec &spec, const Placement &placement,
+                            Seconds now) = 0;
+
+    /** A completed job was retired by the manager (resources freed). */
+    virtual void jobFinished(JobId id, Seconds now) = 0;
+
+    /**
+     * A running job's INA enablement changed (runtime rebalancing —
+     * endpoints re-tag their packets; no GPUs move). Unknown ids are an
+     * internal error.
+     */
+    virtual void updateInaRacks(JobId id,
+                                const std::set<RackId> &ina_racks) = 0;
+
+    /**
+     * Advance the simulation from @p now up to at most @p until,
+     * stopping early at the first job completion(s).
+     *
+     * @param now current simulation time
+     * @param until do not advance beyond this time
+     * @param completed out-parameter: jobs that completed at the
+     *        returned time (empty when the horizon was reached first)
+     * @return the new simulation time (== until when nothing completed)
+     */
+    virtual Seconds advance(Seconds now, Seconds until,
+                            std::vector<JobId> &completed) = 0;
+
+    /** Number of jobs currently executing in the model. */
+    virtual std::size_t runningJobs() const = 0;
+
+    /**
+     * Instantaneous per-worker communication rate of a running job in
+     * Gbps (+inf for jobs with no network phase, 0 for unknown ids).
+     * Used by the measurement-vs-estimation experiments (Figure 15).
+     */
+    virtual Gbps currentRate(JobId id) const = 0;
+
+    /**
+     * Fraction of the job's iterations already completed, in [0, 1]
+     * (0 for unknown ids). Drives checkpoint-aware failure restarts and
+     * progress dashboards.
+     */
+    virtual double progressFraction(JobId id) const = 0;
+};
+
+} // namespace netpack
+
+#endif // NETPACK_SIM_NETWORK_MODEL_H

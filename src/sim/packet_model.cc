@@ -1,0 +1,539 @@
+#include "sim/packet_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace netpack {
+
+namespace {
+
+constexpr double kTimeEpsilon = 1e-12;
+constexpr double kLoadTolerance = 1.0 + 1e-9;
+
+} // namespace
+
+PacketNetworkModel::Running::Running(const ClusterTopology &topo,
+                                     const JobSpec &s, const Placement &p)
+    : spec(s), placement(p), model(&ModelZoo::byName(s.modelName)),
+      hierarchy(topo, s.id, p)
+{
+    NETPACK_REQUIRE(p.extraPsServers.empty(),
+                    "the packet-level model supports single-PS jobs; "
+                    "use the flow model for sharded-PS placements");
+    local = hierarchy.local();
+    if (local) {
+        // Local jobs never touch the network: collapse the whole run into
+        // one long compute phase.
+        remainingIters = 1;
+        computeLeft = static_cast<double>(spec.iterations) *
+                      model->computeTimePerIter;
+        phase = Phase::Compute;
+    } else {
+        remainingIters = spec.iterations;
+        phase = Phase::Compute;
+        computeLeft = model->computeTimePerIter;
+    }
+}
+
+PacketNetworkModel::PacketNetworkModel(const ClusterTopology &topo,
+                                       PacketModelConfig config)
+    : topo_(&topo), config_(config), rtt_(topo.config().rtt),
+      regions_(static_cast<std::size_t>(topo.numRacks())),
+      linkLoad_(static_cast<std::size_t>(topo.numLinks()), 0.0),
+      torDemand_(static_cast<std::size_t>(topo.numRacks()), 0.0)
+{
+    NETPACK_REQUIRE(config.additiveIncrease > 0.0,
+                    "additiveIncrease must be positive");
+    NETPACK_REQUIRE(config.multiplicativeDecrease > 0.0 &&
+                        config.multiplicativeDecrease < 1.0,
+                    "multiplicativeDecrease must be in (0, 1)");
+    NETPACK_REQUIRE(config.convergenceSlots >= 1,
+                    "convergenceSlots must be >= 1");
+}
+
+void
+PacketNetworkModel::jobStarted(const JobSpec &spec,
+                               const Placement &placement, Seconds now)
+{
+    (void)now;
+    NETPACK_CHECK_MSG(jobs_.find(spec.id) == jobs_.end(),
+                      "job " << spec.id.value << " started twice");
+    Running job(*topo_, spec, placement);
+    Gbps cap = topo_->config().serverLinkGbps;
+    if (config_.maxRate > 0.0)
+        cap = std::min(cap, config_.maxRate);
+    job.rate = std::min(config_.initialRate, cap);
+    job.measuredRate = job.rate;
+    jobs_.emplace(spec.id, std::move(job));
+    if (config_.synchronousIna)
+        repartitionRegions();
+    slotsUntilCruise_ = config_.convergenceSlots;
+}
+
+void
+PacketNetworkModel::jobFinished(JobId id, Seconds now)
+{
+    (void)now;
+    const auto it = jobs_.find(id);
+    NETPACK_CHECK_MSG(it != jobs_.end(),
+                      "finishing unknown job " << id.value);
+    finishedCounters_[id] = it->second.counters;
+    jobs_.erase(it);
+    if (config_.synchronousIna)
+        repartitionRegions();
+    slotsUntilCruise_ = config_.convergenceSlots;
+}
+
+void
+PacketNetworkModel::updateInaRacks(JobId id,
+                                   const std::set<RackId> &ina_racks)
+{
+    const auto it = jobs_.find(id);
+    NETPACK_CHECK_MSG(it != jobs_.end(),
+                      "updating INA of unknown job " << id.value);
+    Running &job = it->second;
+    if (job.placement.inaRacks == ina_racks)
+        return;
+    job.placement.inaRacks = ina_racks;
+    job.hierarchy = JobHierarchy(*topo_, id, job.placement);
+    if (config_.synchronousIna)
+        repartitionRegions();
+    slotsUntilCruise_ = config_.convergenceSlots;
+}
+
+void
+PacketNetworkModel::repartitionProportional()
+{
+    // INAlloc-style controller: weight each resident job by its fan-in
+    // (workers feeding each ToR), so high fan-in jobs — the ones whose
+    // aggregation removes the most traffic — get larger regions.
+    std::vector<double> weight_sum(
+        static_cast<std::size_t>(topo_->numRacks()), 0.0);
+    for (const auto &[id, job] : jobs_) {
+        if (job.local)
+            continue;
+        for (RackId rack : job.hierarchy.inaRacks()) {
+            weight_sum[rack.index()] +=
+                static_cast<double>(job.hierarchy.workerServerCount());
+        }
+    }
+    for (auto &rack_regions : regions_)
+        rack_regions.clear();
+    for (const auto &[id, job] : jobs_) {
+        if (job.local)
+            continue;
+        for (RackId rack : job.hierarchy.inaRacks()) {
+            const double total = weight_sum[rack.index()];
+            regions_[rack.index()][id.value] =
+                total > 0.0
+                    ? topo_->torPat(rack) *
+                          static_cast<double>(
+                              job.hierarchy.workerServerCount()) /
+                          total
+                    : 0.0;
+        }
+    }
+}
+
+void
+PacketNetworkModel::repartitionRegions()
+{
+    // SwitchML-style static partitioning: every resident network job with
+    // INA on a rack owns an equal slice of that ToR's memory for its
+    // whole lifetime, idle compute phases included.
+    for (auto &rack_regions : regions_)
+        rack_regions.clear();
+    std::vector<int> members(static_cast<std::size_t>(topo_->numRacks()),
+                             0);
+    for (const auto &[id, job] : jobs_) {
+        if (job.local)
+            continue;
+        for (RackId rack : job.hierarchy.inaRacks())
+            ++members[rack.index()];
+    }
+    for (const auto &[id, job] : jobs_) {
+        if (job.local)
+            continue;
+        for (RackId rack : job.hierarchy.inaRacks()) {
+            const int m = members[rack.index()];
+            regions_[rack.index()][id.value] =
+                m > 0 ? topo_->torPat(rack) / static_cast<double>(m) : 0.0;
+        }
+    }
+}
+
+bool
+PacketNetworkModel::simulateSlot()
+{
+    ++slotsSimulated_;
+    bool changed = false;
+
+    // --- Step 1: communicating jobs offer their window. ---
+    std::vector<Running *> comm;
+    for (auto &[id, job] : jobs_) {
+        if (!job.local && job.phase == Phase::Comm)
+            comm.push_back(&job);
+    }
+
+    // --- Step 2: compute-phase progress (before any phase flips, so a
+    // job never progresses in both phases within one slot). ---
+    for (auto &[id, job] : jobs_) {
+        if (!(job.phase == Phase::Compute && job.remainingIters > 0))
+            continue;
+        job.computeLeft -= rtt_;
+        if (job.computeLeft <= kTimeEpsilon) {
+            changed = true;
+            if (job.local) {
+                job.remainingIters = 0;
+            } else {
+                job.phase = Phase::Comm;
+                job.commLeft = job.model->commVolumePerIter();
+            }
+        }
+    }
+
+    // --- Step 3: aggregator-pool contention per ToR. ---
+    std::fill(torDemand_.begin(), torDemand_.end(), 0.0);
+    if (!config_.synchronousIna) {
+        for (Running *job : comm) {
+            for (RackId rack : job->hierarchy.inaRacks())
+                torDemand_[rack.index()] += job->rate;
+        }
+    }
+    // Per (job, rack) aggregation capacity for this slot.
+    const auto share = [&](const Running &job, RackId rack) -> Gbps {
+        if (config_.synchronousIna) {
+            const auto &rack_regions = regions_[rack.index()];
+            const auto it = rack_regions.find(job.spec.id.value);
+            return it == rack_regions.end() ? 0.0 : it->second;
+        }
+        const double demand = torDemand_[rack.index()];
+        Gbps pat = topo_->torPat(rack);
+        if (config_.modelHashCollisions && demand > 0.0 && pat > 0.0) {
+            // Fluid occupancy of hash-addressed FCFS aggregators: a
+            // fraction of the pool is lost to collisions even when the
+            // demand nominally fits.
+            pat *= 1.0 - std::exp(-demand / pat);
+        }
+        if (demand <= pat)
+            return job.rate;
+        return demand > 0.0 ? pat * job.rate / demand : 0.0;
+    };
+
+    // --- Step 4: per-job link loads via the aggregation tree. ---
+    std::fill(linkLoad_.begin(), linkLoad_.end(), 0.0);
+    struct JobLoads
+    {
+        Running *job = nullptr;
+        Gbps effectiveRate = 0.0;
+        Gbps psDelivery = 0.0;
+        std::vector<std::size_t> touched;
+    };
+    std::vector<JobLoads> loads;
+    loads.reserve(comm.size());
+
+    std::vector<double> node_out;
+    std::vector<int> node_flows;
+    for (Running *job : comm) {
+        JobLoads jl;
+        jl.job = job;
+
+        Gbps rate_eff = job->rate;
+        if (config_.synchronousIna) {
+            // A synchronous job cannot outrun its smallest memory region
+            // and never sends unaggregated residue (SwitchML semantics).
+            for (RackId rack : job->hierarchy.inaRacks())
+                rate_eff = std::min(rate_eff, share(*job, rack));
+            if (job->hierarchy.inaRacks().empty())
+                rate_eff = 0.0; // no region, no progress
+        }
+        jl.effectiveRate = rate_eff;
+
+        const auto &nodes = job->hierarchy.nodes();
+        node_out.assign(nodes.size(), 0.0);
+        node_flows.assign(nodes.size(), 0);
+        // Children always carry larger indices than their parent, so a
+        // reverse sweep is a bottom-up traversal.
+        for (std::size_t n = nodes.size(); n-- > 0;) {
+            const HierarchyNode &node = nodes[n];
+            switch (node.kind) {
+              case HierarchyNode::Kind::Worker:
+                node_out[n] = rate_eff;
+                node_flows[n] = 1;
+                break;
+              case HierarchyNode::Kind::Switch: {
+                double in_traffic = 0.0;
+                int in_flows = 0;
+                for (std::size_t child : node.children) {
+                    in_traffic += node_out[child];
+                    in_flows += node_flows[child];
+                }
+                const Gbps cap =
+                    node.inaEnabled ? share(*job, node.rack) : 0.0;
+                if (config_.synchronousIna || cap >= rate_eff) {
+                    node_out[n] = std::min(rate_eff, in_traffic);
+                    node_flows[n] = 1;
+                } else {
+                    // Partial aggregation (Table 1): the pool merges a
+                    // `cap` worth, each input passes its residue along.
+                    const double out =
+                        cap + (rate_eff - cap) *
+                                  static_cast<double>(in_flows);
+                    node_out[n] = std::min(out, in_traffic);
+                    node_flows[n] = in_flows;
+                }
+                break;
+              }
+              case HierarchyNode::Kind::Ps:
+                for (std::size_t child : node.children)
+                    jl.psDelivery += node_out[child];
+                break;
+            }
+            for (LinkId link : node.uplinks) {
+                linkLoad_[link.index()] += node_out[n];
+                jl.touched.push_back(link.index());
+            }
+        }
+        loads.push_back(std::move(jl));
+    }
+
+    // --- Steps 5-8: scaling, delivery, ECN marks, AIMD. ---
+    for (JobLoads &jl : loads) {
+        Running &job = *jl.job;
+        double scale = 1.0;
+        bool marked = false;
+        for (std::size_t link_index : jl.touched) {
+            const Gbps cap =
+                topo_->link(LinkId(static_cast<int>(link_index))).capacity;
+            const double load = linkLoad_[link_index];
+            if (load > cap * kLoadTolerance) {
+                marked = true;
+                scale = std::min(scale, cap / load);
+            }
+        }
+
+        const Gbps delivered = jl.effectiveRate * scale;
+        const MBytes delivered_mb = units::volumeAtRate(delivered, rtt_);
+        job.commLeft -= delivered_mb;
+        job.measuredRate = config_.rateEmaAlpha * delivered +
+                           (1.0 - config_.rateEmaAlpha) * job.measuredRate;
+
+        // Aggregation accounting (Figure 14): savings = worker ingress
+        // minus what the PS had to absorb.
+        const int n_servers = job.hierarchy.workerServerCount();
+        const double ingress =
+            static_cast<double>(n_servers) * jl.effectiveRate;
+        const double savings = std::max(0.0, ingress - jl.psDelivery);
+        job.counters.aggregatedMb +=
+            units::volumeAtRate(savings * scale, rtt_);
+        job.counters.aggregatableMb += units::volumeAtRate(
+            static_cast<double>(n_servers - 1) * delivered, rtt_);
+
+        // AIMD (DCTCP/ATP-style endpoint congestion control).
+        if (marked) {
+            job.rate = std::max(config_.minRate,
+                                job.rate * config_.multiplicativeDecrease);
+        } else {
+            Gbps cap = topo_->config().serverLinkGbps;
+            if (config_.maxRate > 0.0)
+                cap = std::min(cap, config_.maxRate);
+            job.rate = std::min(cap, job.rate + config_.additiveIncrease);
+        }
+
+        if (job.commLeft <= kTimeEpsilon) {
+            // Gradient fully exchanged: iteration done.
+            changed = true;
+            --job.remainingIters;
+            if (job.remainingIters > 0) {
+                job.phase = Phase::Compute;
+                job.computeLeft = job.model->computeTimePerIter;
+            }
+        }
+    }
+
+    return changed;
+}
+
+Seconds
+PacketNetworkModel::cruiseHorizon(Seconds limit) const
+{
+    Seconds horizon = limit;
+    for (const auto &[id, job] : jobs_) {
+        if (job.remainingIters <= 0)
+            continue;
+        if (job.phase == Phase::Compute) {
+            horizon = std::min(horizon, std::max(job.computeLeft, 0.0));
+        } else if (job.measuredRate > 1e-6) {
+            horizon = std::min(
+                horizon,
+                std::max(units::transferTime(job.commLeft,
+                                             job.measuredRate),
+                         0.0));
+        }
+    }
+    return horizon;
+}
+
+bool
+PacketNetworkModel::cruise(Seconds dt)
+{
+    bool changed = false;
+    for (auto &[id, job] : jobs_) {
+        if (job.remainingIters <= 0)
+            continue;
+        if (job.phase == Phase::Compute) {
+            job.computeLeft -= dt;
+            if (job.computeLeft <= kTimeEpsilon) {
+                changed = true;
+                if (job.local) {
+                    job.remainingIters = 0;
+                } else {
+                    job.phase = Phase::Comm;
+                    job.commLeft = job.model->commVolumePerIter();
+                }
+            }
+        } else {
+            if (job.measuredRate <= 1e-6)
+                continue; // stalled; only real slots can revive it
+            const MBytes moved = units::volumeAtRate(job.measuredRate, dt);
+            job.commLeft -= moved;
+            // Cruise keeps the aggregation mix of the last real slot.
+            const double last_ratio =
+                job.counters.aggregatableMb > 0.0
+                    ? job.counters.ratio()
+                    : 0.0;
+            const int n_servers = job.hierarchy.workerServerCount();
+            const MBytes aggregatable =
+                static_cast<double>(n_servers - 1) * moved;
+            job.counters.aggregatableMb += aggregatable;
+            job.counters.aggregatedMb += aggregatable * last_ratio;
+            if (job.commLeft <= kTimeEpsilon) {
+                changed = true;
+                --job.remainingIters;
+                if (job.remainingIters > 0) {
+                    job.phase = Phase::Compute;
+                    job.computeLeft = job.model->computeTimePerIter;
+                }
+            }
+        }
+    }
+    return changed;
+}
+
+void
+PacketNetworkModel::collectCompleted(std::vector<JobId> &completed)
+{
+    for (const auto &[id, job] : jobs_) {
+        if (job.remainingIters <= 0)
+            completed.push_back(id);
+    }
+    std::sort(completed.begin(), completed.end());
+}
+
+Seconds
+PacketNetworkModel::advance(Seconds now, Seconds until,
+                            std::vector<JobId> &completed)
+{
+    completed.clear();
+    NETPACK_CHECK(until >= now);
+    if (jobs_.empty())
+        return until;
+
+    while (now < until - kTimeEpsilon) {
+        // INAlloc-style periodic memory rescheduling (synchronous mode).
+        if (config_.synchronousIna && config_.syncReallocPeriod > 0.0 &&
+            now - lastRealloc_ >= config_.syncReallocPeriod) {
+            repartitionProportional();
+            lastRealloc_ = now;
+            slotsUntilCruise_ = config_.convergenceSlots;
+        }
+        bool changed;
+        if (slotsUntilCruise_ > 0) {
+            if (until - now < rtt_)
+                return until; // sub-RTT remainder: absorb into the next call
+            changed = simulateSlot();
+            now += rtt_;
+            --slotsUntilCruise_;
+        } else {
+            Seconds limit = until - now;
+            if (config_.synchronousIna && config_.syncReallocPeriod > 0.0) {
+                // Do not cruise past the next reallocation boundary.
+                limit = std::min(limit, std::max(lastRealloc_ +
+                                                     config_
+                                                         .syncReallocPeriod -
+                                                     now,
+                                                 0.0));
+                if (limit <= 0.0)
+                    limit = until - now;
+            }
+            const Seconds horizon = cruiseHorizon(limit);
+            if (horizon <= rtt_) {
+                if (until - now < rtt_)
+                    return until;
+                changed = simulateSlot();
+                now += rtt_;
+            } else {
+                changed = cruise(horizon);
+                now += horizon;
+            }
+        }
+        if (changed)
+            slotsUntilCruise_ = config_.convergenceSlots;
+
+        collectCompleted(completed);
+        if (!completed.empty())
+            return std::min(now, until);
+    }
+    return until;
+}
+
+Gbps
+PacketNetworkModel::currentRate(JobId id) const
+{
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end())
+        return 0.0;
+    if (it->second.local)
+        return std::numeric_limits<double>::infinity();
+    return it->second.measuredRate;
+}
+
+double
+PacketNetworkModel::progressFraction(JobId id) const
+{
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end())
+        return 0.0;
+    const Running &job = it->second;
+    if (job.local) {
+        // Local jobs track remaining time, not iterations.
+        const double total = static_cast<double>(job.spec.iterations) *
+                             job.model->computeTimePerIter;
+        return total > 0.0
+                   ? std::clamp(1.0 - job.computeLeft / total, 0.0, 1.0)
+                   : 1.0;
+    }
+    const double total = static_cast<double>(job.spec.iterations);
+    return total > 0.0
+               ? std::clamp(1.0 - static_cast<double>(job.remainingIters) /
+                                      total,
+                            0.0, 1.0)
+               : 1.0;
+}
+
+AggregationCounters
+PacketNetworkModel::aggregationCounters(JobId id) const
+{
+    const auto it = jobs_.find(id);
+    if (it != jobs_.end())
+        return it->second.counters;
+    const auto fin = finishedCounters_.find(id);
+    if (fin != finishedCounters_.end())
+        return fin->second;
+    return {};
+}
+
+} // namespace netpack

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Packet-level network model: the testbed stand-in (see DESIGN.md's
+ * substitution table). Statistical INA is simulated at RTT granularity:
+ * every slot, communicating jobs offer their AIMD window to the network;
+ * each ToR's aggregator pool serves the offered demand FCFS (modelled as
+ * a proportional share of the pool, the fluid limit of hash contention),
+ * the unserved residue falls back to the PS unaggregated, links mark
+ * jobs that overload them (ECN), and marked jobs halve their rate while
+ * unmarked jobs gain an additive increment — converging, like DCTCP/ATP,
+ * to a max-min share. A compute/communicate phase machine per job makes
+ * the fine-grained memory multiplexing visible (Figure 2).
+ *
+ * In synchronous-INA mode the pool is statically partitioned among the
+ * resident jobs; a job's send rate is capped by its region regardless of
+ * the other jobs' phases, and nothing falls back (SwitchML semantics).
+ *
+ * To keep multi-hour traces tractable the model "cruises" between
+ * convergence windows: after any phase or membership change it simulates
+ * a configurable number of real slots, then advances analytically at the
+ * measured rates until the next discrete change.
+ */
+
+#ifndef NETPACK_SIM_PACKET_MODEL_H
+#define NETPACK_SIM_PACKET_MODEL_H
+
+#include <map>
+#include <unordered_map>
+
+#include "ina/hierarchy.h"
+#include "sim/network_model.h"
+#include "topology/cluster.h"
+
+namespace netpack {
+
+/** Tunables of the packet-level model. */
+struct PacketModelConfig
+{
+    /** Additive increase per RTT, Gbps. */
+    Gbps additiveIncrease = 2.0;
+    /**
+     * Multiplicative decrease factor on ECN mark. DCTCP-style marking
+     * shrinks the window gently, keeping average utilization near the
+     * bottleneck capacity.
+     */
+    double multiplicativeDecrease = 0.8;
+    /**
+     * Application-level send-rate cap in Gbps (0 = uncapped). The
+     * Figure 14 experiments fix the job throughput at 10 Gbps and sweep
+     * the switch memory against it.
+     */
+    Gbps maxRate = 0.0;
+    /** Starting rate of a fresh comm phase, Gbps. */
+    Gbps initialRate = 5.0;
+    /** Floor rate, Gbps. */
+    Gbps minRate = 0.05;
+    /** Use synchronous (statically partitioned) INA memory. */
+    bool synchronousIna = false;
+    /**
+     * INAlloc-style periodic reallocation for synchronous mode: every
+     * this many seconds the controller repartitions each ToR's memory
+     * proportionally to the resident jobs' fan-in (INAlloc's minimum
+     * scheduling interval is 10 s). 0 keeps SwitchML-style static
+     * equal regions for each job's lifetime.
+     */
+    Seconds syncReallocPeriod = 0.0;
+    /**
+     * Model hash collisions in the shared pool: even when the offered
+     * demand fits the pool, the hash-addressed FCFS aggregators lose a
+     * little capacity to collisions (fluid occupancy model,
+     * eff = pool x (1 - exp(-demand/pool))), sending the residue to the
+     * PS. Off by default — the paper's Figure 14 shows the deviation is
+     * small on real hardware.
+     */
+    bool modelHashCollisions = false;
+    /** Slots simulated after a change before cruising analytically. */
+    int convergenceSlots = 64;
+    /** EMA smoothing factor for the measured rate. */
+    double rateEmaAlpha = 0.15;
+};
+
+/** Per-job aggregation accounting (Figure 14). */
+struct AggregationCounters
+{
+    /** Gradient traffic removed by switches, MB. */
+    double aggregatedMb = 0.0;
+    /** Maximum removable traffic, MB ((n-1) x delivered volume). */
+    double aggregatableMb = 0.0;
+
+    /** Fraction of aggregatable traffic actually aggregated. */
+    double ratio() const
+    {
+        return aggregatableMb > 0.0 ? aggregatedMb / aggregatableMb : 0.0;
+    }
+};
+
+/** RTT-slotted statistical/synchronous INA simulator. */
+class PacketNetworkModel : public NetworkModel
+{
+  public:
+    PacketNetworkModel(const ClusterTopology &topo,
+                       PacketModelConfig config = {});
+
+    void jobStarted(const JobSpec &spec, const Placement &placement,
+                    Seconds now) override;
+    void jobFinished(JobId id, Seconds now) override;
+    void updateInaRacks(JobId id,
+                        const std::set<RackId> &ina_racks) override;
+    Seconds advance(Seconds now, Seconds until,
+                    std::vector<JobId> &completed) override;
+    std::size_t runningJobs() const override { return jobs_.size(); }
+    Gbps currentRate(JobId id) const override;
+    double progressFraction(JobId id) const override;
+
+    /** Aggregation counters of a running or recently finished job. */
+    AggregationCounters aggregationCounters(JobId id) const;
+
+    /** Total slots simulated so far (diagnostics). */
+    long long slotsSimulated() const { return slotsSimulated_; }
+
+  private:
+    enum class Phase
+    {
+        Compute,
+        Comm,
+    };
+
+    struct Running
+    {
+        JobSpec spec;
+        Placement placement;
+        const ModelProfile *model = nullptr;
+        JobHierarchy hierarchy;
+        bool local = false;
+        std::int64_t remainingIters = 0;
+        Phase phase = Phase::Compute;
+        /** Remaining compute time of the current iteration. */
+        Seconds computeLeft = 0.0;
+        /** Remaining per-worker gradient bytes of this iteration. */
+        MBytes commLeft = 0.0;
+        /** AIMD per-worker send rate. */
+        Gbps rate = 0.0;
+        /** Measured (EMA) delivered rate. */
+        Gbps measuredRate = 0.0;
+        AggregationCounters counters;
+
+        Running(const ClusterTopology &topo, const JobSpec &s,
+                const Placement &p);
+    };
+
+    /** Simulate one RTT; returns true if any phase changed. */
+    bool simulateSlot();
+
+    /** Largest analytic jump that crosses no phase boundary. */
+    Seconds cruiseHorizon(Seconds limit) const;
+
+    /** Advance all jobs analytically by @p dt (no AIMD dynamics). */
+    bool cruise(Seconds dt);
+
+    /** Recompute synchronous-mode per-job regions after churn. */
+    void repartitionRegions();
+
+    /** INAlloc-style periodic proportional repartition (fan-in based). */
+    void repartitionProportional();
+
+    /** Collect ids whose remainingIters reached zero. */
+    void collectCompleted(std::vector<JobId> &completed);
+
+    const ClusterTopology *topo_;
+    PacketModelConfig config_;
+    Seconds rtt_;
+    std::map<JobId, Running> jobs_;
+    /** Synchronous mode: per-rack per-job region as PAT share (Gbps). */
+    std::vector<std::unordered_map<int, Gbps>> regions_;
+    /** Counters of finished jobs, kept for post-run queries. */
+    std::unordered_map<JobId, AggregationCounters> finishedCounters_;
+    int slotsUntilCruise_ = 0;
+    long long slotsSimulated_ = 0;
+    /** Simulation clock of the last INAlloc-style reallocation. */
+    Seconds lastRealloc_ = 0.0;
+
+    // Scratch buffers reused every slot (avoid per-slot allocation).
+    std::vector<double> linkLoad_;
+    std::vector<double> torDemand_;
+};
+
+} // namespace netpack
+
+#endif // NETPACK_SIM_PACKET_MODEL_H

@@ -1,0 +1,175 @@
+#include "topology/cluster.h"
+
+#include "common/check.h"
+
+namespace netpack {
+
+ClusterTopology::ClusterTopology(const ClusterConfig &config)
+    : config_(config)
+{
+    NETPACK_REQUIRE(config.numRacks > 0,
+                    "numRacks must be positive, got " << config.numRacks);
+    NETPACK_REQUIRE(config.serversPerRack > 0,
+                    "serversPerRack must be positive, got "
+                        << config.serversPerRack);
+    NETPACK_REQUIRE(config.gpusPerServer > 0,
+                    "gpusPerServer must be positive, got "
+                        << config.gpusPerServer);
+    NETPACK_REQUIRE(config.serverLinkGbps > 0.0,
+                    "serverLinkGbps must be positive, got "
+                        << config.serverLinkGbps);
+    NETPACK_REQUIRE(config.oversubscription >= 1.0,
+                    "oversubscription must be >= 1, got "
+                        << config.oversubscription);
+    NETPACK_REQUIRE(config.torPatGbps >= 0.0,
+                    "torPatGbps must be non-negative, got "
+                        << config.torPatGbps);
+    NETPACK_REQUIRE(config.rtt > 0.0,
+                    "rtt must be positive, got " << config.rtt);
+    NETPACK_REQUIRE(config.racksPerPod >= 0,
+                    "racksPerPod must be non-negative, got "
+                        << config.racksPerPod);
+    NETPACK_REQUIRE(config.racksPerPod == 0 ||
+                        config.numRacks % config.racksPerPod == 0,
+                    "numRacks (" << config.numRacks
+                                 << ") must be a multiple of racksPerPod ("
+                                 << config.racksPerPod << ")");
+    NETPACK_REQUIRE(config.podOversubscription >= 1.0,
+                    "podOversubscription must be >= 1, got "
+                        << config.podOversubscription);
+
+    links_.reserve(static_cast<std::size_t>(numLinks()));
+    for (int s = 0; s < numServers(); ++s) {
+        Link l;
+        l.kind = Link::Kind::ServerAccess;
+        l.capacity = config.serverLinkGbps;
+        l.server = ServerId(s);
+        l.rack = rackOf(ServerId(s));
+        links_.push_back(l);
+    }
+    const Gbps core_capacity = config.serverLinkGbps *
+                               static_cast<double>(config.serversPerRack) /
+                               config.oversubscription;
+    for (int r = 0; r < numRacks(); ++r) {
+        Link l;
+        l.kind = Link::Kind::RackCore;
+        l.capacity = core_capacity;
+        l.rack = RackId(r);
+        links_.push_back(l);
+    }
+    // Two-tier mode: per-pod uplinks into the core, oversubscribed
+    // against the pod's aggregate rack-core capacity.
+    if (twoTier()) {
+        const Gbps pod_capacity =
+            core_capacity * static_cast<double>(config.racksPerPod) /
+            config.podOversubscription;
+        for (int p = 0; p < numPods(); ++p) {
+            Link l;
+            l.kind = Link::Kind::PodUplink;
+            l.capacity = pod_capacity;
+            l.pod = p;
+            links_.push_back(l);
+        }
+    }
+    torPat_.assign(static_cast<std::size_t>(numRacks()), config.torPatGbps);
+}
+
+RackId
+ClusterTopology::rackOf(ServerId server) const
+{
+    NETPACK_CHECK(server.valid() && server.value < numServers());
+    return RackId(server.value / config_.serversPerRack);
+}
+
+std::vector<ServerId>
+ClusterTopology::serversInRack(RackId rack) const
+{
+    NETPACK_CHECK(rack.valid() && rack.value < numRacks());
+    std::vector<ServerId> out;
+    out.reserve(static_cast<std::size_t>(config_.serversPerRack));
+    const int first = rack.value * config_.serversPerRack;
+    for (int s = first; s < first + config_.serversPerRack; ++s)
+        out.push_back(ServerId(s));
+    return out;
+}
+
+LinkId
+ClusterTopology::accessLink(ServerId server) const
+{
+    NETPACK_CHECK(server.valid() && server.value < numServers());
+    return LinkId(server.value);
+}
+
+LinkId
+ClusterTopology::coreLink(RackId rack) const
+{
+    NETPACK_CHECK(rack.valid() && rack.value < numRacks());
+    return LinkId(numServers() + rack.value);
+}
+
+int
+ClusterTopology::numPods() const
+{
+    return twoTier() ? config_.numRacks / config_.racksPerPod : 0;
+}
+
+int
+ClusterTopology::podOf(RackId rack) const
+{
+    NETPACK_CHECK(twoTier());
+    NETPACK_CHECK(rack.valid() && rack.value < numRacks());
+    return rack.value / config_.racksPerPod;
+}
+
+LinkId
+ClusterTopology::podUplink(int pod) const
+{
+    NETPACK_CHECK(twoTier());
+    NETPACK_CHECK(pod >= 0 && pod < numPods());
+    return LinkId(numServers() + numRacks() + pod);
+}
+
+const Link &
+ClusterTopology::link(LinkId id) const
+{
+    NETPACK_CHECK(id.valid() &&
+                  id.value < static_cast<int>(links_.size()));
+    return links_[id.index()];
+}
+
+Gbps
+ClusterTopology::serverLinkCapacity(ServerId server) const
+{
+    return link(accessLink(server)).capacity;
+}
+
+Gbps
+ClusterTopology::coreLinkCapacity(RackId rack) const
+{
+    return link(coreLink(rack)).capacity;
+}
+
+Gbps
+ClusterTopology::torPat(RackId rack) const
+{
+    NETPACK_CHECK(rack.valid() && rack.value < numRacks());
+    return torPat_[rack.index()];
+}
+
+void
+ClusterTopology::setTorPat(RackId rack, Gbps pat)
+{
+    NETPACK_CHECK(rack.valid() && rack.value < numRacks());
+    NETPACK_REQUIRE(pat >= 0.0, "PAT must be non-negative, got " << pat);
+    torPat_[rack.index()] = pat;
+}
+
+void
+ClusterTopology::setAllTorPats(Gbps pat)
+{
+    NETPACK_REQUIRE(pat >= 0.0, "PAT must be non-negative, got " << pat);
+    for (auto &p : torPat_)
+        p = pat;
+}
+
+} // namespace netpack

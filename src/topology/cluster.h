@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Cluster topology: the fat-tree "one big switch" abstraction used by the
+ * paper (Section 4.1). Servers attach to rack ToR switches over access
+ * links; racks attach to an abstract non-blocking core (the DCN) over core
+ * links whose capacity encodes the oversubscription ratio. ToR switches
+ * optionally provide statistical INA with a Peak Aggregation Throughput.
+ */
+
+#ifndef NETPACK_TOPOLOGY_CLUSTER_H
+#define NETPACK_TOPOLOGY_CLUSTER_H
+
+#include <vector>
+
+#include "common/units.h"
+#include "topology/ids.h"
+
+namespace netpack {
+
+/** Construction parameters of a ClusterTopology. */
+struct ClusterConfig
+{
+    /** Number of racks (each with one ToR switch). */
+    int numRacks = 16;
+    /** Servers per rack (paper default 16). */
+    int serversPerRack = 16;
+    /** GPUs per server (paper default 4). */
+    int gpusPerServer = 4;
+    /** Server access link capacity in Gbps (paper testbed: 100 Gbps). */
+    Gbps serverLinkGbps = 100.0;
+    /**
+     * Core oversubscription ratio X in "X:1". 1.0 means full bisection;
+     * 20.0 means the rack uplink is 1/20 of the rack's aggregate access
+     * capacity (Figure 12 sweeps 1..20).
+     */
+    double oversubscription = 1.0;
+    /** Available PAT per ToR switch in Gbps (paper default 1 Tbps). */
+    Gbps torPatGbps = 1000.0;
+    /** Worker-to-PS round-trip time (propagation + ECN threshold drain). */
+    Seconds rtt = 50e-6;
+    /**
+     * Racks per pod for the two-tier core extension. 0 (default) keeps
+     * the paper's "one big switch" abstraction: every rack uplinks into
+     * one non-blocking core. A positive value groups racks into pods of
+     * this size; cross-pod traffic additionally crosses per-pod uplinks
+     * whose capacity is governed by podOversubscription.
+     */
+    int racksPerPod = 0;
+    /** Pod uplink oversubscription X in "X:1" (two-tier mode only). */
+    double podOversubscription = 1.0;
+};
+
+/** One undirected link of the cluster. */
+struct Link
+{
+    /** What the link connects. */
+    enum class Kind
+    {
+        /** Server to its rack's ToR switch. */
+        ServerAccess,
+        /** Rack ToR to its pod's aggregation layer (or the core). */
+        RackCore,
+        /** Pod aggregation layer to the core (two-tier mode only). */
+        PodUplink,
+    };
+
+    Kind kind = Kind::ServerAccess;
+    /** Capacity in Gbps. */
+    Gbps capacity = 0.0;
+    /** Owning server for access links (invalid for core links). */
+    ServerId server;
+    /** Owning rack (the ToR side; invalid for pod uplinks). */
+    RackId rack;
+    /** Owning pod for pod uplinks (two-tier mode), else -1. */
+    int pod = -1;
+};
+
+/**
+ * Immutable cluster topology. Runtime resource occupancy (free GPUs,
+ * residual bandwidth) lives elsewhere (GpuLedger, SteadyState); this class
+ * answers only structural questions.
+ */
+class ClusterTopology
+{
+  public:
+    /** Build a topology from a configuration; validates all parameters. */
+    explicit ClusterTopology(const ClusterConfig &config);
+
+    /** The configuration the topology was built from. */
+    const ClusterConfig &config() const { return config_; }
+
+    /** Total number of servers. */
+    int numServers() const
+    {
+        return config_.numRacks * config_.serversPerRack;
+    }
+
+    /** Total number of racks / ToR switches. */
+    int numRacks() const { return config_.numRacks; }
+
+    /** Total number of GPUs in the cluster. */
+    int totalGpus() const { return numServers() * config_.gpusPerServer; }
+
+    /** GPUs per server (uniform). */
+    int gpusPerServer() const { return config_.gpusPerServer; }
+
+    /** Rack that hosts @p server. */
+    RackId rackOf(ServerId server) const;
+
+    /** Servers hosted by @p rack, in index order. */
+    std::vector<ServerId> serversInRack(RackId rack) const;
+
+    /** True when racks are grouped into pods (two-tier core). */
+    bool twoTier() const { return config_.racksPerPod > 0; }
+
+    /** Number of pods (0 in one-big-switch mode). */
+    int numPods() const;
+
+    /** Pod of @p rack (two-tier mode only). */
+    int podOf(RackId rack) const;
+
+    /**
+     * Number of links: one access link per server, one core link per
+     * rack, plus one uplink per pod in two-tier mode.
+     */
+    int numLinks() const { return numServers() + numRacks() + numPods(); }
+
+    /** Access link of @p server. */
+    LinkId accessLink(ServerId server) const;
+
+    /** Core (rack-to-aggregation/DCN) link of @p rack. */
+    LinkId coreLink(RackId rack) const;
+
+    /** Uplink of @p pod (two-tier mode only). */
+    LinkId podUplink(int pod) const;
+
+    /** Link metadata. */
+    const Link &link(LinkId id) const;
+
+    /** All links. */
+    const std::vector<Link> &links() const { return links_; }
+
+    /** Access link capacity of @p server in Gbps. */
+    Gbps serverLinkCapacity(ServerId server) const;
+
+    /** Core link capacity of @p rack in Gbps. */
+    Gbps coreLinkCapacity(RackId rack) const;
+
+    /** PAT of the ToR switch in @p rack, in Gbps. */
+    Gbps torPat(RackId rack) const;
+
+    /**
+     * Override the PAT of one ToR (Figure 11 varies the switch memory;
+     * Figure 5 needs heterogeneous PATs).
+     */
+    void setTorPat(RackId rack, Gbps pat);
+
+    /** Override all ToR PATs at once. */
+    void setAllTorPats(Gbps pat);
+
+  private:
+    ClusterConfig config_;
+    std::vector<Link> links_;
+    std::vector<Gbps> torPat_;
+};
+
+} // namespace netpack
+
+#endif // NETPACK_TOPOLOGY_CLUSTER_H

@@ -1,0 +1,108 @@
+#include "topology/gpu_ledger.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace netpack {
+
+GpuLedger::GpuLedger(const ClusterTopology &topo)
+    : topo_(&topo),
+      freeGpus_(static_cast<std::size_t>(topo.numServers()),
+                topo.gpusPerServer()),
+      totalFree_(topo.totalGpus())
+{
+}
+
+int
+GpuLedger::freeGpus(ServerId server) const
+{
+    NETPACK_CHECK(server.valid() && server.value < topo_->numServers());
+    return freeGpus_[server.index()];
+}
+
+int
+GpuLedger::heldGpus(ServerId server, JobId job) const
+{
+    const auto job_it = jobHoldings_.find(job);
+    if (job_it == jobHoldings_.end())
+        return 0;
+    const auto server_it = job_it->second.find(server.value);
+    return server_it == job_it->second.end() ? 0 : server_it->second;
+}
+
+int
+GpuLedger::freeGpusInRack(RackId rack) const
+{
+    int total = 0;
+    for (ServerId s : topo_->serversInRack(rack))
+        total += freeGpus_[s.index()];
+    return total;
+}
+
+void
+GpuLedger::allocate(ServerId server, JobId job, int count)
+{
+    NETPACK_CHECK(server.valid() && server.value < topo_->numServers());
+    NETPACK_CHECK(job.valid());
+    NETPACK_CHECK_MSG(count > 0, "allocation count must be positive");
+    NETPACK_CHECK_MSG(freeGpus_[server.index()] >= count,
+                      "server " << server.value << " has "
+                                << freeGpus_[server.index()]
+                                << " free GPUs, requested " << count);
+    freeGpus_[server.index()] -= count;
+    totalFree_ -= count;
+    jobHoldings_[job][server.value] += count;
+}
+
+void
+GpuLedger::releaseJob(JobId job)
+{
+    const auto it = jobHoldings_.find(job);
+    if (it == jobHoldings_.end())
+        return;
+    for (const auto &[server_value, count] : it->second) {
+        freeGpus_[static_cast<std::size_t>(server_value)] += count;
+        totalFree_ += count;
+    }
+    jobHoldings_.erase(it);
+}
+
+void
+GpuLedger::release(ServerId server, JobId job, int count)
+{
+    NETPACK_CHECK(count > 0);
+    const auto job_it = jobHoldings_.find(job);
+    NETPACK_CHECK_MSG(job_it != jobHoldings_.end(),
+                      "job " << job.value << " holds no GPUs");
+    const auto server_it = job_it->second.find(server.value);
+    NETPACK_CHECK_MSG(server_it != job_it->second.end() &&
+                          server_it->second >= count,
+                      "job " << job.value << " holds fewer than " << count
+                             << " GPUs on server " << server.value);
+    server_it->second -= count;
+    freeGpus_[server.index()] += count;
+    totalFree_ += count;
+    if (server_it->second == 0)
+        job_it->second.erase(server_it);
+    if (job_it->second.empty())
+        jobHoldings_.erase(job_it);
+}
+
+std::vector<ServerId>
+GpuLedger::serversOf(JobId job) const
+{
+    std::vector<ServerId> out;
+    const auto it = jobHoldings_.find(job);
+    if (it == jobHoldings_.end())
+        return out;
+    out.reserve(it->second.size());
+    for (const auto &[server_value, count] : it->second) {
+        (void)count;
+        out.push_back(ServerId(server_value));
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+} // namespace netpack

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Runtime GPU occupancy of a cluster. GPUs are allocated whole to jobs and
+ * are not preemptable until the job finishes (Section 3.1 assumption 3),
+ * so the ledger is a simple per-server free-count with job attribution for
+ * release.
+ */
+
+#ifndef NETPACK_TOPOLOGY_GPU_LEDGER_H
+#define NETPACK_TOPOLOGY_GPU_LEDGER_H
+
+#include <unordered_map>
+#include <vector>
+
+#include "topology/cluster.h"
+#include "topology/ids.h"
+
+namespace netpack {
+
+/** Tracks free GPUs per server and which job holds what. */
+class GpuLedger
+{
+  public:
+    /** Start with every GPU of @p topo free. */
+    explicit GpuLedger(const ClusterTopology &topo);
+
+    /** Free GPUs on @p server. */
+    int freeGpus(ServerId server) const;
+
+    /** GPUs on @p server currently held by @p job (0 if none). */
+    int heldGpus(ServerId server, JobId job) const;
+
+    /** Total free GPUs in the cluster. */
+    int totalFreeGpus() const { return totalFree_; }
+
+    /** Total free GPUs in @p rack. */
+    int freeGpusInRack(RackId rack) const;
+
+    /**
+     * Allocate @p count GPUs on @p server to @p job.
+     * Internal error if the server has fewer free GPUs.
+     */
+    void allocate(ServerId server, JobId job, int count);
+
+    /** Release every GPU @p job holds, on every server. */
+    void releaseJob(JobId job);
+
+    /**
+     * Release @p count GPUs of @p job on @p server (used when the DP plan
+     * over-allocates and the extras are trimmed on the least-loaded
+     * server, Section 5.2 step ②).
+     */
+    void release(ServerId server, JobId job, int count);
+
+    /** Servers on which @p job holds at least one GPU. */
+    std::vector<ServerId> serversOf(JobId job) const;
+
+    /** Number of distinct jobs holding GPUs. */
+    std::size_t activeJobs() const { return jobHoldings_.size(); }
+
+  private:
+    const ClusterTopology *topo_;
+    std::vector<int> freeGpus_;
+    int totalFree_ = 0;
+    // job -> (server index -> held count)
+    std::unordered_map<JobId, std::unordered_map<int, int>> jobHoldings_;
+};
+
+} // namespace netpack
+
+#endif // NETPACK_TOPOLOGY_GPU_LEDGER_H

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Strongly-typed indices for cluster entities. They are thin wrappers over
+ * int so that a server index can never silently be used where a rack index
+ * is expected.
+ */
+
+#ifndef NETPACK_TOPOLOGY_IDS_H
+#define NETPACK_TOPOLOGY_IDS_H
+
+#include <cstddef>
+#include <functional>
+
+namespace netpack {
+
+namespace detail {
+
+/** CRTP-free tagged index; Tag distinguishes unrelated id spaces. */
+template <typename Tag>
+struct TaggedId
+{
+    int value = -1;
+
+    constexpr TaggedId() = default;
+    constexpr explicit TaggedId(int v) : value(v) {}
+
+    constexpr bool valid() const { return value >= 0; }
+    constexpr std::size_t index() const
+    {
+        return static_cast<std::size_t>(value);
+    }
+
+    friend constexpr bool
+    operator==(TaggedId a, TaggedId b)
+    {
+        return a.value == b.value;
+    }
+    friend constexpr bool
+    operator!=(TaggedId a, TaggedId b)
+    {
+        return a.value != b.value;
+    }
+    friend constexpr bool
+    operator<(TaggedId a, TaggedId b)
+    {
+        return a.value < b.value;
+    }
+};
+
+} // namespace detail
+
+struct ServerTag {};
+struct RackTag {};
+struct LinkTag {};
+struct JobTag {};
+
+/** Index of a GPU server. */
+using ServerId = detail::TaggedId<ServerTag>;
+/** Index of a rack (and of its ToR switch). */
+using RackId = detail::TaggedId<RackTag>;
+/** Index of an undirected link. */
+using LinkId = detail::TaggedId<LinkTag>;
+/** Index of a training job. */
+using JobId = detail::TaggedId<JobTag>;
+
+} // namespace netpack
+
+namespace std {
+
+template <typename Tag>
+struct hash<netpack::detail::TaggedId<Tag>>
+{
+    size_t
+    operator()(netpack::detail::TaggedId<Tag> id) const noexcept
+    {
+        return std::hash<int>{}(id.value);
+    }
+};
+
+} // namespace std
+
+#endif // NETPACK_TOPOLOGY_IDS_H

@@ -1,0 +1,234 @@
+#include "waterfill/steady_state.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/log.h"
+
+namespace netpack {
+
+namespace {
+
+/** Residual below this (Gbps) counts as exhausted. */
+constexpr double kEpsilon = 1e-9;
+
+} // namespace
+
+Gbps
+SteadyState::serverAvailBw(const ClusterTopology &topo,
+                           ServerId server) const
+{
+    return linkResidual[topo.accessLink(server).index()];
+}
+
+int
+SteadyState::serverFlows(const ClusterTopology &topo, ServerId server) const
+{
+    return linkFlows[topo.accessLink(server).index()];
+}
+
+Gbps
+SteadyState::rackAvailBw(const ClusterTopology &topo, RackId rack) const
+{
+    return linkResidual[topo.coreLink(rack).index()];
+}
+
+int
+SteadyState::rackFlows(const ClusterTopology &topo, RackId rack) const
+{
+    return linkFlows[topo.coreLink(rack).index()];
+}
+
+Gbps
+SteadyState::jobThroughput(JobId job) const
+{
+    const auto it = jobRate.find(job);
+    if (it == jobRate.end())
+        return std::numeric_limits<double>::infinity();
+    return it->second;
+}
+
+WaterFillingEstimator::WaterFillingEstimator(const ClusterTopology &topo)
+    : topo_(&topo)
+{
+}
+
+SteadyState
+WaterFillingEstimator::estimate(const std::vector<PlacedJob> &jobs) const
+{
+    // Multi-PS jobs decompose into one-PS shard hierarchies
+    // (Section 4.1); shards of the same job share its JobId and are
+    // re-aggregated when the converged rates are published.
+    std::vector<JobHierarchy> hierarchies;
+    hierarchies.reserve(jobs.size());
+    for (const auto &job : jobs) {
+        std::vector<JobHierarchy> shards =
+            buildShardHierarchies(*topo_, job.id, job.placement);
+        hierarchies.insert(hierarchies.end(),
+                           std::make_move_iterator(shards.begin()),
+                           std::make_move_iterator(shards.end()));
+    }
+    return estimate(hierarchies);
+}
+
+SteadyState
+WaterFillingEstimator::estimate(std::vector<JobHierarchy> &hierarchies) const
+{
+    const auto num_links = static_cast<std::size_t>(topo_->numLinks());
+    const auto num_racks = static_cast<std::size_t>(topo_->numRacks());
+
+    SteadyState state;
+    state.linkResidual.resize(num_links);
+    for (std::size_t l = 0; l < num_links; ++l)
+        state.linkResidual[l] = topo_->link(LinkId(static_cast<int>(l)))
+                                    .capacity;
+    state.patResidual.resize(num_racks);
+    for (std::size_t r = 0; r < num_racks; ++r)
+        state.patResidual[r] = topo_->torPat(RackId(static_cast<int>(r)));
+    state.linkFlows.assign(num_links, 0);
+
+    // Network (non-local) jobs participate; local jobs are free.
+    std::vector<JobHierarchy *> active;
+    for (auto &h : hierarchies) {
+        if (!h.local())
+            active.push_back(&h);
+    }
+    std::vector<double> rate(active.size(), 0.0);
+    std::vector<bool> frozen(active.size(), false);
+    std::size_t remaining = active.size();
+
+    lastIterations_ = 0;
+    // Each round exhausts at least one link or one ToR's PAT, so the loop
+    // is bounded by the resource count (Section 4.2 complexity argument).
+    const int max_rounds = topo_->numLinks() + topo_->numRacks() + 1;
+    while (remaining > 0) {
+        NETPACK_CHECK_MSG(lastIterations_ < max_rounds,
+                          "water-filling failed to converge after "
+                              << lastIterations_ << " rounds");
+        ++lastIterations_;
+
+        // UpdateFlows for every active job (Alg. 1 line 3).
+        for (std::size_t j = 0; j < active.size(); ++j) {
+            if (!frozen[j])
+                active[j]->updateFlows(state.patResidual);
+        }
+
+        // Count flows per link and INA jobs per ToR (lines 4-5).
+        std::vector<int> link_flows(num_links, 0);
+        std::vector<int> tor_jobs(num_racks, 0);
+        for (std::size_t j = 0; j < active.size(); ++j) {
+            if (frozen[j])
+                continue;
+            active[j]->accumulateLinkFlows(link_flows);
+            for (RackId rack : active[j]->inaRacks()) {
+                if (state.patResidual[rack.index()] > kEpsilon)
+                    ++tor_jobs[rack.index()];
+            }
+        }
+
+        // Minimum per-flow share over links (line 6) and ToRs (line 7).
+        double bw1 = std::numeric_limits<double>::infinity();
+        for (std::size_t l = 0; l < num_links; ++l) {
+            if (link_flows[l] > 0 && state.linkResidual[l] > kEpsilon) {
+                bw1 = std::min(bw1, state.linkResidual[l] /
+                                        static_cast<double>(link_flows[l]));
+            }
+        }
+        double bw2 = std::numeric_limits<double>::infinity();
+        for (std::size_t r = 0; r < num_racks; ++r) {
+            if (tor_jobs[r] > 0 && state.patResidual[r] > kEpsilon) {
+                bw2 = std::min(bw2, state.patResidual[r] /
+                                        static_cast<double>(tor_jobs[r]));
+            }
+        }
+        const double step = std::min(bw1, bw2);
+
+        if (!std::isfinite(step)) {
+            // Every active job sits entirely on exhausted links; they are
+            // stuck at their current (possibly zero) rate.
+            for (std::size_t j = 0; j < active.size(); ++j) {
+                if (!frozen[j]) {
+                    frozen[j] = true;
+                    --remaining;
+                }
+            }
+            break;
+        }
+
+        // Augment (lines 8, 16-26): grant `step` to every active job.
+        for (std::size_t j = 0; j < active.size(); ++j) {
+            if (frozen[j])
+                continue;
+            rate[j] += step;
+            for (const auto &node : active[j]->nodes()) {
+                for (LinkId link : node.uplinks) {
+                    state.linkResidual[link.index()] -=
+                        step * static_cast<double>(node.flows);
+                }
+                if (node.kind == HierarchyNode::Kind::Switch &&
+                    node.inaEnabled &&
+                    state.patResidual[node.rack.index()] > kEpsilon) {
+                    state.patResidual[node.rack.index()] -= step;
+                }
+            }
+        }
+        for (auto &residual : state.linkResidual)
+            residual = std::max(residual, 0.0);
+        for (auto &residual : state.patResidual)
+            residual = std::max(residual, 0.0);
+
+        // Freeze jobs whose path saturated (lines 22-23).
+        for (std::size_t j = 0; j < active.size(); ++j) {
+            if (frozen[j])
+                continue;
+            bool saturated = false;
+            for (const auto &node : active[j]->nodes()) {
+                if (node.flows <= 0)
+                    continue;
+                for (LinkId link : node.uplinks) {
+                    if (state.linkResidual[link.index()] <= kEpsilon) {
+                        saturated = true;
+                        break;
+                    }
+                }
+                if (saturated)
+                    break;
+            }
+            if (saturated) {
+                frozen[j] = true;
+                --remaining;
+            }
+        }
+    }
+
+    // Publish converged rates and final flow counts. A job placed with
+    // k PSes appears as k shard hierarchies, each moving 1/k of the
+    // gradient at its own rate; every shard must finish, so the job's
+    // effective rate is k x min(shard rates). Single-PS jobs reduce to
+    // their plain rate.
+    std::unordered_map<JobId, std::pair<int, double>> shard_stats;
+    for (std::size_t j = 0; j < active.size(); ++j) {
+        auto [it, inserted] = shard_stats.try_emplace(
+            active[j]->job(), 1, rate[j]);
+        if (!inserted) {
+            it->second.first += 1;
+            it->second.second = std::min(it->second.second, rate[j]);
+        }
+    }
+    for (const auto &[job, stats] : shard_stats) {
+        state.jobRate[job] = static_cast<double>(stats.first) *
+                             stats.second;
+    }
+    for (auto *h : active)
+        h->accumulateLinkFlows(state.linkFlows);
+
+    NETPACK_LOG(Debug, "water-filling converged in " << lastIterations_
+                                                     << " rounds over "
+                                                     << active.size()
+                                                     << " network jobs");
+    return state;
+}
+
+} // namespace netpack

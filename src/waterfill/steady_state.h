@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The INA-specific water-filling algorithm (Section 4.2, Algorithm 1).
+ * Statistical INA allocates network resources in a decentralized way:
+ * jobs run AIMD congestion control and converge to a max-min fair share
+ * of two *coupled* resources — link bandwidth and switch PAT. The
+ * estimator replays that convergence analytically: it repeatedly grants
+ * every active job the minimum per-flow share of the tightest remaining
+ * link or switch, freezes jobs whose path saturated, and lets switches
+ * whose PAT ran out degrade from "aggregate to one flow" to
+ * "pass all flows through" before the next round.
+ */
+
+#ifndef NETPACK_WATERFILL_STEADY_STATE_H
+#define NETPACK_WATERFILL_STEADY_STATE_H
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/units.h"
+#include "ina/hierarchy.h"
+#include "topology/cluster.h"
+#include "topology/ids.h"
+#include "workload/job.h"
+
+namespace netpack {
+
+/** A running job as seen by the estimator: identity plus placement. */
+struct PlacedJob
+{
+    JobId id;
+    Placement placement;
+};
+
+/** Converged cluster state produced by the water-filling estimator. */
+struct SteadyState
+{
+    /**
+     * Converged per-worker send rate of each network job (Gbps). Local
+     * (single-server) jobs do not appear; query via jobThroughput which
+     * reports infinity for them.
+     */
+    std::unordered_map<JobId, Gbps> jobRate;
+    /** Residual capacity per link (Gbps), indexed by LinkId. */
+    std::vector<Gbps> linkResidual;
+    /** Residual PAT per rack ToR (Gbps), indexed by RackId. */
+    std::vector<Gbps> patResidual;
+    /** Steady-state flow count per link, indexed by LinkId. */
+    std::vector<int> linkFlows;
+
+    /** Residual bandwidth of @p server's access link. */
+    Gbps serverAvailBw(const ClusterTopology &topo, ServerId server) const;
+
+    /** Flow count on @p server's access link. */
+    int serverFlows(const ClusterTopology &topo, ServerId server) const;
+
+    /** Residual bandwidth on @p rack's core link. */
+    Gbps rackAvailBw(const ClusterTopology &topo, RackId rack) const;
+
+    /** Flow count on @p rack's core link. */
+    int rackFlows(const ClusterTopology &topo, RackId rack) const;
+
+    /**
+     * Communication throughput of @p job: its converged rate, or
+     * +infinity for jobs that generate no network traffic.
+     */
+    Gbps jobThroughput(JobId job) const;
+};
+
+/**
+ * Runs Algorithm 1 over a set of placed jobs on a topology. Stateless
+ * apart from the topology reference; estimate() may be called repeatedly
+ * (NetPack re-estimates before each job placement, Algorithm 2 line 7).
+ */
+class WaterFillingEstimator
+{
+  public:
+    explicit WaterFillingEstimator(const ClusterTopology &topo);
+
+    /** Estimate the steady state for @p jobs. */
+    SteadyState estimate(const std::vector<PlacedJob> &jobs) const;
+
+    /**
+     * Estimate reusing prebuilt hierarchies (the flow-level simulator
+     * caches them across epochs). The hierarchies' flow counts are
+     * mutated during estimation.
+     */
+    SteadyState estimate(std::vector<JobHierarchy> &hierarchies) const;
+
+    /** Iterations the most recent estimate() took (diagnostics). */
+    int lastIterations() const { return lastIterations_; }
+
+  private:
+    const ClusterTopology *topo_;
+    mutable int lastIterations_ = 0;
+};
+
+} // namespace netpack
+
+#endif // NETPACK_WATERFILL_STEADY_STATE_H

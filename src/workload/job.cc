@@ -1,0 +1,104 @@
+#include "workload/job.h"
+
+#include <limits>
+
+#include "common/check.h"
+
+namespace netpack {
+
+int
+Placement::totalWorkers() const
+{
+    int total = 0;
+    for (const auto &[server, count] : workers) {
+        (void)server;
+        total += count;
+    }
+    return total;
+}
+
+std::vector<ServerId>
+Placement::psServers() const
+{
+    std::vector<ServerId> out;
+    if (psServer.valid())
+        out.push_back(psServer);
+    out.insert(out.end(), extraPsServers.begin(), extraPsServers.end());
+    return out;
+}
+
+bool
+Placement::singleServer() const
+{
+    return workers.size() == 1 && psServer.valid() &&
+           workers.begin()->first == psServer && extraPsServers.empty();
+}
+
+std::set<RackId>
+Placement::workerRacks(const ClusterTopology &topo) const
+{
+    std::set<RackId> racks;
+    for (const auto &[server, count] : workers) {
+        (void)count;
+        racks.insert(topo.rackOf(server));
+    }
+    return racks;
+}
+
+std::set<RackId>
+Placement::allRacks(const ClusterTopology &topo) const
+{
+    std::set<RackId> racks = workerRacks(topo);
+    for (ServerId ps : psServers())
+        racks.insert(topo.rackOf(ps));
+    return racks;
+}
+
+bool
+Placement::singleRack(const ClusterTopology &topo) const
+{
+    return allRacks(topo).size() <= 1;
+}
+
+void
+Placement::validate() const
+{
+    NETPACK_CHECK_MSG(!workers.empty(), "placement has no workers");
+    for (const auto &[server, count] : workers) {
+        NETPACK_CHECK_MSG(server.valid(), "invalid worker server");
+        NETPACK_CHECK_MSG(count > 0, "non-positive worker count");
+    }
+    // A single-worker job needs no PS (it has no AllReduce); multi-worker
+    // jobs must have one (MIP constraint Eq. 6).
+    if (totalWorkers() > 1 && !singleServer()) {
+        NETPACK_CHECK_MSG(psServer.valid(),
+                          "multi-server job without a PS");
+    }
+    // Extra PSes require a primary and must be distinct servers.
+    if (!extraPsServers.empty()) {
+        NETPACK_CHECK_MSG(psServer.valid(),
+                          "extra PSes without a primary PS");
+        std::set<int> seen = {psServer.value};
+        for (ServerId ps : extraPsServers) {
+            NETPACK_CHECK_MSG(ps.valid(), "invalid extra PS server");
+            NETPACK_CHECK_MSG(seen.insert(ps.value).second,
+                              "duplicate PS server " << ps.value);
+        }
+    }
+}
+
+Seconds
+iterationTime(const JobSpec &spec, const ModelProfile &model,
+              const Placement &placement, Gbps throughput)
+{
+    NETPACK_CHECK(spec.gpuDemand >= 1);
+    if (placement.singleServer() || placement.totalWorkers() <= 1)
+        return model.computeTimePerIter;
+    if (throughput <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    const Seconds comm = units::transferTime(model.commVolumePerIter(),
+                                             throughput);
+    return model.computeTimePerIter + comm;
+}
+
+} // namespace netpack

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Job descriptions and placement results. A distributed-training job has
+ * n workers (one GPU each, per the paper's formulation where g^(j) GPUs
+ * host the workers), one parameter server for INA fallback/termination,
+ * and a model that defines its per-iteration compute time and gradient
+ * volume.
+ */
+
+#ifndef NETPACK_WORKLOAD_JOB_H
+#define NETPACK_WORKLOAD_JOB_H
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/units.h"
+#include "topology/cluster.h"
+#include "topology/ids.h"
+#include "workload/models.h"
+
+namespace netpack {
+
+/** A job request as submitted by a user (Step ① of Figure 4). */
+struct JobSpec
+{
+    JobId id;
+    /** Model from the ModelZoo. */
+    std::string modelName;
+    /** GPU requirement g^(j); one worker per GPU. */
+    int gpuDemand = 1;
+    /** Submission time (seconds since experiment start). */
+    Seconds submitTime = 0.0;
+    /** Training length in iterations. */
+    std::int64_t iterations = 1;
+    /**
+     * Importance for the job-subset knapsack (Algorithm 2 step ①). The
+     * manager ages this value when the job misses a placement round to
+     * prevent starvation.
+     */
+    double value = 1.0;
+};
+
+/** Where a job's workers and PS(es) live, and where its INA is enabled. */
+struct Placement
+{
+    /** Worker (=GPU) count per server; only servers with >0 appear. */
+    std::map<ServerId, int> workers;
+    /** Server hosting the (primary) parameter server. */
+    ServerId psServer;
+    /**
+     * Additional PS servers for sharded jobs. Section 4.1: "AllReduce
+     * with multiple PSes is composed of multiple one-PS AllReduces" —
+     * the gradient splits evenly into one shard per PS, each shard
+     * forming its own aggregation tree.
+     */
+    std::vector<ServerId> extraPsServers;
+    /** Racks where statistical INA is enabled for this job (z_r^(j)). */
+    std::set<RackId> inaRacks;
+
+    /** All PS servers: primary first, then the extras. */
+    std::vector<ServerId> psServers() const;
+
+    /** Number of gradient shards (= number of PSes, at least 1). */
+    int psShards() const
+    {
+        return 1 + static_cast<int>(extraPsServers.size());
+    }
+
+    /** Total worker count across servers. */
+    int totalWorkers() const;
+
+    /** True when every worker and the PS share one server (no traffic). */
+    bool singleServer() const;
+
+    /** Racks touched by workers (not including a worker-less PS rack). */
+    std::set<RackId> workerRacks(const ClusterTopology &topo) const;
+
+    /** All racks touched by workers or the PS. */
+    std::set<RackId> allRacks(const ClusterTopology &topo) const;
+
+    /** True when all workers and the PS are within a single rack. */
+    bool singleRack(const ClusterTopology &topo) const;
+
+    /** Validate internal consistency (counts positive, PS set). */
+    void validate() const;
+};
+
+/**
+ * Per-iteration time of a placed job given a sustained communication
+ * throughput: compute plus gradient transfer (zero transfer for
+ * single-server jobs, which communicate through local memory).
+ */
+Seconds iterationTime(const JobSpec &spec, const ModelProfile &model,
+                      const Placement &placement, Gbps throughput);
+
+} // namespace netpack
+
+#endif // NETPACK_WORKLOAD_JOB_H

@@ -1,0 +1,58 @@
+#include "workload/models.h"
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace netpack {
+
+const std::vector<ModelProfile> &
+ModelZoo::all()
+{
+    // Gradient sizes are fp32 parameter counts x 4 bytes; compute times
+    // are per-iteration forward+backward on a 2080Ti-class GPU at batch
+    // size 32 (order-of-magnitude constants; only ratios matter for the
+    // placement comparisons).
+    static const std::vector<ModelProfile> zoo = {
+        {"AlexNet", 244.0, 0.031},
+        {"VGG11", 532.0, 0.139},
+        {"VGG16", 554.0, 0.193},
+        {"VGG19", 575.0, 0.221},
+        {"ResNet50", 102.0, 0.127},
+        {"ResNet101", 178.0, 0.218},
+    };
+    return zoo;
+}
+
+const ModelProfile &
+ModelZoo::byName(const std::string &name)
+{
+    const std::string needle = toLower(name);
+    for (const auto &model : all()) {
+        if (toLower(model.name) == needle)
+            return model;
+    }
+    throw ConfigError("unknown model '" + name + "'");
+}
+
+bool
+ModelZoo::contains(const std::string &name)
+{
+    const std::string needle = toLower(name);
+    for (const auto &model : all()) {
+        if (toLower(model.name) == needle)
+            return true;
+    }
+    return false;
+}
+
+double
+ModelZoo::commIntensity(const ModelProfile &model, Gbps reference_rate)
+{
+    NETPACK_REQUIRE(reference_rate > 0.0,
+                    "reference rate must be positive");
+    const Seconds comm = units::transferTime(model.commVolumePerIter(),
+                                             reference_rate);
+    return comm / model.computeTimePerIter;
+}
+
+} // namespace netpack

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The model zoo used by the paper's evaluation: VGG11/16/19, AlexNet,
+ * ResNet50 and ResNet101 trained on ImageNet. Since we have no GPUs here,
+ * each model is characterized analytically by its gradient size (what the
+ * network must AllReduce every iteration) and its per-iteration compute
+ * time on one 2080Ti-class GPU — exactly the constants that drive JCT in
+ * the paper's flow-level simulator.
+ */
+
+#ifndef NETPACK_WORKLOAD_MODELS_H
+#define NETPACK_WORKLOAD_MODELS_H
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace netpack {
+
+/** Analytical description of one DNN training workload. */
+struct ModelProfile
+{
+    /** Canonical name, e.g. "VGG16". */
+    std::string name;
+    /** Gradient / model size in MB (fp32 parameters). */
+    MBytes modelSizeMb = 0.0;
+    /**
+     * Per-iteration forward+backward compute time on a single GPU, in
+     * seconds, at the evaluation batch size.
+     */
+    Seconds computeTimePerIter = 0.0;
+
+    /** Communication volume each worker pushes per iteration (MB). */
+    MBytes commVolumePerIter() const { return modelSizeMb; }
+};
+
+/** The fixed pool of evaluation models. */
+class ModelZoo
+{
+  public:
+    /** All six models from the paper's evaluation (Section 6.1). */
+    static const std::vector<ModelProfile> &all();
+
+    /** Look up a model by name (case-insensitive); ConfigError if absent. */
+    static const ModelProfile &byName(const std::string &name);
+
+    /** True if @p name names a known model. */
+    static bool contains(const std::string &name);
+
+    /**
+     * Communication-to-computation intensity: seconds of network transfer
+     * at @p reference_rate per second of compute. VGG variants score high
+     * (communication-intensive), ResNets score low (compute-intensive).
+     */
+    static double commIntensity(const ModelProfile &model,
+                                Gbps reference_rate);
+};
+
+} // namespace netpack
+
+#endif // NETPACK_WORKLOAD_MODELS_H

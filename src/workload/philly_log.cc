@@ -1,0 +1,110 @@
+#include "workload/philly_log.h"
+
+#include <algorithm>
+#include <istream>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace netpack {
+
+PhillyLogParse
+parsePhillyCsv(std::istream &is)
+{
+    PhillyLogParse parse;
+    std::string line;
+    std::size_t line_no = 0;
+    bool first = true;
+    while (std::getline(is, line)) {
+        ++line_no;
+        const std::string trimmed = trim(line);
+        if (trimmed.empty())
+            continue;
+        if (first) {
+            first = false;
+            if (startsWith(toLower(trimmed), "job_id,"))
+                continue; // header
+        }
+        const auto fields = split(trimmed, ',');
+        NETPACK_REQUIRE(fields.size() == 5,
+                        "philly log line " << line_no
+                                           << ": expected 5 fields, got "
+                                           << fields.size());
+        // Empty timestamp cells mark killed/unscheduled jobs: skip.
+        bool usable = true;
+        for (std::size_t f = 1; f <= 4 && usable; ++f)
+            usable = !trim(fields[f]).empty();
+        if (!usable) {
+            ++parse.skipped;
+            continue;
+        }
+        PhillyLogRecord record;
+        record.jobName = trim(fields[0]);
+        try {
+            record.submitTime = std::stod(fields[1]);
+            record.startTime = std::stod(fields[2]);
+            record.endTime = std::stod(fields[3]);
+            record.gpus = std::stoi(fields[4]);
+        } catch (const std::exception &e) {
+            throw ConfigError("philly log line " + std::to_string(line_no) +
+                              ": " + e.what());
+        }
+        // Sanitize: jobs must have run for a positive time on >= 1 GPU.
+        if (record.gpus < 1 || record.endTime <= record.startTime ||
+            record.startTime < record.submitTime) {
+            ++parse.skipped;
+            continue;
+        }
+        parse.records.push_back(std::move(record));
+    }
+    return parse;
+}
+
+JobTrace
+traceFromPhillyLog(const std::vector<PhillyLogRecord> &records,
+                   const PhillyConversionConfig &config)
+{
+    NETPACK_REQUIRE(config.referenceRate > 0.0,
+                    "referenceRate must be positive");
+    Rng rng(config.modelSeed);
+    const auto &zoo = ModelZoo::all();
+
+    Seconds base = 0.0;
+    if (config.rebaseToZero && !records.empty()) {
+        base = records.front().submitTime;
+        for (const auto &record : records)
+            base = std::min(base, record.submitTime);
+    }
+
+    std::vector<JobSpec> jobs;
+    jobs.reserve(records.size());
+    for (const auto &record : records) {
+        JobSpec spec;
+        spec.submitTime = record.submitTime - base;
+        spec.gpuDemand = record.gpus;
+        if (config.maxGpuDemand > 0)
+            spec.gpuDemand = std::min(spec.gpuDemand, config.maxGpuDemand);
+        // The logs carry no model type: draw one at random, as the
+        // paper does (Section 6.1).
+        const auto &model =
+            zoo[static_cast<std::size_t>(rng.uniformInt(
+                0, static_cast<std::int64_t>(zoo.size()) - 1))];
+        spec.modelName = model.name;
+
+        // The logged run time (end - start) becomes the job's work: the
+        // iteration count it would take at the reference network rate.
+        const Seconds run_time = record.endTime - record.startTime;
+        Seconds ideal_iter = model.computeTimePerIter;
+        if (spec.gpuDemand > 1) {
+            ideal_iter += units::transferTime(model.commVolumePerIter(),
+                                              config.referenceRate);
+        }
+        spec.iterations = std::max<std::int64_t>(
+            1, static_cast<std::int64_t>(run_time / ideal_iter));
+        jobs.push_back(std::move(spec));
+    }
+    return JobTrace(std::move(jobs));
+}
+
+} // namespace netpack

@@ -1,0 +1,135 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace netpack {
+
+JobTrace::JobTrace(std::vector<JobSpec> jobs)
+    : jobs_(std::move(jobs))
+{
+    normalize();
+}
+
+void
+JobTrace::add(JobSpec spec)
+{
+    jobs_.push_back(std::move(spec));
+    normalize();
+}
+
+void
+JobTrace::normalize()
+{
+    std::stable_sort(jobs_.begin(), jobs_.end(),
+                     [](const JobSpec &a, const JobSpec &b) {
+                         return a.submitTime < b.submitTime;
+                     });
+    for (std::size_t i = 0; i < jobs_.size(); ++i)
+        jobs_[i].id = JobId(static_cast<int>(i));
+}
+
+const std::vector<JobSpec> &
+JobTrace::jobs() const
+{
+    return jobs_;
+}
+
+const JobSpec &
+JobTrace::at(std::size_t i) const
+{
+    NETPACK_CHECK(i < jobs_.size());
+    return jobs_[i];
+}
+
+int
+JobTrace::totalGpuDemand() const
+{
+    int total = 0;
+    for (const auto &job : jobs_)
+        total += job.gpuDemand;
+    return total;
+}
+
+int
+JobTrace::maxGpuDemand() const
+{
+    int best = 0;
+    for (const auto &job : jobs_)
+        best = std::max(best, job.gpuDemand);
+    return best;
+}
+
+JobTrace
+JobTrace::prefix(std::size_t n) const
+{
+    std::vector<JobSpec> subset(jobs_.begin(),
+                                jobs_.begin() +
+                                    static_cast<std::ptrdiff_t>(
+                                        std::min(n, jobs_.size())));
+    return JobTrace(std::move(subset));
+}
+
+void
+JobTrace::saveCsv(std::ostream &os) const
+{
+    os << "id,model,gpus,submit_time,iterations,value\n";
+    for (const auto &job : jobs_) {
+        os << job.id.value << "," << job.modelName << "," << job.gpuDemand
+           << "," << formatDouble(job.submitTime, 6) << ","
+           << job.iterations << "," << formatDouble(job.value, 6) << "\n";
+    }
+}
+
+JobTrace
+JobTrace::loadCsv(std::istream &is)
+{
+    std::vector<JobSpec> jobs;
+    std::string line;
+    bool first = true;
+    std::size_t line_no = 0;
+    while (std::getline(is, line)) {
+        ++line_no;
+        const std::string trimmed = trim(line);
+        if (trimmed.empty())
+            continue;
+        if (first) {
+            first = false;
+            if (startsWith(trimmed, "id,"))
+                continue; // header row
+        }
+        const auto fields = split(trimmed, ',');
+        NETPACK_REQUIRE(fields.size() == 6,
+                        "trace line " << line_no << ": expected 6 fields, got "
+                                      << fields.size());
+        JobSpec spec;
+        try {
+            spec.id = JobId(std::stoi(fields[0]));
+            spec.modelName = trim(fields[1]);
+            spec.gpuDemand = std::stoi(fields[2]);
+            spec.submitTime = std::stod(fields[3]);
+            spec.iterations = std::stoll(fields[4]);
+            spec.value = std::stod(fields[5]);
+        } catch (const std::exception &e) {
+            throw ConfigError("trace line " + std::to_string(line_no) +
+                              ": " + e.what());
+        }
+        NETPACK_REQUIRE(ModelZoo::contains(spec.modelName),
+                        "trace line " << line_no << ": unknown model '"
+                                      << spec.modelName << "'");
+        NETPACK_REQUIRE(spec.gpuDemand >= 1,
+                        "trace line " << line_no
+                                      << ": gpuDemand must be >= 1");
+        NETPACK_REQUIRE(spec.iterations >= 1,
+                        "trace line " << line_no
+                                      << ": iterations must be >= 1");
+        jobs.push_back(std::move(spec));
+    }
+    return JobTrace(std::move(jobs));
+}
+
+} // namespace netpack

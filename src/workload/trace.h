@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Job traces: an ordered sequence of JobSpecs plus CSV persistence so a
+ * generated trace can be inspected, archived, and replayed bit-for-bit.
+ */
+
+#ifndef NETPACK_WORKLOAD_TRACE_H
+#define NETPACK_WORKLOAD_TRACE_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "workload/job.h"
+
+namespace netpack {
+
+/** An immutable-ish sequence of job submissions ordered by submit time. */
+class JobTrace
+{
+  public:
+    JobTrace() = default;
+
+    /** Take ownership of @p jobs; sorts by submit time and re-ids 0..n-1. */
+    explicit JobTrace(std::vector<JobSpec> jobs);
+
+    /** Append a job (re-sorts lazily on access). */
+    void add(JobSpec spec);
+
+    /** Jobs in submit-time order. */
+    const std::vector<JobSpec> &jobs() const;
+
+    /** Number of jobs. */
+    std::size_t size() const { return jobs_.size(); }
+
+    bool empty() const { return jobs_.empty(); }
+
+    /** Job by position (submit-time order). */
+    const JobSpec &at(std::size_t i) const;
+
+    /** Sum of all jobs' GPU demands. */
+    int totalGpuDemand() const;
+
+    /** Largest single-job GPU demand. */
+    int maxGpuDemand() const;
+
+    /** Keep only the first @p n jobs (prefix in submit order). */
+    JobTrace prefix(std::size_t n) const;
+
+    /** Serialize as CSV: id,model,gpus,submit_time,iterations,value. */
+    void saveCsv(std::ostream &os) const;
+
+    /** Parse the CSV produced by saveCsv; ConfigError on malformed rows. */
+    static JobTrace loadCsv(std::istream &is);
+
+  private:
+    void normalize();
+
+    std::vector<JobSpec> jobs_;
+};
+
+} // namespace netpack
+
+#endif // NETPACK_WORKLOAD_TRACE_H

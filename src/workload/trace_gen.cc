@@ -1,0 +1,123 @@
+#include "workload/trace_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace netpack {
+
+const char *
+demandDistributionName(DemandDistribution d)
+{
+    switch (d) {
+      case DemandDistribution::Philly: return "Real";
+      case DemandDistribution::Poisson: return "Poisson";
+      case DemandDistribution::Normal: return "Normal";
+    }
+    return "?";
+}
+
+namespace {
+
+/**
+ * Published Philly statistics (Jeon et al., ATC'19): most jobs ask for a
+ * single GPU, demands are powers of two, and a small fraction are large
+ * multi-server jobs.
+ */
+struct DemandBucket
+{
+    int gpus;
+    double weight;
+};
+
+constexpr DemandBucket kPhillyBuckets[] = {
+    {1, 0.47}, {2, 0.15}, {4, 0.15}, {8, 0.13},
+    {16, 0.06}, {32, 0.03}, {64, 0.01},
+};
+
+int
+drawPhilly(Rng &rng)
+{
+    double total = 0.0;
+    for (const auto &bucket : kPhillyBuckets)
+        total += bucket.weight;
+    double draw = rng.uniform(0.0, total);
+    for (const auto &bucket : kPhillyBuckets) {
+        if (draw < bucket.weight)
+            return bucket.gpus;
+        draw -= bucket.weight;
+    }
+    return kPhillyBuckets[std::size(kPhillyBuckets) - 1].gpus;
+}
+
+} // namespace
+
+int
+drawGpuDemand(const TraceGenConfig &config, Rng &rng)
+{
+    int demand = 1;
+    switch (config.distribution) {
+      case DemandDistribution::Philly:
+        demand = drawPhilly(rng);
+        break;
+      case DemandDistribution::Poisson:
+        demand = static_cast<int>(rng.poisson(config.demandMean));
+        break;
+      case DemandDistribution::Normal:
+        demand = static_cast<int>(
+            std::lround(rng.normal(config.demandMean, config.demandStddev)));
+        break;
+    }
+    return std::clamp(demand, 1, config.maxGpuDemand);
+}
+
+JobTrace
+generateTrace(const TraceGenConfig &config, Gbps reference_rate)
+{
+    NETPACK_REQUIRE(config.numJobs > 0,
+                    "numJobs must be positive, got " << config.numJobs);
+    NETPACK_REQUIRE(config.meanInterarrival > 0.0,
+                    "meanInterarrival must be positive");
+    NETPACK_REQUIRE(config.maxGpuDemand >= 1,
+                    "maxGpuDemand must be >= 1");
+    NETPACK_REQUIRE(reference_rate > 0.0,
+                    "reference_rate must be positive");
+
+    Rng rng(config.seed);
+    const auto &zoo = ModelZoo::all();
+
+    std::vector<JobSpec> jobs;
+    jobs.reserve(static_cast<std::size_t>(config.numJobs));
+    Seconds clock = 0.0;
+    for (int i = 0; i < config.numJobs; ++i) {
+        clock += rng.exponential(1.0 / config.meanInterarrival);
+
+        JobSpec spec;
+        spec.submitTime = clock;
+        spec.gpuDemand = drawGpuDemand(config, rng);
+        const auto &model =
+            zoo[static_cast<std::size_t>(rng.uniformInt(
+                0, static_cast<std::int64_t>(zoo.size()) - 1))];
+        spec.modelName = model.name;
+
+        const Seconds duration =
+            std::min(config.maxDuration,
+                     rng.logNormal(config.durationLogMu,
+                                   config.durationLogSigma));
+        // Ideal per-iteration time: compute plus one gradient transfer at
+        // the reference rate (single-GPU jobs skip the transfer).
+        Seconds ideal_iter = model.computeTimePerIter;
+        if (spec.gpuDemand > 1) {
+            ideal_iter += units::transferTime(model.commVolumePerIter(),
+                                              reference_rate);
+        }
+        spec.iterations = std::max<std::int64_t>(
+            1, static_cast<std::int64_t>(duration / ideal_iter));
+        spec.value = 1.0;
+        jobs.push_back(std::move(spec));
+    }
+    return JobTrace(std::move(jobs));
+}
+
+} // namespace netpack

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Synthetic trace generators. The paper replays the Microsoft Philly
+ * production trace [19] plus two synthetic traces whose per-job GPU
+ * demands follow Poisson / normal distributions. The production trace is
+ * proprietary-ish at this scale, so PhillyTraceGenerator reproduces its
+ * published statistics instead (see DESIGN.md, substitution table):
+ * heavily skewed power-of-two GPU demands dominated by 1-GPU jobs,
+ * long-tailed log-normal durations, Poisson arrivals, and models sampled
+ * uniformly from the zoo (the paper also samples models randomly because
+ * the trace lacks model information).
+ */
+
+#ifndef NETPACK_WORKLOAD_TRACE_GEN_H
+#define NETPACK_WORKLOAD_TRACE_GEN_H
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "workload/trace.h"
+
+namespace netpack {
+
+/** Which family the per-job GPU demand is drawn from. */
+enum class DemandDistribution
+{
+    /** Philly-like power-of-two mixture (the "Real" trace stand-in). */
+    Philly,
+    /** Poisson-distributed demands (paper's first synthetic trace). */
+    Poisson,
+    /** Normal-distributed demands (paper's second synthetic trace). */
+    Normal,
+};
+
+/** Short display name ("Real", "Poisson", "Normal") for figures. */
+const char *demandDistributionName(DemandDistribution d);
+
+/** Knobs shared by all generators. */
+struct TraceGenConfig
+{
+    /** Number of jobs to generate. */
+    int numJobs = 1000;
+    /** Mean job inter-arrival time in seconds (exponential). */
+    Seconds meanInterarrival = 30.0;
+    /** Demand family. */
+    DemandDistribution distribution = DemandDistribution::Philly;
+    /** Mean demand for Poisson/Normal families. */
+    double demandMean = 4.0;
+    /** Demand standard deviation for the Normal family. */
+    double demandStddev = 3.0;
+    /** Upper clamp on any single job's demand (e.g. one rack's GPUs). */
+    int maxGpuDemand = 64;
+    /**
+     * Log-normal duration parameters: median exp(mu) seconds with shape
+     * sigma. Philly's published durations are minutes-to-days with a
+     * heavy tail; defaults give a ~15-minute median.
+     */
+    double durationLogMu = 6.8;
+    double durationLogSigma = 1.4;
+    /** Clamp on the duration draw, seconds. */
+    Seconds maxDuration = 72.0 * 3600.0;
+    /** RNG seed; equal seeds give identical traces. */
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Generate a trace per @p config. Iterations for each job are derived
+ * from the drawn duration and the model's ideal iteration time (compute +
+ * gradient transfer at @p reference_rate), so a job's "size" is expressed
+ * in work rather than wall-clock and placement quality can change its JCT.
+ */
+JobTrace generateTrace(const TraceGenConfig &config,
+                       Gbps reference_rate = 50.0);
+
+/**
+ * Draw one GPU demand from the given family (exposed for tests and for
+ * the workload-characterization example).
+ */
+int drawGpuDemand(const TraceGenConfig &config, Rng &rng);
+
+} // namespace netpack
+
+#endif // NETPACK_WORKLOAD_TRACE_GEN_H

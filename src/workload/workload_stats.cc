@@ -1,0 +1,49 @@
+#include "workload/workload_stats.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace netpack {
+
+TraceStats
+analyzeTrace(const JobTrace &trace, Gbps reference_rate,
+             int gpus_per_server)
+{
+    NETPACK_REQUIRE(reference_rate > 0.0,
+                    "reference_rate must be positive");
+    NETPACK_REQUIRE(gpus_per_server >= 1,
+                    "gpus_per_server must be >= 1");
+
+    TraceStats stats;
+    stats.jobs = trace.size();
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const JobSpec &job = trace.at(i);
+        ++stats.demandHistogram[job.gpuDemand];
+        ++stats.modelMix[job.modelName];
+        stats.totalGpuDemand += job.gpuDemand;
+        stats.maxGpuDemand = std::max(stats.maxGpuDemand, job.gpuDemand);
+        if (job.gpuDemand > gpus_per_server)
+            ++stats.multiServerJobs;
+
+        const ModelProfile &model = ModelZoo::byName(job.modelName);
+        const double iters = static_cast<double>(job.iterations);
+        stats.computeDurations.add(iters * model.computeTimePerIter);
+        stats.computeGpuSeconds += iters * model.computeTimePerIter *
+                                   static_cast<double>(job.gpuDemand);
+        if (job.gpuDemand > 1) {
+            stats.commGpuSeconds +=
+                iters *
+                units::transferTime(model.commVolumePerIter(),
+                                    reference_rate) *
+                static_cast<double>(job.gpuDemand);
+        }
+        if (i > 0) {
+            stats.interarrivals.add(job.submitTime -
+                                    trace.at(i - 1).submitTime);
+        }
+    }
+    return stats;
+}
+
+} // namespace netpack

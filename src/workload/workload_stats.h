@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Trace characterization: the summary statistics trace studies report
+ * (demand histogram, model mix, arrival/duration statistics, aggregate
+ * compute-vs-communication demand). Backs the workload_report example
+ * and lets experiments assert properties of their inputs.
+ */
+
+#ifndef NETPACK_WORKLOAD_WORKLOAD_STATS_H
+#define NETPACK_WORKLOAD_WORKLOAD_STATS_H
+
+#include <map>
+#include <string>
+
+#include "common/stats.h"
+#include "workload/trace.h"
+
+namespace netpack {
+
+/** Summary statistics of a job trace. */
+struct TraceStats
+{
+    std::size_t jobs = 0;
+    /** GPU demand -> job count. */
+    std::map<int, int> demandHistogram;
+    /** Model name -> job count. */
+    std::map<std::string, int> modelMix;
+    /** Per-job inter-arrival times (jobs-1 samples). */
+    SampleSet interarrivals;
+    /** Per-job compute-only durations (iterations x compute time). */
+    SampleSet computeDurations;
+    /** Total GPU-seconds of computation the trace demands. */
+    double computeGpuSeconds = 0.0;
+    /**
+     * Total GPU-seconds of communication at the reference rate
+     * (single-GPU jobs contribute nothing).
+     */
+    double commGpuSeconds = 0.0;
+    /** Sum of all jobs' GPU demands. */
+    int totalGpuDemand = 0;
+    /** Largest single-job demand. */
+    int maxGpuDemand = 0;
+    /** Jobs that need more than one server of @p gpus_per_server. */
+    int multiServerJobs = 0;
+
+    /** Fraction of total demanded work that is communication. */
+    double commFraction() const
+    {
+        const double total = computeGpuSeconds + commGpuSeconds;
+        return total > 0.0 ? commGpuSeconds / total : 0.0;
+    }
+};
+
+/**
+ * Characterize @p trace. @p reference_rate converts gradient volumes
+ * into communication time; @p gpus_per_server classifies jobs as
+ * single- vs multi-server.
+ */
+TraceStats analyzeTrace(const JobTrace &trace, Gbps reference_rate = 50.0,
+                        int gpus_per_server = 4);
+
+} // namespace netpack
+
+#endif // NETPACK_WORKLOAD_WORKLOAD_STATS_H

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Tests for the bench scaffolding: cluster presets, trace builders, and
+ * the Figure 7/8 matrix normalization/rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bench_util.h"
+#include "common/check.h"
+
+namespace netpack {
+namespace {
+
+TEST(BenchUtil, TestbedPresetMatchesPaper)
+{
+    const ClusterConfig cluster = benchutil::testbedCluster();
+    // Five servers under one ToR, 100 Gbps NICs (Section 6.1 testbed).
+    EXPECT_EQ(cluster.numRacks, 1);
+    EXPECT_EQ(cluster.serversPerRack, 5);
+    EXPECT_DOUBLE_EQ(cluster.serverLinkGbps, 100.0);
+    EXPECT_NO_THROW(ClusterTopology topo(cluster));
+}
+
+TEST(BenchUtil, SimulatorPresetMatchesPaper)
+{
+    const ClusterConfig cluster = benchutil::simulatorCluster();
+    // 16 racks x 16 machines x 4 GPUs, 1:1, 1 Tbps PAT (Section 6.1).
+    EXPECT_EQ(cluster.numRacks, 16);
+    EXPECT_EQ(cluster.serversPerRack, 16);
+    EXPECT_EQ(cluster.gpusPerServer, 4);
+    EXPECT_DOUBLE_EQ(cluster.oversubscription, 1.0);
+    EXPECT_DOUBLE_EQ(cluster.torPatGbps, 1000.0);
+}
+
+TEST(BenchUtil, TestbedTraceFitsTheTestbed)
+{
+    const ClusterTopology topo(benchutil::testbedCluster());
+    const JobTrace trace =
+        benchutil::testbedTrace(DemandDistribution::Philly, 50, 1);
+    EXPECT_EQ(trace.size(), 50u);
+    EXPECT_LE(trace.maxGpuDemand(), topo.totalGpus());
+}
+
+TEST(BenchUtil, FigurePlacersLeadWithNetPack)
+{
+    const auto placers = benchutil::figurePlacers();
+    ASSERT_EQ(placers.size(), 6u);
+    EXPECT_EQ(placers.front(), "NetPack");
+}
+
+TEST(BenchUtil, MatrixTableRendersMeanAndStd)
+{
+    benchutil::Figure7Matrix matrix;
+    matrix.placers = {"NetPack", "GB"};
+    matrix.traces = {DemandDistribution::Philly};
+    matrix.platforms = {"testbed"};
+
+    benchutil::MatrixCell netpack, gb;
+    for (double r : {1.0, 1.0, 1.0})
+        netpack.jctRatio.add(r);
+    for (double r : {1.2, 1.4, 1.0})
+        gb.jctRatio.add(r);
+    matrix.cells[benchutil::Figure7Matrix::key("Real", "testbed",
+                                               "NetPack")] = netpack;
+    matrix.cells[benchutil::Figure7Matrix::key("Real", "testbed", "GB")] =
+        gb;
+
+    const Table table = benchutil::matrixTable(matrix, false);
+    std::ostringstream oss;
+    table.print(oss);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("testbed/Real"), std::string::npos);
+    EXPECT_NE(out.find("1.200"), std::string::npos); // GB mean
+    EXPECT_NE(out.find("1.000"), std::string::npos); // NetPack mean
+}
+
+TEST(BenchUtil, MatrixKeyIsStable)
+{
+    EXPECT_EQ(benchutil::Figure7Matrix::key("Real", "testbed", "GB"),
+              "Real|testbed|GB");
+}
+
+} // namespace
+} // namespace netpack

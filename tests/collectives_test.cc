@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for the AllReduce collective cost model (Section 2.1's
+ * alternatives): volumes, bottlenecks, round counts, and the ordering
+ * that motivates INA.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "ina/collectives.h"
+
+namespace netpack {
+namespace {
+
+TEST(Collectives, SingleWorkerCostsNothing)
+{
+    for (auto algorithm : {CollectiveAlgorithm::PsDirect,
+                           CollectiveAlgorithm::PsWithIna,
+                           CollectiveAlgorithm::RingAllReduce,
+                           CollectiveAlgorithm::HalvingDoubling}) {
+        const CollectiveCost cost = collectiveCost(algorithm, 1, 500.0);
+        EXPECT_DOUBLE_EQ(cost.perWorkerEgress, 0.0);
+        EXPECT_DOUBLE_EQ(cost.bottleneckVolume, 0.0);
+    }
+}
+
+TEST(Collectives, PsDirectBottleneckScalesWithWorkers)
+{
+    const CollectiveCost cost =
+        collectiveCost(CollectiveAlgorithm::PsDirect, 8, 100.0);
+    EXPECT_DOUBLE_EQ(cost.perWorkerEgress, 100.0);
+    EXPECT_DOUBLE_EQ(cost.bottleneckVolume, 800.0);
+}
+
+TEST(Collectives, FullInaCollapsesThePsBottleneck)
+{
+    const CollectiveCost cost =
+        collectiveCost(CollectiveAlgorithm::PsWithIna, 8, 100.0, 1.0);
+    EXPECT_DOUBLE_EQ(cost.bottleneckVolume, 100.0);
+}
+
+TEST(Collectives, ZeroRatioInaEqualsPsDirect)
+{
+    const CollectiveCost ina =
+        collectiveCost(CollectiveAlgorithm::PsWithIna, 8, 100.0, 0.0);
+    const CollectiveCost ps =
+        collectiveCost(CollectiveAlgorithm::PsDirect, 8, 100.0);
+    EXPECT_DOUBLE_EQ(ina.bottleneckVolume, ps.bottleneckVolume);
+}
+
+TEST(Collectives, RingVolumeIsTwoTimesNMinusOneOverN)
+{
+    const CollectiveCost cost =
+        collectiveCost(CollectiveAlgorithm::RingAllReduce, 4, 100.0);
+    EXPECT_NEAR(cost.perWorkerEgress, 150.0, 1e-12); // 2*3/4*100
+    EXPECT_EQ(cost.rounds, 6);                       // 2*(n-1)
+}
+
+TEST(Collectives, HalvingDoublingHasLogRounds)
+{
+    const CollectiveCost cost =
+        collectiveCost(CollectiveAlgorithm::HalvingDoubling, 8, 100.0);
+    EXPECT_EQ(cost.rounds, 6); // 2*log2(8)
+    EXPECT_NEAR(cost.perWorkerEgress, 175.0, 1e-12);
+}
+
+TEST(Collectives, InaBeatsRingBeatsPsAtScale)
+{
+    // The motivation ordering: for n >= 3, INA's bottleneck (d) <
+    // ring's (~2d) < direct PS's (n*d).
+    for (int n : {3, 8, 32}) {
+        const double ina =
+            collectiveCost(CollectiveAlgorithm::PsWithIna, n, 100.0, 1.0)
+                .bottleneckVolume;
+        const double ring =
+            collectiveCost(CollectiveAlgorithm::RingAllReduce, n, 100.0)
+                .bottleneckVolume;
+        const double ps =
+            collectiveCost(CollectiveAlgorithm::PsDirect, n, 100.0)
+                .bottleneckVolume;
+        EXPECT_LT(ina, ring) << "n=" << n;
+        EXPECT_LT(ring, ps) << "n=" << n;
+    }
+}
+
+TEST(Collectives, CommTimeIncludesRoundLatency)
+{
+    const CollectiveCost ring =
+        collectiveCost(CollectiveAlgorithm::RingAllReduce, 4, 100.0);
+    const Seconds no_latency = ring.commTime(10.0);
+    const Seconds with_latency = ring.commTime(10.0, 1e-3);
+    EXPECT_NEAR(with_latency - no_latency, 6e-3, 1e-12);
+}
+
+TEST(Collectives, LatencyMakesHalvingDoublingWinSmallMessages)
+{
+    // Tiny gradients: fewer rounds beat less volume.
+    const double rate = 100.0;
+    const Seconds latency = 50e-6;
+    const Seconds ring =
+        collectiveCost(CollectiveAlgorithm::RingAllReduce, 32, 0.1)
+            .commTime(rate, latency);
+    const Seconds hd =
+        collectiveCost(CollectiveAlgorithm::HalvingDoubling, 32, 0.1)
+            .commTime(rate, latency);
+    EXPECT_LT(hd, ring);
+}
+
+TEST(Collectives, InvalidInputsRejected)
+{
+    EXPECT_THROW(collectiveCost(CollectiveAlgorithm::PsDirect, 0, 1.0),
+                 ConfigError);
+    EXPECT_THROW(collectiveCost(CollectiveAlgorithm::PsDirect, 2, -1.0),
+                 ConfigError);
+    EXPECT_THROW(
+        collectiveCost(CollectiveAlgorithm::PsWithIna, 2, 1.0, 1.5),
+        ConfigError);
+    const CollectiveCost cost =
+        collectiveCost(CollectiveAlgorithm::PsDirect, 2, 1.0);
+    EXPECT_THROW(cost.commTime(0.0), ConfigError);
+}
+
+TEST(Collectives, NamesAreStable)
+{
+    EXPECT_STREQ(collectiveName(CollectiveAlgorithm::PsDirect), "PS");
+    EXPECT_STREQ(collectiveName(CollectiveAlgorithm::PsWithIna),
+                 "PS+INA");
+    EXPECT_STREQ(collectiveName(CollectiveAlgorithm::RingAllReduce),
+                 "Ring");
+    EXPECT_STREQ(collectiveName(CollectiveAlgorithm::HalvingDoubling),
+                 "HalvDoub");
+}
+
+} // namespace
+} // namespace netpack

@@ -1,0 +1,443 @@
+/**
+ * @file
+ * Unit tests for the common substrate: RNG, statistics, strings, tables,
+ * units, and the error-handling macros.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "common/units.h"
+
+namespace netpack {
+namespace {
+
+// ---------------------------------------------------------------- check
+
+TEST(Check, PassingCheckDoesNotThrow)
+{
+    EXPECT_NO_THROW(NETPACK_CHECK(1 + 1 == 2));
+}
+
+TEST(Check, FailingCheckThrowsInternalError)
+{
+    EXPECT_THROW(NETPACK_CHECK(1 == 2), InternalError);
+}
+
+TEST(Check, FailingCheckMsgCarriesMessage)
+{
+    try {
+        NETPACK_CHECK_MSG(false, "value was " << 42);
+        FAIL() << "expected InternalError";
+    } catch (const InternalError &e) {
+        EXPECT_NE(std::string(e.what()).find("value was 42"),
+                  std::string::npos);
+    }
+}
+
+TEST(Check, FailingRequireThrowsConfigError)
+{
+    EXPECT_THROW(NETPACK_REQUIRE(false, "bad input"), ConfigError);
+}
+
+TEST(Check, RequireMessageNamesTheCondition)
+{
+    try {
+        const int gpus = -1;
+        NETPACK_REQUIRE(gpus >= 0, "gpus = " << gpus);
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("gpus >= 0"), std::string::npos);
+        EXPECT_NE(what.find("gpus = -1"), std::string::npos);
+    }
+}
+
+// ------------------------------------------------------------------ rng
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += a() == b();
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanIsHalf)
+{
+    Rng rng(11);
+    RunningStats stats;
+    for (int i = 0; i < 100000; ++i)
+        stats.add(rng.uniform());
+    EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusively)
+{
+    Rng rng(13);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = rng.uniformInt(3, 7);
+        EXPECT_GE(v, 3);
+        EXPECT_LE(v, 7);
+        saw_lo |= v == 3;
+        saw_hi |= v == 7;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntSingletonRange)
+{
+    Rng rng(17);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.uniformInt(5, 5), 5);
+}
+
+TEST(Rng, NormalMomentsMatch)
+{
+    Rng rng(19);
+    RunningStats stats;
+    for (int i = 0; i < 200000; ++i)
+        stats.add(rng.normal(10.0, 3.0));
+    EXPECT_NEAR(stats.mean(), 10.0, 0.05);
+    EXPECT_NEAR(stats.stddev(), 3.0, 0.05);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate)
+{
+    Rng rng(23);
+    RunningStats stats;
+    for (int i = 0; i < 100000; ++i)
+        stats.add(rng.exponential(0.5));
+    EXPECT_NEAR(stats.mean(), 2.0, 0.05);
+}
+
+TEST(Rng, PoissonMeanMatchesSmallLambda)
+{
+    Rng rng(29);
+    RunningStats stats;
+    for (int i = 0; i < 50000; ++i)
+        stats.add(static_cast<double>(rng.poisson(4.0)));
+    EXPECT_NEAR(stats.mean(), 4.0, 0.1);
+}
+
+TEST(Rng, PoissonMeanMatchesLargeLambda)
+{
+    Rng rng(31);
+    RunningStats stats;
+    for (int i = 0; i < 50000; ++i)
+        stats.add(static_cast<double>(rng.poisson(100.0)));
+    EXPECT_NEAR(stats.mean(), 100.0, 1.0);
+}
+
+TEST(Rng, PoissonZeroMeanIsZero)
+{
+    Rng rng(37);
+    EXPECT_EQ(rng.poisson(0.0), 0);
+}
+
+TEST(Rng, LogNormalIsPositive)
+{
+    Rng rng(41);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_GT(rng.logNormal(1.0, 2.0), 0.0);
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng parent(43);
+    Rng child = parent.fork();
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += parent() == child();
+    EXPECT_LT(equal, 3);
+}
+
+// ---------------------------------------------------------------- stats
+
+TEST(RunningStats, EmptyDefaults)
+{
+    RunningStats stats;
+    EXPECT_EQ(stats.count(), 0u);
+    EXPECT_EQ(stats.mean(), 0.0);
+    EXPECT_EQ(stats.variance(), 0.0);
+    EXPECT_TRUE(std::isinf(stats.min()));
+    EXPECT_TRUE(std::isinf(stats.max()));
+}
+
+TEST(RunningStats, KnownSequence)
+{
+    RunningStats stats;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        stats.add(v);
+    EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+    EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_EQ(stats.min(), 2.0);
+    EXPECT_EQ(stats.max(), 9.0);
+    EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeEqualsCombined)
+{
+    RunningStats a, b, all;
+    Rng rng(47);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.normal(3.0, 2.0);
+        (i % 2 ? a : b).add(v);
+        all.add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_EQ(a.min(), all.min());
+    EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity)
+{
+    RunningStats a, empty;
+    a.add(1.0);
+    a.add(2.0);
+    const double mean = a.mean();
+    a.merge(empty);
+    EXPECT_DOUBLE_EQ(a.mean(), mean);
+    EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(SampleSet, MedianOfOddCount)
+{
+    SampleSet samples;
+    for (double v : {5.0, 1.0, 3.0})
+        samples.add(v);
+    EXPECT_DOUBLE_EQ(samples.median(), 3.0);
+}
+
+TEST(SampleSet, PercentileInterpolates)
+{
+    SampleSet samples;
+    for (double v : {10.0, 20.0, 30.0, 40.0})
+        samples.add(v);
+    EXPECT_DOUBLE_EQ(samples.percentile(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(samples.percentile(100.0), 40.0);
+    EXPECT_DOUBLE_EQ(samples.percentile(50.0), 25.0);
+}
+
+TEST(SampleSet, PercentileOfEmptyThrows)
+{
+    SampleSet samples;
+    EXPECT_THROW(samples.percentile(50.0), ConfigError);
+}
+
+TEST(SampleSet, PercentileOutOfRangeThrows)
+{
+    SampleSet samples;
+    samples.add(1.0);
+    EXPECT_THROW(samples.percentile(-1.0), ConfigError);
+    EXPECT_THROW(samples.percentile(101.0), ConfigError);
+}
+
+TEST(SampleSet, AddAfterQueryInvalidatesCache)
+{
+    SampleSet samples;
+    samples.add(1.0);
+    EXPECT_DOUBLE_EQ(samples.median(), 1.0);
+    samples.add(3.0);
+    EXPECT_DOUBLE_EQ(samples.median(), 2.0);
+}
+
+TEST(Correlation, PerfectlyLinearIsOne)
+{
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 50; ++i) {
+        xs.push_back(i);
+        ys.push_back(2.0 * i + 1.0);
+    }
+    EXPECT_NEAR(pearsonCorrelation(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Correlation, AntiCorrelatedIsMinusOne)
+{
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 50; ++i) {
+        xs.push_back(i);
+        ys.push_back(-3.0 * i);
+    }
+    EXPECT_NEAR(pearsonCorrelation(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Correlation, ConstantSeriesGivesZero)
+{
+    std::vector<double> xs = {1, 2, 3};
+    std::vector<double> ys = {5, 5, 5};
+    EXPECT_DOUBLE_EQ(pearsonCorrelation(xs, ys), 0.0);
+}
+
+TEST(LinearFitTest, RecoversSlopeAndIntercept)
+{
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 20; ++i) {
+        xs.push_back(i);
+        ys.push_back(4.0 * i - 2.0);
+    }
+    const LinearFit fit = fitLine(xs, ys);
+    EXPECT_NEAR(fit.slope, 4.0, 1e-12);
+    EXPECT_NEAR(fit.intercept, -2.0, 1e-12);
+    EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(LinearFitTest, NoisyFitHasReasonableR2)
+{
+    Rng rng(53);
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 500; ++i) {
+        xs.push_back(i);
+        ys.push_back(2.0 * i + rng.normal(0.0, 5.0));
+    }
+    const LinearFit fit = fitLine(xs, ys);
+    EXPECT_NEAR(fit.slope, 2.0, 0.05);
+    EXPECT_GT(fit.r2, 0.99);
+}
+
+// -------------------------------------------------------------- strings
+
+TEST(Strings, SplitBasic)
+{
+    const auto parts = split("a,b,c", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, SplitPreservesEmptyFields)
+{
+    const auto parts = split("a,,c,", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[1], "");
+    EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, TrimBothEnds)
+{
+    EXPECT_EQ(trim("  hello \t\n"), "hello");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, FormatDoublePrecision)
+{
+    EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(formatDouble(1.0, 0), "1");
+}
+
+TEST(Strings, FormatCountScales)
+{
+    EXPECT_EQ(formatCount(1500.0), "1.5K");
+    EXPECT_EQ(formatCount(2.5e6), "2.5M");
+    EXPECT_EQ(formatCount(3.0e9), "3.0G");
+    EXPECT_EQ(formatCount(42.0), "42");
+}
+
+TEST(Strings, StartsWith)
+{
+    EXPECT_TRUE(startsWith("netpack", "net"));
+    EXPECT_FALSE(startsWith("net", "netpack"));
+}
+
+TEST(Strings, ToLower)
+{
+    EXPECT_EQ(toLower("VGG16"), "vgg16");
+}
+
+// ---------------------------------------------------------------- table
+
+TEST(TableTest, AlignedOutputContainsAllCells)
+{
+    Table table({"name", "jct"});
+    table.addRow({"NetPack", "1.00"});
+    table.addRow({"GB", "1.45"});
+    std::ostringstream oss;
+    table.print(oss);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("NetPack"), std::string::npos);
+    EXPECT_NE(out.find("1.45"), std::string::npos);
+}
+
+TEST(TableTest, RowArityMismatchThrows)
+{
+    Table table({"a", "b"});
+    EXPECT_THROW(table.addRow({"only-one"}), ConfigError);
+}
+
+TEST(TableTest, CsvQuotesSpecialCharacters)
+{
+    Table table({"k", "v"});
+    table.addRow({"with,comma", "with\"quote"});
+    std::ostringstream oss;
+    table.printCsv(oss);
+    EXPECT_NE(oss.str().find("\"with,comma\""), std::string::npos);
+    EXPECT_NE(oss.str().find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(TableTest, DoubleRowHelper)
+{
+    Table table({"label", "x", "y"});
+    table.addRow("r", {1.5, 2.25}, 2);
+    std::ostringstream oss;
+    table.print(oss);
+    EXPECT_NE(oss.str().find("2.25"), std::string::npos);
+    EXPECT_EQ(table.rowCount(), 1u);
+}
+
+// ---------------------------------------------------------------- units
+
+TEST(Units, TransferTimeRoundTrip)
+{
+    // 1000 MB at 8 Gbps: 8e9 bits / 8e9 bps = 1 s.
+    EXPECT_NEAR(units::transferTime(1000.0, 8.0), 1.0, 1e-12);
+    EXPECT_NEAR(units::volumeAtRate(8.0, 1.0), 1000.0, 1e-9);
+}
+
+TEST(Units, PatFromMemoryMatchesDefinition)
+{
+    // 1000 aggregators x 1 KB at 100 us RTT: 8e6 bits / 1e-4 s = 80 Gbps.
+    EXPECT_NEAR(units::patFromMemory(1000.0, 1000.0, 100e-6), 80.0, 1e-9);
+    EXPECT_NEAR(units::memoryForPat(80.0, 1000.0, 100e-6), 1000.0, 1e-6);
+}
+
+TEST(Units, PatMemoryInverse)
+{
+    for (double pat : {1.0, 10.0, 400.0}) {
+        const double mem = units::memoryForPat(pat, 256.0, 50e-6);
+        EXPECT_NEAR(units::patFromMemory(mem, 256.0, 50e-6), pat, 1e-9);
+    }
+}
+
+} // namespace
+} // namespace netpack

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests for the embeddable JobManager facade and the experiment helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "core/experiment.h"
+#include "core/manager.h"
+#include "placement/baselines.h"
+
+namespace netpack {
+namespace {
+
+ClusterConfig
+smallCluster()
+{
+    ClusterConfig config;
+    config.numRacks = 2;
+    config.serversPerRack = 2;
+    config.gpusPerServer = 4;
+    config.serverLinkGbps = 100.0;
+    config.torPatGbps = 400.0;
+    return config;
+}
+
+JobSpec
+makeSpec(int id, int gpus, const std::string &model = "VGG16")
+{
+    JobSpec spec;
+    spec.id = JobId(id);
+    spec.modelName = model;
+    spec.gpuDemand = gpus;
+    spec.iterations = 100;
+    return spec;
+}
+
+TEST(JobManager, SubmitPlaceFinishLifecycle)
+{
+    const ClusterTopology topo(smallCluster());
+    JobManager manager(topo);
+    manager.submit(makeSpec(0, 4));
+    EXPECT_EQ(manager.pending().size(), 1u);
+
+    const auto placed = manager.placeRound();
+    ASSERT_EQ(placed.size(), 1u);
+    EXPECT_TRUE(manager.pending().empty());
+    EXPECT_EQ(manager.running().size(), 1u);
+    EXPECT_TRUE(manager.placementOf(JobId(0)).has_value());
+    EXPECT_EQ(manager.gpus().totalFreeGpus(), topo.totalGpus() - 4);
+
+    manager.finish(JobId(0));
+    EXPECT_TRUE(manager.running().empty());
+    EXPECT_EQ(manager.gpus().totalFreeGpus(), topo.totalGpus());
+    EXPECT_FALSE(manager.placementOf(JobId(0)).has_value());
+}
+
+TEST(JobManager, RejectsInvalidSubmissions)
+{
+    const ClusterTopology topo(smallCluster());
+    JobManager manager(topo);
+    EXPECT_THROW(manager.submit(makeSpec(-1, 4)), ConfigError);
+    EXPECT_THROW(manager.submit(makeSpec(0, 0)), ConfigError);
+    EXPECT_THROW(manager.submit(makeSpec(0, 1000)), ConfigError);
+    EXPECT_THROW(manager.submit(makeSpec(0, 4, "NotAModel")), ConfigError);
+
+    manager.submit(makeSpec(0, 4));
+    EXPECT_THROW(manager.submit(makeSpec(0, 2)), ConfigError);
+    manager.placeRound();
+    EXPECT_THROW(manager.submit(makeSpec(0, 2)), ConfigError);
+}
+
+TEST(JobManager, FinishUnknownJobThrows)
+{
+    const ClusterTopology topo(smallCluster());
+    JobManager manager(topo);
+    EXPECT_THROW(manager.finish(JobId(3)), ConfigError);
+}
+
+TEST(JobManager, DeferredJobsGainValue)
+{
+    ClusterConfig cluster = smallCluster();
+    cluster.numRacks = 1;
+    cluster.serversPerRack = 1; // 4 GPUs total
+    const ClusterTopology topo(cluster);
+    JobManager manager(topo, nullptr, 2.0);
+    manager.submit(makeSpec(0, 4));
+    manager.submit(makeSpec(1, 4));
+    const auto placed = manager.placeRound();
+    EXPECT_EQ(placed.size(), 1u);
+    ASSERT_EQ(manager.pending().size(), 1u);
+    EXPECT_DOUBLE_EQ(manager.pending()[0].value, 3.0); // 1.0 + boost 2.0
+
+    manager.finish(placed[0].id);
+    const auto placed2 = manager.placeRound();
+    EXPECT_EQ(placed2.size(), 1u);
+    EXPECT_TRUE(manager.pending().empty());
+}
+
+TEST(JobManager, SteadyStateFacadeReportsRates)
+{
+    const ClusterTopology topo(smallCluster());
+    JobManager manager(topo);
+    manager.submit(makeSpec(0, 8)); // must span servers
+    const auto placed = manager.placeRound();
+    ASSERT_EQ(placed.size(), 1u);
+    const SteadyState state = manager.estimateSteadyState();
+    const Gbps rate = state.jobThroughput(JobId(0));
+    EXPECT_TRUE(rate > 0.0);
+}
+
+TEST(JobManager, CustomPlacerIsUsed)
+{
+    const ClusterTopology topo(smallCluster());
+    JobManager manager(topo, makePlacerByName("GB"));
+    EXPECT_EQ(manager.placer().name(), "GB");
+}
+
+TEST(JobManager, PlaceRoundWithNothingPendingIsEmpty)
+{
+    const ClusterTopology topo(smallCluster());
+    JobManager manager(topo);
+    EXPECT_TRUE(manager.placeRound().empty());
+}
+
+TEST(Experiment, MakeNetworkModelMatchesFidelity)
+{
+    ExperimentConfig config;
+    config.cluster = smallCluster();
+    const ClusterTopology topo(config.cluster);
+    config.fidelity = Fidelity::Flow;
+    EXPECT_NE(makeNetworkModel(config, topo), nullptr);
+    config.fidelity = Fidelity::Packet;
+    EXPECT_NE(makeNetworkModel(config, topo), nullptr);
+}
+
+TEST(Experiment, NormalizeToReference)
+{
+    const std::map<std::string, double> values = {{"A", 2.0}, {"B", 4.0}};
+    const auto normalized = normalizeTo(values, "A");
+    EXPECT_DOUBLE_EQ(normalized.at("A"), 1.0);
+    EXPECT_DOUBLE_EQ(normalized.at("B"), 2.0);
+}
+
+} // namespace
+} // namespace netpack

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for the exhaustive (MIP-substitute) solver and for NetPack's DP
+ * quality against the exact optimum on small instances.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "placement/exhaustive.h"
+#include "placement/netpack_placer.h"
+
+namespace netpack {
+namespace {
+
+ClusterTopology
+tinyTopo(Gbps pat = 400.0)
+{
+    ClusterConfig config;
+    config.numRacks = 2;
+    config.serversPerRack = 2;
+    config.gpusPerServer = 2;
+    config.serverLinkGbps = 100.0;
+    config.torPatGbps = pat;
+    return ClusterTopology(config);
+}
+
+JobSpec
+makeSpec(int id, int gpus, const std::string &model = "VGG16")
+{
+    JobSpec spec;
+    spec.id = JobId(id);
+    spec.modelName = model;
+    spec.gpuDemand = gpus;
+    spec.iterations = 10;
+    return spec;
+}
+
+TEST(Objective, LocalJobsCostNothing)
+{
+    const ClusterTopology topo = tinyTopo();
+    const std::vector<JobSpec> jobs = {makeSpec(0, 2)};
+    PlacedJob placed;
+    placed.id = JobId(0);
+    placed.placement.workers[ServerId(0)] = 2;
+    placed.placement.psServer = ServerId(0);
+    EXPECT_DOUBLE_EQ(placementObjective(topo, jobs, {placed}), 0.0);
+}
+
+TEST(Objective, NetworkJobCostsTransferTime)
+{
+    const ClusterTopology topo = tinyTopo();
+    const std::vector<JobSpec> jobs = {makeSpec(0, 2)};
+    PlacedJob placed;
+    placed.id = JobId(0);
+    placed.placement.workers[ServerId(0)] = 1;
+    placed.placement.workers[ServerId(1)] = 1;
+    placed.placement.psServer = ServerId(0);
+    placed.placement.inaRacks = {RackId(0)};
+    // The PS shares server 0 with a worker, so that access link carries
+    // two flows (undirected accounting, MIP Eq. 3) and the converged
+    // rate is 50 Gbps; VGG16 is 554 MB.
+    const double expected = units::transferTime(554.0, 50.0);
+    EXPECT_NEAR(placementObjective(topo, jobs, {placed}), expected, 1e-9);
+}
+
+TEST(Exhaustive, SingleJobPrefersSingleServer)
+{
+    const ClusterTopology topo = tinyTopo();
+    GpuLedger gpus(topo);
+    ExhaustiveSolver solver;
+    const auto result = solver.solve({makeSpec(0, 2)}, topo, gpus);
+    ASSERT_EQ(result.placements.size(), 1u);
+    // A 2-GPU job fits one 2-GPU server: zero communication is optimal.
+    EXPECT_DOUBLE_EQ(result.objective, 0.0);
+    EXPECT_TRUE(result.placements[0].placement.workers.size() == 1);
+    EXPECT_GT(result.plansEvaluated, 1);
+}
+
+TEST(Exhaustive, RespectsOccupiedGpus)
+{
+    const ClusterTopology topo = tinyTopo();
+    GpuLedger gpus(topo);
+    // Fill servers 0 and 1 entirely; a 2-GPU job must use rack 1.
+    gpus.allocate(ServerId(0), JobId(90), 2);
+    gpus.allocate(ServerId(1), JobId(90), 2);
+    ExhaustiveSolver solver;
+    const auto result = solver.solve({makeSpec(0, 2)}, topo, gpus);
+    for (const auto &[server, count] : result.placements[0].placement.workers)
+        EXPECT_GE(server.value, 2);
+}
+
+TEST(Exhaustive, InfeasibleThrows)
+{
+    const ClusterTopology topo = tinyTopo();
+    GpuLedger gpus(topo);
+    ExhaustiveSolver solver;
+    EXPECT_THROW(solver.solve({makeSpec(0, 100)}, topo, gpus),
+                 ConfigError);
+}
+
+TEST(Exhaustive, PlanBudgetEnforced)
+{
+    const ClusterTopology topo = tinyTopo();
+    GpuLedger gpus(topo);
+    ExhaustiveSolver solver(10); // absurdly small budget
+    EXPECT_THROW(solver.solve({makeSpec(0, 3), makeSpec(1, 3)}, topo,
+                              gpus),
+                 ConfigError);
+}
+
+TEST(Exhaustive, TwoJobsAvoidSharingBottleneck)
+{
+    // Two 3-GPU jobs on four 2-GPU servers with a heavily oversubscribed
+    // core (20 Gbps): crossing racks is strictly worse than the in-rack
+    // 50 Gbps share, so the optimum keeps each job within one rack.
+    ClusterConfig config;
+    config.numRacks = 2;
+    config.serversPerRack = 2;
+    config.gpusPerServer = 2;
+    config.serverLinkGbps = 100.0;
+    config.torPatGbps = 400.0;
+    config.oversubscription = 10.0;
+    const ClusterTopology topo(config);
+    GpuLedger gpus(topo);
+    ExhaustiveSolver solver(5'000'000);
+    const auto result = solver.solve(
+        {makeSpec(0, 3, "ResNet50"), makeSpec(1, 3, "ResNet50")}, topo,
+        gpus);
+    ASSERT_EQ(result.placements.size(), 2u);
+    for (const auto &placed : result.placements) {
+        EXPECT_TRUE(placed.placement.singleRack(topo))
+            << "job " << placed.id.value << " crosses racks";
+    }
+}
+
+TEST(Exhaustive, NetPackDpIsNearOptimal)
+{
+    // The headline DP-quality check (§5.1): NetPack's heuristic DP must
+    // land within a small factor of the exhaustive optimum.
+    const ClusterTopology topo = tinyTopo();
+    const std::vector<JobSpec> jobs = {makeSpec(0, 3, "VGG16"),
+                                       makeSpec(1, 3, "ResNet50")};
+
+    GpuLedger exact_gpus(topo);
+    ExhaustiveSolver solver(5'000'000);
+    const auto optimal = solver.solve(jobs, topo, exact_gpus);
+
+    GpuLedger dp_gpus(topo);
+    NetPackPlacer placer;
+    const auto result = placer.placeBatch(jobs, topo, dp_gpus, {});
+    ASSERT_EQ(result.placed.size(), 2u);
+    const double dp_objective =
+        placementObjective(topo, jobs, result.placed);
+
+    EXPECT_GE(dp_objective, optimal.objective - 1e-9);
+    EXPECT_LE(dp_objective, optimal.objective * 2.0 + 1e-9)
+        << "DP objective " << dp_objective << " vs optimum "
+        << optimal.objective;
+}
+
+} // namespace
+} // namespace netpack

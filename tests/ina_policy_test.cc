@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Tests for the reusable selective-INA policy, the runtime rebalancer
+ * (the future-work extension), and the network models' INA update hook.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "core/ina_rebalancer.h"
+#include "placement/ina_policy.h"
+#include "sim/cluster_sim.h"
+#include "sim/flow_model.h"
+#include "sim/packet_model.h"
+#include "placement/netpack_placer.h"
+#include "workload/trace_gen.h"
+
+namespace netpack {
+namespace {
+
+ClusterTopology
+makeTopo(int racks = 2, int servers_per_rack = 4, Gbps pat = 400.0)
+{
+    ClusterConfig config;
+    config.numRacks = racks;
+    config.serversPerRack = servers_per_rack;
+    config.gpusPerServer = 4;
+    config.serverLinkGbps = 100.0;
+    config.torPatGbps = pat;
+    return ClusterTopology(config);
+}
+
+PlacedJob
+crossServerJob(int id, int s1, int s2, int ps)
+{
+    PlacedJob job;
+    job.id = JobId(id);
+    job.placement.workers[ServerId(s1)] = 2;
+    job.placement.workers[ServerId(s2)] = 2;
+    job.placement.psServer = ServerId(ps);
+    return job;
+}
+
+MBytes
+uniformVolume(JobId)
+{
+    return 500.0;
+}
+
+TEST(InaPolicy, AmplePatEnablesEverything)
+{
+    const ClusterTopology topo = makeTopo(2, 4, 1000.0);
+    std::vector<PlacedJob> targets = {crossServerJob(0, 0, 1, 2),
+                                      crossServerJob(1, 4, 5, 6)};
+    assignSelectiveIna(topo, targets, {}, uniformVolume);
+    for (const auto &job : targets)
+        EXPECT_FALSE(job.placement.inaRacks.empty());
+}
+
+TEST(InaPolicy, ZeroPatDisablesEverything)
+{
+    const ClusterTopology topo = makeTopo(2, 4, 0.0);
+    std::vector<PlacedJob> targets = {crossServerJob(0, 0, 1, 2)};
+    assignSelectiveIna(topo, targets, {}, uniformVolume);
+    EXPECT_TRUE(targets[0].placement.inaRacks.empty());
+}
+
+TEST(InaPolicy, LocalJobsNeverGetIna)
+{
+    const ClusterTopology topo = makeTopo();
+    PlacedJob local;
+    local.id = JobId(0);
+    local.placement.workers[ServerId(0)] = 4;
+    local.placement.psServer = ServerId(0);
+    // Even a bogus pre-set INA rack must be cleared.
+    local.placement.inaRacks = {RackId(0)};
+    std::vector<PlacedJob> targets = {local};
+    assignSelectiveIna(topo, targets, {}, uniformVolume);
+    EXPECT_TRUE(targets[0].placement.inaRacks.empty());
+}
+
+TEST(InaPolicy, ReportsChangedJobs)
+{
+    const ClusterTopology topo = makeTopo(1, 4, 0.0);
+    std::vector<PlacedJob> targets = {crossServerJob(0, 0, 1, 2)};
+    targets[0].placement.inaRacks = {RackId(0)}; // will be disabled
+    const InaAssignmentResult result =
+        assignSelectiveIna(topo, targets, {}, uniformVolume);
+    EXPECT_EQ(result.jobsChanged, 1);
+}
+
+TEST(InaPolicy, GuardObjectiveNeverRegresses)
+{
+    // Whatever the budget does, the shipped assignment's estimated
+    // communication objective must be <= INA-for-all's.
+    const ClusterTopology topo = makeTopo(1, 8, 60.0);
+    std::vector<PlacedJob> targets;
+    for (int j = 0; j < 4; ++j)
+        targets.push_back(crossServerJob(j, 2 * j, 2 * j + 1, 7));
+
+    std::vector<PlacedJob> all_enabled = targets;
+    for (auto &job : all_enabled)
+        job.placement.inaRacks = job.placement.allRacks(topo);
+
+    assignSelectiveIna(topo, targets, {}, uniformVolume);
+
+    WaterFillingEstimator wf(topo);
+    const auto objective = [&](const std::vector<PlacedJob> &jobs) {
+        const SteadyState steady = wf.estimate(jobs);
+        double total = 0.0;
+        for (const auto &job : jobs) {
+            const Gbps rate = steady.jobThroughput(job.id);
+            if (std::isfinite(rate))
+                total += 500.0 / rate;
+        }
+        return total;
+    };
+    EXPECT_LE(objective(targets), objective(all_enabled) + 1e-9);
+}
+
+TEST(InaRebalancerTest, TogglesAfterChurn)
+{
+    // Two jobs on a scarce pool: with both running the budget forces a
+    // choice; after one "finishes" the rebalancer re-enables the other.
+    const ClusterTopology topo = makeTopo(1, 4, 20.0);
+    InaRebalancer rebalancer(topo);
+
+    std::vector<PlacedJob> running = {crossServerJob(0, 0, 1, 3),
+                                      crossServerJob(1, 2, 3, 0)};
+    rebalancer.rebalance(running, uniformVolume);
+
+    running.erase(running.begin()); // job 0 finished
+    running[0].placement.inaRacks.clear(); // pretend it was off
+    const InaAssignmentResult result =
+        rebalancer.rebalance(running, uniformVolume);
+    EXPECT_FALSE(running[0].placement.inaRacks.empty());
+    EXPECT_EQ(result.jobsChanged, 1);
+}
+
+TEST(NetworkModels, UpdateInaRacksTakesEffect)
+{
+    const ClusterTopology topo = makeTopo(1, 4, 400.0);
+    FlowNetworkModel model(topo);
+    JobSpec spec;
+    spec.id = JobId(0);
+    spec.modelName = "VGG16";
+    spec.gpuDemand = 4;
+    spec.iterations = 1000;
+    Placement placement = crossServerJob(0, 0, 1, 2).placement;
+    placement.inaRacks = {RackId(0)};
+    // A second identical job shares the PS link, making flow counts
+    // sensitive to aggregation.
+    model.jobStarted(spec, placement, 0.0);
+    JobSpec spec2 = spec;
+    spec2.id = JobId(1);
+    Placement placement2 = crossServerJob(1, 0, 1, 2).placement;
+    placement2.inaRacks = {RackId(0)};
+    model.jobStarted(spec2, placement2, 0.0);
+
+    const Gbps with_ina = model.currentRate(JobId(0));
+    model.updateInaRacks(JobId(0), {});
+    model.updateInaRacks(JobId(1), {});
+    const Gbps without_ina = model.currentRate(JobId(0));
+    // Without aggregation the PS link carries 4 worker streams instead
+    // of 2 merged ones: the rate must drop.
+    EXPECT_LT(without_ina, with_ina);
+
+    EXPECT_THROW(model.updateInaRacks(JobId(9), {}), InternalError);
+}
+
+TEST(NetworkModels, PacketModelUpdateInaRacks)
+{
+    const ClusterTopology topo = makeTopo(1, 4, 400.0);
+    PacketNetworkModel model(topo);
+    JobSpec spec;
+    spec.id = JobId(0);
+    spec.modelName = "VGG16";
+    spec.gpuDemand = 4;
+    spec.iterations = 100000;
+    Placement placement = crossServerJob(0, 0, 1, 2).placement;
+    placement.inaRacks = {RackId(0)};
+    model.jobStarted(spec, placement, 0.0);
+    EXPECT_NO_THROW(model.updateInaRacks(JobId(0), {}));
+    EXPECT_THROW(model.updateInaRacks(JobId(3), {}), InternalError);
+}
+
+TEST(ClusterSimRebalance, PeriodicRebalanceRunsAndCompletes)
+{
+    ClusterConfig cluster;
+    cluster.numRacks = 2;
+    cluster.serversPerRack = 4;
+    cluster.gpusPerServer = 4;
+    cluster.torPatGbps = 50.0; // scarce: rebalancing has work to do
+    const ClusterTopology topo(cluster);
+
+    SimConfig sim_config;
+    sim_config.placementPeriod = 5.0;
+    sim_config.inaRebalancePeriod = 20.0;
+    ClusterSimulator sim(topo, std::make_unique<FlowNetworkModel>(topo),
+                         std::make_unique<NetPackPlacer>(), sim_config);
+
+    TraceGenConfig gen;
+    gen.numJobs = 30;
+    gen.seed = 5;
+    gen.distribution = DemandDistribution::Poisson;
+    gen.demandMean = 8.0;
+    gen.maxGpuDemand = 16;
+    gen.durationLogMu = 4.0;
+    const JobTrace trace = generateTrace(gen);
+    const RunMetrics metrics = sim.run(trace);
+    EXPECT_EQ(metrics.records.size(), trace.size());
+}
+
+TEST(ClusterSimRebalance, RebalanceDoesNotHurtJct)
+{
+    ClusterConfig cluster;
+    cluster.numRacks = 2;
+    cluster.serversPerRack = 4;
+    cluster.gpusPerServer = 4;
+    cluster.torPatGbps = 50.0;
+    const ClusterTopology topo(cluster);
+
+    TraceGenConfig gen;
+    gen.numJobs = 40;
+    gen.seed = 9;
+    gen.distribution = DemandDistribution::Poisson;
+    gen.demandMean = 8.0;
+    gen.maxGpuDemand = 16;
+    gen.durationLogMu = 4.0;
+    const JobTrace trace = generateTrace(gen);
+
+    const auto run = [&](Seconds rebalance_period) {
+        SimConfig sim_config;
+        sim_config.placementPeriod = 5.0;
+        sim_config.inaRebalancePeriod = rebalance_period;
+        ClusterSimulator sim(topo,
+                             std::make_unique<FlowNetworkModel>(topo),
+                             std::make_unique<NetPackPlacer>(),
+                             sim_config);
+        return sim.run(trace).avgJct();
+    };
+    const double without = run(0.0);
+    const double with_rebalance = run(15.0);
+    EXPECT_LE(with_rebalance, without * 1.05);
+}
+
+} // namespace
+} // namespace netpack

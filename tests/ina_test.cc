@@ -1,0 +1,349 @@
+/**
+ * @file
+ * Unit tests for the INA layer: the Table-1 per-switch model, the
+ * hierarchical Figure-5 model, and the per-job aggregation tree used by
+ * water-filling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "ina/aggregation.h"
+#include "ina/hierarchy.h"
+
+namespace netpack {
+namespace {
+
+// ---------------------------------------------------------- Table 1
+
+TEST(Table1, FullAggregationWhenPatCoversRate)
+{
+    const SwitchAggregation out = aggregateAtSwitch(10.0, 20.0, 4);
+    EXPECT_EQ(out.flows, 1);
+    EXPECT_DOUBLE_EQ(out.aggregated, 10.0);
+    EXPECT_DOUBLE_EQ(out.unaggregated, 0.0);
+    EXPECT_DOUBLE_EQ(out.total(), 10.0);
+}
+
+TEST(Table1, BoundaryPatEqualsRate)
+{
+    const SwitchAggregation out = aggregateAtSwitch(10.0, 10.0, 4);
+    EXPECT_EQ(out.flows, 1);
+    EXPECT_DOUBLE_EQ(out.aggregated, 10.0);
+}
+
+TEST(Table1, PartialAggregation)
+{
+    // A < C: aggregated = A, unaggregated = (C - A) * n, flows = n.
+    const SwitchAggregation out = aggregateAtSwitch(10.0, 4.0, 3);
+    EXPECT_EQ(out.flows, 3);
+    EXPECT_DOUBLE_EQ(out.aggregated, 4.0);
+    EXPECT_DOUBLE_EQ(out.unaggregated, 18.0);
+    EXPECT_DOUBLE_EQ(out.total(), 22.0);
+}
+
+TEST(Table1, ZeroPatPassesEverythingThrough)
+{
+    const SwitchAggregation out = aggregateAtSwitch(10.0, 0.0, 5);
+    EXPECT_EQ(out.flows, 5);
+    EXPECT_DOUBLE_EQ(out.aggregated, 0.0);
+    EXPECT_DOUBLE_EQ(out.unaggregated, 50.0);
+}
+
+TEST(Table1, NoFlowsNoTraffic)
+{
+    const SwitchAggregation out = aggregateAtSwitch(10.0, 5.0, 0);
+    EXPECT_EQ(out.flows, 0);
+    EXPECT_DOUBLE_EQ(out.total(), 0.0);
+}
+
+TEST(Table1, ZeroRateNoTraffic)
+{
+    const SwitchAggregation out = aggregateAtSwitch(0.0, 5.0, 3);
+    EXPECT_EQ(out.flows, 0);
+    EXPECT_DOUBLE_EQ(out.total(), 0.0);
+}
+
+/** Property sweep: conservation and monotonicity of the Table-1 model. */
+class Table1Sweep
+    : public ::testing::TestWithParam<std::tuple<double, double, int>>
+{
+};
+
+TEST_P(Table1Sweep, OutputNeverExceedsInputAndSavesWithPat)
+{
+    const auto [rate, pat, flows] = GetParam();
+    const SwitchAggregation out = aggregateAtSwitch(rate, pat, flows);
+    const double input = rate * flows;
+    // The switch never amplifies traffic...
+    EXPECT_LE(out.total(), input + 1e-9);
+    // ...and with no PAT, output equals input exactly.
+    if (pat == 0.0 && flows > 0 && rate > 0.0) {
+        EXPECT_DOUBLE_EQ(out.total(), input);
+    }
+    // More PAT never produces more upward traffic.
+    const SwitchAggregation more = aggregateAtSwitch(rate, pat * 2 + 1.0,
+                                                     flows);
+    EXPECT_LE(more.total(), out.total() + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, Table1Sweep,
+    ::testing::Combine(::testing::Values(0.0, 1.0, 10.0, 100.0),
+                       ::testing::Values(0.0, 0.5, 10.0, 1000.0),
+                       ::testing::Values(0, 1, 2, 8)));
+
+// ------------------------------------------------- hierarchical (Fig 5)
+
+/** The Figure-5 example: 4 racks, 2 workers each, A1 < Ap < A3 < A4. */
+HierarchicalJobModel
+figure5Model()
+{
+    HierarchicalJobModel model;
+    model.remoteRackWorkers = {2, 2, 2};
+    model.remoteRackPat = {10.0, 30.0, 40.0}; // A1 < A3 < A4
+    model.psRackWorkers = 2;
+    model.psRackPat = 20.0; // Ap
+    return model;
+}
+
+TEST(Figure5, LowRateFullyAggregates)
+{
+    const auto eval = figure5Model().evaluate(5.0);
+    EXPECT_EQ(eval.flowsCrossRack, 3); // one merged stream per rack
+    EXPECT_EQ(eval.flowsToPs, 1);
+    EXPECT_DOUBLE_EQ(eval.trafficToPs, 5.0);
+    EXPECT_NEAR(eval.aggregationRatio, 1.0, 1e-9);
+}
+
+TEST(Figure5, RateAboveSmallestLeafPat)
+{
+    // A1 < C <= Ap: rack 1 stops merging (2 flows), root still merges.
+    const auto eval = figure5Model().evaluate(15.0);
+    EXPECT_EQ(eval.flowsCrossRack, 4);
+    EXPECT_EQ(eval.flowsToPs, 1);
+}
+
+TEST(Figure5, RateAbovePsPat)
+{
+    // Ap < C <= A3: FC stays 4; the root passes all 6 incoming flows.
+    const auto eval = figure5Model().evaluate(25.0);
+    EXPECT_EQ(eval.flowsCrossRack, 4);
+    EXPECT_EQ(eval.flowsToPs, 6); // 4 remote + 2 local
+}
+
+TEST(Figure5, RateAboveEverything)
+{
+    // C > A4: FC = 6 (all remote workers), FS = 8 (all workers).
+    const auto eval = figure5Model().evaluate(50.0);
+    EXPECT_EQ(eval.flowsCrossRack, 6);
+    EXPECT_EQ(eval.flowsToPs, 8);
+}
+
+TEST(Figure5, FlowCountsAreMonotoneInRate)
+{
+    const HierarchicalJobModel model = figure5Model();
+    int last_fc = 0, last_fs = 0;
+    for (double c = 1.0; c <= 60.0; c += 1.0) {
+        const auto eval = model.evaluate(c);
+        EXPECT_GE(eval.flowsCrossRack, last_fc);
+        EXPECT_GE(eval.flowsToPs, last_fs);
+        last_fc = eval.flowsCrossRack;
+        last_fs = eval.flowsToPs;
+    }
+}
+
+TEST(Figure5, TotalWorkers)
+{
+    EXPECT_EQ(figure5Model().totalWorkers(), 8);
+}
+
+TEST(Figure5, MismatchedVectorsRejected)
+{
+    HierarchicalJobModel model;
+    model.remoteRackWorkers = {2, 2};
+    model.remoteRackPat = {10.0};
+    EXPECT_THROW(model.evaluate(1.0), ConfigError);
+}
+
+TEST(AggregationRatio, SingleSwitchMatchesPatRatio)
+{
+    // Figure 14a setup: 2 workers + PS behind one switch; the predicted
+    // aggregation ratio is y = x where x = PAT / rate.
+    for (double x : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+        HierarchicalJobModel model;
+        model.psRackWorkers = 2;
+        model.psRackPat = 10.0 * x;
+        const auto eval = model.evaluate(10.0);
+        EXPECT_NEAR(eval.aggregationRatio, x, 1e-9) << "x=" << x;
+    }
+}
+
+// ------------------------------------------------------ job hierarchy
+
+ClusterTopology
+testTopo()
+{
+    ClusterConfig config;
+    config.numRacks = 3;
+    config.serversPerRack = 2;
+    config.gpusPerServer = 4;
+    config.serverLinkGbps = 100.0;
+    config.torPatGbps = 400.0;
+    return ClusterTopology(config);
+}
+
+Placement
+crossRackPlacement()
+{
+    Placement p;
+    p.workers[ServerId(0)] = 2; // rack 0
+    p.workers[ServerId(1)] = 1; // rack 0
+    p.workers[ServerId(2)] = 1; // rack 1
+    p.psServer = ServerId(4);   // rack 2
+    p.inaRacks = {RackId(0), RackId(1), RackId(2)};
+    return p;
+}
+
+TEST(JobHierarchy, SingleServerJobIsLocal)
+{
+    const ClusterTopology topo = testTopo();
+    Placement p;
+    p.workers[ServerId(0)] = 4;
+    p.psServer = ServerId(0);
+    const JobHierarchy h(topo, JobId(0), p);
+    EXPECT_TRUE(h.local());
+    EXPECT_EQ(h.workerServerCount(), 0);
+}
+
+TEST(JobHierarchy, CrossRackStructure)
+{
+    const ClusterTopology topo = testTopo();
+    const JobHierarchy h(topo, JobId(0), crossRackPlacement());
+    EXPECT_FALSE(h.local());
+    EXPECT_EQ(h.workerServerCount(), 3);
+
+    // Nodes: PS root + PS ToR + 2 remote ToRs + 3 worker leaves = 7.
+    EXPECT_EQ(h.nodes().size(), 7u);
+    EXPECT_EQ(h.nodes()[0].kind, HierarchyNode::Kind::Ps);
+    EXPECT_EQ(h.inaRacks().size(), 3u);
+}
+
+TEST(JobHierarchy, FlowsWithAmplePatCollapseToOne)
+{
+    const ClusterTopology topo = testTopo();
+    JobHierarchy h(topo, JobId(0), crossRackPlacement());
+    std::vector<Gbps> pat(3, 400.0);
+    h.updateFlows(pat);
+    // Every switch aggregates: the PS ToR sends one flow to the PS.
+    for (const auto &node : h.nodes()) {
+        if (node.kind == HierarchyNode::Kind::Switch) {
+            EXPECT_EQ(node.flows, 1);
+        }
+    }
+}
+
+TEST(JobHierarchy, ExhaustedPatPassesFlowsThrough)
+{
+    const ClusterTopology topo = testTopo();
+    JobHierarchy h(topo, JobId(0), crossRackPlacement());
+    std::vector<Gbps> pat = {0.0, 400.0, 400.0}; // rack 0 exhausted
+    h.updateFlows(pat);
+    int rack0_flows = 0;
+    for (const auto &node : h.nodes()) {
+        if (node.kind == HierarchyNode::Kind::Switch &&
+            node.rack == RackId(0))
+            rack0_flows = node.flows;
+    }
+    EXPECT_EQ(rack0_flows, 2); // two worker servers in rack 0 pass through
+}
+
+TEST(JobHierarchy, InaDisabledRackNeverAggregates)
+{
+    const ClusterTopology topo = testTopo();
+    Placement p = crossRackPlacement();
+    p.inaRacks = {RackId(1), RackId(2)}; // rack 0 disabled
+    JobHierarchy h(topo, JobId(0), p);
+    std::vector<Gbps> pat(3, 400.0);
+    h.updateFlows(pat);
+    for (const auto &node : h.nodes()) {
+        if (node.kind == HierarchyNode::Kind::Switch &&
+            node.rack == RackId(0)) {
+            EXPECT_FALSE(node.inaEnabled);
+            EXPECT_EQ(node.flows, 2);
+        }
+    }
+    EXPECT_EQ(h.inaRacks().size(), 2u);
+}
+
+TEST(JobHierarchy, AccumulateLinkFlowsChargesEveryHop)
+{
+    const ClusterTopology topo = testTopo();
+    JobHierarchy h(topo, JobId(0), crossRackPlacement());
+    std::vector<Gbps> pat(3, 400.0);
+    h.updateFlows(pat);
+    std::vector<int> flows(static_cast<std::size_t>(topo.numLinks()), 0);
+    h.accumulateLinkFlows(flows);
+
+    // Worker access links carry one flow each.
+    EXPECT_EQ(flows[topo.accessLink(ServerId(0)).index()], 1);
+    EXPECT_EQ(flows[topo.accessLink(ServerId(1)).index()], 1);
+    EXPECT_EQ(flows[topo.accessLink(ServerId(2)).index()], 1);
+    // PS access link carries the PS ToR's single merged flow.
+    EXPECT_EQ(flows[topo.accessLink(ServerId(4)).index()], 1);
+    // Remote rack core links carry one merged flow each...
+    EXPECT_EQ(flows[topo.coreLink(RackId(0)).index()], 1);
+    EXPECT_EQ(flows[topo.coreLink(RackId(1)).index()], 1);
+    // ...and the PS rack's core link absorbs both remote streams.
+    EXPECT_EQ(flows[topo.coreLink(RackId(2)).index()], 2);
+}
+
+TEST(JobHierarchy, IncomingFlowQueries)
+{
+    const ClusterTopology topo = testTopo();
+    JobHierarchy h(topo, JobId(0), crossRackPlacement());
+    std::vector<Gbps> pat(3, 400.0);
+    h.updateFlows(pat);
+    // Rack 0 ToR sees its two worker servers.
+    EXPECT_EQ(h.incomingFlowsAtRack(RackId(0)), 2);
+    EXPECT_EQ(h.incomingFlowsAtRack(RackId(1)), 1);
+    // PS rack ToR sees the two merged remote streams (no local workers).
+    EXPECT_EQ(h.incomingFlowsAtRack(RackId(2)), 2);
+    // Total fan-in over INA switches = 2 + 1 + 2.
+    EXPECT_EQ(h.totalIncomingInaFlows(), 5);
+    EXPECT_EQ(h.incomingFlowsAtRack(RackId(42)), 0);
+}
+
+TEST(JobHierarchy, PsColocatedWithWorkersSingleRack)
+{
+    const ClusterTopology topo = testTopo();
+    Placement p;
+    p.workers[ServerId(0)] = 2;
+    p.workers[ServerId(1)] = 2;
+    p.psServer = ServerId(1);
+    p.inaRacks = {RackId(0)};
+    JobHierarchy h(topo, JobId(3), p);
+    EXPECT_FALSE(h.local());
+    // PS root + PS ToR + 2 worker leaves.
+    EXPECT_EQ(h.nodes().size(), 4u);
+    std::vector<Gbps> pat(3, 400.0);
+    h.updateFlows(pat);
+    std::vector<int> flows(static_cast<std::size_t>(topo.numLinks()), 0);
+    h.accumulateLinkFlows(flows);
+    // Server 1 hosts both a worker stream and the PS delivery: 2 flows.
+    EXPECT_EQ(flows[topo.accessLink(ServerId(1)).index()], 2);
+    // No core link is touched.
+    EXPECT_EQ(flows[topo.coreLink(RackId(0)).index()], 0);
+}
+
+TEST(JobHierarchy, MultiServerWithoutPsIsInternalError)
+{
+    const ClusterTopology topo = testTopo();
+    Placement p;
+    p.workers[ServerId(0)] = 1;
+    p.workers[ServerId(2)] = 1;
+    EXPECT_THROW(JobHierarchy(topo, JobId(0), p), InternalError);
+}
+
+} // namespace
+} // namespace netpack

@@ -1,0 +1,329 @@
+/**
+ * @file
+ * Cross-module integration tests: full trace replays under both
+ * fidelities and several placers, the headline "NetPack wins" property
+ * on contended scenarios, and flow-vs-packet consistency (the Figure 6
+ * property in miniature).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/stats.h"
+#include "core/experiment.h"
+#include "placement/baselines.h"
+#include "placement/netpack_placer.h"
+#include "sim/flow_model.h"
+#include "workload/trace_gen.h"
+
+namespace netpack {
+namespace {
+
+ClusterConfig
+mediumCluster()
+{
+    ClusterConfig config;
+    config.numRacks = 4;
+    config.serversPerRack = 4;
+    config.gpusPerServer = 4;
+    config.serverLinkGbps = 100.0;
+    config.torPatGbps = 200.0;
+    return config;
+}
+
+JobTrace
+shortTrace(int jobs, std::uint64_t seed,
+           DemandDistribution dist = DemandDistribution::Philly)
+{
+    TraceGenConfig gen;
+    gen.numJobs = jobs;
+    gen.seed = seed;
+    gen.distribution = dist;
+    gen.maxGpuDemand = 16;
+    gen.meanInterarrival = 8.0;
+    gen.durationLogMu = 4.2;
+    gen.durationLogSigma = 0.8;
+    return generateTrace(gen);
+}
+
+/** Every placer finishes every job under the flow model. */
+class PlacerCompletionTest
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(PlacerCompletionTest, FlowRunCompletesAllJobs)
+{
+    ExperimentConfig config;
+    config.cluster = mediumCluster();
+    config.placer = GetParam();
+    const JobTrace trace = shortTrace(40, 11);
+    const RunMetrics metrics = runExperiment(config, trace);
+    EXPECT_EQ(metrics.records.size(), trace.size());
+    EXPECT_GT(metrics.avgJct(), 0.0);
+    EXPECT_GT(metrics.avgDe(), 0.0);
+    EXPECT_LE(metrics.avgDe(), 1.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Placers, PlacerCompletionTest,
+                         ::testing::Values("NetPack", "GB", "FB", "LF",
+                                           "Optimus", "Tetris", "Comb"));
+
+TEST(Integration, PacketRunCompletesAllJobs)
+{
+    ExperimentConfig config;
+    config.cluster = mediumCluster();
+    config.cluster.numRacks = 1;
+    config.cluster.serversPerRack = 5;
+    config.cluster.gpusPerServer = 2;
+    config.fidelity = Fidelity::Packet;
+    const JobTrace trace = shortTrace(12, 13);
+    const RunMetrics metrics = runExperiment(config, trace);
+    EXPECT_EQ(metrics.records.size(), trace.size());
+}
+
+TEST(Integration, NetPackBeatsNaiveBaselinesOnContendedMix)
+{
+    // A communication-heavy mix on a PAT-constrained cluster is where
+    // cross-layer placement pays (the Figure 7 headline shape).
+    ExperimentConfig config;
+    config.cluster = mediumCluster();
+    config.cluster.torPatGbps = 100.0;
+    config.sim.placementPeriod = 5.0;
+
+    TraceGenConfig gen;
+    gen.numJobs = 60;
+    gen.seed = 29;
+    gen.distribution = DemandDistribution::Poisson;
+    gen.demandMean = 8.0; // mostly multi-server jobs
+    gen.maxGpuDemand = 32;
+    gen.meanInterarrival = 3.0;
+    gen.durationLogMu = 4.0;
+    gen.durationLogSigma = 0.6;
+    const JobTrace trace = generateTrace(gen);
+
+    const auto results =
+        comparePlacers(config, trace, {"NetPack", "Random", "LF"});
+    const double netpack = results.at("NetPack").avgJct();
+    const double random = results.at("Random").avgJct();
+    const double lf = results.at("LF").avgJct();
+    EXPECT_LT(netpack, random * 1.05)
+        << "NetPack " << netpack << "s vs Random " << random << "s";
+    EXPECT_LT(netpack, lf * 1.10)
+        << "NetPack " << netpack << "s vs LF " << lf << "s";
+}
+
+TEST(Integration, FlowAndPacketJctsCorrelate)
+{
+    // Miniature Figure 6: the two fidelities must rank traces the same
+    // way and correlate strongly.
+    ClusterConfig cluster;
+    cluster.numRacks = 1;
+    cluster.serversPerRack = 5;
+    cluster.gpusPerServer = 2;
+    cluster.serverLinkGbps = 100.0;
+    cluster.torPatGbps = 300.0;
+
+    std::vector<double> flow_jcts, packet_jcts;
+    for (std::uint64_t seed : {101, 102, 103, 104}) {
+        TraceGenConfig gen;
+        gen.numJobs = 8;
+        gen.seed = seed;
+        gen.maxGpuDemand = 6;
+        gen.meanInterarrival = 5.0;
+        gen.durationLogMu = 3.5;
+        gen.durationLogSigma = 0.7;
+        const JobTrace trace = generateTrace(gen);
+
+        ExperimentConfig config;
+        config.cluster = cluster;
+        config.fidelity = Fidelity::Flow;
+        flow_jcts.push_back(runExperiment(config, trace).avgJct());
+        config.fidelity = Fidelity::Packet;
+        packet_jcts.push_back(runExperiment(config, trace).avgJct());
+    }
+    EXPECT_GT(pearsonCorrelation(flow_jcts, packet_jcts), 0.9);
+}
+
+TEST(Integration, MorePatNeverHurtsNetPack)
+{
+    // Sweeping PAT upward must not degrade average JCT (Figure 11's
+    // monotone trend).
+    const JobTrace trace = shortTrace(40, 41, DemandDistribution::Poisson);
+    std::vector<double> jcts;
+    for (Gbps pat : {0.0, 100.0, 1000.0}) {
+        ExperimentConfig config;
+        config.cluster = mediumCluster();
+        config.cluster.torPatGbps = pat;
+        jcts.push_back(runExperiment(config, trace).avgJct());
+    }
+    EXPECT_GE(jcts[0], jcts[2] * 0.99);
+}
+
+TEST(Integration, OversubscriptionHurtsEveryone)
+{
+    const JobTrace trace = shortTrace(40, 43, DemandDistribution::Poisson);
+    std::vector<double> jcts;
+    for (double oversub : {1.0, 8.0}) {
+        ExperimentConfig config;
+        config.cluster = mediumCluster();
+        config.cluster.oversubscription = oversub;
+        jcts.push_back(runExperiment(config, trace).avgJct());
+    }
+    EXPECT_GE(jcts[1], jcts[0] * 0.99);
+}
+
+TEST(Integration, HeadlineOversubscriptionWin)
+{
+    // The Figure-12 headline at 20:1 oversubscription, pinned with the
+    // bench's exact seed: NetPack must beat GB by a solid margin.
+    TraceGenConfig gen;
+    gen.numJobs = 100;
+    gen.seed = 57;
+    gen.distribution = DemandDistribution::Poisson;
+    gen.demandMean = 10.0;
+    gen.maxGpuDemand = 64;
+    gen.meanInterarrival = 1.0;
+    gen.durationLogMu = 4.6;
+    gen.durationLogSigma = 0.9;
+    const JobTrace trace = generateTrace(gen);
+
+    ExperimentConfig config;
+    config.cluster.numRacks = 16;
+    config.cluster.serversPerRack = 8;
+    config.cluster.gpusPerServer = 4;
+    config.cluster.oversubscription = 20.0;
+    config.cluster.torPatGbps = 400.0;
+    config.sim.placementPeriod = 10.0;
+
+    config.placer = "NetPack";
+    const double netpack = runExperiment(config, trace).avgJct();
+    config.placer = "GB";
+    const double gb = runExperiment(config, trace).avgJct();
+    EXPECT_LT(netpack * 1.2, gb)
+        << "NetPack " << netpack << "s vs GB " << gb << "s at 20:1";
+}
+
+TEST(Integration, HeadlineSimulatorValidation)
+{
+    // The Figure-6 headline: flow vs packet correlation must stay very
+    // high on the bench's trace family.
+    ClusterConfig cluster;
+    cluster.numRacks = 1;
+    cluster.serversPerRack = 5;
+    cluster.gpusPerServer = 2;
+    cluster.serverLinkGbps = 100.0;
+    cluster.torPatGbps = 300.0;
+
+    std::vector<double> flow_jcts, packet_jcts;
+    for (std::uint64_t seed : {1001, 1002, 1003, 1004, 1005}) {
+        TraceGenConfig gen;
+        gen.numJobs = 10;
+        gen.seed = seed;
+        gen.maxGpuDemand = 6;
+        gen.meanInterarrival = 6.0;
+        gen.durationLogMu = 3.6;
+        gen.durationLogSigma = 0.8;
+        const JobTrace trace = generateTrace(gen);
+
+        ExperimentConfig config;
+        config.cluster = cluster;
+        config.sim.placementPeriod = 5.0;
+        config.fidelity = Fidelity::Flow;
+        flow_jcts.push_back(runExperiment(config, trace).avgJct());
+        config.fidelity = Fidelity::Packet;
+        packet_jcts.push_back(runExperiment(config, trace).avgJct());
+    }
+    EXPECT_GT(pearsonCorrelation(flow_jcts, packet_jcts), 0.95);
+}
+
+TEST(Integration, EverythingOnStressRun)
+{
+    // All the extensions at once: two-tier core, sharded-PS NetPack,
+    // periodic INA rebalancing, injected failures with checkpointing,
+    // and a sampling observer — the run must complete every job with
+    // consistent metrics.
+    ClusterConfig cluster;
+    cluster.numRacks = 4;
+    cluster.serversPerRack = 4;
+    cluster.gpusPerServer = 4;
+    cluster.serverLinkGbps = 100.0;
+    cluster.torPatGbps = 150.0;
+    cluster.oversubscription = 2.0;
+    cluster.racksPerPod = 2;
+    cluster.podOversubscription = 4.0;
+    const ClusterTopology topo(cluster);
+
+    NetPackConfig placer_config;
+    placer_config.psShards = 2;
+    SimConfig sim_config;
+    sim_config.placementPeriod = 5.0;
+    sim_config.inaRebalancePeriod = 30.0;
+    sim_config.samplePeriod = 10.0;
+    sim_config.checkpointIters = 25;
+    for (int f = 0; f < 3; ++f) {
+        ServerFailure failure;
+        failure.time = 20.0 + 40.0 * f;
+        failure.server = ServerId(5 * f);
+        failure.downtime = 15.0;
+        sim_config.failures.push_back(failure);
+    }
+
+    ClusterSimulator sim(topo, std::make_unique<FlowNetworkModel>(topo),
+                         std::make_unique<NetPackPlacer>(placer_config),
+                         sim_config);
+    int samples = 0;
+    sim.setObserver([&](Seconds, const NetworkModel &model,
+                        const std::vector<PlacedJob> &running) {
+        ++samples;
+        for (const PlacedJob &job : running) {
+            const double progress = model.progressFraction(job.id);
+            EXPECT_GE(progress, 0.0);
+            EXPECT_LE(progress, 1.0);
+        }
+    });
+
+    TraceGenConfig gen;
+    gen.numJobs = 40;
+    gen.seed = 99;
+    gen.distribution = DemandDistribution::Poisson;
+    gen.demandMean = 7.0;
+    gen.maxGpuDemand = 16;
+    gen.meanInterarrival = 4.0;
+    gen.durationLogMu = 4.0;
+    const JobTrace trace = generateTrace(gen);
+
+    const RunMetrics metrics = sim.run(trace);
+    EXPECT_EQ(metrics.records.size(), trace.size());
+    EXPECT_GT(samples, 3);
+    for (const auto &record : metrics.records) {
+        EXPECT_GT(record.jct(), 0.0);
+        record.placement.validate();
+    }
+}
+
+TEST(Integration, MetricsAreInternallyConsistent)
+{
+    ExperimentConfig config;
+    config.cluster = mediumCluster();
+    const JobTrace trace = shortTrace(30, 47);
+    const RunMetrics metrics = runExperiment(config, trace);
+
+    for (const auto &record : metrics.records) {
+        EXPECT_GE(record.waitTime(), -1e-9);
+        EXPECT_GT(record.jct(), 0.0);
+        EXPECT_LE(record.finishTime, metrics.makespan + 1e-9);
+        EXPECT_GT(record.distributionEfficiency(), 0.0);
+        EXPECT_LE(record.distributionEfficiency(), 1.0 + 1e-9);
+    }
+    const SampleSet jcts = metrics.jctSamples();
+    EXPECT_EQ(jcts.count(), trace.size());
+    EXPECT_GE(jcts.percentile(90.0), jcts.percentile(10.0));
+    EXPECT_GE(metrics.avgGpuUtilization, 0.0);
+    EXPECT_LE(metrics.avgGpuUtilization, 1.0 + 1e-9);
+}
+
+} // namespace
+} // namespace netpack

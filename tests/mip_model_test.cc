@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Tests for the Table-3 MIP constraint checker, and its use as an
+ * oracle over every placement policy: whatever a placer emits must be
+ * MIP-feasible.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "placement/baselines.h"
+#include "placement/exhaustive.h"
+#include "placement/mip_model.h"
+
+namespace netpack {
+namespace {
+
+ClusterTopology
+makeTopo(Gbps pat = 400.0)
+{
+    ClusterConfig config;
+    config.numRacks = 2;
+    config.serversPerRack = 4;
+    config.gpusPerServer = 4;
+    config.serverLinkGbps = 100.0;
+    config.torPatGbps = pat;
+    return ClusterTopology(config);
+}
+
+JobSpec
+makeSpec(int id, int gpus, const std::string &model = "VGG16")
+{
+    JobSpec spec;
+    spec.id = JobId(id);
+    spec.modelName = model;
+    spec.gpuDemand = gpus;
+    spec.iterations = 100;
+    return spec;
+}
+
+TEST(MipModel, ValidLocalPlacementIsFeasible)
+{
+    const ClusterTopology topo = makeTopo();
+    const std::vector<JobSpec> jobs = {makeSpec(0, 4)};
+    PlacedJob placed;
+    placed.id = JobId(0);
+    placed.placement.workers[ServerId(0)] = 4;
+    placed.placement.psServer = ServerId(0);
+    const auto check = checkMipFeasibility(topo, jobs, {placed});
+    EXPECT_TRUE(check.feasible) << check.violations.front();
+}
+
+TEST(MipModel, VariablesMaterializeCorrectly)
+{
+    const ClusterTopology topo = makeTopo();
+    const std::vector<JobSpec> jobs = {makeSpec(0, 8)};
+    PlacedJob placed;
+    placed.id = JobId(0);
+    placed.placement.workers[ServerId(0)] = 4;
+    placed.placement.workers[ServerId(1)] = 4;
+    placed.placement.psServer = ServerId(2);
+    placed.placement.inaRacks = {RackId(0)};
+    const auto vars = materializeMipVariables(topo, jobs, {placed});
+    ASSERT_EQ(vars.size(), 1u);
+    EXPECT_EQ(vars[0].w[0], 4);
+    EXPECT_EQ(vars[0].x[1], 1);
+    EXPECT_EQ(vars[0].y[2], 1);
+    EXPECT_EQ(vars[0].z[0], 1);
+    EXPECT_EQ(vars[0].z[1], 0);
+    // Fully aggregated at 100 Gbps: a = v, b = 0.
+    EXPECT_NEAR(vars[0].v, 100.0, 1e-6);
+    EXPECT_NEAR(vars[0].a, 100.0, 1e-6);
+    EXPECT_NEAR(vars[0].b, 0.0, 1e-6);
+}
+
+TEST(MipModel, UnaggregatedJobHasBNotA)
+{
+    const ClusterTopology topo = makeTopo(0.0); // no PAT -> pass-through
+    const std::vector<JobSpec> jobs = {makeSpec(0, 8)};
+    PlacedJob placed;
+    placed.id = JobId(0);
+    placed.placement.workers[ServerId(0)] = 4;
+    placed.placement.workers[ServerId(1)] = 4;
+    placed.placement.psServer = ServerId(2);
+    const auto vars = materializeMipVariables(topo, jobs, {placed});
+    EXPECT_NEAR(vars[0].a, 0.0, 1e-9);
+    EXPECT_GT(vars[0].b, 0.0);
+    const auto check = checkMipFeasibility(topo, jobs, {placed});
+    EXPECT_TRUE(check.feasible) << check.violations.front();
+}
+
+TEST(MipModel, DetectsDemandMismatch)
+{
+    const ClusterTopology topo = makeTopo();
+    const std::vector<JobSpec> jobs = {makeSpec(0, 8)};
+    PlacedJob placed;
+    placed.id = JobId(0);
+    placed.placement.workers[ServerId(0)] = 4; // only 4 of 8
+    placed.placement.psServer = ServerId(0);
+    const auto check = checkMipFeasibility(topo, jobs, {placed});
+    EXPECT_FALSE(check.feasible);
+    EXPECT_NE(check.violations.front().find("Eq.1"), std::string::npos);
+}
+
+TEST(MipModel, DetectsMissingPs)
+{
+    const ClusterTopology topo = makeTopo();
+    const std::vector<JobSpec> jobs = {makeSpec(0, 8)};
+    PlacedJob placed;
+    placed.id = JobId(0);
+    placed.placement.workers[ServerId(0)] = 4;
+    placed.placement.workers[ServerId(1)] = 4;
+    // No PS set: Eq. 6 must fire (checker materializes sum_y = 0).
+    const auto check = checkMipFeasibility(topo, jobs, {placed});
+    EXPECT_FALSE(check.feasible);
+    bool found_eq6 = false;
+    for (const auto &violation : check.violations)
+        found_eq6 |= violation.find("Eq.6") != std::string::npos;
+    EXPECT_TRUE(found_eq6);
+}
+
+TEST(MipModel, DetectsGpuOvercommit)
+{
+    const ClusterTopology topo = makeTopo();
+    const std::vector<JobSpec> jobs = {makeSpec(0, 4), makeSpec(1, 4)};
+    PlacedJob a, b;
+    a.id = JobId(0);
+    a.placement.workers[ServerId(0)] = 4;
+    a.placement.psServer = ServerId(0);
+    b.id = JobId(1);
+    b.placement.workers[ServerId(0)] = 4; // same server: 8 GPUs on 4
+    b.placement.psServer = ServerId(0);
+    const auto check = checkMipFeasibility(topo, jobs, {a, b});
+    EXPECT_FALSE(check.feasible);
+    bool found_eq2 = false;
+    for (const auto &violation : check.violations)
+        found_eq2 |= violation.find("Eq.2") != std::string::npos;
+    EXPECT_TRUE(found_eq2);
+}
+
+TEST(MipModel, DetectsBogusInaRack)
+{
+    const ClusterTopology topo = makeTopo();
+    const std::vector<JobSpec> jobs = {makeSpec(0, 8)};
+    PlacedJob placed;
+    placed.id = JobId(0);
+    placed.placement.workers[ServerId(0)] = 4;
+    placed.placement.workers[ServerId(1)] = 4;
+    placed.placement.psServer = ServerId(2);
+    placed.placement.inaRacks = {RackId(1)}; // job never touches rack 1
+    const auto check = checkMipFeasibility(topo, jobs, {placed});
+    EXPECT_FALSE(check.feasible);
+}
+
+TEST(MipModel, ObjectiveMatchesPlacementObjective)
+{
+    const ClusterTopology topo = makeTopo();
+    const std::vector<JobSpec> jobs = {makeSpec(0, 8, "ResNet50")};
+    PlacedJob placed;
+    placed.id = JobId(0);
+    placed.placement.workers[ServerId(0)] = 4;
+    placed.placement.workers[ServerId(1)] = 4;
+    placed.placement.psServer = ServerId(2);
+    placed.placement.inaRacks = {RackId(0)};
+    EXPECT_NEAR(mipObjective(topo, jobs, {placed}),
+                placementObjective(topo, jobs, {placed}), 1e-9);
+}
+
+/** Oracle sweep: every policy's output must be MIP-feasible. */
+class MipOracleTest
+    : public ::testing::TestWithParam<std::tuple<const char *, int>>
+{
+};
+
+TEST_P(MipOracleTest, AllPlacersEmitFeasiblePlacements)
+{
+    const auto [name, seed] = GetParam();
+    Rng rng(static_cast<std::uint64_t>(seed) * 59 + 1);
+    // Generous PAT keeps the binary a/b materialization exact (no
+    // mid-fill PAT exhaustion; see mip_model.cc).
+    const ClusterTopology topo = makeTopo(4000.0);
+    GpuLedger gpus(topo);
+    const auto placer = makePlacerByName(name);
+
+    std::vector<JobSpec> jobs;
+    for (int j = 0; j < 6; ++j) {
+        jobs.push_back(makeSpec(j, static_cast<int>(rng.uniformInt(1, 8)),
+                                rng.uniform() < 0.5 ? "VGG16"
+                                                    : "ResNet50"));
+    }
+    const auto result = placer->placeBatch(jobs, topo, gpus, {});
+
+    std::vector<JobSpec> placed_specs;
+    for (const PlacedJob &placed : result.placed) {
+        const auto it = std::find_if(jobs.begin(), jobs.end(),
+                                     [&](const JobSpec &s) {
+                                         return s.id == placed.id;
+                                     });
+        placed_specs.push_back(*it);
+    }
+    const auto check =
+        checkMipFeasibility(topo, placed_specs, result.placed);
+    EXPECT_TRUE(check.feasible)
+        << name << ": " << check.violations.front();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Placers, MipOracleTest,
+    ::testing::Combine(::testing::Values("NetPack", "GB", "FB", "LF",
+                                         "Optimus", "Tetris", "Comb",
+                                         "Random"),
+                       ::testing::Range(0, 3)));
+
+} // namespace
+} // namespace netpack

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Tests for the sharded-PS extension (Section 4.1's "AllReduce with
+ * multiple PSes is composed of multiple one-PS AllReduces"): placement
+ * validation, shard-hierarchy decomposition, the water-filling
+ * composition rule, and the placer knob.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "ina/hierarchy.h"
+#include "placement/netpack_placer.h"
+#include "sim/flow_model.h"
+#include "sim/packet_model.h"
+#include "waterfill/steady_state.h"
+
+namespace netpack {
+namespace {
+
+ClusterTopology
+makeTopo(int servers = 6, Gbps pat = 400.0)
+{
+    ClusterConfig config;
+    config.numRacks = 1;
+    config.serversPerRack = servers;
+    config.gpusPerServer = 4;
+    config.serverLinkGbps = 100.0;
+    config.torPatGbps = pat;
+    return ClusterTopology(config);
+}
+
+Placement
+shardedPlacement(int ps1, int ps2)
+{
+    Placement p;
+    p.workers[ServerId(0)] = 2;
+    p.workers[ServerId(1)] = 2;
+    p.psServer = ServerId(ps1);
+    p.extraPsServers = {ServerId(ps2)};
+    p.inaRacks = {RackId(0)};
+    return p;
+}
+
+TEST(MultiPs, PlacementHelpers)
+{
+    const Placement p = shardedPlacement(2, 3);
+    EXPECT_EQ(p.psShards(), 2);
+    const auto pses = p.psServers();
+    ASSERT_EQ(pses.size(), 2u);
+    EXPECT_EQ(pses[0].value, 2);
+    EXPECT_EQ(pses[1].value, 3);
+    EXPECT_FALSE(p.singleServer());
+    EXPECT_NO_THROW(p.validate());
+}
+
+TEST(MultiPs, DuplicatePsRejected)
+{
+    Placement p = shardedPlacement(2, 2);
+    EXPECT_THROW(p.validate(), InternalError);
+    Placement q = shardedPlacement(2, 3);
+    q.psServer = ServerId();
+    EXPECT_THROW(q.validate(), InternalError);
+}
+
+TEST(MultiPs, ShardDecomposition)
+{
+    const ClusterTopology topo = makeTopo();
+    const Placement p = shardedPlacement(2, 3);
+    const auto shards = buildShardHierarchies(topo, JobId(0), p);
+    ASSERT_EQ(shards.size(), 2u);
+    for (const auto &shard : shards) {
+        EXPECT_FALSE(shard.local());
+        EXPECT_EQ(shard.workerServerCount(), 2);
+    }
+    // Single-PS placements decompose trivially.
+    Placement single = shardedPlacement(2, 3);
+    single.extraPsServers.clear();
+    EXPECT_EQ(buildShardHierarchies(topo, JobId(0), single).size(), 1u);
+}
+
+TEST(MultiPs, AllRacksIncludesEveryPs)
+{
+    ClusterConfig config;
+    config.numRacks = 3;
+    config.serversPerRack = 2;
+    const ClusterTopology topo(config);
+    Placement p;
+    p.workers[ServerId(0)] = 2;
+    p.workers[ServerId(1)] = 2;
+    p.psServer = ServerId(2);        // rack 1
+    p.extraPsServers = {ServerId(4)}; // rack 2
+    EXPECT_EQ(p.allRacks(topo).size(), 3u);
+}
+
+TEST(MultiPs, ShardingRelievesThePsBottleneck)
+{
+    // Two jobs sharing one PS server: each gets 50 Gbps. Sharding job A
+    // over a second, idle PS lets its second shard bypass the shared
+    // bottleneck, raising its composed throughput.
+    const ClusterTopology topo = makeTopo();
+    WaterFillingEstimator wf(topo);
+
+    PlacedJob b;
+    b.id = JobId(1);
+    b.placement.workers[ServerId(2)] = 2;
+    b.placement.workers[ServerId(3)] = 2;
+    b.placement.psServer = ServerId(4);
+    b.placement.inaRacks = {RackId(0)};
+
+    PlacedJob a_single;
+    a_single.id = JobId(0);
+    a_single.placement.workers[ServerId(0)] = 2;
+    a_single.placement.workers[ServerId(1)] = 2;
+    a_single.placement.psServer = ServerId(4); // shared with B
+    a_single.placement.inaRacks = {RackId(0)};
+
+    PlacedJob a_sharded = a_single;
+    a_sharded.placement.extraPsServers = {ServerId(5)}; // idle server
+
+    const Gbps single =
+        wf.estimate({a_single, b}).jobThroughput(JobId(0));
+    const Gbps sharded =
+        wf.estimate({a_sharded, b}).jobThroughput(JobId(0));
+    EXPECT_NEAR(single, 50.0, 1e-6);
+    EXPECT_GT(sharded, single + 10.0);
+}
+
+TEST(MultiPs, SingleShardRateUnchanged)
+{
+    // k = 1 must reproduce the classic result exactly.
+    const ClusterTopology topo = makeTopo();
+    WaterFillingEstimator wf(topo);
+    PlacedJob job;
+    job.id = JobId(0);
+    job.placement.workers[ServerId(0)] = 2;
+    job.placement.workers[ServerId(1)] = 2;
+    job.placement.psServer = ServerId(2);
+    job.placement.inaRacks = {RackId(0)};
+    EXPECT_NEAR(wf.estimate({job}).jobThroughput(JobId(0)), 100.0, 1e-6);
+}
+
+TEST(MultiPs, FlowModelComposesIterationTime)
+{
+    // A sharded job's iteration time uses the composed throughput.
+    const ClusterTopology topo = makeTopo();
+    FlowNetworkModel model(topo);
+    JobSpec spec;
+    spec.id = JobId(0);
+    spec.modelName = "VGG16";
+    spec.gpuDemand = 4;
+    spec.iterations = 10;
+    model.jobStarted(spec, shardedPlacement(2, 3), 0.0);
+    const Gbps rate = model.currentRate(JobId(0));
+    EXPECT_TRUE(std::isfinite(rate));
+    EXPECT_GT(rate, 0.0);
+    std::vector<JobId> completed;
+    model.advance(0.0, 1e9, completed);
+    EXPECT_EQ(completed.size(), 1u);
+}
+
+TEST(MultiPs, PacketModelRejectsShardedJobs)
+{
+    const ClusterTopology topo = makeTopo();
+    PacketNetworkModel model(topo);
+    JobSpec spec;
+    spec.id = JobId(0);
+    spec.modelName = "VGG16";
+    spec.gpuDemand = 4;
+    spec.iterations = 10;
+    EXPECT_THROW(model.jobStarted(spec, shardedPlacement(2, 3), 0.0),
+                 ConfigError);
+}
+
+TEST(MultiPs, PlacerEmitsRequestedShards)
+{
+    NetPackConfig config;
+    config.psShards = 3;
+    const ClusterTopology topo = makeTopo(8);
+    GpuLedger gpus(topo);
+    NetPackPlacer placer(config);
+    JobSpec spec;
+    spec.id = JobId(0);
+    spec.modelName = "VGG16";
+    spec.gpuDemand = 8; // forces the multi-server path
+    spec.iterations = 100;
+    const auto result = placer.placeBatch({spec}, topo, gpus, {});
+    ASSERT_EQ(result.placed.size(), 1u);
+    const Placement &p = result.placed[0].placement;
+    EXPECT_EQ(p.psShards(), 3);
+    p.validate(); // distinct PS servers
+}
+
+TEST(MultiPs, InvalidShardConfigRejected)
+{
+    NetPackConfig config;
+    config.psShards = 0;
+    EXPECT_THROW(NetPackPlacer placer(config), ConfigError);
+    config.psShards = 100;
+    EXPECT_THROW(NetPackPlacer placer2(config), ConfigError);
+}
+
+} // namespace
+} // namespace netpack

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for the Microsoft Philly log adapter: CSV parsing, row
+ * sanitization, and the log-to-trace conversion the paper's Section 6.1
+ * describes (duration + GPU count from the log, random model from the
+ * pool).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.h"
+#include "workload/philly_log.h"
+
+namespace netpack {
+namespace {
+
+constexpr const char *kSampleLog =
+    "job_id,submit_time,start_time,end_time,gpus\n"
+    "app_0001,1000,1010,2010,4\n"
+    "app_0002,1005,1020,1500,1\n"
+    "app_0003,1010,,,8\n"          // killed before scheduling
+    "app_0004,1020,1030,1030,2\n"  // zero runtime
+    "app_0005,1030,1040,5040,16\n";
+
+TEST(PhillyLog, ParsesWellFormedRows)
+{
+    std::stringstream in(kSampleLog);
+    const PhillyLogParse parse = parsePhillyCsv(in);
+    ASSERT_EQ(parse.records.size(), 3u);
+    EXPECT_EQ(parse.skipped, 2u);
+    EXPECT_EQ(parse.records[0].jobName, "app_0001");
+    EXPECT_DOUBLE_EQ(parse.records[0].submitTime, 1000.0);
+    EXPECT_DOUBLE_EQ(parse.records[0].endTime, 2010.0);
+    EXPECT_EQ(parse.records[2].gpus, 16);
+}
+
+TEST(PhillyLog, SkipsInconsistentRows)
+{
+    std::stringstream in("job_id,submit_time,start_time,end_time,gpus\n"
+                         "bad_start,100,50,200,4\n" // start < submit
+                         "bad_gpus,100,110,200,0\n");
+    const PhillyLogParse parse = parsePhillyCsv(in);
+    EXPECT_TRUE(parse.records.empty());
+    EXPECT_EQ(parse.skipped, 2u);
+}
+
+TEST(PhillyLog, MalformedSyntaxThrows)
+{
+    std::stringstream missing_field("a,1,2,3\n");
+    EXPECT_THROW(parsePhillyCsv(missing_field), ConfigError);
+
+    std::stringstream not_a_number("a,xyz,2,3,4\n");
+    EXPECT_THROW(parsePhillyCsv(not_a_number), ConfigError);
+}
+
+TEST(PhillyLog, EmptyInputIsEmptyParse)
+{
+    std::stringstream in("");
+    const PhillyLogParse parse = parsePhillyCsv(in);
+    EXPECT_TRUE(parse.records.empty());
+    EXPECT_EQ(parse.skipped, 0u);
+}
+
+TEST(PhillyLog, ConversionRebasesAndAssignsModels)
+{
+    std::stringstream in(kSampleLog);
+    const PhillyLogParse parse = parsePhillyCsv(in);
+    const JobTrace trace = traceFromPhillyLog(parse.records);
+    ASSERT_EQ(trace.size(), 3u);
+    // Rebase: earliest submit (1000) becomes t = 0.
+    EXPECT_DOUBLE_EQ(trace.at(0).submitTime, 0.0);
+    EXPECT_DOUBLE_EQ(trace.at(1).submitTime, 5.0);
+    for (const auto &job : trace.jobs()) {
+        EXPECT_TRUE(ModelZoo::contains(job.modelName));
+        EXPECT_GE(job.iterations, 1);
+    }
+}
+
+TEST(PhillyLog, LongerRunsGetMoreIterations)
+{
+    // app_0005 ran 4000 s vs app_0002's 480 s; with any model its
+    // iteration count must be larger (16 GPUs -> includes transfer term,
+    // but the 8x duration gap dominates).
+    std::stringstream in(kSampleLog);
+    const PhillyLogParse parse = parsePhillyCsv(in);
+    PhillyConversionConfig config;
+    config.modelSeed = 42;
+    const JobTrace trace = traceFromPhillyLog(parse.records, config);
+    const auto &short_job = trace.at(1); // app_0002
+    const auto &long_job = trace.at(2);  // app_0005
+    EXPECT_GT(long_job.iterations, short_job.iterations);
+}
+
+TEST(PhillyLog, ModelSeedIsDeterministic)
+{
+    std::stringstream in1(kSampleLog), in2(kSampleLog);
+    const auto parse1 = parsePhillyCsv(in1);
+    const auto parse2 = parsePhillyCsv(in2);
+    PhillyConversionConfig config;
+    config.modelSeed = 7;
+    const JobTrace a = traceFromPhillyLog(parse1.records, config);
+    const JobTrace b = traceFromPhillyLog(parse2.records, config);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a.at(i).modelName, b.at(i).modelName);
+}
+
+TEST(PhillyLog, GpuClampApplies)
+{
+    std::stringstream in(kSampleLog);
+    const auto parse = parsePhillyCsv(in);
+    PhillyConversionConfig config;
+    config.maxGpuDemand = 8;
+    const JobTrace trace = traceFromPhillyLog(parse.records, config);
+    for (const auto &job : trace.jobs())
+        EXPECT_LE(job.gpuDemand, 8);
+}
+
+TEST(PhillyLog, NoRebaseKeepsAbsoluteTimes)
+{
+    std::stringstream in(kSampleLog);
+    const auto parse = parsePhillyCsv(in);
+    PhillyConversionConfig config;
+    config.rebaseToZero = false;
+    const JobTrace trace = traceFromPhillyLog(parse.records, config);
+    EXPECT_DOUBLE_EQ(trace.at(0).submitTime, 1000.0);
+}
+
+} // namespace
+} // namespace netpack

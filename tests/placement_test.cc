@@ -1,0 +1,546 @@
+/**
+ * @file
+ * Unit and property tests for the placement layer: the job-subset
+ * knapsack, NetPack's worker/PS dynamic program, selective INA enabling,
+ * and all baseline policies.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "placement/baselines.h"
+#include "placement/knapsack.h"
+#include "placement/netpack_placer.h"
+
+namespace netpack {
+namespace {
+
+ClusterTopology
+makeTopo(int racks = 2, int servers_per_rack = 4, Gbps pat = 400.0,
+         double oversub = 1.0)
+{
+    ClusterConfig config;
+    config.numRacks = racks;
+    config.serversPerRack = servers_per_rack;
+    config.gpusPerServer = 4;
+    config.serverLinkGbps = 100.0;
+    config.torPatGbps = pat;
+    config.oversubscription = oversub;
+    return ClusterTopology(config);
+}
+
+JobSpec
+makeSpec(int id, int gpus, const std::string &model = "VGG16",
+         double value = 1.0)
+{
+    JobSpec spec;
+    spec.id = JobId(id);
+    spec.modelName = model;
+    spec.gpuDemand = gpus;
+    spec.iterations = 100;
+    spec.value = value;
+    return spec;
+}
+
+// ------------------------------------------------------------- knapsack
+
+TEST(Knapsack, EmptyInputs)
+{
+    EXPECT_TRUE(solveKnapsack({}, 10).empty());
+    EXPECT_TRUE(solveKnapsack({{1, 1.0}}, 0).empty());
+}
+
+TEST(Knapsack, EverythingFitsFastPath)
+{
+    const auto picked = solveKnapsack({{2, 1.0}, {3, 1.0}, {4, 1.0}}, 9);
+    EXPECT_EQ(picked.size(), 3u);
+}
+
+TEST(Knapsack, PrefersValueOverCount)
+{
+    // Capacity 4: one item of value 10 beats two items of value 3+3.
+    const auto picked =
+        solveKnapsack({{2, 3.0}, {2, 3.0}, {4, 10.0}}, 4);
+    ASSERT_EQ(picked.size(), 1u);
+    EXPECT_EQ(picked[0], 2u);
+}
+
+TEST(Knapsack, SkipsOverweightItems)
+{
+    const auto picked = solveKnapsack({{100, 99.0}, {2, 1.0}}, 5);
+    ASSERT_EQ(picked.size(), 1u);
+    EXPECT_EQ(picked[0], 1u);
+}
+
+TEST(Knapsack, ResultIndicesAscending)
+{
+    const auto picked =
+        solveKnapsack({{1, 1.0}, {1, 1.0}, {1, 1.0}, {10, 0.5}}, 3);
+    ASSERT_EQ(picked.size(), 3u);
+    EXPECT_TRUE(std::is_sorted(picked.begin(), picked.end()));
+}
+
+/** Exact DP vs brute force on random instances. */
+class KnapsackPropertyTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(KnapsackPropertyTest, MatchesBruteForceOptimum)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 5);
+    const int n = static_cast<int>(rng.uniformInt(1, 12));
+    const int capacity = static_cast<int>(rng.uniformInt(1, 30));
+    std::vector<KnapsackItem> items;
+    for (int i = 0; i < n; ++i)
+        items.push_back({static_cast<int>(rng.uniformInt(1, 10)),
+                         rng.uniform(0.1, 5.0)});
+
+    // Brute force over all subsets.
+    double best = 0.0;
+    for (int mask = 0; mask < (1 << n); ++mask) {
+        int weight = 0;
+        double value = 0.0;
+        for (int i = 0; i < n; ++i) {
+            if (mask & (1 << i)) {
+                weight += items[static_cast<std::size_t>(i)].weight;
+                value += items[static_cast<std::size_t>(i)].value;
+            }
+        }
+        if (weight <= capacity)
+            best = std::max(best, value);
+    }
+
+    const auto picked = solveKnapsack(items, capacity);
+    int weight = 0;
+    double value = 0.0;
+    for (std::size_t i : picked) {
+        weight += items[i].weight;
+        value += items[i].value;
+    }
+    EXPECT_LE(weight, capacity);
+    EXPECT_NEAR(value, best, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KnapsackPropertyTest,
+                         ::testing::Range(0, 20));
+
+// ------------------------------------------------------------- helpers
+
+TEST(PlacementUtil, GreedyTakeMeetsDemand)
+{
+    const ClusterTopology topo = makeTopo();
+    GpuLedger gpus(topo);
+    std::vector<ServerId> order = {ServerId(0), ServerId(1), ServerId(2)};
+    const auto taken = placement_util::greedyTake(order, gpus, 6);
+    ASSERT_EQ(taken.size(), 2u);
+    EXPECT_EQ(taken.at(ServerId(0)), 4);
+    EXPECT_EQ(taken.at(ServerId(1)), 2);
+}
+
+TEST(PlacementUtil, GreedyTakeFailsWhenShort)
+{
+    const ClusterTopology topo = makeTopo();
+    GpuLedger gpus(topo);
+    std::vector<ServerId> order = {ServerId(0)};
+    EXPECT_TRUE(placement_util::greedyTake(order, gpus, 5).empty());
+}
+
+TEST(PlacementUtil, BestFitSingleServerPrefersTightest)
+{
+    const ClusterTopology topo = makeTopo();
+    GpuLedger gpus(topo);
+    gpus.allocate(ServerId(0), JobId(99), 2); // 2 free on server 0
+    const ServerId pick =
+        placement_util::bestFitSingleServer(topo, gpus, 2);
+    EXPECT_EQ(pick.value, 0);
+    EXPECT_FALSE(
+        placement_util::bestFitSingleServer(topo, gpus, 5).valid());
+}
+
+TEST(PlacementUtil, FinalizeBaselineSingleServerColocatesPs)
+{
+    const ClusterTopology topo = makeTopo();
+    GpuLedger gpus(topo);
+    std::map<ServerId, int> taken = {{ServerId(3), 4}};
+    const Placement p =
+        placement_util::finalizeBaseline(topo, gpus, JobId(0), taken);
+    EXPECT_TRUE(p.singleServer());
+    EXPECT_TRUE(p.inaRacks.empty());
+    EXPECT_EQ(gpus.freeGpus(ServerId(3)), 0);
+}
+
+TEST(PlacementUtil, FinalizeBaselineMultiServerEnablesIna)
+{
+    const ClusterTopology topo = makeTopo();
+    GpuLedger gpus(topo);
+    std::map<ServerId, int> taken = {{ServerId(0), 4}, {ServerId(4), 2}};
+    const Placement p =
+        placement_util::finalizeBaseline(topo, gpus, JobId(0), taken);
+    EXPECT_TRUE(p.psServer.valid());
+    EXPECT_EQ(p.inaRacks.size(), p.allRacks(topo).size());
+    EXPECT_EQ(p.totalWorkers(), 6);
+}
+
+// -------------------------------------------------------------- netpack
+
+TEST(NetPackPlacer, SingleServerFastPath)
+{
+    const ClusterTopology topo = makeTopo();
+    GpuLedger gpus(topo);
+    NetPackPlacer placer;
+    const auto result =
+        placer.placeBatch({makeSpec(0, 4)}, topo, gpus, {});
+    ASSERT_EQ(result.placed.size(), 1u);
+    EXPECT_TRUE(result.placed[0].placement.singleServer());
+    EXPECT_EQ(gpus.totalFreeGpus(), topo.totalGpus() - 4);
+}
+
+TEST(NetPackPlacer, BestFitReusesFragmentedServer)
+{
+    const ClusterTopology topo = makeTopo();
+    GpuLedger gpus(topo);
+    gpus.allocate(ServerId(5), JobId(99), 2); // leaves 2 free
+    NetPackPlacer placer;
+    const auto result =
+        placer.placeBatch({makeSpec(0, 2)}, topo, gpus, {});
+    ASSERT_EQ(result.placed.size(), 1u);
+    EXPECT_EQ(result.placed[0].placement.workers.begin()->first.value, 5);
+}
+
+TEST(NetPackPlacer, MultiServerExactGpuCount)
+{
+    const ClusterTopology topo = makeTopo();
+    GpuLedger gpus(topo);
+    NetPackPlacer placer;
+    const auto result =
+        placer.placeBatch({makeSpec(0, 10)}, topo, gpus, {});
+    ASSERT_EQ(result.placed.size(), 1u);
+    const Placement &p = result.placed[0].placement;
+    EXPECT_EQ(p.totalWorkers(), 10);
+    EXPECT_GE(p.workers.size(), 3u); // 4-GPU servers
+    EXPECT_TRUE(p.psServer.valid());
+    p.validate();
+    EXPECT_EQ(gpus.totalFreeGpus(), topo.totalGpus() - 10);
+}
+
+TEST(NetPackPlacer, TrimmingReleasesExtras)
+{
+    // Demand 6 on 4-GPU servers: the all-or-none DP takes 8 and must
+    // release 2; the ledger must show exactly 6 GPUs used.
+    const ClusterTopology topo = makeTopo();
+    GpuLedger gpus(topo);
+    NetPackPlacer placer;
+    const auto result =
+        placer.placeBatch({makeSpec(0, 6)}, topo, gpus, {});
+    ASSERT_EQ(result.placed.size(), 1u);
+    EXPECT_EQ(result.placed[0].placement.totalWorkers(), 6);
+    EXPECT_EQ(gpus.totalFreeGpus(), topo.totalGpus() - 6);
+}
+
+TEST(NetPackPlacer, KnapsackDefersLowValueJobs)
+{
+    // Cluster of 8 GPUs total; three jobs of 4 GPUs with values 5, 1, 4:
+    // the subset {0, 2} wins and job 1 defers.
+    const ClusterTopology topo = makeTopo(1, 2);
+    GpuLedger gpus(topo);
+    NetPackPlacer placer;
+    const std::vector<JobSpec> batch = {makeSpec(0, 4, "VGG16", 5.0),
+                                        makeSpec(1, 4, "VGG16", 1.0),
+                                        makeSpec(2, 4, "VGG16", 4.0)};
+    const auto result = placer.placeBatch(batch, topo, gpus, {});
+    ASSERT_EQ(result.placed.size(), 2u);
+    ASSERT_EQ(result.deferred.size(), 1u);
+    EXPECT_EQ(result.deferred[0].value, 1);
+}
+
+TEST(NetPackPlacer, DefersWhenClusterFull)
+{
+    const ClusterTopology topo = makeTopo(1, 2);
+    GpuLedger gpus(topo);
+    gpus.allocate(ServerId(0), JobId(90), 4);
+    gpus.allocate(ServerId(1), JobId(90), 4);
+    NetPackPlacer placer;
+    const auto result =
+        placer.placeBatch({makeSpec(0, 2)}, topo, gpus, {});
+    EXPECT_TRUE(result.placed.empty());
+    ASSERT_EQ(result.deferred.size(), 1u);
+}
+
+TEST(NetPackPlacer, ZeroPatDisablesAllIna)
+{
+    const ClusterTopology topo = makeTopo(2, 4, 0.0);
+    GpuLedger gpus(topo);
+    NetPackPlacer placer;
+    const auto result =
+        placer.placeBatch({makeSpec(0, 12)}, topo, gpus, {});
+    ASSERT_EQ(result.placed.size(), 1u);
+    EXPECT_TRUE(result.placed[0].placement.inaRacks.empty());
+}
+
+TEST(NetPackPlacer, AmplePatKeepsInaEnabled)
+{
+    const ClusterTopology topo = makeTopo(2, 4, 1000.0);
+    GpuLedger gpus(topo);
+    NetPackPlacer placer;
+    const auto result =
+        placer.placeBatch({makeSpec(0, 12)}, topo, gpus, {});
+    ASSERT_EQ(result.placed.size(), 1u);
+    EXPECT_FALSE(result.placed[0].placement.inaRacks.empty());
+}
+
+TEST(NetPackPlacer, SelectiveInaNeverRegressesTheEstimate)
+{
+    // PAT of 60 Gbps per ToR and several cross-server jobs: step ④
+    // shifts INA toward high-AE jobs, but its estimator guard must
+    // guarantee the chosen assignment's predicted batch communication
+    // time never exceeds plain INA-for-all.
+    const ClusterTopology topo = makeTopo(1, 8, 60.0);
+    std::vector<JobSpec> batch;
+    for (int j = 0; j < 4; ++j)
+        batch.push_back(makeSpec(j, 8));
+
+    GpuLedger selective_gpus(topo);
+    NetPackPlacer selective_placer;
+    const auto selective =
+        selective_placer.placeBatch(batch, topo, selective_gpus, {});
+    ASSERT_EQ(selective.placed.size(), 4u);
+
+    NetPackConfig all_config;
+    all_config.selectiveIna = false;
+    GpuLedger all_gpus(topo);
+    NetPackPlacer all_placer(all_config);
+    const auto all = all_placer.placeBatch(batch, topo, all_gpus, {});
+    ASSERT_EQ(all.placed.size(), 4u);
+
+    // Estimated per-batch communication time under each assignment.
+    const auto objective = [&](const std::vector<PlacedJob> &placed) {
+        WaterFillingEstimator wf(topo);
+        const SteadyState steady = wf.estimate(placed);
+        double total = 0.0;
+        for (const auto &job : placed) {
+            const Gbps rate = steady.jobThroughput(job.id);
+            if (std::isfinite(rate))
+                total += 1.0 / rate;
+        }
+        return total;
+    };
+    EXPECT_LE(objective(selective.placed), objective(all.placed) + 1e-9);
+}
+
+TEST(NetPackPlacer, SelectiveInaOffKeepsEverything)
+{
+    NetPackConfig config;
+    config.selectiveIna = false;
+    const ClusterTopology topo = makeTopo(1, 8, 60.0);
+    GpuLedger gpus(topo);
+    NetPackPlacer placer(config);
+    std::vector<JobSpec> batch;
+    for (int j = 0; j < 4; ++j)
+        batch.push_back(makeSpec(j, 8));
+    const auto result = placer.placeBatch(batch, topo, gpus, {});
+    for (const auto &job : result.placed)
+        EXPECT_FALSE(job.placement.inaRacks.empty());
+}
+
+TEST(NetPackPlacer, OneDimWeightStillPlacesValidly)
+{
+    NetPackConfig config;
+    config.twoDimWeight = false;
+    const ClusterTopology topo = makeTopo();
+    GpuLedger gpus(topo);
+    NetPackPlacer placer(config);
+    const auto result =
+        placer.placeBatch({makeSpec(0, 10)}, topo, gpus, {});
+    ASSERT_EQ(result.placed.size(), 1u);
+    EXPECT_EQ(result.placed[0].placement.totalWorkers(), 10);
+}
+
+TEST(NetPackPlacer, InvalidConfigRejected)
+{
+    NetPackConfig config;
+    config.maxFlowsTracked = 0;
+    EXPECT_THROW(NetPackPlacer placer(config), ConfigError);
+    config.maxFlowsTracked = 200;
+    EXPECT_THROW(NetPackPlacer placer2(config), ConfigError);
+}
+
+TEST(NetPackPlacer, ValueOrderBreaksTies)
+{
+    // Higher-value jobs place first and thus grab the single-server
+    // slots; verify ordering is respected when capacity is scarce.
+    const ClusterTopology topo = makeTopo(1, 3);
+    GpuLedger gpus(topo);
+    gpus.allocate(ServerId(1), JobId(90), 4);
+    gpus.allocate(ServerId(2), JobId(90), 4);
+    NetPackPlacer placer;
+    const std::vector<JobSpec> batch = {makeSpec(0, 4, "VGG16", 1.0),
+                                        makeSpec(1, 4, "VGG16", 9.0)};
+    const auto result = placer.placeBatch(batch, topo, gpus, {});
+    ASSERT_EQ(result.placed.size(), 1u);
+    EXPECT_EQ(result.placed[0].id.value, 1);
+}
+
+// ------------------------------------------------------------ baselines
+
+TEST(Baselines, FactoryKnowsEveryName)
+{
+    for (const char *name : {"NetPack", "GB", "FB", "LF", "Optimus",
+                             "Tetris", "Comb", "Random"}) {
+        const auto placer = makePlacerByName(name);
+        ASSERT_NE(placer, nullptr);
+        EXPECT_EQ(placer->name(), name);
+    }
+    EXPECT_THROW(makePlacerByName("SkyNet"), ConfigError);
+}
+
+TEST(Baselines, LineupMatchesFigures)
+{
+    const auto names = baselineNames();
+    EXPECT_EQ(names.size(), 5u);
+    EXPECT_EQ(names[0], "GB");
+}
+
+TEST(Baselines, GpuBalancePrefersEmptiestServer)
+{
+    const ClusterTopology topo = makeTopo();
+    GpuLedger gpus(topo);
+    // Servers 0..6 partially used; server 7 untouched.
+    for (int s = 0; s < 7; ++s)
+        gpus.allocate(ServerId(s), JobId(90), 2);
+    GpuBalancePlacer placer;
+    const auto result =
+        placer.placeBatch({makeSpec(0, 4)}, topo, gpus, {});
+    ASSERT_EQ(result.placed.size(), 1u);
+    EXPECT_EQ(result.placed[0].placement.workers.begin()->first.value, 7);
+}
+
+TEST(Baselines, LeastFragmentationDrainsPartialServers)
+{
+    const ClusterTopology topo = makeTopo();
+    GpuLedger gpus(topo);
+    gpus.allocate(ServerId(2), JobId(90), 3); // 1 GPU left
+    LeastFragmentationPlacer placer;
+    const auto result =
+        placer.placeBatch({makeSpec(0, 1)}, topo, gpus, {});
+    ASSERT_EQ(result.placed.size(), 1u);
+    EXPECT_EQ(result.placed[0].placement.workers.begin()->first.value, 2);
+}
+
+TEST(Baselines, OptimusSpreadsEvenly)
+{
+    const ClusterTopology topo = makeTopo();
+    GpuLedger gpus(topo);
+    OptimusPlacer placer;
+    const auto result =
+        placer.placeBatch({makeSpec(0, 8)}, topo, gpus, {});
+    ASSERT_EQ(result.placed.size(), 1u);
+    const Placement &p = result.placed[0].placement;
+    EXPECT_EQ(p.totalWorkers(), 8);
+    // Top-2 prefix covers 8 GPUs; round-robin gives 4+4.
+    EXPECT_EQ(p.workers.size(), 2u);
+    for (const auto &[server, count] : p.workers)
+        EXPECT_EQ(count, 4);
+}
+
+TEST(Baselines, FifoDefersWhenFull)
+{
+    const ClusterTopology topo = makeTopo(1, 1);
+    GpuLedger gpus(topo);
+    GpuBalancePlacer placer;
+    const std::vector<JobSpec> batch = {makeSpec(0, 4), makeSpec(1, 2)};
+    const auto result = placer.placeBatch(batch, topo, gpus, {});
+    EXPECT_EQ(result.placed.size(), 1u);
+    ASSERT_EQ(result.deferred.size(), 1u);
+    EXPECT_EQ(result.deferred[0].value, 1);
+}
+
+TEST(Baselines, RandomIsDeterministicPerSeed)
+{
+    const ClusterTopology topo = makeTopo();
+    GpuLedger gpus_a(topo), gpus_b(topo);
+    RandomPlacer a(42), b(42);
+    const auto ra = a.placeBatch({makeSpec(0, 4)}, topo, gpus_a, {});
+    const auto rb = b.placeBatch({makeSpec(0, 4)}, topo, gpus_b, {});
+    ASSERT_EQ(ra.placed.size(), 1u);
+    ASSERT_EQ(rb.placed.size(), 1u);
+    EXPECT_EQ(ra.placed[0].placement.workers.begin()->first.value,
+              rb.placed[0].placement.workers.begin()->first.value);
+}
+
+// ------------------------------------------------------ property sweep
+
+struct PlacerCase
+{
+    const char *name;
+    int seed;
+};
+
+class AllPlacersPropertyTest
+    : public ::testing::TestWithParam<std::tuple<const char *, int>>
+{
+};
+
+TEST_P(AllPlacersPropertyTest, RandomBatchesStayConsistent)
+{
+    const auto [name, seed] = GetParam();
+    Rng rng(static_cast<std::uint64_t>(seed) * 101 + 3);
+    const ClusterTopology topo = makeTopo(3, 4);
+    GpuLedger gpus(topo);
+    const auto placer = makePlacerByName(name);
+
+    std::vector<PlacedJob> running;
+    int next_id = 0;
+    for (int round = 0; round < 4; ++round) {
+        std::vector<JobSpec> batch;
+        const int batch_size = static_cast<int>(rng.uniformInt(1, 6));
+        for (int j = 0; j < batch_size; ++j) {
+            const auto &zoo = ModelZoo::all();
+            const auto &model = zoo[static_cast<std::size_t>(
+                rng.uniformInt(0, static_cast<std::int64_t>(zoo.size()) -
+                                      1))];
+            batch.push_back(makeSpec(
+                next_id++, static_cast<int>(rng.uniformInt(1, 10)),
+                model.name, rng.uniform(0.5, 3.0)));
+        }
+        const int free_before = gpus.totalFreeGpus();
+        const auto result = placer->placeBatch(batch, topo, gpus, running);
+
+        // Every batch job is either placed or deferred, exactly once.
+        std::set<int> seen;
+        for (const auto &job : result.placed)
+            seen.insert(job.id.value);
+        for (JobId id : result.deferred)
+            seen.insert(id.value);
+        EXPECT_EQ(seen.size(), batch.size());
+
+        int placed_gpus = 0;
+        for (const auto &job : result.placed) {
+            job.placement.validate();
+            const auto spec_it = std::find_if(
+                batch.begin(), batch.end(),
+                [&](const JobSpec &s) { return s.id == job.id; });
+            ASSERT_NE(spec_it, batch.end());
+            EXPECT_EQ(job.placement.totalWorkers(), spec_it->gpuDemand);
+            placed_gpus += spec_it->gpuDemand;
+            // INA racks only where the job actually is.
+            for (RackId rack : job.placement.inaRacks)
+                EXPECT_TRUE(job.placement.allRacks(topo).count(rack));
+            running.push_back(job);
+        }
+        EXPECT_EQ(gpus.totalFreeGpus(), free_before - placed_gpus);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Placers, AllPlacersPropertyTest,
+    ::testing::Combine(::testing::Values("NetPack", "GB", "FB", "LF",
+                                         "Optimus", "Tetris", "Comb",
+                                         "Random"),
+                       ::testing::Range(0, 4)));
+
+} // namespace
+} // namespace netpack

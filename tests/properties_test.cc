@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Cross-module property tests: invariants that must hold over random
+ * instances — aggregation dominance, PAT monotonicity, hierarchy flow
+ * conservation, flow-vs-packet model agreement, and placement
+ * determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "placement/netpack_placer.h"
+#include "sim/flow_model.h"
+#include "sim/packet_model.h"
+#include "waterfill/steady_state.h"
+
+namespace netpack {
+namespace {
+
+ClusterTopology
+randomTopo(Rng &rng, Gbps pat)
+{
+    ClusterConfig config;
+    config.numRacks = static_cast<int>(rng.uniformInt(2, 4));
+    config.serversPerRack = static_cast<int>(rng.uniformInt(2, 4));
+    config.gpusPerServer = 4;
+    config.serverLinkGbps = 100.0;
+    config.torPatGbps = pat;
+    return ClusterTopology(config);
+}
+
+PlacedJob
+randomNetworkJob(Rng &rng, const ClusterTopology &topo, int id)
+{
+    PlacedJob job;
+    job.id = JobId(id);
+    const int spread = static_cast<int>(rng.uniformInt(2, 4));
+    for (int w = 0; w < spread; ++w) {
+        const ServerId server(static_cast<int>(
+            rng.uniformInt(0, topo.numServers() - 1)));
+        job.placement.workers[server] += 1;
+    }
+    job.placement.psServer = ServerId(
+        static_cast<int>(rng.uniformInt(0, topo.numServers() - 1)));
+    for (RackId rack : job.placement.allRacks(topo))
+        job.placement.inaRacks.insert(rack);
+    return job;
+}
+
+class PropertySeed : public ::testing::TestWithParam<int>
+{
+  protected:
+    Rng rng_{static_cast<std::uint64_t>(GetParam()) * 2654435761u + 17};
+};
+
+using AggregationDominance = PropertySeed;
+
+TEST_P(AggregationDominance, InaNeverSlowsASingleJob)
+{
+    const ClusterTopology topo = randomTopo(rng_, 300.0);
+    PlacedJob with_ina = randomNetworkJob(rng_, topo, 0);
+    PlacedJob without_ina = with_ina;
+    without_ina.placement.inaRacks.clear();
+
+    WaterFillingEstimator wf(topo);
+    const Gbps rate_ina =
+        wf.estimate({with_ina}).jobThroughput(JobId(0));
+    const Gbps rate_plain =
+        wf.estimate({without_ina}).jobThroughput(JobId(0));
+    if (std::isinf(rate_ina))
+        return; // degenerated to a local job
+    EXPECT_GE(rate_ina, rate_plain - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AggregationDominance,
+                         ::testing::Range(0, 16));
+
+using PatMonotonicity = PropertySeed;
+
+TEST_P(PatMonotonicity, MorePatNeverSlowsASingleJob)
+{
+    Rng topo_rng = rng_.fork();
+    const ClusterTopology lo_topo = randomTopo(topo_rng, 20.0);
+    ClusterConfig hi_config = lo_topo.config();
+    hi_config.torPatGbps = 500.0;
+    const ClusterTopology hi_topo(hi_config);
+
+    const PlacedJob job = randomNetworkJob(rng_, lo_topo, 0);
+    WaterFillingEstimator lo(lo_topo), hi(hi_topo);
+    const Gbps rate_lo = lo.estimate({job}).jobThroughput(JobId(0));
+    const Gbps rate_hi = hi.estimate({job}).jobThroughput(JobId(0));
+    if (std::isinf(rate_lo))
+        return;
+    EXPECT_GE(rate_hi, rate_lo - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PatMonotonicity, ::testing::Range(0, 16));
+
+using FlowConservation = PropertySeed;
+
+TEST_P(FlowConservation, WorkerLeavesChargeExactlyOneFlowEach)
+{
+    const ClusterTopology topo = randomTopo(rng_, 300.0);
+    const PlacedJob job = randomNetworkJob(rng_, topo, 0);
+    JobHierarchy hierarchy(topo, JobId(0), job.placement);
+    if (hierarchy.local())
+        return;
+    std::vector<Gbps> pat(static_cast<std::size_t>(topo.numRacks()),
+                          300.0);
+    hierarchy.updateFlows(pat);
+    std::vector<int> flows(static_cast<std::size_t>(topo.numLinks()), 0);
+    hierarchy.accumulateLinkFlows(flows);
+
+    // Each worker server's access link carries exactly one upward flow
+    // (plus one PS delivery if the PS shares that server).
+    for (const auto &[server, count] : job.placement.workers) {
+        (void)count;
+        int expected = 1;
+        if (server == job.placement.psServer)
+            expected += 1;
+        EXPECT_EQ(flows[topo.accessLink(server).index()], expected);
+    }
+    // With ample PAT, the PS access link carries exactly one merged flow
+    // (plus a worker flow if colocated).
+    int expected_ps = 1;
+    if (job.placement.workers.count(job.placement.psServer))
+        expected_ps += 1;
+    EXPECT_EQ(flows[topo.accessLink(job.placement.psServer).index()],
+              expected_ps);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlowConservation,
+                         ::testing::Range(0, 16));
+
+using ModelAgreement = PropertySeed;
+
+TEST_P(ModelAgreement, FlowAndPacketJctsAgreeForOneJob)
+{
+    // Single uncontended job: the fluid prediction and the RTT-slotted
+    // AIMD measurement must land close (ramp-up costs a little).
+    ClusterConfig config;
+    config.numRacks = 1;
+    config.serversPerRack = 5;
+    config.gpusPerServer = 2;
+    config.serverLinkGbps = 100.0;
+    config.torPatGbps = 300.0;
+    const ClusterTopology topo(config);
+
+    const auto &zoo = ModelZoo::all();
+    JobSpec spec;
+    spec.id = JobId(0);
+    spec.modelName = zoo[static_cast<std::size_t>(rng_.uniformInt(
+                             0, static_cast<std::int64_t>(zoo.size()) -
+                                    1))]
+                         .name;
+    spec.gpuDemand = 4;
+    spec.iterations = rng_.uniformInt(20, 80);
+    Placement placement;
+    placement.workers[ServerId(0)] = 2;
+    placement.workers[ServerId(1)] = 2;
+    placement.psServer = ServerId(2);
+    placement.inaRacks = {RackId(0)};
+
+    FlowNetworkModel flow(topo);
+    flow.jobStarted(spec, placement, 0.0);
+    std::vector<JobId> completed;
+    const Seconds flow_jct = flow.advance(0.0, 1e9, completed);
+    ASSERT_EQ(completed.size(), 1u);
+
+    PacketNetworkModel packet(topo);
+    packet.jobStarted(spec, placement, 0.0);
+    Seconds packet_jct = 0.0;
+    completed.clear();
+    while (completed.empty())
+        packet_jct = packet.advance(packet_jct, packet_jct + 10.0,
+                                    completed);
+
+    EXPECT_GT(packet_jct, flow_jct * 0.9);
+    EXPECT_LT(packet_jct, flow_jct * 1.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModelAgreement, ::testing::Range(0, 10));
+
+using PlacementDeterminism = PropertySeed;
+
+TEST_P(PlacementDeterminism, NetPackIsAPureFunctionOfItsInputs)
+{
+    Rng topo_rng = rng_.fork();
+    const ClusterTopology topo = randomTopo(topo_rng, 200.0);
+    std::vector<JobSpec> batch;
+    const auto &zoo = ModelZoo::all();
+    for (int j = 0; j < 5; ++j) {
+        JobSpec spec;
+        spec.id = JobId(j);
+        spec.modelName =
+            zoo[static_cast<std::size_t>(rng_.uniformInt(
+                    0, static_cast<std::int64_t>(zoo.size()) - 1))]
+                .name;
+        spec.gpuDemand = static_cast<int>(rng_.uniformInt(1, 10));
+        spec.iterations = 100;
+        batch.push_back(spec);
+    }
+
+    GpuLedger gpus_a(topo), gpus_b(topo);
+    NetPackPlacer placer_a, placer_b;
+    const auto a = placer_a.placeBatch(batch, topo, gpus_a, {});
+    const auto b = placer_b.placeBatch(batch, topo, gpus_b, {});
+
+    ASSERT_EQ(a.placed.size(), b.placed.size());
+    for (std::size_t i = 0; i < a.placed.size(); ++i) {
+        EXPECT_EQ(a.placed[i].id.value, b.placed[i].id.value);
+        EXPECT_EQ(a.placed[i].placement.workers,
+                  b.placed[i].placement.workers);
+        EXPECT_EQ(a.placed[i].placement.psServer.value,
+                  b.placed[i].placement.psServer.value);
+        EXPECT_EQ(a.placed[i].placement.inaRacks,
+                  b.placed[i].placement.inaRacks);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlacementDeterminism,
+                         ::testing::Range(0, 8));
+
+TEST(GpuLedgerCopy, CopiesAreIndependent)
+{
+    ClusterConfig config;
+    config.numRacks = 1;
+    config.serversPerRack = 2;
+    const ClusterTopology topo(config);
+    GpuLedger original(topo);
+    original.allocate(ServerId(0), JobId(1), 2);
+
+    GpuLedger copy = original;
+    copy.allocate(ServerId(0), JobId(2), 2);
+    EXPECT_EQ(copy.freeGpus(ServerId(0)), 0);
+    EXPECT_EQ(original.freeGpus(ServerId(0)), 2);
+    copy.releaseJob(JobId(1));
+    EXPECT_EQ(original.heldGpus(ServerId(0), JobId(1)), 2);
+}
+
+} // namespace
+} // namespace netpack

@@ -1,0 +1,461 @@
+/**
+ * @file
+ * Tests for the flow-level network model and the cluster manager loop:
+ * analytic JCT checks, fair sharing, epoch batching, metrics, and
+ * starvation aging.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "core/experiment.h"
+#include "placement/baselines.h"
+#include "sim/cluster_sim.h"
+#include "sim/flow_model.h"
+#include "workload/trace_gen.h"
+
+namespace netpack {
+namespace {
+
+ClusterConfig
+smallCluster()
+{
+    ClusterConfig config;
+    config.numRacks = 2;
+    config.serversPerRack = 4;
+    config.gpusPerServer = 4;
+    config.serverLinkGbps = 100.0;
+    config.torPatGbps = 400.0;
+    return config;
+}
+
+JobSpec
+makeSpec(int id, int gpus, std::int64_t iterations,
+         const std::string &model = "ResNet50", Seconds submit = 0.0)
+{
+    JobSpec spec;
+    spec.id = JobId(id);
+    spec.modelName = model;
+    spec.gpuDemand = gpus;
+    spec.iterations = iterations;
+    spec.submitTime = submit;
+    return spec;
+}
+
+// -------------------------------------------------------- model basics
+
+TEST(FlowModel, LocalJobFinishesAtComputeTime)
+{
+    const ClusterTopology topo(smallCluster());
+    FlowNetworkModel model(topo);
+    const auto spec = makeSpec(0, 4, 100);
+    Placement p;
+    p.workers[ServerId(0)] = 4;
+    p.psServer = ServerId(0);
+    model.jobStarted(spec, p, 0.0);
+
+    const double expected =
+        100.0 * ModelZoo::byName("ResNet50").computeTimePerIter;
+    std::vector<JobId> completed;
+    const Seconds t = model.advance(0.0, 1e9, completed);
+    ASSERT_EQ(completed.size(), 1u);
+    EXPECT_NEAR(t, expected, 1e-6);
+    EXPECT_TRUE(std::isinf(model.currentRate(JobId(0))));
+}
+
+TEST(FlowModel, NetworkJobIncludesTransferTime)
+{
+    const ClusterTopology topo(smallCluster());
+    FlowNetworkModel model(topo);
+    const auto spec = makeSpec(0, 8, 50);
+    Placement p;
+    p.workers[ServerId(0)] = 4;
+    p.workers[ServerId(1)] = 4;
+    p.psServer = ServerId(2);
+    p.inaRacks = {RackId(0)};
+    model.jobStarted(spec, p, 0.0);
+
+    const ModelProfile &m = ModelZoo::byName("ResNet50");
+    // Water-filling gives the full 100 Gbps access rate.
+    const double iter = m.computeTimePerIter +
+                        units::transferTime(m.modelSizeMb, 100.0);
+    std::vector<JobId> completed;
+    const Seconds t = model.advance(0.0, 1e9, completed);
+    ASSERT_EQ(completed.size(), 1u);
+    EXPECT_NEAR(t, 50.0 * iter, 1e-6);
+    EXPECT_NEAR(model.currentRate(JobId(0)), 100.0, 1e-6);
+}
+
+TEST(FlowModel, AdvanceStopsAtHorizon)
+{
+    const ClusterTopology topo(smallCluster());
+    FlowNetworkModel model(topo);
+    model.jobStarted(makeSpec(0, 4, 1000), [&] {
+        Placement p;
+        p.workers[ServerId(0)] = 4;
+        p.psServer = ServerId(0);
+        return p;
+    }(), 0.0);
+    std::vector<JobId> completed;
+    const Seconds t = model.advance(0.0, 1.0, completed);
+    EXPECT_DOUBLE_EQ(t, 1.0);
+    EXPECT_TRUE(completed.empty());
+}
+
+TEST(FlowModel, SharingSlowsJobsDown)
+{
+    const ClusterTopology topo(smallCluster());
+    FlowNetworkModel model(topo);
+    // Two identical network jobs sharing the same PS access link.
+    for (int j = 0; j < 2; ++j) {
+        Placement p;
+        p.workers[ServerId(0)] = 2;
+        p.workers[ServerId(1)] = 2;
+        p.psServer = ServerId(2);
+        p.inaRacks = {RackId(0)};
+        model.jobStarted(makeSpec(j, 4, 100, "VGG16"), p, 0.0);
+    }
+    EXPECT_NEAR(model.currentRate(JobId(0)), 50.0, 1e-6);
+    EXPECT_NEAR(model.currentRate(JobId(1)), 50.0, 1e-6);
+
+    std::vector<JobId> completed;
+    const Seconds t = model.advance(0.0, 1e9, completed);
+    EXPECT_EQ(completed.size(), 2u); // identical jobs finish together
+    const ModelProfile &m = ModelZoo::byName("VGG16");
+    const double iter = m.computeTimePerIter +
+                        units::transferTime(m.modelSizeMb, 50.0);
+    EXPECT_NEAR(t, 100.0 * iter, 1e-6);
+}
+
+TEST(FlowModel, CompletionFreesBandwidthForTheSurvivor)
+{
+    const ClusterTopology topo(smallCluster());
+    FlowNetworkModel model(topo);
+    Placement p;
+    p.workers[ServerId(0)] = 2;
+    p.workers[ServerId(1)] = 2;
+    p.psServer = ServerId(2);
+    p.inaRacks = {RackId(0)};
+    model.jobStarted(makeSpec(0, 4, 10, "VGG16"), p, 0.0);
+    model.jobStarted(makeSpec(1, 4, 100, "VGG16"), p, 0.0);
+
+    std::vector<JobId> completed;
+    const Seconds t1 = model.advance(0.0, 1e9, completed);
+    ASSERT_EQ(completed.size(), 1u);
+    EXPECT_EQ(completed[0].value, 0);
+    model.jobFinished(JobId(0), t1);
+    // The survivor now gets the full 100 Gbps.
+    EXPECT_NEAR(model.currentRate(JobId(1)), 100.0, 1e-6);
+}
+
+TEST(FlowModel, StartingUnknownTwiceOrFinishingUnknownThrows)
+{
+    const ClusterTopology topo(smallCluster());
+    FlowNetworkModel model(topo);
+    Placement p;
+    p.workers[ServerId(0)] = 4;
+    p.psServer = ServerId(0);
+    model.jobStarted(makeSpec(0, 4, 10), p, 0.0);
+    EXPECT_THROW(model.jobStarted(makeSpec(0, 4, 10), p, 0.0),
+                 InternalError);
+    EXPECT_THROW(model.jobFinished(JobId(7), 0.0), InternalError);
+}
+
+// ------------------------------------------------------- manager loop
+
+TEST(ClusterSim, SingleJobMetrics)
+{
+    const ClusterTopology topo(smallCluster());
+    ExperimentConfig config;
+    config.cluster = smallCluster();
+    config.sim.placementPeriod = 1.0;
+
+    JobTrace trace(std::vector<JobSpec>{makeSpec(0, 4, 100)});
+    const RunMetrics metrics = runExperiment(config, trace);
+    ASSERT_EQ(metrics.records.size(), 1u);
+    const JobRecord &record = metrics.records[0];
+    const double compute =
+        100.0 * ModelZoo::byName("ResNet50").computeTimePerIter;
+    // Placed at the first epoch (t = 0), runs compute-only.
+    EXPECT_NEAR(record.jct(), compute, 1e-6);
+    EXPECT_NEAR(record.distributionEfficiency(), 1.0, 1e-6);
+    EXPECT_GT(metrics.placementRounds, 0);
+    EXPECT_GT(metrics.avgGpuUtilization, 0.0);
+}
+
+TEST(ClusterSim, QueueingShowsUpInJct)
+{
+    // A 1-server cluster forces the second job to wait for the first.
+    ClusterConfig cluster = smallCluster();
+    cluster.numRacks = 1;
+    cluster.serversPerRack = 1;
+    ExperimentConfig config;
+    config.cluster = cluster;
+    config.sim.placementPeriod = 1.0;
+
+    JobTrace trace(std::vector<JobSpec>{makeSpec(0, 4, 100),
+                                        makeSpec(1, 4, 100)});
+    const RunMetrics metrics = runExperiment(config, trace);
+    ASSERT_EQ(metrics.records.size(), 2u);
+    const double compute =
+        100.0 * ModelZoo::byName("ResNet50").computeTimePerIter;
+    EXPECT_GT(metrics.records[1].jct(), compute + 1.0);
+    EXPECT_LT(metrics.records[1].distributionEfficiency(), 1.0);
+    EXPECT_GT(metrics.records[1].waitTime(), compute * 0.5);
+}
+
+TEST(ClusterSim, ArrivalsAfterStartArePlacedAtLaterEpochs)
+{
+    ExperimentConfig config;
+    config.cluster = smallCluster();
+    config.sim.placementPeriod = 5.0;
+
+    JobTrace trace(std::vector<JobSpec>{
+        makeSpec(0, 4, 10, "ResNet50", 0.0),
+        makeSpec(1, 4, 10, "ResNet50", 12.0)});
+    const RunMetrics metrics = runExperiment(config, trace);
+    ASSERT_EQ(metrics.records.size(), 2u);
+    // Job 1 arrives at 12 s and must wait for the epoch at 15 s.
+    EXPECT_NEAR(metrics.records[1].startTime, 15.0, 1e-6);
+}
+
+TEST(ClusterSim, OversizedJobRejected)
+{
+    ExperimentConfig config;
+    config.cluster = smallCluster();
+    JobTrace trace(std::vector<JobSpec>{makeSpec(0, 10000, 10)});
+    EXPECT_THROW(runExperiment(config, trace), ConfigError);
+}
+
+TEST(ClusterSim, AllTraceJobsComplete)
+{
+    ExperimentConfig config;
+    config.cluster = smallCluster();
+    config.sim.placementPeriod = 10.0;
+
+    TraceGenConfig gen;
+    gen.numJobs = 60;
+    gen.seed = 17;
+    gen.maxGpuDemand = 16;
+    gen.durationLogMu = 4.0; // short jobs keep the test fast
+    gen.durationLogSigma = 0.8;
+    const JobTrace trace = generateTrace(gen);
+    const RunMetrics metrics = runExperiment(config, trace);
+    EXPECT_EQ(metrics.records.size(), trace.size());
+    for (const auto &record : metrics.records) {
+        EXPECT_GE(record.startTime, record.submitTime);
+        EXPECT_GT(record.finishTime, record.startTime);
+    }
+    EXPECT_GT(metrics.makespan, 0.0);
+}
+
+TEST(ClusterSim, DeterministicAcrossRuns)
+{
+    ExperimentConfig config;
+    config.cluster = smallCluster();
+    TraceGenConfig gen;
+    gen.numJobs = 40;
+    gen.seed = 23;
+    gen.durationLogMu = 4.0;
+    const JobTrace trace = generateTrace(gen);
+    const RunMetrics a = runExperiment(config, trace);
+    const RunMetrics b = runExperiment(config, trace);
+    EXPECT_DOUBLE_EQ(a.avgJct(), b.avgJct());
+    EXPECT_DOUBLE_EQ(a.avgDe(), b.avgDe());
+    EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+}
+
+TEST(ClusterSim, ObserverSamplesPeriodically)
+{
+    ExperimentConfig config;
+    config.cluster = smallCluster();
+    config.sim.samplePeriod = 1.0;
+
+    ClusterTopology topo(config.cluster);
+    ClusterSimulator sim(topo, makeNetworkModel(config, topo),
+                         makePlacerByName("NetPack"), config.sim);
+    int samples = 0;
+    sim.setObserver([&](Seconds, const NetworkModel &,
+                        const std::vector<PlacedJob> &) { ++samples; });
+
+    JobTrace trace(std::vector<JobSpec>{makeSpec(0, 4, 200)});
+    sim.run(trace);
+    EXPECT_GT(samples, 5);
+}
+
+TEST(ClusterSim, StarvationBoostEventuallyPlacesBigJob)
+{
+    // One 16-GPU job competes with a stream of small jobs; the value
+    // boost must let it through once GPUs free up.
+    ClusterConfig cluster = smallCluster();
+    cluster.numRacks = 1; // 16 GPUs total
+    ExperimentConfig config;
+    config.cluster = cluster;
+    config.sim.placementPeriod = 2.0;
+    config.sim.starvationBoost = 1.0;
+
+    std::vector<JobSpec> jobs;
+    jobs.push_back(makeSpec(0, 16, 50, "ResNet50", 0.0));
+    for (int i = 1; i <= 8; ++i)
+        jobs.push_back(makeSpec(i, 2, 50, "ResNet50", 0.1 * i));
+    JobTrace trace(std::move(jobs));
+    const RunMetrics metrics = runExperiment(config, trace);
+    EXPECT_EQ(metrics.records.size(), trace.size());
+}
+
+TEST(ClusterSim, FailureRestartsAffectedJob)
+{
+    // One long job on a known server; the server fails mid-run, so the
+    // job restarts and its JCT roughly doubles.
+    ClusterConfig cluster = smallCluster();
+    cluster.numRacks = 1;
+    cluster.serversPerRack = 1; // the job must land on server 0
+    ExperimentConfig config;
+    config.cluster = cluster;
+    config.sim.placementPeriod = 1.0;
+
+    const double compute =
+        ModelZoo::byName("ResNet50").computeTimePerIter;
+    const std::int64_t iters = 500;
+    const double clean_jct = static_cast<double>(iters) * compute;
+
+    ServerFailure failure;
+    failure.time = clean_jct * 0.8; // late enough to hurt
+    failure.server = ServerId(0);
+    failure.downtime = 5.0;
+    config.sim.failures = {failure};
+
+    JobTrace trace(std::vector<JobSpec>{makeSpec(0, 4, iters)});
+    const RunMetrics metrics = runExperiment(config, trace);
+    ASSERT_EQ(metrics.records.size(), 1u);
+    EXPECT_EQ(metrics.jobRestarts, 1);
+    // JCT >= lost work (0.8x) + downtime + full rerun (1.0x).
+    EXPECT_GT(metrics.records[0].jct(), clean_jct * 1.7);
+}
+
+TEST(ClusterSim, FailureOfIdleServerIsHarmless)
+{
+    ExperimentConfig config;
+    config.cluster = smallCluster();
+    config.sim.placementPeriod = 1.0;
+    ServerFailure failure;
+    failure.time = 2.0;
+    failure.server = ServerId(7); // last server: placement prefers 0
+    failure.downtime = 10.0;
+    config.sim.failures = {failure};
+
+    JobTrace trace(std::vector<JobSpec>{makeSpec(0, 4, 50)});
+    const RunMetrics metrics = runExperiment(config, trace);
+    ASSERT_EQ(metrics.records.size(), 1u);
+    EXPECT_EQ(metrics.jobRestarts, 0);
+}
+
+TEST(ClusterSim, RecoveryRestoresCapacity)
+{
+    // 2 servers; one fails for a while; a job needing both servers'
+    // GPUs can only start after recovery — but must eventually finish.
+    ClusterConfig cluster = smallCluster();
+    cluster.numRacks = 1;
+    cluster.serversPerRack = 2; // 8 GPUs
+    ExperimentConfig config;
+    config.cluster = cluster;
+    config.sim.placementPeriod = 1.0;
+    ServerFailure failure;
+    failure.time = 0.5;
+    failure.server = ServerId(1);
+    failure.downtime = 30.0;
+    config.sim.failures = {failure};
+
+    JobTrace trace(std::vector<JobSpec>{
+        makeSpec(0, 8, 50, "ResNet50", 1.0)}); // needs both servers
+    const RunMetrics metrics = runExperiment(config, trace);
+    ASSERT_EQ(metrics.records.size(), 1u);
+    EXPECT_GE(metrics.records[0].startTime, 30.0);
+}
+
+TEST(FlowModel, ProgressFractionTracksIterations)
+{
+    const ClusterTopology topo(smallCluster());
+    FlowNetworkModel model(topo);
+    Placement p;
+    p.workers[ServerId(0)] = 4;
+    p.psServer = ServerId(0);
+    model.jobStarted(makeSpec(0, 4, 100), p, 0.0);
+    EXPECT_NEAR(model.progressFraction(JobId(0)), 0.0, 1e-9);
+
+    const double compute =
+        ModelZoo::byName("ResNet50").computeTimePerIter;
+    std::vector<JobId> completed;
+    model.advance(0.0, 50.0 * compute, completed);
+    EXPECT_NEAR(model.progressFraction(JobId(0)), 0.5, 1e-6);
+    EXPECT_DOUBLE_EQ(model.progressFraction(JobId(9)), 0.0);
+}
+
+TEST(ClusterSim, CheckpointingReducesLostWork)
+{
+    // Same failure scenario, with and without checkpoints every 50
+    // iterations: the checkpointed run must finish sooner.
+    ClusterConfig cluster = smallCluster();
+    cluster.numRacks = 1;
+    cluster.serversPerRack = 1;
+    const double compute =
+        ModelZoo::byName("ResNet50").computeTimePerIter;
+    const std::int64_t iters = 500;
+
+    const auto run = [&](std::int64_t checkpoint) {
+        ExperimentConfig config;
+        config.cluster = cluster;
+        config.sim.placementPeriod = 1.0;
+        config.sim.checkpointIters = checkpoint;
+        ServerFailure failure;
+        failure.time = static_cast<double>(iters) * compute * 0.8;
+        failure.server = ServerId(0);
+        failure.downtime = 5.0;
+        config.sim.failures = {failure};
+        JobTrace trace(std::vector<JobSpec>{makeSpec(0, 4, iters)});
+        const RunMetrics metrics = runExperiment(config, trace);
+        return metrics.records[0].jct();
+    };
+    const double scratch = run(0);
+    const double checkpointed = run(50);
+    // From-scratch reruns ~500 iterations; checkpointing loses < 50.
+    EXPECT_LT(checkpointed + 300.0 * compute, scratch);
+}
+
+TEST(ClusterSim, InvalidFailureConfigRejected)
+{
+    ExperimentConfig config;
+    config.cluster = smallCluster();
+    ServerFailure failure;
+    failure.time = 1.0;
+    failure.server = ServerId(9999);
+    config.sim.failures = {failure};
+    JobTrace trace(std::vector<JobSpec>{makeSpec(0, 4, 10)});
+    EXPECT_THROW(runExperiment(config, trace), ConfigError);
+}
+
+TEST(ClusterSim, ComparePlacersAndNormalize)
+{
+    ExperimentConfig config;
+    config.cluster = smallCluster();
+    TraceGenConfig gen;
+    gen.numJobs = 30;
+    gen.seed = 31;
+    gen.durationLogMu = 4.0;
+    const JobTrace trace = generateTrace(gen);
+
+    const auto results = comparePlacers(config, trace, {"NetPack", "GB"});
+    ASSERT_EQ(results.size(), 2u);
+    std::map<std::string, double> jct;
+    for (const auto &[name, metrics] : results)
+        jct[name] = metrics.avgJct();
+    const auto normalized = normalizeTo(jct, "NetPack");
+    EXPECT_DOUBLE_EQ(normalized.at("NetPack"), 1.0);
+    EXPECT_GT(normalized.at("GB"), 0.0);
+    EXPECT_THROW(normalizeTo(jct, "Nope"), ConfigError);
+}
+
+} // namespace
+} // namespace netpack

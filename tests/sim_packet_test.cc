@@ -1,0 +1,357 @@
+/**
+ * @file
+ * Tests for the packet-level (testbed stand-in) network model: AIMD
+ * convergence, aggregator-pool sharing, statistical vs synchronous INA
+ * semantics, aggregation-ratio accounting, and the cruise optimization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "sim/packet_model.h"
+
+namespace netpack {
+namespace {
+
+ClusterConfig
+testbedCluster(Gbps pat = 400.0)
+{
+    // Five servers in one rack, like the paper's testbed.
+    ClusterConfig config;
+    config.numRacks = 1;
+    config.serversPerRack = 5;
+    config.gpusPerServer = 2;
+    config.serverLinkGbps = 100.0;
+    config.torPatGbps = pat;
+    config.rtt = 50e-6;
+    return config;
+}
+
+JobSpec
+makeSpec(int id, int gpus, std::int64_t iterations,
+         const std::string &model = "VGG16")
+{
+    JobSpec spec;
+    spec.id = JobId(id);
+    spec.modelName = model;
+    spec.gpuDemand = gpus;
+    spec.iterations = iterations;
+    return spec;
+}
+
+Placement
+twoWorkerPlacement(int w1 = 0, int w2 = 1, int ps = 2, bool ina = true)
+{
+    Placement p;
+    p.workers[ServerId(w1)] = 2;
+    p.workers[ServerId(w2)] = 2;
+    p.psServer = ServerId(ps);
+    if (ina)
+        p.inaRacks = {RackId(0)};
+    return p;
+}
+
+TEST(PacketModel, LocalJobFinishesAnalytically)
+{
+    const ClusterTopology topo(testbedCluster());
+    PacketNetworkModel model(topo);
+    Placement p;
+    p.workers[ServerId(0)] = 2;
+    p.psServer = ServerId(0);
+    model.jobStarted(makeSpec(0, 2, 1000, "ResNet50"), p, 0.0);
+
+    const double expected =
+        1000.0 * ModelZoo::byName("ResNet50").computeTimePerIter;
+    std::vector<JobId> completed;
+    const Seconds t = model.advance(0.0, 1e9, completed);
+    ASSERT_EQ(completed.size(), 1u);
+    EXPECT_NEAR(t, expected, expected * 0.02);
+}
+
+TEST(PacketModel, SingleNetworkJobApproachesLinkRate)
+{
+    const ClusterTopology topo(testbedCluster());
+    PacketNetworkModel model(topo);
+    model.jobStarted(makeSpec(0, 4, 200, "VGG16"),
+                     twoWorkerPlacement(), 0.0);
+
+    // Let AIMD warm up, then check the measured rate is near capacity.
+    std::vector<JobId> completed;
+    model.advance(0.0, 0.5, completed);
+    if (completed.empty()) {
+        const Gbps rate = model.currentRate(JobId(0));
+        EXPECT_GT(rate, 60.0);
+        EXPECT_LE(rate, 100.0 + 1e-6);
+    }
+}
+
+TEST(PacketModel, JctCloseToFlowLevelPrediction)
+{
+    const ClusterTopology topo(testbedCluster());
+    PacketNetworkModel model(topo);
+    const auto spec = makeSpec(0, 4, 100, "VGG16");
+    model.jobStarted(spec, twoWorkerPlacement(), 0.0);
+
+    std::vector<JobId> completed;
+    Seconds now = 0.0;
+    while (completed.empty())
+        now = model.advance(now, now + 10.0, completed);
+
+    const ModelProfile &m = ModelZoo::byName("VGG16");
+    const double ideal =
+        100.0 * (m.computeTimePerIter +
+                 units::transferTime(m.modelSizeMb, 100.0));
+    // AIMD sawtooth and ramp-up cost something, but the packet JCT must
+    // land within ~35% of the fluid prediction.
+    EXPECT_GT(now, ideal * 0.95);
+    EXPECT_LT(now, ideal * 1.35);
+}
+
+TEST(PacketModel, TwoJobsShareTheBottleneckFairly)
+{
+    const ClusterTopology topo(testbedCluster());
+    PacketNetworkModel model(topo);
+    // Both jobs' PS on server 4: its access link is the shared choke.
+    model.jobStarted(makeSpec(0, 4, 100000, "VGG16"),
+                     twoWorkerPlacement(0, 1, 4), 0.0);
+    model.jobStarted(makeSpec(1, 4, 100000, "VGG16"),
+                     twoWorkerPlacement(2, 3, 4), 0.0);
+
+    std::vector<JobId> completed;
+    model.advance(0.0, 0.8, completed);
+    ASSERT_TRUE(completed.empty());
+    const Gbps r0 = model.currentRate(JobId(0));
+    const Gbps r1 = model.currentRate(JobId(1));
+    // Max-min fair share of the 100 Gbps PS link is 50/50 (merged flows).
+    EXPECT_NEAR(r0, r1, 15.0);
+    EXPECT_NEAR(r0 + r1, 100.0, 25.0);
+}
+
+TEST(PacketModel, AggregationRatioTracksPatRatio)
+{
+    // Figure 14a: one job, 2 workers + PS, throughput pinned at
+    // 10 Gbps (as in the paper), PAT swept as a fraction of it; the
+    // measured ratio must sit near y = x.
+    for (double x : {0.25, 0.5, 0.75, 1.0}) {
+        ClusterConfig cluster = testbedCluster();
+        const Gbps job_rate = 10.0;
+        cluster.torPatGbps = x * job_rate;
+        const ClusterTopology topo(cluster);
+        PacketModelConfig model_config;
+        model_config.maxRate = job_rate;
+        PacketNetworkModel model(topo, model_config);
+        model.jobStarted(makeSpec(0, 4, 60, "VGG16"),
+                         twoWorkerPlacement(), 0.0);
+        std::vector<JobId> completed;
+        Seconds now = 0.0;
+        while (completed.empty() && now < 60.0)
+            now = model.advance(now, now + 5.0, completed);
+        const double ratio =
+            model.aggregationCounters(JobId(0)).ratio();
+        EXPECT_NEAR(ratio, x, 0.15) << "PAT ratio " << x;
+    }
+}
+
+TEST(PacketModel, ZeroPatFallsBackEntirelyToPs)
+{
+    const ClusterTopology topo(testbedCluster(0.0));
+    PacketNetworkModel model(topo);
+    model.jobStarted(makeSpec(0, 4, 50, "VGG16"), twoWorkerPlacement(),
+                     0.0);
+    std::vector<JobId> completed;
+    Seconds now = 0.0;
+    while (completed.empty() && now < 120.0)
+        now = model.advance(now, now + 5.0, completed);
+    ASSERT_FALSE(completed.empty()) << "job starved without INA";
+    EXPECT_NEAR(model.aggregationCounters(JobId(0)).ratio(), 0.0, 0.02);
+}
+
+TEST(PacketModel, StatisticalBeatsSynchronousUnderScarceMemory)
+{
+    // The Figure-2 property: with two phase-interleaving jobs and a pool
+    // that covers only one job's demand, statistical INA multiplexes the
+    // idle phases while synchronous INA pins each job to half a region.
+    const auto run = [&](bool synchronous) {
+        ClusterConfig cluster = testbedCluster(60.0);
+        const ClusterTopology topo(cluster);
+        PacketModelConfig config;
+        config.synchronousIna = synchronous;
+        PacketNetworkModel model(topo);
+        PacketNetworkModel sync_model(topo, config);
+        PacketNetworkModel &m = synchronous ? sync_model : model;
+        m.jobStarted(makeSpec(0, 4, 60, "VGG16"),
+                     twoWorkerPlacement(0, 1, 4), 0.0);
+        m.jobStarted(makeSpec(1, 4, 60, "VGG16"),
+                     twoWorkerPlacement(2, 3, 4), 0.0);
+        std::vector<JobId> completed;
+        Seconds now = 0.0;
+        int done = 0;
+        while (done < 2 && now < 300.0) {
+            now = m.advance(now, now + 5.0, completed);
+            for (JobId id : completed) {
+                m.jobFinished(id, now);
+                ++done;
+            }
+        }
+        EXPECT_EQ(done, 2);
+        return now;
+    };
+    const Seconds statistical = run(false);
+    const Seconds synchronous = run(true);
+    EXPECT_LT(statistical, synchronous * 1.02)
+        << "statistical INA should not lose to synchronous";
+}
+
+TEST(PacketModel, SynchronousJobCappedByRegion)
+{
+    // One job, PAT 20 Gbps, synchronous mode: the send rate can never
+    // exceed the region even though the link has 100 Gbps.
+    PacketModelConfig config;
+    config.synchronousIna = true;
+    const ClusterTopology topo(testbedCluster(20.0));
+    PacketNetworkModel model(topo, config);
+    model.jobStarted(makeSpec(0, 4, 100000, "VGG16"),
+                     twoWorkerPlacement(), 0.0);
+    std::vector<JobId> completed;
+    model.advance(0.0, 0.5, completed);
+    EXPECT_LE(model.currentRate(JobId(0)), 20.0 + 1.0);
+}
+
+TEST(PacketModel, CountersSurviveJobRetirement)
+{
+    const ClusterTopology topo(testbedCluster());
+    PacketNetworkModel model(topo);
+    model.jobStarted(makeSpec(0, 4, 20, "ResNet50"),
+                     twoWorkerPlacement(), 0.0);
+    std::vector<JobId> completed;
+    Seconds now = 0.0;
+    while (completed.empty())
+        now = model.advance(now, now + 5.0, completed);
+    const double ratio_before =
+        model.aggregationCounters(JobId(0)).ratio();
+    model.jobFinished(JobId(0), now);
+    EXPECT_DOUBLE_EQ(model.aggregationCounters(JobId(0)).ratio(),
+                     ratio_before);
+    EXPECT_EQ(model.runningJobs(), 0u);
+}
+
+TEST(PacketModel, CruiseMakesLongTracesTractable)
+{
+    // A long compute-heavy run must not simulate every RTT slot.
+    const ClusterTopology topo(testbedCluster());
+    PacketNetworkModel model(topo);
+    model.jobStarted(makeSpec(0, 4, 2000, "ResNet50"),
+                     twoWorkerPlacement(), 0.0);
+    std::vector<JobId> completed;
+    Seconds now = 0.0;
+    while (completed.empty())
+        now = model.advance(now, now + 50.0, completed);
+    // ~2000 iterations x (compute + comm) — full slotting would need
+    // now/rtt ≈ millions of slots; cruising must cut that drastically.
+    const auto full_slots = static_cast<long long>(now / 50e-6);
+    EXPECT_LT(model.slotsSimulated(), full_slots / 2);
+}
+
+TEST(PacketModel, StartFinishErrorsAreChecked)
+{
+    const ClusterTopology topo(testbedCluster());
+    PacketNetworkModel model(topo);
+    model.jobStarted(makeSpec(0, 4, 10), twoWorkerPlacement(), 0.0);
+    EXPECT_THROW(
+        model.jobStarted(makeSpec(0, 4, 10), twoWorkerPlacement(), 0.0),
+        InternalError);
+    EXPECT_THROW(model.jobFinished(JobId(5), 0.0), InternalError);
+}
+
+TEST(PacketModel, InvalidConfigRejected)
+{
+    const ClusterTopology topo(testbedCluster());
+    PacketModelConfig config;
+    config.multiplicativeDecrease = 1.5;
+    EXPECT_THROW(PacketNetworkModel model(topo, config), ConfigError);
+    config.multiplicativeDecrease = 0.5;
+    config.additiveIncrease = 0.0;
+    EXPECT_THROW(PacketNetworkModel model2(topo, config), ConfigError);
+}
+
+TEST(PacketModel, HashCollisionsReduceAggregation)
+{
+    // With the occupancy model on, a pool exactly matching the demand
+    // loses some capacity to collisions, so the aggregation ratio drops
+    // below the collision-free value.
+    const auto measure = [&](bool collisions) {
+        ClusterConfig cluster = testbedCluster(10.0);
+        const ClusterTopology topo(cluster);
+        PacketModelConfig config;
+        config.maxRate = 10.0;
+        config.modelHashCollisions = collisions;
+        PacketNetworkModel model(topo, config);
+        model.jobStarted(makeSpec(0, 4, 20, "VGG16"),
+                         twoWorkerPlacement(), 0.0);
+        std::vector<JobId> completed;
+        Seconds now = 0.0;
+        while (completed.empty() && now < 600.0)
+            now = model.advance(now, now + 10.0, completed);
+        return model.aggregationCounters(JobId(0)).ratio();
+    };
+    const double clean = measure(false);
+    const double collided = measure(true);
+    EXPECT_GT(clean, collided + 0.1);
+    // The fluid occupancy limit at demand == pool is 1 - 1/e ~= 0.63.
+    EXPECT_NEAR(collided, 1.0 - std::exp(-1.0), 0.08);
+}
+
+TEST(PacketModel, InallocPeriodicReallocRepartitionsByFanIn)
+{
+    // Synchronous mode with periodic reallocation: after the period
+    // elapses, the 2-server job (fan-in 2) should sustain a higher rate
+    // than the 1-server job (fan-in 1) because its region is larger.
+    PacketModelConfig config;
+    config.synchronousIna = true;
+    config.syncReallocPeriod = 0.2;
+    const ClusterTopology topo(testbedCluster(30.0));
+    PacketNetworkModel model(topo, config);
+
+    model.jobStarted(makeSpec(0, 4, 100000, "VGG16"),
+                     twoWorkerPlacement(0, 1, 4), 0.0);
+    Placement narrow;
+    narrow.workers[ServerId(2)] = 2;
+    narrow.psServer = ServerId(3);
+    narrow.inaRacks = {RackId(0)};
+    model.jobStarted(makeSpec(1, 2, 100000, "VGG16"), narrow, 0.0);
+
+    std::vector<JobId> completed;
+    model.advance(0.0, 1.0, completed);
+    ASSERT_TRUE(completed.empty());
+    // Proportional regions: job0 gets 20 Gbps, job1 gets 10 Gbps.
+    EXPECT_GT(model.currentRate(JobId(0)),
+              model.currentRate(JobId(1)) + 2.0);
+}
+
+TEST(PacketModel, StaticSyncSplitsEquallyRegardlessOfFanIn)
+{
+    PacketModelConfig config;
+    config.synchronousIna = true; // no realloc period: SwitchML static
+    const ClusterTopology topo(testbedCluster(30.0));
+    PacketNetworkModel model(topo, config);
+
+    model.jobStarted(makeSpec(0, 4, 100000, "VGG16"),
+                     twoWorkerPlacement(0, 1, 4), 0.0);
+    Placement narrow;
+    narrow.workers[ServerId(2)] = 2;
+    narrow.psServer = ServerId(3);
+    narrow.inaRacks = {RackId(0)};
+    model.jobStarted(makeSpec(1, 2, 100000, "VGG16"), narrow, 0.0);
+
+    std::vector<JobId> completed;
+    model.advance(0.0, 1.0, completed);
+    ASSERT_TRUE(completed.empty());
+    // Equal 15/15 regions cap both jobs alike.
+    EXPECT_NEAR(model.currentRate(JobId(0)),
+                model.currentRate(JobId(1)), 2.0);
+}
+
+} // namespace
+} // namespace netpack

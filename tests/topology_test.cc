@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Unit tests for the cluster topology and the GPU ledger.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "topology/cluster.h"
+#include "topology/gpu_ledger.h"
+
+namespace netpack {
+namespace {
+
+ClusterConfig
+smallConfig()
+{
+    ClusterConfig config;
+    config.numRacks = 4;
+    config.serversPerRack = 3;
+    config.gpusPerServer = 4;
+    config.serverLinkGbps = 100.0;
+    config.oversubscription = 2.0;
+    config.torPatGbps = 500.0;
+    return config;
+}
+
+// ------------------------------------------------------------- topology
+
+TEST(ClusterTopologyTest, CountsFollowConfig)
+{
+    ClusterTopology topo(smallConfig());
+    EXPECT_EQ(topo.numServers(), 12);
+    EXPECT_EQ(topo.numRacks(), 4);
+    EXPECT_EQ(topo.totalGpus(), 48);
+    EXPECT_EQ(topo.numLinks(), 16);
+}
+
+TEST(ClusterTopologyTest, RackOfPartitionsServers)
+{
+    ClusterTopology topo(smallConfig());
+    EXPECT_EQ(topo.rackOf(ServerId(0)).value, 0);
+    EXPECT_EQ(topo.rackOf(ServerId(2)).value, 0);
+    EXPECT_EQ(topo.rackOf(ServerId(3)).value, 1);
+    EXPECT_EQ(topo.rackOf(ServerId(11)).value, 3);
+}
+
+TEST(ClusterTopologyTest, ServersInRackRoundTrip)
+{
+    ClusterTopology topo(smallConfig());
+    for (int r = 0; r < topo.numRacks(); ++r) {
+        const auto servers = topo.serversInRack(RackId(r));
+        EXPECT_EQ(static_cast<int>(servers.size()), 3);
+        for (ServerId s : servers)
+            EXPECT_EQ(topo.rackOf(s).value, r);
+    }
+}
+
+TEST(ClusterTopologyTest, AccessLinkCapacity)
+{
+    ClusterTopology topo(smallConfig());
+    for (int s = 0; s < topo.numServers(); ++s) {
+        EXPECT_DOUBLE_EQ(topo.serverLinkCapacity(ServerId(s)), 100.0);
+        const Link &link = topo.link(topo.accessLink(ServerId(s)));
+        EXPECT_EQ(link.kind, Link::Kind::ServerAccess);
+        EXPECT_EQ(link.server.value, s);
+    }
+}
+
+TEST(ClusterTopologyTest, CoreLinkEncodesOversubscription)
+{
+    // 3 servers x 100 Gbps / 2:1 oversubscription = 150 Gbps per rack.
+    ClusterTopology topo(smallConfig());
+    for (int r = 0; r < topo.numRacks(); ++r) {
+        EXPECT_DOUBLE_EQ(topo.coreLinkCapacity(RackId(r)), 150.0);
+        const Link &link = topo.link(topo.coreLink(RackId(r)));
+        EXPECT_EQ(link.kind, Link::Kind::RackCore);
+        EXPECT_EQ(link.rack.value, r);
+    }
+}
+
+TEST(ClusterTopologyTest, FullBisectionCoreLink)
+{
+    ClusterConfig config = smallConfig();
+    config.oversubscription = 1.0;
+    ClusterTopology topo(config);
+    EXPECT_DOUBLE_EQ(topo.coreLinkCapacity(RackId(0)), 300.0);
+}
+
+TEST(ClusterTopologyTest, PatDefaultsAndOverrides)
+{
+    ClusterTopology topo(smallConfig());
+    EXPECT_DOUBLE_EQ(topo.torPat(RackId(1)), 500.0);
+    topo.setTorPat(RackId(1), 42.0);
+    EXPECT_DOUBLE_EQ(topo.torPat(RackId(1)), 42.0);
+    EXPECT_DOUBLE_EQ(topo.torPat(RackId(0)), 500.0);
+    topo.setAllTorPats(7.0);
+    for (int r = 0; r < topo.numRacks(); ++r)
+        EXPECT_DOUBLE_EQ(topo.torPat(RackId(r)), 7.0);
+}
+
+TEST(ClusterTopologyTest, NegativePatRejected)
+{
+    ClusterTopology topo(smallConfig());
+    EXPECT_THROW(topo.setTorPat(RackId(0), -1.0), ConfigError);
+    EXPECT_THROW(topo.setAllTorPats(-1.0), ConfigError);
+}
+
+TEST(ClusterTopologyTest, InvalidConfigsRejected)
+{
+    for (auto mutate : std::vector<void (*)(ClusterConfig &)>{
+             [](ClusterConfig &c) { c.numRacks = 0; },
+             [](ClusterConfig &c) { c.serversPerRack = -1; },
+             [](ClusterConfig &c) { c.gpusPerServer = 0; },
+             [](ClusterConfig &c) { c.serverLinkGbps = 0.0; },
+             [](ClusterConfig &c) { c.oversubscription = 0.5; },
+             [](ClusterConfig &c) { c.torPatGbps = -1.0; },
+             [](ClusterConfig &c) { c.rtt = 0.0; }}) {
+        ClusterConfig config = smallConfig();
+        mutate(config);
+        EXPECT_THROW(ClusterTopology topo(config), ConfigError);
+    }
+}
+
+TEST(ClusterTopologyTest, LinkIdsAreDense)
+{
+    ClusterTopology topo(smallConfig());
+    // Access links occupy [0, servers), core links [servers, links).
+    EXPECT_EQ(topo.accessLink(ServerId(0)).value, 0);
+    EXPECT_EQ(topo.accessLink(ServerId(11)).value, 11);
+    EXPECT_EQ(topo.coreLink(RackId(0)).value, 12);
+    EXPECT_EQ(topo.coreLink(RackId(3)).value, 15);
+}
+
+// ----------------------------------------------------------- gpu ledger
+
+TEST(GpuLedgerTest, StartsFull)
+{
+    ClusterTopology topo(smallConfig());
+    GpuLedger ledger(topo);
+    EXPECT_EQ(ledger.totalFreeGpus(), 48);
+    for (int s = 0; s < topo.numServers(); ++s)
+        EXPECT_EQ(ledger.freeGpus(ServerId(s)), 4);
+    EXPECT_EQ(ledger.activeJobs(), 0u);
+}
+
+TEST(GpuLedgerTest, AllocateAndReleaseJob)
+{
+    ClusterTopology topo(smallConfig());
+    GpuLedger ledger(topo);
+    ledger.allocate(ServerId(0), JobId(1), 3);
+    ledger.allocate(ServerId(1), JobId(1), 2);
+    EXPECT_EQ(ledger.freeGpus(ServerId(0)), 1);
+    EXPECT_EQ(ledger.freeGpus(ServerId(1)), 2);
+    EXPECT_EQ(ledger.totalFreeGpus(), 43);
+    EXPECT_EQ(ledger.heldGpus(ServerId(0), JobId(1)), 3);
+    EXPECT_EQ(ledger.activeJobs(), 1u);
+
+    ledger.releaseJob(JobId(1));
+    EXPECT_EQ(ledger.totalFreeGpus(), 48);
+    EXPECT_EQ(ledger.freeGpus(ServerId(0)), 4);
+    EXPECT_EQ(ledger.activeJobs(), 0u);
+}
+
+TEST(GpuLedgerTest, PartialRelease)
+{
+    ClusterTopology topo(smallConfig());
+    GpuLedger ledger(topo);
+    ledger.allocate(ServerId(2), JobId(5), 4);
+    ledger.release(ServerId(2), JobId(5), 1);
+    EXPECT_EQ(ledger.freeGpus(ServerId(2)), 1);
+    EXPECT_EQ(ledger.heldGpus(ServerId(2), JobId(5)), 3);
+    ledger.release(ServerId(2), JobId(5), 3);
+    EXPECT_EQ(ledger.heldGpus(ServerId(2), JobId(5)), 0);
+    EXPECT_EQ(ledger.activeJobs(), 0u);
+}
+
+TEST(GpuLedgerTest, OverAllocationIsInternalError)
+{
+    ClusterTopology topo(smallConfig());
+    GpuLedger ledger(topo);
+    EXPECT_THROW(ledger.allocate(ServerId(0), JobId(1), 5), InternalError);
+    ledger.allocate(ServerId(0), JobId(1), 4);
+    EXPECT_THROW(ledger.allocate(ServerId(0), JobId(2), 1), InternalError);
+}
+
+TEST(GpuLedgerTest, OverReleaseIsInternalError)
+{
+    ClusterTopology topo(smallConfig());
+    GpuLedger ledger(topo);
+    ledger.allocate(ServerId(0), JobId(1), 2);
+    EXPECT_THROW(ledger.release(ServerId(0), JobId(1), 3), InternalError);
+    EXPECT_THROW(ledger.release(ServerId(1), JobId(1), 1), InternalError);
+    EXPECT_THROW(ledger.release(ServerId(0), JobId(9), 1), InternalError);
+}
+
+TEST(GpuLedgerTest, ReleaseUnknownJobIsNoOp)
+{
+    ClusterTopology topo(smallConfig());
+    GpuLedger ledger(topo);
+    EXPECT_NO_THROW(ledger.releaseJob(JobId(99)));
+    EXPECT_EQ(ledger.totalFreeGpus(), 48);
+}
+
+TEST(GpuLedgerTest, ServersOfIsSorted)
+{
+    ClusterTopology topo(smallConfig());
+    GpuLedger ledger(topo);
+    ledger.allocate(ServerId(7), JobId(3), 1);
+    ledger.allocate(ServerId(2), JobId(3), 1);
+    ledger.allocate(ServerId(5), JobId(3), 1);
+    const auto servers = ledger.serversOf(JobId(3));
+    ASSERT_EQ(servers.size(), 3u);
+    EXPECT_EQ(servers[0].value, 2);
+    EXPECT_EQ(servers[1].value, 5);
+    EXPECT_EQ(servers[2].value, 7);
+    EXPECT_TRUE(ledger.serversOf(JobId(4)).empty());
+}
+
+TEST(GpuLedgerTest, FreeGpusInRack)
+{
+    ClusterTopology topo(smallConfig());
+    GpuLedger ledger(topo);
+    EXPECT_EQ(ledger.freeGpusInRack(RackId(0)), 12);
+    ledger.allocate(ServerId(0), JobId(1), 4);
+    ledger.allocate(ServerId(1), JobId(1), 1);
+    EXPECT_EQ(ledger.freeGpusInRack(RackId(0)), 7);
+    EXPECT_EQ(ledger.freeGpusInRack(RackId(1)), 12);
+}
+
+/** Property: random allocate/release sequences conserve GPUs. */
+class GpuLedgerPropertyTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(GpuLedgerPropertyTest, RandomChurnConservesGpus)
+{
+    ClusterTopology topo(smallConfig());
+    GpuLedger ledger(topo);
+    Rng rng(static_cast<std::uint64_t>(GetParam()));
+
+    std::vector<JobId> live;
+    int next_job = 0;
+    for (int step = 0; step < 400; ++step) {
+        if (live.empty() || rng.uniform() < 0.6) {
+            // Try to allocate a new job on a random server with space.
+            const ServerId server(
+                static_cast<int>(rng.uniformInt(0, topo.numServers() - 1)));
+            const int free = ledger.freeGpus(server);
+            if (free > 0) {
+                const int want =
+                    static_cast<int>(rng.uniformInt(1, free));
+                const JobId id(next_job++);
+                ledger.allocate(server, id, want);
+                live.push_back(id);
+            }
+        } else {
+            const auto victim = static_cast<std::size_t>(rng.uniformInt(
+                0, static_cast<std::int64_t>(live.size()) - 1));
+            ledger.releaseJob(live[victim]);
+            live.erase(live.begin() +
+                       static_cast<std::ptrdiff_t>(victim));
+        }
+        // Conservation: free + held == total, per server and globally.
+        int total_free = 0;
+        for (int s = 0; s < topo.numServers(); ++s) {
+            const int free = ledger.freeGpus(ServerId(s));
+            EXPECT_GE(free, 0);
+            EXPECT_LE(free, topo.gpusPerServer());
+            total_free += free;
+        }
+        EXPECT_EQ(total_free, ledger.totalFreeGpus());
+    }
+    for (JobId id : live)
+        ledger.releaseJob(id);
+    EXPECT_EQ(ledger.totalFreeGpus(), topo.totalGpus());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GpuLedgerPropertyTest,
+                         ::testing::Range(0, 8));
+
+} // namespace
+} // namespace netpack

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Tests for the two-tier (pod-based) core extension: topology wiring,
+ * hierarchy paths across pod uplinks, water-filling bottlenecks at the
+ * pod layer, and NetPack's pod-awareness under pod oversubscription.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "ina/hierarchy.h"
+#include "placement/netpack_placer.h"
+#include "waterfill/steady_state.h"
+
+namespace netpack {
+namespace {
+
+ClusterConfig
+twoTierConfig(double pod_oversub = 4.0)
+{
+    ClusterConfig config;
+    config.numRacks = 4;
+    config.serversPerRack = 2;
+    config.gpusPerServer = 4;
+    config.serverLinkGbps = 100.0;
+    config.oversubscription = 1.0; // rack layer non-blocking
+    config.racksPerPod = 2;        // pods {0,1} and {2,3}
+    config.podOversubscription = pod_oversub;
+    config.torPatGbps = 400.0;
+    return config;
+}
+
+TEST(TwoTier, TopologyWiring)
+{
+    const ClusterTopology topo(twoTierConfig());
+    EXPECT_TRUE(topo.twoTier());
+    EXPECT_EQ(topo.numPods(), 2);
+    EXPECT_EQ(topo.podOf(RackId(0)), 0);
+    EXPECT_EQ(topo.podOf(RackId(1)), 0);
+    EXPECT_EQ(topo.podOf(RackId(2)), 1);
+    EXPECT_EQ(topo.podOf(RackId(3)), 1);
+    // links: 8 access + 4 rack-core + 2 pod uplinks.
+    EXPECT_EQ(topo.numLinks(), 14);
+    const Link &uplink = topo.link(topo.podUplink(0));
+    EXPECT_EQ(uplink.kind, Link::Kind::PodUplink);
+    EXPECT_EQ(uplink.pod, 0);
+    // rack core = 2 servers x 100; pod uplink = 2 racks x 200 / 4 = 100.
+    EXPECT_DOUBLE_EQ(topo.coreLinkCapacity(RackId(0)), 200.0);
+    EXPECT_DOUBLE_EQ(uplink.capacity, 100.0);
+}
+
+TEST(TwoTier, OneBigSwitchHasNoPods)
+{
+    ClusterConfig config = twoTierConfig();
+    config.racksPerPod = 0;
+    const ClusterTopology topo(config);
+    EXPECT_FALSE(topo.twoTier());
+    EXPECT_EQ(topo.numPods(), 0);
+    EXPECT_EQ(topo.numLinks(), 12);
+}
+
+TEST(TwoTier, InvalidPodConfigRejected)
+{
+    ClusterConfig config = twoTierConfig();
+    config.racksPerPod = 3; // 4 racks not divisible by 3
+    EXPECT_THROW(ClusterTopology topo(config), ConfigError);
+    config.racksPerPod = 2;
+    config.podOversubscription = 0.5;
+    EXPECT_THROW(ClusterTopology topo2(config), ConfigError);
+}
+
+TEST(TwoTier, SamePodHierarchySkipsUplinks)
+{
+    const ClusterTopology topo(twoTierConfig());
+    Placement p;
+    p.workers[ServerId(0)] = 2; // rack 0, pod 0
+    p.psServer = ServerId(2);   // rack 1, pod 0
+    p.inaRacks = {RackId(0), RackId(1)};
+    JobHierarchy h(topo, JobId(0), p);
+    for (const auto &node : h.nodes()) {
+        for (LinkId link : node.uplinks) {
+            EXPECT_NE(topo.link(link).kind, Link::Kind::PodUplink)
+                << "same-pod job must not cross a pod uplink";
+        }
+    }
+}
+
+TEST(TwoTier, CrossPodHierarchyCrossesBothUplinks)
+{
+    const ClusterTopology topo(twoTierConfig());
+    Placement p;
+    p.workers[ServerId(0)] = 2; // rack 0, pod 0
+    p.psServer = ServerId(4);   // rack 2, pod 1
+    p.inaRacks = {RackId(0), RackId(2)};
+    JobHierarchy h(topo, JobId(0), p);
+    int pod_uplinks = 0;
+    for (const auto &node : h.nodes()) {
+        for (LinkId link : node.uplinks) {
+            if (topo.link(link).kind == Link::Kind::PodUplink)
+                ++pod_uplinks;
+        }
+    }
+    EXPECT_EQ(pod_uplinks, 2); // source pod + destination pod
+}
+
+TEST(TwoTier, WaterFillingBottlenecksOnPodUplink)
+{
+    // Cross-pod job: with 4:1 pod oversubscription the 100 Gbps pod
+    // uplink is no tighter than the access link... tighten it to 8:1 so
+    // the pod layer binds at 50 Gbps.
+    const ClusterTopology topo(twoTierConfig(8.0));
+    PlacedJob job;
+    job.id = JobId(0);
+    job.placement.workers[ServerId(0)] = 4;
+    job.placement.psServer = ServerId(4); // other pod
+    job.placement.inaRacks = {RackId(0), RackId(2)};
+
+    WaterFillingEstimator wf(topo);
+    const SteadyState state = wf.estimate({job});
+    EXPECT_NEAR(state.jobThroughput(JobId(0)), 50.0, 1e-6);
+    EXPECT_NEAR(state.linkResidual[topo.podUplink(0).index()], 0.0,
+                1e-6);
+}
+
+TEST(TwoTier, SamePodJobKeepsFullRate)
+{
+    const ClusterTopology topo(twoTierConfig(8.0));
+    PlacedJob job;
+    job.id = JobId(0);
+    job.placement.workers[ServerId(0)] = 4; // rack 0
+    job.placement.psServer = ServerId(2);   // rack 1, same pod
+    job.placement.inaRacks = {RackId(0), RackId(1)};
+
+    WaterFillingEstimator wf(topo);
+    const SteadyState state = wf.estimate({job});
+    EXPECT_NEAR(state.jobThroughput(JobId(0)), 100.0, 1e-6);
+}
+
+TEST(TwoTier, NetPackPrefersPodLocalPlacement)
+{
+    // Enough free GPUs exist within pod 0 for an 8-GPU job; under heavy
+    // pod oversubscription NetPack must not scatter it across pods.
+    ClusterConfig config = twoTierConfig(16.0);
+    config.serversPerRack = 4;
+    const ClusterTopology topo(config);
+    GpuLedger gpus(topo);
+    NetPackPlacer placer;
+
+    JobSpec spec;
+    spec.id = JobId(0);
+    spec.modelName = "VGG16";
+    spec.gpuDemand = 8;
+    spec.iterations = 100;
+    const auto result = placer.placeBatch({spec}, topo, gpus, {});
+    ASSERT_EQ(result.placed.size(), 1u);
+
+    std::set<int> pods;
+    for (RackId rack :
+         result.placed[0].placement.allRacks(topo))
+        pods.insert(topo.podOf(rack));
+    EXPECT_EQ(pods.size(), 1u)
+        << "NetPack crossed pods under 16:1 pod oversubscription";
+}
+
+TEST(TwoTier, PodQueriesRejectedInOneBigSwitchMode)
+{
+    ClusterConfig config = twoTierConfig();
+    config.racksPerPod = 0;
+    const ClusterTopology topo(config);
+    EXPECT_THROW(topo.podOf(RackId(0)), InternalError);
+    EXPECT_THROW(topo.podUplink(0), InternalError);
+}
+
+} // namespace
+} // namespace netpack

@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Unit and property tests for the INA-specific water-filling estimator
+ * (Algorithm 1): converged rates, joint bandwidth/PAT accounting, PAT
+ * exhaustion dynamics, and max-min invariants on random instances.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "waterfill/steady_state.h"
+
+namespace netpack {
+namespace {
+
+ClusterTopology
+oneRackTopo(Gbps pat = 400.0)
+{
+    ClusterConfig config;
+    config.numRacks = 1;
+    config.serversPerRack = 4;
+    config.gpusPerServer = 4;
+    config.serverLinkGbps = 100.0;
+    config.torPatGbps = pat;
+    return ClusterTopology(config);
+}
+
+ClusterTopology
+twoRackTopo(double oversub, Gbps pat = 400.0)
+{
+    ClusterConfig config;
+    config.numRacks = 2;
+    config.serversPerRack = 2;
+    config.gpusPerServer = 4;
+    config.serverLinkGbps = 100.0;
+    config.oversubscription = oversub;
+    config.torPatGbps = pat;
+    return ClusterTopology(config);
+}
+
+PlacedJob
+makeJob(int id, std::initializer_list<std::pair<int, int>> workers, int ps,
+        std::initializer_list<int> ina_racks)
+{
+    PlacedJob job;
+    job.id = JobId(id);
+    for (const auto &[server, count] : workers)
+        job.placement.workers[ServerId(server)] = count;
+    job.placement.psServer = ServerId(ps);
+    for (int rack : ina_racks)
+        job.placement.inaRacks.insert(RackId(rack));
+    return job;
+}
+
+TEST(WaterFilling, NoJobsLeavesResourcesUntouched)
+{
+    const ClusterTopology topo = oneRackTopo();
+    WaterFillingEstimator wf(topo);
+    const SteadyState state = wf.estimate(std::vector<PlacedJob>{});
+    for (int l = 0; l < topo.numLinks(); ++l)
+        EXPECT_DOUBLE_EQ(state.linkResidual[static_cast<std::size_t>(l)],
+                         topo.link(LinkId(l)).capacity);
+    EXPECT_DOUBLE_EQ(state.patResidual[0], 400.0);
+}
+
+TEST(WaterFilling, LocalJobIsFree)
+{
+    const ClusterTopology topo = oneRackTopo();
+    WaterFillingEstimator wf(topo);
+    const auto job = makeJob(0, {{0, 4}}, 0, {});
+    const SteadyState state = wf.estimate({job});
+    EXPECT_TRUE(std::isinf(state.jobThroughput(JobId(0))));
+    EXPECT_DOUBLE_EQ(state.serverAvailBw(topo, ServerId(0)), 100.0);
+}
+
+TEST(WaterFilling, SingleJobSaturatesItsAccessLink)
+{
+    const ClusterTopology topo = oneRackTopo();
+    WaterFillingEstimator wf(topo);
+    const auto job = makeJob(0, {{0, 4}, {1, 4}}, 2, {0});
+    const SteadyState state = wf.estimate({job});
+    EXPECT_NEAR(state.jobThroughput(JobId(0)), 100.0, 1e-6);
+    EXPECT_NEAR(state.serverAvailBw(topo, ServerId(0)), 0.0, 1e-6);
+    // PAT consumed equals the aggregated rate.
+    EXPECT_NEAR(state.patResidual[0], 300.0, 1e-6);
+    // The PS link carries one merged flow.
+    EXPECT_EQ(state.serverFlows(topo, ServerId(2)), 1);
+}
+
+TEST(WaterFilling, TwoEqualJobsShareFairly)
+{
+    const ClusterTopology topo = oneRackTopo();
+    WaterFillingEstimator wf(topo);
+    const auto job1 = makeJob(0, {{0, 2}, {1, 2}}, 2, {0});
+    const auto job2 = makeJob(1, {{0, 2}, {1, 2}}, 2, {0});
+    const SteadyState state = wf.estimate({job1, job2});
+    EXPECT_NEAR(state.jobThroughput(JobId(0)), 50.0, 1e-6);
+    EXPECT_NEAR(state.jobThroughput(JobId(1)), 50.0, 1e-6);
+    EXPECT_NEAR(state.patResidual[0], 300.0, 1e-6);
+}
+
+TEST(WaterFilling, AsymmetricJobsStillGetEqualJobRates)
+{
+    // Max-min fairness is per job, not per flow: a 2-server job and a
+    // 1-server job sharing the PS link converge to the same rate when
+    // aggregation collapses both to one flow.
+    const ClusterTopology topo = oneRackTopo();
+    WaterFillingEstimator wf(topo);
+    const auto big = makeJob(0, {{0, 4}, {1, 4}}, 3, {0});
+    const auto small2 = makeJob(1, {{2, 4}, {1, 1}}, 3, {0});
+    const SteadyState state = wf.estimate({big, small2});
+    EXPECT_NEAR(state.jobThroughput(JobId(0)),
+                state.jobThroughput(JobId(1)), 1e-6);
+}
+
+TEST(WaterFilling, PatExhaustionSwitchesToPassThrough)
+{
+    // PAT = 30 shared by two jobs; once it is gone, the ToR stops
+    // merging and the PS link must carry per-server flows, ending at
+    // rate 15 (aggregated) + 17.5 (pass-through fair share) = 32.5.
+    const ClusterTopology topo = oneRackTopo(30.0);
+    WaterFillingEstimator wf(topo);
+    const auto job1 = makeJob(0, {{0, 2}, {1, 2}}, 3, {0});
+    const auto job2 = makeJob(1, {{0, 2}, {1, 2}}, 3, {0});
+    const SteadyState state = wf.estimate({job1, job2});
+    EXPECT_NEAR(state.jobThroughput(JobId(0)), 32.5, 1e-6);
+    EXPECT_NEAR(state.jobThroughput(JobId(1)), 32.5, 1e-6);
+    EXPECT_NEAR(state.patResidual[0], 0.0, 1e-6);
+    // Post-exhaustion each job contributes 2 flows to the PS link.
+    EXPECT_EQ(state.serverFlows(topo, ServerId(3)), 4);
+    EXPECT_NEAR(state.serverAvailBw(topo, ServerId(3)), 0.0, 1e-6);
+}
+
+TEST(WaterFilling, ZeroPatBehavesLikeNoIna)
+{
+    const ClusterTopology with_pat = oneRackTopo(0.0);
+    WaterFillingEstimator wf(with_pat);
+    const auto ina = makeJob(0, {{0, 2}, {1, 2}}, 2, {0});
+    const auto no_ina = makeJob(0, {{0, 2}, {1, 2}}, 2, {});
+    const SteadyState a = wf.estimate({ina});
+    const SteadyState b = wf.estimate({no_ina});
+    EXPECT_NEAR(a.jobThroughput(JobId(0)), b.jobThroughput(JobId(0)),
+                1e-9);
+}
+
+TEST(WaterFilling, InaSavesCrossRackBandwidth)
+{
+    // Oversubscribed core: with INA a cross-rack job is core-limited at
+    // 50 Gbps; without INA its two worker streams share the core.
+    const ClusterTopology topo = twoRackTopo(4.0); // core = 50 Gbps
+    WaterFillingEstimator wf(topo);
+    const auto with_ina = makeJob(0, {{0, 4}, {1, 4}}, 2, {0, 1});
+    const auto without_ina = makeJob(0, {{0, 4}, {1, 4}}, 2, {});
+    const SteadyState a = wf.estimate({with_ina});
+    const SteadyState b = wf.estimate({without_ina});
+    EXPECT_NEAR(a.jobThroughput(JobId(0)), 50.0, 1e-6);
+    EXPECT_NEAR(b.jobThroughput(JobId(0)), 25.0, 1e-6);
+}
+
+TEST(WaterFilling, PsRackCoreLinkAbsorbsAllRemoteStreams)
+{
+    // Three racks feed one PS rack: the PS-side core link is the
+    // bottleneck carrying one merged stream per remote rack.
+    ClusterConfig config;
+    config.numRacks = 4;
+    config.serversPerRack = 1;
+    config.gpusPerServer = 4;
+    config.serverLinkGbps = 100.0;
+    config.oversubscription = 2.0; // core = 50
+    config.torPatGbps = 1000.0;
+    const ClusterTopology topo(config);
+    WaterFillingEstimator wf(topo);
+    const auto job = makeJob(0, {{0, 4}, {1, 4}, {2, 4}}, 3, {0, 1, 2, 3});
+    const SteadyState state = wf.estimate({job});
+    // PS core link: 3 incoming merged flows over 50 Gbps → 16.67 each.
+    EXPECT_NEAR(state.jobThroughput(JobId(0)), 50.0 / 3.0, 1e-6);
+    EXPECT_EQ(state.rackFlows(topo, RackId(3)), 3);
+}
+
+TEST(WaterFilling, TerminatesWithinResourceBound)
+{
+    const ClusterTopology topo = oneRackTopo(30.0);
+    WaterFillingEstimator wf(topo);
+    const auto job1 = makeJob(0, {{0, 2}, {1, 2}}, 3, {0});
+    const auto job2 = makeJob(1, {{0, 2}, {1, 2}}, 3, {0});
+    wf.estimate({job1, job2});
+    EXPECT_LE(wf.lastIterations(), topo.numLinks() + topo.numRacks() + 1);
+}
+
+TEST(WaterFilling, ReusableAcrossCalls)
+{
+    const ClusterTopology topo = oneRackTopo();
+    WaterFillingEstimator wf(topo);
+    const auto job = makeJob(0, {{0, 4}, {1, 4}}, 2, {0});
+    const SteadyState first = wf.estimate({job});
+    const SteadyState second = wf.estimate({job});
+    EXPECT_DOUBLE_EQ(first.jobThroughput(JobId(0)),
+                     second.jobThroughput(JobId(0)));
+}
+
+// ------------------------------------------------------ property sweep
+
+/**
+ * Random multi-job instances; checks the estimator's core invariants:
+ * residuals non-negative, every network job gets a positive rate, and
+ * every network job is bottlenecked by at least one saturated link on
+ * its path (the max-min witness).
+ */
+class WaterFillingPropertyTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(WaterFillingPropertyTest, MaxMinInvariantsHold)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+    ClusterConfig config;
+    config.numRacks = static_cast<int>(rng.uniformInt(1, 4));
+    config.serversPerRack = static_cast<int>(rng.uniformInt(2, 5));
+    config.gpusPerServer = 4;
+    config.serverLinkGbps = 100.0;
+    config.oversubscription = rng.uniform() < 0.5 ? 1.0 : 3.0;
+    config.torPatGbps = rng.uniform() < 0.3 ? 0.0 : rng.uniform(20.0, 600.0);
+    const ClusterTopology topo(config);
+
+    const int num_jobs = static_cast<int>(rng.uniformInt(1, 8));
+    std::vector<PlacedJob> jobs;
+    for (int j = 0; j < num_jobs; ++j) {
+        PlacedJob job;
+        job.id = JobId(j);
+        const int spread = static_cast<int>(rng.uniformInt(1, 3));
+        for (int w = 0; w < spread; ++w) {
+            const ServerId server(static_cast<int>(
+                rng.uniformInt(0, topo.numServers() - 1)));
+            job.placement.workers[server] += 1;
+        }
+        job.placement.psServer = ServerId(
+            static_cast<int>(rng.uniformInt(0, topo.numServers() - 1)));
+        if (rng.uniform() < 0.8) {
+            for (RackId rack : job.placement.allRacks(topo))
+                job.placement.inaRacks.insert(rack);
+        }
+        jobs.push_back(std::move(job));
+    }
+
+    WaterFillingEstimator wf(topo);
+    const SteadyState state = wf.estimate(jobs);
+
+    for (double residual : state.linkResidual)
+        EXPECT_GE(residual, -1e-6);
+    for (double residual : state.patResidual)
+        EXPECT_GE(residual, -1e-6);
+
+    for (const PlacedJob &job : jobs) {
+        JobHierarchy h(topo, job.id, job.placement);
+        if (h.local()) {
+            EXPECT_TRUE(std::isinf(state.jobThroughput(job.id)));
+            continue;
+        }
+        const Gbps rate = state.jobThroughput(job.id);
+        EXPECT_GT(rate, 0.0) << "job " << job.id.value << " starved";
+        EXPECT_LE(rate, config.serverLinkGbps + 1e-6);
+
+        // Max-min witness: some link on the job's path is saturated.
+        h.updateFlows(state.patResidual);
+        bool saturated = false;
+        for (const auto &node : h.nodes()) {
+            for (LinkId link : node.uplinks)
+                saturated |= state.linkResidual[link.index()] <= 1e-6;
+        }
+        EXPECT_TRUE(saturated)
+            << "job " << job.id.value << " has no bottleneck";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WaterFillingPropertyTest,
+                         ::testing::Range(0, 24));
+
+} // namespace
+} // namespace netpack

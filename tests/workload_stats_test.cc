@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Tests for trace characterization and the simulator's fragmentation
+ * metric.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "core/experiment.h"
+#include "workload/trace_gen.h"
+#include "workload/workload_stats.h"
+
+namespace netpack {
+namespace {
+
+JobSpec
+makeSpec(int id, int gpus, const std::string &model,
+         std::int64_t iterations, Seconds submit)
+{
+    JobSpec spec;
+    spec.id = JobId(id);
+    spec.modelName = model;
+    spec.gpuDemand = gpus;
+    spec.iterations = iterations;
+    spec.submitTime = submit;
+    return spec;
+}
+
+TEST(TraceStatsTest, CountsAndHistograms)
+{
+    JobTrace trace(std::vector<JobSpec>{
+        makeSpec(0, 1, "ResNet50", 100, 0.0),
+        makeSpec(1, 4, "VGG16", 100, 10.0),
+        makeSpec(2, 4, "VGG16", 200, 30.0),
+        makeSpec(3, 16, "AlexNet", 50, 60.0)});
+    const TraceStats stats = analyzeTrace(trace, 50.0, 4);
+
+    EXPECT_EQ(stats.jobs, 4u);
+    EXPECT_EQ(stats.demandHistogram.at(1), 1);
+    EXPECT_EQ(stats.demandHistogram.at(4), 2);
+    EXPECT_EQ(stats.demandHistogram.at(16), 1);
+    EXPECT_EQ(stats.modelMix.at("VGG16"), 2);
+    EXPECT_EQ(stats.totalGpuDemand, 25);
+    EXPECT_EQ(stats.maxGpuDemand, 16);
+    EXPECT_EQ(stats.multiServerJobs, 1); // only the 16-GPU job
+    EXPECT_EQ(stats.interarrivals.count(), 3u);
+    EXPECT_DOUBLE_EQ(stats.interarrivals.mean(), 20.0);
+}
+
+TEST(TraceStatsTest, SingleGpuJobsContributeNoComm)
+{
+    JobTrace trace(std::vector<JobSpec>{
+        makeSpec(0, 1, "VGG16", 100, 0.0)});
+    const TraceStats stats = analyzeTrace(trace);
+    EXPECT_GT(stats.computeGpuSeconds, 0.0);
+    EXPECT_DOUBLE_EQ(stats.commGpuSeconds, 0.0);
+    EXPECT_DOUBLE_EQ(stats.commFraction(), 0.0);
+}
+
+TEST(TraceStatsTest, CommFractionGrowsWithVggShare)
+{
+    // A VGG-heavy trace must be more communication-bound than a
+    // ResNet-heavy one with the same shape.
+    std::vector<JobSpec> vgg_jobs, resnet_jobs;
+    for (int i = 0; i < 10; ++i) {
+        vgg_jobs.push_back(makeSpec(i, 8, "VGG16", 100, i));
+        resnet_jobs.push_back(makeSpec(i, 8, "ResNet50", 100, i));
+    }
+    const TraceStats vgg = analyzeTrace(JobTrace(std::move(vgg_jobs)));
+    const TraceStats resnet =
+        analyzeTrace(JobTrace(std::move(resnet_jobs)));
+    EXPECT_GT(vgg.commFraction(), resnet.commFraction());
+}
+
+TEST(TraceStatsTest, EmptyTrace)
+{
+    const TraceStats stats = analyzeTrace(JobTrace{});
+    EXPECT_EQ(stats.jobs, 0u);
+    EXPECT_DOUBLE_EQ(stats.commFraction(), 0.0);
+}
+
+TEST(TraceStatsTest, InvalidParamsRejected)
+{
+    JobTrace trace(std::vector<JobSpec>{
+        makeSpec(0, 1, "VGG16", 10, 0.0)});
+    EXPECT_THROW(analyzeTrace(trace, 0.0), ConfigError);
+    EXPECT_THROW(analyzeTrace(trace, 50.0, 0), ConfigError);
+}
+
+TEST(TraceStatsTest, GeneratedTraceIsConsistent)
+{
+    TraceGenConfig gen;
+    gen.numJobs = 200;
+    gen.seed = 3;
+    const JobTrace trace = generateTrace(gen);
+    const TraceStats stats = analyzeTrace(trace);
+    EXPECT_EQ(stats.jobs, 200u);
+    EXPECT_EQ(stats.totalGpuDemand, trace.totalGpuDemand());
+    EXPECT_EQ(stats.maxGpuDemand, trace.maxGpuDemand());
+    int histogram_total = 0;
+    for (const auto &[gpus, count] : stats.demandHistogram)
+        histogram_total += count;
+    EXPECT_EQ(histogram_total, 200);
+}
+
+TEST(Fragmentation, PackersFragmentLessThanSpreaders)
+{
+    // LF drains partial servers; Optimus spreads evenly. On a trace of
+    // odd-sized jobs LF must leave fewer stranded GPUs.
+    ClusterConfig cluster;
+    cluster.numRacks = 2;
+    cluster.serversPerRack = 4;
+    cluster.gpusPerServer = 4;
+    const JobTrace trace = [&] {
+        std::vector<JobSpec> jobs;
+        for (int i = 0; i < 24; ++i)
+            jobs.push_back(makeSpec(i, 3, "ResNet50", 100,
+                                    static_cast<double>(i)));
+        return JobTrace(std::move(jobs));
+    }();
+
+    const auto frag = [&](const std::string &placer) {
+        ExperimentConfig config;
+        config.cluster = cluster;
+        config.placer = placer;
+        config.sim.placementPeriod = 1.0;
+        return runExperiment(config, trace).avgFragmentation;
+    };
+    EXPECT_LE(frag("LF"), frag("Optimus") + 0.05);
+}
+
+TEST(Fragmentation, BoundsHold)
+{
+    ClusterConfig cluster;
+    cluster.numRacks = 2;
+    cluster.serversPerRack = 4;
+    cluster.gpusPerServer = 4;
+    TraceGenConfig gen;
+    gen.numJobs = 40;
+    gen.seed = 77;
+    gen.maxGpuDemand = 8;
+    gen.durationLogMu = 3.5;
+    const JobTrace trace = generateTrace(gen);
+    ExperimentConfig config;
+    config.cluster = cluster;
+    const RunMetrics metrics = runExperiment(config, trace);
+    EXPECT_GE(metrics.avgFragmentation, 0.0);
+    EXPECT_LE(metrics.avgFragmentation, 1.0 + 1e-9);
+}
+
+} // namespace
+} // namespace netpack
