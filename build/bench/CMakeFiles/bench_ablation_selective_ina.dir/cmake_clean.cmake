@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_selective_ina.dir/bench_ablation_selective_ina.cc.o"
+  "CMakeFiles/bench_ablation_selective_ina.dir/bench_ablation_selective_ina.cc.o.d"
+  "bench_ablation_selective_ina"
+  "bench_ablation_selective_ina.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_selective_ina.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_twodim.dir/bench_ablation_twodim.cc.o"
+  "CMakeFiles/bench_ablation_twodim.dir/bench_ablation_twodim.cc.o.d"
+  "bench_ablation_twodim"
+  "bench_ablation_twodim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_twodim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

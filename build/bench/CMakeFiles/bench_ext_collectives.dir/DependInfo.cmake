@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ext_collectives.cc" "bench/CMakeFiles/bench_ext_collectives.dir/bench_ext_collectives.cc.o" "gcc" "bench/CMakeFiles/bench_ext_collectives.dir/bench_ext_collectives.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/netpack_benchutil.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/netpack_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/netpack_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/placement/CMakeFiles/netpack_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/waterfill/CMakeFiles/netpack_waterfill.dir/DependInfo.cmake"
+  "/root/repo/build/src/ina/CMakeFiles/netpack_ina.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/netpack_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/netpack_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/netpack_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_multips.dir/bench_ext_multips.cc.o"
+  "CMakeFiles/bench_ext_multips.dir/bench_ext_multips.cc.o.d"
+  "bench_ext_multips"
+  "bench_ext_multips.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_multips.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_rebalance.dir/bench_ext_rebalance.cc.o"
+  "CMakeFiles/bench_ext_rebalance.dir/bench_ext_rebalance.cc.o.d"
+  "bench_ext_rebalance"
+  "bench_ext_rebalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_rebalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_twotier.dir/bench_ext_twotier.cc.o"
+  "CMakeFiles/bench_ext_twotier.dir/bench_ext_twotier.cc.o.d"
+  "bench_ext_twotier"
+  "bench_ext_twotier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_twotier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

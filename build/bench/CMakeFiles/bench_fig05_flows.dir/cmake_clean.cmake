@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_flows.dir/bench_fig05_flows.cc.o"
+  "CMakeFiles/bench_fig05_flows.dir/bench_fig05_flows.cc.o.d"
+  "bench_fig05_flows"
+  "bench_fig05_flows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_flows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

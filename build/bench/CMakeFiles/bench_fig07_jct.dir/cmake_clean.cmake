@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_jct.dir/bench_fig07_jct.cc.o"
+  "CMakeFiles/bench_fig07_jct.dir/bench_fig07_jct.cc.o.d"
+  "bench_fig07_jct"
+  "bench_fig07_jct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_jct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_de.dir/bench_fig08_de.cc.o"
+  "CMakeFiles/bench_fig08_de.dir/bench_fig08_de.cc.o.d"
+  "bench_fig08_de"
+  "bench_fig08_de.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_de.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_algtime.dir/bench_fig10_algtime.cc.o"
+  "CMakeFiles/bench_fig10_algtime.dir/bench_fig10_algtime.cc.o.d"
+  "bench_fig10_algtime"
+  "bench_fig10_algtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_algtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

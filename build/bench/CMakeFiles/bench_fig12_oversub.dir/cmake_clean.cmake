@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_oversub.dir/bench_fig12_oversub.cc.o"
+  "CMakeFiles/bench_fig12_oversub.dir/bench_fig12_oversub.cc.o.d"
+  "bench_fig12_oversub"
+  "bench_fig12_oversub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_oversub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_comb.dir/bench_fig13_comb.cc.o"
+  "CMakeFiles/bench_fig13_comb.dir/bench_fig13_comb.cc.o.d"
+  "bench_fig13_comb"
+  "bench_fig13_comb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_comb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_aggratio.dir/bench_fig14_aggratio.cc.o"
+  "CMakeFiles/bench_fig14_aggratio.dir/bench_fig14_aggratio.cc.o.d"
+  "bench_fig14_aggratio"
+  "bench_fig14_aggratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_aggratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

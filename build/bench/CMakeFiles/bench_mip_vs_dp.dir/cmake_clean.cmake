@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mip_vs_dp.dir/bench_mip_vs_dp.cc.o"
+  "CMakeFiles/bench_mip_vs_dp.dir/bench_mip_vs_dp.cc.o.d"
+  "bench_mip_vs_dp"
+  "bench_mip_vs_dp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mip_vs_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

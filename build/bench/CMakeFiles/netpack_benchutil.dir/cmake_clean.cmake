@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netpack_benchutil.dir/bench_util.cc.o"
+  "CMakeFiles/netpack_benchutil.dir/bench_util.cc.o.d"
+  "libnetpack_benchutil.a"
+  "libnetpack_benchutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netpack_benchutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

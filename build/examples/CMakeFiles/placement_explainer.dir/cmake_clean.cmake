@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/placement_explainer.dir/placement_explainer.cc.o"
+  "CMakeFiles/placement_explainer.dir/placement_explainer.cc.o.d"
+  "placement_explainer"
+  "placement_explainer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/placement_explainer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netpack_common.dir/log.cc.o"
+  "CMakeFiles/netpack_common.dir/log.cc.o.d"
+  "CMakeFiles/netpack_common.dir/rng.cc.o"
+  "CMakeFiles/netpack_common.dir/rng.cc.o.d"
+  "CMakeFiles/netpack_common.dir/stats.cc.o"
+  "CMakeFiles/netpack_common.dir/stats.cc.o.d"
+  "CMakeFiles/netpack_common.dir/strings.cc.o"
+  "CMakeFiles/netpack_common.dir/strings.cc.o.d"
+  "CMakeFiles/netpack_common.dir/table.cc.o"
+  "CMakeFiles/netpack_common.dir/table.cc.o.d"
+  "libnetpack_common.a"
+  "libnetpack_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netpack_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netpack_core.dir/experiment.cc.o"
+  "CMakeFiles/netpack_core.dir/experiment.cc.o.d"
+  "CMakeFiles/netpack_core.dir/ina_rebalancer.cc.o"
+  "CMakeFiles/netpack_core.dir/ina_rebalancer.cc.o.d"
+  "CMakeFiles/netpack_core.dir/manager.cc.o"
+  "CMakeFiles/netpack_core.dir/manager.cc.o.d"
+  "libnetpack_core.a"
+  "libnetpack_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netpack_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

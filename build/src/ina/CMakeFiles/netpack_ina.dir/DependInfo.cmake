@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ina/aggregation.cc" "src/ina/CMakeFiles/netpack_ina.dir/aggregation.cc.o" "gcc" "src/ina/CMakeFiles/netpack_ina.dir/aggregation.cc.o.d"
+  "/root/repo/src/ina/collectives.cc" "src/ina/CMakeFiles/netpack_ina.dir/collectives.cc.o" "gcc" "src/ina/CMakeFiles/netpack_ina.dir/collectives.cc.o.d"
+  "/root/repo/src/ina/hierarchy.cc" "src/ina/CMakeFiles/netpack_ina.dir/hierarchy.cc.o" "gcc" "src/ina/CMakeFiles/netpack_ina.dir/hierarchy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/netpack_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/netpack_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/netpack_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

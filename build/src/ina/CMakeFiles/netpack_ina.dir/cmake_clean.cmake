@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netpack_ina.dir/aggregation.cc.o"
+  "CMakeFiles/netpack_ina.dir/aggregation.cc.o.d"
+  "CMakeFiles/netpack_ina.dir/collectives.cc.o"
+  "CMakeFiles/netpack_ina.dir/collectives.cc.o.d"
+  "CMakeFiles/netpack_ina.dir/hierarchy.cc.o"
+  "CMakeFiles/netpack_ina.dir/hierarchy.cc.o.d"
+  "libnetpack_ina.a"
+  "libnetpack_ina.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netpack_ina.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

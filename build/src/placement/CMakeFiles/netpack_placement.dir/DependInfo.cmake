@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/placement/baselines.cc" "src/placement/CMakeFiles/netpack_placement.dir/baselines.cc.o" "gcc" "src/placement/CMakeFiles/netpack_placement.dir/baselines.cc.o.d"
+  "/root/repo/src/placement/exhaustive.cc" "src/placement/CMakeFiles/netpack_placement.dir/exhaustive.cc.o" "gcc" "src/placement/CMakeFiles/netpack_placement.dir/exhaustive.cc.o.d"
+  "/root/repo/src/placement/ina_policy.cc" "src/placement/CMakeFiles/netpack_placement.dir/ina_policy.cc.o" "gcc" "src/placement/CMakeFiles/netpack_placement.dir/ina_policy.cc.o.d"
+  "/root/repo/src/placement/knapsack.cc" "src/placement/CMakeFiles/netpack_placement.dir/knapsack.cc.o" "gcc" "src/placement/CMakeFiles/netpack_placement.dir/knapsack.cc.o.d"
+  "/root/repo/src/placement/mip_model.cc" "src/placement/CMakeFiles/netpack_placement.dir/mip_model.cc.o" "gcc" "src/placement/CMakeFiles/netpack_placement.dir/mip_model.cc.o.d"
+  "/root/repo/src/placement/netpack_placer.cc" "src/placement/CMakeFiles/netpack_placement.dir/netpack_placer.cc.o" "gcc" "src/placement/CMakeFiles/netpack_placement.dir/netpack_placer.cc.o.d"
+  "/root/repo/src/placement/placer.cc" "src/placement/CMakeFiles/netpack_placement.dir/placer.cc.o" "gcc" "src/placement/CMakeFiles/netpack_placement.dir/placer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/netpack_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/netpack_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/netpack_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/ina/CMakeFiles/netpack_ina.dir/DependInfo.cmake"
+  "/root/repo/build/src/waterfill/CMakeFiles/netpack_waterfill.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

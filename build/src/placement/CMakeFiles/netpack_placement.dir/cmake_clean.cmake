@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netpack_placement.dir/baselines.cc.o"
+  "CMakeFiles/netpack_placement.dir/baselines.cc.o.d"
+  "CMakeFiles/netpack_placement.dir/exhaustive.cc.o"
+  "CMakeFiles/netpack_placement.dir/exhaustive.cc.o.d"
+  "CMakeFiles/netpack_placement.dir/ina_policy.cc.o"
+  "CMakeFiles/netpack_placement.dir/ina_policy.cc.o.d"
+  "CMakeFiles/netpack_placement.dir/knapsack.cc.o"
+  "CMakeFiles/netpack_placement.dir/knapsack.cc.o.d"
+  "CMakeFiles/netpack_placement.dir/mip_model.cc.o"
+  "CMakeFiles/netpack_placement.dir/mip_model.cc.o.d"
+  "CMakeFiles/netpack_placement.dir/netpack_placer.cc.o"
+  "CMakeFiles/netpack_placement.dir/netpack_placer.cc.o.d"
+  "CMakeFiles/netpack_placement.dir/placer.cc.o"
+  "CMakeFiles/netpack_placement.dir/placer.cc.o.d"
+  "libnetpack_placement.a"
+  "libnetpack_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netpack_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netpack_sim.dir/cluster_sim.cc.o"
+  "CMakeFiles/netpack_sim.dir/cluster_sim.cc.o.d"
+  "CMakeFiles/netpack_sim.dir/flow_model.cc.o"
+  "CMakeFiles/netpack_sim.dir/flow_model.cc.o.d"
+  "CMakeFiles/netpack_sim.dir/metrics.cc.o"
+  "CMakeFiles/netpack_sim.dir/metrics.cc.o.d"
+  "CMakeFiles/netpack_sim.dir/packet_model.cc.o"
+  "CMakeFiles/netpack_sim.dir/packet_model.cc.o.d"
+  "libnetpack_sim.a"
+  "libnetpack_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netpack_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netpack_topology.dir/cluster.cc.o"
+  "CMakeFiles/netpack_topology.dir/cluster.cc.o.d"
+  "CMakeFiles/netpack_topology.dir/gpu_ledger.cc.o"
+  "CMakeFiles/netpack_topology.dir/gpu_ledger.cc.o.d"
+  "libnetpack_topology.a"
+  "libnetpack_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netpack_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

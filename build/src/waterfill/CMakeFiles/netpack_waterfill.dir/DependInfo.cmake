@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/waterfill/steady_state.cc" "src/waterfill/CMakeFiles/netpack_waterfill.dir/steady_state.cc.o" "gcc" "src/waterfill/CMakeFiles/netpack_waterfill.dir/steady_state.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/netpack_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/netpack_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/netpack_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/ina/CMakeFiles/netpack_ina.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netpack_waterfill.dir/steady_state.cc.o"
+  "CMakeFiles/netpack_waterfill.dir/steady_state.cc.o.d"
+  "libnetpack_waterfill.a"
+  "libnetpack_waterfill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netpack_waterfill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/job.cc" "src/workload/CMakeFiles/netpack_workload.dir/job.cc.o" "gcc" "src/workload/CMakeFiles/netpack_workload.dir/job.cc.o.d"
+  "/root/repo/src/workload/models.cc" "src/workload/CMakeFiles/netpack_workload.dir/models.cc.o" "gcc" "src/workload/CMakeFiles/netpack_workload.dir/models.cc.o.d"
+  "/root/repo/src/workload/philly_log.cc" "src/workload/CMakeFiles/netpack_workload.dir/philly_log.cc.o" "gcc" "src/workload/CMakeFiles/netpack_workload.dir/philly_log.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/workload/CMakeFiles/netpack_workload.dir/trace.cc.o" "gcc" "src/workload/CMakeFiles/netpack_workload.dir/trace.cc.o.d"
+  "/root/repo/src/workload/trace_gen.cc" "src/workload/CMakeFiles/netpack_workload.dir/trace_gen.cc.o" "gcc" "src/workload/CMakeFiles/netpack_workload.dir/trace_gen.cc.o.d"
+  "/root/repo/src/workload/workload_stats.cc" "src/workload/CMakeFiles/netpack_workload.dir/workload_stats.cc.o" "gcc" "src/workload/CMakeFiles/netpack_workload.dir/workload_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/netpack_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/netpack_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

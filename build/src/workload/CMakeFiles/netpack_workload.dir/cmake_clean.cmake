@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netpack_workload.dir/job.cc.o"
+  "CMakeFiles/netpack_workload.dir/job.cc.o.d"
+  "CMakeFiles/netpack_workload.dir/models.cc.o"
+  "CMakeFiles/netpack_workload.dir/models.cc.o.d"
+  "CMakeFiles/netpack_workload.dir/philly_log.cc.o"
+  "CMakeFiles/netpack_workload.dir/philly_log.cc.o.d"
+  "CMakeFiles/netpack_workload.dir/trace.cc.o"
+  "CMakeFiles/netpack_workload.dir/trace.cc.o.d"
+  "CMakeFiles/netpack_workload.dir/trace_gen.cc.o"
+  "CMakeFiles/netpack_workload.dir/trace_gen.cc.o.d"
+  "CMakeFiles/netpack_workload.dir/workload_stats.cc.o"
+  "CMakeFiles/netpack_workload.dir/workload_stats.cc.o.d"
+  "libnetpack_workload.a"
+  "libnetpack_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netpack_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

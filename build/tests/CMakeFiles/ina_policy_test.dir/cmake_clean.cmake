@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ina_policy_test.dir/ina_policy_test.cc.o"
+  "CMakeFiles/ina_policy_test.dir/ina_policy_test.cc.o.d"
+  "ina_policy_test"
+  "ina_policy_test.pdb"
+  "ina_policy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ina_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

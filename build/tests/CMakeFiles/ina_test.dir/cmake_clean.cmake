@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ina_test.dir/ina_test.cc.o"
+  "CMakeFiles/ina_test.dir/ina_test.cc.o.d"
+  "ina_test"
+  "ina_test.pdb"
+  "ina_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ina_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multips_test.dir/multips_test.cc.o"
+  "CMakeFiles/multips_test.dir/multips_test.cc.o.d"
+  "multips_test"
+  "multips_test.pdb"
+  "multips_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multips_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

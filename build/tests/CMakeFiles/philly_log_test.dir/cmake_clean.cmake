@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/philly_log_test.dir/philly_log_test.cc.o"
+  "CMakeFiles/philly_log_test.dir/philly_log_test.cc.o.d"
+  "philly_log_test"
+  "philly_log_test.pdb"
+  "philly_log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/philly_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

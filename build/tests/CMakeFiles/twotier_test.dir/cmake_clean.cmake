@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twotier_test.dir/twotier_test.cc.o"
+  "CMakeFiles/twotier_test.dir/twotier_test.cc.o.d"
+  "twotier_test"
+  "twotier_test.pdb"
+  "twotier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twotier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waterfill_test.dir/waterfill_test.cc.o"
+  "CMakeFiles/waterfill_test.dir/waterfill_test.cc.o.d"
+  "waterfill_test"
+  "waterfill_test.pdb"
+  "waterfill_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waterfill_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/topology_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/ina_test[1]_include.cmake")
+include("/root/repo/build/tests/waterfill_test[1]_include.cmake")
+include("/root/repo/build/tests/placement_test[1]_include.cmake")
+include("/root/repo/build/tests/exhaustive_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_flow_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_packet_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/philly_log_test[1]_include.cmake")
+include("/root/repo/build/tests/collectives_test[1]_include.cmake")
+include("/root/repo/build/tests/ina_policy_test[1]_include.cmake")
+include("/root/repo/build/tests/twotier_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/mip_model_test[1]_include.cmake")
+include("/root/repo/build/tests/properties_test[1]_include.cmake")
+include("/root/repo/build/tests/multips_test[1]_include.cmake")
+include("/root/repo/build/tests/bench_util_test[1]_include.cmake")
