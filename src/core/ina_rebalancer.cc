@@ -1,5 +1,7 @@
 #include "core/ina_rebalancer.h"
 
+#include "common/check.h"
+
 namespace netpack {
 
 InaRebalancer::InaRebalancer(const ClusterTopology &topo)
@@ -14,6 +16,28 @@ InaRebalancer::rebalance(std::vector<PlacedJob> &running,
     // All running jobs are targets; nothing is fixed background, so the
     // assignment starts from the whole PAT budget.
     return assignSelectiveIna(*topo_, running, {}, volume_of);
+}
+
+RebalanceOutcome
+InaRebalancer::rebalance(PlacementContext &ctx,
+                         const VolumeLookup &volume_of) const
+{
+    NETPACK_CHECK_MSG(&ctx.topology() == topo_,
+                      "rebalancer and context disagree on the topology");
+    RebalanceOutcome outcome;
+    std::vector<PlacedJob> running = ctx.running();
+    outcome.assignment = assignSelectiveIna(*topo_, running, {}, volume_of);
+    if (outcome.assignment.jobsChanged == 0)
+        return outcome;
+    for (PlacedJob &job : running) {
+        const Placement *before = ctx.placementOf(job.id);
+        NETPACK_CHECK(before != nullptr);
+        if (before->inaRacks == job.placement.inaRacks)
+            continue;
+        ctx.updateInaRacks(job.id, job.placement.inaRacks);
+        outcome.changed.push_back(std::move(job));
+    }
+    return outcome;
 }
 
 } // namespace netpack

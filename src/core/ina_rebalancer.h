@@ -12,10 +12,20 @@
 #ifndef NETPACK_CORE_INA_REBALANCER_H
 #define NETPACK_CORE_INA_REBALANCER_H
 
+#include "core/placement_context.h"
 #include "placement/ina_policy.h"
 #include "topology/cluster.h"
 
 namespace netpack {
+
+/** What a context-driven rebalance pass did. */
+struct RebalanceOutcome
+{
+    /** Aggregate counters from the selective assignment. */
+    InaAssignmentResult assignment;
+    /** Jobs whose INA rack set actually changed, with new placements. */
+    std::vector<PlacedJob> changed;
+};
 
 /** Periodically re-optimizes INA enablement across running jobs. */
 class InaRebalancer
@@ -31,6 +41,16 @@ class InaRebalancer
      */
     InaAssignmentResult rebalance(std::vector<PlacedJob> &running,
                                   const VolumeLookup &volume_of) const;
+
+    /**
+     * Context-driven pass: reads the running set from @p ctx, re-runs
+     * the AE-ordered selective assignment, and writes the changed rack
+     * sets back via ctx.updateInaRacks — so the next steady-state query
+     * re-converges only the affected jobs' coupled component. The caller
+     * applies outcome.changed to its own records / network model.
+     */
+    RebalanceOutcome rebalance(PlacementContext &ctx,
+                               const VolumeLookup &volume_of) const;
 
   private:
     const ClusterTopology *topo_;

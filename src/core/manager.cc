@@ -13,7 +13,7 @@ JobManager::JobManager(const ClusterTopology &topo,
     : topo_(&topo),
       placer_(placer ? std::move(placer)
                      : std::make_unique<NetPackPlacer>()),
-      starvationBoost_(starvation_boost), gpus_(topo)
+      starvationBoost_(starvation_boost), gpus_(topo), context_(topo)
 {
     NETPACK_REQUIRE(starvation_boost >= 0.0,
                     "starvation boost must be non-negative");
@@ -33,7 +33,7 @@ JobManager::submit(const JobSpec &spec)
                     "job " << spec.id.value << " names unknown model '"
                            << spec.modelName << "'");
     const bool duplicate =
-        runningIndex_.count(spec.id) > 0 ||
+        context_.tracks(spec.id) ||
         std::any_of(pending_.begin(), pending_.end(),
                     [&](const JobSpec &p) { return p.id == spec.id; });
     NETPACK_REQUIRE(!duplicate,
@@ -46,8 +46,9 @@ JobManager::placeRound()
 {
     if (pending_.empty())
         return {};
+    // The placer registers every placed job in the context as it goes.
     BatchResult result =
-        placer_->placeBatch(pending_, *topo_, gpus_, running_);
+        placer_->placeBatch(pending_, *topo_, gpus_, context_);
 
     std::vector<PlacedJob> placed = result.placed;
     for (const PlacedJob &job : placed) {
@@ -56,9 +57,10 @@ JobManager::placeRound()
             [&](const JobSpec &p) { return p.id == job.id; });
         NETPACK_CHECK_MSG(it != pending_.end(),
                           "placer invented job " << job.id.value);
+        NETPACK_CHECK_MSG(context_.tracks(job.id),
+                          "placer placed job " << job.id.value
+                                               << " without registering it");
         pending_.erase(it);
-        runningIndex_[job.id] = running_.size();
-        running_.push_back(job);
     }
     for (JobSpec &spec : pending_)
         spec.value += starvationBoost_;
@@ -68,33 +70,25 @@ JobManager::placeRound()
 void
 JobManager::finish(JobId id)
 {
-    const auto it = runningIndex_.find(id);
-    NETPACK_REQUIRE(it != runningIndex_.end(),
+    NETPACK_REQUIRE(context_.tracks(id),
                     "job " << id.value << " is not running");
-    const std::size_t index = it->second;
     gpus_.releaseJob(id);
-    runningIndex_.erase(it);
-    if (index + 1 != running_.size()) {
-        running_[index] = std::move(running_.back());
-        runningIndex_[running_[index].id] = index;
-    }
-    running_.pop_back();
+    context_.removeJob(id);
 }
 
 std::optional<Placement>
 JobManager::placementOf(JobId id) const
 {
-    const auto it = runningIndex_.find(id);
-    if (it == runningIndex_.end())
+    const Placement *placement = context_.placementOf(id);
+    if (placement == nullptr)
         return std::nullopt;
-    return running_[it->second].placement;
+    return *placement;
 }
 
 SteadyState
 JobManager::estimateSteadyState() const
 {
-    WaterFillingEstimator estimator(*topo_);
-    return estimator.estimate(running_);
+    return context_.steadyState();
 }
 
 } // namespace netpack

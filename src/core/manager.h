@@ -14,8 +14,8 @@
 
 #include <memory>
 #include <optional>
-#include <unordered_map>
 
+#include "core/placement_context.h"
 #include "placement/placer.h"
 #include "topology/cluster.h"
 #include "topology/gpu_ledger.h"
@@ -60,7 +60,10 @@ class JobManager
     const std::vector<JobSpec> &pending() const { return pending_; }
 
     /** Running jobs' placements (the network information base view). */
-    const std::vector<PlacedJob> &running() const { return running_; }
+    const std::vector<PlacedJob> &running() const
+    {
+        return context_.running();
+    }
 
     /** GPU occupancy ledger. */
     const GpuLedger &gpus() const { return gpus_; }
@@ -68,9 +71,13 @@ class JobManager
     /**
      * Estimate the current steady state of the cluster — per-job
      * throughput and residual resources (Step ③ standalone, for
-     * dashboards and what-if tooling).
+     * dashboards and what-if tooling). Served from the shared resource
+     * engine: a cache hit when nothing changed since the last round.
      */
     SteadyState estimateSteadyState() const;
+
+    /** The shared resource engine (instrumentation access). */
+    const PlacementContext &context() const { return context_; }
 
     /** The placement policy in use. */
     const Placer &placer() const { return *placer_; }
@@ -81,8 +88,9 @@ class JobManager
     double starvationBoost_;
     GpuLedger gpus_;
     std::vector<JobSpec> pending_;
-    std::vector<PlacedJob> running_;
-    std::unordered_map<JobId, std::size_t> runningIndex_;
+    /** mutable: estimateSteadyState() is logically const but may have
+        to re-converge the cached fixed point lazily. */
+    mutable PlacementContext context_;
 };
 
 } // namespace netpack

@@ -1,0 +1,451 @@
+#include "core/placement_context.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/log.h"
+
+namespace netpack {
+
+namespace {
+
+/** Incremental/full rate agreement tolerance for the verify mode. */
+constexpr double kVerifyTolerance = 1e-9;
+
+/** NETPACK_VERIFY_INCREMENTAL=1 cross-checks every incremental merge. */
+bool
+verifyIncrementalEnabled()
+{
+    static const bool enabled = [] {
+        const char *value = std::getenv("NETPACK_VERIFY_INCREMENTAL");
+        return value != nullptr && value[0] != '\0' && value[0] != '0';
+    }();
+    return enabled;
+}
+
+} // namespace
+
+PlacementContext::PlacementContext(const ClusterTopology &topo)
+    : topo_(&topo), estimator_(topo),
+      linkJobs_(static_cast<std::size_t>(topo.numLinks())),
+      rackJobs_(static_cast<std::size_t>(topo.numRacks())),
+      dirtyLinkMask_(static_cast<std::size_t>(topo.numLinks()), 0),
+      dirtyRackMask_(static_cast<std::size_t>(topo.numRacks()), 0)
+{
+}
+
+PlacementContext::JobEntry
+PlacementContext::buildEntry(JobId id, const Placement &placement) const
+{
+    JobEntry entry;
+    entry.shards = buildShardHierarchies(*topo_, id, placement);
+
+    std::vector<char> link_seen(static_cast<std::size_t>(topo_->numLinks()),
+                                0);
+    std::vector<char> rack_seen(static_cast<std::size_t>(topo_->numRacks()),
+                                0);
+    for (const JobHierarchy &shard : entry.shards) {
+        for (const HierarchyNode &node : shard.nodes()) {
+            for (LinkId link : node.uplinks) {
+                if (!link_seen[link.index()]) {
+                    link_seen[link.index()] = 1;
+                    entry.links.push_back(link);
+                }
+            }
+        }
+        for (RackId rack : shard.inaRacks()) {
+            if (!rack_seen[rack.index()]) {
+                rack_seen[rack.index()] = 1;
+                entry.racks.push_back(rack);
+            }
+        }
+    }
+    std::sort(entry.links.begin(), entry.links.end());
+    std::sort(entry.racks.begin(), entry.racks.end());
+    return entry;
+}
+
+void
+PlacementContext::indexEntry(JobId id, const JobEntry &entry)
+{
+    for (LinkId link : entry.links)
+        linkJobs_[link.index()].push_back(id);
+    for (RackId rack : entry.racks)
+        rackJobs_[rack.index()].push_back(id);
+}
+
+void
+PlacementContext::unindexEntry(JobId id, const JobEntry &entry)
+{
+    const auto drop = [id](std::vector<JobId> &jobs) {
+        jobs.erase(std::remove(jobs.begin(), jobs.end(), id), jobs.end());
+    };
+    for (LinkId link : entry.links)
+        drop(linkJobs_[link.index()]);
+    for (RackId rack : entry.racks)
+        drop(rackJobs_[rack.index()]);
+}
+
+void
+PlacementContext::markLinkDirty(LinkId link)
+{
+    if (!dirtyLinkMask_[link.index()]) {
+        dirtyLinkMask_[link.index()] = 1;
+        dirtyLinks_.push_back(link);
+    }
+}
+
+void
+PlacementContext::markRackDirty(RackId rack)
+{
+    if (!dirtyRackMask_[rack.index()]) {
+        dirtyRackMask_[rack.index()] = 1;
+        dirtyRacks_.push_back(rack);
+    }
+}
+
+void
+PlacementContext::markDirty(const JobEntry &entry)
+{
+    for (LinkId link : entry.links)
+        markLinkDirty(link);
+    for (RackId rack : entry.racks)
+        markRackDirty(rack);
+}
+
+void
+PlacementContext::addJob(JobId id, const Placement &placement)
+{
+    NETPACK_CHECK_MSG(jobs_.find(id) == jobs_.end(),
+                      "job " << id.value
+                             << " is already tracked by the context");
+    JobEntry entry = buildEntry(id, placement);
+    entry.runningIndex = running_.size();
+    running_.push_back({id, placement});
+    indexEntry(id, entry);
+    markDirty(entry);
+    jobs_.emplace(id, std::move(entry));
+}
+
+void
+PlacementContext::removeJob(JobId id)
+{
+    const auto it = jobs_.find(id);
+    NETPACK_CHECK_MSG(it != jobs_.end(),
+                      "removing untracked job " << id.value);
+    markDirty(it->second);
+    unindexEntry(id, it->second);
+    cached_.jobRate.erase(id);
+
+    const std::size_t index = it->second.runningIndex;
+    if (index + 1 != running_.size()) {
+        running_[index] = std::move(running_.back());
+        jobs_.at(running_[index].id).runningIndex = index;
+    }
+    running_.pop_back();
+    jobs_.erase(it);
+}
+
+void
+PlacementContext::updateInaRacks(JobId id, const std::set<RackId> &ina_racks)
+{
+    const auto it = jobs_.find(id);
+    NETPACK_CHECK_MSG(it != jobs_.end(),
+                      "updating INA racks of untracked job " << id.value);
+    PlacedJob &placed = running_[it->second.runningIndex];
+    if (placed.placement.inaRacks == ina_racks)
+        return;
+
+    // INA toggling reshapes the aggregation trees (switches flip between
+    // aggregating and passing through); rebuild and invalidate wholesale.
+    markDirty(it->second);
+    unindexEntry(id, it->second);
+    placed.placement.inaRacks = ina_racks;
+    const std::size_t index = it->second.runningIndex;
+    it->second = buildEntry(id, placed.placement);
+    it->second.runningIndex = index;
+    indexEntry(id, it->second);
+    markDirty(it->second);
+    structural_ = true;
+}
+
+void
+PlacementContext::syncTo(const std::vector<PlacedJob> &running)
+{
+    // Drop jobs that disappeared.
+    std::unordered_set<JobId> wanted;
+    for (const PlacedJob &job : running)
+        wanted.insert(job.id);
+    std::vector<JobId> gone;
+    for (const auto &[id, entry] : jobs_) {
+        if (wanted.count(id) == 0)
+            gone.push_back(id);
+    }
+    for (JobId id : gone)
+        removeJob(id);
+
+    // Add new jobs; re-register jobs whose placement changed.
+    for (const PlacedJob &job : running) {
+        const auto it = jobs_.find(job.id);
+        if (it == jobs_.end()) {
+            addJob(job);
+            continue;
+        }
+        const Placement &current =
+            running_[it->second.runningIndex].placement;
+        if (current.workers != job.placement.workers ||
+            current.psServer != job.placement.psServer ||
+            current.extraPsServers != job.placement.extraPsServers) {
+            removeJob(job.id);
+            addJob(job);
+        } else if (current.inaRacks != job.placement.inaRacks) {
+            updateInaRacks(job.id, job.placement.inaRacks);
+        }
+    }
+}
+
+void
+PlacementContext::clear()
+{
+    jobs_.clear();
+    running_.clear();
+    for (auto &jobs : linkJobs_)
+        jobs.clear();
+    for (auto &jobs : rackJobs_)
+        jobs.clear();
+    cached_ = SteadyState{};
+    valid_ = false;
+    structural_ = false;
+    std::fill(dirtyLinkMask_.begin(), dirtyLinkMask_.end(), 0);
+    std::fill(dirtyRackMask_.begin(), dirtyRackMask_.end(), 0);
+    dirtyLinks_.clear();
+    dirtyRacks_.clear();
+}
+
+void
+PlacementContext::invalidateAll()
+{
+    structural_ = true;
+}
+
+void
+PlacementContext::invalidateServer(ServerId server)
+{
+    markLinkDirty(topo_->accessLink(server));
+    const RackId rack = topo_->rackOf(server);
+    markLinkDirty(topo_->coreLink(rack));
+    markRackDirty(rack);
+    structural_ = true;
+}
+
+void
+PlacementContext::invalidateRack(RackId rack)
+{
+    markLinkDirty(topo_->coreLink(rack));
+    markRackDirty(rack);
+}
+
+const Placement *
+PlacementContext::placementOf(JobId id) const
+{
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end())
+        return nullptr;
+    return &running_[it->second.runningIndex].placement;
+}
+
+bool
+PlacementContext::dirty() const
+{
+    return !valid_ || structural_ || !dirtyLinks_.empty() ||
+           !dirtyRacks_.empty();
+}
+
+ResourceDelta
+PlacementContext::takeDelta()
+{
+    ResourceDelta delta;
+    delta.structural = structural_ || !valid_;
+    delta.dirtyLinks = std::move(dirtyLinks_);
+    delta.dirtyRacks = std::move(dirtyRacks_);
+    dirtyLinks_.clear();
+    dirtyRacks_.clear();
+    std::fill(dirtyLinkMask_.begin(), dirtyLinkMask_.end(), 0);
+    std::fill(dirtyRackMask_.begin(), dirtyRackMask_.end(), 0);
+    structural_ = false;
+    return delta;
+}
+
+const SteadyState &
+PlacementContext::steadyState()
+{
+    if (!dirty()) {
+        ++stats_.cacheHits;
+        return cached_;
+    }
+    const ResourceDelta delta = takeDelta();
+    cached_ = estimator_.reestimate(*this, delta);
+    valid_ = true;
+    return cached_;
+}
+
+// ---------------------------------------------------------------------------
+// WaterFillingEstimator::reestimate — defined here because the incremental
+// engine is inseparable from the context's caches and reverse indexes.
+// ---------------------------------------------------------------------------
+
+std::vector<JobHierarchy *>
+PlacementContext::allShards()
+{
+    std::vector<JobHierarchy *> shards;
+    for (auto &[id, entry] : jobs_) {
+        for (JobHierarchy &shard : entry.shards)
+            shards.push_back(&shard);
+    }
+    return shards;
+}
+
+SteadyState
+WaterFillingEstimator::reestimate(PlacementContext &ctx,
+                                  const ResourceDelta &delta) const
+{
+    if (delta.structural) {
+        ++ctx.stats_.fullEstimates;
+        return estimate(ctx.allShards());
+    }
+    if (delta.dirtyLinks.empty() && delta.dirtyRacks.empty())
+        return ctx.cached_;
+
+    // Closure: grow the dirty link/rack seed into the full resource-
+    // connected component. Any job touching an affected link (bandwidth
+    // coupling) or consuming an affected rack's PAT is affected; its own
+    // links/racks become affected in turn. At the fixed point no
+    // retained job shares a resource with the re-run component, so
+    // re-converging the component in isolation is exact.
+    std::vector<char> link_affected(ctx.dirtyLinkMask_.size(), 0);
+    std::vector<char> rack_affected(ctx.dirtyRackMask_.size(), 0);
+    std::unordered_set<JobId> affected;
+    std::vector<JobId> frontier;
+
+    const auto absorbJob = [&](JobId id) {
+        if (affected.insert(id).second)
+            frontier.push_back(id);
+    };
+    const auto absorbLink = [&](LinkId link) {
+        if (link_affected[link.index()])
+            return;
+        link_affected[link.index()] = 1;
+        for (JobId id : ctx.linkJobs_[link.index()])
+            absorbJob(id);
+    };
+    const auto absorbRack = [&](RackId rack) {
+        if (rack_affected[rack.index()])
+            return;
+        rack_affected[rack.index()] = 1;
+        for (JobId id : ctx.rackJobs_[rack.index()])
+            absorbJob(id);
+    };
+
+    for (LinkId link : delta.dirtyLinks)
+        absorbLink(link);
+    for (RackId rack : delta.dirtyRacks)
+        absorbRack(rack);
+    while (!frontier.empty()) {
+        const JobId id = frontier.back();
+        frontier.pop_back();
+        const PlacementContext::JobEntry &entry = ctx.jobs_.at(id);
+        for (LinkId link : entry.links)
+            absorbLink(link);
+        for (RackId rack : entry.racks)
+            absorbRack(rack);
+    }
+
+    SteadyState merged;
+    if (affected.size() == ctx.jobs_.size()) {
+        // The perturbation reaches every job; incremental buys nothing.
+        ++ctx.stats_.fullEstimates;
+        merged = estimate(ctx.allShards());
+    } else {
+        // Re-converge the component in isolation. Its links and racks
+        // start from full capacity: by closure, no retained job touches
+        // them, so the component owns those resources outright.
+        std::vector<JobHierarchy *> shards;
+        for (JobId id : affected) {
+            for (JobHierarchy &shard : ctx.jobs_.at(id).shards)
+                shards.push_back(&shard);
+        }
+        const SteadyState sub = estimate(shards);
+
+        // Splice the component into the retained fixed point.
+        merged = ctx.cached_;
+        for (std::size_t l = 0; l < link_affected.size(); ++l) {
+            if (!link_affected[l])
+                continue;
+            merged.linkResidual[l] = sub.linkResidual[l];
+            merged.linkFlows[l] = sub.linkFlows[l];
+        }
+        for (std::size_t r = 0; r < rack_affected.size(); ++r) {
+            if (rack_affected[r])
+                merged.patResidual[r] = sub.patResidual[r];
+        }
+        for (const JobId id : affected) {
+            const auto it = sub.jobRate.find(id);
+            if (it != sub.jobRate.end())
+                merged.jobRate[id] = it->second;
+            else
+                merged.jobRate.erase(id); // became local-only
+        }
+        ++ctx.stats_.incrementalEstimates;
+        ctx.stats_.jobsReconverged +=
+            static_cast<std::int64_t>(affected.size());
+    }
+
+    if (verifyIncrementalEnabled()) {
+        const SteadyState full = estimate(ctx.allShards());
+        NETPACK_CHECK_MSG(full.jobRate.size() == merged.jobRate.size(),
+                          "incremental re-estimation tracked "
+                              << merged.jobRate.size()
+                              << " job rates, full recompute has "
+                              << full.jobRate.size());
+        for (const auto &[id, rate] : full.jobRate) {
+            const auto it = merged.jobRate.find(id);
+            NETPACK_CHECK_MSG(it != merged.jobRate.end(),
+                              "incremental re-estimation lost job "
+                                  << id.value);
+            NETPACK_CHECK_MSG(std::abs(it->second - rate) <=
+                                  kVerifyTolerance,
+                              "incremental rate of job "
+                                  << id.value << " is " << it->second
+                                  << ", full recompute says " << rate);
+        }
+        for (std::size_t l = 0; l < full.linkResidual.size(); ++l) {
+            NETPACK_CHECK_MSG(std::abs(full.linkResidual[l] -
+                                       merged.linkResidual[l]) <=
+                                  kVerifyTolerance,
+                              "incremental residual of link "
+                                  << l << " is " << merged.linkResidual[l]
+                                  << ", full recompute says "
+                                  << full.linkResidual[l]);
+            NETPACK_CHECK_MSG(full.linkFlows[l] == merged.linkFlows[l],
+                              "incremental flow count of link "
+                                  << l << " is " << merged.linkFlows[l]
+                                  << ", full recompute says "
+                                  << full.linkFlows[l]);
+        }
+        for (std::size_t r = 0; r < full.patResidual.size(); ++r) {
+            NETPACK_CHECK_MSG(std::abs(full.patResidual[r] -
+                                       merged.patResidual[r]) <=
+                                  kVerifyTolerance,
+                              "incremental PAT residual of rack "
+                                  << r << " is " << merged.patResidual[r]
+                                  << ", full recompute says "
+                                  << full.patResidual[r]);
+        }
+    }
+    return merged;
+}
+
+} // namespace netpack

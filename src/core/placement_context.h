@@ -1,0 +1,197 @@
+/**
+ * @file
+ * The shared, incrementally-updated resource engine behind every layer
+ * that reasons about cluster network state (Algorithm 2 line 7's
+ * re-estimation, made sublinear). A PlacementContext owns the placed
+ * jobs' aggregation hierarchies, the last converged water-filling
+ * SteadyState, and dirty-tracking at link/rack granularity. Placers,
+ * the cluster simulator, the job manager, the INA rebalancer, and the
+ * exhaustive solver all consult the same context instead of rebuilding
+ * JobHierarchy sets and re-running the estimator from scratch: a single
+ * job arrival or departure perturbs only the links and racks on its
+ * paths, so the next steadyState() query re-converges only the
+ * resource-connected component around that perturbation and splices it
+ * into the retained fixed point. Structural events — server failures,
+ * INA toggles — invalidate wholesale and fall back to a full estimate.
+ */
+
+#ifndef NETPACK_CORE_PLACEMENT_CONTEXT_H
+#define NETPACK_CORE_PLACEMENT_CONTEXT_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "ina/hierarchy.h"
+#include "topology/cluster.h"
+#include "topology/ids.h"
+#include "waterfill/steady_state.h"
+#include "workload/job.h"
+
+namespace netpack {
+
+/**
+ * Cached network-resource state of a set of placed jobs, with
+ * incremental invalidation. Not thread-safe; one context per
+ * simulator/manager instance.
+ */
+class PlacementContext
+{
+  public:
+    /** @param topo cluster topology (must outlive the context) */
+    explicit PlacementContext(const ClusterTopology &topo);
+
+    /** The topology this context models. */
+    const ClusterTopology &topology() const { return *topo_; }
+
+    /**
+     * Register a newly placed job. Builds its shard hierarchies and
+     * dirties every link/rack its aggregation trees touch. The id must
+     * not already be tracked.
+     */
+    void addJob(JobId id, const Placement &placement);
+
+    /** Convenience overload. */
+    void addJob(const PlacedJob &job) { addJob(job.id, job.placement); }
+
+    /**
+     * Deregister a finished (or killed) job, dirtying the links/racks
+     * it occupied so their residuals are re-derived on the next query.
+     */
+    void removeJob(JobId id);
+
+    /**
+     * Re-tag the racks where @p id aggregates in-network. INA toggling
+     * reshapes the job's aggregation trees, so this is a structural
+     * invalidation: the next steadyState() runs a full estimate.
+     * No-op when the rack set is unchanged.
+     */
+    void updateInaRacks(JobId id, const std::set<RackId> &ina_racks);
+
+    /**
+     * Diff-sync the tracked set against @p running: removes jobs that
+     * disappeared, adds new ones, and re-registers jobs whose placement
+     * changed. Useful for callers that own their running list.
+     */
+    void syncTo(const std::vector<PlacedJob> &running);
+
+    /** Drop every job and all cached state. */
+    void clear();
+
+    /** Invalidate everything: the next query runs a full estimate. */
+    void invalidateAll();
+
+    /**
+     * A server dropped out (failure path). Dirties its access link, its
+     * rack's core link, and its rack, and — because failure handling
+     * also kills and resubmits jobs — escalates to a structural
+     * invalidation so no stale residual can survive the churn.
+     */
+    void invalidateServer(ServerId server);
+
+    /** Dirty one rack's PAT and core link (e.g. after a PAT override). */
+    void invalidateRack(RackId rack);
+
+    /** Whether @p id is currently tracked. */
+    bool tracks(JobId id) const { return jobs_.count(id) > 0; }
+
+    /** Number of tracked jobs. */
+    std::size_t jobCount() const { return jobs_.size(); }
+
+    /** Tracked placements, in insertion order (swap-removal on erase). */
+    const std::vector<PlacedJob> &running() const { return running_; }
+
+    /** Placement of @p id, or nullptr when untracked. */
+    const Placement *placementOf(JobId id) const;
+
+    /**
+     * The converged steady state of the tracked jobs. Served from cache
+     * when nothing is dirty; re-converges only the affected component
+     * when link/rack-granular dirt is pending; runs the full estimator
+     * after structural invalidations.
+     */
+    const SteadyState &steadyState();
+
+    /** True when the next steadyState() query must recompute anything. */
+    bool dirty() const;
+
+    /** True when the next query falls back to a full estimate. */
+    bool structuralDirty() const { return structural_ || !valid_; }
+
+    /** Pending dirty links (diagnostics/tests). */
+    const std::vector<LinkId> &dirtyLinks() const { return dirtyLinks_; }
+
+    /** Pending dirty racks (diagnostics/tests). */
+    const std::vector<RackId> &dirtyRacks() const { return dirtyRacks_; }
+
+    /** Counters for benches and regression tests. */
+    struct Stats
+    {
+        /** Full estimates run (structural or cold). */
+        std::int64_t fullEstimates = 0;
+        /** Incremental component re-estimates run. */
+        std::int64_t incrementalEstimates = 0;
+        /** steadyState() calls served straight from cache. */
+        std::int64_t cacheHits = 0;
+        /** Jobs re-converged across all incremental estimates. */
+        std::int64_t jobsReconverged = 0;
+    };
+
+    /** Cumulative query statistics. */
+    const Stats &stats() const { return stats_; }
+
+  private:
+    friend class WaterFillingEstimator; // reestimate() is the query engine
+
+    /** Everything the engine caches per tracked job. */
+    struct JobEntry
+    {
+        /** Index into running_. */
+        std::size_t runningIndex = 0;
+        /** One aggregation tree per PS shard (reused across queries). */
+        std::vector<JobHierarchy> shards;
+        /** Unique physical links the shards' edges cross. */
+        std::vector<LinkId> links;
+        /** Unique racks where the job consumes PAT (INA-enabled ToRs). */
+        std::vector<RackId> racks;
+    };
+
+    /** Build the shards and link/rack footprint for @p placement. */
+    JobEntry buildEntry(JobId id, const Placement &placement) const;
+
+    /** Every tracked shard hierarchy (full-estimate input). */
+    std::vector<JobHierarchy *> allShards();
+
+    void indexEntry(JobId id, const JobEntry &entry);
+    void unindexEntry(JobId id, const JobEntry &entry);
+    void markDirty(const JobEntry &entry);
+    void markLinkDirty(LinkId link);
+    void markRackDirty(RackId rack);
+
+    /** Move the pending dirt out, leaving the context clean. */
+    ResourceDelta takeDelta();
+
+    const ClusterTopology *topo_;
+    WaterFillingEstimator estimator_;
+
+    std::unordered_map<JobId, JobEntry> jobs_;
+    std::vector<PlacedJob> running_;
+
+    /** Reverse indexes: which jobs touch each link / consume each rack. */
+    std::vector<std::vector<JobId>> linkJobs_;
+    std::vector<std::vector<JobId>> rackJobs_;
+
+    SteadyState cached_;
+    bool valid_ = false;
+    bool structural_ = false;
+    std::vector<char> dirtyLinkMask_;
+    std::vector<char> dirtyRackMask_;
+    std::vector<LinkId> dirtyLinks_;
+    std::vector<RackId> dirtyRacks_;
+
+    Stats stats_;
+};
+
+} // namespace netpack
+
+#endif // NETPACK_CORE_PLACEMENT_CONTEXT_H

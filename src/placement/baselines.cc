@@ -26,17 +26,17 @@ allServers(const ClusterTopology &topo)
 BatchResult
 BaselinePlacer::placeBatch(const std::vector<JobSpec> &batch,
                            const ClusterTopology &topo, GpuLedger &gpus,
-                           const std::vector<PlacedJob> &running)
+                           PlacementContext &ctx)
 {
+    NETPACK_CHECK_MSG(&ctx.topology() == &topo,
+                      "placement context built for a different topology");
     BatchResult result;
 
-    SteadyState steady;
-    const SteadyState *steady_ptr = nullptr;
-    if (needsSteadyState()) {
-        WaterFillingEstimator wf(topo);
-        steady = wf.estimate(running);
-        steady_ptr = &steady;
-    }
+    // Baselines consume one steady-state estimate per batch (the
+    // pre-batch network state); an incremental context makes this a
+    // cache hit when nothing changed since the last round.
+    const SteadyState *steady_ptr =
+        needsSteadyState() ? &ctx.steadyState() : nullptr;
 
     for (const JobSpec &spec : batch) {
         if (gpus.totalFreeGpus() < spec.gpuDemand) {
@@ -44,10 +44,12 @@ BaselinePlacer::placeBatch(const std::vector<JobSpec> &batch,
             continue;
         }
         Placement placement;
-        if (placeOne(spec, topo, gpus, steady_ptr, placement))
+        if (placeOne(spec, topo, gpus, steady_ptr, placement)) {
             result.placed.push_back({spec.id, placement});
-        else
+            ctx.addJob(spec.id, placement);
+        } else {
             result.deferred.push_back(spec.id);
+        }
     }
     return result;
 }

@@ -28,9 +28,10 @@ namespace netpack {
 class BaselinePlacer : public Placer
 {
   public:
+    using Placer::placeBatch;
     BatchResult placeBatch(const std::vector<JobSpec> &batch,
                            const ClusterTopology &topo, GpuLedger &gpus,
-                           const std::vector<PlacedJob> &running) final;
+                           PlacementContext &ctx) final;
 
   protected:
     /** Whether serverOrder consumes the steady-state estimate. */

@@ -9,15 +9,14 @@
 
 namespace netpack {
 
-double
-placementObjective(const ClusterTopology &topo,
-                   const std::vector<JobSpec> &jobs,
-                   const std::vector<PlacedJob> &placements)
-{
-    NETPACK_CHECK(jobs.size() == placements.size());
-    WaterFillingEstimator wf(topo);
-    const SteadyState steady = wf.estimate(placements);
+namespace {
 
+/** Σ_j d^(j)/v^(j) over the network jobs of @p placements. */
+double
+objectiveFromSteady(const SteadyState &steady,
+                    const std::vector<JobSpec> &jobs,
+                    const std::vector<PlacedJob> &placements)
+{
     double objective = 0.0;
     for (const PlacedJob &placed : placements) {
         const Placement &p = placed.placement;
@@ -38,6 +37,26 @@ placementObjective(const ClusterTopology &topo,
     return objective;
 }
 
+} // namespace
+
+double
+placementObjective(const ClusterTopology &topo,
+                   const std::vector<JobSpec> &jobs,
+                   const std::vector<PlacedJob> &placements)
+{
+    NETPACK_CHECK(jobs.size() == placements.size());
+    WaterFillingEstimator wf(topo);
+    const SteadyState steady = wf.estimate(placements);
+    return objectiveFromSteady(steady, jobs, placements);
+}
+
+double
+placementObjective(const std::vector<JobSpec> &jobs, PlacementContext &ctx)
+{
+    NETPACK_CHECK(jobs.size() == ctx.running().size());
+    return objectiveFromSteady(ctx.steadyState(), jobs, ctx.running());
+}
+
 ExhaustiveSolver::ExhaustiveSolver(long long max_plans)
     : maxPlans_(max_plans)
 {
@@ -51,6 +70,9 @@ struct SearchState
 {
     const std::vector<JobSpec> *jobs = nullptr;
     const ClusterTopology *topo = nullptr;
+    /** Resource engine mirroring `chosen`: adds/removes track the
+        recursion, so leaf objectives re-converge incrementally. */
+    PlacementContext *ctx = nullptr;
     std::vector<int> freeGpus;     // mutable residual free GPUs
     std::vector<PlacedJob> chosen; // placements decided so far
     std::vector<PlacedJob> best;
@@ -104,7 +126,9 @@ completeJob(SearchState &state, std::size_t job_index,
         if (!placement.singleServer())
             placement.inaRacks = placement.allRacks(*state.topo);
         state.chosen.push_back({spec.id, placement});
+        state.ctx->addJob(spec.id, placement);
         searchJob(state, job_index + 1);
+        state.ctx->removeJob(spec.id);
         state.chosen.pop_back();
     };
 
@@ -128,7 +152,7 @@ searchJob(SearchState &state, std::size_t job_index)
                             << state.maxPlans
                             << " joint plans; shrink the instance");
         const double objective =
-            placementObjective(*state.topo, *state.jobs, state.chosen);
+            placementObjective(*state.jobs, *state.ctx);
         if (objective < state.bestObjective) {
             state.bestObjective = objective;
             state.best = state.chosen;
@@ -150,9 +174,11 @@ ExhaustiveSolver::solve(const std::vector<JobSpec> &jobs,
 {
     NETPACK_REQUIRE(!jobs.empty(), "no jobs to place");
 
+    PlacementContext ctx(topo);
     SearchState state;
     state.jobs = &jobs;
     state.topo = &topo;
+    state.ctx = &ctx;
     state.freeGpus.resize(static_cast<std::size_t>(topo.numServers()));
     for (int s = 0; s < topo.numServers(); ++s)
         state.freeGpus[static_cast<std::size_t>(s)] =

@@ -38,6 +38,15 @@ double placementObjective(const ClusterTopology &topo,
                           const std::vector<JobSpec> &jobs,
                           const std::vector<PlacedJob> &placements);
 
+/**
+ * Same objective read off a shared resource engine: @p ctx must already
+ * track every placement of @p jobs. The steady state is re-converged
+ * incrementally (only the component the last add/remove dirtied), which
+ * is what makes leaf evaluation affordable inside the exhaustive search.
+ */
+double placementObjective(const std::vector<JobSpec> &jobs,
+                          PlacementContext &ctx);
+
 /** Exact solver; refuses instances beyond its plan budget. */
 class ExhaustiveSolver
 {

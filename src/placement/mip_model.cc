@@ -26,6 +26,17 @@ specOf(const std::vector<JobSpec> &jobs, JobId id)
     return *it;
 }
 
+/** Whether a placement is complete enough to generate traffic. */
+bool
+structurallyValid(const Placement &p)
+{
+    if (p.workers.empty())
+        return false;
+    if (p.singleServer() || p.totalWorkers() <= 1)
+        return true;
+    return p.psServer.valid();
+}
+
 } // namespace
 
 std::vector<MipJobVariables>
@@ -33,26 +44,27 @@ materializeMipVariables(const ClusterTopology &topo,
                         const std::vector<JobSpec> &jobs,
                         const std::vector<PlacedJob> &placements)
 {
-    (void)jobs; // geometry + steady state suffice; kept for symmetry
     // The steady state can only be computed over structurally valid
     // placements; invalid ones (e.g. a multi-server job without a PS)
     // still get geometry variables so the constraint checks can flag
     // them, but contribute no traffic.
-    const auto structurally_valid = [](const Placement &p) {
-        if (p.workers.empty())
-            return false;
-        if (p.singleServer() || p.totalWorkers() <= 1)
-            return true;
-        return p.psServer.valid();
-    };
     std::vector<PlacedJob> valid;
     for (const PlacedJob &placed : placements) {
-        if (structurally_valid(placed.placement))
+        if (structurallyValid(placed.placement))
             valid.push_back(placed);
     }
     WaterFillingEstimator wf(topo);
     const SteadyState steady = wf.estimate(valid);
+    return materializeMipVariables(topo, jobs, placements, steady);
+}
 
+std::vector<MipJobVariables>
+materializeMipVariables(const ClusterTopology &topo,
+                        const std::vector<JobSpec> &jobs,
+                        const std::vector<PlacedJob> &placements,
+                        const SteadyState &steady)
+{
+    (void)jobs; // geometry + steady state suffice; kept for symmetry
     std::vector<MipJobVariables> variables;
     variables.reserve(placements.size());
     for (const PlacedJob &placed : placements) {
@@ -81,7 +93,7 @@ materializeMipVariables(const ClusterTopology &topo,
         // the binary aggregation state of the final water-filling round
         // decides a vs b. (Under mid-fill PAT exhaustion the true state
         // is a mixture; see checkMipFeasibility's note.)
-        if (!local && structurally_valid(placed.placement)) {
+        if (!local && structurallyValid(placed.placement)) {
             const Gbps rate = steady.jobThroughput(placed.id);
             var.v = std::isfinite(rate) ? rate : 0.0;
             JobHierarchy hierarchy(topo, placed.id, placed.placement);
@@ -105,19 +117,20 @@ materializeMipVariables(const ClusterTopology &topo,
     return variables;
 }
 
+namespace {
+
+/** Constraint checks Eq. 1-10 over already-materialized variables. */
 MipCheckResult
-checkMipFeasibility(const ClusterTopology &topo,
-                    const std::vector<JobSpec> &jobs,
-                    const std::vector<PlacedJob> &placements)
+checkMipVariables(const ClusterTopology &topo,
+                  const std::vector<JobSpec> &jobs,
+                  const std::vector<PlacedJob> &placements,
+                  const std::vector<MipJobVariables> &variables)
 {
     MipCheckResult result;
     const auto fail = [&result](const std::string &message) {
         result.feasible = false;
         result.violations.push_back(message);
     };
-
-    const std::vector<MipJobVariables> variables =
-        materializeMipVariables(topo, jobs, placements);
 
     const auto servers = static_cast<std::size_t>(topo.numServers());
     const auto racks = static_cast<std::size_t>(topo.numRacks());
@@ -249,12 +262,11 @@ checkMipFeasibility(const ClusterTopology &topo,
     return result;
 }
 
+/** Σ_j Σ_i y_i^(j) d^(j) / v^(j) over materialized variables. */
 double
-mipObjective(const ClusterTopology &topo, const std::vector<JobSpec> &jobs,
-             const std::vector<PlacedJob> &placements)
+objectiveOfVariables(const std::vector<JobSpec> &jobs,
+                     const std::vector<MipJobVariables> &variables)
 {
-    const std::vector<MipJobVariables> variables =
-        materializeMipVariables(topo, jobs, placements);
     double objective = 0.0;
     for (const MipJobVariables &var : variables) {
         int sum_y = 0;
@@ -267,6 +279,46 @@ mipObjective(const ClusterTopology &topo, const std::vector<JobSpec> &jobs,
         objective += units::transferTime(model.commVolumePerIter(), var.v);
     }
     return objective;
+}
+
+} // namespace
+
+MipCheckResult
+checkMipFeasibility(const ClusterTopology &topo,
+                    const std::vector<JobSpec> &jobs,
+                    const std::vector<PlacedJob> &placements)
+{
+    return checkMipVariables(
+        topo, jobs, placements,
+        materializeMipVariables(topo, jobs, placements));
+}
+
+MipCheckResult
+checkMipFeasibility(const ClusterTopology &topo,
+                    const std::vector<JobSpec> &jobs,
+                    const std::vector<PlacedJob> &placements,
+                    const SteadyState &steady)
+{
+    return checkMipVariables(
+        topo, jobs, placements,
+        materializeMipVariables(topo, jobs, placements, steady));
+}
+
+double
+mipObjective(const ClusterTopology &topo, const std::vector<JobSpec> &jobs,
+             const std::vector<PlacedJob> &placements)
+{
+    return objectiveOfVariables(
+        jobs, materializeMipVariables(topo, jobs, placements));
+}
+
+double
+mipObjective(const ClusterTopology &topo, const std::vector<JobSpec> &jobs,
+             const std::vector<PlacedJob> &placements,
+             const SteadyState &steady)
+{
+    return objectiveOfVariables(
+        jobs, materializeMipVariables(topo, jobs, placements, steady));
 }
 
 } // namespace netpack

@@ -60,6 +60,18 @@ materializeMipVariables(const ClusterTopology &topo,
                         const std::vector<PlacedJob> &placements);
 
 /**
+ * Same, against a caller-supplied converged steady state (e.g. from a
+ * PlacementContext) instead of paying a fresh water-filling run. @p
+ * steady must cover exactly the structurally valid subset of
+ * @p placements.
+ */
+std::vector<MipJobVariables>
+materializeMipVariables(const ClusterTopology &topo,
+                        const std::vector<JobSpec> &jobs,
+                        const std::vector<PlacedJob> &placements,
+                        const SteadyState &steady);
+
+/**
  * Check constraints Eq. 1-10 of Table 3 against the materialized
  * variables. Eq. 3/4 (capacity) are checked against the topology's
  * link/PAT capacities with a small tolerance, since the steady state is
@@ -69,10 +81,22 @@ MipCheckResult checkMipFeasibility(const ClusterTopology &topo,
                                    const std::vector<JobSpec> &jobs,
                                    const std::vector<PlacedJob> &placements);
 
+/** Feasibility check against a caller-supplied steady state. */
+MipCheckResult checkMipFeasibility(const ClusterTopology &topo,
+                                   const std::vector<JobSpec> &jobs,
+                                   const std::vector<PlacedJob> &placements,
+                                   const SteadyState &steady);
+
 /** The MIP objective Σ_j Σ_i y_i^(j) d^(j) / v^(j), in seconds. */
 double mipObjective(const ClusterTopology &topo,
                     const std::vector<JobSpec> &jobs,
                     const std::vector<PlacedJob> &placements);
+
+/** The objective against a caller-supplied steady state. */
+double mipObjective(const ClusterTopology &topo,
+                    const std::vector<JobSpec> &jobs,
+                    const std::vector<PlacedJob> &placements,
+                    const SteadyState &steady);
 
 } // namespace netpack
 

@@ -33,9 +33,15 @@ NetPackPlacer::NetPackPlacer(NetPackConfig config)
 BatchResult
 NetPackPlacer::placeBatch(const std::vector<JobSpec> &batch,
                           const ClusterTopology &topo, GpuLedger &gpus,
-                          const std::vector<PlacedJob> &running)
+                          PlacementContext &ctx)
 {
+    NETPACK_CHECK_MSG(&ctx.topology() == &topo,
+                      "placement context built for a different topology");
     BatchResult result;
+
+    // Step ④ treats the pre-batch jobs as fixed background; snapshot
+    // them before this batch's placements enter the context.
+    const std::vector<PlacedJob> running = ctx.running();
 
     // Step ①: knapsack job-subset selection over the free GPUs.
     std::vector<KnapsackItem> items;
@@ -63,9 +69,6 @@ NetPackPlacer::placeBatch(const std::vector<JobSpec> &batch,
                          return a->value > b->value;
                      });
 
-    WaterFillingEstimator wf(topo);
-    std::vector<PlacedJob> current = running;
-
     for (const JobSpec *spec : to_place) {
         // Single-server fast path (lines 4-6): no cross-server traffic.
         const ServerId single =
@@ -76,14 +79,15 @@ NetPackPlacer::placeBatch(const std::vector<JobSpec> &batch,
             placement.psServer = single;
             gpus.allocate(single, spec->id, spec->gpuDemand);
             result.placed.push_back({spec->id, placement});
-            current.push_back({spec->id, placement});
+            ctx.addJob(spec->id, placement);
             continue;
         }
 
         // Line 7: re-estimate the steady state with every job placed so
         // far (resources are shared, not reserved, so each new job moves
-        // the fair share of everyone else).
-        const SteadyState steady = wf.estimate(current);
+        // the fair share of everyone else). The context re-converges
+        // only the jobs coupled to the previous placement's resources.
+        const SteadyState &steady = ctx.steadyState();
 
         std::vector<WorkerPlan> plans =
             workerPlacement(*spec, topo, gpus, steady);
@@ -134,12 +138,17 @@ NetPackPlacer::placeBatch(const std::vector<JobSpec> &batch,
         placement.inaRacks = placement.allRacks(topo);
         placement_util::applyAllocation(gpus, spec->id, placement);
         result.placed.push_back({spec->id, placement});
-        current.push_back({spec->id, placement});
+        ctx.addJob(spec->id, placement);
     }
 
     // Step ④: shift the INA budget toward jobs that benefit the most.
-    if (config_.selectiveIna)
+    if (config_.selectiveIna) {
         selectiveInaEnable(result.placed, topo, running, batch);
+        // Propagate the final INA assignment into the context (no-op for
+        // jobs whose rack set step ④ kept unchanged).
+        for (const PlacedJob &job : result.placed)
+            ctx.updateInaRacks(job.id, job.placement.inaRacks);
+    }
 
     return result;
 }

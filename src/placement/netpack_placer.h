@@ -67,9 +67,10 @@ class NetPackPlacer : public Placer
 
     std::string name() const override { return "NetPack"; }
 
+    using Placer::placeBatch;
     BatchResult placeBatch(const std::vector<JobSpec> &batch,
                            const ClusterTopology &topo, GpuLedger &gpus,
-                           const std::vector<PlacedJob> &running) override;
+                           PlacementContext &ctx) override;
 
     /** Config in use (read-only; for tests). */
     const NetPackConfig &config() const { return config_; }

@@ -6,6 +6,18 @@
 #include "common/check.h"
 
 namespace netpack {
+
+BatchResult
+Placer::placeBatch(const std::vector<JobSpec> &batch,
+                   const ClusterTopology &topo, GpuLedger &gpus,
+                   const std::vector<PlacedJob> &running)
+{
+    PlacementContext ctx(topo);
+    for (const PlacedJob &job : running)
+        ctx.addJob(job);
+    return placeBatch(batch, topo, gpus, ctx);
+}
+
 namespace placement_util {
 
 std::map<ServerId, int>

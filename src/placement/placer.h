@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "core/placement_context.h"
 #include "topology/cluster.h"
 #include "topology/gpu_ledger.h"
 #include "waterfill/steady_state.h"
@@ -41,17 +42,34 @@ class Placer
     virtual std::string name() const = 0;
 
     /**
-     * Place a batch of jobs.
+     * Place a batch of jobs against a shared resource engine.
+     *
+     * The context is both input and output: it supplies the running
+     * jobs' placements and (incrementally re-estimated) steady state,
+     * and the placer registers every job it places via ctx.addJob —
+     * mirroring how GPU allocations are applied to the ledger as it
+     * goes — so that callers owning a long-lived context (simulator,
+     * manager) never rebuild hierarchies from scratch.
      *
      * @param batch pending jobs for this period (submit order)
-     * @param topo cluster topology
+     * @param topo cluster topology (must be ctx.topology())
      * @param gpus GPU ledger; allocations for placed jobs are applied
-     * @param running placements of currently running jobs
+     * @param ctx resource engine tracking the currently running jobs
      */
     virtual BatchResult placeBatch(const std::vector<JobSpec> &batch,
                                    const ClusterTopology &topo,
                                    GpuLedger &gpus,
-                                   const std::vector<PlacedJob> &running) = 0;
+                                   PlacementContext &ctx) = 0;
+
+    /**
+     * Convenience entry for one-shot callers (tests, tools, benches):
+     * wraps @p running in a throwaway context and delegates to the
+     * context overload. Pays a full re-estimation per call; hot paths
+     * should own a PlacementContext instead.
+     */
+    BatchResult placeBatch(const std::vector<JobSpec> &batch,
+                           const ClusterTopology &topo, GpuLedger &gpus,
+                           const std::vector<PlacedJob> &running);
 };
 
 namespace placement_util {

@@ -25,7 +25,7 @@ ClusterSimulator::ClusterSimulator(const ClusterTopology &topo,
                                    std::unique_ptr<Placer> placer,
                                    SimConfig config)
     : topo_(&topo), model_(std::move(model)), placer_(std::move(placer)),
-      config_(config)
+      config_(config), context_(topo), rebalancer_(topo)
 {
     NETPACK_REQUIRE(model_ != nullptr, "network model is required");
     NETPACK_REQUIRE(placer_ != nullptr, "placer is required");
@@ -56,6 +56,7 @@ ClusterSimulator::run(const JobTrace &trace)
 
     GpuLedger gpus(*topo_);
     RunMetrics metrics;
+    context_.clear(); // fresh resource engine per run
 
     // Manager state.
     std::vector<JobSpec> pending; // value field ages in place
@@ -66,7 +67,6 @@ ClusterSimulator::run(const JobTrace &trace)
         Seconds startTime = 0.0;
     };
     std::unordered_map<JobId, Active> active;
-    std::vector<PlacedJob> running_placements; // kept in sync with active
 
     const auto &arrivals = trace.jobs();
     std::size_t next_arrival = 0;
@@ -114,13 +114,6 @@ ClusterSimulator::run(const JobTrace &trace)
                               : 0.0;
     };
 
-    const auto rebuild_running = [&] {
-        running_placements.clear();
-        running_placements.reserve(active.size());
-        for (const auto &[id, job] : active)
-            running_placements.push_back({id, job.placement});
-    };
-
     const auto retire = [&](JobId id, Seconds finish_time) {
         const auto it = active.find(id);
         NETPACK_CHECK_MSG(it != active.end(),
@@ -134,6 +127,7 @@ ClusterSimulator::run(const JobTrace &trace)
         metrics.records.push_back(std::move(record));
         model_->jobFinished(id, finish_time);
         gpus.releaseJob(id);
+        context_.removeJob(id);
         active.erase(it);
     };
 
@@ -188,7 +182,6 @@ ClusterSimulator::run(const JobTrace &trace)
                 break;
             for (JobId id : completed)
                 retire(id, now);
-            rebuild_running();
         }
 
         // Ingest arrivals that are due.
@@ -242,10 +235,14 @@ ClusterSimulator::run(const JobTrace &trace)
                 pending.push_back(respawn);
                 model_->jobFinished(id, now);
                 gpus.releaseJob(id);
+                context_.removeJob(id);
                 active.erase(it);
                 ++metrics.jobRestarts;
             }
-            rebuild_running();
+            // Failures reshape aggregation trees: force a structural
+            // re-estimate and dirty the server's rack so survivors never
+            // read residuals computed against the pre-failure mix.
+            context_.invalidateServer(failure.server);
             const int free = gpus.freeGpus(failure.server);
             if (free > 0) {
                 gpus.allocate(failure.server,
@@ -264,7 +261,7 @@ ClusterSimulator::run(const JobTrace &trace)
         // Runtime INA rebalancing: re-run the selective assignment over
         // the running jobs; endpoints re-tag, nothing migrates.
         if (config_.inaRebalancePeriod > 0.0 && now >= next_rebalance) {
-            if (!running_placements.empty()) {
+            if (context_.jobCount() > 0) {
                 const VolumeLookup volume_of = [&](JobId id) -> MBytes {
                     const auto it = active.find(id);
                     if (it == active.end())
@@ -272,23 +269,19 @@ ClusterSimulator::run(const JobTrace &trace)
                     return ModelZoo::byName(it->second.spec.modelName)
                         .commVolumePerIter();
                 };
-                const InaAssignmentResult change = assignSelectiveIna(
-                    *topo_, running_placements, {}, volume_of);
-                if (change.jobsChanged > 0) {
-                    for (const PlacedJob &job : running_placements) {
-                        auto it = active.find(job.id);
-                        NETPACK_CHECK(it != active.end());
-                        if (it->second.placement.inaRacks !=
-                            job.placement.inaRacks) {
-                            it->second.placement.inaRacks =
-                                job.placement.inaRacks;
-                            model_->updateInaRacks(
-                                job.id, job.placement.inaRacks);
-                        }
-                    }
+                const RebalanceOutcome outcome =
+                    rebalancer_.rebalance(context_, volume_of);
+                for (const PlacedJob &job : outcome.changed) {
+                    auto it = active.find(job.id);
+                    NETPACK_CHECK(it != active.end());
+                    it->second.placement.inaRacks = job.placement.inaRacks;
+                    model_->updateInaRacks(job.id, job.placement.inaRacks);
+                }
+                if (outcome.assignment.jobsChanged > 0) {
                     NETPACK_LOG(Debug,
                                 "t=" << now << "s INA rebalance changed "
-                                     << change.jobsChanged << " job(s)");
+                                     << outcome.assignment.jobsChanged
+                                     << " job(s)");
                 }
             }
             while (next_rebalance <= now)
@@ -297,7 +290,7 @@ ClusterSimulator::run(const JobTrace &trace)
 
         // Periodic observation (Figure 15 instrumentation).
         if (observer_ && now >= next_sample) {
-            observer_(now, *model_, running_placements);
+            observer_(now, *model_, context_.running());
             next_sample += config_.samplePeriod;
         }
 
@@ -311,8 +304,8 @@ ClusterSimulator::run(const JobTrace &trace)
         }
         if (!pending.empty() && now >= next_epoch - 1e-12) {
             const auto t0 = std::chrono::steady_clock::now();
-            BatchResult result = placer_->placeBatch(
-                pending, *topo_, gpus, running_placements);
+            BatchResult result =
+                placer_->placeBatch(pending, *topo_, gpus, context_);
             const auto t1 = std::chrono::steady_clock::now();
             metrics.placementSeconds +=
                 std::chrono::duration<double>(t1 - t0).count();
@@ -336,7 +329,6 @@ ClusterSimulator::run(const JobTrace &trace)
             // Deferred jobs gain value so they cannot starve.
             for (JobSpec &spec : pending)
                 spec.value += config_.starvationBoost;
-            rebuild_running();
 
             NETPACK_LOG(Debug, "t=" << now << "s placed "
                                     << result.placed.size() << ", deferred "

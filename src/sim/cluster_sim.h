@@ -14,6 +14,8 @@
 #include <memory>
 #include <unordered_map>
 
+#include "core/ina_rebalancer.h"
+#include "core/placement_context.h"
 #include "placement/placer.h"
 #include "sim/metrics.h"
 #include "sim/network_model.h"
@@ -94,12 +96,21 @@ class ClusterSimulator
     /** The placement policy in use. */
     const Placer &placer() const { return *placer_; }
 
+    /**
+     * The shared resource engine: owned across epochs so placement
+     * rounds, rebalancing, and failure handling all read and dirty the
+     * same cached hierarchies/steady state (reset at each run()).
+     */
+    const PlacementContext &context() const { return context_; }
+
   private:
     const ClusterTopology *topo_;
     std::unique_ptr<NetworkModel> model_;
     std::unique_ptr<Placer> placer_;
     SimConfig config_;
     SimObserver observer_;
+    PlacementContext context_;
+    InaRebalancer rebalancer_;
 };
 
 } // namespace netpack

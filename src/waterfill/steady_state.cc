@@ -76,6 +76,17 @@ WaterFillingEstimator::estimate(const std::vector<PlacedJob> &jobs) const
 SteadyState
 WaterFillingEstimator::estimate(std::vector<JobHierarchy> &hierarchies) const
 {
+    std::vector<JobHierarchy *> ptrs;
+    ptrs.reserve(hierarchies.size());
+    for (auto &h : hierarchies)
+        ptrs.push_back(&h);
+    return estimate(ptrs);
+}
+
+SteadyState
+WaterFillingEstimator::estimate(
+    const std::vector<JobHierarchy *> &hierarchies) const
+{
     const auto num_links = static_cast<std::size_t>(topo_->numLinks());
     const auto num_racks = static_cast<std::size_t>(topo_->numRacks());
 
@@ -91,9 +102,9 @@ WaterFillingEstimator::estimate(std::vector<JobHierarchy> &hierarchies) const
 
     // Network (non-local) jobs participate; local jobs are free.
     std::vector<JobHierarchy *> active;
-    for (auto &h : hierarchies) {
-        if (!h.local())
-            active.push_back(&h);
+    for (auto *h : hierarchies) {
+        if (!h->local())
+            active.push_back(h);
     }
     std::vector<double> rate(active.size(), 0.0);
     std::vector<bool> frozen(active.size(), false);

@@ -25,11 +25,32 @@
 
 namespace netpack {
 
+class PlacementContext;
+
 /** A running job as seen by the estimator: identity plus placement. */
 struct PlacedJob
 {
     JobId id;
     Placement placement;
+};
+
+/**
+ * A batch of resource-level invalidations accumulated by a
+ * PlacementContext between steady-state queries: the links and racks
+ * whose residuals can no longer be trusted. `structural` forces a full
+ * re-estimation (server failures, INA toggles — changes that reshape
+ * aggregation trees rather than merely shifting fair shares).
+ */
+struct ResourceDelta
+{
+    std::vector<LinkId> dirtyLinks;
+    std::vector<RackId> dirtyRacks;
+    bool structural = false;
+
+    bool empty() const
+    {
+        return dirtyLinks.empty() && dirtyRacks.empty() && !structural;
+    }
 };
 
 /** Converged cluster state produced by the water-filling estimator. */
@@ -86,6 +107,31 @@ class WaterFillingEstimator
      * mutated during estimation.
      */
     SteadyState estimate(std::vector<JobHierarchy> &hierarchies) const;
+
+    /**
+     * Estimate over externally-owned hierarchies. This is the core
+     * water-filling loop; the other overloads adapt into it. The
+     * pointed-to hierarchies' flow counts are mutated.
+     */
+    SteadyState estimate(const std::vector<JobHierarchy *> &hierarchies) const;
+
+    /**
+     * Incremental re-estimation (the PlacementContext hot path): warm-
+     * starts from @p ctx's last converged state and re-converges only
+     * the jobs whose aggregation trees touch @p delta's dirty links or
+     * racks — transitively, so the re-run component is resource-disjoint
+     * from every retained job and the merge is exact. Falls back to a
+     * full estimate() when @p delta is structural (failures, INA
+     * toggles) or the context holds no converged state yet. With
+     * NETPACK_VERIFY_INCREMENTAL set in the environment, every
+     * incremental result is cross-checked against a full re-estimation
+     * and rates must agree within 1e-9.
+     *
+     * Defined alongside PlacementContext (core/placement_context.cc);
+     * callers normally reach it through PlacementContext::steadyState().
+     */
+    SteadyState reestimate(PlacementContext &ctx,
+                           const ResourceDelta &delta) const;
 
     /** Iterations the most recent estimate() took (diagnostics). */
     int lastIterations() const { return lastIterations_; }

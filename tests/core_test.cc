@@ -1,15 +1,20 @@
 /**
  * @file
- * Tests for the embeddable JobManager facade and the experiment helpers.
+ * Tests for the embeddable JobManager facade, the shared
+ * PlacementContext resource engine, the INA rebalancer's context pass,
+ * and the experiment helpers.
  */
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.h"
 #include "core/experiment.h"
+#include "core/ina_rebalancer.h"
 #include "core/manager.h"
+#include "core/placement_context.h"
 #include "placement/baselines.h"
 
 namespace netpack {
@@ -124,6 +129,181 @@ TEST(JobManager, PlaceRoundWithNothingPendingIsEmpty)
     const ClusterTopology topo(smallCluster());
     JobManager manager(topo);
     EXPECT_TRUE(manager.placeRound().empty());
+}
+
+PlacedJob
+crossServerJob(int id, int server_a, int server_b, int ps,
+               std::initializer_list<int> ina_racks)
+{
+    PlacedJob job;
+    job.id = JobId(id);
+    job.placement.workers[ServerId(server_a)] = 2;
+    job.placement.workers[ServerId(server_b)] = 2;
+    job.placement.psServer = ServerId(ps);
+    for (int rack : ina_racks)
+        job.placement.inaRacks.insert(RackId(rack));
+    return job;
+}
+
+TEST(PlacementContext, AddRemoveTracksRunningSet)
+{
+    const ClusterTopology topo(smallCluster());
+    PlacementContext ctx(topo);
+    EXPECT_EQ(ctx.jobCount(), 0u);
+
+    ctx.addJob(crossServerJob(0, 0, 1, 0, {0}));
+    ctx.addJob(crossServerJob(1, 2, 3, 2, {1}));
+    EXPECT_EQ(ctx.jobCount(), 2u);
+    EXPECT_TRUE(ctx.tracks(JobId(0)));
+    ASSERT_NE(ctx.placementOf(JobId(1)), nullptr);
+    EXPECT_EQ(ctx.placementOf(JobId(1))->psServer, ServerId(2));
+
+    ctx.removeJob(JobId(0));
+    EXPECT_FALSE(ctx.tracks(JobId(0)));
+    EXPECT_EQ(ctx.running().size(), 1u);
+    EXPECT_EQ(ctx.running()[0].id, JobId(1));
+}
+
+TEST(PlacementContext, InvalidateServerDirtiesItsRackAndLinks)
+{
+    const ClusterTopology topo(smallCluster());
+    PlacementContext ctx(topo);
+    ctx.addJob(crossServerJob(0, 0, 1, 0, {0}));
+    ctx.steadyState();
+    ASSERT_FALSE(ctx.dirty());
+
+    // Server 2 lives in rack 1: the failure must dirty rack 1 (PAT),
+    // its access link, and rack 1's core link — and escalate to a
+    // structural invalidation because victims get killed/resubmitted.
+    const ServerId failed(2);
+    const RackId rack = topo.rackOf(failed);
+    ctx.invalidateServer(failed);
+    EXPECT_TRUE(ctx.dirty());
+    EXPECT_TRUE(ctx.structuralDirty());
+    EXPECT_NE(std::find(ctx.dirtyRacks().begin(), ctx.dirtyRacks().end(),
+                        rack),
+              ctx.dirtyRacks().end());
+    EXPECT_NE(std::find(ctx.dirtyLinks().begin(), ctx.dirtyLinks().end(),
+                        topo.accessLink(failed)),
+              ctx.dirtyLinks().end());
+    EXPECT_NE(std::find(ctx.dirtyLinks().begin(), ctx.dirtyLinks().end(),
+                        topo.coreLink(rack)),
+              ctx.dirtyLinks().end());
+
+    // The other rack's PAT was not implicated.
+    EXPECT_EQ(std::find(ctx.dirtyRacks().begin(), ctx.dirtyRacks().end(),
+                        RackId(0)),
+              ctx.dirtyRacks().end());
+}
+
+TEST(PlacementContext, RemovalNeverServesStaleResiduals)
+{
+    const ClusterTopology topo(smallCluster());
+    PlacementContext ctx(topo);
+    // Two jobs share server 0's access link; each alone saturates it.
+    ctx.addJob(crossServerJob(0, 0, 1, 0, {0}));
+    ctx.addJob(crossServerJob(1, 0, 1, 1, {0}));
+
+    const SteadyState &shared = ctx.steadyState();
+    const Gbps rate_shared = shared.jobThroughput(JobId(0));
+
+    ctx.removeJob(JobId(1));
+    EXPECT_TRUE(ctx.dirty());
+    const SteadyState &alone = ctx.steadyState();
+    // Stale state would still show the shared fair share and job 1's
+    // leftover rate entry.
+    WaterFillingEstimator wf(topo);
+    const SteadyState scratch =
+        wf.estimate({crossServerJob(0, 0, 1, 0, {0})});
+    EXPECT_GT(alone.jobThroughput(JobId(0)), rate_shared + 1.0);
+    EXPECT_NEAR(alone.jobThroughput(JobId(0)),
+                scratch.jobThroughput(JobId(0)), 1e-9);
+    EXPECT_EQ(alone.jobRate.count(JobId(1)), 0u);
+}
+
+TEST(PlacementContext, UpdateInaRacksIsStructuralAndNoOpWhenUnchanged)
+{
+    const ClusterTopology topo(smallCluster());
+    PlacementContext ctx(topo);
+    const PlacedJob job = crossServerJob(0, 0, 2, 0, {0, 1});
+    ctx.addJob(job);
+    ctx.steadyState();
+
+    // Same rack set: nothing to invalidate.
+    ctx.updateInaRacks(JobId(0), job.placement.inaRacks);
+    EXPECT_FALSE(ctx.dirty());
+
+    // Dropping INA on rack 1 reshapes the aggregation tree.
+    ctx.updateInaRacks(JobId(0), {RackId(0)});
+    EXPECT_TRUE(ctx.structuralDirty());
+    EXPECT_NE(std::find(ctx.dirtyRacks().begin(), ctx.dirtyRacks().end(),
+                        RackId(1)),
+              ctx.dirtyRacks().end());
+    ASSERT_NE(ctx.placementOf(JobId(0)), nullptr);
+    EXPECT_EQ(ctx.placementOf(JobId(0))->inaRacks.count(RackId(1)), 0u);
+}
+
+TEST(PlacementContext, SyncToDiffsTheRunningSet)
+{
+    const ClusterTopology topo(smallCluster());
+    PlacementContext ctx(topo);
+    ctx.addJob(crossServerJob(0, 0, 1, 0, {0}));
+    ctx.addJob(crossServerJob(1, 2, 3, 2, {1}));
+    ctx.steadyState();
+
+    // Job 0 gone, job 2 new, job 1 re-tagged INA-off.
+    PlacedJob job1 = crossServerJob(1, 2, 3, 2, {});
+    PlacedJob job2 = crossServerJob(2, 0, 2, 0, {0, 1});
+    ctx.syncTo({job1, job2});
+    EXPECT_FALSE(ctx.tracks(JobId(0)));
+    EXPECT_EQ(ctx.jobCount(), 2u);
+    ASSERT_NE(ctx.placementOf(JobId(1)), nullptr);
+    EXPECT_TRUE(ctx.placementOf(JobId(1))->inaRacks.empty());
+
+    WaterFillingEstimator wf(topo);
+    const SteadyState full = wf.estimate({job1, job2});
+    const SteadyState &synced = ctx.steadyState();
+    for (const auto &[id, rate] : full.jobRate)
+        EXPECT_NEAR(synced.jobThroughput(id), rate, 1e-9);
+}
+
+TEST(InaRebalancer, ContextPassWritesBackAndInvalidates)
+{
+    // One rack with tight PAT: two cross-server jobs compete for it.
+    ClusterConfig config = smallCluster();
+    config.numRacks = 1;
+    config.serversPerRack = 4;
+    config.torPatGbps = 100.0;
+    const ClusterTopology topo(config);
+
+    PlacementContext ctx(topo);
+    ctx.addJob(crossServerJob(0, 0, 1, 0, {0}));
+    ctx.addJob(crossServerJob(1, 2, 3, 2, {0}));
+    ctx.steadyState();
+
+    InaRebalancer rebalancer(topo);
+    const VolumeLookup volume_of = [](JobId) -> MBytes { return 100.0; };
+    const RebalanceOutcome outcome =
+        rebalancer.rebalance(ctx, volume_of);
+
+    // Whatever the assignment decided, the context must agree with it
+    // and, if anything changed, be pending a structural re-estimate.
+    EXPECT_EQ(outcome.changed.size(),
+              static_cast<std::size_t>(outcome.assignment.jobsChanged));
+    for (const PlacedJob &job : outcome.changed) {
+        ASSERT_NE(ctx.placementOf(job.id), nullptr);
+        EXPECT_EQ(ctx.placementOf(job.id)->inaRacks,
+                  job.placement.inaRacks);
+    }
+    if (!outcome.changed.empty())
+        EXPECT_TRUE(ctx.structuralDirty());
+
+    // And the post-rebalance steady state must match scratch.
+    WaterFillingEstimator wf(topo);
+    const SteadyState full = wf.estimate(ctx.running());
+    const SteadyState &state = ctx.steadyState();
+    for (const auto &[id, rate] : full.jobRate)
+        EXPECT_NEAR(state.jobThroughput(id), rate, 1e-9);
 }
 
 TEST(Experiment, MakeNetworkModelMatchesFidelity)

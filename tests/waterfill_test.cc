@@ -10,6 +10,7 @@
 #include <cmath>
 
 #include "common/rng.h"
+#include "core/placement_context.h"
 #include "waterfill/steady_state.h"
 
 namespace netpack {
@@ -276,6 +277,188 @@ TEST_P(WaterFillingPropertyTest, MaxMinInvariantsHold)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, WaterFillingPropertyTest,
                          ::testing::Range(0, 24));
+
+// ------------------------------------- incremental re-estimation sweep
+
+/** Full-vs-incremental agreement: rates/residuals within 1e-9. */
+void
+expectStatesAgree(const SteadyState &incremental, const SteadyState &full,
+                  const char *what)
+{
+    ASSERT_EQ(incremental.jobRate.size(), full.jobRate.size()) << what;
+    for (const auto &[id, rate] : full.jobRate) {
+        const auto it = incremental.jobRate.find(id);
+        ASSERT_NE(it, incremental.jobRate.end())
+            << what << ": job " << id.value << " missing";
+        EXPECT_NEAR(it->second, rate, 1e-9)
+            << what << ": job " << id.value;
+    }
+    ASSERT_EQ(incremental.linkResidual.size(), full.linkResidual.size());
+    for (std::size_t l = 0; l < full.linkResidual.size(); ++l) {
+        EXPECT_NEAR(incremental.linkResidual[l], full.linkResidual[l],
+                    1e-9)
+            << what << ": link " << l;
+        EXPECT_EQ(incremental.linkFlows[l], full.linkFlows[l])
+            << what << ": link " << l << " flows";
+    }
+    for (std::size_t r = 0; r < full.patResidual.size(); ++r) {
+        EXPECT_NEAR(incremental.patResidual[r], full.patResidual[r], 1e-9)
+            << what << ": rack " << r;
+    }
+}
+
+/** Random placement that fits nothing in particular — pure churn fuel. */
+PlacedJob
+randomPlacement(Rng &rng, const ClusterTopology &topo, int id)
+{
+    PlacedJob job;
+    job.id = JobId(id);
+    const int spread = static_cast<int>(rng.uniformInt(1, 3));
+    for (int w = 0; w < spread; ++w) {
+        const ServerId server(
+            static_cast<int>(rng.uniformInt(0, topo.numServers() - 1)));
+        job.placement.workers[server] += 1;
+    }
+    job.placement.psServer = ServerId(
+        static_cast<int>(rng.uniformInt(0, topo.numServers() - 1)));
+    if (rng.uniform() < 0.8) {
+        for (RackId rack : job.placement.allRacks(topo))
+            job.placement.inaRacks.insert(rack);
+    }
+    return job;
+}
+
+/**
+ * Random arrival/departure churn through a PlacementContext: after
+ * every step the incrementally re-converged steady state must match a
+ * from-scratch estimate over the same running set within 1e-9.
+ */
+class IncrementalEquivalenceTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(IncrementalEquivalenceTest, ChurnMatchesFullEstimate)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 7);
+    ClusterConfig config;
+    config.numRacks = static_cast<int>(rng.uniformInt(2, 5));
+    config.serversPerRack = static_cast<int>(rng.uniformInt(2, 4));
+    config.gpusPerServer = 4;
+    config.serverLinkGbps = 100.0;
+    config.oversubscription = rng.uniform() < 0.5 ? 1.0 : 3.0;
+    config.torPatGbps = rng.uniform() < 0.3 ? 0.0 : rng.uniform(20.0, 600.0);
+    const ClusterTopology topo(config);
+
+    PlacementContext ctx(topo);
+    WaterFillingEstimator wf(topo);
+    std::vector<PlacedJob> running;
+    int next_id = 0;
+
+    for (int step = 0; step < 40; ++step) {
+        const bool arrive = running.empty() || rng.uniform() < 0.6;
+        if (arrive) {
+            PlacedJob job = randomPlacement(rng, topo, next_id++);
+            running.push_back(job);
+            ctx.addJob(job);
+        } else {
+            const std::size_t victim = static_cast<std::size_t>(
+                rng.uniformInt(0, static_cast<int>(running.size()) - 1));
+            ctx.removeJob(running[victim].id);
+            running.erase(running.begin() +
+                          static_cast<std::ptrdiff_t>(victim));
+        }
+        const SteadyState &incremental = ctx.steadyState();
+        const SteadyState full = wf.estimate(running);
+        expectStatesAgree(incremental, full, "churn step");
+    }
+    // The sweep must actually exercise the incremental path, not fall
+    // back to full estimates every step.
+    EXPECT_GT(ctx.stats().incrementalEstimates, 0);
+}
+
+TEST_P(IncrementalEquivalenceTest, InaToggleInvalidatesStructurally)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 31337 + 3);
+    ClusterConfig config;
+    config.numRacks = 3;
+    config.serversPerRack = 3;
+    config.gpusPerServer = 4;
+    config.serverLinkGbps = 100.0;
+    config.torPatGbps = 300.0;
+    const ClusterTopology topo(config);
+
+    PlacementContext ctx(topo);
+    WaterFillingEstimator wf(topo);
+    std::vector<PlacedJob> running;
+    for (int j = 0; j < 6; ++j) {
+        running.push_back(randomPlacement(rng, topo, j));
+        ctx.addJob(running.back());
+    }
+    ctx.steadyState();
+
+    // Toggle INA off and back on for random multi-rack jobs; each toggle
+    // must escalate to a structural (full) re-estimate that matches the
+    // scratch answer.
+    for (int round = 0; round < 6; ++round) {
+        const std::size_t pick = static_cast<std::size_t>(
+            rng.uniformInt(0, static_cast<int>(running.size()) - 1));
+        PlacedJob &job = running[pick];
+        std::set<RackId> toggled;
+        if (job.placement.inaRacks.empty())
+            toggled = job.placement.allRacks(topo);
+        job.placement.inaRacks = toggled;
+        ctx.updateInaRacks(job.id, toggled);
+        if (ctx.dirty())
+            EXPECT_TRUE(ctx.structuralDirty());
+        expectStatesAgree(ctx.steadyState(), wf.estimate(running),
+                          "ina toggle");
+    }
+}
+
+TEST(IncrementalEquivalence, FailureKillMatchesFullEstimate)
+{
+    const ClusterTopology topo = twoRackTopo(1.0);
+    PlacementContext ctx(topo);
+    WaterFillingEstimator wf(topo);
+
+    std::vector<PlacedJob> running = {
+        makeJob(0, {{0, 2}, {1, 2}}, 0, {0}),
+        makeJob(1, {{2, 2}, {3, 2}}, 2, {1}),
+        makeJob(2, {{0, 1}, {2, 1}}, 0, {0, 1}),
+    };
+    for (const PlacedJob &job : running)
+        ctx.addJob(job);
+    ctx.steadyState();
+
+    // Server 0 fails: jobs 0 and 2 are killed, and the failure path
+    // structurally invalidates the context.
+    ctx.removeJob(JobId(0));
+    ctx.removeJob(JobId(2));
+    ctx.invalidateServer(ServerId(0));
+    EXPECT_TRUE(ctx.structuralDirty());
+    running.erase(running.begin() + 2);
+    running.erase(running.begin());
+
+    const auto full_before = ctx.stats().fullEstimates;
+    expectStatesAgree(ctx.steadyState(), wf.estimate(running),
+                      "failure kill");
+    EXPECT_EQ(ctx.stats().fullEstimates, full_before + 1);
+}
+
+TEST(IncrementalEquivalence, CleanContextServesFromCache)
+{
+    const ClusterTopology topo = twoRackTopo(1.0);
+    PlacementContext ctx(topo);
+    ctx.addJob(makeJob(0, {{0, 2}, {1, 2}}, 0, {0}));
+    ctx.steadyState();
+    const auto hits_before = ctx.stats().cacheHits;
+    ctx.steadyState();
+    ctx.steadyState();
+    EXPECT_EQ(ctx.stats().cacheHits, hits_before + 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalEquivalenceTest,
+                         ::testing::Range(0, 16));
 
 } // namespace
 } // namespace netpack
