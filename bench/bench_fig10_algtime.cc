@@ -16,7 +16,11 @@
  * from the running set every batch (the pre-PlacementContext behavior),
  * "incr" owns one PlacementContext across all batches so each
  * steady-state query re-converges only the dirtied component. Both must
- * produce identical placements; the speedup column is the point.
+ * produce identical placements; the speedup column is the point, and the
+ * "incr est" / "full est" columns report how many steady-state queries
+ * the persistent context answered incrementally versus with a full
+ * rebuild (PlacementContext::Stats, the same counts exported as the
+ * waterfill.incremental_hits / waterfill.full_fallbacks metrics).
  */
 
 #include <chrono>
@@ -47,7 +51,8 @@ struct PlacementTiming
 double
 timePlacement(const ClusterTopology &topo, const JobTrace &trace,
               int batch_size, bool incremental,
-              std::vector<JobId> *placed_order = nullptr)
+              std::vector<JobId> *placed_order = nullptr,
+              PlacementContext::Stats *stats_out = nullptr)
 {
     GpuLedger gpus(topo);
     NetPackPlacer placer;
@@ -93,6 +98,8 @@ timePlacement(const ClusterTopology &topo, const JobTrace &trace,
             }
         }
     }
+    if (stats_out != nullptr)
+        *stats_out = context.stats();
     return elapsed;
 }
 
@@ -120,7 +127,7 @@ main(int argc, char **argv)
                      : std::vector<int>{250, 500, 1000};
 
     Table table({"servers", "jobs", "full (s)", "incr (s)", "speedup",
-                 "per-job (ms)"});
+                 "per-job (ms)", "incr est", "full est"});
     for (int servers : scales) {
         ClusterConfig cluster = benchutil::simulatorCluster();
         cluster.serversPerRack = std::max(1, servers / 16);
@@ -136,8 +143,9 @@ main(int argc, char **argv)
             std::vector<JobId> full_order, incr_order;
             const double full_s =
                 timePlacement(topo, trace, 64, false, &full_order);
-            const double incr_s =
-                timePlacement(topo, trace, 64, true, &incr_order);
+            PlacementContext::Stats incr_stats;
+            const double incr_s = timePlacement(topo, trace, 64, true,
+                                                &incr_order, &incr_stats);
             if (full_order != incr_order) {
                 std::cerr << "FATAL: incremental mode changed the "
                              "placement decisions\n";
@@ -150,7 +158,9 @@ main(int argc, char **argv)
                  formatDouble(incr_s, 3),
                  formatDouble(full_s / std::max(incr_s, 1e-12), 2) + "x",
                  formatDouble(incr_s * 1000.0 / static_cast<double>(jobs),
-                              4)});
+                              4),
+                 std::to_string(incr_stats.incrementalEstimates),
+                 std::to_string(incr_stats.fullEstimates)});
         }
     }
     benchutil::emit(table, options);

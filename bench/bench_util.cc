@@ -3,29 +3,63 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "obs/metrics.h"
+
 namespace netpack {
 namespace benchutil {
+
+obs::RunManifest &
+manifest()
+{
+    static obs::RunManifest instance;
+    return instance;
+}
+
+void
+recordRun(const std::string &label, const RunMetrics &metrics)
+{
+    manifest().addRun(label, metrics);
+}
 
 Options
 parseOptions(int argc, char **argv)
 {
     Options options;
+    obs::RunManifest &man = manifest();
+    const std::string argv0 = argv[0];
+    const std::size_t slash = argv0.find_last_of('/');
+    man.bench = slash == std::string::npos ? argv0
+                                           : argv0.substr(slash + 1);
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
+        man.args.push_back(arg);
         if (arg == "--full") {
             options.full = true;
         } else if (arg == "--csv") {
             options.csv = true;
+        } else if (arg == "--json") {
+            if (i + 1 >= argc) {
+                std::cerr << "--json requires a file path\n";
+                std::exit(2);
+            }
+            options.jsonPath = argv[++i];
+            man.args.push_back(options.jsonPath);
         } else if (arg == "--help" || arg == "-h") {
-            std::cout << "usage: " << argv[0] << " [--full] [--csv]\n"
-                      << "  --full  paper-scale parameters (slower)\n"
-                      << "  --csv   also emit CSV\n";
+            std::cout << "usage: " << argv[0]
+                      << " [--full] [--csv] [--json <path>]\n"
+                      << "  --full         paper-scale parameters (slower)\n"
+                      << "  --csv          also emit CSV\n"
+                      << "  --json <path>  write a machine-readable run\n"
+                      << "                 manifest (enables metrics)\n";
             std::exit(0);
         } else {
             std::cerr << "unknown option '" << arg << "'\n";
             std::exit(2);
         }
     }
+    // The manifest embeds a metrics snapshot; make sure there is one.
+    if (!options.jsonPath.empty())
+        obs::setMetricsEnabled(true);
     return options;
 }
 
@@ -39,6 +73,7 @@ testbedCluster()
     config.serverLinkGbps = 100.0;
     config.torPatGbps = 400.0;
     config.rtt = 50e-6;
+    manifest().addCluster("testbed", config);
     return config;
 }
 
@@ -53,6 +88,7 @@ simulatorCluster()
     config.oversubscription = 1.0;
     config.torPatGbps = 1000.0; // 1 Tbps, the paper's default
     config.rtt = 50e-6;
+    manifest().addCluster("simulator", config);
     return config;
 }
 
@@ -103,6 +139,8 @@ printHeader(const std::string &title, const std::string &paper_ref,
               << "Expected shape:  " << expectation << "\n"
               << "==========================================================="
                  "=====================\n";
+    if (manifest().title.empty())
+        manifest().title = title;
 }
 
 void
@@ -114,6 +152,11 @@ emit(const Table &table, const Options &options)
         table.printCsv(std::cout);
     }
     std::cout << "\n";
+    // Accumulate every emitted table; rewrite the manifest each time so
+    // a partial file still exists if a later stage aborts.
+    manifest().tables.push_back(table);
+    if (!options.jsonPath.empty())
+        obs::writeRunManifest(options.jsonPath, manifest());
 }
 
 std::vector<std::string>
@@ -157,6 +200,7 @@ runFigure7Matrix(const Options &options)
                 const std::uint64_t trace_seed =
                     7 + 13 * static_cast<std::uint64_t>(dist) +
                     101 * static_cast<std::uint64_t>(seed);
+                manifest().addSeed(testbed ? trace_seed : trace_seed + 4);
                 const JobTrace trace =
                     testbed ? testbedTrace(dist, testbed_jobs, trace_seed)
                             : simulatorTrace(dist, simulator_jobs,
@@ -167,6 +211,9 @@ runFigure7Matrix(const Options &options)
                 for (const std::string &placer : matrix.placers) {
                     config.placer = placer;
                     runs.emplace(placer, runExperiment(config, trace));
+                    recordRun(trace_name + "|" + platform + "|" + placer +
+                                  "|seed" + std::to_string(seed),
+                              runs.at(placer));
                 }
                 const double ref_jct = runs.at("NetPack").avgJct();
                 const double ref_de = runs.at("NetPack").avgDe();

@@ -4,8 +4,9 @@
  * canonical cluster configurations (the 5-server testbed stand-in and
  * the paper's default 16-rack simulator cluster), trace builders sized
  * for each, and uniform banner/CSV output. Every bench accepts
- * `--full` (paper-scale parameters; slower) and `--csv` (machine-
- * readable output in addition to the table).
+ * `--full` (paper-scale parameters; slower), `--csv` (machine-
+ * readable output in addition to the table), and `--json <path>`
+ * (write a run manifest — see docs/observability.md).
  */
 
 #ifndef NETPACK_BENCH_BENCH_UTIL_H
@@ -17,6 +18,7 @@
 #include "common/strings.h"
 #include "common/table.h"
 #include "core/experiment.h"
+#include "obs/run_manifest.h"
 #include "workload/trace_gen.h"
 
 namespace netpack {
@@ -29,10 +31,18 @@ struct Options
     bool full = false;
     /** Also emit CSV after the human-readable table. */
     bool csv = false;
+    /** When non-empty, write a run manifest here (enables metrics). */
+    std::string jsonPath;
 };
 
-/** Parse --full / --csv; exits with a usage message on anything else. */
+/** Parse --full / --csv / --json; exits with usage on anything else. */
 Options parseOptions(int argc, char **argv);
+
+/** The process-wide manifest the bench scaffolding populates. */
+obs::RunManifest &manifest();
+
+/** Record one simulated run in the manifest under @p label. */
+void recordRun(const std::string &label, const RunMetrics &metrics);
 
 /**
  * The testbed stand-in (paper Section 6.1): five 2-GPU servers under a

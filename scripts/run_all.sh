@@ -15,14 +15,17 @@ ctest --test-dir build --output-on-failure | tee test_output.txt
 {
     for b in build/bench/*; do
         if [ -f "$b" ] && [ -x "$b" ]; then
-            echo "################ $(basename "$b")"
-            case "$(basename "$b")" in
+            name="$(basename "$b")"
+            echo "################ ${name}"
+            case "${name}" in
               bench_micro) "$b" ;; # google-benchmark: own flag parser
+              # Every figure bench leaves a machine-readable manifest
+              # (BENCH_fig07_jct.json, ...) next to bench_output.txt.
               # shellcheck disable=SC2086
-              *) "$b" ${FULL_FLAG} ;;
+              *) "$b" ${FULL_FLAG} --json "BENCH_${name#bench_}.json" ;;
             esac
         fi
     done
 } 2>&1 | tee bench_output.txt
 
-echo "done: see test_output.txt and bench_output.txt"
+echo "done: see test_output.txt, bench_output.txt, and BENCH_*.json"

@@ -1,13 +1,49 @@
 #include "common/log.h"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
 #include <iostream>
 
 namespace netpack {
 
 namespace {
 
-std::atomic<LogLevel> g_level{LogLevel::Warn};
+/** Case-insensitive parse of NETPACK_LOG_LEVEL; unknown values keep the
+ * default so a typo cannot silence errors. */
+LogLevel
+parseLevel(const char *value, LogLevel fallback)
+{
+    if (value == nullptr || value[0] == '\0')
+        return fallback;
+    std::string name;
+    for (const char *p = value; *p != '\0'; ++p)
+        name += static_cast<char>(std::tolower(
+            static_cast<unsigned char>(*p)));
+    if (name == "debug")
+        return LogLevel::Debug;
+    if (name == "info")
+        return LogLevel::Info;
+    if (name == "warn" || name == "warning")
+        return LogLevel::Warn;
+    if (name == "error")
+        return LogLevel::Error;
+    if (name == "off" || name == "none")
+        return LogLevel::Off;
+    return fallback;
+}
+
+/** The threshold, seeded from the environment on first use. */
+std::atomic<LogLevel> &
+levelSlot()
+{
+    static std::atomic<LogLevel> level{
+        parseLevel(std::getenv("NETPACK_LOG_LEVEL"), LogLevel::Warn)};
+    return level;
+}
 
 const char *
 levelName(LogLevel level)
@@ -22,18 +58,40 @@ levelName(LogLevel level)
     return "?";
 }
 
+/** UTC wall-clock "2026-08-07T12:34:56.789Z". */
+std::string
+timestamp()
+{
+    const auto now = std::chrono::system_clock::now();
+    const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+    const auto millis =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            now.time_since_epoch())
+            .count() %
+        1000;
+    std::tm tm{};
+    gmtime_r(&secs, &tm);
+    char buf[80];
+    std::snprintf(buf, sizeof(buf),
+                  "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                  tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday,
+                  tm.tm_hour, tm.tm_min, tm.tm_sec,
+                  static_cast<int>(millis));
+    return buf;
+}
+
 } // namespace
 
 LogLevel
 Log::level()
 {
-    return g_level.load(std::memory_order_relaxed);
+    return levelSlot().load(std::memory_order_relaxed);
 }
 
 void
 Log::setLevel(LogLevel level)
 {
-    g_level.store(level, std::memory_order_relaxed);
+    levelSlot().store(level, std::memory_order_relaxed);
 }
 
 void
@@ -41,7 +99,20 @@ Log::write(LogLevel level, const std::string &msg)
 {
     if (level < Log::level())
         return;
-    std::cerr << "[netpack " << levelName(level) << "] " << msg << "\n";
+    // Assemble the whole record first and emit it with one write so
+    // concurrent benches cannot interleave fragments of two records.
+    std::string record;
+    record.reserve(msg.size() + 48);
+    record += "[netpack ";
+    record += timestamp();
+    record += ' ';
+    record += levelName(level);
+    record += "] ";
+    record += msg;
+    record += '\n';
+    std::cerr.write(record.data(),
+                    static_cast<std::streamsize>(record.size()));
+    std::cerr.flush();
 }
 
 } // namespace netpack

@@ -23,7 +23,12 @@ enum class LogLevel
     Off = 4,
 };
 
-/** Process-wide log configuration and sink. */
+/**
+ * Process-wide log configuration and sink. The threshold defaults to
+ * Warn and is seeded from the NETPACK_LOG_LEVEL environment variable
+ * (debug|info|warn|error|off, case-insensitive) on first use; setLevel
+ * overrides it programmatically.
+ */
 class Log
 {
   public:
@@ -33,7 +38,12 @@ class Log
     /** Set the threshold (e.g. LogLevel::Off in benchmarks). */
     static void setLevel(LogLevel level);
 
-    /** Emit one record (used by the NETPACK_LOG macro). */
+    /**
+     * Emit one record (used by the NETPACK_LOG macro): a UTC wall-clock
+     * timestamp and the level, assembled into a single string and
+     * written to stderr in one call so records from concurrent benches
+     * never interleave.
+     */
     static void write(LogLevel level, const std::string &msg);
 };
 

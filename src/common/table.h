@@ -31,6 +31,15 @@ class Table
     /** Number of data rows. */
     std::size_t rowCount() const { return rows_.size(); }
 
+    /** Column headers (machine-readable export). */
+    const std::vector<std::string> &headers() const { return headers_; }
+
+    /** Data rows (machine-readable export). */
+    const std::vector<std::vector<std::string>> &rows() const
+    {
+        return rows_;
+    }
+
     /** Render as an aligned ASCII table. */
     void print(std::ostream &os) const;
 

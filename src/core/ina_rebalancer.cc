@@ -1,6 +1,8 @@
 #include "core/ina_rebalancer.h"
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace netpack {
 
@@ -24,9 +26,15 @@ InaRebalancer::rebalance(PlacementContext &ctx,
 {
     NETPACK_CHECK_MSG(&ctx.topology() == topo_,
                       "rebalancer and context disagree on the topology");
+    NETPACK_SPAN(span, "rebalance.pass");
     RebalanceOutcome outcome;
     std::vector<PlacedJob> running = ctx.running();
+    span.arg("running", running.size());
     outcome.assignment = assignSelectiveIna(*topo_, running, {}, volume_of);
+    NETPACK_COUNT("rebalance.passes", 1);
+    NETPACK_COUNT("rebalance.jobs_changed",
+                  outcome.assignment.jobsChanged);
+    span.arg("jobs_changed", outcome.assignment.jobsChanged);
     if (outcome.assignment.jobsChanged == 0)
         return outcome;
     for (PlacedJob &job : running) {

@@ -7,6 +7,8 @@
 
 #include "common/check.h"
 #include "common/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace netpack {
 
@@ -284,6 +286,7 @@ PlacementContext::steadyState()
 {
     if (!dirty()) {
         ++stats_.cacheHits;
+        NETPACK_COUNT("waterfill.cache_hits", 1);
         return cached_;
     }
     const ResourceDelta delta = takeDelta();
@@ -314,10 +317,18 @@ WaterFillingEstimator::reestimate(PlacementContext &ctx,
 {
     if (delta.structural) {
         ++ctx.stats_.fullEstimates;
+        NETPACK_COUNT("waterfill.full_fallbacks", 1);
+        NETPACK_SPAN(span, "waterfill.full_estimate");
+        span.arg("jobs", ctx.jobs_.size());
         return estimate(ctx.allShards());
     }
     if (delta.dirtyLinks.empty() && delta.dirtyRacks.empty())
         return ctx.cached_;
+
+    NETPACK_HISTOGRAM("waterfill.dirty_links", obs::kPow2Buckets,
+                      delta.dirtyLinks.size());
+    NETPACK_HISTOGRAM("waterfill.dirty_racks", obs::kPow2Buckets,
+                      delta.dirtyRacks.size());
 
     // Closure: grow the dirty link/rack seed into the full resource-
     // connected component. Any job touching an affected link (bandwidth
@@ -367,11 +378,22 @@ WaterFillingEstimator::reestimate(PlacementContext &ctx,
     if (affected.size() == ctx.jobs_.size()) {
         // The perturbation reaches every job; incremental buys nothing.
         ++ctx.stats_.fullEstimates;
+        NETPACK_COUNT("waterfill.full_fallbacks", 1);
+        NETPACK_SPAN(span, "waterfill.full_estimate");
+        span.arg("jobs", ctx.jobs_.size());
         merged = estimate(ctx.allShards());
     } else {
         // Re-converge the component in isolation. Its links and racks
         // start from full capacity: by closure, no retained job touches
         // them, so the component owns those resources outright.
+        NETPACK_COUNT("waterfill.incremental_hits", 1);
+        NETPACK_COUNT("waterfill.jobs_reconverged",
+                      static_cast<std::int64_t>(affected.size()));
+        NETPACK_HISTOGRAM("waterfill.component_jobs", obs::kPow2Buckets,
+                          affected.size());
+        NETPACK_SPAN(span, "waterfill.incremental_estimate");
+        span.arg("component_jobs", affected.size());
+        span.arg("total_jobs", ctx.jobs_.size());
         std::vector<JobHierarchy *> shards;
         for (JobId id : affected) {
             for (JobHierarchy &shard : ctx.jobs_.at(id).shards)

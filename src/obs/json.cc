@@ -1,0 +1,175 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace netpack {
+namespace obs {
+
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+JsonWriter::JsonWriter(std::ostream &os, int indent)
+    : os_(&os), indent_(indent)
+{
+}
+
+void
+JsonWriter::newlineIndent()
+{
+    if (indent_ <= 0)
+        return;
+    *os_ << '\n';
+    for (std::size_t i = 0; i < hasValue_.size(); ++i) {
+        for (int s = 0; s < indent_; ++s)
+            *os_ << ' ';
+    }
+}
+
+void
+JsonWriter::beforeValue()
+{
+    if (pendingKey_) {
+        pendingKey_ = false;
+        return; // the key already placed the comma and indentation
+    }
+    if (!hasValue_.empty()) {
+        if (hasValue_.back())
+            *os_ << ',';
+        hasValue_.back() = true;
+        newlineIndent();
+    }
+}
+
+void
+JsonWriter::open(char c)
+{
+    beforeValue();
+    *os_ << c;
+    hasValue_.push_back(false);
+}
+
+void
+JsonWriter::close(char c)
+{
+    NETPACK_CHECK_MSG(!hasValue_.empty(),
+                      "JsonWriter: unbalanced end call");
+    const bool had_values = hasValue_.back();
+    hasValue_.pop_back();
+    if (had_values)
+        newlineIndent();
+    *os_ << c;
+    if (hasValue_.empty() && indent_ > 0)
+        *os_ << '\n';
+}
+
+void
+JsonWriter::beginObject()
+{
+    open('{');
+}
+
+void
+JsonWriter::endObject()
+{
+    close('}');
+}
+
+void
+JsonWriter::beginArray()
+{
+    open('[');
+}
+
+void
+JsonWriter::endArray()
+{
+    close(']');
+}
+
+void
+JsonWriter::key(std::string_view name)
+{
+    NETPACK_CHECK_MSG(!hasValue_.empty() && !pendingKey_,
+                      "JsonWriter: key() outside an object");
+    if (hasValue_.back())
+        *os_ << ',';
+    hasValue_.back() = true;
+    newlineIndent();
+    *os_ << '"' << jsonEscape(name) << "\":";
+    if (indent_ > 0)
+        *os_ << ' ';
+    pendingKey_ = true;
+}
+
+void
+JsonWriter::value(std::string_view s)
+{
+    beforeValue();
+    *os_ << '"' << jsonEscape(s) << '"';
+}
+
+void
+JsonWriter::value(bool b)
+{
+    beforeValue();
+    *os_ << (b ? "true" : "false");
+}
+
+void
+JsonWriter::value(std::int64_t n)
+{
+    beforeValue();
+    *os_ << n;
+}
+
+void
+JsonWriter::value(std::uint64_t n)
+{
+    beforeValue();
+    *os_ << n;
+}
+
+void
+JsonWriter::value(double x)
+{
+    beforeValue();
+    if (!std::isfinite(x)) {
+        *os_ << '"' << (std::isnan(x) ? "nan" : (x > 0 ? "inf" : "-inf"))
+             << '"';
+        return;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", x);
+    *os_ << buf;
+}
+
+} // namespace obs
+} // namespace netpack

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Minimal streaming JSON emitter used by the observability layer (trace
+ * files, metrics dumps, run manifests). Handles escaping, indentation,
+ * and comma placement; the caller is responsible for balanced
+ * begin/end calls (checked at destruction in debug builds via
+ * NETPACK_CHECK).
+ */
+
+#ifndef NETPACK_OBS_JSON_H
+#define NETPACK_OBS_JSON_H
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace netpack {
+namespace obs {
+
+/** Escape @p s for inclusion inside a JSON string literal (no quotes). */
+std::string jsonEscape(std::string_view s);
+
+/**
+ * Streaming writer for one JSON document. Usage:
+ *
+ *   JsonWriter json(os);
+ *   json.beginObject();
+ *   json.key("jobs"); json.value(42);
+ *   json.key("rates"); json.beginArray(); json.value(1.5); json.endArray();
+ *   json.endObject();
+ */
+class JsonWriter
+{
+  public:
+    /** @param indent spaces per nesting level; 0 = compact single line */
+    explicit JsonWriter(std::ostream &os, int indent = 2);
+
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+
+    /** Emit an object key; must be inside an object, before its value. */
+    void key(std::string_view name);
+
+    void value(std::string_view s);
+    void value(const char *s) { value(std::string_view(s)); }
+    void value(bool b);
+    void value(std::int64_t n);
+    void value(std::uint64_t n);
+    void value(int n) { value(static_cast<std::int64_t>(n)); }
+    void value(long long n) { value(static_cast<std::int64_t>(n)); }
+    void value(unsigned n) { value(static_cast<std::uint64_t>(n)); }
+    void value(unsigned long long n)
+    {
+        value(static_cast<std::uint64_t>(n));
+    }
+    /** Non-finite doubles (JSON has no inf/nan) are emitted as strings. */
+    void value(double x);
+
+    /** key() + value() in one call. */
+    template <typename T>
+    void kv(std::string_view name, const T &v)
+    {
+        key(name);
+        value(v);
+    }
+
+  private:
+    void beforeValue();
+    void newlineIndent();
+    void open(char c);
+    void close(char c);
+
+    std::ostream *os_;
+    int indent_;
+    /** One frame per open object/array: whether a value was emitted. */
+    std::vector<bool> hasValue_;
+    bool pendingKey_ = false;
+};
+
+} // namespace obs
+} // namespace netpack
+
+#endif // NETPACK_OBS_JSON_H

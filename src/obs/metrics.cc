@@ -1,0 +1,246 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+
+#include "common/check.h"
+#include "common/log.h"
+#include "obs/json.h"
+
+namespace netpack {
+namespace obs {
+
+namespace detail {
+
+bool g_metricsEnabled = [] {
+    const char *path = std::getenv("NETPACK_METRICS");
+    return path != nullptr && path[0] != '\0';
+}();
+
+} // namespace detail
+
+namespace {
+
+/** Writes the NETPACK_METRICS snapshot file at process exit. */
+struct ExitDumper
+{
+    std::string path;
+
+    ExitDumper()
+    {
+        // Pin the registry's construction before ours so it is still
+        // alive when our destructor snapshots it.
+        Registry::instance();
+        const char *env = std::getenv("NETPACK_METRICS");
+        if (env != nullptr && env[0] != '\0')
+            path = env;
+    }
+
+    ~ExitDumper()
+    {
+        if (!path.empty())
+            writeMetricsFile(path, snapshot());
+    }
+};
+
+ExitDumper &
+exitDumper()
+{
+    static ExitDumper dumper;
+    return dumper;
+}
+
+} // namespace
+
+const std::vector<double> kPow2Buckets = {1,  2,   4,   8,   16, 32,
+                                          64, 128, 256, 512, 1024};
+
+void
+setMetricsEnabled(bool on)
+{
+    detail::g_metricsEnabled = on;
+    if (on)
+        exitDumper(); // arm the exit dump when NETPACK_METRICS is set
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1)
+{
+    NETPACK_REQUIRE(!bounds_.empty(), "histogram needs at least one bound");
+    NETPACK_REQUIRE(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                        std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                            bounds_.end(),
+                    "histogram bounds must be strictly increasing");
+}
+
+void
+Histogram::record(double x)
+{
+    const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+    const auto bucket =
+        static_cast<std::size_t>(std::distance(bounds_.begin(), it));
+    counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+    total_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(x, std::memory_order_relaxed);
+}
+
+std::vector<std::int64_t>
+Histogram::counts() const
+{
+    std::vector<std::int64_t> out;
+    out.reserve(counts_.size());
+    for (const auto &c : counts_)
+        out.push_back(c.load(std::memory_order_relaxed));
+    return out;
+}
+
+Registry &
+Registry::instance()
+{
+    static Registry registry;
+    return registry;
+}
+
+Counter &
+Registry::counter(const std::string &name)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot.reset(new Counter());
+    return *slot;
+}
+
+Gauge &
+Registry::gauge(const std::string &name)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot.reset(new Gauge());
+    return *slot;
+}
+
+Histogram &
+Registry::histogram(const std::string &name,
+                    const std::vector<double> &bounds)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot.reset(new Histogram(bounds));
+    return *slot;
+}
+
+MetricsSnapshot
+Registry::snapshot() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    MetricsSnapshot snap;
+    for (const auto &[name, counter] : counters_)
+        snap.counters[name] = counter->value();
+    for (const auto &[name, gauge] : gauges_)
+        snap.gauges[name] = gauge->value();
+    for (const auto &[name, histogram] : histograms_) {
+        MetricsSnapshot::HistogramData data;
+        data.bounds = histogram->bounds();
+        data.counts = histogram->counts();
+        data.total = histogram->total();
+        data.sum = histogram->sum();
+        snap.histograms[name] = std::move(data);
+    }
+    return snap;
+}
+
+void
+Registry::reset()
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &[name, counter] : counters_)
+        counter->value_.store(0, std::memory_order_relaxed);
+    for (auto &[name, gauge] : gauges_)
+        gauge->value_.store(0.0, std::memory_order_relaxed);
+    for (auto &[name, histogram] : histograms_) {
+        for (auto &c : histogram->counts_)
+            c.store(0, std::memory_order_relaxed);
+        histogram->total_.store(0, std::memory_order_relaxed);
+        histogram->sum_.store(0.0, std::memory_order_relaxed);
+    }
+}
+
+Counter &
+counter(const std::string &name)
+{
+    return Registry::instance().counter(name);
+}
+
+Gauge &
+gauge(const std::string &name)
+{
+    return Registry::instance().gauge(name);
+}
+
+Histogram &
+histogram(const std::string &name, const std::vector<double> &bounds)
+{
+    return Registry::instance().histogram(name, bounds);
+}
+
+MetricsSnapshot
+snapshot()
+{
+    return Registry::instance().snapshot();
+}
+
+void
+writeSnapshotJson(JsonWriter &json, const MetricsSnapshot &snap)
+{
+    json.beginObject();
+    json.key("counters");
+    json.beginObject();
+    for (const auto &[name, value] : snap.counters)
+        json.kv(name, value);
+    json.endObject();
+    json.key("gauges");
+    json.beginObject();
+    for (const auto &[name, value] : snap.gauges)
+        json.kv(name, value);
+    json.endObject();
+    json.key("histograms");
+    json.beginObject();
+    for (const auto &[name, data] : snap.histograms) {
+        json.key(name);
+        json.beginObject();
+        json.key("bounds");
+        json.beginArray();
+        for (const double b : data.bounds)
+            json.value(b);
+        json.endArray();
+        json.key("counts");
+        json.beginArray();
+        for (const std::int64_t c : data.counts)
+            json.value(c);
+        json.endArray();
+        json.kv("total", data.total);
+        json.kv("sum", data.sum);
+        json.endObject();
+    }
+    json.endObject();
+    json.endObject();
+}
+
+void
+writeMetricsFile(const std::string &path, const MetricsSnapshot &snap)
+{
+    std::ofstream out(path);
+    if (!out) {
+        NETPACK_LOG(Error, "cannot write metrics file '" << path << "'");
+        return;
+    }
+    JsonWriter json(out);
+    writeSnapshotJson(json, snap);
+}
+
+} // namespace obs
+} // namespace netpack

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Process-wide metrics registry: named counters, gauges, and fixed-bucket
+ * histograms with a snapshot API. Recording is thread-safe (atomics) and
+ * zero-overhead when disabled — every call site first reads a plain bool
+ * (no atomic, no lock) and bails out.
+ *
+ * Enablement: metrics are on when the NETPACK_METRICS environment
+ * variable is set (its value is a file path that receives a JSON
+ * snapshot at process exit) or after an explicit setMetricsEnabled(true)
+ * (the bench harness does this for --json). Instrument hot paths with
+ * the macros so the disabled path stays a single branch:
+ *
+ *   NETPACK_COUNT("waterfill.incremental_hits", 1);
+ *   NETPACK_GAUGE("sim.queue_depth", pending.size());
+ *   NETPACK_HISTOGRAM("waterfill.iterations", obs::kPow2Buckets, rounds);
+ *
+ * Naming convention: dot-separated `<subsystem>.<metric>` — see
+ * docs/observability.md.
+ */
+
+#ifndef NETPACK_OBS_METRICS_H
+#define NETPACK_OBS_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace netpack {
+namespace obs {
+
+namespace detail {
+/** Plain bool by design: read per call site without atomic traffic.
+ * Configure at startup (env) or before spawning threads. */
+extern bool g_metricsEnabled;
+} // namespace detail
+
+/** Whether metric recording is active. */
+inline bool
+metricsEnabled()
+{
+    return detail::g_metricsEnabled;
+}
+
+/** Turn recording on/off (tests, bench --json). Not thread-safe; call
+ * before concurrent recording starts. */
+void setMetricsEnabled(bool on);
+
+/** Monotonically increasing named count. */
+class Counter
+{
+  public:
+    /** Add @p n (recording gate is the caller's NETPACK_COUNT macro). */
+    void add(std::int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+
+    std::int64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    friend class Registry;
+    Counter() = default;
+    std::atomic<std::int64_t> value_{0};
+};
+
+/** Last-write-wins named value. */
+class Gauge
+{
+  public:
+    void set(double x) { value_.store(x, std::memory_order_relaxed); }
+
+    double value() const { return value_.load(std::memory_order_relaxed); }
+
+  private:
+    friend class Registry;
+    Gauge() = default;
+    std::atomic<double> value_{0.0};
+};
+
+/**
+ * Fixed-bucket histogram. Bucket i counts observations x with
+ * bounds[i-1] < x <= bounds[i]; one extra overflow bucket counts
+ * x > bounds.back(). Bounds are fixed at first registration.
+ */
+class Histogram
+{
+  public:
+    void record(double x);
+
+    const std::vector<double> &bounds() const { return bounds_; }
+
+    /** Per-bucket counts; size() == bounds().size() + 1 (overflow last). */
+    std::vector<std::int64_t> counts() const;
+
+    std::int64_t total() const
+    {
+        return total_.load(std::memory_order_relaxed);
+    }
+
+    double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  private:
+    friend class Registry;
+    explicit Histogram(std::vector<double> bounds);
+
+    std::vector<double> bounds_;
+    std::vector<std::atomic<std::int64_t>> counts_;
+    std::atomic<std::int64_t> total_{0};
+    std::atomic<double> sum_{0.0};
+};
+
+/** Point-in-time copy of every registered metric. */
+struct MetricsSnapshot
+{
+    struct HistogramData
+    {
+        std::vector<double> bounds;
+        /** bounds.size() + 1 entries; the last is the overflow bucket. */
+        std::vector<std::int64_t> counts;
+        std::int64_t total = 0;
+        double sum = 0.0;
+    };
+
+    std::map<std::string, std::int64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, HistogramData> histograms;
+};
+
+/** The process-wide registry. Registration takes a mutex; recording on
+ * the returned references is lock-free. */
+class Registry
+{
+  public:
+    static Registry &instance();
+
+    /** Find-or-create; the reference stays valid for the process life. */
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+
+    /** Find-or-create; @p bounds must be strictly increasing and are
+     * fixed by the first registration (later calls ignore theirs). */
+    Histogram &histogram(const std::string &name,
+                         const std::vector<double> &bounds);
+
+    MetricsSnapshot snapshot() const;
+
+    /** Zero every value, keeping registrations (test isolation). */
+    void reset();
+
+  private:
+    Registry() = default;
+
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/** Shorthands for Registry::instance().x(). */
+Counter &counter(const std::string &name);
+Gauge &gauge(const std::string &name);
+Histogram &histogram(const std::string &name,
+                     const std::vector<double> &bounds);
+MetricsSnapshot snapshot();
+
+class JsonWriter;
+
+/** Write @p snap as JSON to @p path (the NETPACK_METRICS exit format). */
+void writeMetricsFile(const std::string &path, const MetricsSnapshot &snap);
+
+/** Emit @p snap as one JSON object into an in-flight document. */
+void writeSnapshotJson(JsonWriter &json, const MetricsSnapshot &snap);
+
+/** Power-of-two bucket bounds 1, 2, 4, ... 1024 (iteration counts,
+ * component sizes). */
+extern const std::vector<double> kPow2Buckets;
+
+} // namespace obs
+} // namespace netpack
+
+/** Increment counter @p name by @p n; single-branch no-op when disabled. */
+#define NETPACK_COUNT(name, n)                                              \
+    do {                                                                    \
+        if (::netpack::obs::metricsEnabled()) {                             \
+            static ::netpack::obs::Counter &netpack_obs_c_ =                \
+                ::netpack::obs::counter(name);                              \
+            netpack_obs_c_.add(n);                                          \
+        }                                                                   \
+    } while (0)
+
+/** Set gauge @p name to @p x; single-branch no-op when disabled. */
+#define NETPACK_GAUGE(name, x)                                              \
+    do {                                                                    \
+        if (::netpack::obs::metricsEnabled()) {                             \
+            static ::netpack::obs::Gauge &netpack_obs_g_ =                  \
+                ::netpack::obs::gauge(name);                                \
+            netpack_obs_g_.set(static_cast<double>(x));                     \
+        }                                                                   \
+    } while (0)
+
+/** Record @p x into histogram @p name with @p bounds (first call wins). */
+#define NETPACK_HISTOGRAM(name, bounds, x)                                  \
+    do {                                                                    \
+        if (::netpack::obs::metricsEnabled()) {                             \
+            static ::netpack::obs::Histogram &netpack_obs_h_ =              \
+                ::netpack::obs::histogram(name, bounds);                    \
+            netpack_obs_h_.record(static_cast<double>(x));                  \
+        }                                                                   \
+    } while (0)
+
+#endif // NETPACK_OBS_METRICS_H

@@ -1,0 +1,183 @@
+#include "obs/run_manifest.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+
+#include "common/log.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace netpack {
+namespace obs {
+
+RunSummary
+RunSummary::fromMetrics(const std::string &label, const RunMetrics &metrics)
+{
+    RunSummary summary;
+    summary.label = label;
+    summary.jobs = metrics.records.size();
+    summary.avgJct = metrics.avgJct();
+    if (!metrics.records.empty()) {
+        const SampleSet jct = metrics.jctSamples();
+        summary.p50Jct = jct.percentile(50.0);
+        summary.p99Jct = jct.percentile(99.0);
+    }
+    summary.avgDe = metrics.avgDe();
+    summary.makespan = metrics.makespan;
+    summary.placementSeconds = metrics.placementSeconds;
+    summary.placementRounds = metrics.placementRounds;
+    summary.avgGpuUtilization = metrics.avgGpuUtilization;
+    summary.avgFragmentation = metrics.avgFragmentation;
+    summary.jobRestarts = metrics.jobRestarts;
+    return summary;
+}
+
+void
+RunManifest::addCluster(const std::string &name, const ClusterConfig &config)
+{
+    const auto it = std::find_if(clusters.begin(), clusters.end(),
+                                 [&](const auto &entry) {
+                                     return entry.first == name;
+                                 });
+    if (it == clusters.end())
+        clusters.emplace_back(name, config);
+}
+
+void
+RunManifest::addSeed(std::uint64_t seed)
+{
+    if (std::find(seeds.begin(), seeds.end(), seed) == seeds.end())
+        seeds.push_back(seed);
+}
+
+void
+RunManifest::addRun(const std::string &label, const RunMetrics &metrics)
+{
+    runs.push_back(RunSummary::fromMetrics(label, metrics));
+}
+
+namespace {
+
+void
+writeCluster(JsonWriter &json, const ClusterConfig &config)
+{
+    json.beginObject();
+    json.kv("num_racks", config.numRacks);
+    json.kv("servers_per_rack", config.serversPerRack);
+    json.kv("gpus_per_server", config.gpusPerServer);
+    json.kv("server_link_gbps", config.serverLinkGbps);
+    json.kv("oversubscription", config.oversubscription);
+    json.kv("tor_pat_gbps", config.torPatGbps);
+    json.kv("rtt_seconds", config.rtt);
+    json.kv("racks_per_pod", config.racksPerPod);
+    json.kv("pod_oversubscription", config.podOversubscription);
+    json.endObject();
+}
+
+void
+writeEnvEntry(JsonWriter &json, const char *name)
+{
+    const char *value = std::getenv(name);
+    json.key(name);
+    if (value == nullptr)
+        json.value(false);
+    else
+        json.value(std::string_view(value));
+}
+
+} // namespace
+
+void
+writeRunManifest(const std::string &path, const RunManifest &manifest)
+{
+    std::ofstream out(path);
+    if (!out) {
+        NETPACK_LOG(Error, "cannot write run manifest '" << path << "'");
+        return;
+    }
+
+    JsonWriter json(out);
+    json.beginObject();
+    json.kv("schema", manifest.schema);
+    json.kv("bench", manifest.bench);
+    json.kv("title", manifest.title);
+
+    json.key("args");
+    json.beginArray();
+    for (const std::string &arg : manifest.args)
+        json.value(arg);
+    json.endArray();
+
+    json.key("env");
+    json.beginObject();
+    writeEnvEntry(json, "NETPACK_TRACE");
+    writeEnvEntry(json, "NETPACK_METRICS");
+    writeEnvEntry(json, "NETPACK_LOG_LEVEL");
+    writeEnvEntry(json, "NETPACK_VERIFY_INCREMENTAL");
+    json.endObject();
+
+    json.key("clusters");
+    json.beginObject();
+    for (const auto &[name, config] : manifest.clusters) {
+        json.key(name);
+        writeCluster(json, config);
+    }
+    json.endObject();
+
+    json.key("seeds");
+    json.beginArray();
+    for (const std::uint64_t seed : manifest.seeds)
+        json.value(static_cast<std::uint64_t>(seed));
+    json.endArray();
+
+    json.key("runs");
+    json.beginArray();
+    for (const RunSummary &run : manifest.runs) {
+        json.beginObject();
+        json.kv("label", run.label);
+        json.kv("jobs", run.jobs);
+        json.kv("avg_jct", run.avgJct);
+        json.kv("p50_jct", run.p50Jct);
+        json.kv("p99_jct", run.p99Jct);
+        json.kv("avg_de", run.avgDe);
+        json.kv("makespan", run.makespan);
+        json.kv("placement_seconds", run.placementSeconds);
+        json.kv("placement_rounds", run.placementRounds);
+        json.kv("avg_gpu_utilization", run.avgGpuUtilization);
+        json.kv("avg_fragmentation", run.avgFragmentation);
+        json.kv("job_restarts", run.jobRestarts);
+        json.endObject();
+    }
+    json.endArray();
+
+    json.key("tables");
+    json.beginArray();
+    for (const Table &table : manifest.tables) {
+        json.beginObject();
+        json.key("headers");
+        json.beginArray();
+        for (const std::string &header : table.headers())
+            json.value(header);
+        json.endArray();
+        json.key("rows");
+        json.beginArray();
+        for (const auto &row : table.rows()) {
+            json.beginArray();
+            for (const std::string &cell : row)
+                json.value(cell);
+            json.endArray();
+        }
+        json.endArray();
+        json.endObject();
+    }
+    json.endArray();
+
+    json.key("metrics");
+    writeSnapshotJson(json, snapshot());
+
+    json.endObject();
+}
+
+} // namespace obs
+} // namespace netpack

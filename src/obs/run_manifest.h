@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Machine-readable per-run manifest: everything needed to interpret a
+ * bench run after the fact — the cluster configurations used, the trace
+ * seeds, per-run RunMetrics summaries, the emitted result tables, and a
+ * full snapshot of the obs metrics registry. The bench harness
+ * (bench_util) populates one process-wide manifest and writes it when
+ * --json <path> is passed, so every figure bench leaves a BENCH_*.json
+ * trail. Schema: docs/observability.md.
+ */
+
+#ifndef NETPACK_OBS_RUN_MANIFEST_H
+#define NETPACK_OBS_RUN_MANIFEST_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/table.h"
+#include "sim/metrics.h"
+#include "topology/cluster.h"
+
+namespace netpack {
+namespace obs {
+
+/** Flat summary of one RunMetrics (full per-job records stay in-process). */
+struct RunSummary
+{
+    /** What produced this run, e.g. "Philly|simulator|NetPack|seed0". */
+    std::string label;
+    std::size_t jobs = 0;
+    double avgJct = 0.0;
+    double p50Jct = 0.0;
+    double p99Jct = 0.0;
+    double avgDe = 0.0;
+    double makespan = 0.0;
+    double placementSeconds = 0.0;
+    long long placementRounds = 0;
+    double avgGpuUtilization = 0.0;
+    double avgFragmentation = 0.0;
+    long long jobRestarts = 0;
+
+    static RunSummary fromMetrics(const std::string &label,
+                                  const RunMetrics &metrics);
+};
+
+/** Accumulates a process's run description; written as one JSON file. */
+struct RunManifest
+{
+    /** Manifest schema identifier (bump on breaking changes). */
+    std::string schema = "netpack.run_manifest/1";
+    /** Bench executable name (argv[0] basename). */
+    std::string bench;
+    /** Human title from the bench banner. */
+    std::string title;
+    /** Command-line arguments (argv[1..]). */
+    std::vector<std::string> args;
+    /** Cluster configurations used, keyed by a caller-chosen name. */
+    std::vector<std::pair<std::string, ClusterConfig>> clusters;
+    /** Trace seeds consumed, in first-use order. */
+    std::vector<std::uint64_t> seeds;
+    /** One summary per simulated run. */
+    std::vector<RunSummary> runs;
+    /** Every table the bench emitted. */
+    std::vector<Table> tables;
+
+    /** Record a cluster config once per name (later calls are no-ops). */
+    void addCluster(const std::string &name, const ClusterConfig &config);
+
+    /** Record a seed (duplicates are dropped, order preserved). */
+    void addSeed(std::uint64_t seed);
+
+    /** Record one run's metrics under @p label. */
+    void addRun(const std::string &label, const RunMetrics &metrics);
+};
+
+/**
+ * Write @p manifest to @p path as JSON, embedding the current metrics
+ * registry snapshot and the observability-relevant environment
+ * (NETPACK_TRACE, NETPACK_METRICS, NETPACK_LOG_LEVEL,
+ * NETPACK_VERIFY_INCREMENTAL).
+ */
+void writeRunManifest(const std::string &path, const RunManifest &manifest);
+
+} // namespace obs
+} // namespace netpack
+
+#endif // NETPACK_OBS_RUN_MANIFEST_H

@@ -1,0 +1,220 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+
+#include "common/log.h"
+#include "obs/json.h"
+
+namespace netpack {
+namespace obs {
+
+namespace detail {
+
+bool g_traceEnabled = [] {
+    const char *path = std::getenv("NETPACK_TRACE");
+    return path != nullptr && path[0] != '\0';
+}();
+
+} // namespace detail
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** Microseconds since the tracer's first use. */
+double
+nowMicros()
+{
+    static const Clock::time_point epoch = Clock::now();
+    return std::chrono::duration<double, std::micro>(Clock::now() - epoch)
+        .count();
+}
+
+int
+threadId()
+{
+    static std::atomic<int> next{1};
+    thread_local const int id = next.fetch_add(1);
+    return id;
+}
+
+/** Buffered span store; flushes the configured file at destruction. */
+class TraceWriter
+{
+  public:
+    struct Arg
+    {
+        const char *key = nullptr;
+        bool isInt = false;
+        std::int64_t i = 0;
+        double d = 0.0;
+    };
+
+    static TraceWriter &instance()
+    {
+        static TraceWriter writer;
+        return writer;
+    }
+
+    void setPath(std::string path)
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        path_ = std::move(path);
+    }
+
+    void record(const char *name, double ts_us, double dur_us, int tid,
+                std::vector<Arg> args)
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        events_.push_back(Event{name, ts_us, dur_us, tid, std::move(args)});
+    }
+
+    void clear()
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        events_.clear();
+    }
+
+    std::size_t count() const
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        return events_.size();
+    }
+
+    void flush()
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (path_.empty())
+            return;
+        std::ofstream out(path_);
+        if (!out) {
+            NETPACK_LOG(Error,
+                        "cannot write trace file '" << path_ << "'");
+            return;
+        }
+        // Compact output: trace files hold many events and viewers do
+        // not care about whitespace.
+        JsonWriter json(out, /*indent=*/0);
+        json.beginObject();
+        json.kv("displayTimeUnit", "ms");
+        json.key("traceEvents");
+        json.beginArray();
+        for (const Event &event : events_) {
+            json.beginObject();
+            json.kv("name", event.name);
+            json.kv("cat", "netpack");
+            json.kv("ph", "X");
+            json.kv("ts", event.tsUs);
+            json.kv("dur", event.durUs);
+            json.kv("pid", 1);
+            json.kv("tid", event.tid);
+            if (!event.args.empty()) {
+                json.key("args");
+                json.beginObject();
+                for (const Arg &arg : event.args) {
+                    if (arg.isInt)
+                        json.kv(arg.key, arg.i);
+                    else
+                        json.kv(arg.key, arg.d);
+                }
+                json.endObject();
+            }
+            json.endObject();
+        }
+        json.endArray();
+        json.endObject();
+    }
+
+    ~TraceWriter() { flush(); }
+
+  private:
+    struct Event
+    {
+        const char *name;
+        double tsUs;
+        double durUs;
+        int tid;
+        std::vector<Arg> args;
+    };
+
+    TraceWriter()
+    {
+        const char *env = std::getenv("NETPACK_TRACE");
+        if (env != nullptr && env[0] != '\0')
+            path_ = env;
+    }
+
+    mutable std::mutex mutex_;
+    std::string path_;
+    std::vector<Event> events_;
+};
+
+} // namespace
+
+void
+configureTrace(const std::string &path)
+{
+    TraceWriter::instance().setPath(path);
+    detail::g_traceEnabled = !path.empty();
+}
+
+void
+flushTrace()
+{
+    TraceWriter::instance().flush();
+}
+
+void
+clearTrace()
+{
+    TraceWriter::instance().clear();
+}
+
+std::size_t
+traceEventCount()
+{
+    return TraceWriter::instance().count();
+}
+
+void
+ScopedSpan::begin(const char *name)
+{
+    name_ = name;
+    startUs_ = nowMicros();
+    active_ = true;
+}
+
+void
+ScopedSpan::end()
+{
+    const double end_us = nowMicros();
+    std::vector<TraceWriter::Arg> args;
+    args.reserve(args_.size());
+    for (const SpanArg &arg : args_)
+        args.push_back({arg.key, arg.isInt, arg.i, arg.d});
+    TraceWriter::instance().record(name_, startUs_, end_us - startUs_,
+                                   threadId(), std::move(args));
+}
+
+void
+ScopedSpan::arg(const char *key, std::int64_t value)
+{
+    if (!active_)
+        return;
+    args_.push_back({key, true, value, 0.0});
+}
+
+void
+ScopedSpan::arg(const char *key, double value)
+{
+    if (!active_)
+        return;
+    args_.push_back({key, false, 0, value});
+}
+
+} // namespace obs
+} // namespace netpack

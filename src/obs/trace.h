@@ -1,0 +1,113 @@
+/**
+ * @file
+ * RAII scoped-span tracer emitting Chrome trace-event JSON, loadable in
+ * Perfetto (ui.perfetto.dev) or chrome://tracing. Spans buffer in memory
+ * and flush to the file named by the NETPACK_TRACE environment variable
+ * at process exit (or on an explicit flushTrace()).
+ *
+ * Zero-overhead when disabled: the span constructor reads one plain
+ * bool and returns; no clock read, no allocation, no lock.
+ *
+ *   {
+ *       NETPACK_SPAN(span, "placement.batch");
+ *       span.arg("jobs", batch.size());
+ *       ... work ...
+ *   } // span records its duration here
+ *
+ * Span and arg names must be string literals (or otherwise outlive the
+ * process): the tracer stores the pointers, not copies.
+ */
+
+#ifndef NETPACK_OBS_TRACE_H
+#define NETPACK_OBS_TRACE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace netpack {
+namespace obs {
+
+namespace detail {
+/** Plain bool by design; see metrics.h. */
+extern bool g_traceEnabled;
+} // namespace detail
+
+/** Whether span recording is active. */
+inline bool
+traceEnabled()
+{
+    return detail::g_traceEnabled;
+}
+
+/** Route spans to @p path and enable tracing (tests, tools). Pass an
+ * empty path to disable. Buffered events are kept either way. */
+void configureTrace(const std::string &path);
+
+/** Write all buffered events to the configured file now. Called
+ * automatically at process exit; idempotent (rewrites the full file). */
+void flushTrace();
+
+/** Drop all buffered events (test isolation). */
+void clearTrace();
+
+/** Number of buffered events (diagnostics/tests). */
+std::size_t traceEventCount();
+
+/** One timed scope; emitted as a Chrome "complete" ("ph":"X") event. */
+class ScopedSpan
+{
+  public:
+    /** @param name event name; must be a string literal */
+    explicit ScopedSpan(const char *name)
+    {
+        if (traceEnabled())
+            begin(name);
+    }
+
+    ~ScopedSpan()
+    {
+        if (active_)
+            end();
+    }
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+    /** Attach a key/value to the event (keys must be string literals). */
+    void arg(const char *key, std::int64_t value);
+    void arg(const char *key, double value);
+    void arg(const char *key, int value)
+    {
+        arg(key, static_cast<std::int64_t>(value));
+    }
+    void arg(const char *key, std::size_t value)
+    {
+        arg(key, static_cast<std::int64_t>(value));
+    }
+
+  private:
+    struct SpanArg
+    {
+        const char *key = nullptr;
+        bool isInt = false;
+        std::int64_t i = 0;
+        double d = 0.0;
+    };
+
+    void begin(const char *name);
+    void end();
+
+    const char *name_ = nullptr;
+    double startUs_ = 0.0;
+    bool active_ = false;
+    std::vector<SpanArg> args_;
+};
+
+} // namespace obs
+} // namespace netpack
+
+/** Open a scoped span named @p name bound to local variable @p var. */
+#define NETPACK_SPAN(var, name) ::netpack::obs::ScopedSpan var(name)
+
+#endif // NETPACK_OBS_TRACE_H

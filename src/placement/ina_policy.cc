@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "ina/hierarchy.h"
+#include "obs/trace.h"
 
 namespace netpack {
 
@@ -48,6 +49,8 @@ assignSelectiveIna(const ClusterTopology &topo,
                    const std::vector<PlacedJob> &background,
                    const VolumeLookup &volume_of)
 {
+    NETPACK_SPAN(span, "placement.ina_ae_ranking");
+    span.arg("targets", targets.size());
     InaAssignmentResult result;
 
     // Start every target from INA-on everywhere it has presence.

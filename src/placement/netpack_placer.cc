@@ -6,6 +6,8 @@
 
 #include "common/check.h"
 #include "common/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "placement/ina_policy.h"
 #include "placement/knapsack.h"
 
@@ -37,6 +39,8 @@ NetPackPlacer::placeBatch(const std::vector<JobSpec> &batch,
 {
     NETPACK_CHECK_MSG(&ctx.topology() == &topo,
                       "placement context built for a different topology");
+    NETPACK_SPAN(batch_span, "placement.batch");
+    batch_span.arg("batch", batch.size());
     BatchResult result;
 
     // Step ④ treats the pre-batch jobs as fixed background; snapshot
@@ -48,8 +52,12 @@ NetPackPlacer::placeBatch(const std::vector<JobSpec> &batch,
     items.reserve(batch.size());
     for (const auto &spec : batch)
         items.push_back({spec.gpuDemand, spec.value});
-    const std::vector<std::size_t> chosen =
-        solveKnapsack(items, gpus.totalFreeGpus());
+    std::vector<std::size_t> chosen;
+    {
+        NETPACK_SPAN(span, "placement.knapsack");
+        span.arg("items", items.size());
+        chosen = solveKnapsack(items, gpus.totalFreeGpus());
+    }
 
     std::vector<bool> selected(batch.size(), false);
     for (std::size_t i : chosen)
@@ -80,6 +88,7 @@ NetPackPlacer::placeBatch(const std::vector<JobSpec> &batch,
             gpus.allocate(single, spec->id, spec->gpuDemand);
             result.placed.push_back({spec->id, placement});
             ctx.addJob(spec->id, placement);
+            NETPACK_COUNT("placement.single_server_fastpath", 1);
             continue;
         }
 
@@ -143,6 +152,8 @@ NetPackPlacer::placeBatch(const std::vector<JobSpec> &batch,
 
     // Step ④: shift the INA budget toward jobs that benefit the most.
     if (config_.selectiveIna) {
+        NETPACK_SPAN(span, "placement.selective_ina");
+        span.arg("placed", result.placed.size());
         selectiveInaEnable(result.placed, topo, running, batch);
         // Propagate the final INA assignment into the context (no-op for
         // jobs whose rack set step ④ kept unchanged).
@@ -150,6 +161,13 @@ NetPackPlacer::placeBatch(const std::vector<JobSpec> &batch,
             ctx.updateInaRacks(job.id, job.placement.inaRacks);
     }
 
+    NETPACK_COUNT("placement.batches", 1);
+    NETPACK_COUNT("placement.jobs_placed",
+                  static_cast<std::int64_t>(result.placed.size()));
+    NETPACK_COUNT("placement.jobs_deferred",
+                  static_cast<std::int64_t>(result.deferred.size()));
+    batch_span.arg("placed", result.placed.size());
+    batch_span.arg("deferred", result.deferred.size());
     return result;
 }
 
@@ -160,6 +178,7 @@ NetPackPlacer::workerPlacement(const JobSpec &spec,
                                const SteadyState &steady,
                                RackId restrict_rack, int restrict_pod) const
 {
+    NETPACK_SPAN(span, "placement.worker_dp");
     const int demand = spec.gpuDemand;
     const int per_server = topo.gpusPerServer();
     // The DP takes all-or-none of each server's free GPUs, so it searches
@@ -271,6 +290,8 @@ NetPackPlacer::workerPlacement(const JobSpec &spec,
             plans.push_back(std::move(plan));
         }
     }
+    span.arg("candidates", candidates.size());
+    span.arg("plans", plans.size());
     return plans;
 }
 
@@ -279,6 +300,8 @@ NetPackPlacer::psPlacement(const JobSpec &spec, const ClusterTopology &topo,
                            const std::vector<WorkerPlan> &plans,
                            const SteadyState &steady) const
 {
+    NETPACK_SPAN(span, "placement.ps_scoring");
+    span.arg("plans", plans.size());
     const Gbps c = topo.config().serverLinkGbps;
     const bool oversubscribed =
         topo.config().oversubscription > 1.0 ||

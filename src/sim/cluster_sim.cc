@@ -7,6 +7,8 @@
 
 #include "common/check.h"
 #include "common/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "placement/ina_policy.h"
 
 namespace netpack {
@@ -114,6 +116,38 @@ ClusterSimulator::run(const JobTrace &trace)
                               : 0.0;
     };
 
+    // PAT occupancy per ToR (and cluster-wide), read from the resource
+    // engine's converged view. Only runs with metrics on: the query is
+    // the same incremental re-estimation the next placement round would
+    // pay anyway (results are cached), but it is still extra work at
+    // observation points.
+    const auto recordPatGauges = [&] {
+        if (!obs::metricsEnabled())
+            return;
+        const SteadyState &steady = context_.steadyState();
+        double worst = 0.0, total_used = 0.0, total_pat = 0.0;
+        for (int r = 0; r < topo_->numRacks(); ++r) {
+            const Gbps pat = topo_->torPat(RackId(r));
+            if (pat <= 0.0)
+                continue;
+            const double used = pat - steady.patResidual[static_cast<
+                std::size_t>(r)];
+            const double util = used / pat;
+            worst = std::max(worst, util);
+            total_used += used;
+            total_pat += pat;
+            // Per-ToR series stay bounded: skip them on huge clusters.
+            if (topo_->numRacks() <= 64) {
+                obs::gauge("sim.pat_utilization.rack" +
+                           std::to_string(r))
+                    .set(util);
+            }
+        }
+        NETPACK_GAUGE("sim.pat_utilization.max", worst);
+        NETPACK_GAUGE("sim.pat_utilization.mean",
+                      total_pat > 0.0 ? total_used / total_pat : 0.0);
+    };
+
     const auto retire = [&](JobId id, Seconds finish_time) {
         const auto it = active.find(id);
         NETPACK_CHECK_MSG(it != active.end(),
@@ -129,6 +163,7 @@ ClusterSimulator::run(const JobTrace &trace)
         gpus.releaseJob(id);
         context_.removeJob(id);
         active.erase(it);
+        NETPACK_COUNT("sim.completions", 1);
     };
 
     while (next_arrival < arrivals.size() || !pending.empty() ||
@@ -189,6 +224,7 @@ ClusterSimulator::run(const JobTrace &trace)
                arrivals[next_arrival].submitTime <= now) {
             pending.push_back(arrivals[next_arrival]);
             ++next_arrival;
+            NETPACK_COUNT("sim.arrivals", 1);
         }
 
         // Recoveries: a repaired server's GPUs rejoin the pool.
@@ -252,6 +288,9 @@ ClusterSimulator::run(const JobTrace &trace)
             }
             recoveries.emplace_back(now + failure.downtime,
                                     failure.server.value);
+            NETPACK_COUNT("sim.failures", 1);
+            NETPACK_COUNT("sim.job_restarts",
+                          static_cast<std::int64_t>(victims.size()));
             NETPACK_LOG(Info, "t=" << now << "s server "
                                    << failure.server.value << " failed, "
                                    << victims.size()
@@ -269,6 +308,7 @@ ClusterSimulator::run(const JobTrace &trace)
                     return ModelZoo::byName(it->second.spec.modelName)
                         .commVolumePerIter();
                 };
+                NETPACK_COUNT("sim.rebalance_rounds", 1);
                 const RebalanceOutcome outcome =
                     rebalancer_.rebalance(context_, volume_of);
                 for (const PlacedJob &job : outcome.changed) {
@@ -303,6 +343,8 @@ ClusterSimulator::run(const JobTrace &trace)
                 next_epoch += config_.placementPeriod;
         }
         if (!pending.empty() && now >= next_epoch - 1e-12) {
+            NETPACK_SPAN(epoch_span, "sim.epoch");
+            epoch_span.arg("pending", pending.size());
             const auto t0 = std::chrono::steady_clock::now();
             BatchResult result =
                 placer_->placeBatch(pending, *topo_, gpus, context_);
@@ -310,6 +352,8 @@ ClusterSimulator::run(const JobTrace &trace)
             metrics.placementSeconds +=
                 std::chrono::duration<double>(t1 - t0).count();
             ++metrics.placementRounds;
+            NETPACK_COUNT("sim.epochs", 1);
+            epoch_span.arg("placed", result.placed.size());
 
             for (PlacedJob &placed : result.placed) {
                 const auto it = std::find_if(
@@ -333,6 +377,15 @@ ClusterSimulator::run(const JobTrace &trace)
             NETPACK_LOG(Debug, "t=" << now << "s placed "
                                     << result.placed.size() << ", deferred "
                                     << pending.size());
+            NETPACK_GAUGE("sim.queue_depth",
+                          static_cast<double>(pending.size()));
+            NETPACK_GAUGE("sim.running_jobs",
+                          static_cast<double>(active.size()));
+            NETPACK_GAUGE("sim.gpu_occupancy",
+                          static_cast<double>(topo_->totalGpus() -
+                                              gpus.totalFreeGpus()) /
+                              static_cast<double>(topo_->totalGpus()));
+            recordPatGauges();
             next_epoch += config_.placementPeriod;
         }
     }

@@ -6,6 +6,8 @@
 
 #include "common/check.h"
 #include "common/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace netpack {
 
@@ -87,6 +89,9 @@ SteadyState
 WaterFillingEstimator::estimate(
     const std::vector<JobHierarchy *> &hierarchies) const
 {
+    NETPACK_SPAN(span, "waterfill.estimate");
+    span.arg("hierarchies", hierarchies.size());
+
     const auto num_links = static_cast<std::size_t>(topo_->numLinks());
     const auto num_racks = static_cast<std::size_t>(topo_->numRacks());
 
@@ -234,6 +239,22 @@ WaterFillingEstimator::estimate(
     }
     for (auto *h : active)
         h->accumulateLinkFlows(state.linkFlows);
+
+    NETPACK_COUNT("waterfill.estimates", 1);
+    NETPACK_HISTOGRAM("waterfill.iterations", obs::kPow2Buckets,
+                      lastIterations_);
+    span.arg("iterations", lastIterations_);
+    if (obs::metricsEnabled()) {
+        // Convergence residual: the fraction of total link capacity left
+        // unclaimed at the fixed point (0 = fully saturated network).
+        double residual = 0.0, capacity = 0.0;
+        for (std::size_t l = 0; l < num_links; ++l) {
+            residual += state.linkResidual[l];
+            capacity += topo_->link(LinkId(static_cast<int>(l))).capacity;
+        }
+        NETPACK_GAUGE("waterfill.convergence_residual",
+                      capacity > 0.0 ? residual / capacity : 0.0);
+    }
 
     NETPACK_LOG(Debug, "water-filling converged in " << lastIterations_
                                                      << " rounds over "

@@ -10,6 +10,7 @@
 
 #include "bench_util.h"
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace netpack {
 namespace {
@@ -33,6 +34,29 @@ TEST(BenchUtil, SimulatorPresetMatchesPaper)
     EXPECT_EQ(cluster.gpusPerServer, 4);
     EXPECT_DOUBLE_EQ(cluster.oversubscription, 1.0);
     EXPECT_DOUBLE_EQ(cluster.torPatGbps, 1000.0);
+}
+
+TEST(BenchUtil, ParseOptionsAcceptsJsonPath)
+{
+    const char *argv[] = {"bench/bench_test", "--full", "--json",
+                          "out.json"};
+    const benchutil::Options options =
+        benchutil::parseOptions(4, const_cast<char **>(argv));
+    EXPECT_TRUE(options.full);
+    EXPECT_FALSE(options.csv);
+    EXPECT_EQ(options.jsonPath, "out.json");
+    // parseOptions also seeds the manifest with the invocation.
+    EXPECT_EQ(benchutil::manifest().bench, "bench_test");
+    obs::setMetricsEnabled(false); // --json enables metrics; undo
+}
+
+TEST(BenchUtil, RecordRunSummarizesMetrics)
+{
+    const std::size_t before = benchutil::manifest().runs.size();
+    RunMetrics metrics;
+    benchutil::recordRun("unit|test|run", metrics);
+    ASSERT_EQ(benchutil::manifest().runs.size(), before + 1);
+    EXPECT_EQ(benchutil::manifest().runs.back().label, "unit|test|run");
 }
 
 TEST(BenchUtil, TestbedTraceFitsTheTestbed)

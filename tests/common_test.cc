@@ -231,6 +231,37 @@ TEST(RunningStats, MergeWithEmptyIsIdentity)
     EXPECT_EQ(a.count(), 2u);
 }
 
+TEST(RunningStats, MergeIntoEmptyAdoptsOther)
+{
+    RunningStats empty, b;
+    b.add(4.0);
+    b.add(8.0);
+    empty.merge(b);
+    EXPECT_EQ(empty.count(), 2u);
+    EXPECT_DOUBLE_EQ(empty.mean(), 6.0);
+    EXPECT_EQ(empty.min(), 4.0);
+    EXPECT_EQ(empty.max(), 8.0);
+}
+
+TEST(RunningStats, MergeDisjointRangesTracksExtremaAndVariance)
+{
+    RunningStats low, high, all;
+    for (double v : {1.0, 2.0, 3.0}) {
+        low.add(v);
+        all.add(v);
+    }
+    for (double v : {100.0, 200.0}) {
+        high.add(v);
+        all.add(v);
+    }
+    low.merge(high);
+    EXPECT_EQ(low.count(), 5u);
+    EXPECT_EQ(low.min(), 1.0);
+    EXPECT_EQ(low.max(), 200.0);
+    EXPECT_NEAR(low.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(low.variance(), all.variance(), 1e-9);
+}
+
 TEST(SampleSet, MedianOfOddCount)
 {
     SampleSet samples;
@@ -270,6 +301,26 @@ TEST(SampleSet, AddAfterQueryInvalidatesCache)
     EXPECT_DOUBLE_EQ(samples.median(), 1.0);
     samples.add(3.0);
     EXPECT_DOUBLE_EQ(samples.median(), 2.0);
+}
+
+TEST(SampleSet, SingleSampleAllPercentilesCollapse)
+{
+    SampleSet samples;
+    samples.add(7.5);
+    EXPECT_DOUBLE_EQ(samples.percentile(0.0), 7.5);
+    EXPECT_DOUBLE_EQ(samples.percentile(50.0), 7.5);
+    EXPECT_DOUBLE_EQ(samples.percentile(100.0), 7.5);
+}
+
+TEST(SampleSet, PercentileCacheInvalidatedByAdd)
+{
+    SampleSet samples;
+    for (double v : {10.0, 20.0})
+        samples.add(v);
+    EXPECT_DOUBLE_EQ(samples.percentile(100.0), 20.0);
+    samples.add(30.0); // must re-sort, not reuse the cached order
+    EXPECT_DOUBLE_EQ(samples.percentile(100.0), 30.0);
+    EXPECT_DOUBLE_EQ(samples.percentile(0.0), 10.0);
 }
 
 TEST(Correlation, PerfectlyLinearIsOne)

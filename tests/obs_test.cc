@@ -1,0 +1,397 @@
+/**
+ * @file
+ * Tier-1 tests for the observability layer: metrics registry semantics
+ * (counters under concurrency, histogram bucket boundaries, snapshot and
+ * reset), trace-file round-trips (the emitted file must parse as JSON
+ * and contain the recorded spans), and the run-manifest writer.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/run_manifest.h"
+#include "obs/trace.h"
+
+namespace netpack {
+namespace {
+
+/**
+ * Minimal recursive-descent JSON validator: accepts exactly the value
+ * grammar of RFC 8259 over the whole input. Enough to prove the files
+ * the obs layer writes are machine-readable without an external parser.
+ */
+class JsonValidator
+{
+  public:
+    explicit JsonValidator(const std::string &text) : text_(text) {}
+
+    bool valid()
+    {
+        pos_ = 0;
+        if (!value())
+            return false;
+        skipWs();
+        return pos_ == text_.size();
+    }
+
+  private:
+    bool value()
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            return false;
+        switch (text_[pos_]) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return string();
+          case 't': return literal("true");
+          case 'f': return literal("false");
+          case 'n': return literal("null");
+          default: return number();
+        }
+    }
+
+    bool object()
+    {
+        ++pos_; // '{'
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!string())
+                return false;
+            skipWs();
+            if (peek() != ':')
+                return false;
+            ++pos_;
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool array()
+    {
+        ++pos_; // '['
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool string()
+    {
+        if (peek() != '"')
+            return false;
+        ++pos_;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            if (text_[pos_] == '\\') {
+                ++pos_;
+                if (pos_ >= text_.size())
+                    return false;
+            }
+            ++pos_;
+        }
+        if (pos_ >= text_.size())
+            return false;
+        ++pos_; // closing quote
+        return true;
+    }
+
+    bool number()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        return pos_ > start;
+    }
+
+    bool literal(const char *word)
+    {
+        const std::size_t len = std::string(word).size();
+        if (text_.compare(pos_, len, word) != 0)
+            return false;
+        pos_ += len;
+        return true;
+    }
+
+    void skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+                text_[pos_] == '\t' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char peek() const
+    {
+        return pos_ < text_.size() ? text_[pos_] : '\0';
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+/** Enables metrics for one test and restores isolation afterwards. */
+class ObsTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        obs::setMetricsEnabled(true);
+        obs::Registry::instance().reset();
+        obs::clearTrace();
+    }
+
+    void TearDown() override
+    {
+        obs::configureTrace("");
+        obs::clearTrace();
+        obs::Registry::instance().reset();
+        obs::setMetricsEnabled(false);
+    }
+};
+
+TEST_F(ObsTest, CounterAccumulates)
+{
+    obs::Counter &c = obs::counter("test.counter");
+    c.add(3);
+    c.add(4);
+    EXPECT_EQ(c.value(), 7);
+    EXPECT_EQ(obs::snapshot().counters.at("test.counter"), 7);
+}
+
+TEST_F(ObsTest, MacroIsNoOpWhenDisabled)
+{
+    obs::setMetricsEnabled(false);
+    NETPACK_COUNT("test.disabled", 1);
+    obs::setMetricsEnabled(true);
+    const auto snap = obs::snapshot();
+    EXPECT_EQ(snap.counters.count("test.disabled"), 0u);
+}
+
+TEST_F(ObsTest, ConcurrentIncrementsAreExact)
+{
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 10000;
+    obs::Counter &c = obs::counter("test.concurrent");
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&c] {
+            for (int i = 0; i < kPerThread; ++i)
+                c.add(1);
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(c.value(), static_cast<std::int64_t>(kThreads) * kPerThread);
+}
+
+TEST_F(ObsTest, GaugeIsLastWriteWins)
+{
+    obs::Gauge &g = obs::gauge("test.gauge");
+    g.set(1.5);
+    g.set(-2.25);
+    EXPECT_DOUBLE_EQ(g.value(), -2.25);
+    EXPECT_DOUBLE_EQ(obs::snapshot().gauges.at("test.gauge"), -2.25);
+}
+
+TEST_F(ObsTest, HistogramBucketBoundaries)
+{
+    // Bucket i counts bounds[i-1] < x <= bounds[i]; overflow is last.
+    obs::Histogram &h =
+        obs::histogram("test.hist", std::vector<double>{1.0, 2.0, 4.0});
+    h.record(0.5); // <= 1        -> bucket 0
+    h.record(1.0); // == bound    -> bucket 0 (inclusive upper edge)
+    h.record(1.5); // (1, 2]      -> bucket 1
+    h.record(4.0); // (2, 4]      -> bucket 2
+    h.record(9.0); // > 4         -> overflow
+    const auto counts = h.counts();
+    ASSERT_EQ(counts.size(), 4u);
+    EXPECT_EQ(counts[0], 2);
+    EXPECT_EQ(counts[1], 1);
+    EXPECT_EQ(counts[2], 1);
+    EXPECT_EQ(counts[3], 1);
+    EXPECT_EQ(h.total(), 5);
+    EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 4.0 + 9.0);
+}
+
+TEST_F(ObsTest, HistogramBoundsFixedAtFirstRegistration)
+{
+    obs::Histogram &a =
+        obs::histogram("test.fixed", std::vector<double>{1.0, 2.0});
+    obs::Histogram &b =
+        obs::histogram("test.fixed", std::vector<double>{99.0});
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(b.bounds(), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST_F(ObsTest, ResetZeroesButKeepsRegistrations)
+{
+    obs::counter("test.reset").add(5);
+    obs::Registry::instance().reset();
+    const auto snap = obs::snapshot();
+    ASSERT_EQ(snap.counters.count("test.reset"), 1u);
+    EXPECT_EQ(snap.counters.at("test.reset"), 0);
+}
+
+TEST_F(ObsTest, MetricsFileIsValidJson)
+{
+    const std::string path = ::testing::TempDir() + "netpack_metrics.json";
+    obs::counter("test.file").add(2);
+    obs::gauge("test.file_gauge").set(0.5);
+    obs::histogram("test.file_hist", obs::kPow2Buckets).record(3.0);
+    obs::writeMetricsFile(path, obs::snapshot());
+    const std::string text = slurp(path);
+    EXPECT_TRUE(JsonValidator(text).valid()) << text;
+    EXPECT_NE(text.find("\"test.file\""), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST_F(ObsTest, TraceRoundTrip)
+{
+    const std::string path = ::testing::TempDir() + "netpack_trace.json";
+    obs::configureTrace(path);
+    EXPECT_TRUE(obs::traceEnabled());
+    {
+        NETPACK_SPAN(outer, "test.outer");
+        outer.arg("jobs", 42);
+        outer.arg("ratio", 0.75);
+        {
+            NETPACK_SPAN(inner, "test.inner");
+        }
+    }
+    EXPECT_EQ(obs::traceEventCount(), 2u);
+    obs::flushTrace();
+
+    const std::string text = slurp(path);
+    EXPECT_TRUE(JsonValidator(text).valid()) << text;
+    EXPECT_NE(text.find("\"test.outer\""), std::string::npos);
+    EXPECT_NE(text.find("\"test.inner\""), std::string::npos);
+    EXPECT_NE(text.find("\"jobs\""), std::string::npos);
+    EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(text.find("traceEvents"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST_F(ObsTest, SpanIsNoOpWhenTracingDisabled)
+{
+    obs::configureTrace("");
+    {
+        NETPACK_SPAN(span, "test.ignored");
+        span.arg("k", 1);
+    }
+    EXPECT_EQ(obs::traceEventCount(), 0u);
+}
+
+TEST_F(ObsTest, RunManifestIsValidJson)
+{
+    const std::string path = ::testing::TempDir() + "netpack_manifest.json";
+    obs::RunManifest manifest;
+    manifest.bench = "obs_test";
+    manifest.title = "manifest round-trip";
+    manifest.args = {"--json", path};
+    ClusterConfig cluster;
+    manifest.addCluster("test", cluster);
+    manifest.addCluster("test", cluster); // dedup by name
+    manifest.addSeed(7);
+    manifest.addSeed(7); // dedup
+    manifest.addSeed(11);
+    RunMetrics metrics;
+    manifest.addRun("unit|run", metrics);
+    Table table({"col_a", "col_b"});
+    table.addRow({"1", "x\"quoted\""});
+    manifest.tables.push_back(table);
+
+    obs::counter("waterfill.incremental_hits").add(3);
+    obs::writeRunManifest(path, manifest);
+
+    const std::string text = slurp(path);
+    EXPECT_TRUE(JsonValidator(text).valid()) << text;
+    EXPECT_NE(text.find("netpack.run_manifest/1"), std::string::npos);
+    EXPECT_NE(text.find("waterfill.incremental_hits"), std::string::npos);
+    EXPECT_NE(text.find("\"seeds\""), std::string::npos);
+    EXPECT_NE(text.find("unit|run"), std::string::npos);
+    // Dedup held: one cluster entry, two seeds.
+    EXPECT_EQ(manifest.clusters.size(), 1u);
+    EXPECT_EQ(manifest.seeds.size(), 2u);
+    std::remove(path.c_str());
+}
+
+TEST_F(ObsTest, JsonWriterEscapesAndNestsCorrectly)
+{
+    std::ostringstream out;
+    {
+        obs::JsonWriter json(out, 0);
+        json.beginObject();
+        json.kv("plain", 1);
+        json.kv("text", std::string_view("a\"b\\c\n\t"));
+        json.key("arr");
+        json.beginArray();
+        json.value(1.5);
+        json.value(true);
+        json.beginObject();
+        json.kv("neg", -7);
+        json.endObject();
+        json.endArray();
+        json.kv("inf", std::numeric_limits<double>::infinity());
+        json.endObject();
+    }
+    const std::string text = out.str();
+    EXPECT_TRUE(JsonValidator(text).valid()) << text;
+    EXPECT_NE(text.find("\\\"b\\\\c\\n\\t"), std::string::npos);
+    EXPECT_NE(text.find("\"inf\""), std::string::npos);
+}
+
+} // namespace
+} // namespace netpack
