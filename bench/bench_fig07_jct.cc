@@ -26,7 +26,8 @@ main(int argc, char **argv)
         "the testbed, up to 4.5x in simulation");
 
     const auto matrix = benchutil::runFigure7Matrix(options);
-    benchutil::emit(benchutil::matrixTable(matrix, /*use_de=*/false),
+    benchutil::emit(benchutil::matrixTable(matrix, /*use_de=*/false,
+                                           /*with_ci=*/options.seeds > 1),
                     options);
     return 0;
 }

@@ -26,7 +26,8 @@ main(int argc, char **argv)
         "on the testbed, down to 0.42x in simulation");
 
     const auto matrix = benchutil::runFigure7Matrix(options);
-    benchutil::emit(benchutil::matrixTable(matrix, /*use_de=*/true),
+    benchutil::emit(benchutil::matrixTable(matrix, /*use_de=*/true,
+                                           /*with_ci=*/options.seeds > 1),
                     options);
     return 0;
 }

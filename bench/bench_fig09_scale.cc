@@ -29,24 +29,21 @@ main(int argc, char **argv)
                      : std::vector<int>{96, 400, 1600};
     const auto placers = benchutil::figurePlacers();
     const int jobs_per_100_servers = options.full ? 40 : 20;
+    const int seeds = benchutil::effectiveSeeds(options, 1);
 
-    std::vector<std::string> headers = {"servers"};
-    for (const auto &placer : placers)
-        headers.push_back(placer);
-    Table table(std::move(headers));
-
+    std::vector<benchutil::SweepRow> rows;
     for (int servers : scales) {
-        ExperimentConfig config;
-        config.cluster = benchutil::simulatorCluster();
-        config.cluster.serversPerRack = servers / 16;
-        config.sim.placementPeriod = 10.0;
+        benchutil::SweepRow row;
+        row.label = std::to_string(servers);
+        row.config.cluster = benchutil::simulatorCluster();
+        row.config.cluster.serversPerRack = servers / 16;
+        row.config.sim.placementPeriod = 10.0;
         // Load scales with the cluster so contention stays comparable:
         // both the job count and the arrival rate track the capacity.
         const int jobs =
             std::max(60, servers * jobs_per_100_servers / 100);
         TraceGenConfig gen;
         gen.numJobs = jobs;
-        gen.seed = 71;
         gen.distribution = DemandDistribution::Poisson;
         gen.demandMean = 8.0;
         gen.demandStddev = 5.0;
@@ -55,19 +52,17 @@ main(int argc, char **argv)
                                                   servers * 4);
         gen.durationLogMu = 4.8;
         gen.durationLogSigma = 1.0;
-        const JobTrace trace = generateTrace(gen);
-
-        std::map<std::string, double> jct;
-        for (const auto &placer : placers) {
-            config.placer = placer;
-            jct[placer] = runExperiment(config, trace).avgJct();
+        for (int s = 0; s < seeds; ++s) {
+            gen.seed = exec::streamSeed(
+                71 + static_cast<std::uint64_t>(servers),
+                static_cast<std::uint64_t>(s));
+            benchutil::manifest().addSeed(gen.seed);
+            row.traces.push_back(generateTrace(gen));
         }
-        const auto normalized = normalizeTo(jct, "NetPack");
-        std::vector<std::string> row = {std::to_string(servers)};
-        for (const auto &placer : placers)
-            row.push_back(formatDouble(normalized.at(placer), 3));
-        table.addRow(std::move(row));
+        rows.push_back(std::move(row));
     }
-    benchutil::emit(table, options);
+    benchutil::emit(
+        benchutil::placerSweepTable("servers", rows, placers, options),
+        options);
     return 0;
 }

@@ -29,43 +29,40 @@ main(int argc, char **argv)
                      : std::vector<double>{1.0, 4.0, 20.0};
     const auto placers = benchutil::figurePlacers();
     const int jobs = options.full ? 300 : 100;
+    const int seeds = benchutil::effectiveSeeds(options, 1);
 
     // Cross-rack pressure needs multi-server jobs: Poisson(8) demands.
+    // Every oversubscription row replays the same per-seed traces so
+    // the ratio axis is the only thing that moves.
     TraceGenConfig gen;
     gen.numJobs = jobs;
-    gen.seed = 57;
     gen.distribution = DemandDistribution::Poisson;
     gen.demandMean = 10.0;
     gen.maxGpuDemand = 64;
     gen.meanInterarrival = 1.0;
     gen.durationLogMu = 4.6;
     gen.durationLogSigma = 0.9;
-    const JobTrace trace = generateTrace(gen);
-
-    std::vector<std::string> headers = {"oversubscription"};
-    for (const auto &placer : placers)
-        headers.push_back(placer);
-    Table table(std::move(headers));
-
-    for (double ratio : ratios) {
-        ExperimentConfig config;
-        config.cluster = benchutil::simulatorCluster();
-        config.cluster.serversPerRack = 8; // tighter cluster: 128 servers
-        config.cluster.oversubscription = ratio;
-        config.cluster.torPatGbps = 400.0;
-        config.sim.placementPeriod = 10.0;
-
-        std::map<std::string, double> jct;
-        for (const auto &placer : placers) {
-            config.placer = placer;
-            jct[placer] = runExperiment(config, trace).avgJct();
-        }
-        const auto normalized = normalizeTo(jct, "NetPack");
-        std::vector<std::string> row = {formatDouble(ratio, 0) + ":1"};
-        for (const auto &placer : placers)
-            row.push_back(formatDouble(normalized.at(placer), 3));
-        table.addRow(std::move(row));
+    std::vector<JobTrace> traces;
+    for (int s = 0; s < seeds; ++s) {
+        gen.seed = exec::streamSeed(57, static_cast<std::uint64_t>(s));
+        benchutil::manifest().addSeed(gen.seed);
+        traces.push_back(generateTrace(gen));
     }
-    benchutil::emit(table, options);
+
+    std::vector<benchutil::SweepRow> rows;
+    for (double ratio : ratios) {
+        benchutil::SweepRow row;
+        row.label = formatDouble(ratio, 0) + ":1";
+        row.config.cluster = benchutil::simulatorCluster();
+        row.config.cluster.serversPerRack = 8; // tighter: 128 servers
+        row.config.cluster.oversubscription = ratio;
+        row.config.cluster.torPatGbps = 400.0;
+        row.config.sim.placementPeriod = 10.0;
+        row.traces = traces;
+        rows.push_back(std::move(row));
+    }
+    benchutil::emit(benchutil::placerSweepTable("oversubscription", rows,
+                                                placers, options),
+                    options);
     return 0;
 }

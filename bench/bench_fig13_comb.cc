@@ -23,31 +23,30 @@ main(int argc, char **argv)
         "Comb >= 1 on all three workloads (paper: up to 1.63x)");
 
     const int jobs = options.full ? 32 : 20;
-    const int seeds = options.full ? 5 : 3;
-    Table table({"workload", "NetPack", "Comb"});
+    const int seeds = benchutil::effectiveSeeds(options,
+                                                options.full ? 5 : 3);
+    std::vector<benchutil::SweepRow> rows;
     for (DemandDistribution dist : {DemandDistribution::Philly,
                                     DemandDistribution::Poisson,
                                     DemandDistribution::Normal}) {
-        double netpack_total = 0.0, comb_total = 0.0;
+        benchutil::SweepRow row;
+        row.label = demandDistributionName(dist);
+        row.config.cluster = benchutil::testbedCluster();
+        row.config.cluster.torPatGbps = 150.0; // contended memory
+        row.config.fidelity = Fidelity::Packet;
+        row.config.sim.placementPeriod = 5.0;
         for (int s = 0; s < seeds; ++s) {
-            const JobTrace trace = benchutil::testbedTrace(
-                dist, jobs,
-                201 + 31 * static_cast<std::uint64_t>(s) +
-                    static_cast<std::uint64_t>(dist));
-            ExperimentConfig config;
-            config.cluster = benchutil::testbedCluster();
-            config.cluster.torPatGbps = 150.0; // contended memory
-            config.fidelity = Fidelity::Packet;
-            config.sim.placementPeriod = 5.0;
-
-            config.placer = "NetPack";
-            netpack_total += runExperiment(config, trace).avgJct();
-            config.placer = "Comb";
-            comb_total += runExperiment(config, trace).avgJct();
+            const std::uint64_t seed = exec::streamSeed(
+                201 + static_cast<std::uint64_t>(dist),
+                static_cast<std::uint64_t>(s));
+            benchutil::manifest().addSeed(seed);
+            row.traces.push_back(benchutil::testbedTrace(dist, jobs, seed));
         }
-        table.addRow({demandDistributionName(dist), "1.000",
-                      formatDouble(comb_total / netpack_total, 3)});
+        rows.push_back(std::move(row));
     }
-    benchutil::emit(table, options);
+    benchutil::emit(benchutil::placerSweepTable("workload", rows,
+                                                {"NetPack", "Comb"},
+                                                options),
+                    options);
     return 0;
 }

@@ -2,11 +2,34 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
 
 #include "obs/metrics.h"
 
 namespace netpack {
 namespace benchutil {
+
+namespace {
+
+/** Guards the shared RunManifest against concurrent pool workers. */
+std::mutex g_manifestMutex;
+
+/** Parse a positive int operand; empty optional on malformed input. */
+std::optional<int>
+parsePositiveInt(const std::string &text)
+{
+    if (text.empty() ||
+        text.find_first_not_of("0123456789") != std::string::npos)
+        return std::nullopt;
+    try {
+        const int value = std::stoi(text);
+        return value >= 1 ? std::optional<int>(value) : std::nullopt;
+    } catch (const std::exception &) {
+        return std::nullopt; // out of int range
+    }
+}
+
+} // namespace
 
 obs::RunManifest &
 manifest()
@@ -18,18 +41,43 @@ manifest()
 void
 recordRun(const std::string &label, const RunMetrics &metrics)
 {
+    const std::lock_guard<std::mutex> lock(g_manifestMutex);
     manifest().addRun(label, metrics);
 }
 
-Options
-parseOptions(int argc, char **argv)
+std::string
+usageText(const std::string &argv0)
 {
-    Options options;
+    return "usage: " + argv0 +
+           " [--full] [--csv] [--json <path>] [--jobs <n>] [--seeds <k>]\n"
+           "  --full         paper-scale parameters (slower)\n"
+           "  --csv          also emit CSV\n"
+           "  --json <path>  write a machine-readable run manifest\n"
+           "                 (enables metrics)\n"
+           "  --jobs <n>     fan independent runs out over n worker\n"
+           "                 threads (default 1; results are identical\n"
+           "                 for any n)\n"
+           "  --seeds <k>    replicate each sweep cell over k trace\n"
+           "                 seeds and report mean/stddev/95% CI\n"
+           "                 (default: the bench's own profile)\n"
+           "  --help         show this message and exit\n";
+}
+
+std::optional<std::string>
+parseOptionsInto(int argc, char **argv, Options &options)
+{
     obs::RunManifest &man = manifest();
     const std::string argv0 = argv[0];
     const std::size_t slash = argv0.find_last_of('/');
     man.bench = slash == std::string::npos ? argv0
                                            : argv0.substr(slash + 1);
+    const auto operand = [&](int &i) -> std::optional<std::string> {
+        if (i + 1 >= argc)
+            return std::nullopt;
+        const std::string value = argv[++i];
+        man.args.push_back(value);
+        return value;
+    };
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         man.args.push_back(arg);
@@ -38,29 +86,60 @@ parseOptions(int argc, char **argv)
         } else if (arg == "--csv") {
             options.csv = true;
         } else if (arg == "--json") {
-            if (i + 1 >= argc) {
-                std::cerr << "--json requires a file path\n";
-                std::exit(2);
-            }
-            options.jsonPath = argv[++i];
-            man.args.push_back(options.jsonPath);
+            const auto value = operand(i);
+            if (!value)
+                return "--json requires a file path";
+            options.jsonPath = *value;
+        } else if (arg == "--jobs") {
+            const auto value = operand(i);
+            if (!value)
+                return "--jobs requires a thread count";
+            const auto jobs = parsePositiveInt(*value);
+            if (!jobs)
+                return "--jobs operand '" + *value +
+                       "' is not a positive integer";
+            options.jobs = *jobs;
+        } else if (arg == "--seeds") {
+            const auto value = operand(i);
+            if (!value)
+                return "--seeds requires a replicate count";
+            const auto seeds = parsePositiveInt(*value);
+            if (!seeds)
+                return "--seeds operand '" + *value +
+                       "' is not a positive integer";
+            options.seeds = *seeds;
         } else if (arg == "--help" || arg == "-h") {
-            std::cout << "usage: " << argv[0]
-                      << " [--full] [--csv] [--json <path>]\n"
-                      << "  --full         paper-scale parameters (slower)\n"
-                      << "  --csv          also emit CSV\n"
-                      << "  --json <path>  write a machine-readable run\n"
-                      << "                 manifest (enables metrics)\n";
-            std::exit(0);
+            options.help = true;
         } else {
-            std::cerr << "unknown option '" << arg << "'\n";
-            std::exit(2);
+            return "unknown option '" + arg + "'";
         }
     }
     // The manifest embeds a metrics snapshot; make sure there is one.
     if (!options.jsonPath.empty())
         obs::setMetricsEnabled(true);
+    return std::nullopt;
+}
+
+Options
+parseOptions(int argc, char **argv)
+{
+    Options options;
+    const auto error = parseOptionsInto(argc, argv, options);
+    if (error) {
+        std::cerr << *error << "\n" << usageText(argv[0]);
+        std::exit(2);
+    }
+    if (options.help) {
+        std::cout << usageText(argv[0]);
+        std::exit(0);
+    }
     return options;
+}
+
+int
+effectiveSeeds(const Options &options, int fallback)
+{
+    return options.seeds > 0 ? options.seeds : fallback;
 }
 
 ClusterConfig
@@ -73,7 +152,10 @@ testbedCluster()
     config.serverLinkGbps = 100.0;
     config.torPatGbps = 400.0;
     config.rtt = 50e-6;
-    manifest().addCluster("testbed", config);
+    {
+        const std::lock_guard<std::mutex> lock(g_manifestMutex);
+        manifest().addCluster("testbed", config);
+    }
     return config;
 }
 
@@ -88,7 +170,10 @@ simulatorCluster()
     config.oversubscription = 1.0;
     config.torPatGbps = 1000.0; // 1 Tbps, the paper's default
     config.rtt = 50e-6;
-    manifest().addCluster("simulator", config);
+    {
+        const std::lock_guard<std::mutex> lock(g_manifestMutex);
+        manifest().addCluster("simulator", config);
+    }
     return config;
 }
 
@@ -154,6 +239,7 @@ emit(const Table &table, const Options &options)
     std::cout << "\n";
     // Accumulate every emitted table; rewrite the manifest each time so
     // a partial file still exists if a later stage aborts.
+    const std::lock_guard<std::mutex> lock(g_manifestMutex);
     manifest().tables.push_back(table);
     if (!options.jsonPath.empty())
         obs::writeRunManifest(options.jsonPath, manifest());
@@ -164,6 +250,29 @@ figurePlacers()
 {
     return {"NetPack", "GB", "FB", "LF", "Optimus", "Tetris"};
 }
+
+namespace {
+
+/** Publish the sweep's per-cell aggregates into the manifest. */
+void
+recordAggregates(const exec::SweepResult &result)
+{
+    const std::lock_guard<std::mutex> lock(g_manifestMutex);
+    for (const auto &[cell, stats] : result.cells)
+        manifest().addAggregate(cell, stats.avgJct, stats.avgDe,
+                                stats.makespan, stats.avgGpuUtilization);
+}
+
+/** Record every run of a finished sweep, in request order. */
+void
+recordSweepRuns(const std::vector<exec::RunRequest> &requests,
+                const exec::SweepResult &result)
+{
+    for (std::size_t i = 0; i < requests.size(); ++i)
+        recordRun(requests[i].label, result.runs[i].metrics);
+}
+
+} // namespace
 
 Figure7Matrix
 runFigure7Matrix(const Options &options)
@@ -179,12 +288,21 @@ runFigure7Matrix(const Options &options)
     const int simulator_jobs = options.full ? 800 : 300;
     // The paper repeats each experiment ten times and reports avg +
     // stddev; the quick profile uses three seeds.
-    const int seeds = options.full ? 10 : 3;
+    const int seeds = effectiveSeeds(options, options.full ? 10 : 3);
 
+    // Build the whole request matrix up front — trace generation and
+    // seed derivation happen here, serially, so the parallel phase has
+    // nothing stochastic left to order.
+    std::vector<exec::RunRequest> requests;
     for (DemandDistribution dist : matrix.traces) {
         const std::string trace_name = demandDistributionName(dist);
         for (const std::string &platform : matrix.platforms) {
             const bool testbed = platform == "testbed";
+            // Per-(trace, platform) stream base; seed replicates are
+            // counter-derived so any K extends the same sequence.
+            const std::uint64_t stream_base =
+                7 + 13 * static_cast<std::uint64_t>(dist) +
+                (testbed ? 0 : 1000);
             for (int seed = 0; seed < seeds; ++seed) {
                 ExperimentConfig config;
                 config.cluster = testbed ? testbedCluster()
@@ -198,46 +316,61 @@ runFigure7Matrix(const Options &options)
                     testbed ? Fidelity::Packet : Fidelity::Flow;
                 config.sim.placementPeriod = testbed ? 5.0 : 10.0;
                 const std::uint64_t trace_seed =
-                    7 + 13 * static_cast<std::uint64_t>(dist) +
-                    101 * static_cast<std::uint64_t>(seed);
-                manifest().addSeed(testbed ? trace_seed : trace_seed + 4);
+                    exec::streamSeed(stream_base,
+                                     static_cast<std::uint64_t>(seed));
+                manifest().addSeed(trace_seed);
                 const JobTrace trace =
                     testbed ? testbedTrace(dist, testbed_jobs, trace_seed)
                             : simulatorTrace(dist, simulator_jobs,
-                                             trace_seed + 4);
-
-                // Normalize per seed (NetPack = 1 within each run set).
-                std::map<std::string, RunMetrics> runs;
-                for (const std::string &placer : matrix.placers) {
-                    config.placer = placer;
-                    runs.emplace(placer, runExperiment(config, trace));
-                    recordRun(trace_name + "|" + platform + "|" + placer +
-                                  "|seed" + std::to_string(seed),
-                              runs.at(placer));
-                }
-                const double ref_jct = runs.at("NetPack").avgJct();
-                const double ref_de = runs.at("NetPack").avgDe();
-                for (const std::string &placer : matrix.placers) {
-                    MatrixCell &cell =
-                        matrix.cells[Figure7Matrix::key(trace_name,
-                                                        platform,
-                                                        placer)];
-                    cell.jctRatio.add(runs.at(placer).avgJct() /
-                                      ref_jct);
-                    cell.deRatio.add(runs.at(placer).avgDe() / ref_de);
+                                             trace_seed);
+                for (std::size_t p = 0; p < matrix.placers.size(); ++p) {
+                    exec::RunRequest request;
+                    request.cell = Figure7Matrix::key(
+                        trace_name, platform, matrix.placers[p]);
+                    request.label =
+                        request.cell + "|seed" + std::to_string(seed);
+                    request.config = config;
+                    request.config.placer = matrix.placers[p];
+                    request.config.seed = exec::streamSeed(trace_seed, p);
+                    request.trace = trace;
+                    requests.push_back(std::move(request));
                 }
             }
+        }
+    }
+
+    exec::SweepOptions sweep;
+    sweep.jobs = options.jobs < 1 ? 1 : static_cast<std::size_t>(options.jobs);
+    const exec::SweepResult result = exec::runSweep(requests, sweep);
+    recordSweepRuns(requests, result);
+    recordAggregates(result);
+
+    // Normalize per (trace, platform, seed) group — requests lay each
+    // group out contiguously with NetPack (placers.front()) first.
+    const std::size_t group = matrix.placers.size();
+    for (std::size_t base = 0; base < requests.size(); base += group) {
+        const RunMetrics &reference = result.runs[base].metrics;
+        const double ref_jct = reference.avgJct();
+        const double ref_de = reference.avgDe();
+        for (std::size_t p = 0; p < group; ++p) {
+            MatrixCell &cell = matrix.cells[requests[base + p].cell];
+            const RunMetrics &metrics = result.runs[base + p].metrics;
+            cell.jctRatio.add(metrics.avgJct() / ref_jct);
+            cell.deRatio.add(metrics.avgDe() / ref_de);
         }
     }
     return matrix;
 }
 
 Table
-matrixTable(const Figure7Matrix &matrix, bool use_de)
+matrixTable(const Figure7Matrix &matrix, bool use_de, bool with_ci)
 {
     std::vector<std::string> headers = {"workload"};
-    for (const std::string &placer : matrix.placers)
+    for (const std::string &placer : matrix.placers) {
         headers.push_back(placer);
+        if (with_ci)
+            headers.push_back(placer + " ci95");
+    }
     Table table(std::move(headers));
 
     for (const std::string &platform : matrix.platforms) {
@@ -251,9 +384,82 @@ matrixTable(const Figure7Matrix &matrix, bool use_de)
                     use_de ? cell.deRatio : cell.jctRatio;
                 row.push_back(formatDouble(ratio.mean(), 3) + "±" +
                               formatDouble(ratio.stddev(), 2));
+                if (with_ci)
+                    row.push_back(
+                        formatDouble(ci95HalfWidth(ratio), 3));
             }
             table.addRow(std::move(row));
         }
+    }
+    return table;
+}
+
+Table
+placerSweepTable(const std::string &axis_header,
+                 const std::vector<SweepRow> &rows,
+                 const std::vector<std::string> &placers,
+                 const Options &options, bool use_de)
+{
+    std::vector<exec::RunRequest> requests;
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        for (std::size_t t = 0; t < rows[r].traces.size(); ++t) {
+            for (std::size_t p = 0; p < placers.size(); ++p) {
+                exec::RunRequest request;
+                request.cell = rows[r].label + "|" + placers[p];
+                request.label =
+                    request.cell + "|seed" + std::to_string(t);
+                request.config = rows[r].config;
+                request.config.placer = placers[p];
+                request.config.seed =
+                    exec::streamSeed(r * 1000003 + t, p);
+                request.trace = rows[r].traces[t];
+                requests.push_back(std::move(request));
+            }
+        }
+    }
+
+    exec::SweepOptions sweep;
+    sweep.jobs = options.jobs < 1 ? 1 : static_cast<std::size_t>(options.jobs);
+    const exec::SweepResult result = exec::runSweep(requests, sweep);
+    recordSweepRuns(requests, result);
+    recordAggregates(result);
+
+    const bool with_ci = options.seeds > 1;
+    std::vector<std::string> headers = {axis_header};
+    for (const std::string &placer : placers) {
+        headers.push_back(placer);
+        if (with_ci)
+            headers.push_back(placer + " ci95");
+    }
+    Table table(std::move(headers));
+
+    // Requests are laid out row-major with placers contiguous per
+    // (row, seed) and placers.front() first — the normalization
+    // reference of its group.
+    std::size_t index = 0;
+    for (const SweepRow &sweep_row : rows) {
+        std::vector<RunningStats> ratios(placers.size());
+        for (std::size_t t = 0; t < sweep_row.traces.size(); ++t) {
+            const RunMetrics &reference = result.runs[index].metrics;
+            const double ref = use_de ? reference.avgDe()
+                                      : reference.avgJct();
+            for (std::size_t p = 0; p < placers.size(); ++p, ++index) {
+                const RunMetrics &metrics = result.runs[index].metrics;
+                ratios[p].add(
+                    (use_de ? metrics.avgDe() : metrics.avgJct()) / ref);
+            }
+        }
+        std::vector<std::string> cells = {sweep_row.label};
+        for (std::size_t p = 0; p < placers.size(); ++p) {
+            std::string cell = formatDouble(ratios[p].mean(), 3);
+            if (ratios[p].count() > 1)
+                cell += "±" + formatDouble(ratios[p].stddev(), 2);
+            cells.push_back(std::move(cell));
+            if (with_ci)
+                cells.push_back(
+                    formatDouble(ci95HalfWidth(ratios[p]), 3));
+        }
+        table.addRow(std::move(cells));
     }
     return table;
 }

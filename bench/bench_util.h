@@ -5,19 +5,24 @@
  * the paper's default 16-rack simulator cluster), trace builders sized
  * for each, and uniform banner/CSV output. Every bench accepts
  * `--full` (paper-scale parameters; slower), `--csv` (machine-
- * readable output in addition to the table), and `--json <path>`
- * (write a run manifest — see docs/observability.md).
+ * readable output in addition to the table), `--json <path>` (write a
+ * run manifest — see docs/observability.md), `--jobs N` (fan
+ * independent simulator runs out over N worker threads; results are
+ * bit-identical for any N), and `--seeds K` (replicate each sweep cell
+ * over K trace seeds and report mean / stddev / 95% CI).
  */
 
 #ifndef NETPACK_BENCH_BENCH_UTIL_H
 #define NETPACK_BENCH_BENCH_UTIL_H
 
+#include <optional>
 #include <string>
 
 #include "common/stats.h"
 #include "common/strings.h"
 #include "common/table.h"
 #include "core/experiment.h"
+#include "exec/sweep.h"
 #include "obs/run_manifest.h"
 #include "workload/trace_gen.h"
 
@@ -33,15 +38,39 @@ struct Options
     bool csv = false;
     /** When non-empty, write a run manifest here (enables metrics). */
     std::string jsonPath;
+    /** Worker threads for matrix sweeps; 1 = serial. */
+    int jobs = 1;
+    /** Seed replicates per sweep cell; 0 = the bench's own default. */
+    int seeds = 0;
+    /** --help was passed (parseOptions prints usage and exits). */
+    bool help = false;
 };
 
-/** Parse --full / --csv / --json; exits with usage on anything else. */
+/** The usage text printed for --help and on malformed invocations. */
+std::string usageText(const std::string &argv0);
+
+/**
+ * Parse into @p options without exiting (tests use this directly):
+ * returns an error message on unknown flags, missing operands, or
+ * non-numeric / out-of-range --jobs / --seeds; empty on success. Also
+ * seeds the process manifest with the invocation.
+ */
+std::optional<std::string> parseOptionsInto(int argc, char **argv,
+                                            Options &options);
+
+/** Parse --full / --csv / --json / --jobs / --seeds; exits with usage
+ * on anything else. */
 Options parseOptions(int argc, char **argv);
 
-/** The process-wide manifest the bench scaffolding populates. */
+/**
+ * The process-wide manifest the bench scaffolding populates. The
+ * reference itself is not synchronized — mutate it from the main
+ * thread only; pool workers go through recordRun, which locks.
+ */
 obs::RunManifest &manifest();
 
-/** Record one simulated run in the manifest under @p label. */
+/** Record one simulated run in the manifest under @p label
+ * (thread-safe; callable from pool workers). */
 void recordRun(const std::string &label, const RunMetrics &metrics);
 
 /**
@@ -104,14 +133,52 @@ struct Figure7Matrix
     }
 };
 
-/** Run the full Figure 7/8 matrix (shared by both benches). */
+/**
+ * Run the full Figure 7/8 matrix (shared by both benches) on the exec
+ * sweep runner: options.jobs worker threads, options.seeds replicates
+ * per cell (default 3, or 10 with --full). Bit-identical for any jobs.
+ */
 Figure7Matrix runFigure7Matrix(const Options &options);
 
 /**
  * Render one metric of the matrix as a table with rows = trace x
  * platform groups, columns = placers, normalized so NetPack = 1.
+ * @param with_ci also emit a "<placer> ci95" column per placer (the
+ *        95% CI half-width of the normalized ratio across seeds)
  */
-Table matrixTable(const Figure7Matrix &matrix, bool use_de);
+Table matrixTable(const Figure7Matrix &matrix, bool use_de,
+                  bool with_ci = false);
+
+/**
+ * One row of a generic "rows x placers" figure sweep (Figures 9, 12,
+ * 13): an experiment configuration replayed under every placer for
+ * each per-seed trace replicate.
+ */
+struct SweepRow
+{
+    /** First-column value; also prefixes the aggregation cell key. */
+    std::string label;
+    /** Template config; placer and RNG stream are set per run. */
+    ExperimentConfig config;
+    /** One trace per seed replicate. */
+    std::vector<JobTrace> traces;
+};
+
+/** Seed-replicate count for a sweep: --seeds K wins, else @p fallback. */
+int effectiveSeeds(const Options &options, int fallback);
+
+/**
+ * Run rows x traces x placers through exec::runSweep (options.jobs
+ * workers), record every run and per-cell aggregate in the manifest,
+ * and render one table: rows labelled by SweepRow::label, one column
+ * per placer normalized so placers.front() = 1 within each (row, seed)
+ * — the mean ratio over seeds, ±stddev when replicated, plus a ci95
+ * column per placer when --seeds > 1.
+ */
+Table placerSweepTable(const std::string &axis_header,
+                       const std::vector<SweepRow> &rows,
+                       const std::vector<std::string> &placers,
+                       const Options &options, bool use_de = false);
 
 } // namespace benchutil
 } // namespace netpack

@@ -1,12 +1,22 @@
 #!/usr/bin/env bash
 # Build, test, and regenerate every figure/table of the reproduction.
 #
-# Usage: scripts/run_all.sh [--full]
-#   --full  paper-scale bench parameters (slower)
+# Usage: scripts/run_all.sh [--full] [--jobs N] [--seeds K] [--csv]
+#   --full     paper-scale bench parameters (slower)
+#   --jobs N   worker threads per bench (default: nproc; results are
+#              bit-identical for any N)
+#   --seeds K  seed replicates per sweep cell (mean/stddev/95% CI)
+#   Every flag is forwarded to the benches verbatim.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-FULL_FLAG="${1:-}"
+# Forward the whole command line; default --jobs to the machine size
+# when the caller did not pick one.
+BENCH_ARGS=("$@")
+case " $* " in
+  *" --jobs"*) ;;
+  *) BENCH_ARGS+=(--jobs "$(nproc)") ;;
+esac
 
 cmake -B build -G Ninja
 cmake --build build
@@ -21,8 +31,7 @@ ctest --test-dir build --output-on-failure | tee test_output.txt
               bench_micro) "$b" ;; # google-benchmark: own flag parser
               # Every figure bench leaves a machine-readable manifest
               # (BENCH_fig07_jct.json, ...) next to bench_output.txt.
-              # shellcheck disable=SC2086
-              *) "$b" ${FULL_FLAG} --json "BENCH_${name#bench_}.json" ;;
+              *) "$b" "${BENCH_ARGS[@]}" --json "BENCH_${name#bench_}.json" ;;
             esac
         fi
     done

@@ -58,6 +58,23 @@ RunningStats::stddev() const
 }
 
 double
+ci95HalfWidth(const RunningStats &stats)
+{
+    if (stats.count() < 2)
+        return 0.0;
+    // Two-sided 97.5% Student-t quantiles for df = 1..30; the normal
+    // quantile is within 1% beyond that.
+    static const double kT975[] = {
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+        2.228,  2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101,
+        2.093,  2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052,
+        2.048,  2.045, 2.042};
+    const std::size_t df = stats.count() - 1;
+    const double t = df <= 30 ? kT975[df - 1] : 1.96;
+    return t * stats.stddev() / std::sqrt(static_cast<double>(stats.count()));
+}
+
+double
 RunningStats::min() const
 {
     return count_ ? min_ : std::numeric_limits<double>::infinity();

@@ -90,6 +90,14 @@ class SampleSet
 };
 
 /**
+ * Half-width of the two-sided 95% confidence interval for the sample
+ * mean: t_{0.975, n-1} * stddev / sqrt(n). Uses Student-t quantiles for
+ * small samples (n <= 31) and the normal 1.96 beyond; returns 0 with
+ * fewer than 2 observations (no spread estimate exists).
+ */
+double ci95HalfWidth(const RunningStats &stats);
+
+/**
  * Pearson correlation coefficient of two equally-sized series.
  * Returns 0 when either series has zero variance or fewer than 2 points.
  */

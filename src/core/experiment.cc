@@ -23,7 +23,8 @@ runExperiment(const ExperimentConfig &config, const JobTrace &trace)
 {
     ClusterTopology topo(config.cluster);
     ClusterSimulator sim(topo, makeNetworkModel(config, topo),
-                         makePlacerByName(config.placer), config.sim);
+                         makePlacerByName(config.placer, config.seed),
+                         config.sim);
     return sim.run(trace);
 }
 

@@ -10,6 +10,7 @@
 #ifndef NETPACK_CORE_EXPERIMENT_H
 #define NETPACK_CORE_EXPERIMENT_H
 
+#include <cstdint>
 #include <map>
 #include <string>
 
@@ -37,6 +38,13 @@ struct ExperimentConfig
     Fidelity fidelity = Fidelity::Flow;
     /** Placer name, resolved by makePlacerByName. */
     std::string placer = "NetPack";
+    /**
+     * RNG stream seed for stochastic placers (e.g. Random). 0 keeps the
+     * placer's fixed default stream; sweep runners derive a distinct
+     * counter-based stream per run (exec::streamSeed) so multi-seed
+     * matrices stay reproducible under any execution order.
+     */
+    std::uint64_t seed = 0;
 };
 
 /** Build the network model of @p config over @p topo. */

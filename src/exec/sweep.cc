@@ -1,0 +1,68 @@
+#include "exec/sweep.h"
+
+#include <optional>
+
+#include "exec/thread_pool.h"
+#include "obs/trace.h"
+
+namespace netpack {
+namespace exec {
+
+std::uint64_t
+streamSeed(std::uint64_t base, std::uint64_t index)
+{
+    // SplitMix64 finalizer over a golden-ratio stride: adjacent indices
+    // land in statistically independent streams (same construction the
+    // Rng seeding uses).
+    std::uint64_t z = base + 0x9E3779B97F4A7C15ull * (index + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+SweepResult
+runSweep(const std::vector<RunRequest> &requests, const SweepOptions &options)
+{
+    SweepResult result;
+    result.runs.resize(requests.size());
+
+    {
+        ThreadPool pool(options.jobs == 0 ? 0 : options.jobs);
+        parallelFor(pool, requests.size(), [&](std::size_t i) {
+            NETPACK_SPAN(span, "exec.run");
+            span.arg("request", static_cast<std::int64_t>(i));
+            // A private scope keeps this run's counters from
+            // interleaving with concurrent runs; published below in
+            // request order so the registry ends up bit-identical to a
+            // serial sweep.
+            std::optional<obs::MetricScope> scope;
+            if (obs::metricsEnabled())
+                scope.emplace();
+            result.runs[i].metrics =
+                runExperiment(requests[i].config, requests[i].trace);
+            if (scope)
+                result.runs[i].metricsSnapshot = scope->snapshot();
+        });
+    }
+
+    // Serial reductions, in request order — float accumulation order is
+    // part of the determinism contract.
+    if (options.publishMetrics && obs::metricsEnabled()) {
+        for (const RunResult &run : result.runs)
+            obs::Registry::instance().merge(run.metricsSnapshot);
+    }
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        if (requests[i].cell.empty())
+            continue;
+        CellStats &cell = result.cells[requests[i].cell];
+        const RunMetrics &metrics = result.runs[i].metrics;
+        cell.avgJct.add(metrics.avgJct());
+        cell.avgDe.add(metrics.avgDe());
+        cell.makespan.add(metrics.makespan);
+        cell.avgGpuUtilization.add(metrics.avgGpuUtilization);
+    }
+    return result;
+}
+
+} // namespace exec
+} // namespace netpack

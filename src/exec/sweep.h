@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Deterministic experiment-sweep runner: fans a prepared list of
+ * {ExperimentConfig, trace} runs out across a work-stealing pool and
+ * aggregates the per-run metrics into per-cell mean / stddev / 95% CI.
+ *
+ * Determinism is the contract: requests carry everything stochastic
+ * (trace and RNG stream seeds are derived up front with streamSeed, and
+ * each run builds its own simulator, placer, and PlacementContext), and
+ * every cross-run reduction — cell statistics, metric-scope publication
+ * into the process-wide registry — happens serially in request order
+ * after the parallel phase. runSweep with N workers therefore produces
+ * bit-identical results to serial execution for any N.
+ */
+
+#ifndef NETPACK_EXEC_SWEEP_H
+#define NETPACK_EXEC_SWEEP_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/experiment.h"
+#include "obs/metrics.h"
+#include "workload/trace.h"
+
+namespace netpack {
+namespace exec {
+
+/**
+ * The i-th seed of a counter-derived RNG stream: a SplitMix64 mix of
+ * (base, index) so per-run streams are decorrelated no matter how the
+ * caller enumerates the matrix, and independent of execution order.
+ */
+std::uint64_t streamSeed(std::uint64_t base, std::uint64_t index);
+
+/** One run of the sweep matrix. */
+struct RunRequest
+{
+    /** Aggregation key, e.g. "Real|simulator|NetPack"; runs sharing a
+     * cell are reduced together. Empty = excluded from aggregation. */
+    std::string cell;
+    /** Unique run label, e.g. "Real|simulator|NetPack|seed3". */
+    std::string label;
+    ExperimentConfig config;
+    JobTrace trace;
+};
+
+/** One finished run, in the same position as its request. */
+struct RunResult
+{
+    RunMetrics metrics;
+    /** What the run recorded while metrics were enabled (its private
+     * MetricScope); empty otherwise. */
+    obs::MetricsSnapshot metricsSnapshot;
+};
+
+/** Cross-seed statistics of one cell. */
+struct CellStats
+{
+    RunningStats avgJct;
+    RunningStats avgDe;
+    RunningStats makespan;
+    RunningStats avgGpuUtilization;
+};
+
+struct SweepOptions
+{
+    /** Worker threads; 1 = serial (still bit-identical to any N). */
+    std::size_t jobs = 1;
+    /** Publish each run's MetricScope snapshot into the process-wide
+     * registry (in request order) after the sweep. */
+    bool publishMetrics = true;
+};
+
+struct SweepResult
+{
+    /** One entry per request, in request order. */
+    std::vector<RunResult> runs;
+    /** Per-cell aggregates, reduced in request order. */
+    std::map<std::string, CellStats> cells;
+};
+
+/**
+ * Run every request (each under its own MetricScope when metrics are
+ * enabled) and reduce. Throws the lowest-index run's exception if any
+ * run failed.
+ */
+SweepResult runSweep(const std::vector<RunRequest> &requests,
+                     const SweepOptions &options = {});
+
+} // namespace exec
+} // namespace netpack
+
+#endif // NETPACK_EXEC_SWEEP_H

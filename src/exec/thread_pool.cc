@@ -1,0 +1,133 @@
+#include "exec/thread_pool.h"
+
+#include "common/check.h"
+
+namespace netpack {
+namespace exec {
+
+namespace {
+
+/** Which pool (if any) the current thread is a worker of, and which
+ * queue it owns — lets post() from inside a task stay local. */
+thread_local const ThreadPool *t_workerPool = nullptr;
+thread_local std::size_t t_workerIndex = 0;
+
+} // namespace
+
+std::size_t
+ThreadPool::defaultThreadCount()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool::ThreadPool(std::size_t threads)
+{
+    const std::size_t count = threads == 0 ? defaultThreadCount() : threads;
+    workers_.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        workers_.push_back(std::make_unique<Worker>());
+    threads_.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        threads_.emplace_back([this, i]() { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        const std::lock_guard<std::mutex> lock(sleepMutex_);
+        stopping_.store(true, std::memory_order_relaxed);
+    }
+    wake_.notify_all();
+    for (std::thread &thread : threads_)
+        thread.join();
+}
+
+void
+ThreadPool::post(Task task)
+{
+    NETPACK_CHECK_MSG(task != nullptr, "posted an empty task");
+    NETPACK_CHECK_MSG(!stopping_.load(std::memory_order_relaxed),
+                      "post() on a stopping ThreadPool");
+    std::size_t index;
+    if (t_workerPool == this) {
+        index = t_workerIndex; // keep spawned work local; thieves balance
+    } else {
+        index = nextQueue_.fetch_add(1, std::memory_order_relaxed) %
+                workers_.size();
+    }
+    // Count before publishing so a waking worker never sees the task
+    // without the pending signal that keeps it scanning.
+    pending_.fetch_add(1, std::memory_order_release);
+    {
+        Worker &worker = *workers_[index];
+        const std::lock_guard<std::mutex> lock(worker.mutex);
+        worker.tasks.push_back(std::move(task));
+    }
+    {
+        // Empty critical section: pairs with the predicate check in
+        // workerLoop so the notify cannot slip between test and wait.
+        const std::lock_guard<std::mutex> lock(sleepMutex_);
+    }
+    wake_.notify_one();
+}
+
+ThreadPool::Task
+ThreadPool::take(std::size_t self)
+{
+    const std::size_t n = workers_.size();
+    for (std::size_t k = 0; k < n; ++k) {
+        Worker &worker = *workers_[(self + k) % n];
+        const std::lock_guard<std::mutex> lock(worker.mutex);
+        if (worker.tasks.empty())
+            continue;
+        Task task;
+        if (k == 0) {
+            task = std::move(worker.tasks.back());
+            worker.tasks.pop_back();
+        } else {
+            task = std::move(worker.tasks.front());
+            worker.tasks.pop_front();
+        }
+        pending_.fetch_sub(1, std::memory_order_relaxed);
+        return task;
+    }
+    return nullptr;
+}
+
+bool
+ThreadPool::runPendingTask()
+{
+    // A helper thread that is not a worker scans from queue 0; a worker
+    // calling this mid-task prefers its own queue as usual.
+    const std::size_t self = t_workerPool == this ? t_workerIndex : 0;
+    Task task = take(self);
+    if (!task)
+        return false;
+    task();
+    return true;
+}
+
+void
+ThreadPool::workerLoop(std::size_t index)
+{
+    t_workerPool = this;
+    t_workerIndex = index;
+    for (;;) {
+        if (Task task = take(index)) {
+            task();
+            continue;
+        }
+        std::unique_lock<std::mutex> lock(sleepMutex_);
+        wake_.wait(lock, [this]() {
+            return stopping_.load(std::memory_order_relaxed) ||
+                   pending_.load(std::memory_order_acquire) > 0;
+        });
+        if (stopping_.load(std::memory_order_relaxed) &&
+            pending_.load(std::memory_order_acquire) == 0)
+            return;
+    }
+}
+
+} // namespace exec
+} // namespace netpack

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Work-stealing thread pool for fanning independent experiment runs out
+ * across cores. Each worker owns a deque: it pushes and pops its own
+ * work LIFO at the back (locality) and steals FIFO from the front of
+ * other workers' deques when its own runs dry. External submitters
+ * round-robin across the deques.
+ *
+ * Tasks submitted through submit() return a std::future, so exceptions
+ * thrown inside a task propagate to whoever waits on it; parallelFor
+ * additionally guarantees the lowest-index exception wins, which keeps
+ * error reporting deterministic regardless of execution order.
+ */
+
+#ifndef NETPACK_EXEC_THREAD_POOL_H
+#define NETPACK_EXEC_THREAD_POOL_H
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace netpack {
+namespace exec {
+
+/** Fixed-size work-stealing pool; joins (after draining) on destruction. */
+class ThreadPool
+{
+  public:
+    using Task = std::function<void()>;
+
+    /** @param threads worker count; 0 means defaultThreadCount() */
+    explicit ThreadPool(std::size_t threads = 0);
+
+    /** Drains every queued task, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    std::size_t threadCount() const { return workers_.size(); }
+
+    /** std::thread::hardware_concurrency, clamped to at least 1. */
+    static std::size_t defaultThreadCount();
+
+    /** Enqueue a fire-and-forget task (runs before destruction ends). */
+    void post(Task task);
+
+    /** Enqueue @p fn and get a future for its result; an exception
+     * thrown by @p fn surfaces from future::get. */
+    template <class F>
+    auto submit(F &&fn) -> std::future<std::invoke_result_t<std::decay_t<F>>>
+    {
+        using Result = std::invoke_result_t<std::decay_t<F>>;
+        auto task = std::make_shared<std::packaged_task<Result()>>(
+            std::forward<F>(fn));
+        std::future<Result> future = task->get_future();
+        post([task]() { (*task)(); });
+        return future;
+    }
+
+    /**
+     * Run one queued task on the calling thread if any is ready.
+     * Lets a thread blocked on pool results help instead of idling
+     * (parallelFor uses this, which also makes nested parallelFor
+     * deadlock-free on a one-worker pool).
+     * @return true when a task was executed
+     */
+    bool runPendingTask();
+
+  private:
+    /** One worker's state; back = owner end (LIFO), front = steal end. */
+    struct Worker
+    {
+        std::mutex mutex;
+        std::deque<Task> tasks;
+    };
+
+    /** Pop @p self's back or steal another front; empty when starved. */
+    Task take(std::size_t self);
+
+    void workerLoop(std::size_t index);
+
+    std::vector<std::unique_ptr<Worker>> workers_;
+    std::vector<std::thread> threads_;
+    std::mutex sleepMutex_;
+    std::condition_variable wake_;
+    /** Tasks enqueued but not yet taken by any thread. */
+    std::atomic<std::size_t> pending_{0};
+    /** Round-robin cursor for external submissions. */
+    std::atomic<std::size_t> nextQueue_{0};
+    std::atomic<bool> stopping_{false};
+};
+
+/**
+ * Run fn(i) for every i in [0, n) on @p pool while the calling thread
+ * helps execute queued tasks. Blocks until every iteration finished;
+ * if any threw, rethrows the exception of the lowest failing index
+ * (deterministic for any worker count).
+ */
+template <class Fn>
+void
+parallelFor(ThreadPool &pool, std::size_t n, Fn &&fn)
+{
+    if (n == 0)
+        return;
+    std::vector<std::future<void>> futures;
+    futures.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        futures.push_back(pool.submit([&fn, i]() { fn(i); }));
+    // Drain: help the pool while any iteration is still in flight.
+    for (auto &future : futures) {
+        while (future.wait_for(std::chrono::seconds(0)) !=
+               std::future_status::ready) {
+            if (!pool.runPendingTask())
+                future.wait();
+        }
+    }
+    std::exception_ptr first;
+    for (auto &future : futures) {
+        try {
+            future.get();
+        } catch (...) {
+            if (!first)
+                first = std::current_exception();
+        }
+    }
+    if (first)
+        std::rethrow_exception(first);
+}
+
+} // namespace exec
+} // namespace netpack
+
+#endif // NETPACK_EXEC_THREAD_POOL_H

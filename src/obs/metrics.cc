@@ -18,6 +18,8 @@ bool g_metricsEnabled = [] {
     return path != nullptr && path[0] != '\0';
 }();
 
+thread_local MetricScope *g_scopeHead = nullptr;
+
 } // namespace detail
 
 namespace {
@@ -154,6 +156,97 @@ Registry::snapshot() const
 }
 
 void
+Registry::merge(const MetricsSnapshot &snap)
+{
+    for (const auto &[name, value] : snap.counters)
+        counter(name).add(value);
+    for (const auto &[name, value] : snap.gauges)
+        gauge(name).set(value);
+    for (const auto &[name, data] : snap.histograms) {
+        if (data.bounds.empty())
+            continue;
+        Histogram &hist = histogram(name, data.bounds);
+        if (hist.bounds() != data.bounds) {
+            NETPACK_LOG(Warn, "histogram '"
+                                  << name
+                                  << "' bounds disagree with the registry; "
+                                     "dropping the merged buckets");
+            continue;
+        }
+        for (std::size_t i = 0; i < data.counts.size(); ++i)
+            hist.counts_[i].fetch_add(data.counts[i],
+                                      std::memory_order_relaxed);
+        hist.total_.fetch_add(data.total, std::memory_order_relaxed);
+        hist.sum_.fetch_add(data.sum, std::memory_order_relaxed);
+    }
+}
+
+MetricScope::MetricScope()
+    : parent_(detail::g_scopeHead)
+{
+    detail::g_scopeHead = this;
+}
+
+MetricScope::~MetricScope()
+{
+    detail::g_scopeHead = parent_;
+    if (parent_ != nullptr)
+        parent_->merge(local_);
+}
+
+void
+MetricScope::count(const std::string &name, std::int64_t n)
+{
+    local_.counters[name] += n;
+}
+
+void
+MetricScope::gauge(const std::string &name, double x)
+{
+    local_.gauges[name] = x;
+}
+
+void
+MetricScope::histogram(const std::string &name,
+                       const std::vector<double> &bounds, double x)
+{
+    MetricsSnapshot::HistogramData &data = local_.histograms[name];
+    if (data.bounds.empty()) {
+        data.bounds = bounds;
+        data.counts.assign(bounds.size() + 1, 0);
+    }
+    const auto it =
+        std::lower_bound(data.bounds.begin(), data.bounds.end(), x);
+    const auto bucket =
+        static_cast<std::size_t>(std::distance(data.bounds.begin(), it));
+    ++data.counts[bucket];
+    ++data.total;
+    data.sum += x;
+}
+
+void
+MetricScope::merge(const MetricsSnapshot &snap)
+{
+    for (const auto &[name, value] : snap.counters)
+        local_.counters[name] += value;
+    for (const auto &[name, value] : snap.gauges)
+        local_.gauges[name] = value;
+    for (const auto &[name, data] : snap.histograms) {
+        MetricsSnapshot::HistogramData &mine = local_.histograms[name];
+        if (mine.bounds.empty()) {
+            mine = data;
+            continue;
+        }
+        if (mine.bounds != data.bounds)
+            continue; // call sites disagree; keep the first registration
+        for (std::size_t i = 0; i < data.counts.size(); ++i)
+            mine.counts[i] += data.counts[i];
+        mine.total += data.total;
+        mine.sum += data.sum;
+    }
+}
+
+void
 Registry::reset()
 {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -191,6 +284,40 @@ MetricsSnapshot
 snapshot()
 {
     return Registry::instance().snapshot();
+}
+
+void
+recordCount(const std::string &name, std::int64_t n)
+{
+    if (!metricsEnabled())
+        return;
+    if (MetricScope *scope = MetricScope::current())
+        scope->count(name, n);
+    else
+        Registry::instance().counter(name).add(n);
+}
+
+void
+recordGauge(const std::string &name, double value)
+{
+    if (!metricsEnabled())
+        return;
+    if (MetricScope *scope = MetricScope::current())
+        scope->gauge(name, value);
+    else
+        Registry::instance().gauge(name).set(value);
+}
+
+void
+recordHistogram(const std::string &name, const std::vector<double> &bounds,
+                double value)
+{
+    if (!metricsEnabled())
+        return;
+    if (MetricScope *scope = MetricScope::current())
+        scope->histogram(name, bounds, value);
+    else
+        Registry::instance().histogram(name, bounds).record(value);
 }
 
 void

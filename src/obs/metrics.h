@@ -149,6 +149,15 @@ class Registry
 
     MetricsSnapshot snapshot() const;
 
+    /**
+     * Fold @p snap into the registry: counter values add, gauges are
+     * overwritten, histogram buckets add (a histogram whose bounds
+     * disagree with the registered ones is skipped with a warning).
+     * Used to publish run-scoped MetricScope snapshots in a
+     * deterministic order after a parallel sweep.
+     */
+    void merge(const MetricsSnapshot &snap);
+
     /** Zero every value, keeping registrations (test isolation). */
     void reset();
 
@@ -161,12 +170,78 @@ class Registry
     std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 
+/**
+ * Run-scoped metric context: while alive on a thread, every NETPACK_*
+ * macro on that thread records into this scope's private storage
+ * instead of the process-wide registry, so concurrent experiment runs
+ * on a thread pool do not interleave their counters. Scopes nest as a
+ * thread-local stack: a scope that dies inside an enclosing scope folds
+ * its recordings into the parent; the outermost scope publishes
+ * nothing — its owner reads snapshot() and decides (the exec sweep
+ * runner merges snapshots into the registry in request order, which
+ * keeps gauges and histogram sums bit-identical for any worker count).
+ *
+ * Not movable: the address is pinned on the thread-local stack. A scope
+ * must be created and destroyed on the same thread.
+ */
+class MetricScope
+{
+  public:
+    MetricScope();
+    ~MetricScope();
+
+    MetricScope(const MetricScope &) = delete;
+    MetricScope &operator=(const MetricScope &) = delete;
+
+    /** The innermost scope on this thread; nullptr when unscoped. */
+    static MetricScope *current();
+
+    /** Everything recorded in this scope (nested scopes included). */
+    const MetricsSnapshot &snapshot() const { return local_; }
+
+    /** Recording hooks used by the NETPACK_* macros. */
+    void count(const std::string &name, std::int64_t n);
+    void gauge(const std::string &name, double x);
+    void histogram(const std::string &name,
+                   const std::vector<double> &bounds, double x);
+
+  private:
+    /** Fold a dying child scope's recordings into this one. */
+    void merge(const MetricsSnapshot &snap);
+
+    MetricScope *parent_;
+    MetricsSnapshot local_;
+};
+
+namespace detail {
+/** Innermost scope of the calling thread (stack head). */
+extern thread_local MetricScope *g_scopeHead;
+} // namespace detail
+
+inline MetricScope *
+MetricScope::current()
+{
+    return detail::g_scopeHead;
+}
+
 /** Shorthands for Registry::instance().x(). */
 Counter &counter(const std::string &name);
 Gauge &gauge(const std::string &name);
 Histogram &histogram(const std::string &name,
                      const std::vector<double> &bounds);
 MetricsSnapshot snapshot();
+
+/**
+ * Scope-aware recording for dynamically-built metric names (per-rack
+ * series and the like). The NETPACK_* macros cache a static reference,
+ * so they only fit string literals; these route through the innermost
+ * MetricScope when one is active, like the macros do. No-ops when
+ * metrics are disabled.
+ */
+void recordCount(const std::string &name, std::int64_t n = 1);
+void recordGauge(const std::string &name, double value);
+void recordHistogram(const std::string &name,
+                     const std::vector<double> &bounds, double value);
 
 class JsonWriter;
 
@@ -183,13 +258,19 @@ extern const std::vector<double> kPow2Buckets;
 } // namespace obs
 } // namespace netpack
 
-/** Increment counter @p name by @p n; single-branch no-op when disabled. */
+/** Increment counter @p name by @p n; single-branch no-op when disabled.
+ * Inside a MetricScope the add lands in the scope, not the registry. */
 #define NETPACK_COUNT(name, n)                                              \
     do {                                                                    \
         if (::netpack::obs::metricsEnabled()) {                             \
-            static ::netpack::obs::Counter &netpack_obs_c_ =                \
-                ::netpack::obs::counter(name);                              \
-            netpack_obs_c_.add(n);                                          \
+            if (::netpack::obs::MetricScope *netpack_obs_s_ =               \
+                    ::netpack::obs::MetricScope::current()) {               \
+                netpack_obs_s_->count(name, n);                             \
+            } else {                                                        \
+                static ::netpack::obs::Counter &netpack_obs_c_ =            \
+                    ::netpack::obs::counter(name);                          \
+                netpack_obs_c_.add(n);                                      \
+            }                                                               \
         }                                                                   \
     } while (0)
 
@@ -197,9 +278,14 @@ extern const std::vector<double> kPow2Buckets;
 #define NETPACK_GAUGE(name, x)                                              \
     do {                                                                    \
         if (::netpack::obs::metricsEnabled()) {                             \
-            static ::netpack::obs::Gauge &netpack_obs_g_ =                  \
-                ::netpack::obs::gauge(name);                                \
-            netpack_obs_g_.set(static_cast<double>(x));                     \
+            if (::netpack::obs::MetricScope *netpack_obs_s_ =               \
+                    ::netpack::obs::MetricScope::current()) {               \
+                netpack_obs_s_->gauge(name, static_cast<double>(x));        \
+            } else {                                                        \
+                static ::netpack::obs::Gauge &netpack_obs_g_ =              \
+                    ::netpack::obs::gauge(name);                            \
+                netpack_obs_g_.set(static_cast<double>(x));                 \
+            }                                                               \
         }                                                                   \
     } while (0)
 
@@ -207,9 +293,15 @@ extern const std::vector<double> kPow2Buckets;
 #define NETPACK_HISTOGRAM(name, bounds, x)                                  \
     do {                                                                    \
         if (::netpack::obs::metricsEnabled()) {                             \
-            static ::netpack::obs::Histogram &netpack_obs_h_ =              \
-                ::netpack::obs::histogram(name, bounds);                    \
-            netpack_obs_h_.record(static_cast<double>(x));                  \
+            if (::netpack::obs::MetricScope *netpack_obs_s_ =               \
+                    ::netpack::obs::MetricScope::current()) {               \
+                netpack_obs_s_->histogram(name, bounds,                     \
+                                          static_cast<double>(x));          \
+            } else {                                                        \
+                static ::netpack::obs::Histogram &netpack_obs_h_ =          \
+                    ::netpack::obs::histogram(name, bounds);                \
+                netpack_obs_h_.record(static_cast<double>(x));              \
+            }                                                               \
         }                                                                   \
     } while (0)
 

@@ -33,6 +33,17 @@ RunSummary::fromMetrics(const std::string &label, const RunMetrics &metrics)
     return summary;
 }
 
+AggregateStat
+AggregateStat::fromStats(const RunningStats &stats)
+{
+    AggregateStat out;
+    out.count = stats.count();
+    out.mean = stats.mean();
+    out.stddev = stats.stddev();
+    out.ci95 = ci95HalfWidth(stats);
+    return out;
+}
+
 void
 RunManifest::addCluster(const std::string &name, const ClusterConfig &config)
 {
@@ -57,6 +68,29 @@ RunManifest::addRun(const std::string &label, const RunMetrics &metrics)
     runs.push_back(RunSummary::fromMetrics(label, metrics));
 }
 
+void
+RunManifest::addAggregate(const std::string &cell,
+                          const RunningStats &avg_jct,
+                          const RunningStats &avg_de,
+                          const RunningStats &makespan,
+                          const RunningStats &gpu_utilization)
+{
+    AggregateSummary summary;
+    summary.cell = cell;
+    summary.avgJct = AggregateStat::fromStats(avg_jct);
+    summary.avgDe = AggregateStat::fromStats(avg_de);
+    summary.makespan = AggregateStat::fromStats(makespan);
+    summary.avgGpuUtilization = AggregateStat::fromStats(gpu_utilization);
+    const auto it = std::find_if(aggregates.begin(), aggregates.end(),
+                                 [&](const AggregateSummary &entry) {
+                                     return entry.cell == cell;
+                                 });
+    if (it != aggregates.end())
+        *it = std::move(summary);
+    else
+        aggregates.push_back(std::move(summary));
+}
+
 namespace {
 
 void
@@ -72,6 +106,17 @@ writeCluster(JsonWriter &json, const ClusterConfig &config)
     json.kv("rtt_seconds", config.rtt);
     json.kv("racks_per_pod", config.racksPerPod);
     json.kv("pod_oversubscription", config.podOversubscription);
+    json.endObject();
+}
+
+void
+writeAggregateStat(JsonWriter &json, const AggregateStat &stat)
+{
+    json.beginObject();
+    json.kv("count", stat.count);
+    json.kv("mean", stat.mean);
+    json.kv("stddev", stat.stddev);
+    json.kv("ci95", stat.ci95);
     json.endObject();
 }
 
@@ -147,6 +192,24 @@ writeRunManifest(const std::string &path, const RunManifest &manifest)
         json.kv("avg_gpu_utilization", run.avgGpuUtilization);
         json.kv("avg_fragmentation", run.avgFragmentation);
         json.kv("job_restarts", run.jobRestarts);
+        json.endObject();
+    }
+    json.endArray();
+
+    json.key("aggregates");
+    json.beginArray();
+    for (const AggregateSummary &aggregate : manifest.aggregates) {
+        json.beginObject();
+        json.kv("cell", aggregate.cell);
+        json.kv("runs", aggregate.avgJct.count);
+        json.key("avg_jct");
+        writeAggregateStat(json, aggregate.avgJct);
+        json.key("avg_de");
+        writeAggregateStat(json, aggregate.avgDe);
+        json.key("makespan");
+        writeAggregateStat(json, aggregate.makespan);
+        json.key("avg_gpu_utilization");
+        writeAggregateStat(json, aggregate.avgGpuUtilization);
         json.endObject();
     }
     json.endArray();

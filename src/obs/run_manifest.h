@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/stats.h"
 #include "common/table.h"
 #include "sim/metrics.h"
 #include "topology/cluster.h"
@@ -45,11 +46,37 @@ struct RunSummary
                                   const RunMetrics &metrics);
 };
 
+/** Mean / spread / confidence summary of one metric across seeds. */
+struct AggregateStat
+{
+    std::size_t count = 0;
+    double mean = 0.0;
+    double stddev = 0.0;
+    /** Half-width of the two-sided 95% CI for the mean (Student-t). */
+    double ci95 = 0.0;
+
+    static AggregateStat fromStats(const RunningStats &stats);
+};
+
+/**
+ * Cross-seed aggregate for one sweep cell (e.g. "Real|simulator|
+ * NetPack"): the multi-seed statistics the exec sweep runner computes
+ * over that cell's runs.
+ */
+struct AggregateSummary
+{
+    std::string cell;
+    AggregateStat avgJct;
+    AggregateStat avgDe;
+    AggregateStat makespan;
+    AggregateStat avgGpuUtilization;
+};
+
 /** Accumulates a process's run description; written as one JSON file. */
 struct RunManifest
 {
     /** Manifest schema identifier (bump on breaking changes). */
-    std::string schema = "netpack.run_manifest/1";
+    std::string schema = "netpack.run_manifest/2";
     /** Bench executable name (argv[0] basename). */
     std::string bench;
     /** Human title from the bench banner. */
@@ -62,6 +89,8 @@ struct RunManifest
     std::vector<std::uint64_t> seeds;
     /** One summary per simulated run. */
     std::vector<RunSummary> runs;
+    /** Per-cell multi-seed aggregates (empty for single-run benches). */
+    std::vector<AggregateSummary> aggregates;
     /** Every table the bench emitted. */
     std::vector<Table> tables;
 
@@ -73,6 +102,13 @@ struct RunManifest
 
     /** Record one run's metrics under @p label. */
     void addRun(const std::string &label, const RunMetrics &metrics);
+
+    /** Record one cell's cross-seed aggregate (replaces same-cell
+     * entries so a re-run bench does not duplicate). */
+    void addAggregate(const std::string &cell, const RunningStats &avg_jct,
+                      const RunningStats &avg_de,
+                      const RunningStats &makespan,
+                      const RunningStats &gpu_utilization);
 };
 
 /**

@@ -268,7 +268,7 @@ RandomPlacer::serverOrder(const JobSpec &spec, const ClusterTopology &topo,
 }
 
 std::unique_ptr<Placer>
-makePlacerByName(const std::string &name)
+makePlacerByName(const std::string &name, std::uint64_t seed)
 {
     if (name == "NetPack")
         return std::make_unique<NetPackPlacer>();
@@ -285,7 +285,8 @@ makePlacerByName(const std::string &name)
     if (name == "Comb")
         return std::make_unique<CombPlacer>();
     if (name == "Random")
-        return std::make_unique<RandomPlacer>();
+        return seed != 0 ? std::make_unique<RandomPlacer>(seed)
+                         : std::make_unique<RandomPlacer>();
     throw ConfigError("unknown placer '" + name + "'");
 }
 

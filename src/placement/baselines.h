@@ -168,8 +168,13 @@ class RandomPlacer : public BaselinePlacer
     Rng rng_;
 };
 
-/** Factory by figure label; ConfigError for unknown names. */
-std::unique_ptr<Placer> makePlacerByName(const std::string &name);
+/**
+ * Factory by figure label; ConfigError for unknown names. @p seed
+ * selects the RNG stream of stochastic placers (Random); 0 keeps their
+ * fixed default, deterministic placers ignore it.
+ */
+std::unique_ptr<Placer> makePlacerByName(const std::string &name,
+                                         std::uint64_t seed = 0);
 
 /** The placer lineup of Figures 7-9: GB, FB, LF, Optimus, Tetris. */
 std::vector<std::string> baselineNames();

@@ -138,9 +138,9 @@ ClusterSimulator::run(const JobTrace &trace)
             total_pat += pat;
             // Per-ToR series stay bounded: skip them on huge clusters.
             if (topo_->numRacks() <= 64) {
-                obs::gauge("sim.pat_utilization.rack" +
-                           std::to_string(r))
-                    .set(util);
+                obs::recordGauge("sim.pat_utilization.rack" +
+                                     std::to_string(r),
+                                 util);
             }
         }
         NETPACK_GAUGE("sim.pat_utilization.max", worst);

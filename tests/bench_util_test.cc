@@ -107,5 +107,69 @@ TEST(BenchUtil, MatrixKeyIsStable)
               "Real|testbed|GB");
 }
 
+/** Run parseOptionsInto over an argv literal; empty string = success. */
+std::string
+parseError(std::vector<const char *> argv)
+{
+    benchutil::Options options;
+    const auto error = benchutil::parseOptionsInto(
+        static_cast<int>(argv.size()), const_cast<char **>(argv.data()),
+        options);
+    return error ? *error : std::string();
+}
+
+TEST(BenchUtil, ParseOptionsIntoAcceptsJobsAndSeeds)
+{
+    const char *argv[] = {"bench/bench_test", "--jobs", "8", "--seeds",
+                          "5"};
+    benchutil::Options options;
+    const auto error = benchutil::parseOptionsInto(
+        5, const_cast<char **>(argv), options);
+    EXPECT_FALSE(error.has_value()) << *error;
+    EXPECT_EQ(options.jobs, 8);
+    EXPECT_EQ(options.seeds, 5);
+}
+
+TEST(BenchUtil, ParseOptionsIntoRejectsUnknownFlag)
+{
+    EXPECT_NE(parseError({"bench", "--bogus"}).find("--bogus"),
+              std::string::npos);
+}
+
+TEST(BenchUtil, ParseOptionsIntoRejectsMissingOperands)
+{
+    // Each operand-taking flag must complain when the operand is absent.
+    EXPECT_NE(parseError({"bench", "--json"}).find("--json"),
+              std::string::npos);
+    EXPECT_NE(parseError({"bench", "--jobs"}).find("--jobs"),
+              std::string::npos);
+    EXPECT_NE(parseError({"bench", "--seeds"}).find("--seeds"),
+              std::string::npos);
+}
+
+TEST(BenchUtil, ParseOptionsIntoRejectsBadNumbers)
+{
+    EXPECT_FALSE(parseError({"bench", "--jobs", "zero"}).empty());
+    EXPECT_FALSE(parseError({"bench", "--jobs", "0"}).empty());
+    EXPECT_FALSE(parseError({"bench", "--jobs", "-3"}).empty());
+    EXPECT_FALSE(parseError({"bench", "--seeds", "1.5"}).empty());
+}
+
+TEST(BenchUtil, EffectiveSeedsPrefersExplicitFlag)
+{
+    benchutil::Options options;
+    EXPECT_EQ(benchutil::effectiveSeeds(options, 3), 3);
+    options.seeds = 7;
+    EXPECT_EQ(benchutil::effectiveSeeds(options, 3), 7);
+}
+
+TEST(BenchUtil, UsageTextMentionsEveryFlag)
+{
+    const std::string usage = benchutil::usageText("bench_x");
+    for (const char *flag :
+         {"--full", "--csv", "--json", "--jobs", "--seeds", "--help"})
+        EXPECT_NE(usage.find(flag), std::string::npos) << flag;
+}
+
 } // namespace
 } // namespace netpack

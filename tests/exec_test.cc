@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Tests for the parallel execution engine: thread-pool semantics
+ * (drain, stealing, exception propagation, nesting), counter-derived
+ * seed streams, and — the subsystem's hard requirement — bit-identical
+ * sweep results for any worker count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <thread>
+
+#include "common/check.h"
+#include "exec/sweep.h"
+#include "exec/thread_pool.h"
+#include "obs/metrics.h"
+#include "workload/trace_gen.h"
+
+namespace netpack {
+namespace {
+
+using exec::ThreadPool;
+
+TEST(ThreadPool, RunsEverySubmittedTask)
+{
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 100; ++i)
+        futures.push_back(pool.submit([&ran]() { ++ran; }));
+    for (auto &future : futures)
+        future.get();
+    EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, SubmitReturnsTaskValue)
+{
+    ThreadPool pool(2);
+    auto future = pool.submit([]() { return 6 * 7; });
+    EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks)
+{
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 50; ++i)
+            pool.post([&ran]() { ++ran; });
+    } // destructor must run all 50 before joining
+    EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ThreadPool, IdleDestructionDoesNotDeadlock)
+{
+    ThreadPool pool(8); // destroyed with empty queues
+}
+
+TEST(ThreadPool, OversubscribedPoolDrains)
+{
+    // Many more tasks than workers than cores: every task must still
+    // run exactly once.
+    ThreadPool pool(16);
+    std::atomic<int> ran{0};
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 2000; ++i)
+        futures.push_back(pool.submit([&ran]() { ++ran; }));
+    for (auto &future : futures)
+        future.get();
+    EXPECT_EQ(ran.load(), 2000);
+}
+
+TEST(ThreadPool, TaskExceptionPropagatesThroughFuture)
+{
+    ThreadPool pool(2);
+    auto future = pool.submit(
+        []() { throw std::runtime_error("task failed"); });
+    EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForPropagatesLowestFailingIndex)
+{
+    ThreadPool pool(4);
+    try {
+        exec::parallelFor(pool, 64, [](std::size_t i) {
+            if (i % 10 == 3) // 3 is the lowest failing index
+                throw std::runtime_error("fail@" + std::to_string(i));
+        });
+        FAIL() << "parallelFor swallowed the exception";
+    } catch (const std::runtime_error &error) {
+        EXPECT_STREQ(error.what(), "fail@3");
+    }
+}
+
+TEST(ThreadPool, ParallelForRunsEveryIndexOnce)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(500);
+    exec::parallelFor(pool, hits.size(),
+                      [&hits](std::size_t i) { ++hits[i]; });
+    for (const auto &hit : hits)
+        EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock)
+{
+    // The inner loops run on the same (single-worker!) pool as the
+    // outer one; caller-helping must keep everything moving.
+    ThreadPool pool(1);
+    std::atomic<int> ran{0};
+    exec::parallelFor(pool, 4, [&](std::size_t) {
+        exec::parallelFor(pool, 4, [&](std::size_t) { ++ran; });
+    });
+    EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ThreadPool, SubmitFromWorkerStaysRunnable)
+{
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    auto outer = pool.submit([&]() {
+        std::vector<std::future<void>> inner;
+        for (int i = 0; i < 8; ++i)
+            inner.push_back(pool.submit([&ran]() { ++ran; }));
+        for (auto &future : inner) {
+            while (future.wait_for(std::chrono::seconds(0)) !=
+                   std::future_status::ready) {
+                if (!pool.runPendingTask())
+                    future.wait();
+            }
+        }
+    });
+    outer.get();
+    EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(StreamSeed, DeterministicAndDecorrelated)
+{
+    EXPECT_EQ(exec::streamSeed(7, 0), exec::streamSeed(7, 0));
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t base : {0ull, 7ull, 1000ull})
+        for (std::uint64_t index = 0; index < 100; ++index)
+            seen.insert(exec::streamSeed(base, index));
+    EXPECT_EQ(seen.size(), 300u); // no collisions across streams
+}
+
+/** A small-but-contended sweep matrix: 2 placers x 2 cells x 2 seeds. */
+std::vector<exec::RunRequest>
+smallMatrix()
+{
+    std::vector<exec::RunRequest> requests;
+    for (const std::string &placer : {"NetPack", "GB"}) {
+        for (int tight = 0; tight < 2; ++tight) {
+            for (std::uint64_t seed = 0; seed < 2; ++seed) {
+                exec::RunRequest request;
+                request.cell = placer + (tight ? "|tight" : "|loose");
+                request.label =
+                    request.cell + "|seed" + std::to_string(seed);
+                request.config.cluster.numRacks = 2;
+                request.config.cluster.serversPerRack = 4;
+                request.config.cluster.gpusPerServer = 2;
+                request.config.cluster.torPatGbps = tight ? 60.0 : 200.0;
+                request.config.sim.placementPeriod = 5.0;
+                request.config.placer = placer;
+                request.config.seed = exec::streamSeed(seed, tight);
+                TraceGenConfig gen;
+                gen.numJobs = 24;
+                gen.seed = exec::streamSeed(11, seed);
+                gen.demandMean = 4.0;
+                gen.maxGpuDemand = 8;
+                gen.meanInterarrival = 2.0;
+                gen.durationLogMu = 3.5;
+                gen.durationLogSigma = 0.8;
+                request.trace = generateTrace(gen);
+                requests.push_back(std::move(request));
+            }
+        }
+    }
+    return requests;
+}
+
+/** Exact-compare two runs, excluding wall-clock placementSeconds. */
+void
+expectIdenticalMetrics(const RunMetrics &a, const RunMetrics &b)
+{
+    ASSERT_EQ(a.records.size(), b.records.size());
+    for (std::size_t i = 0; i < a.records.size(); ++i) {
+        EXPECT_EQ(a.records[i].submitTime, b.records[i].submitTime);
+        EXPECT_EQ(a.records[i].startTime, b.records[i].startTime);
+        EXPECT_EQ(a.records[i].finishTime, b.records[i].finishTime);
+    }
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.placementRounds, b.placementRounds);
+    EXPECT_EQ(a.avgGpuUtilization, b.avgGpuUtilization);
+    EXPECT_EQ(a.avgFragmentation, b.avgFragmentation);
+    EXPECT_EQ(a.jobRestarts, b.jobRestarts);
+    EXPECT_EQ(a.avgJct(), b.avgJct());
+    EXPECT_EQ(a.avgDe(), b.avgDe());
+}
+
+TEST(Sweep, JobsOneAndJobsEightAreBitIdentical)
+{
+    const std::vector<exec::RunRequest> requests = smallMatrix();
+
+    exec::SweepOptions serial;
+    serial.jobs = 1;
+    const exec::SweepResult a = exec::runSweep(requests, serial);
+
+    exec::SweepOptions parallel;
+    parallel.jobs = 8;
+    const exec::SweepResult b = exec::runSweep(requests, parallel);
+
+    ASSERT_EQ(a.runs.size(), b.runs.size());
+    for (std::size_t i = 0; i < a.runs.size(); ++i)
+        expectIdenticalMetrics(a.runs[i].metrics, b.runs[i].metrics);
+
+    ASSERT_EQ(a.cells.size(), b.cells.size());
+    for (const auto &[cell, stats] : a.cells) {
+        const auto it = b.cells.find(cell);
+        ASSERT_NE(it, b.cells.end()) << cell;
+        // Bit-identical aggregation, not just approximately equal:
+        // reductions run serially in request order on both sides.
+        EXPECT_EQ(stats.avgJct.mean(), it->second.avgJct.mean());
+        EXPECT_EQ(stats.avgJct.stddev(), it->second.avgJct.stddev());
+        EXPECT_EQ(stats.avgDe.mean(), it->second.avgDe.mean());
+        EXPECT_EQ(stats.makespan.mean(), it->second.makespan.mean());
+        EXPECT_EQ(stats.avgGpuUtilization.mean(),
+                  it->second.avgGpuUtilization.mean());
+    }
+}
+
+TEST(Sweep, RepeatedParallelSweepsAreBitIdentical)
+{
+    const std::vector<exec::RunRequest> requests = smallMatrix();
+    exec::SweepOptions options;
+    options.jobs = 4;
+    const exec::SweepResult a = exec::runSweep(requests, options);
+    const exec::SweepResult b = exec::runSweep(requests, options);
+    ASSERT_EQ(a.runs.size(), b.runs.size());
+    for (std::size_t i = 0; i < a.runs.size(); ++i)
+        expectIdenticalMetrics(a.runs[i].metrics, b.runs[i].metrics);
+}
+
+TEST(Sweep, MetricsRegistryIdenticalForAnyWorkerCount)
+{
+    const std::vector<exec::RunRequest> requests = smallMatrix();
+    obs::Registry::instance().reset();
+    const bool was_enabled = obs::metricsEnabled();
+    obs::setMetricsEnabled(true);
+
+    exec::SweepOptions serial;
+    serial.jobs = 1;
+    exec::runSweep(requests, serial);
+    const obs::MetricsSnapshot after_serial = obs::snapshot();
+
+    obs::Registry::instance().reset();
+    exec::SweepOptions parallel;
+    parallel.jobs = 8;
+    exec::runSweep(requests, parallel);
+    const obs::MetricsSnapshot after_parallel = obs::snapshot();
+
+    obs::setMetricsEnabled(was_enabled);
+
+    EXPECT_EQ(after_serial.counters, after_parallel.counters);
+    // Gauges are last-write-wins; ordered publication makes even those
+    // identical across worker counts.
+    EXPECT_EQ(after_serial.gauges, after_parallel.gauges);
+    ASSERT_EQ(after_serial.histograms.size(),
+              after_parallel.histograms.size());
+    for (const auto &[name, data] : after_serial.histograms) {
+        const auto it = after_parallel.histograms.find(name);
+        ASSERT_NE(it, after_parallel.histograms.end()) << name;
+        EXPECT_EQ(data.counts, it->second.counts) << name;
+        EXPECT_EQ(data.total, it->second.total) << name;
+        EXPECT_EQ(data.sum, it->second.sum) << name;
+    }
+}
+
+TEST(Sweep, RunExceptionPropagates)
+{
+    std::vector<exec::RunRequest> requests = smallMatrix();
+    requests[1].config.placer = "NoSuchPlacer";
+    exec::SweepOptions options;
+    options.jobs = 4;
+    EXPECT_THROW(exec::runSweep(requests, options), ConfigError);
+}
+
+TEST(Sweep, EmptyRequestListYieldsEmptyResult)
+{
+    const exec::SweepResult result = exec::runSweep({});
+    EXPECT_TRUE(result.runs.empty());
+    EXPECT_TRUE(result.cells.empty());
+}
+
+} // namespace
+} // namespace netpack

@@ -349,6 +349,15 @@ TEST_F(ObsTest, RunManifestIsValidJson)
     manifest.addSeed(11);
     RunMetrics metrics;
     manifest.addRun("unit|run", metrics);
+    RunningStats jct, de, makespan, util;
+    for (double v : {1.0, 2.0, 3.0}) {
+        jct.add(v);
+        de.add(v * 0.5);
+        makespan.add(v * 10.0);
+        util.add(v * 0.1);
+    }
+    manifest.addAggregate("unit|cell", jct, de, makespan, util);
+    manifest.addAggregate("unit|cell", jct, de, makespan, util); // replace
     Table table({"col_a", "col_b"});
     table.addRow({"1", "x\"quoted\""});
     manifest.tables.push_back(table);
@@ -358,10 +367,16 @@ TEST_F(ObsTest, RunManifestIsValidJson)
 
     const std::string text = slurp(path);
     EXPECT_TRUE(JsonValidator(text).valid()) << text;
-    EXPECT_NE(text.find("netpack.run_manifest/1"), std::string::npos);
+    EXPECT_NE(text.find("netpack.run_manifest/2"), std::string::npos);
     EXPECT_NE(text.find("waterfill.incremental_hits"), std::string::npos);
     EXPECT_NE(text.find("\"seeds\""), std::string::npos);
     EXPECT_NE(text.find("unit|run"), std::string::npos);
+    EXPECT_NE(text.find("\"aggregates\""), std::string::npos);
+    EXPECT_NE(text.find("\"ci95\""), std::string::npos);
+    // Same-cell addAggregate replaces rather than appends.
+    EXPECT_EQ(manifest.aggregates.size(), 1u);
+    EXPECT_EQ(manifest.aggregates[0].avgJct.count, 3u);
+    EXPECT_DOUBLE_EQ(manifest.aggregates[0].avgJct.mean, 2.0);
     // Dedup held: one cluster entry, two seeds.
     EXPECT_EQ(manifest.clusters.size(), 1u);
     EXPECT_EQ(manifest.seeds.size(), 2u);
@@ -391,6 +406,72 @@ TEST_F(ObsTest, JsonWriterEscapesAndNestsCorrectly)
     EXPECT_TRUE(JsonValidator(text).valid()) << text;
     EXPECT_NE(text.find("\\\"b\\\\c\\n\\t"), std::string::npos);
     EXPECT_NE(text.find("\"inf\""), std::string::npos);
+}
+
+TEST_F(ObsTest, MetricScopeCapturesWithoutTouchingRegistry)
+{
+    obs::MetricsSnapshot captured;
+    {
+        obs::MetricScope scope;
+        NETPACK_COUNT("test.scoped", 2);
+        NETPACK_COUNT("test.scoped", 3);
+        NETPACK_GAUGE("test.scoped_gauge", 1.25);
+        NETPACK_HISTOGRAM("test.scoped_hist",
+                          (std::vector<double>{1.0, 2.0}), 1.5);
+        captured = scope.snapshot();
+    }
+    // Nothing leaked into the process-wide registry...
+    const auto global = obs::snapshot();
+    EXPECT_EQ(global.counters.count("test.scoped"), 0u);
+    EXPECT_EQ(global.gauges.count("test.scoped_gauge"), 0u);
+    EXPECT_EQ(global.histograms.count("test.scoped_hist"), 0u);
+    // ...but the scope saw everything.
+    EXPECT_EQ(captured.counters.at("test.scoped"), 5);
+    EXPECT_DOUBLE_EQ(captured.gauges.at("test.scoped_gauge"), 1.25);
+    const auto &hist = captured.histograms.at("test.scoped_hist");
+    EXPECT_EQ(hist.total, 1);
+    EXPECT_DOUBLE_EQ(hist.sum, 1.5);
+    ASSERT_EQ(hist.counts.size(), 3u);
+    EXPECT_EQ(hist.counts[1], 1); // 1.5 lands in (1, 2]
+}
+
+TEST_F(ObsTest, NestedMetricScopeFoldsIntoParent)
+{
+    obs::MetricScope outer;
+    NETPACK_COUNT("test.fold", 1);
+    {
+        obs::MetricScope inner;
+        NETPACK_COUNT("test.fold", 10);
+    } // inner folds into outer on destruction
+    EXPECT_EQ(outer.snapshot().counters.at("test.fold"), 11);
+    EXPECT_EQ(obs::snapshot().counters.count("test.fold"), 0u);
+}
+
+TEST_F(ObsTest, RegistryMergePublishesScopedSnapshot)
+{
+    obs::counter("test.merge").add(1);
+    obs::MetricsSnapshot captured;
+    {
+        obs::MetricScope scope;
+        NETPACK_COUNT("test.merge", 4);
+        NETPACK_HISTOGRAM("test.merge_hist",
+                          (std::vector<double>{1.0}), 0.5);
+        captured = scope.snapshot();
+    }
+    obs::Registry::instance().merge(captured);
+    const auto global = obs::snapshot();
+    EXPECT_EQ(global.counters.at("test.merge"), 5); // 1 + merged 4
+    EXPECT_EQ(global.histograms.at("test.merge_hist").total, 1);
+}
+
+TEST_F(ObsTest, MacrosHitRegistryAgainAfterScopeExits)
+{
+    {
+        obs::MetricScope scope;
+        NETPACK_COUNT("test.rearm", 1);
+    }
+    NETPACK_COUNT("test.rearm", 7);
+    EXPECT_EQ(obs::snapshot().counters.at("test.rearm"), 7);
 }
 
 } // namespace
