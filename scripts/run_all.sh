@@ -29,6 +29,9 @@ ctest --test-dir build --output-on-failure | tee test_output.txt
             echo "################ ${name}"
             case "${name}" in
               bench_micro) "$b" ;; # google-benchmark: own flag parser
+              # bench_placer_micro rides the default arm below: its
+              # p50/p95 epoch latencies and ref-vs-opt speedups land in
+              # BENCH_placer_micro.json alongside the figure manifests.
               # Every figure bench leaves a machine-readable manifest
               # (BENCH_fig07_jct.json, ...) next to bench_output.txt.
               *) "$b" "${BENCH_ARGS[@]}" --json "BENCH_${name#bench_}.json" ;;

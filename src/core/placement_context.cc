@@ -219,6 +219,8 @@ PlacementContext::clear()
     for (auto &jobs : rackJobs_)
         jobs.clear();
     cached_ = SteadyState{};
+    view_ = SteadyStateView{};
+    viewValid_ = false;
     valid_ = false;
     structural_ = false;
     std::fill(dirtyLinkMask_.begin(), dirtyLinkMask_.end(), 0);
@@ -292,7 +294,26 @@ PlacementContext::steadyState()
     const ResourceDelta delta = takeDelta();
     cached_ = estimator_.reestimate(*this, delta);
     valid_ = true;
+    viewValid_ = false;
     return cached_;
+}
+
+const SteadyStateView &
+PlacementContext::steadyStateView()
+{
+    // Converge first: a dirty context recomputes cached_ and drops the
+    // snapshot, so the rebuild below always reads the fresh state.
+    steadyState();
+    if (viewValid_) {
+        ++stats_.viewReuses;
+        NETPACK_COUNT("placement.view_reuses", 1);
+        return view_;
+    }
+    view_.assignFrom(*topo_, cached_);
+    viewValid_ = true;
+    ++stats_.viewRebuilds;
+    NETPACK_COUNT("placement.view_rebuilds", 1);
+    return view_;
 }
 
 // ---------------------------------------------------------------------------

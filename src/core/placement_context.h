@@ -112,6 +112,17 @@ class PlacementContext
      */
     const SteadyState &steadyState();
 
+    /**
+     * Flat snapshot of the converged steady state (the placement hot
+     * loops' input; see SteadyStateView). Cached alongside the
+     * SteadyState itself: any dirtying event invalidates both, so the
+     * view rebuilds at most once per steady-state revision no matter
+     * how many jobs a batch places against it. The reference is
+     * invalidated by the next context mutation — do not hold it across
+     * addJob/removeJob/updateInaRacks.
+     */
+    const SteadyStateView &steadyStateView();
+
     /** True when the next steadyState() query must recompute anything. */
     bool dirty() const;
 
@@ -135,6 +146,10 @@ class PlacementContext
         std::int64_t cacheHits = 0;
         /** Jobs re-converged across all incremental estimates. */
         std::int64_t jobsReconverged = 0;
+        /** SteadyStateView snapshots rebuilt (one per revision). */
+        std::int64_t viewRebuilds = 0;
+        /** steadyStateView() calls served from the cached snapshot. */
+        std::int64_t viewReuses = 0;
     };
 
     /** Cumulative query statistics. */
@@ -182,6 +197,8 @@ class PlacementContext
     std::vector<std::vector<JobId>> rackJobs_;
 
     SteadyState cached_;
+    SteadyStateView view_;
+    bool viewValid_ = false;
     bool valid_ = false;
     bool structural_ = false;
     std::vector<char> dirtyLinkMask_;

@@ -5,23 +5,19 @@
 
 #include "common/check.h"
 #include "placement/netpack_placer.h"
+#include "placement/reference_placer.h"
 
 namespace netpack {
 
-namespace {
-
-/** All server ids 0..n-1. */
-std::vector<ServerId>
-allServers(const ClusterTopology &topo)
+void
+BaselinePlacer::fillAllServers(const ClusterTopology &topo,
+                               std::vector<ServerId> &out)
 {
-    std::vector<ServerId> servers;
-    servers.reserve(static_cast<std::size_t>(topo.numServers()));
+    out.clear();
+    out.reserve(static_cast<std::size_t>(topo.numServers()));
     for (int s = 0; s < topo.numServers(); ++s)
-        servers.emplace_back(s);
-    return servers;
+        out.emplace_back(s);
 }
-
-} // namespace
 
 BatchResult
 BaselinePlacer::placeBatch(const std::vector<JobSpec> &batch,
@@ -32,11 +28,11 @@ BaselinePlacer::placeBatch(const std::vector<JobSpec> &batch,
                       "placement context built for a different topology");
     BatchResult result;
 
-    // Baselines consume one steady-state estimate per batch (the
+    // Baselines consume one steady-state snapshot per batch (the
     // pre-batch network state); an incremental context makes this a
     // cache hit when nothing changed since the last round.
-    const SteadyState *steady_ptr =
-        needsSteadyState() ? &ctx.steadyState() : nullptr;
+    const SteadyStateView *view =
+        needsSteadyState() ? &ctx.steadyStateView() : nullptr;
 
     for (const JobSpec &spec : batch) {
         if (gpus.totalFreeGpus() < spec.gpuDemand) {
@@ -44,7 +40,7 @@ BaselinePlacer::placeBatch(const std::vector<JobSpec> &batch,
             continue;
         }
         Placement placement;
-        if (placeOne(spec, topo, gpus, steady_ptr, placement)) {
+        if (placeOne(spec, topo, gpus, view, placement)) {
             result.placed.push_back({spec.id, placement});
             ctx.addJob(spec.id, placement);
         } else {
@@ -56,105 +52,102 @@ BaselinePlacer::placeBatch(const std::vector<JobSpec> &batch,
 
 bool
 BaselinePlacer::placeOne(const JobSpec &spec, const ClusterTopology &topo,
-                         GpuLedger &gpus, const SteadyState *steady,
+                         GpuLedger &gpus, const SteadyStateView *view,
                          Placement &out)
 {
-    const std::vector<ServerId> order =
-        serverOrder(spec, topo, gpus, steady);
+    serverOrder(spec, topo, gpus, view, orderScratch_);
     const std::map<ServerId, int> taken =
-        placement_util::greedyTake(order, gpus, spec.gpuDemand);
+        placement_util::greedyTake(orderScratch_, gpus, spec.gpuDemand);
     if (taken.empty())
         return false;
     out = placement_util::finalizeBaseline(topo, gpus, spec.id, taken);
     return true;
 }
 
-std::vector<ServerId>
+void
 GpuBalancePlacer::serverOrder(const JobSpec &spec,
                               const ClusterTopology &topo,
                               const GpuLedger &gpus,
-                              const SteadyState *steady)
+                              const SteadyStateView *view,
+                              std::vector<ServerId> &out)
 {
     (void)spec;
-    (void)steady;
-    std::vector<ServerId> servers = allServers(topo);
-    std::stable_sort(servers.begin(), servers.end(),
-                     [&](ServerId a, ServerId b) {
-                         return gpus.freeGpus(a) > gpus.freeGpus(b);
-                     });
-    return servers;
+    (void)view;
+    fillAllServers(topo, out);
+    std::stable_sort(out.begin(), out.end(), [&](ServerId a, ServerId b) {
+        return gpus.freeGpus(a) > gpus.freeGpus(b);
+    });
 }
 
-std::vector<ServerId>
+void
 FlowBalancePlacer::serverOrder(const JobSpec &spec,
                                const ClusterTopology &topo,
                                const GpuLedger &gpus,
-                               const SteadyState *steady)
+                               const SteadyStateView *view,
+                               std::vector<ServerId> &out)
 {
     (void)spec;
-    NETPACK_CHECK(steady != nullptr);
-    std::vector<ServerId> servers = allServers(topo);
-    std::stable_sort(servers.begin(), servers.end(),
-                     [&](ServerId a, ServerId b) {
-                         const int fa = steady->serverFlows(topo, a);
-                         const int fb = steady->serverFlows(topo, b);
-                         if (fa != fb)
-                             return fa < fb;
-                         return gpus.freeGpus(a) > gpus.freeGpus(b);
-                     });
-    return servers;
+    NETPACK_CHECK(view != nullptr);
+    fillAllServers(topo, out);
+    std::stable_sort(out.begin(), out.end(), [&](ServerId a, ServerId b) {
+        const int fa =
+            view->serverFlows[static_cast<std::size_t>(a.index())];
+        const int fb =
+            view->serverFlows[static_cast<std::size_t>(b.index())];
+        if (fa != fb)
+            return fa < fb;
+        return gpus.freeGpus(a) > gpus.freeGpus(b);
+    });
 }
 
-std::vector<ServerId>
+void
 LeastFragmentationPlacer::serverOrder(const JobSpec &spec,
                                       const ClusterTopology &topo,
                                       const GpuLedger &gpus,
-                                      const SteadyState *steady)
+                                      const SteadyStateView *view,
+                                      std::vector<ServerId> &out)
 {
     (void)spec;
-    (void)steady;
+    (void)view;
     // Best-fit: drain partially-used servers before opening fresh ones.
-    std::vector<ServerId> servers = allServers(topo);
+    fillAllServers(topo, out);
     const int per_server = topo.gpusPerServer();
-    std::stable_sort(servers.begin(), servers.end(),
-                     [&](ServerId a, ServerId b) {
-                         const int fa = gpus.freeGpus(a);
-                         const int fb = gpus.freeGpus(b);
-                         const bool partial_a = fa > 0 && fa < per_server;
-                         const bool partial_b = fb > 0 && fb < per_server;
-                         if (partial_a != partial_b)
-                             return partial_a;
-                         return fa < fb;
-                     });
-    return servers;
+    std::stable_sort(out.begin(), out.end(), [&](ServerId a, ServerId b) {
+        const int fa = gpus.freeGpus(a);
+        const int fb = gpus.freeGpus(b);
+        const bool partial_a = fa > 0 && fa < per_server;
+        const bool partial_b = fb > 0 && fb < per_server;
+        if (partial_a != partial_b)
+            return partial_a;
+        return fa < fb;
+    });
 }
 
-std::vector<ServerId>
+void
 OptimusPlacer::serverOrder(const JobSpec &spec, const ClusterTopology &topo,
-                           const GpuLedger &gpus, const SteadyState *steady)
+                           const GpuLedger &gpus,
+                           const SteadyStateView *view,
+                           std::vector<ServerId> &out)
 {
     (void)spec;
-    (void)steady;
-    std::vector<ServerId> servers = allServers(topo);
-    std::stable_sort(servers.begin(), servers.end(),
-                     [&](ServerId a, ServerId b) {
-                         return gpus.freeGpus(a) > gpus.freeGpus(b);
-                     });
-    return servers;
+    (void)view;
+    fillAllServers(topo, out);
+    std::stable_sort(out.begin(), out.end(), [&](ServerId a, ServerId b) {
+        return gpus.freeGpus(a) > gpus.freeGpus(b);
+    });
 }
 
 bool
 OptimusPlacer::placeOne(const JobSpec &spec, const ClusterTopology &topo,
-                        GpuLedger &gpus, const SteadyState *steady,
+                        GpuLedger &gpus, const SteadyStateView *view,
                         Placement &out)
 {
     // Minimal top-k prefix (by free GPUs) covering the demand, then an
     // even round-robin spread of workers over it.
-    const std::vector<ServerId> order =
-        serverOrder(spec, topo, gpus, steady);
+    serverOrder(spec, topo, gpus, view, orderScratch_);
     std::vector<ServerId> top;
     int covered = 0;
-    for (ServerId server : order) {
+    for (ServerId server : orderScratch_) {
         if (covered >= spec.gpuDemand)
             break;
         const int free = gpus.freeGpus(server);
@@ -183,11 +176,13 @@ OptimusPlacer::placeOne(const JobSpec &spec, const ClusterTopology &topo,
     return true;
 }
 
-std::vector<ServerId>
+void
 TetrisPlacer::serverOrder(const JobSpec &spec, const ClusterTopology &topo,
-                          const GpuLedger &gpus, const SteadyState *steady)
+                          const GpuLedger &gpus,
+                          const SteadyStateView *view,
+                          std::vector<ServerId> &out)
 {
-    NETPACK_CHECK(steady != nullptr);
+    NETPACK_CHECK(view != nullptr);
     const Gbps c = topo.config().serverLinkGbps;
     const ModelProfile &model = ModelZoo::byName(spec.modelName);
     // Job requirement vector, normalized: GPUs relative to a server's
@@ -200,49 +195,50 @@ TetrisPlacer::serverOrder(const JobSpec &spec, const ClusterTopology &topo,
         model.computeTimePerIter / units::kBitsPerGbit;
     const double bw_req = std::min(1.0, bw_demand / c);
 
-    std::vector<ServerId> servers = allServers(topo);
-    std::vector<double> score(servers.size());
-    for (std::size_t i = 0; i < servers.size(); ++i) {
+    const auto n = static_cast<std::size_t>(topo.numServers());
+    scoreScratch_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
         const double gpu_avail =
-            static_cast<double>(gpus.freeGpus(servers[i])) /
+            static_cast<double>(gpus.freeGpus(ServerId(
+                static_cast<int>(i)))) /
             static_cast<double>(topo.gpusPerServer());
-        const double bw_avail =
-            steady->serverAvailBw(topo, servers[i]) / c;
-        score[i] = gpu_avail * gpu_req + bw_avail * bw_req;
+        const double bw_avail = view->serverAvailBw[i] / c;
+        scoreScratch_[i] = gpu_avail * gpu_req + bw_avail * bw_req;
     }
-    std::vector<std::size_t> rank(servers.size());
-    std::iota(rank.begin(), rank.end(), 0);
-    std::stable_sort(rank.begin(), rank.end(),
+    rankScratch_.resize(n);
+    std::iota(rankScratch_.begin(), rankScratch_.end(), std::size_t{0});
+    std::stable_sort(rankScratch_.begin(), rankScratch_.end(),
                      [&](std::size_t a, std::size_t b) {
-                         return score[a] > score[b];
+                         return scoreScratch_[a] > scoreScratch_[b];
                      });
-    std::vector<ServerId> ordered;
-    ordered.reserve(servers.size());
-    for (std::size_t i : rank)
-        ordered.push_back(servers[i]);
-    return ordered;
+    out.clear();
+    out.reserve(n);
+    for (std::size_t i : rankScratch_)
+        out.emplace_back(static_cast<int>(i));
 }
 
-std::vector<ServerId>
+void
 CombPlacer::serverOrder(const JobSpec &spec, const ClusterTopology &topo,
-                        const GpuLedger &gpus, const SteadyState *steady)
+                        const GpuLedger &gpus, const SteadyStateView *view,
+                        std::vector<ServerId> &out)
 {
     (void)spec;
-    NETPACK_CHECK(steady != nullptr);
-    std::vector<ServerId> servers = allServers(topo);
-    std::stable_sort(
-        servers.begin(), servers.end(), [&](ServerId a, ServerId b) {
-            const int ga = gpus.freeGpus(a), gb = gpus.freeGpus(b);
-            if (ga != gb)
-                return ga > gb;
-            const Gbps pa = steady->patResidual[topo.rackOf(a).index()];
-            const Gbps pb = steady->patResidual[topo.rackOf(b).index()];
-            if (pa != pb)
-                return pa > pb;
-            return steady->serverAvailBw(topo, a) >
-                   steady->serverAvailBw(topo, b);
-        });
-    return servers;
+    NETPACK_CHECK(view != nullptr);
+    fillAllServers(topo, out);
+    const int spr = topo.config().serversPerRack;
+    std::stable_sort(out.begin(), out.end(), [&](ServerId a, ServerId b) {
+        const int ga = gpus.freeGpus(a), gb = gpus.freeGpus(b);
+        if (ga != gb)
+            return ga > gb;
+        const Gbps pa = view->patResidual[static_cast<std::size_t>(
+            a.index() / spr)];
+        const Gbps pb = view->patResidual[static_cast<std::size_t>(
+            b.index() / spr)];
+        if (pa != pb)
+            return pa > pb;
+        return view->serverAvailBw[static_cast<std::size_t>(a.index())] >
+               view->serverAvailBw[static_cast<std::size_t>(b.index())];
+    });
 }
 
 RandomPlacer::RandomPlacer(std::uint64_t seed)
@@ -250,21 +246,22 @@ RandomPlacer::RandomPlacer(std::uint64_t seed)
 {
 }
 
-std::vector<ServerId>
+void
 RandomPlacer::serverOrder(const JobSpec &spec, const ClusterTopology &topo,
-                          const GpuLedger &gpus, const SteadyState *steady)
+                          const GpuLedger &gpus,
+                          const SteadyStateView *view,
+                          std::vector<ServerId> &out)
 {
     (void)spec;
     (void)gpus;
-    (void)steady;
-    std::vector<ServerId> servers = allServers(topo);
+    (void)view;
+    fillAllServers(topo, out);
     // Fisher-Yates with the placer's own deterministic stream.
-    for (std::size_t i = servers.size(); i > 1; --i) {
+    for (std::size_t i = out.size(); i > 1; --i) {
         const auto j = static_cast<std::size_t>(
             rng_.uniformInt(0, static_cast<std::int64_t>(i) - 1));
-        std::swap(servers[i - 1], servers[j]);
+        std::swap(out[i - 1], out[j]);
     }
-    return servers;
 }
 
 std::unique_ptr<Placer>
@@ -272,6 +269,8 @@ makePlacerByName(const std::string &name, std::uint64_t seed)
 {
     if (name == "NetPack")
         return std::make_unique<NetPackPlacer>();
+    if (name == "NetPackRef")
+        return std::make_unique<ReferenceNetPackPlacer>();
     if (name == "GB")
         return std::make_unique<GpuBalancePlacer>();
     if (name == "FB")

@@ -7,6 +7,12 @@
  * control. None of them reason about INA during placement; INA is
  * enabled transparently for their jobs at runtime, exactly as in the
  * paper's experiments.
+ *
+ * Network-aware baselines read the flat SteadyStateView snapshot (one
+ * per batch, cached by the PlacementContext) instead of per-server
+ * SteadyState accessor calls, and the preference order is built into a
+ * reusable scratch vector — a warm baseline placer allocates nothing
+ * per job.
  */
 
 #ifndef NETPACK_PLACEMENT_BASELINES_H
@@ -21,7 +27,7 @@ namespace netpack {
 
 /**
  * Common machinery: FIFO admission (submit order, defer what does not
- * fit), one steady-state estimate per batch for policies that need
+ * fit), one steady-state snapshot per batch for policies that need
  * network state, greedy worker packing along a policy-specific server
  * preference order, PS on the least-loaded chosen server, INA everywhere.
  */
@@ -34,16 +40,19 @@ class BaselinePlacer : public Placer
                            PlacementContext &ctx) final;
 
   protected:
-    /** Whether serverOrder consumes the steady-state estimate. */
+    /** Whether serverOrder consumes the steady-state snapshot. */
     virtual bool needsSteadyState() const { return false; }
 
     /**
-     * Policy-specific preference order (most preferred first). Servers
-     * without free GPUs may be included; they are skipped when packing.
+     * Policy-specific preference order (most preferred first), written
+     * into @p out (cleared first). Servers without free GPUs may be
+     * included; they are skipped when packing.
      */
-    virtual std::vector<ServerId>
-    serverOrder(const JobSpec &spec, const ClusterTopology &topo,
-                const GpuLedger &gpus, const SteadyState *steady) = 0;
+    virtual void serverOrder(const JobSpec &spec,
+                             const ClusterTopology &topo,
+                             const GpuLedger &gpus,
+                             const SteadyStateView *view,
+                             std::vector<ServerId> &out) = 0;
 
     /**
      * Hook for policies that do more than greedy packing (Optimus).
@@ -51,8 +60,15 @@ class BaselinePlacer : public Placer
      * Returns false when the job cannot be placed.
      */
     virtual bool placeOne(const JobSpec &spec, const ClusterTopology &topo,
-                          GpuLedger &gpus, const SteadyState *steady,
+                          GpuLedger &gpus, const SteadyStateView *view,
                           Placement &out);
+
+    /** Fill @p out with all server ids 0..n-1. */
+    static void fillAllServers(const ClusterTopology &topo,
+                               std::vector<ServerId> &out);
+
+    /** Reusable preference-order buffer for placeOne/serverOrder. */
+    std::vector<ServerId> orderScratch_;
 };
 
 /** GB: prefer servers with the most free GPUs. */
@@ -62,10 +78,9 @@ class GpuBalancePlacer : public BaselinePlacer
     std::string name() const override { return "GB"; }
 
   protected:
-    std::vector<ServerId> serverOrder(const JobSpec &spec,
-                                      const ClusterTopology &topo,
-                                      const GpuLedger &gpus,
-                                      const SteadyState *steady) override;
+    void serverOrder(const JobSpec &spec, const ClusterTopology &topo,
+                     const GpuLedger &gpus, const SteadyStateView *view,
+                     std::vector<ServerId> &out) override;
 };
 
 /** FB: prefer servers whose access link carries the fewest flows. */
@@ -76,10 +91,9 @@ class FlowBalancePlacer : public BaselinePlacer
 
   protected:
     bool needsSteadyState() const override { return true; }
-    std::vector<ServerId> serverOrder(const JobSpec &spec,
-                                      const ClusterTopology &topo,
-                                      const GpuLedger &gpus,
-                                      const SteadyState *steady) override;
+    void serverOrder(const JobSpec &spec, const ClusterTopology &topo,
+                     const GpuLedger &gpus, const SteadyStateView *view,
+                     std::vector<ServerId> &out) override;
 };
 
 /** LF: use up partially-occupied servers first (best-fit packing). */
@@ -89,10 +103,9 @@ class LeastFragmentationPlacer : public BaselinePlacer
     std::string name() const override { return "LF"; }
 
   protected:
-    std::vector<ServerId> serverOrder(const JobSpec &spec,
-                                      const ClusterTopology &topo,
-                                      const GpuLedger &gpus,
-                                      const SteadyState *steady) override;
+    void serverOrder(const JobSpec &spec, const ClusterTopology &topo,
+                     const GpuLedger &gpus, const SteadyStateView *view,
+                     std::vector<ServerId> &out) override;
 };
 
 /**
@@ -105,12 +118,11 @@ class OptimusPlacer : public BaselinePlacer
     std::string name() const override { return "Optimus"; }
 
   protected:
-    std::vector<ServerId> serverOrder(const JobSpec &spec,
-                                      const ClusterTopology &topo,
-                                      const GpuLedger &gpus,
-                                      const SteadyState *steady) override;
+    void serverOrder(const JobSpec &spec, const ClusterTopology &topo,
+                     const GpuLedger &gpus, const SteadyStateView *view,
+                     std::vector<ServerId> &out) override;
     bool placeOne(const JobSpec &spec, const ClusterTopology &topo,
-                  GpuLedger &gpus, const SteadyState *steady,
+                  GpuLedger &gpus, const SteadyStateView *view,
                   Placement &out) override;
 };
 
@@ -126,10 +138,13 @@ class TetrisPlacer : public BaselinePlacer
 
   protected:
     bool needsSteadyState() const override { return true; }
-    std::vector<ServerId> serverOrder(const JobSpec &spec,
-                                      const ClusterTopology &topo,
-                                      const GpuLedger &gpus,
-                                      const SteadyState *steady) override;
+    void serverOrder(const JobSpec &spec, const ClusterTopology &topo,
+                     const GpuLedger &gpus, const SteadyStateView *view,
+                     std::vector<ServerId> &out) override;
+
+  private:
+    std::vector<double> scoreScratch_;
+    std::vector<std::size_t> rankScratch_;
 };
 
 /**
@@ -144,10 +159,9 @@ class CombPlacer : public BaselinePlacer
 
   protected:
     bool needsSteadyState() const override { return true; }
-    std::vector<ServerId> serverOrder(const JobSpec &spec,
-                                      const ClusterTopology &topo,
-                                      const GpuLedger &gpus,
-                                      const SteadyState *steady) override;
+    void serverOrder(const JobSpec &spec, const ClusterTopology &topo,
+                     const GpuLedger &gpus, const SteadyStateView *view,
+                     std::vector<ServerId> &out) override;
 };
 
 /** Uniform-random feasible placement (control for tests/ablation). */
@@ -159,10 +173,9 @@ class RandomPlacer : public BaselinePlacer
     std::string name() const override { return "Random"; }
 
   protected:
-    std::vector<ServerId> serverOrder(const JobSpec &spec,
-                                      const ClusterTopology &topo,
-                                      const GpuLedger &gpus,
-                                      const SteadyState *steady) override;
+    void serverOrder(const JobSpec &spec, const ClusterTopology &topo,
+                     const GpuLedger &gpus, const SteadyStateView *view,
+                     std::vector<ServerId> &out) override;
 
   private:
     Rng rng_;
@@ -171,7 +184,8 @@ class RandomPlacer : public BaselinePlacer
 /**
  * Factory by figure label; ConfigError for unknown names. @p seed
  * selects the RNG stream of stochastic placers (Random); 0 keeps their
- * fixed default, deterministic placers ignore it.
+ * fixed default, deterministic placers ignore it. "NetPackRef" builds
+ * the frozen naive reference placer (differential-test oracle).
  */
 std::unique_ptr<Placer> makePlacerByName(const std::string &name,
                                          std::uint64_t seed = 0);

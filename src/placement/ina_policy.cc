@@ -16,13 +16,14 @@ constexpr double kRateEpsilon = 1e-9;
 
 /** Estimated total communication time of @p targets (guard objective). */
 double
-commObjective(const ClusterTopology &topo,
+commObjective(WaterFillingEstimator &wf,
               const std::vector<PlacedJob> &targets,
               const std::vector<PlacedJob> &background,
               const VolumeLookup &volume_of)
 {
-    WaterFillingEstimator wf(topo);
-    std::vector<PlacedJob> combined = background;
+    std::vector<PlacedJob> combined;
+    combined.reserve(background.size() + targets.size());
+    combined.insert(combined.end(), background.begin(), background.end());
     combined.insert(combined.end(), targets.begin(), targets.end());
     const SteadyState steady = wf.estimate(combined);
 
@@ -73,7 +74,9 @@ assignSelectiveIna(const ClusterTopology &topo,
     std::vector<Gbps> budget = base.patResidual;
 
     // Rates and fan-ins with everything enabled drive the AE order.
-    std::vector<PlacedJob> combined = background;
+    std::vector<PlacedJob> combined;
+    combined.reserve(background.size() + targets.size());
+    combined.insert(combined.end(), background.begin(), background.end());
     combined.insert(combined.end(), targets.begin(), targets.end());
     const SteadyState full = wf.estimate(combined);
 
@@ -124,8 +127,10 @@ assignSelectiveIna(const ClusterTopology &topo,
 
     // Estimator guard: never ship an assignment predicted to regress
     // the targets' total communication time vs plain INA-for-all.
-    if (commObjective(topo, targets, background, volume_of) >
-        commObjective(topo, all_enabled, background, volume_of)) {
+    // Reuses the function-level estimator instead of building a fresh
+    // one (and its link tables) per objective evaluation.
+    if (commObjective(wf, targets, background, volume_of) >
+        commObjective(wf, all_enabled, background, volume_of)) {
         targets = all_enabled;
         result.revertedToAllEnabled = true;
     }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <unordered_map>
 
 #include "common/check.h"
 #include "common/log.h"
@@ -16,7 +17,21 @@ namespace netpack {
 namespace {
 
 constexpr double kNegInf = -1e300;
-constexpr double kRateEpsilon = 1e-9;
+
+/**
+ * Slack added to the DP-cell upper bounds. The bound is derived from
+ * the same quantities the scoring loop reads but groups the floating-
+ * point operations differently, so it can undershoot the loop's result
+ * by a few ULPs; the slack (orders of magnitude above any rounding
+ * error, orders of magnitude below any meaningful score difference)
+ * keeps the prune strictly conservative — a pruned cell provably cannot
+ * beat the running best under the loop's own arithmetic.
+ */
+double
+pruneSlack(Gbps c)
+{
+    return 1e-6 * (1.0 + std::abs(c));
+}
 
 } // namespace
 
@@ -32,6 +47,48 @@ NetPackPlacer::NetPackPlacer(NetPackConfig config)
                         << config.psShards);
 }
 
+NetPackPlacer::WorkerDp &
+NetPackPlacer::acquireDp()
+{
+    if (dpTablesUsed_ == dpTables_.size())
+        dpTables_.emplace_back();
+    return dpTables_[dpTablesUsed_++];
+}
+
+void
+NetPackPlacer::ensureScratch(const ClusterTopology &topo)
+{
+    const auto n_servers = static_cast<std::size_t>(topo.numServers());
+    const auto n_racks = static_cast<std::size_t>(topo.numRacks());
+    const auto n_pods =
+        topo.twoTier() ? static_cast<std::size_t>(topo.numPods()) : 0;
+    if (inPlanStamp_.size() == n_servers && rackStamp_.size() == n_racks &&
+        podStamp_.size() == n_pods)
+        return;
+    inPlanStamp_.assign(n_servers, 0);
+    rackStamp_.assign(n_racks, 0);
+    rackCount_.assign(n_racks, 0);
+    crossStamp_.assign(n_racks, 0);
+    crossValue_.assign(n_racks, 0.0);
+    podStamp_.assign(n_pods, 0);
+    podCount_.assign(n_pods, 0);
+    epoch_ = 0;
+}
+
+void
+NetPackPlacer::nextEpoch()
+{
+    if (++epoch_ == 0) {
+        // Stamp wrap: every stale stamp could now collide with a fresh
+        // epoch, so clear them all once per 2^32 plans.
+        std::fill(inPlanStamp_.begin(), inPlanStamp_.end(), 0);
+        std::fill(rackStamp_.begin(), rackStamp_.end(), 0);
+        std::fill(crossStamp_.begin(), crossStamp_.end(), 0);
+        std::fill(podStamp_.begin(), podStamp_.end(), 0);
+        epoch_ = 1;
+    }
+}
+
 BatchResult
 NetPackPlacer::placeBatch(const std::vector<JobSpec> &batch,
                           const ClusterTopology &topo, GpuLedger &gpus,
@@ -42,6 +99,23 @@ NetPackPlacer::placeBatch(const std::vector<JobSpec> &batch,
     NETPACK_SPAN(batch_span, "placement.batch");
     batch_span.arg("batch", batch.size());
     BatchResult result;
+    lastScores_.clear();
+    ensureScratch(topo);
+    const std::int64_t view_rebuilds_before = ctx.stats().viewRebuilds;
+    const std::int64_t view_reuses_before = ctx.stats().viewReuses;
+
+    // Link capacities feeding the crossing penalty (topology-constant,
+    // refreshed per batch so the placer may serve several topologies).
+    rackCap_.resize(static_cast<std::size_t>(topo.numRacks()));
+    for (int r = 0; r < topo.numRacks(); ++r)
+        rackCap_[static_cast<std::size_t>(r)] =
+            topo.coreLinkCapacity(RackId(r));
+    if (topo.twoTier()) {
+        podCap_.resize(static_cast<std::size_t>(topo.numPods()));
+        for (int p = 0; p < topo.numPods(); ++p)
+            podCap_[static_cast<std::size_t>(p)] =
+                topo.link(topo.podUplink(p)).capacity;
+    }
 
     // Step ④ treats the pre-batch jobs as fixed background; snapshot
     // them before this batch's placements enter the context.
@@ -77,6 +151,7 @@ NetPackPlacer::placeBatch(const std::vector<JobSpec> &batch,
                          return a->value > b->value;
                      });
 
+    const int rpp = topo.config().racksPerPod;
     for (const JobSpec *spec : to_place) {
         // Single-server fast path (lines 4-6): no cross-server traffic.
         const ServerId single =
@@ -95,11 +170,12 @@ NetPackPlacer::placeBatch(const std::vector<JobSpec> &batch,
         // Line 7: re-estimate the steady state with every job placed so
         // far (resources are shared, not reserved, so each new job moves
         // the fair share of everyone else). The context re-converges
-        // only the jobs coupled to the previous placement's resources.
-        const SteadyState &steady = ctx.steadyState();
+        // only the jobs coupled to the previous placement's resources
+        // and snapshots the result flat, once per revision.
+        const SteadyStateView &view = ctx.steadyStateView();
 
-        std::vector<WorkerPlan> plans =
-            workerPlacement(*spec, topo, gpus, steady);
+        dpTablesUsed_ = 0;
+        workerPlacement(*spec, topo, gpus, view, acquireDp());
         if (config_.oversubPenalty &&
             topo.config().oversubscription > 1.0) {
             // Rack-local alternatives: the global DP is rack-blind, so
@@ -109,38 +185,31 @@ NetPackPlacer::placeBatch(const std::vector<JobSpec> &batch,
                 const RackId rack(r);
                 if (gpus.freeGpusInRack(rack) < spec->gpuDemand)
                     continue;
-                std::vector<WorkerPlan> rack_plans =
-                    workerPlacement(*spec, topo, gpus, steady, rack);
-                plans.insert(plans.end(),
-                             std::make_move_iterator(rack_plans.begin()),
-                             std::make_move_iterator(rack_plans.end()));
+                workerPlacement(*spec, topo, gpus, view, acquireDp(),
+                                rack);
             }
             // Pod-local alternatives in two-tier mode: crossing a rack
             // is cheaper than crossing a pod.
             if (topo.twoTier()) {
                 for (int p = 0; p < topo.numPods(); ++p) {
                     int pod_free = 0;
-                    for (int r = 0; r < topo.numRacks(); ++r) {
-                        if (topo.podOf(RackId(r)) == p)
-                            pod_free += gpus.freeGpusInRack(RackId(r));
-                    }
+                    const int r_end = std::min(topo.numRacks(),
+                                               (p + 1) * rpp);
+                    for (int r = p * rpp; r < r_end; ++r)
+                        pod_free += gpus.freeGpusInRack(RackId(r));
                     if (pod_free < spec->gpuDemand)
                         continue;
-                    std::vector<WorkerPlan> pod_plans = workerPlacement(
-                        *spec, topo, gpus, steady, RackId(), p);
-                    plans.insert(
-                        plans.end(),
-                        std::make_move_iterator(pod_plans.begin()),
-                        std::make_move_iterator(pod_plans.end()));
+                    workerPlacement(*spec, topo, gpus, view, acquireDp(),
+                                    RackId(), p);
                 }
             }
         }
-        std::optional<FullPlan> best =
-            psPlacement(*spec, topo, plans, steady);
+        std::optional<FullPlan> best = psPlacement(*spec, topo, view);
         if (!best) {
             result.deferred.push_back(spec->id);
             continue;
         }
+        lastScores_.push_back(best->score);
 
         Placement placement = std::move(best->placement);
         // Default to INA-on everywhere; step ④ may disable some racks.
@@ -168,15 +237,19 @@ NetPackPlacer::placeBatch(const std::vector<JobSpec> &batch,
                   static_cast<std::int64_t>(result.deferred.size()));
     batch_span.arg("placed", result.placed.size());
     batch_span.arg("deferred", result.deferred.size());
+    batch_span.arg("view_rebuilds",
+                   ctx.stats().viewRebuilds - view_rebuilds_before);
+    batch_span.arg("view_reuses",
+                   ctx.stats().viewReuses - view_reuses_before);
     return result;
 }
 
-std::vector<NetPackPlacer::WorkerPlan>
+void
 NetPackPlacer::workerPlacement(const JobSpec &spec,
                                const ClusterTopology &topo,
                                const GpuLedger &gpus,
-                               const SteadyState &steady,
-                               RackId restrict_rack, int restrict_pod) const
+                               const SteadyStateView &view, WorkerDp &dp,
+                               RackId restrict_rack, int restrict_pod)
 {
     NETPACK_SPAN(span, "placement.worker_dp");
     const int demand = spec.gpuDemand;
@@ -184,300 +257,409 @@ NetPackPlacer::workerPlacement(const JobSpec &spec,
     // The DP takes all-or-none of each server's free GPUs, so it searches
     // plans totalling [demand, demand + per_server] GPUs and the extras
     // are trimmed after step ③ (Section 5.2 step ②).
-    const int g_max = demand + per_server;
-    const int f_cap = config_.twoDimWeight ? config_.maxFlowsTracked : 0;
+    dp.demand = demand;
+    dp.gMax = demand + per_server;
+    dp.gn = dp.gMax + 1;
+    dp.fCap = config_.twoDimWeight ? config_.maxFlowsTracked : 0;
     const Gbps c = topo.config().serverLinkGbps;
 
-    struct Candidate
-    {
-        ServerId id;
-        int weight = 0;
-        int flows = 0;
-        double value = 0.0;
-    };
-    std::vector<Candidate> candidates;
-    for (int s = 0; s < topo.numServers(); ++s) {
-        const ServerId server(s);
-        if (restrict_rack.valid() && topo.rackOf(server) != restrict_rack)
-            continue;
-        if (restrict_pod >= 0 &&
-            topo.podOf(topo.rackOf(server)) != restrict_pod)
-            continue;
-        const int free = gpus.freeGpus(server);
+    // Servers are rack-major and racks pod-major, so the restricted
+    // variants cover contiguous id ranges.
+    const int spr = topo.config().serversPerRack;
+    int s_begin = 0;
+    int s_end = topo.numServers();
+    if (restrict_rack.valid()) {
+        s_begin = restrict_rack.value * spr;
+        s_end = s_begin + spr;
+    } else if (restrict_pod >= 0) {
+        const int pod_servers = topo.config().racksPerPod * spr;
+        s_begin = restrict_pod * pod_servers;
+        s_end = std::min(topo.numServers(), s_begin + pod_servers);
+    }
+    dp.candidates.clear();
+    for (int s = s_begin; s < s_end; ++s) {
+        const int free = gpus.freeGpus(ServerId(s));
         if (free <= 0)
             continue;
         Candidate cand;
-        cand.id = server;
+        cand.id = ServerId(s);
         cand.weight = free;
         // The DP's flow coordinate is clamped to f_cap (0 when the 2-D
         // weight is ablated), but the server *value* always sees the
         // real flow count — the ablation isolates the extra knapsack
         // dimension, not the flow-awareness of the heuristic.
         const int real_flows =
-            std::clamp(steady.serverFlows(topo, server), 0, 127);
-        cand.flows = std::min(real_flows, f_cap);
-        const Gbps avail = steady.serverAvailBw(topo, server);
+            std::clamp(view.serverFlows[static_cast<std::size_t>(s)], 0,
+                       127);
+        cand.flows = std::min(real_flows, dp.fCap);
+        const Gbps avail = view.serverAvailBw[static_cast<std::size_t>(s)];
         // Server value: reward residual bandwidth, punish the throughput
         // the new stream would steal from the server's existing flows.
         cand.value = avail - (c - avail) /
                                  static_cast<double>(real_flows + 1);
-        candidates.push_back(cand);
+        dp.candidates.push_back(cand);
     }
 
-    const int fn = f_cap + 1;
-    const int gn = g_max + 1;
-    const auto cells = static_cast<std::size_t>(fn) *
-                       static_cast<std::size_t>(gn);
-    const auto idx = [gn](int f, int g) {
-        return static_cast<std::size_t>(f) * static_cast<std::size_t>(gn) +
-               static_cast<std::size_t>(g);
-    };
+    const std::size_t cells = dp.cells();
+    dp.value.assign(cells, kNegInf);
+    dp.value[dp.idx(0, 0)] = 0.0;
+    dp.decisions.assign(dp.candidates.size() * cells, -1);
 
-    std::vector<double> cur(cells, kNegInf);
-    cur[idx(0, 0)] = 0.0;
-    // decisions[stage][cell]: previous f when taking this stage's server
-    // improved the cell, -1 otherwise. Scanning stages last-to-first
-    // during backtracking recovers the exact chosen set.
-    std::vector<std::vector<std::int8_t>> decisions(candidates.size());
-
-    std::vector<double> next;
-    for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
-        const Candidate &cand = candidates[ci];
-        next = cur; // skip transition for every state
-        std::vector<std::int8_t> dec(cells, -1);
-        for (int f = 0; f <= f_cap; ++f) {
-            for (int g = 0; g + cand.weight <= g_max; ++g) {
-                const double base = cur[idx(f, g)];
+    // In-place DP over the single value table: iterating source g
+    // descending means a cell's writes (always at g + weight) land only
+    // after every read of it this stage, and within a target cell the
+    // transitions still arrive in the same f-ascending order as a
+    // two-table formulation — values and decision bytes are
+    // bit-identical to the reference placer's copy-per-stage DP.
+    // fReach_/reach_g skip provably unreachable rows and columns.
+    fReach_.assign(static_cast<std::size_t>(dp.fCap) + 1, 0);
+    fReach_[0] = 1;
+    int reach_g = 0;
+    for (std::size_t ci = 0; ci < dp.candidates.size(); ++ci) {
+        const Candidate &cand = dp.candidates[ci];
+        std::int8_t *dec = dp.decisions.data() + ci * cells;
+        const int g_hi = std::min(dp.gMax - cand.weight, reach_g);
+        for (int g = g_hi; g >= 0; --g) {
+            for (int f = 0; f <= dp.fCap; ++f) {
+                if (!fReach_[static_cast<std::size_t>(f)])
+                    continue;
+                const double base = dp.value[dp.idx(f, g)];
                 if (base <= kNegInf / 2)
                     continue;
                 const int f2 = std::max(f, cand.flows);
                 const int g2 = g + cand.weight;
                 const double candidate_value = base + cand.value;
-                if (candidate_value > next[idx(f2, g2)]) {
-                    next[idx(f2, g2)] = candidate_value;
-                    dec[idx(f2, g2)] = static_cast<std::int8_t>(f);
+                if (candidate_value > dp.value[dp.idx(f2, g2)]) {
+                    dp.value[dp.idx(f2, g2)] = candidate_value;
+                    dec[dp.idx(f2, g2)] = static_cast<std::int8_t>(f);
                 }
             }
         }
-        decisions[ci] = std::move(dec);
-        cur.swap(next);
+        fReach_[static_cast<std::size_t>(cand.flows)] = 1;
+        reach_g = std::min(dp.gMax, reach_g + cand.weight);
     }
+    span.arg("candidates", dp.candidates.size());
+    span.arg("cells", cells);
+}
 
-    // Harvest plans: every reachable (f, g) with g in the search window.
-    std::vector<WorkerPlan> plans;
-    for (int f = 0; f <= f_cap; ++f) {
-        for (int g = demand; g <= g_max; ++g) {
-            if (cur[idx(f, g)] <= kNegInf / 2)
-                continue;
-            WorkerPlan plan;
-            plan.fMax = f;
-            plan.gpus = g;
-            plan.value = cur[idx(f, g)];
-            int bf = f, bg = g;
-            for (std::size_t ci = candidates.size(); ci-- > 0;) {
-                const std::int8_t prev_f = decisions[ci][idx(bf, bg)];
-                if (prev_f < 0)
-                    continue;
-                plan.servers.emplace_back(candidates[ci].id,
-                                          candidates[ci].weight);
-                bg -= candidates[ci].weight;
-                bf = prev_f;
-            }
-            NETPACK_CHECK_MSG(bf == 0 && bg == 0,
-                              "worker DP backtracking failed for job "
-                                  << spec.id.value);
-            std::sort(plan.servers.begin(), plan.servers.end());
-            plans.push_back(std::move(plan));
+void
+NetPackPlacer::harvestPlan(const WorkerDp &dp, int f, int g,
+                           const JobSpec &spec)
+{
+    planServers_.clear();
+    const std::size_t cells = dp.cells();
+    int bf = f, bg = g;
+    for (std::size_t ci = dp.candidates.size(); ci-- > 0;) {
+        const std::int8_t prev_f = dp.decisions[ci * cells + dp.idx(bf, bg)];
+        if (prev_f < 0)
+            continue;
+        planServers_.emplace_back(dp.candidates[ci].id,
+                                  dp.candidates[ci].weight);
+        bg -= dp.candidates[ci].weight;
+        bf = prev_f;
+    }
+    NETPACK_CHECK_MSG(bf == 0 && bg == 0,
+                      "worker DP backtracking failed for job "
+                          << spec.id.value);
+    // The backtrack walks stages last-to-first; candidates were
+    // collected id-ascending, so reversing restores ascending order
+    // (what the reference gets from sorting the harvested pairs).
+    std::reverse(planServers_.begin(), planServers_.end());
+}
+
+double
+NetPackPlacer::crossingLoss(const ClusterTopology &topo,
+                            const SteadyStateView &view, int ps_rack,
+                            double plan_servers, Gbps c) const
+{
+    // The crossing loss depends on the plan's rack footprint and the PS
+    // rack only — not on which server of the rack hosts the PS — so
+    // psPlacement computes it once per (plan, rack).
+    const bool ps_rack_in_plan =
+        rackStamp_[static_cast<std::size_t>(ps_rack)] == epoch_;
+    const int total_racks = static_cast<int>(planRacks_.size()) +
+                            (ps_rack_in_plan ? 0 : 1);
+    Gbps min_share = std::numeric_limits<double>::infinity();
+    const auto consider_rack = [&](int rack, int new_flows) {
+        if (new_flows == 0)
+            return;
+        const int existing =
+            view.rackFlows[static_cast<std::size_t>(rack)];
+        min_share = std::min(
+            min_share, rackCap_[static_cast<std::size_t>(rack)] /
+                           static_cast<double>(existing + new_flows));
+    };
+    for (int rack : planRacks_) {
+        if (rack == ps_rack) {
+            // Streams from every remote rack converge here.
+            consider_rack(rack, total_racks - 1);
+        } else {
+            // One merged stream per remote rack with INA;
+            // conservatively, one per worker server without.
+            consider_rack(rack,
+                          rackCount_[static_cast<std::size_t>(rack)]);
         }
     }
-    span.arg("candidates", candidates.size());
-    span.arg("plans", plans.size());
-    return plans;
+    if (!ps_rack_in_plan)
+        consider_rack(ps_rack, total_racks - 1);
+
+    if (topo.twoTier()) {
+        // Cross-pod plans additionally share the involved pods' uplinks.
+        const int ps_pod = ps_rack / topo.config().racksPerPod;
+        const bool ps_pod_in_plan =
+            podStamp_[static_cast<std::size_t>(ps_pod)] == epoch_;
+        const bool extra_pod = !ps_rack_in_plan && !ps_pod_in_plan;
+        const int n_pods =
+            static_cast<int>(planPods_.size()) + (extra_pod ? 1 : 0);
+        const auto consider_pod = [&](int pod, int racks_in_pod) {
+            // Streams crossing this pod's uplink: one merged stream per
+            // rack on the smaller side.
+            const int crossing =
+                std::min(racks_in_pod, total_racks - racks_in_pod);
+            if (crossing == 0)
+                return;
+            const int existing =
+                view.podUplinkFlows[static_cast<std::size_t>(pod)];
+            min_share = std::min(
+                min_share, podCap_[static_cast<std::size_t>(pod)] /
+                               static_cast<double>(existing + crossing));
+        };
+        if (n_pods > 1) {
+            for (int pod : planPods_) {
+                int racks_in_pod =
+                    podCount_[static_cast<std::size_t>(pod)];
+                if (!ps_rack_in_plan && pod == ps_pod)
+                    ++racks_in_pod;
+                consider_pod(pod, racks_in_pod);
+            }
+            if (extra_pod)
+                consider_pod(ps_pod, 1);
+        }
+    }
+
+    if (std::isfinite(min_share) && min_share < c) {
+        // The plan's value credits every chosen server with
+        // access-limited bandwidth; a core bottleneck caps all of the
+        // job's streams at min_share, so the loss applies once per
+        // chosen server.
+        return (c - min_share) * plan_servers;
+    }
+    return 0.0;
 }
 
 std::optional<NetPackPlacer::FullPlan>
 NetPackPlacer::psPlacement(const JobSpec &spec, const ClusterTopology &topo,
-                           const std::vector<WorkerPlan> &plans,
-                           const SteadyState &steady) const
+                           const SteadyStateView &view)
 {
     NETPACK_SPAN(span, "placement.ps_scoring");
-    span.arg("plans", plans.size());
     const Gbps c = topo.config().serverLinkGbps;
     const bool oversubscribed =
         topo.config().oversubscription > 1.0 ||
         (topo.twoTier() && topo.config().podOversubscription > 1.0);
+    const bool need_cross = config_.oversubPenalty && oversubscribed;
+    const int n_servers = topo.numServers();
+    const int spr = topo.config().serversPerRack;
+    const bool two_tier = topo.twoTier();
+    const int rpp = two_tier ? topo.config().racksPerPod : 0;
 
-    const WorkerPlan *best_plan = nullptr;
+    // Equation 1's per-server bandwidth-steal terms are plan-invariant;
+    // the naive loop re-derived them per (plan, server) pair. q0: the
+    // PS rides a chosen server (no extra flow); q1: it adds one.
+    psQ0_.resize(static_cast<std::size_t>(n_servers));
+    psQ1_.resize(static_cast<std::size_t>(n_servers));
+    for (int s = 0; s < n_servers; ++s) {
+        const auto si = static_cast<std::size_t>(s);
+        const Gbps avail = view.serverAvailBw[si];
+        const int flows = view.serverFlows[si];
+        psQ0_[si] = (c - avail) / static_cast<double>(flows + 1);
+        psQ1_[si] = (c - avail) / static_cast<double>(flows + 2);
+    }
+
+    // umax_[f]: an upper bound (+ slack) on any server's PS contribution
+    // to a plan at DP row f — avail - q - penalty with the smallest
+    // possible steal term (q1 <= q0 since avail <= C) and the smallest
+    // possible penalty (the plain hot-spot term at the smallest f_max).
+    // A cell whose plan value plus this bound cannot beat the running
+    // best is skipped without backtracking or scoring ("pruned before
+    // harvesting"); the iteration order is unchanged and the winner
+    // breaks ties exactly like the exhaustive loop, so pruning never
+    // changes the argmax.
+    const int f_cap = config_.twoDimWeight ? config_.maxFlowsTracked : 0;
+    const double slack = pruneSlack(c);
+    umax_.resize(static_cast<std::size_t>(f_cap) + 1);
+    for (int f = 0; f <= f_cap; ++f) {
+        double best = kNegInf;
+        for (int s = 0; s < n_servers; ++s) {
+            const auto si = static_cast<std::size_t>(s);
+            const int f_max = std::max(f, view.serverFlows[si] + 1);
+            const double term =
+                view.serverAvailBw[si] - psQ1_[si] -
+                c / static_cast<double>(f_max + 1);
+            best = std::max(best, term);
+        }
+        umax_[static_cast<std::size_t>(f)] = best + slack;
+    }
+
+    const WorkerDp *best_dp = nullptr;
+    int best_f = -1, best_g = -1;
     ServerId best_ps;
     double best_score = kNegInf;
+    std::int64_t cells_pruned = 0;
+    std::int64_t plans_scored = 0;
 
-    std::vector<bool> in_plan(static_cast<std::size_t>(topo.numServers()));
-
-    for (const WorkerPlan &plan : plans) {
-        if (plan.servers.empty())
-            continue;
-        std::fill(in_plan.begin(), in_plan.end(), false);
-        std::set<RackId> worker_racks;
-        std::map<RackId, int> servers_per_rack;
-        for (const auto &[server, count] : plan.servers) {
-            (void)count;
-            in_plan[server.index()] = true;
-            worker_racks.insert(topo.rackOf(server));
-            ++servers_per_rack[topo.rackOf(server)];
-        }
-
-        for (int s = 0; s < topo.numServers(); ++s) {
-            const ServerId ps(s);
-            const int extra_flow = in_plan[ps.index()] ? 0 : 1;
-            const int ps_flows = steady.serverFlows(topo, ps);
-            const Gbps ps_avail = steady.serverAvailBw(topo, ps);
-            const int f_max = std::max(plan.fMax, ps_flows + extra_flow);
-
-            // Hot-spot penalty (Equation 1).
-            double penalty = c / static_cast<double>(f_max + 1);
-
-            const RackId ps_rack = topo.rackOf(ps);
-            if (config_.oversubPenalty && oversubscribed &&
-                !(worker_racks.size() == 1 &&
-                  *worker_racks.begin() == ps_rack)) {
-                // Oversubscribed variant (Section 5.2, "In Oversubscribed
-                // Networks"): a plan whose traffic crosses rack core
-                // links additionally pays the throughput it would lose
-                // to its core bottleneck, C - min_r(C_rack/(FC_r+n_r)).
-                // (The paper's literal max_r(C_rack/(FC_r+n_r)) term
-                // shrinks as core links get busier and so fails to deter
-                // crossing; the loss form implements the stated intent —
-                // "prevents the algorithm from placing jobs across
-                // multiple racks" — see DESIGN.md.)
-                std::set<RackId> all_racks = worker_racks;
-                all_racks.insert(ps_rack);
-                Gbps min_share = std::numeric_limits<double>::infinity();
-                for (RackId rack : all_racks) {
-                    int new_flows;
-                    if (rack == ps_rack) {
-                        // Streams from every remote rack converge here.
-                        new_flows =
-                            static_cast<int>(all_racks.size()) - 1;
-                    } else {
-                        // One merged stream per remote rack with INA;
-                        // conservatively, one per worker server without.
-                        const auto it = servers_per_rack.find(rack);
-                        new_flows = it == servers_per_rack.end()
-                                        ? 0
-                                        : it->second;
-                    }
-                    if (new_flows == 0)
-                        continue;
-                    const Gbps rack_cap = topo.coreLinkCapacity(rack);
-                    const int existing = steady.rackFlows(topo, rack);
-                    min_share = std::min(
-                        min_share,
-                        rack_cap /
-                            static_cast<double>(existing + new_flows));
+    for (std::size_t ti = 0; ti < dpTablesUsed_; ++ti) {
+        const WorkerDp &dp = dpTables_[ti];
+        for (int f = 0; f <= dp.fCap; ++f) {
+            for (int g = dp.demand; g <= dp.gMax; ++g) {
+                const double plan_value = dp.value[dp.idx(f, g)];
+                if (plan_value <= kNegInf / 2)
+                    continue;
+                if (plan_value + umax_[static_cast<std::size_t>(f)] <=
+                    best_score) {
+                    ++cells_pruned;
+                    continue;
                 }
-                if (topo.twoTier()) {
-                    // Cross-pod plans additionally share the involved
-                    // pods' uplinks.
-                    std::map<int, int> racks_per_pod;
-                    for (RackId rack : all_racks)
-                        ++racks_per_pod[topo.podOf(rack)];
-                    if (racks_per_pod.size() > 1) {
-                        for (const auto &[pod, racks_in_pod] :
-                             racks_per_pod) {
-                            // Streams crossing this pod's uplink: one
-                            // merged stream per rack on the smaller side.
-                            const int total_racks =
-                                static_cast<int>(all_racks.size());
-                            const int crossing = std::min(
-                                racks_in_pod, total_racks - racks_in_pod);
-                            if (crossing == 0)
-                                continue;
-                            const LinkId uplink = topo.podUplink(pod);
-                            const Gbps pod_cap =
-                                topo.link(uplink).capacity;
-                            const int existing =
-                                steady.linkFlows[uplink.index()];
-                            min_share = std::min(
-                                min_share,
-                                pod_cap / static_cast<double>(
-                                              existing + crossing));
+                harvestPlan(dp, f, g, spec);
+                if (planServers_.empty())
+                    continue;
+                ++plans_scored;
+
+                // Plan footprint into the epoch-stamped scratch: chosen
+                // servers, racks (id-ascending, like the reference's
+                // std::set) with chosen-server counts, pods with rack
+                // counts.
+                nextEpoch();
+                planRacks_.clear();
+                for (const auto &[server, count] : planServers_) {
+                    (void)count;
+                    const auto si =
+                        static_cast<std::size_t>(server.index());
+                    inPlanStamp_[si] = epoch_;
+                    const int rack = server.index() / spr;
+                    const auto ri = static_cast<std::size_t>(rack);
+                    if (rackStamp_[ri] != epoch_) {
+                        rackStamp_[ri] = epoch_;
+                        rackCount_[ri] = 0;
+                        planRacks_.push_back(rack);
+                    }
+                    ++rackCount_[ri];
+                }
+                if (two_tier && need_cross) {
+                    planPods_.clear();
+                    for (int rack : planRacks_) {
+                        const int pod = rack / rpp;
+                        const auto pi = static_cast<std::size_t>(pod);
+                        if (podStamp_[pi] != epoch_) {
+                            podStamp_[pi] = epoch_;
+                            podCount_[pi] = 0;
+                            planPods_.push_back(pod);
+                        }
+                        ++podCount_[pi];
+                    }
+                }
+                const bool single_rack = planRacks_.size() == 1;
+                const double plan_n =
+                    static_cast<double>(planServers_.size());
+
+                for (int s = 0; s < n_servers; ++s) {
+                    const auto si = static_cast<std::size_t>(s);
+                    const bool in_plan = inPlanStamp_[si] == epoch_;
+                    const int extra_flow = in_plan ? 0 : 1;
+                    const int ps_flows = view.serverFlows[si];
+                    const Gbps ps_avail = view.serverAvailBw[si];
+                    const int f_max =
+                        std::max(f, ps_flows + extra_flow);
+
+                    // Hot-spot penalty (Equation 1).
+                    double penalty =
+                        c / static_cast<double>(f_max + 1);
+
+                    if (need_cross) {
+                        const int ps_rack = s / spr;
+                        if (!(single_rack &&
+                              planRacks_[0] == ps_rack)) {
+                            const auto ri =
+                                static_cast<std::size_t>(ps_rack);
+                            if (crossStamp_[ri] != epoch_) {
+                                crossStamp_[ri] = epoch_;
+                                crossValue_[ri] = crossingLoss(
+                                    topo, view, ps_rack, plan_n, c);
+                            }
+                            if (crossValue_[ri] > penalty)
+                                penalty = crossValue_[ri];
                         }
                     }
-                }
-                if (std::isfinite(min_share) && min_share < c) {
-                    // The plan's value credits every chosen server with
-                    // access-limited bandwidth; a core bottleneck caps
-                    // all of the job's streams at min_share, so the
-                    // loss applies once per chosen server.
-                    penalty = std::max(
-                        penalty,
-                        (c - min_share) *
-                            static_cast<double>(plan.servers.size()));
-                }
-            }
 
-            const double score =
-                plan.value + ps_avail -
-                (c - ps_avail) /
-                    static_cast<double>(ps_flows + extra_flow + 1) -
-                penalty;
+                    const double score =
+                        plan_value + ps_avail -
+                        (in_plan ? psQ0_[si] : psQ1_[si]) - penalty;
 
-            if (score > best_score) {
-                best_score = score;
-                best_plan = &plan;
-                best_ps = ps;
+                    if (score > best_score) {
+                        best_score = score;
+                        best_dp = &dp;
+                        best_f = f;
+                        best_g = g;
+                        best_ps = ServerId(s);
+                    }
+                }
             }
         }
     }
+    span.arg("plans", plans_scored);
+    span.arg("pruned", cells_pruned);
+    NETPACK_COUNT("placement.dp_states_pruned", cells_pruned);
 
-    if (best_plan == nullptr)
+    if (best_dp == nullptr)
         return std::nullopt;
 
+    harvestPlan(*best_dp, best_f, best_g, spec);
     FullPlan full;
     full.score = best_score;
-    full.gpusTaken = best_plan->gpus;
+    full.gpusTaken = best_g;
     full.placement.psServer = best_ps;
-    for (const auto &[server, count] : best_plan->servers)
+    for (const auto &[server, count] : planServers_)
         full.placement.workers[server] = count;
 
     // Sharded PS extension: the gradient splits over psShards PSes,
     // each hosting its own one-PS AllReduce. The extras are the
-    // next-best distinct servers by the Equation-1 PS term.
+    // next-best distinct servers by the Equation-1 PS term; only the
+    // top psShards-1 need ordering, so a partial_sort replaces the
+    // full sort (the explicit id tie-break reproduces the stable
+    // sort's insertion order on equal terms).
     if (config_.psShards > 1) {
-        std::vector<std::pair<double, ServerId>> scored;
-        for (int s = 0; s < topo.numServers(); ++s) {
+        shardScored_.clear();
+        for (int s = 0; s < n_servers; ++s) {
             const ServerId ps(s);
             if (ps == best_ps)
                 continue;
-            const int extra_flow =
-                full.placement.workers.count(ps) ? 0 : 1;
-            const int ps_flows = steady.serverFlows(topo, ps);
-            const Gbps ps_avail = steady.serverAvailBw(topo, ps);
-            const double term =
-                ps_avail - (c - ps_avail) /
-                               static_cast<double>(ps_flows +
-                                                   extra_flow + 1);
-            scored.emplace_back(term, ps);
+            const auto si = static_cast<std::size_t>(s);
+            const bool in_plan =
+                full.placement.workers.count(ps) != 0;
+            const double term = view.serverAvailBw[si] -
+                                (in_plan ? psQ0_[si] : psQ1_[si]);
+            shardScored_.emplace_back(term, ps);
         }
-        std::stable_sort(scored.begin(), scored.end(),
-                         [](const auto &a, const auto &b) {
-                             return a.first > b.first;
-                         });
-        for (int k = 0; k < config_.psShards - 1 &&
-                        k < static_cast<int>(scored.size());
-             ++k)
-            full.placement.extraPsServers.push_back(scored
-                                                        [static_cast<
-                                                            std::size_t>(
-                                                            k)]
-                                                            .second);
+        const auto want = std::min<std::size_t>(
+            static_cast<std::size_t>(config_.psShards - 1),
+            shardScored_.size());
+        std::partial_sort(
+            shardScored_.begin(),
+            shardScored_.begin() + static_cast<std::ptrdiff_t>(want),
+            shardScored_.end(), [](const auto &a, const auto &b) {
+                if (a.first != b.first)
+                    return a.first > b.first;
+                return a.second < b.second;
+            });
+        for (std::size_t k = 0; k < want; ++k)
+            full.placement.extraPsServers.push_back(
+                shardScored_[k].second);
     }
 
     // Trim over-allocation: the DP takes whole servers, so the plan may
     // hold up to gpusPerServer-1 extra GPUs. Release the extras from the
     // least-loaded chosen server(s) — the ones contributing the most free
     // GPUs — removing a server entirely if its contribution is consumed.
-    int extra = best_plan->gpus - spec.gpuDemand;
+    int extra = best_g - spec.gpuDemand;
     NETPACK_CHECK(extra >= 0);
     while (extra > 0) {
         auto largest = full.placement.workers.begin();
@@ -504,15 +686,18 @@ NetPackPlacer::selectiveInaEnable(std::vector<PlacedJob> &placed,
                                   const std::vector<PlacedJob> &running,
                                   const std::vector<JobSpec> &batch) const
 {
-    // Gradient volumes weigh the estimator guard's objective.
-    const VolumeLookup volume_of = [&batch](JobId id) -> MBytes {
-        const auto spec = std::find_if(batch.begin(), batch.end(),
-                                       [&](const JobSpec &s) {
-                                           return s.id == id;
-                                       });
-        if (spec == batch.end())
-            return 0.0;
-        return ModelZoo::byName(spec->modelName).commVolumePerIter();
+    // Gradient volumes weigh the estimator guard's objective. Build the
+    // id -> volume map once; the guard queries it O(targets x passes)
+    // times and the old per-query linear scan was O(batch) each.
+    std::unordered_map<JobId, MBytes> volumes;
+    volumes.reserve(batch.size());
+    for (const JobSpec &spec : batch)
+        volumes.emplace(spec.id,
+                        ModelZoo::byName(spec.modelName)
+                            .commVolumePerIter());
+    const VolumeLookup volume_of = [&volumes](JobId id) -> MBytes {
+        const auto it = volumes.find(id);
+        return it == volumes.end() ? 0.0 : it->second;
     };
     assignSelectiveIna(topo, placed, running, volume_of);
 }

@@ -16,11 +16,21 @@
  *    penalty in oversubscribed networks) and keep the best full plan.
  *  ④ Selectively enable INA for the admitted jobs in descending
  *    "aggregation efficiency" order until the switch PAT budget is spent.
+ *
+ * This is the optimized hot path: steps ② and ③ read network state from
+ * a flat SteadyStateView snapshot, keep every inner-loop structure in
+ * reusable epoch-stamped scratch buffers (no allocation once warm), and
+ * walk the DP tables lazily — a candidate (f, g) cell is only
+ * backtracked into a plan when an exact upper bound on its best
+ * achievable score beats the running best. The decisions must stay
+ * bit-identical to the naive implementation retained in
+ * reference_placer.{h,cc}; tests/placer_test.cc enforces that.
  */
 
 #ifndef NETPACK_PLACEMENT_NETPACK_PLACER_H
 #define NETPACK_PLACEMENT_NETPACK_PLACER_H
 
+#include <cstdint>
 #include <optional>
 
 #include "placement/placer.h"
@@ -75,18 +85,59 @@ class NetPackPlacer : public Placer
     /** Config in use (read-only; for tests). */
     const NetPackConfig &config() const { return config_; }
 
+    /**
+     * Equation-1 scores of the DP-placed jobs of the last placeBatch
+     * call, in placement order (single-server fast-path jobs excluded).
+     * The differential tests compare these bitwise against the naive
+     * reference placer's.
+     */
+    const std::vector<double> &lastScores() const { return lastScores_; }
+
   private:
-    /** A worker plan recovered from the DP table. */
-    struct WorkerPlan
+    /** One DP candidate: a server with free GPUs. */
+    struct Candidate
     {
-        /** Chosen servers with the free-GPU count each contributes. */
-        std::vector<std::pair<ServerId, int>> servers;
-        /** max per-server flow count among chosen servers (DP f). */
-        int fMax = 0;
-        /** total GPUs the plan takes (DP g). */
-        int gpus = 0;
-        /** accumulated server value. */
+        ServerId id;
+        int weight = 0;
+        int flows = 0;
         double value = 0.0;
+    };
+
+    /**
+     * The worker DP's full table for one invocation, kept un-harvested:
+     * psPlacement walks the reachable (f, g) cells lazily and only
+     * backtracks the plans that survive the upper-bound prune. The
+     * per-stage decision rows live in one contiguous arena
+     * (candidates x cells int8) instead of one heap vector per stage.
+     * Tables are pooled on the placer so a warm placer allocates
+     * nothing here.
+     */
+    struct WorkerDp
+    {
+        std::vector<Candidate> candidates;
+        /** Cell values, (fCap+1) x gn, row-major in f. */
+        std::vector<double> value;
+        /** Decision arena: candidates.size() rows of cells() bytes.
+         * Entry = previous f when taking the stage's server improved
+         * the cell, -1 otherwise. */
+        std::vector<std::int8_t> decisions;
+        int fCap = 0;
+        int gn = 0;
+        int demand = 0;
+        int gMax = 0;
+
+        std::size_t cells() const
+        {
+            return static_cast<std::size_t>(fCap + 1) *
+                   static_cast<std::size_t>(gn);
+        }
+
+        std::size_t idx(int f, int g) const
+        {
+            return static_cast<std::size_t>(f) *
+                       static_cast<std::size_t>(gn) +
+                   static_cast<std::size_t>(g);
+        }
     };
 
     /** A full plan: workers + PS + score. */
@@ -98,24 +149,24 @@ class NetPackPlacer : public Placer
     };
 
     /**
-     * Step ② DP: candidate worker plans for @p spec. When
-     * @p restrict_rack is valid only that rack's servers are candidates
-     * — in oversubscribed networks the placer additionally searches
-     * rack-local plans so the cross-rack penalty has in-rack
-     * alternatives to prefer.
+     * Step ② DP: fill @p dp with the candidate-plan table for @p spec.
+     * When @p restrict_rack is valid only that rack's servers are
+     * candidates — in oversubscribed networks the placer additionally
+     * searches rack-local (and, two-tier, pod-local) plans so the
+     * cross-rack penalty has local alternatives to prefer.
      */
-    std::vector<WorkerPlan> workerPlacement(const JobSpec &spec,
-                                            const ClusterTopology &topo,
-                                            const GpuLedger &gpus,
-                                            const SteadyState &steady,
-                                            RackId restrict_rack = {},
-                                            int restrict_pod = -1) const;
+    void workerPlacement(const JobSpec &spec, const ClusterTopology &topo,
+                         const GpuLedger &gpus, const SteadyStateView &view,
+                         WorkerDp &dp, RackId restrict_rack = {},
+                         int restrict_pod = -1);
 
-    /** Step ③: best PS location over all candidate plans. */
+    /**
+     * Step ③: best PS location over every plan of the DP tables built
+     * for the current job (dpTables_[0, dpTablesUsed_)).
+     */
     std::optional<FullPlan> psPlacement(const JobSpec &spec,
                                         const ClusterTopology &topo,
-                                        const std::vector<WorkerPlan> &plans,
-                                        const SteadyState &steady) const;
+                                        const SteadyStateView &view);
 
     /**
      * Step ④: selective INA enabling over the newly placed jobs. The
@@ -128,7 +179,64 @@ class NetPackPlacer : public Placer
                             const std::vector<PlacedJob> &running,
                             const std::vector<JobSpec> &batch) const;
 
+    /** Next pooled DP table (reuses allocations across jobs/batches). */
+    WorkerDp &acquireDp();
+
+    /** Size the scratch arrays for @p topo (no-op when unchanged). */
+    void ensureScratch(const ClusterTopology &topo);
+
+    /** Bump the plan epoch, clearing the stamped scratch on wrap. */
+    void nextEpoch();
+
+    /** Backtrack cell (f, g) of @p dp into planServers_ (id-ascending). */
+    void harvestPlan(const WorkerDp &dp, int f, int g, const JobSpec &spec);
+
+    /**
+     * The oversubscription crossing loss of placing the PS of the
+     * current scratch plan in @p ps_rack: (C - min_share) x plan size
+     * when the core bottleneck binds, else 0. Identical for every PS
+     * server of a rack, so psPlacement caches it per (plan, rack).
+     */
+    double crossingLoss(const ClusterTopology &topo,
+                        const SteadyStateView &view, int ps_rack,
+                        double plan_servers, Gbps c) const;
+
     NetPackConfig config_;
+
+    // --- reusable scratch (sized by ensureScratch) ------------------
+    /** Pooled DP tables; [0, dpTablesUsed_) belong to the current job. */
+    std::vector<WorkerDp> dpTables_;
+    std::size_t dpTablesUsed_ = 0;
+    /** Per-server Equation-1 bandwidth-steal terms, hoisted out of the
+     * plan loop: q0 = (C - avail)/(flows + 1) (PS on a chosen server),
+     * q1 = (C - avail)/(flows + 2) (PS elsewhere). */
+    std::vector<double> psQ0_, psQ1_;
+    /** Upper bound (+ slack) on any server's PS contribution at DP row
+     * f; prunes (f, g) cells without backtracking them. */
+    std::vector<double> umax_;
+    /** Core link capacity per rack (topology-constant). */
+    std::vector<double> rackCap_;
+    /** Pod uplink capacity per pod (two-tier mode). */
+    std::vector<double> podCap_;
+    /** Epoch-stamped per-plan footprint: chosen servers, racks with
+     * their chosen-server counts, pods with their rack counts, and the
+     * per-rack crossing-loss cache. A stamp != epoch_ means "not in the
+     * current plan" — no clearing between plans. */
+    std::vector<std::uint32_t> inPlanStamp_;
+    std::vector<std::uint32_t> rackStamp_;
+    std::vector<int> rackCount_;
+    std::vector<std::uint32_t> podStamp_;
+    std::vector<int> podCount_;
+    std::vector<std::uint32_t> crossStamp_;
+    std::vector<double> crossValue_;
+    std::vector<int> planRacks_, planPods_;
+    std::vector<std::pair<ServerId, int>> planServers_;
+    std::vector<std::pair<double, ServerId>> shardScored_;
+    /** Reachable DP f-rows (skip all-(-inf) rows in transitions). */
+    std::vector<char> fReach_;
+    std::uint32_t epoch_ = 0;
+
+    std::vector<double> lastScores_;
 };
 
 } // namespace netpack

@@ -1,0 +1,492 @@
+#include "placement/reference_placer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <set>
+
+#include "common/check.h"
+#include "common/log.h"
+#include "placement/ina_policy.h"
+#include "placement/knapsack.h"
+
+namespace netpack {
+
+namespace {
+
+constexpr double kNegInf = -1e300;
+
+} // namespace
+
+ReferenceNetPackPlacer::ReferenceNetPackPlacer(NetPackConfig config)
+    : config_(config)
+{
+    NETPACK_REQUIRE(config.maxFlowsTracked >= 1 &&
+                        config.maxFlowsTracked <= 127,
+                    "maxFlowsTracked must be in [1, 127], got "
+                        << config.maxFlowsTracked);
+    NETPACK_REQUIRE(config.psShards >= 1 && config.psShards <= 64,
+                    "psShards must be in [1, 64], got "
+                        << config.psShards);
+}
+
+BatchResult
+ReferenceNetPackPlacer::placeBatch(const std::vector<JobSpec> &batch,
+                                   const ClusterTopology &topo,
+                                   GpuLedger &gpus, PlacementContext &ctx)
+{
+    NETPACK_CHECK_MSG(&ctx.topology() == &topo,
+                      "placement context built for a different topology");
+    BatchResult result;
+    lastScores_.clear();
+
+    // Step ④ treats the pre-batch jobs as fixed background; snapshot
+    // them before this batch's placements enter the context.
+    const std::vector<PlacedJob> running = ctx.running();
+
+    // Step ①: knapsack job-subset selection over the free GPUs.
+    std::vector<KnapsackItem> items;
+    items.reserve(batch.size());
+    for (const auto &spec : batch)
+        items.push_back({spec.gpuDemand, spec.value});
+    const std::vector<std::size_t> chosen =
+        solveKnapsack(items, gpus.totalFreeGpus());
+
+    std::vector<bool> selected(batch.size(), false);
+    for (std::size_t i : chosen)
+        selected[i] = true;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (!selected[i])
+            result.deferred.push_back(batch[i].id);
+    }
+
+    // Place admitted jobs in value-descending order (Alg. 2 line 3).
+    std::vector<const JobSpec *> to_place;
+    to_place.reserve(chosen.size());
+    for (std::size_t i : chosen)
+        to_place.push_back(&batch[i]);
+    std::stable_sort(to_place.begin(), to_place.end(),
+                     [](const JobSpec *a, const JobSpec *b) {
+                         return a->value > b->value;
+                     });
+
+    for (const JobSpec *spec : to_place) {
+        // Single-server fast path (lines 4-6): no cross-server traffic.
+        const ServerId single =
+            placement_util::bestFitSingleServer(topo, gpus, spec->gpuDemand);
+        if (single.valid()) {
+            Placement placement;
+            placement.workers[single] = spec->gpuDemand;
+            placement.psServer = single;
+            gpus.allocate(single, spec->id, spec->gpuDemand);
+            result.placed.push_back({spec->id, placement});
+            ctx.addJob(spec->id, placement);
+            continue;
+        }
+
+        // Line 7: re-estimate the steady state with every job placed so
+        // far (resources are shared, not reserved, so each new job moves
+        // the fair share of everyone else).
+        const SteadyState &steady = ctx.steadyState();
+
+        std::vector<WorkerPlan> plans =
+            workerPlacement(*spec, topo, gpus, steady);
+        if (config_.oversubPenalty &&
+            topo.config().oversubscription > 1.0) {
+            // Rack-local alternatives: the global DP is rack-blind, so
+            // give the PS-placement scoring in-rack plans to prefer
+            // when the core is the bottleneck.
+            for (int r = 0; r < topo.numRacks(); ++r) {
+                const RackId rack(r);
+                if (gpus.freeGpusInRack(rack) < spec->gpuDemand)
+                    continue;
+                std::vector<WorkerPlan> rack_plans =
+                    workerPlacement(*spec, topo, gpus, steady, rack);
+                plans.insert(plans.end(),
+                             std::make_move_iterator(rack_plans.begin()),
+                             std::make_move_iterator(rack_plans.end()));
+            }
+            // Pod-local alternatives in two-tier mode: crossing a rack
+            // is cheaper than crossing a pod.
+            if (topo.twoTier()) {
+                for (int p = 0; p < topo.numPods(); ++p) {
+                    int pod_free = 0;
+                    for (int r = 0; r < topo.numRacks(); ++r) {
+                        if (topo.podOf(RackId(r)) == p)
+                            pod_free += gpus.freeGpusInRack(RackId(r));
+                    }
+                    if (pod_free < spec->gpuDemand)
+                        continue;
+                    std::vector<WorkerPlan> pod_plans = workerPlacement(
+                        *spec, topo, gpus, steady, RackId(), p);
+                    plans.insert(
+                        plans.end(),
+                        std::make_move_iterator(pod_plans.begin()),
+                        std::make_move_iterator(pod_plans.end()));
+                }
+            }
+        }
+        std::optional<FullPlan> best =
+            psPlacement(*spec, topo, plans, steady);
+        if (!best) {
+            result.deferred.push_back(spec->id);
+            continue;
+        }
+        lastScores_.push_back(best->score);
+
+        Placement placement = std::move(best->placement);
+        // Default to INA-on everywhere; step ④ may disable some racks.
+        placement.inaRacks = placement.allRacks(topo);
+        placement_util::applyAllocation(gpus, spec->id, placement);
+        result.placed.push_back({spec->id, placement});
+        ctx.addJob(spec->id, placement);
+    }
+
+    // Step ④: shift the INA budget toward jobs that benefit the most.
+    if (config_.selectiveIna) {
+        selectiveInaEnable(result.placed, topo, running, batch);
+        for (const PlacedJob &job : result.placed)
+            ctx.updateInaRacks(job.id, job.placement.inaRacks);
+    }
+    return result;
+}
+
+std::vector<ReferenceNetPackPlacer::WorkerPlan>
+ReferenceNetPackPlacer::workerPlacement(const JobSpec &spec,
+                                        const ClusterTopology &topo,
+                                        const GpuLedger &gpus,
+                                        const SteadyState &steady,
+                                        RackId restrict_rack,
+                                        int restrict_pod) const
+{
+    const int demand = spec.gpuDemand;
+    const int per_server = topo.gpusPerServer();
+    // The DP takes all-or-none of each server's free GPUs, so it searches
+    // plans totalling [demand, demand + per_server] GPUs and the extras
+    // are trimmed after step ③ (Section 5.2 step ②).
+    const int g_max = demand + per_server;
+    const int f_cap = config_.twoDimWeight ? config_.maxFlowsTracked : 0;
+    const Gbps c = topo.config().serverLinkGbps;
+
+    struct Candidate
+    {
+        ServerId id;
+        int weight = 0;
+        int flows = 0;
+        double value = 0.0;
+    };
+    std::vector<Candidate> candidates;
+    for (int s = 0; s < topo.numServers(); ++s) {
+        const ServerId server(s);
+        if (restrict_rack.valid() && topo.rackOf(server) != restrict_rack)
+            continue;
+        if (restrict_pod >= 0 &&
+            topo.podOf(topo.rackOf(server)) != restrict_pod)
+            continue;
+        const int free = gpus.freeGpus(server);
+        if (free <= 0)
+            continue;
+        Candidate cand;
+        cand.id = server;
+        cand.weight = free;
+        // The DP's flow coordinate is clamped to f_cap (0 when the 2-D
+        // weight is ablated), but the server *value* always sees the
+        // real flow count — the ablation isolates the extra knapsack
+        // dimension, not the flow-awareness of the heuristic.
+        const int real_flows =
+            std::clamp(steady.serverFlows(topo, server), 0, 127);
+        cand.flows = std::min(real_flows, f_cap);
+        const Gbps avail = steady.serverAvailBw(topo, server);
+        // Server value: reward residual bandwidth, punish the throughput
+        // the new stream would steal from the server's existing flows.
+        cand.value = avail - (c - avail) /
+                                 static_cast<double>(real_flows + 1);
+        candidates.push_back(cand);
+    }
+
+    const int fn = f_cap + 1;
+    const int gn = g_max + 1;
+    const auto cells = static_cast<std::size_t>(fn) *
+                       static_cast<std::size_t>(gn);
+    const auto idx = [gn](int f, int g) {
+        return static_cast<std::size_t>(f) * static_cast<std::size_t>(gn) +
+               static_cast<std::size_t>(g);
+    };
+
+    std::vector<double> cur(cells, kNegInf);
+    cur[idx(0, 0)] = 0.0;
+    // decisions[stage][cell]: previous f when taking this stage's server
+    // improved the cell, -1 otherwise. Scanning stages last-to-first
+    // during backtracking recovers the exact chosen set.
+    std::vector<std::vector<std::int8_t>> decisions(candidates.size());
+
+    std::vector<double> next;
+    for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
+        const Candidate &cand = candidates[ci];
+        next = cur; // skip transition for every state
+        std::vector<std::int8_t> dec(cells, -1);
+        for (int f = 0; f <= f_cap; ++f) {
+            for (int g = 0; g + cand.weight <= g_max; ++g) {
+                const double base = cur[idx(f, g)];
+                if (base <= kNegInf / 2)
+                    continue;
+                const int f2 = std::max(f, cand.flows);
+                const int g2 = g + cand.weight;
+                const double candidate_value = base + cand.value;
+                if (candidate_value > next[idx(f2, g2)]) {
+                    next[idx(f2, g2)] = candidate_value;
+                    dec[idx(f2, g2)] = static_cast<std::int8_t>(f);
+                }
+            }
+        }
+        decisions[ci] = std::move(dec);
+        cur.swap(next);
+    }
+
+    // Harvest plans: every reachable (f, g) with g in the search window.
+    std::vector<WorkerPlan> plans;
+    for (int f = 0; f <= f_cap; ++f) {
+        for (int g = demand; g <= g_max; ++g) {
+            if (cur[idx(f, g)] <= kNegInf / 2)
+                continue;
+            WorkerPlan plan;
+            plan.fMax = f;
+            plan.gpus = g;
+            plan.value = cur[idx(f, g)];
+            int bf = f, bg = g;
+            for (std::size_t ci = candidates.size(); ci-- > 0;) {
+                const std::int8_t prev_f = decisions[ci][idx(bf, bg)];
+                if (prev_f < 0)
+                    continue;
+                plan.servers.emplace_back(candidates[ci].id,
+                                          candidates[ci].weight);
+                bg -= candidates[ci].weight;
+                bf = prev_f;
+            }
+            NETPACK_CHECK_MSG(bf == 0 && bg == 0,
+                              "worker DP backtracking failed for job "
+                                  << spec.id.value);
+            std::sort(plan.servers.begin(), plan.servers.end());
+            plans.push_back(std::move(plan));
+        }
+    }
+    return plans;
+}
+
+std::optional<ReferenceNetPackPlacer::FullPlan>
+ReferenceNetPackPlacer::psPlacement(const JobSpec &spec,
+                                    const ClusterTopology &topo,
+                                    const std::vector<WorkerPlan> &plans,
+                                    const SteadyState &steady) const
+{
+    const Gbps c = topo.config().serverLinkGbps;
+    const bool oversubscribed =
+        topo.config().oversubscription > 1.0 ||
+        (topo.twoTier() && topo.config().podOversubscription > 1.0);
+
+    const WorkerPlan *best_plan = nullptr;
+    ServerId best_ps;
+    double best_score = kNegInf;
+
+    std::vector<bool> in_plan(static_cast<std::size_t>(topo.numServers()));
+
+    for (const WorkerPlan &plan : plans) {
+        if (plan.servers.empty())
+            continue;
+        std::fill(in_plan.begin(), in_plan.end(), false);
+        std::set<RackId> worker_racks;
+        std::map<RackId, int> servers_per_rack;
+        for (const auto &[server, count] : plan.servers) {
+            (void)count;
+            in_plan[server.index()] = true;
+            worker_racks.insert(topo.rackOf(server));
+            ++servers_per_rack[topo.rackOf(server)];
+        }
+
+        for (int s = 0; s < topo.numServers(); ++s) {
+            const ServerId ps(s);
+            const int extra_flow = in_plan[ps.index()] ? 0 : 1;
+            const int ps_flows = steady.serverFlows(topo, ps);
+            const Gbps ps_avail = steady.serverAvailBw(topo, ps);
+            const int f_max = std::max(plan.fMax, ps_flows + extra_flow);
+
+            // Hot-spot penalty (Equation 1).
+            double penalty = c / static_cast<double>(f_max + 1);
+
+            const RackId ps_rack = topo.rackOf(ps);
+            if (config_.oversubPenalty && oversubscribed &&
+                !(worker_racks.size() == 1 &&
+                  *worker_racks.begin() == ps_rack)) {
+                // Oversubscribed variant (Section 5.2, "In Oversubscribed
+                // Networks"): a plan whose traffic crosses rack core
+                // links additionally pays the throughput it would lose
+                // to its core bottleneck, C - min_r(C_rack/(FC_r+n_r)).
+                std::set<RackId> all_racks = worker_racks;
+                all_racks.insert(ps_rack);
+                Gbps min_share = std::numeric_limits<double>::infinity();
+                for (RackId rack : all_racks) {
+                    int new_flows;
+                    if (rack == ps_rack) {
+                        // Streams from every remote rack converge here.
+                        new_flows =
+                            static_cast<int>(all_racks.size()) - 1;
+                    } else {
+                        // One merged stream per remote rack with INA;
+                        // conservatively, one per worker server without.
+                        const auto it = servers_per_rack.find(rack);
+                        new_flows = it == servers_per_rack.end()
+                                        ? 0
+                                        : it->second;
+                    }
+                    if (new_flows == 0)
+                        continue;
+                    const Gbps rack_cap = topo.coreLinkCapacity(rack);
+                    const int existing = steady.rackFlows(topo, rack);
+                    min_share = std::min(
+                        min_share,
+                        rack_cap /
+                            static_cast<double>(existing + new_flows));
+                }
+                if (topo.twoTier()) {
+                    // Cross-pod plans additionally share the involved
+                    // pods' uplinks.
+                    std::map<int, int> racks_per_pod;
+                    for (RackId rack : all_racks)
+                        ++racks_per_pod[topo.podOf(rack)];
+                    if (racks_per_pod.size() > 1) {
+                        for (const auto &[pod, racks_in_pod] :
+                             racks_per_pod) {
+                            // Streams crossing this pod's uplink: one
+                            // merged stream per rack on the smaller side.
+                            const int total_racks =
+                                static_cast<int>(all_racks.size());
+                            const int crossing = std::min(
+                                racks_in_pod, total_racks - racks_in_pod);
+                            if (crossing == 0)
+                                continue;
+                            const LinkId uplink = topo.podUplink(pod);
+                            const Gbps pod_cap =
+                                topo.link(uplink).capacity;
+                            const int existing =
+                                steady.linkFlows[uplink.index()];
+                            min_share = std::min(
+                                min_share,
+                                pod_cap / static_cast<double>(
+                                              existing + crossing));
+                        }
+                    }
+                }
+                if (std::isfinite(min_share) && min_share < c) {
+                    // The plan's value credits every chosen server with
+                    // access-limited bandwidth; a core bottleneck caps
+                    // all of the job's streams at min_share, so the
+                    // loss applies once per chosen server.
+                    penalty = std::max(
+                        penalty,
+                        (c - min_share) *
+                            static_cast<double>(plan.servers.size()));
+                }
+            }
+
+            const double score =
+                plan.value + ps_avail -
+                (c - ps_avail) /
+                    static_cast<double>(ps_flows + extra_flow + 1) -
+                penalty;
+
+            if (score > best_score) {
+                best_score = score;
+                best_plan = &plan;
+                best_ps = ps;
+            }
+        }
+    }
+
+    if (best_plan == nullptr)
+        return std::nullopt;
+
+    FullPlan full;
+    full.score = best_score;
+    full.gpusTaken = best_plan->gpus;
+    full.placement.psServer = best_ps;
+    for (const auto &[server, count] : best_plan->servers)
+        full.placement.workers[server] = count;
+
+    // Sharded PS extension: the gradient splits over psShards PSes,
+    // each hosting its own one-PS AllReduce. The extras are the
+    // next-best distinct servers by the Equation-1 PS term.
+    if (config_.psShards > 1) {
+        std::vector<std::pair<double, ServerId>> scored;
+        for (int s = 0; s < topo.numServers(); ++s) {
+            const ServerId ps(s);
+            if (ps == best_ps)
+                continue;
+            const int extra_flow =
+                full.placement.workers.count(ps) ? 0 : 1;
+            const int ps_flows = steady.serverFlows(topo, ps);
+            const Gbps ps_avail = steady.serverAvailBw(topo, ps);
+            const double term =
+                ps_avail - (c - ps_avail) /
+                               static_cast<double>(ps_flows +
+                                                   extra_flow + 1);
+            scored.emplace_back(term, ps);
+        }
+        std::stable_sort(scored.begin(), scored.end(),
+                         [](const auto &a, const auto &b) {
+                             return a.first > b.first;
+                         });
+        for (int k = 0; k < config_.psShards - 1 &&
+                        k < static_cast<int>(scored.size());
+             ++k)
+            full.placement.extraPsServers.push_back(
+                scored[static_cast<std::size_t>(k)].second);
+    }
+
+    // Trim over-allocation: the DP takes whole servers, so the plan may
+    // hold up to gpusPerServer-1 extra GPUs. Release the extras from the
+    // least-loaded chosen server(s) — the ones contributing the most free
+    // GPUs — removing a server entirely if its contribution is consumed.
+    int extra = best_plan->gpus - spec.gpuDemand;
+    NETPACK_CHECK(extra >= 0);
+    while (extra > 0) {
+        auto largest = full.placement.workers.begin();
+        for (auto it = full.placement.workers.begin();
+             it != full.placement.workers.end(); ++it) {
+            if (it->second > largest->second)
+                largest = it;
+        }
+        const int take = std::min(extra, largest->second);
+        largest->second -= take;
+        extra -= take;
+        if (largest->second == 0)
+            full.placement.workers.erase(largest);
+    }
+    NETPACK_CHECK_MSG(!full.placement.workers.empty(),
+                      "trimming removed every worker of job "
+                          << spec.id.value);
+    return full;
+}
+
+void
+ReferenceNetPackPlacer::selectiveInaEnable(
+    std::vector<PlacedJob> &placed, const ClusterTopology &topo,
+    const std::vector<PlacedJob> &running,
+    const std::vector<JobSpec> &batch) const
+{
+    // Gradient volumes weigh the estimator guard's objective. The
+    // reference keeps the O(batch)-per-query lookup the optimized
+    // placer replaced with a hash map.
+    const VolumeLookup volume_of = [&batch](JobId id) -> MBytes {
+        const auto spec = std::find_if(batch.begin(), batch.end(),
+                                       [&](const JobSpec &s) {
+                                           return s.id == id;
+                                       });
+        if (spec == batch.end())
+            return 0.0;
+        return ModelZoo::byName(spec->modelName).commVolumePerIter();
+    };
+    assignSelectiveIna(topo, placed, running, volume_of);
+}
+
+} // namespace netpack

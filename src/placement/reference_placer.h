@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The retained naive implementation of NetPack's Algorithm 2, frozen at
+ * the state before the allocation-free hot-path rewrite of
+ * netpack_placer.cc. It recomputes everything from first principles —
+ * per-(plan, server) SteadyState accessor queries, per-plan
+ * std::set/std::map rack bookkeeping, a fresh decision table per DP
+ * stage, full plan harvesting before scoring — which makes it slow but
+ * obviously correct.
+ *
+ * Two consumers keep it alive:
+ *  - tests/placer_test.cc pins the optimized NetPackPlacer against it
+ *    over randomized topologies and steady states (placements and
+ *    scores must match exactly), and
+ *  - bench/bench_placer_micro.cc uses it as the speedup baseline.
+ *
+ * Any intended behavior change to the placement algorithm must be made
+ * in BOTH placers, or the differential tests will (deliberately) fail.
+ */
+
+#ifndef NETPACK_PLACEMENT_REFERENCE_PLACER_H
+#define NETPACK_PLACEMENT_REFERENCE_PLACER_H
+
+#include <optional>
+
+#include "placement/netpack_placer.h"
+#include "placement/placer.h"
+
+namespace netpack {
+
+/** The naive NetPack placement policy (differential-test oracle). */
+class ReferenceNetPackPlacer : public Placer
+{
+  public:
+    explicit ReferenceNetPackPlacer(NetPackConfig config = {});
+
+    std::string name() const override { return "NetPackRef"; }
+
+    using Placer::placeBatch;
+    BatchResult placeBatch(const std::vector<JobSpec> &batch,
+                           const ClusterTopology &topo, GpuLedger &gpus,
+                           PlacementContext &ctx) override;
+
+    /** Config in use (read-only; for tests). */
+    const NetPackConfig &config() const { return config_; }
+
+    /**
+     * Equation-1 scores of the DP-placed jobs of the last placeBatch
+     * call, in placement order (single-server fast-path jobs excluded).
+     * The differential tests compare these bitwise against the
+     * optimized placer's.
+     */
+    const std::vector<double> &lastScores() const { return lastScores_; }
+
+  private:
+    /** A worker plan recovered from the DP table. */
+    struct WorkerPlan
+    {
+        /** Chosen servers with the free-GPU count each contributes. */
+        std::vector<std::pair<ServerId, int>> servers;
+        /** max per-server flow count among chosen servers (DP f). */
+        int fMax = 0;
+        /** total GPUs the plan takes (DP g). */
+        int gpus = 0;
+        /** accumulated server value. */
+        double value = 0.0;
+    };
+
+    /** A full plan: workers + PS + score. */
+    struct FullPlan
+    {
+        Placement placement;
+        double score = 0.0;
+        int gpusTaken = 0;
+    };
+
+    std::vector<WorkerPlan> workerPlacement(const JobSpec &spec,
+                                            const ClusterTopology &topo,
+                                            const GpuLedger &gpus,
+                                            const SteadyState &steady,
+                                            RackId restrict_rack = {},
+                                            int restrict_pod = -1) const;
+
+    std::optional<FullPlan> psPlacement(const JobSpec &spec,
+                                        const ClusterTopology &topo,
+                                        const std::vector<WorkerPlan> &plans,
+                                        const SteadyState &steady) const;
+
+    void selectiveInaEnable(std::vector<PlacedJob> &placed,
+                            const ClusterTopology &topo,
+                            const std::vector<PlacedJob> &running,
+                            const std::vector<JobSpec> &batch) const;
+
+    NetPackConfig config_;
+    std::vector<double> lastScores_;
+};
+
+} // namespace netpack
+
+#endif // NETPACK_PLACEMENT_REFERENCE_PLACER_H

@@ -52,6 +52,66 @@ SteadyState::jobThroughput(JobId job) const
     return it->second;
 }
 
+void
+SteadyState::copyServerState(const ClusterTopology &topo,
+                             std::vector<int> &flows,
+                             std::vector<Gbps> &avail) const
+{
+    const auto n = static_cast<std::size_t>(topo.numServers());
+    flows.resize(n);
+    avail.resize(n);
+    for (std::size_t s = 0; s < n; ++s) {
+        const std::size_t link = topo.accessLink(ServerId(static_cast<int>(s))).index();
+        flows[s] = linkFlows[link];
+        avail[s] = linkResidual[link];
+    }
+}
+
+void
+SteadyState::copyRackState(const ClusterTopology &topo,
+                           std::vector<int> &flows,
+                           std::vector<Gbps> &avail) const
+{
+    const auto n = static_cast<std::size_t>(topo.numRacks());
+    flows.resize(n);
+    avail.resize(n);
+    for (std::size_t r = 0; r < n; ++r) {
+        const std::size_t link = topo.coreLink(RackId(static_cast<int>(r))).index();
+        flows[r] = linkFlows[link];
+        avail[r] = linkResidual[link];
+    }
+}
+
+void
+SteadyState::copyPodUplinkState(const ClusterTopology &topo,
+                                std::vector<int> &flows,
+                                std::vector<Gbps> &avail) const
+{
+    if (!topo.twoTier()) {
+        flows.clear();
+        avail.clear();
+        return;
+    }
+    const auto n = static_cast<std::size_t>(topo.numPods());
+    flows.resize(n);
+    avail.resize(n);
+    for (std::size_t p = 0; p < n; ++p) {
+        const std::size_t link = topo.podUplink(static_cast<int>(p)).index();
+        flows[p] = linkFlows[link];
+        avail[p] = linkResidual[link];
+    }
+}
+
+void
+SteadyStateView::assignFrom(const ClusterTopology &topo,
+                            const SteadyState &steady)
+{
+    steady.copyServerState(topo, serverFlows, serverAvailBw);
+    steady.copyRackState(topo, rackFlows, rackAvailBw);
+    steady.copyPodUplinkState(topo, podUplinkFlows, podUplinkAvailBw);
+    patResidual = steady.patResidual;
+}
+
 WaterFillingEstimator::WaterFillingEstimator(const ClusterTopology &topo)
     : topo_(&topo)
 {

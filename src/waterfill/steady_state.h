@@ -86,6 +86,55 @@ struct SteadyState
      * +infinity for jobs that generate no network traffic.
      */
     Gbps jobThroughput(JobId job) const;
+
+    /**
+     * Batch accessors: fill @p flows / @p avail for every server (rack,
+     * pod uplink) at once. One pass over the link arrays instead of one
+     * id translation per query — the SteadyStateView snapshot below is
+     * built from these.
+     */
+    void copyServerState(const ClusterTopology &topo, std::vector<int> &flows,
+                         std::vector<Gbps> &avail) const;
+    void copyRackState(const ClusterTopology &topo, std::vector<int> &flows,
+                       std::vector<Gbps> &avail) const;
+    /** Two-tier mode only; clears the outputs otherwise. */
+    void copyPodUplinkState(const ClusterTopology &topo,
+                            std::vector<int> &flows,
+                            std::vector<Gbps> &avail) const;
+};
+
+/**
+ * Flat, server-/rack-indexed snapshot of the SteadyState facts the
+ * placement hot loops read. The per-query SteadyState accessors
+ * (serverFlows and friends) each translate an entity id into a link
+ * index; Algorithm 2 reads them O(plans x servers) times per job, so
+ * the placers instead snapshot everything once per steady-state
+ * revision into plain arrays indexed by ServerId/RackId/pod value.
+ *
+ * Built and cached by PlacementContext::steadyStateView(): the view is
+ * invalidated together with the cached SteadyState (any dirtying event
+ * — job add/remove, INA toggle, failure — forces a rebuild on the next
+ * query) and must not be held across context mutations.
+ */
+struct SteadyStateView
+{
+    /** Flow count on each server's access link, indexed by ServerId. */
+    std::vector<int> serverFlows;
+    /** Residual bandwidth of each server's access link (Gbps). */
+    std::vector<Gbps> serverAvailBw;
+    /** Flow count on each rack's core link, indexed by RackId. */
+    std::vector<int> rackFlows;
+    /** Residual bandwidth of each rack's core link (Gbps). */
+    std::vector<Gbps> rackAvailBw;
+    /** Flow count per pod uplink (two-tier mode; empty otherwise). */
+    std::vector<int> podUplinkFlows;
+    /** Residual bandwidth per pod uplink (two-tier mode). */
+    std::vector<Gbps> podUplinkAvailBw;
+    /** Residual PAT per rack ToR (Gbps), indexed by RackId. */
+    std::vector<Gbps> patResidual;
+
+    /** Rebuild the snapshot from @p steady, reusing capacity. */
+    void assignFrom(const ClusterTopology &topo, const SteadyState &steady);
 };
 
 /**

@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Differential tests for the allocation-free NetPack placer rewrite:
+ * the optimized NetPackPlacer must reproduce the retained naive
+ * ReferenceNetPackPlacer decision-for-decision (placements, deferrals,
+ * and Equation-1 scores, compared bitwise) over randomized topologies,
+ * steady states, and config ablations. Also covers the SteadyStateView
+ * caching/invalidation contract through PlacementContext.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/rng.h"
+#include "core/placement_context.h"
+#include "placement/baselines.h"
+#include "placement/netpack_placer.h"
+#include "placement/reference_placer.h"
+
+namespace netpack {
+namespace {
+
+const char *const kModels[] = {"AlexNet", "VGG11",    "VGG16",
+                               "VGG19",   "ResNet50", "ResNet101"};
+
+/** Exact (bitwise) double equality, so FP drift cannot hide. */
+bool
+sameBits(double a, double b)
+{
+    return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+void
+expectSamePlacement(const Placement &opt, const Placement &ref,
+                    const std::string &what)
+{
+    EXPECT_EQ(opt.workers, ref.workers) << what;
+    EXPECT_EQ(opt.psServer, ref.psServer) << what;
+    EXPECT_EQ(opt.extraPsServers, ref.extraPsServers) << what;
+    EXPECT_EQ(opt.inaRacks, ref.inaRacks) << what;
+}
+
+void
+expectSameBatchResult(const BatchResult &opt, const BatchResult &ref,
+                      const std::string &what)
+{
+    ASSERT_EQ(opt.placed.size(), ref.placed.size()) << what;
+    for (std::size_t i = 0; i < opt.placed.size(); ++i) {
+        EXPECT_EQ(opt.placed[i].id, ref.placed[i].id) << what;
+        expectSamePlacement(opt.placed[i].placement,
+                            ref.placed[i].placement,
+                            what + " job " +
+                                std::to_string(opt.placed[i].id.value));
+    }
+    ASSERT_EQ(opt.deferred.size(), ref.deferred.size()) << what;
+    for (std::size_t i = 0; i < opt.deferred.size(); ++i)
+        EXPECT_EQ(opt.deferred[i], ref.deferred[i]) << what;
+}
+
+void
+expectSameScores(const std::vector<double> &opt,
+                 const std::vector<double> &ref, const std::string &what)
+{
+    ASSERT_EQ(opt.size(), ref.size()) << what;
+    for (std::size_t i = 0; i < opt.size(); ++i)
+        EXPECT_TRUE(sameBits(opt[i], ref[i]))
+            << what << " score " << i << ": " << opt[i]
+            << " != " << ref[i];
+}
+
+/**
+ * One randomized scenario: a random small cluster (sometimes
+ * oversubscribed, sometimes two-tier), a random NetPackConfig (shard
+ * counts, ablations), and several batches with retirement churn in
+ * between so later batches place against a non-trivial steady state.
+ */
+class PlacerDifferentialTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PlacerDifferentialTest, OptimizedMatchesReferenceExactly)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+
+    ClusterConfig cluster;
+    cluster.numRacks = static_cast<int>(rng.uniformInt(2, 6));
+    cluster.serversPerRack = static_cast<int>(rng.uniformInt(2, 6));
+    cluster.gpusPerServer = static_cast<int>(rng.uniformInt(2, 4));
+    cluster.serverLinkGbps = 100.0;
+    cluster.torPatGbps = rng.uniformInt(0, 1) ? 400.0 : 1000.0;
+    cluster.oversubscription = rng.uniformInt(0, 2) == 0 ? 4.0 : 1.0;
+    if (rng.uniformInt(0, 2) == 0 && cluster.numRacks >= 4) {
+        cluster.numRacks -= cluster.numRacks % 2; // pods need even racks
+        cluster.racksPerPod = 2;
+        cluster.podOversubscription = rng.uniformInt(0, 1) ? 2.0 : 1.0;
+    }
+    const ClusterTopology topo(cluster);
+
+    NetPackConfig config;
+    config.maxFlowsTracked = rng.uniformInt(0, 1) ? 16 : 4;
+    config.twoDimWeight = rng.uniformInt(0, 3) != 0;
+    config.oversubPenalty = rng.uniformInt(0, 3) != 0;
+    config.selectiveIna = rng.uniformInt(0, 1) != 0;
+    config.psShards = rng.uniformInt(0, 2) == 0 ? 3 : 1;
+
+    NetPackPlacer opt(config);
+    ReferenceNetPackPlacer ref(config);
+    GpuLedger opt_gpus(topo), ref_gpus(topo);
+    PlacementContext opt_ctx(topo), ref_ctx(topo);
+    std::vector<JobId> alive;
+
+    int next_id = 1;
+    const int rounds = static_cast<int>(rng.uniformInt(2, 4));
+    for (int round = 0; round < rounds; ++round) {
+        std::vector<JobSpec> batch;
+        const int jobs = static_cast<int>(rng.uniformInt(2, 6));
+        for (int j = 0; j < jobs; ++j) {
+            JobSpec spec;
+            spec.id = JobId(next_id++);
+            spec.modelName = kModels[rng.uniformInt(0, 5)];
+            // Mostly multi-server demands so the DP path dominates;
+            // small demands keep the single-server fast path covered.
+            spec.gpuDemand = static_cast<int>(
+                rng.uniformInt(1, 3 * cluster.gpusPerServer));
+            spec.iterations = 100;
+            spec.value = rng.uniform(0.5, 5.0);
+            batch.push_back(spec);
+        }
+
+        const BatchResult opt_result =
+            opt.placeBatch(batch, topo, opt_gpus, opt_ctx);
+        const BatchResult ref_result =
+            ref.placeBatch(batch, topo, ref_gpus, ref_ctx);
+
+        const std::string what = "scenario " +
+                                 std::to_string(GetParam()) + " round " +
+                                 std::to_string(round);
+        expectSameBatchResult(opt_result, ref_result, what);
+        expectSameScores(opt.lastScores(), ref.lastScores(), what);
+        if (::testing::Test::HasFailure())
+            return; // diverged states make later rounds uninformative
+
+        for (const PlacedJob &job : opt_result.placed)
+            alive.push_back(job.id);
+
+        // Retire a random prefix of the running jobs so the next round
+        // sees churned occupancy and a re-converged steady state.
+        const auto retire = static_cast<std::size_t>(rng.uniformInt(
+            0, static_cast<std::int64_t>(alive.size()) / 2));
+        for (std::size_t k = 0; k < retire; ++k) {
+            const JobId victim = alive[k];
+            opt_gpus.releaseJob(victim);
+            ref_gpus.releaseJob(victim);
+            opt_ctx.removeJob(victim);
+            ref_ctx.removeJob(victim);
+        }
+        alive.erase(alive.begin(),
+                    alive.begin() + static_cast<std::ptrdiff_t>(retire));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomScenarios, PlacerDifferentialTest,
+                         ::testing::Range(0, 120));
+
+/** The paper-scale shape (oversubscribed), one sizable batch. */
+TEST(PlacerDifferential, SimulatorScaleOversubscribed)
+{
+    ClusterConfig cluster;
+    cluster.numRacks = 16;
+    cluster.serversPerRack = 16;
+    cluster.gpusPerServer = 4;
+    cluster.serverLinkGbps = 100.0;
+    cluster.torPatGbps = 1000.0;
+    cluster.oversubscription = 4.0;
+    const ClusterTopology topo(cluster);
+
+    NetPackPlacer opt;
+    ReferenceNetPackPlacer ref;
+    GpuLedger opt_gpus(topo), ref_gpus(topo);
+    PlacementContext opt_ctx(topo), ref_ctx(topo);
+
+    Rng rng(99);
+    std::vector<JobSpec> batch;
+    for (int j = 0; j < 24; ++j) {
+        JobSpec spec;
+        spec.id = JobId(j + 1);
+        spec.modelName = kModels[rng.uniformInt(0, 5)];
+        spec.gpuDemand = static_cast<int>(rng.uniformInt(2, 32));
+        spec.iterations = 100;
+        spec.value = rng.uniform(0.5, 5.0);
+        batch.push_back(spec);
+    }
+    const BatchResult opt_result =
+        opt.placeBatch(batch, topo, opt_gpus, opt_ctx);
+    const BatchResult ref_result =
+        ref.placeBatch(batch, topo, ref_gpus, ref_ctx);
+    expectSameBatchResult(opt_result, ref_result, "simulator scale");
+    expectSameScores(opt.lastScores(), ref.lastScores(),
+                     "simulator scale");
+}
+
+/** The factory exposes the reference placer for tooling. */
+TEST(PlacerDifferential, FactoryBuildsReferencePlacer)
+{
+    const auto placer = makePlacerByName("NetPackRef");
+    EXPECT_EQ(placer->name(), "NetPackRef");
+}
+
+// ---------------------------------------------------- SteadyStateView
+
+TEST(SteadyStateViewTest, CachedUntilContextMutates)
+{
+    ClusterConfig cluster;
+    cluster.numRacks = 2;
+    cluster.serversPerRack = 4;
+    cluster.gpusPerServer = 4;
+    const ClusterTopology topo(cluster);
+    PlacementContext ctx(topo);
+
+    const SteadyStateView &view = ctx.steadyStateView();
+    EXPECT_EQ(ctx.stats().viewRebuilds, 1);
+    EXPECT_EQ(ctx.stats().viewReuses, 0);
+    EXPECT_EQ(view.serverFlows.size(),
+              static_cast<std::size_t>(topo.numServers()));
+    EXPECT_EQ(view.rackFlows.size(),
+              static_cast<std::size_t>(topo.numRacks()));
+
+    // Second fetch with no mutation: same snapshot, no rebuild.
+    ctx.steadyStateView();
+    EXPECT_EQ(ctx.stats().viewRebuilds, 1);
+    EXPECT_EQ(ctx.stats().viewReuses, 1);
+
+    // A mutation invalidates the snapshot; the next fetch rebuilds and
+    // reflects the new job's flows.
+    Placement placement;
+    placement.workers[ServerId(0)] = 2;
+    placement.workers[ServerId(5)] = 2;
+    placement.psServer = ServerId(0);
+    placement.inaRacks = placement.allRacks(topo);
+    ctx.addJob(JobId(1), placement);
+    const SteadyStateView &after = ctx.steadyStateView();
+    EXPECT_EQ(ctx.stats().viewRebuilds, 2);
+    EXPECT_GT(after.serverFlows[5], 0);
+
+    // The snapshot mirrors the SteadyState accessors entry for entry.
+    const SteadyState &steady = ctx.steadyState();
+    for (int s = 0; s < topo.numServers(); ++s) {
+        const auto si = static_cast<std::size_t>(s);
+        EXPECT_EQ(after.serverFlows[si],
+                  steady.serverFlows(topo, ServerId(s)));
+        EXPECT_EQ(after.serverAvailBw[si],
+                  steady.serverAvailBw(topo, ServerId(s)));
+    }
+    for (int r = 0; r < topo.numRacks(); ++r) {
+        const auto ri = static_cast<std::size_t>(r);
+        EXPECT_EQ(after.rackFlows[ri], steady.rackFlows(topo, RackId(r)));
+        EXPECT_EQ(after.rackAvailBw[ri],
+                  steady.rackAvailBw(topo, RackId(r)));
+    }
+    EXPECT_EQ(after.patResidual, steady.patResidual);
+
+    // Removal invalidates too.
+    ctx.removeJob(JobId(1));
+    ctx.steadyStateView();
+    EXPECT_EQ(ctx.stats().viewRebuilds, 3);
+}
+
+TEST(SteadyStateViewTest, TwoTierCopiesPodUplinks)
+{
+    ClusterConfig cluster;
+    cluster.numRacks = 4;
+    cluster.serversPerRack = 2;
+    cluster.gpusPerServer = 4;
+    cluster.racksPerPod = 2;
+    const ClusterTopology topo(cluster);
+    PlacementContext ctx(topo);
+
+    Placement placement;
+    placement.workers[ServerId(0)] = 1;
+    placement.workers[ServerId(7)] = 1;
+    placement.psServer = ServerId(0);
+    placement.inaRacks = placement.allRacks(topo);
+    ctx.addJob(JobId(1), placement);
+
+    const SteadyStateView &view = ctx.steadyStateView();
+    ASSERT_EQ(view.podUplinkFlows.size(),
+              static_cast<std::size_t>(topo.numPods()));
+    const SteadyState &steady = ctx.steadyState();
+    for (int p = 0; p < topo.numPods(); ++p) {
+        const auto pi = static_cast<std::size_t>(p);
+        const auto li = topo.podUplink(p).index();
+        EXPECT_EQ(view.podUplinkFlows[pi], steady.linkFlows[li]);
+        EXPECT_EQ(view.podUplinkAvailBw[pi], steady.linkResidual[li]);
+    }
+}
+
+} // namespace
+} // namespace netpack
