@@ -11,7 +11,6 @@
 #include <iostream>
 
 #include "bench_util.h"
-#include "common/rng.h"
 
 int
 main(int argc, char **argv)
@@ -44,25 +43,10 @@ main(int argc, char **argv)
     Table table({"MTBF (s)", "placer", "avg JCT (s)", "restarts"});
     for (double mtbf : {0.0, 120.0, 30.0}) {
         // Poisson failure schedule over the trace's active window.
-        std::vector<ServerFailure> failures;
-        if (mtbf > 0.0) {
-            Rng rng(17);
-            Seconds t = 0.0;
-            const Seconds window = 600.0;
-            while (true) {
-                t += rng.exponential(1.0 / mtbf);
-                if (t > window)
-                    break;
-                ServerFailure failure;
-                failure.time = t;
-                failure.server = ServerId(static_cast<int>(
-                    rng.uniformInt(0, cluster.numRacks *
-                                          cluster.serversPerRack -
-                                      1)));
-                failure.downtime = 60.0;
-                failures.push_back(failure);
-            }
-        }
+        const std::vector<ServerFailure> failures =
+            benchutil::poissonFailureSchedule(
+                mtbf, 600.0, cluster.numRacks * cluster.serversPerRack,
+                17);
 
         for (const std::string placer : {"NetPack", "GB", "Optimus"}) {
             ExperimentConfig config;

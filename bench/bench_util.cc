@@ -4,6 +4,7 @@
 #include <iostream>
 #include <mutex>
 
+#include "common/rng.h"
 #include "obs/metrics.h"
 
 namespace netpack {
@@ -50,6 +51,8 @@ usageText(const std::string &argv0)
 {
     return "usage: " + argv0 +
            " [--full] [--csv] [--json <path>] [--jobs <n>] [--seeds <k>]\n"
+           "       [--journal <dir>] [--snapshot-every <sim-s>] "
+           "[--resume]\n"
            "  --full         paper-scale parameters (slower)\n"
            "  --csv          also emit CSV\n"
            "  --json <path>  write a machine-readable run manifest\n"
@@ -60,6 +63,14 @@ usageText(const std::string &argv0)
            "  --seeds <k>    replicate each sweep cell over k trace\n"
            "                 seeds and report mean/stddev/95% CI\n"
            "                 (default: the bench's own profile)\n"
+           "  --journal <dir>\n"
+           "                 record an event journal per run into dir\n"
+           "                 (replay with examples/netpack_replay)\n"
+           "  --snapshot-every <sim-s>\n"
+           "                 simulated seconds between journal\n"
+           "                 snapshots (resume points; flow runs only)\n"
+           "  --resume       reuse/resume runs whose journals already\n"
+           "                 exist in --journal dir\n"
            "  --help         show this message and exit\n";
 }
 
@@ -108,16 +119,77 @@ parseOptionsInto(int argc, char **argv, Options &options)
                 return "--seeds operand '" + *value +
                        "' is not a positive integer";
             options.seeds = *seeds;
+        } else if (arg == "--journal") {
+            const auto value = operand(i);
+            if (!value)
+                return "--journal requires a directory path";
+            options.journalDir = *value;
+        } else if (arg == "--snapshot-every") {
+            const auto value = operand(i);
+            if (!value)
+                return "--snapshot-every requires a simulated-seconds "
+                       "period";
+            try {
+                options.snapshotEvery = std::stod(*value);
+            } catch (const std::exception &) {
+                return "--snapshot-every operand '" + *value +
+                       "' is not a number";
+            }
+            if (!(options.snapshotEvery > 0.0))
+                return "--snapshot-every operand '" + *value +
+                       "' must be positive";
+        } else if (arg == "--resume") {
+            options.resume = true;
         } else if (arg == "--help" || arg == "-h") {
             options.help = true;
         } else {
             return "unknown option '" + arg + "'";
         }
     }
+    if (options.journalDir.empty() &&
+        (options.resume || options.snapshotEvery > 0.0))
+        return "--resume and --snapshot-every require --journal <dir>";
     // The manifest embeds a metrics snapshot; make sure there is one.
     if (!options.jsonPath.empty())
         obs::setMetricsEnabled(true);
     return std::nullopt;
+}
+
+exec::SweepOptions
+sweepOptions(const Options &options)
+{
+    exec::SweepOptions sweep;
+    sweep.jobs =
+        options.jobs < 1 ? 1 : static_cast<std::size_t>(options.jobs);
+    sweep.journalDir = options.journalDir;
+    sweep.snapshotEvery = options.snapshotEvery;
+    sweep.resume = options.resume;
+    return sweep;
+}
+
+void
+recordJournalActivity(const exec::SweepResult &result,
+                      const Options &options)
+{
+    if (options.journalDir.empty())
+        return;
+    const std::lock_guard<std::mutex> lock(g_manifestMutex);
+    obs::JournalSummary &journal = manifest().journal;
+    journal.enabled = true;
+    journal.directory = options.journalDir;
+    journal.snapshotEvery = options.snapshotEvery;
+    for (const exec::RunResult &run : result.runs) {
+        if (run.journalPath.empty())
+            continue;
+        journal.eventsWritten += run.journalEvents;
+        journal.snapshotsWritten += run.journalSnapshots;
+        if (run.journalReused)
+            ++journal.runsReused;
+        else
+            ++journal.runsRecorded;
+        if (run.journalResumed)
+            ++journal.runsResumed;
+    }
 }
 
 Options
@@ -211,6 +283,29 @@ simulatorTrace(DemandDistribution dist, int jobs, std::uint64_t seed)
     gen.durationLogMu = 4.8;
     gen.durationLogSigma = 1.0;
     return generateTrace(gen);
+}
+
+std::vector<ServerFailure>
+poissonFailureSchedule(double mtbf, Seconds window, int servers,
+                       std::uint64_t seed, Seconds downtime)
+{
+    std::vector<ServerFailure> failures;
+    if (mtbf <= 0.0)
+        return failures;
+    Rng rng(seed);
+    Seconds t = 0.0;
+    while (true) {
+        t += rng.exponential(1.0 / mtbf);
+        if (t > window)
+            break;
+        ServerFailure failure;
+        failure.time = t;
+        failure.server = ServerId(
+            static_cast<int>(rng.uniformInt(0, servers - 1)));
+        failure.downtime = downtime;
+        failures.push_back(failure);
+    }
+    return failures;
 }
 
 void
@@ -339,11 +434,11 @@ runFigure7Matrix(const Options &options)
         }
     }
 
-    exec::SweepOptions sweep;
-    sweep.jobs = options.jobs < 1 ? 1 : static_cast<std::size_t>(options.jobs);
-    const exec::SweepResult result = exec::runSweep(requests, sweep);
+    const exec::SweepResult result =
+        exec::runSweep(requests, sweepOptions(options));
     recordSweepRuns(requests, result);
     recordAggregates(result);
+    recordJournalActivity(result, options);
 
     // Normalize per (trace, platform, seed) group — requests lay each
     // group out contiguously with NetPack (placers.front()) first.
@@ -418,11 +513,11 @@ placerSweepTable(const std::string &axis_header,
         }
     }
 
-    exec::SweepOptions sweep;
-    sweep.jobs = options.jobs < 1 ? 1 : static_cast<std::size_t>(options.jobs);
-    const exec::SweepResult result = exec::runSweep(requests, sweep);
+    const exec::SweepResult result =
+        exec::runSweep(requests, sweepOptions(options));
     recordSweepRuns(requests, result);
     recordAggregates(result);
+    recordJournalActivity(result, options);
 
     const bool with_ci = options.seeds > 1;
     std::vector<std::string> headers = {axis_header};

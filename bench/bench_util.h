@@ -42,6 +42,12 @@ struct Options
     int jobs = 1;
     /** Seed replicates per sweep cell; 0 = the bench's own default. */
     int seeds = 0;
+    /** When non-empty, record per-run journals into this directory. */
+    std::string journalDir;
+    /** Simulated seconds between journal snapshots; 0 = none. */
+    double snapshotEvery = 0.0;
+    /** Resume incomplete journals instead of re-running from scratch. */
+    bool resume = false;
     /** --help was passed (parseOptions prints usage and exits). */
     bool help = false;
 };
@@ -58,9 +64,18 @@ std::string usageText(const std::string &argv0);
 std::optional<std::string> parseOptionsInto(int argc, char **argv,
                                             Options &options);
 
-/** Parse --full / --csv / --json / --jobs / --seeds; exits with usage
- * on anything else. */
+/** Parse --full / --csv / --json / --jobs / --seeds / --journal /
+ * --snapshot-every / --resume; exits with usage on anything else. */
 Options parseOptions(int argc, char **argv);
+
+/** exec sweep options derived from the parsed bench options (worker
+ * count plus the journal recording knobs). */
+exec::SweepOptions sweepOptions(const Options &options);
+
+/** Fold a finished sweep's journal activity into the manifest's
+ * journal block (no-op when journaling was off). */
+void recordJournalActivity(const exec::SweepResult &result,
+                           const Options &options);
 
 /**
  * The process-wide manifest the bench scaffolding populates. The
@@ -92,6 +107,16 @@ JobTrace testbedTrace(DemandDistribution dist, int jobs,
 /** A trace sized for the simulator cluster. */
 JobTrace simulatorTrace(DemandDistribution dist, int jobs,
                         std::uint64_t seed);
+
+/**
+ * A Poisson server-failure schedule: exponential inter-failure gaps
+ * with mean @p mtbf over [0, @p window], each hitting a uniformly
+ * random server in [0, @p servers), down for @p downtime seconds.
+ * Deterministic in @p seed; empty when @p mtbf <= 0.
+ */
+std::vector<ServerFailure> poissonFailureSchedule(
+    double mtbf, Seconds window, int servers, std::uint64_t seed,
+    Seconds downtime = 60.0);
 
 /** Print the bench banner: what figure, what the paper showed. */
 void printHeader(const std::string &title, const std::string &paper_ref,

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Journal replay driver: the command-line face of netpack::journal.
+ *
+ *   netpack_replay --journal FILE                      inspect
+ *   netpack_replay --journal FILE --verify             re-run + compare
+ *   netpack_replay --journal FILE --resume             continue from the
+ *                                                      latest snapshot
+ *   netpack_replay --journal FILE --what-if PLACER \
+ *                  [--swap-round N]                    counterfactual
+ *
+ * --verify re-executes the recorded experiment and asserts every
+ * placement decision, failure, rebalance, and water-filling summary
+ * matches the journal bit-for-bit, reporting the first divergence with
+ * its event index and a field diff. --what-if replays the recorded
+ * prefix, swaps the placement policy at a chosen round, and prints a
+ * recorded-vs-counterfactual JCT/DE delta table — answering "what if
+ * this cluster had run the baseline from round N on" without a fresh
+ * sweep.
+ *
+ * Record a journal first, e.g.:
+ *   bench_util ... --journal run.jsonl   (any bench harness)
+ */
+
+#include <iostream>
+#include <string>
+
+#include "common/strings.h"
+#include "journal/replayer.h"
+
+namespace {
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::cerr << "usage: " << argv0
+              << " --journal FILE [--verify | --resume |"
+                 " --what-if PLACER [--swap-round N]]\n";
+    std::exit(2);
+}
+
+void
+printMetricsRow(const std::string &label, const netpack::RunMetrics &m)
+{
+    using netpack::formatDouble;
+    std::cout << "  " << label << "  avg JCT " << formatDouble(m.avgJct(), 2)
+              << " s | avg DE " << formatDouble(m.avgDe(), 3)
+              << " | makespan " << formatDouble(m.makespan, 1)
+              << " s | GPU util "
+              << formatDouble(m.avgGpuUtilization * 100.0, 1) << " %\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace netpack;
+
+    std::string journal_path;
+    std::string what_if_placer;
+    bool verify = false;
+    bool resume = false;
+    long long swap_round = 0;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--journal")
+            journal_path = next();
+        else if (arg == "--verify")
+            verify = true;
+        else if (arg == "--resume")
+            resume = true;
+        else if (arg == "--what-if")
+            what_if_placer = next();
+        else if (arg == "--swap-round")
+            swap_round = std::stoll(next());
+        else
+            usage(argv[0]);
+    }
+    if (journal_path.empty())
+        usage(argv[0]);
+
+    try {
+        journal::Replayer replayer(journal_path);
+        const journal::JournalHeader &header = replayer.header();
+        std::cout << "journal: " << journal_path << "\n"
+                  << "  label:   "
+                  << (header.label.empty() ? "(none)" : header.label) << "\n"
+                  << "  placer:  " << header.config.placer << " (seed "
+                  << header.config.seed << ")\n"
+                  << "  trace:   " << header.trace.size() << " jobs\n"
+                  << "  events:  " << replayer.events().size()
+                  << (replayer.complete() ? " (complete run)"
+                                          : " (incomplete run)")
+                  << "\n";
+
+        if (verify) {
+            const journal::VerifyResult result = replayer.verify();
+            std::cout << "\nverify: compared " << result.eventsCompared
+                      << " events\n";
+            if (result.ok) {
+                std::cout << "verify: PASS — zero divergences\n";
+                return 0;
+            }
+            std::cout << "verify: FAIL — first divergence:\n  "
+                      << result.divergence->describe() << "\n";
+            return 1;
+        }
+
+        if (resume) {
+            if (replayer.hasSnapshot()) {
+                const journal::JournalEvent &snap =
+                    replayer.events()[replayer.lastSnapshotIndex()];
+                std::cout << "\nresume: restoring snapshot at t="
+                          << formatDouble(snap.t, 1) << " s\n";
+            } else {
+                std::cout << "\nresume: no snapshot, running from t=0\n";
+            }
+            const RunMetrics metrics = replayer.resume();
+            printMetricsRow("resumed ", metrics);
+            if (replayer.complete()) {
+                printMetricsRow("recorded", replayer.recordedMetrics());
+            }
+            return 0;
+        }
+
+        if (!what_if_placer.empty()) {
+            const journal::WhatIfResult result =
+                replayer.whatIf(what_if_placer, swap_round);
+            const RunMetrics &a = result.recorded;
+            const RunMetrics &b = result.whatIf;
+            std::cout << "\nwhat-if: swap " << header.config.placer
+                      << " -> " << result.placer << " at round "
+                      << result.swapRound << "\n\n"
+                      << "  metric         recorded     what-if       "
+                         "delta\n";
+            const auto row = [](const std::string &name, double rec,
+                                double alt, int digits) {
+                const double delta =
+                    rec != 0.0 ? (alt - rec) / rec * 100.0 : 0.0;
+                std::cout << "  " << name << formatDouble(rec, digits)
+                          << "   " << formatDouble(alt, digits) << "   "
+                          << (delta >= 0.0 ? "+" : "")
+                          << formatDouble(delta, 1) << " %\n";
+            };
+            row("avg JCT (s)  ", a.avgJct(), b.avgJct(), 2);
+            row("avg DE       ", a.avgDe(), b.avgDe(), 3);
+            row("makespan (s) ", a.makespan, b.makespan, 1);
+            row("GPU util     ", a.avgGpuUtilization, b.avgGpuUtilization,
+                3);
+            return 0;
+        }
+
+        // No mode: the inspection header above is the output.
+    } catch (const std::exception &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+    return 0;
+}

@@ -2,18 +2,34 @@
 # Build, test, and regenerate every figure/table of the reproduction.
 #
 # Usage: scripts/run_all.sh [--full] [--jobs N] [--seeds K] [--csv]
+#                           [--journal DIR] [--snapshot-every S] [--resume]
 #   --full     paper-scale bench parameters (slower)
 #   --jobs N   worker threads per bench (default: nproc; results are
 #              bit-identical for any N)
 #   --seeds K  seed replicates per sweep cell (mean/stddev/95% CI)
-#   Every flag is forwarded to the benches verbatim.
+#   --journal DIR
+#              archive an event journal per run under DIR/<bench>/,
+#              next to the BENCH_*.json manifests (replay them with
+#              build/examples/netpack_replay)
+#   --snapshot-every S / --resume
+#              journal snapshot period (simulated seconds) / pick
+#              interrupted sweeps back up from their journals
+#   Every other flag is forwarded to the benches verbatim.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 # Forward the whole command line; default --jobs to the machine size
-# when the caller did not pick one.
-BENCH_ARGS=("$@")
-case " $* " in
+# when the caller did not pick one. --journal is held back and re-issued
+# per bench so each bench archives into its own subdirectory.
+BENCH_ARGS=()
+JOURNAL_DIR=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --journal) JOURNAL_DIR="$2"; shift 2 ;;
+    *) BENCH_ARGS+=("$1"); shift ;;
+  esac
+done
+case " ${BENCH_ARGS[*]-} " in
   *" --jobs"*) ;;
   *) BENCH_ARGS+=(--jobs "$(nproc)") ;;
 esac
@@ -34,7 +50,13 @@ ctest --test-dir build --output-on-failure | tee test_output.txt
               # BENCH_placer_micro.json alongside the figure manifests.
               # Every figure bench leaves a machine-readable manifest
               # (BENCH_fig07_jct.json, ...) next to bench_output.txt.
-              *) "$b" "${BENCH_ARGS[@]}" --json "BENCH_${name#bench_}.json" ;;
+              *)
+                JOURNAL_ARGS=()
+                if [ -n "${JOURNAL_DIR}" ]; then
+                    JOURNAL_ARGS=(--journal "${JOURNAL_DIR}/${name#bench_}")
+                fi
+                "$b" "${BENCH_ARGS[@]}" "${JOURNAL_ARGS[@]}" \
+                    --json "BENCH_${name#bench_}.json" ;;
             esac
         fi
     done

@@ -59,6 +59,29 @@ class Rng
     /** Derive an independent child stream (for per-component seeding). */
     Rng fork();
 
+    /**
+     * Complete generator state (xoshiro words plus the Box–Muller
+     * cache). Capturing and restoring it resumes the stream exactly
+     * where it left off — the journal snapshot layer depends on this.
+     */
+    struct State
+    {
+        std::array<std::uint64_t, 4> words{};
+        double cachedNormal = 0.0;
+        bool hasCachedNormal = false;
+    };
+
+    /** Current stream state (for snapshots). */
+    State state() const { return {state_, cachedNormal_, hasCachedNormal_}; }
+
+    /** Overwrite the stream state (snapshot restore). */
+    void setState(const State &state)
+    {
+        state_ = state.words;
+        cachedNormal_ = state.cachedNormal;
+        hasCachedNormal_ = state.hasCachedNormal;
+    }
+
   private:
     std::array<std::uint64_t, 4> state_;
     double cachedNormal_ = 0.0;

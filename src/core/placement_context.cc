@@ -177,14 +177,17 @@ PlacementContext::updateInaRacks(JobId id, const std::set<RackId> &ina_racks)
 void
 PlacementContext::syncTo(const std::vector<PlacedJob> &running)
 {
-    // Drop jobs that disappeared.
+    // Drop jobs that disappeared. Collected in running_ order (not map
+    // order) so the swap-removal shuffle of running_ — and with it every
+    // downstream float-accumulation order — is a pure function of
+    // serializable state, which snapshot restore depends on.
     std::unordered_set<JobId> wanted;
     for (const PlacedJob &job : running)
         wanted.insert(job.id);
     std::vector<JobId> gone;
-    for (const auto &[id, entry] : jobs_) {
-        if (wanted.count(id) == 0)
-            gone.push_back(id);
+    for (const PlacedJob &job : running_) {
+        if (wanted.count(job.id) == 0)
+            gone.push_back(job.id);
     }
     for (JobId id : gone)
         removeJob(id);
@@ -227,6 +230,47 @@ PlacementContext::clear()
     std::fill(dirtyRackMask_.begin(), dirtyRackMask_.end(), 0);
     dirtyLinks_.clear();
     dirtyRacks_.clear();
+}
+
+PlacementContext::State
+PlacementContext::exportState() const
+{
+    State state;
+    state.running = running_;
+    state.cached = cached_;
+    state.valid = valid_;
+    state.structural = structural_;
+    state.dirtyLinks = dirtyLinks_;
+    state.dirtyRacks = dirtyRacks_;
+    state.stats = stats_;
+    return state;
+}
+
+void
+PlacementContext::importState(const State &state)
+{
+    clear();
+    // Re-adding in running_ order rebuilds jobs_, the reverse indexes,
+    // and every shard hierarchy exactly as a never-stopped context holds
+    // them (buildEntry is a pure function of topology + placement).
+    for (const PlacedJob &job : state.running)
+        addJob(job);
+    // addJob dirtied everything it touched; replace that synthetic dirt
+    // with the captured dirt so the next query re-converges exactly the
+    // same component the original run would have.
+    dirtyLinks_.clear();
+    dirtyRacks_.clear();
+    std::fill(dirtyLinkMask_.begin(), dirtyLinkMask_.end(), 0);
+    std::fill(dirtyRackMask_.begin(), dirtyRackMask_.end(), 0);
+    for (LinkId link : state.dirtyLinks)
+        markLinkDirty(link);
+    for (RackId rack : state.dirtyRacks)
+        markRackDirty(rack);
+    cached_ = state.cached;
+    valid_ = state.valid;
+    structural_ = state.structural;
+    stats_ = state.stats;
+    viewValid_ = false;
 }
 
 void
@@ -324,9 +368,12 @@ PlacementContext::steadyStateView()
 std::vector<JobHierarchy *>
 PlacementContext::allShards()
 {
+    // running_ order, not map order: the estimator's water-filling
+    // accumulates floats in shard order, so the order must be derivable
+    // from serializable state for snapshot restore to be bit-identical.
     std::vector<JobHierarchy *> shards;
-    for (auto &[id, entry] : jobs_) {
-        for (JobHierarchy &shard : entry.shards)
+    for (const PlacedJob &job : running_) {
+        for (JobHierarchy &shard : jobs_.at(job.id).shards)
             shards.push_back(&shard);
     }
     return shards;
@@ -415,9 +462,13 @@ WaterFillingEstimator::reestimate(PlacementContext &ctx,
         NETPACK_SPAN(span, "waterfill.incremental_estimate");
         span.arg("component_jobs", affected.size());
         span.arg("total_jobs", ctx.jobs_.size());
+        // Shards in running_ order (affected is an unordered set whose
+        // iteration order is not reproducible across restarts).
         std::vector<JobHierarchy *> shards;
-        for (JobId id : affected) {
-            for (JobHierarchy &shard : ctx.jobs_.at(id).shards)
+        for (const PlacedJob &job : ctx.running_) {
+            if (affected.count(job.id) == 0)
+                continue;
+            for (JobHierarchy &shard : ctx.jobs_.at(job.id).shards)
                 shards.push_back(&shard);
         }
         const SteadyState sub = estimate(shards);

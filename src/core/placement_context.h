@@ -123,6 +123,18 @@ class PlacementContext
      */
     const SteadyStateView &steadyStateView();
 
+    /**
+     * The cached fixed point without converging or counting: nullptr
+     * while dirt is pending. Observation read-path (metrics gauges) —
+     * a query here must not perturb the Stats the journal records, or
+     * runs would replay differently depending on whether metrics were
+     * enabled at record time.
+     */
+    const SteadyState *cachedSteadyState() const
+    {
+        return dirty() ? nullptr : &cached_;
+    }
+
     /** True when the next steadyState() query must recompute anything. */
     bool dirty() const;
 
@@ -154,6 +166,32 @@ class PlacementContext
 
     /** Cumulative query statistics. */
     const Stats &stats() const { return stats_; }
+
+    /**
+     * Serializable dynamic state: the tracked placements in running_
+     * order plus the cached fixed point and pending dirt. Hierarchies
+     * and reverse indexes are rebuilt deterministically on import, and
+     * the cached SteadyState is carried verbatim — incremental
+     * re-estimation is only ~1e-9-close to a cold full estimate, so a
+     * bit-identical resume must splice against the exact cached values,
+     * not a recomputation.
+     */
+    struct State
+    {
+        std::vector<PlacedJob> running;
+        SteadyState cached;
+        bool valid = false;
+        bool structural = false;
+        std::vector<LinkId> dirtyLinks;
+        std::vector<RackId> dirtyRacks;
+        Stats stats;
+    };
+
+    /** Capture the dynamic state (journal snapshots). */
+    State exportState() const;
+
+    /** Restore a captured state; replaces all tracked jobs. */
+    void importState(const State &state);
 
   private:
     friend class WaterFillingEstimator; // reestimate() is the query engine

@@ -3,6 +3,7 @@
 #include <optional>
 
 #include "exec/thread_pool.h"
+#include "journal/record.h"
 #include "obs/trace.h"
 
 namespace netpack {
@@ -26,6 +27,9 @@ runSweep(const std::vector<RunRequest> &requests, const SweepOptions &options)
     SweepResult result;
     result.runs.resize(requests.size());
 
+    if (!options.journalDir.empty())
+        journal::ensureDirectory(options.journalDir);
+
     {
         ThreadPool pool(options.jobs == 0 ? 0 : options.jobs);
         parallelFor(pool, requests.size(), [&](std::size_t i) {
@@ -38,8 +42,28 @@ runSweep(const std::vector<RunRequest> &requests, const SweepOptions &options)
             std::optional<obs::MetricScope> scope;
             if (obs::metricsEnabled())
                 scope.emplace();
-            result.runs[i].metrics =
-                runExperiment(requests[i].config, requests[i].trace);
+            if (options.journalDir.empty()) {
+                result.runs[i].metrics =
+                    runExperiment(requests[i].config, requests[i].trace);
+            } else {
+                journal::RecordOptions record;
+                record.label = requests[i].label.empty()
+                                   ? "run" + std::to_string(i)
+                                   : requests[i].label;
+                record.path = options.journalDir + "/" +
+                              journal::sanitizeLabel(record.label) +
+                              ".jsonl";
+                record.snapshotEvery = options.snapshotEvery;
+                record.resume = options.resume;
+                const journal::RecordOutcome outcome = journal::recordRun(
+                    requests[i].config, requests[i].trace, record);
+                result.runs[i].metrics = outcome.metrics;
+                result.runs[i].journalPath = record.path;
+                result.runs[i].journalEvents = outcome.eventsWritten;
+                result.runs[i].journalSnapshots = outcome.snapshotsWritten;
+                result.runs[i].journalReused = outcome.reused;
+                result.runs[i].journalResumed = outcome.resumed;
+            }
             if (scope)
                 result.runs[i].metricsSnapshot = scope->snapshot();
         });

@@ -55,6 +55,16 @@ struct RunResult
     /** What the run recorded while metrics were enabled (its private
      * MetricScope); empty otherwise. */
     obs::MetricsSnapshot metricsSnapshot;
+    /** Journal file of this run (empty unless journaling was on). */
+    std::string journalPath;
+    /** Event lines in the journal (prefix included on resume). */
+    std::size_t journalEvents = 0;
+    /** Snapshot events among them. */
+    std::size_t journalSnapshots = 0;
+    /** Complete journal found; recorded metrics reused, no re-run. */
+    bool journalReused = false;
+    /** Restored from an incomplete journal's snapshot and continued. */
+    bool journalResumed = false;
 };
 
 /** Cross-seed statistics of one cell. */
@@ -73,6 +83,23 @@ struct SweepOptions
     /** Publish each run's MetricScope snapshot into the process-wide
      * registry (in request order) after the sweep. */
     bool publishMetrics = true;
+    /**
+     * When non-empty, record each run's journal to
+     * <journalDir>/<sanitized label>.jsonl (the directory is created).
+     * Snapshot restore is bit-identical, so journaled sweeps keep the
+     * any-N determinism contract.
+     */
+    std::string journalDir;
+    /** Simulated seconds between journal snapshots; 0 = none. Flow
+     * fidelity only (the packet model has no snapshot support). */
+    double snapshotEvery = 0.0;
+    /**
+     * Pick up incomplete cells: a run whose journal already ends in
+     * run_end is reused without re-running, and one with a snapshot is
+     * resumed from it — the sweep finishes interrupted matrices instead
+     * of restarting them.
+     */
+    bool resume = false;
 };
 
 struct SweepResult

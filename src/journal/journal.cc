@@ -1,0 +1,467 @@
+#include "journal/journal.h"
+
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+#include "journal/serialize.h"
+#include "obs/json.h"
+
+namespace netpack {
+namespace journal {
+
+namespace {
+
+/** The wire names, indexed by EventKind. */
+constexpr const char *kKindNames[] = {
+    "arrival",        "job_start", "placement", "job_finish",
+    "server_failure", "server_recovery", "rebalance", "waterfill",
+    "snapshot",       "run_end",
+};
+
+} // namespace
+
+const char *
+eventKindName(EventKind kind)
+{
+    return kKindNames[static_cast<int>(kind)];
+}
+
+// --- JournalWriter ------------------------------------------------------
+
+JournalWriter::JournalWriter(const std::string &path,
+                             const JournalHeader &header)
+    : os_(path, std::ios::trunc), path_(path)
+{
+    NETPACK_REQUIRE(os_.good(),
+                    "cannot open journal file for writing: " << path);
+    std::ostringstream line;
+    obs::JsonWriter json(line, 0);
+    json.beginObject();
+    json.kv("schema", kJournalSchema);
+    json.kv("kind", "header");
+    json.kv("label", header.label);
+    json.key("config");
+    writeExperimentConfig(json, header.config);
+    json.key("trace");
+    json.beginArray();
+    for (const JobSpec &spec : header.trace)
+        writeJobSpec(json, spec);
+    json.endArray();
+    json.endObject();
+    os_ << line.str() << '\n';
+}
+
+JournalWriter::~JournalWriter()
+{
+    flush();
+}
+
+void
+JournalWriter::writeLine(const std::string &line)
+{
+    os_ << line << '\n';
+    ++eventsWritten_;
+    NETPACK_REQUIRE(os_.good(), "journal write failed: " << path_);
+}
+
+void
+JournalWriter::onArrival(Seconds now, const JobSpec &spec)
+{
+    std::ostringstream line;
+    obs::JsonWriter json(line, 0);
+    json.beginObject();
+    json.kv("kind", "arrival");
+    json.kv("t", now);
+    json.kv("job", spec.id.value);
+    json.endObject();
+    writeLine(line.str());
+}
+
+void
+JournalWriter::onPlacement(Seconds now, long long round,
+                           const std::vector<PlacedJob> &placed,
+                           const std::vector<double> *scores,
+                           const std::vector<JobSpec> &deferred)
+{
+    std::ostringstream line;
+    obs::JsonWriter json(line, 0);
+    json.beginObject();
+    json.kv("kind", "placement");
+    json.kv("t", now);
+    json.kv("round", round);
+    json.key("placed");
+    json.beginArray();
+    for (const PlacedJob &job : placed)
+        writePlacedJob(json, job);
+    json.endArray();
+    if (scores != nullptr) {
+        json.key("scores");
+        json.beginArray();
+        for (double score : *scores)
+            json.value(score);
+        json.endArray();
+    }
+    json.key("deferred");
+    json.beginArray();
+    for (const JobSpec &spec : deferred) {
+        json.beginArray();
+        json.value(spec.id.value);
+        json.value(spec.value);
+        json.endArray();
+    }
+    json.endArray();
+    json.endObject();
+    writeLine(line.str());
+}
+
+void
+JournalWriter::onJobStart(Seconds now, const JobSpec &spec,
+                          const Placement &placement)
+{
+    std::ostringstream line;
+    obs::JsonWriter json(line, 0);
+    json.beginObject();
+    json.kv("kind", "job_start");
+    json.kv("t", now);
+    json.kv("job", spec.id.value);
+    json.key("placement");
+    writePlacement(json, placement);
+    json.endObject();
+    writeLine(line.str());
+}
+
+void
+JournalWriter::onJobFinish(Seconds now, const JobRecord &record)
+{
+    std::ostringstream line;
+    obs::JsonWriter json(line, 0);
+    json.beginObject();
+    json.kv("kind", "job_finish");
+    json.kv("t", now);
+    json.kv("job", record.spec.id.value);
+    json.key("record");
+    writeJobRecord(json, record);
+    json.endObject();
+    writeLine(line.str());
+}
+
+void
+JournalWriter::onServerFailure(Seconds now, ServerId server,
+                               Seconds downtime,
+                               const std::vector<JobId> &victims)
+{
+    std::ostringstream line;
+    obs::JsonWriter json(line, 0);
+    json.beginObject();
+    json.kv("kind", "server_failure");
+    json.kv("t", now);
+    json.kv("server", server.value);
+    json.kv("downtime", downtime);
+    json.key("victims");
+    json.beginArray();
+    for (JobId victim : victims)
+        json.value(victim.value);
+    json.endArray();
+    json.endObject();
+    writeLine(line.str());
+}
+
+void
+JournalWriter::onServerRecovery(Seconds now, ServerId server)
+{
+    std::ostringstream line;
+    obs::JsonWriter json(line, 0);
+    json.beginObject();
+    json.kv("kind", "server_recovery");
+    json.kv("t", now);
+    json.kv("server", server.value);
+    json.endObject();
+    writeLine(line.str());
+}
+
+void
+JournalWriter::onRebalance(Seconds now, const RebalanceOutcome &outcome)
+{
+    std::ostringstream line;
+    obs::JsonWriter json(line, 0);
+    json.beginObject();
+    json.kv("kind", "rebalance");
+    json.kv("t", now);
+    json.kv("jobs_changed",
+            static_cast<std::int64_t>(outcome.assignment.jobsChanged));
+    json.kv("reverted", outcome.assignment.revertedToAllEnabled);
+    json.key("changed");
+    json.beginArray();
+    for (const PlacedJob &job : outcome.changed)
+        writePlacedJob(json, job);
+    json.endArray();
+    json.endObject();
+    writeLine(line.str());
+}
+
+void
+JournalWriter::onWaterfill(Seconds now, const PlacementContext::Stats &stats)
+{
+    std::ostringstream line;
+    obs::JsonWriter json(line, 0);
+    json.beginObject();
+    json.kv("kind", "waterfill");
+    json.kv("t", now);
+    json.key("stats");
+    writeContextStats(json, stats);
+    json.endObject();
+    writeLine(line.str());
+}
+
+void
+JournalWriter::writeSnapshot(Seconds now, const SimSnapshot &snap)
+{
+    std::ostringstream line;
+    obs::JsonWriter json(line, 0);
+    json.beginObject();
+    json.kv("kind", "snapshot");
+    json.kv("t", now);
+    json.key("state");
+    journal::writeSnapshot(json, snap);
+    json.endObject();
+    writeLine(line.str());
+    ++snapshotsWritten_;
+    flush(); // snapshots are resume points; make them durable immediately
+}
+
+void
+JournalWriter::writeRunEnd(const RunMetrics &metrics)
+{
+    std::ostringstream line;
+    obs::JsonWriter json(line, 0);
+    json.beginObject();
+    json.kv("kind", "run_end");
+    json.key("metrics");
+    writeRunMetrics(json, metrics);
+    json.endObject();
+    writeLine(line.str());
+    flush();
+}
+
+void
+JournalWriter::writeEvent(const JournalEvent &event)
+{
+    switch (event.kind) {
+    case EventKind::Arrival: {
+        // Re-emitting needs only the id; synthesize a spec shell.
+        JobSpec spec;
+        spec.id = event.job;
+        onArrival(event.t, spec);
+        return;
+    }
+    case EventKind::JobStart: {
+        NETPACK_CHECK_MSG(!event.placed.empty(),
+                          "job_start event carries its placement");
+        JobSpec spec;
+        spec.id = event.job;
+        onJobStart(event.t, spec, event.placed.front().placement);
+        return;
+    }
+    case EventKind::Placement:
+        onPlacement(event.t, event.round, event.placed,
+                    event.hasScores ? &event.scores : nullptr,
+                    [&] {
+                        std::vector<JobSpec> deferred;
+                        for (const auto &[id, value] : event.deferred) {
+                            JobSpec spec;
+                            spec.id = id;
+                            spec.value = value;
+                            deferred.push_back(spec);
+                        }
+                        return deferred;
+                    }());
+        return;
+    case EventKind::JobFinish:
+        NETPACK_CHECK_MSG(event.record != nullptr,
+                          "job_finish event carries its record");
+        onJobFinish(event.t, *event.record);
+        return;
+    case EventKind::ServerFailure:
+        onServerFailure(event.t, event.server, event.downtime,
+                        event.victims);
+        return;
+    case EventKind::ServerRecovery:
+        onServerRecovery(event.t, event.server);
+        return;
+    case EventKind::Rebalance: {
+        RebalanceOutcome outcome;
+        outcome.assignment.jobsChanged =
+            static_cast<int>(event.jobsChanged);
+        outcome.assignment.revertedToAllEnabled =
+            event.revertedToAllEnabled;
+        outcome.changed = event.changed;
+        onRebalance(event.t, outcome);
+        return;
+    }
+    case EventKind::Waterfill:
+        onWaterfill(event.t, event.stats);
+        return;
+    case EventKind::Snapshot:
+        NETPACK_CHECK_MSG(event.snapshot != nullptr,
+                          "snapshot event carries its state");
+        writeSnapshot(event.t, *event.snapshot);
+        return;
+    case EventKind::RunEnd:
+        NETPACK_CHECK_MSG(event.metrics != nullptr,
+                          "run_end event carries its metrics");
+        writeRunEnd(*event.metrics);
+        return;
+    }
+    NETPACK_CHECK_MSG(false, "unhandled event kind");
+}
+
+void
+JournalWriter::flush()
+{
+    os_.flush();
+}
+
+// --- JournalReader ------------------------------------------------------
+
+JournalReader::JournalReader(const std::string &path)
+    : is_(path), path_(path)
+{
+    NETPACK_REQUIRE(is_.good(),
+                    "cannot open journal file for reading: " << path);
+    std::string line;
+    NETPACK_REQUIRE(std::getline(is_, line),
+                    "journal is empty (no header line): " << path);
+    ++lineNumber_;
+    try {
+        obs::JsonValue doc = obs::parseJson(line);
+        const std::string &schema = doc.at("schema").asString();
+        NETPACK_REQUIRE(schema == kJournalSchema,
+                        "unsupported journal schema '"
+                            << schema << "' (expected " << kJournalSchema
+                            << ")");
+        NETPACK_REQUIRE(doc.at("kind").asString() == "header",
+                        "first journal line must be the header");
+        header_.label = doc.at("label").asString();
+        header_.config = readExperimentConfig(doc.at("config"));
+        for (const obs::JsonValue &spec : doc.at("trace").items())
+            header_.trace.push_back(readJobSpec(spec));
+    } catch (const ConfigError &e) {
+        throw ConfigError(path_ + ":1: " + e.what());
+    }
+}
+
+bool
+JournalReader::next(JournalEvent &out)
+{
+    std::string line;
+    while (std::getline(is_, line)) {
+        ++lineNumber_;
+        if (line.empty())
+            continue;
+        try {
+            obs::JsonValue doc = obs::parseJson(line);
+            const std::string &kind = doc.at("kind").asString();
+            out = JournalEvent();
+            if (kind == "arrival") {
+                out.kind = EventKind::Arrival;
+                out.t = readDouble(doc.at("t"));
+                out.job = JobId(static_cast<int>(doc.at("job").asInt64()));
+            } else if (kind == "job_start") {
+                out.kind = EventKind::JobStart;
+                out.t = readDouble(doc.at("t"));
+                out.job = JobId(static_cast<int>(doc.at("job").asInt64()));
+                PlacedJob placed;
+                placed.id = out.job;
+                placed.placement = readPlacement(doc.at("placement"));
+                out.placed.push_back(std::move(placed));
+            } else if (kind == "placement") {
+                out.kind = EventKind::Placement;
+                out.t = readDouble(doc.at("t"));
+                out.round = doc.at("round").asInt64();
+                for (const obs::JsonValue &job : doc.at("placed").items())
+                    out.placed.push_back(readPlacedJob(job));
+                if (const obs::JsonValue *scores = doc.find("scores")) {
+                    out.hasScores = true;
+                    for (const obs::JsonValue &score : scores->items())
+                        out.scores.push_back(readDouble(score));
+                }
+                for (const obs::JsonValue &pair :
+                     doc.at("deferred").items()) {
+                    const auto &items = pair.items();
+                    NETPACK_REQUIRE(items.size() == 2,
+                                    "deferred entry must be a "
+                                    "[job, value] pair");
+                    out.deferred.emplace_back(
+                        JobId(static_cast<int>(items[0].asInt64())),
+                        readDouble(items[1]));
+                }
+            } else if (kind == "job_finish") {
+                out.kind = EventKind::JobFinish;
+                out.t = readDouble(doc.at("t"));
+                out.job = JobId(static_cast<int>(doc.at("job").asInt64()));
+                out.record = std::make_shared<JobRecord>(
+                    readJobRecord(doc.at("record")));
+            } else if (kind == "server_failure") {
+                out.kind = EventKind::ServerFailure;
+                out.t = readDouble(doc.at("t"));
+                out.server =
+                    ServerId(static_cast<int>(doc.at("server").asInt64()));
+                out.downtime = readDouble(doc.at("downtime"));
+                for (const obs::JsonValue &victim :
+                     doc.at("victims").items())
+                    out.victims.push_back(
+                        JobId(static_cast<int>(victim.asInt64())));
+            } else if (kind == "server_recovery") {
+                out.kind = EventKind::ServerRecovery;
+                out.t = readDouble(doc.at("t"));
+                out.server =
+                    ServerId(static_cast<int>(doc.at("server").asInt64()));
+            } else if (kind == "rebalance") {
+                out.kind = EventKind::Rebalance;
+                out.t = readDouble(doc.at("t"));
+                out.jobsChanged = doc.at("jobs_changed").asInt64();
+                out.revertedToAllEnabled = doc.at("reverted").asBool();
+                for (const obs::JsonValue &job : doc.at("changed").items())
+                    out.changed.push_back(readPlacedJob(job));
+            } else if (kind == "waterfill") {
+                out.kind = EventKind::Waterfill;
+                out.t = readDouble(doc.at("t"));
+                out.stats = readContextStats(doc.at("stats"));
+            } else if (kind == "snapshot") {
+                out.kind = EventKind::Snapshot;
+                out.t = readDouble(doc.at("t"));
+                out.snapshot = std::make_shared<SimSnapshot>(
+                    readSnapshot(doc.at("state")));
+            } else if (kind == "run_end") {
+                out.kind = EventKind::RunEnd;
+                out.metrics = std::make_shared<RunMetrics>(
+                    readRunMetrics(doc.at("metrics")));
+            } else {
+                // Tolerant-read contract: future event kinds are not an
+                // error, they are simply invisible to this reader.
+                ++unknownSkipped_;
+                continue;
+            }
+        } catch (const ConfigError &e) {
+            throw ConfigError(path_ + ":" + std::to_string(lineNumber_) +
+                              ": " + e.what());
+        }
+        ++eventsRead_;
+        return true;
+    }
+    return false;
+}
+
+std::vector<JournalEvent>
+JournalReader::readAll()
+{
+    std::vector<JournalEvent> events;
+    JournalEvent event;
+    while (next(event))
+        events.push_back(std::move(event));
+    return events;
+}
+
+} // namespace journal
+} // namespace netpack

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * netpack::journal — the event-sourced run journal. One JSONL file per
+ * run: a versioned header line (schema "netpack.journal/1") embedding
+ * the full ExperimentConfig and trace so the file is self-contained,
+ * followed by one typed event per line covering the whole cluster
+ * lifecycle — arrival, placement decision (workers, PSes, INA, scores),
+ * job start/finish/deferral, server failure/recovery, rebalance
+ * outcome, water-filling summary — plus inline snapshot events (full
+ * SimSnapshot state) and a closing run_end with the final metrics.
+ *
+ * JournalWriter implements SimJournalSink, so recording is one
+ * setJournal() call on the simulator. JournalReader validates strictly
+ * (malformed lines are ConfigErrors with line numbers) but reads
+ * tolerantly across schema growth: event kinds it does not know are
+ * skipped and counted, the same contract the Philly trace parser uses
+ * for malformed rows.
+ */
+
+#ifndef NETPACK_JOURNAL_JOURNAL_H
+#define NETPACK_JOURNAL_JOURNAL_H
+
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "sim/journal_sink.h"
+#include "sim/sim_snapshot.h"
+#include "workload/trace.h"
+
+namespace netpack {
+namespace journal {
+
+/** Version tag of the journal line format. */
+inline constexpr const char *kJournalSchema = "netpack.journal/1";
+
+/** The self-describing first line of every journal. */
+struct JournalHeader
+{
+    /** Free-form run label (sweep cell name, bench figure...). */
+    std::string label;
+    /** Everything needed to re-create the simulator. */
+    ExperimentConfig config;
+    /** The complete input trace. */
+    std::vector<JobSpec> trace;
+
+    /** The trace as a JobTrace (replay input). */
+    JobTrace jobTrace() const { return JobTrace(trace); }
+};
+
+/** Discriminator of a journal event line. */
+enum class EventKind
+{
+    Arrival,
+    JobStart,
+    Placement,
+    JobFinish,
+    ServerFailure,
+    ServerRecovery,
+    Rebalance,
+    Waterfill,
+    Snapshot,
+    RunEnd,
+};
+
+/** The journal wire name of @p kind. */
+const char *eventKindName(EventKind kind);
+
+/**
+ * One parsed journal event. A flat record: only the fields of the
+ * event's kind are meaningful (heavy payloads sit behind shared_ptrs
+ * so the vector-of-events a replay loads stays cheap to copy).
+ */
+struct JournalEvent
+{
+    EventKind kind = EventKind::Arrival;
+    /** Simulation time (absent for run_end). */
+    Seconds t = 0.0;
+
+    /** Arrival / job_start / job_finish. */
+    JobId job;
+
+    /** Placement decision. */
+    long long round = 0;
+    std::vector<PlacedJob> placed;
+    bool hasScores = false;
+    std::vector<double> scores;
+    /** (job, aged value) of the jobs deferred by this round. */
+    std::vector<std::pair<JobId, double>> deferred;
+
+    /** Server failure / recovery. */
+    ServerId server;
+    Seconds downtime = 0.0;
+    std::vector<JobId> victims;
+
+    /** Rebalance outcome. */
+    long long jobsChanged = 0;
+    bool revertedToAllEnabled = false;
+    std::vector<PlacedJob> changed;
+
+    /** Water-filling summary (cumulative counters). */
+    PlacementContext::Stats stats;
+
+    /** job_finish payload. */
+    std::shared_ptr<JobRecord> record;
+
+    /** Snapshot payload. */
+    std::shared_ptr<SimSnapshot> snapshot;
+
+    /** run_end payload. */
+    std::shared_ptr<RunMetrics> metrics;
+};
+
+/**
+ * Records one run as JSONL. Implements SimJournalSink so the simulator
+ * streams events directly; snapshots and the closing run_end are
+ * written by the driver (exec sweep, bench harness, tests).
+ */
+class JournalWriter : public SimJournalSink
+{
+  public:
+    /** Open @p path (truncating) and write the header line. */
+    JournalWriter(const std::string &path, const JournalHeader &header);
+    ~JournalWriter() override;
+
+    JournalWriter(const JournalWriter &) = delete;
+    JournalWriter &operator=(const JournalWriter &) = delete;
+
+    // --- SimJournalSink -------------------------------------------------
+    void onArrival(Seconds now, const JobSpec &spec) override;
+    void onPlacement(Seconds now, long long round,
+                     const std::vector<PlacedJob> &placed,
+                     const std::vector<double> *scores,
+                     const std::vector<JobSpec> &deferred) override;
+    void onJobStart(Seconds now, const JobSpec &spec,
+                    const Placement &placement) override;
+    void onJobFinish(Seconds now, const JobRecord &record) override;
+    void onServerFailure(Seconds now, ServerId server, Seconds downtime,
+                         const std::vector<JobId> &victims) override;
+    void onServerRecovery(Seconds now, ServerId server) override;
+    void onRebalance(Seconds now, const RebalanceOutcome &outcome) override;
+    void onWaterfill(Seconds now,
+                     const PlacementContext::Stats &stats) override;
+
+    /** Append a full state snapshot event. */
+    void writeSnapshot(Seconds now, const SimSnapshot &snap);
+
+    /** Append the closing run_end event and flush. */
+    void writeRunEnd(const RunMetrics &metrics);
+
+    /**
+     * Re-append an already-parsed event (journal rewriting on resume:
+     * the surviving prefix of the old journal is copied into the new
+     * one before recording continues).
+     */
+    void writeEvent(const JournalEvent &event);
+
+    /** Event lines written so far (header excluded). */
+    std::size_t eventsWritten() const { return eventsWritten_; }
+
+    /** Snapshot events among them. */
+    std::size_t snapshotsWritten() const { return snapshotsWritten_; }
+
+    /** Flush buffered lines to disk. */
+    void flush();
+
+  private:
+    /** Emit one compact line (shared epilogue of every event). */
+    void writeLine(const std::string &line);
+
+    std::ofstream os_;
+    std::string path_;
+    std::size_t eventsWritten_ = 0;
+    std::size_t snapshotsWritten_ = 0;
+};
+
+/**
+ * Streaming reader over a journal file. The header is parsed eagerly
+ * (constructor); events are pulled with next(). Unknown event kinds
+ * are skipped and counted; anything else malformed — bad JSON, missing
+ * fields, wrong schema — is a ConfigError naming the line.
+ */
+class JournalReader
+{
+  public:
+    explicit JournalReader(const std::string &path);
+
+    /** The parsed header line. */
+    const JournalHeader &header() const { return header_; }
+
+    /**
+     * Parse the next known event into @p out; false at end of file.
+     * Unknown kinds are skipped (and counted) transparently.
+     */
+    bool next(JournalEvent &out);
+
+    /** Events successfully parsed so far. */
+    std::size_t eventsRead() const { return eventsRead_; }
+
+    /** Unknown-kind lines skipped so far. */
+    std::size_t unknownKindsSkipped() const { return unknownSkipped_; }
+
+    /** Read every remaining event (convenience). */
+    std::vector<JournalEvent> readAll();
+
+  private:
+    std::ifstream is_;
+    std::string path_;
+    JournalHeader header_;
+    std::size_t lineNumber_ = 0;
+    std::size_t eventsRead_ = 0;
+    std::size_t unknownSkipped_ = 0;
+};
+
+} // namespace journal
+} // namespace netpack
+
+#endif // NETPACK_JOURNAL_JOURNAL_H

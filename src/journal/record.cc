@@ -1,0 +1,219 @@
+#include "journal/record.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <sys/stat.h>
+#include <utility>
+
+#include "common/check.h"
+#include "core/experiment.h"
+#include "journal/replayer.h"
+#include "journal/serialize.h"
+#include "placement/baselines.h"
+#include "sim/cluster_sim.h"
+
+namespace netpack {
+namespace journal {
+
+namespace {
+
+bool
+fileExists(const std::string &path)
+{
+    std::ifstream is(path);
+    return is.good();
+}
+
+/** Canonical JSON of a config (cheap structural equality). */
+std::string
+configJson(const ExperimentConfig &config)
+{
+    std::ostringstream oss;
+    obs::JsonWriter json(oss, 0);
+    writeExperimentConfig(json, config);
+    return oss.str();
+}
+
+std::string
+traceJson(const std::vector<JobSpec> &jobs)
+{
+    std::ostringstream oss;
+    obs::JsonWriter json(oss, 0);
+    json.beginArray();
+    for (const JobSpec &spec : jobs)
+        writeJobSpec(json, spec);
+    json.endArray();
+    return oss.str();
+}
+
+/** A salvaged journal: header plus every parseable event. */
+struct LoadedJournal
+{
+    JournalHeader header;
+    std::vector<JournalEvent> events;
+};
+
+/**
+ * Load as much of @p path as parses. A journal interrupted mid-write
+ * legitimately ends in a truncated line, so event-level errors end the
+ * load rather than failing it; a bad header means it is not a resumable
+ * journal at all (nullopt).
+ */
+std::optional<LoadedJournal>
+tryLoad(const std::string &path)
+{
+    try {
+        JournalReader reader(path);
+        LoadedJournal loaded;
+        loaded.header = reader.header();
+        JournalEvent event;
+        try {
+            while (reader.next(event))
+                loaded.events.push_back(std::move(event));
+        } catch (const ConfigError &) {
+            // Truncated tail: keep the events parsed so far.
+        }
+        return loaded;
+    } catch (const ConfigError &) {
+        return std::nullopt;
+    }
+}
+
+/** Step the active run to completion, snapshotting on schedule. */
+RunMetrics
+drive(ClusterSimulator &sim, JournalWriter &writer,
+      const ExperimentConfig &config, Seconds snapshotEvery)
+{
+    const bool snapshotting =
+        snapshotEvery > 0.0 && config.fidelity == Fidelity::Flow;
+    Seconds nextSnapshot = sim.currentTime() + snapshotEvery;
+    while (sim.step()) {
+        if (snapshotting && sim.currentTime() >= nextSnapshot) {
+            writer.writeSnapshot(sim.currentTime(), sim.captureSnapshot());
+            nextSnapshot = sim.currentTime() + snapshotEvery;
+        }
+    }
+    return sim.finish();
+}
+
+} // namespace
+
+RecordOutcome
+recordRun(const ExperimentConfig &config, const JobTrace &trace,
+          const RecordOptions &options)
+{
+    NETPACK_REQUIRE(!options.path.empty(),
+                    "recordRun needs a journal path");
+    RecordOutcome outcome;
+
+    JournalHeader header;
+    header.label = options.label;
+    header.config = config;
+    header.trace = trace.jobs();
+
+    // Try to pick up a previous attempt at this exact run.
+    std::optional<LoadedJournal> previous;
+    if (options.resume && fileExists(options.path)) {
+        previous = tryLoad(options.path);
+        if (previous &&
+            (configJson(previous->header.config) != configJson(config) ||
+             traceJson(previous->header.trace) != traceJson(header.trace)))
+            previous.reset(); // different experiment; re-record
+    }
+
+    if (previous && !previous->events.empty() &&
+        previous->events.back().kind == EventKind::RunEnd) {
+        outcome.metrics = *previous->events.back().metrics;
+        outcome.eventsWritten = previous->events.size();
+        for (const JournalEvent &event : previous->events)
+            if (event.kind == EventKind::Snapshot)
+                ++outcome.snapshotsWritten;
+        outcome.reused = true;
+        return outcome;
+    }
+
+    // Locate the resume point (latest snapshot of the salvaged prefix).
+    std::size_t snapshotIndex = 0;
+    bool haveSnapshot = false;
+    if (previous) {
+        for (std::size_t i = previous->events.size(); i > 0; --i) {
+            if (previous->events[i - 1].kind == EventKind::Snapshot) {
+                snapshotIndex = i - 1;
+                haveSnapshot = true;
+                break;
+            }
+        }
+    }
+
+    ClusterTopology topo(config.cluster);
+    ClusterSimulator sim(topo, makeNetworkModel(config, topo),
+                         makePlacerByName(config.placer, config.seed),
+                         config.sim);
+
+    // Write to a sibling temp file and rename over the original so an
+    // interruption during the rewrite never destroys the old journal.
+    const std::string tmp = options.path + ".tmp";
+    {
+        JournalWriter writer(tmp, header);
+        if (haveSnapshot) {
+            for (std::size_t i = 0; i <= snapshotIndex; ++i)
+                writer.writeEvent(previous->events[i]);
+            sim.restoreSnapshot(
+                trace, *previous->events[snapshotIndex].snapshot);
+            outcome.resumed = true;
+        } else {
+            sim.begin(trace);
+        }
+        sim.setJournal(&writer);
+        outcome.metrics =
+            drive(sim, writer, config, options.snapshotEvery);
+        writer.writeRunEnd(outcome.metrics);
+        outcome.eventsWritten = writer.eventsWritten();
+        outcome.snapshotsWritten = writer.snapshotsWritten();
+    }
+    std::remove(options.path.c_str());
+    NETPACK_REQUIRE(std::rename(tmp.c_str(), options.path.c_str()) == 0,
+                    "cannot move journal into place: " << options.path);
+    return outcome;
+}
+
+void
+ensureDirectory(const std::string &dir)
+{
+    if (dir.empty())
+        return;
+    // Create each path segment in turn (POSIX mkdir is single-level).
+    std::string prefix;
+    std::size_t pos = 0;
+    while (pos != std::string::npos) {
+        const std::size_t slash = dir.find('/', pos + 1);
+        prefix = slash == std::string::npos ? dir : dir.substr(0, slash);
+        pos = slash;
+        if (prefix.empty() || prefix == "." || prefix == "..")
+            continue;
+        if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST)
+            throw ConfigError("cannot create journal directory '" +
+                              prefix + "'");
+    }
+}
+
+std::string
+sanitizeLabel(const std::string &label)
+{
+    std::string out;
+    out.reserve(label.size());
+    for (char c : label) {
+        const bool safe = (c >= 'a' && c <= 'z') ||
+                          (c >= 'A' && c <= 'Z') ||
+                          (c >= '0' && c <= '9') || c == '-' || c == '.' ||
+                          c == '_';
+        out.push_back(safe ? c : '_');
+    }
+    return out.empty() ? "run" : out;
+}
+
+} // namespace journal
+} // namespace netpack

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The recording driver: run an experiment with a JournalWriter attached,
+ * taking periodic snapshots, and — when asked to resume — pick an
+ * interrupted run back up from its journal's latest snapshot instead of
+ * starting over. Snapshot restore is bit-identical to never having
+ * stopped, so a resumed run's metrics equal the uninterrupted run's
+ * (tests/journal_test.cc asserts this). Shared by exec::runSweep
+ * (--resume on sweep cells) and the bench harness (--journal).
+ */
+
+#ifndef NETPACK_JOURNAL_RECORD_H
+#define NETPACK_JOURNAL_RECORD_H
+
+#include <string>
+
+#include "journal/journal.h"
+
+namespace netpack {
+namespace journal {
+
+/** Parameters of one recorded run. */
+struct RecordOptions
+{
+    /** Journal file path (JSONL). */
+    std::string path;
+    /** Header label (e.g. the sweep run label). */
+    std::string label;
+    /**
+     * Simulated seconds between snapshot events; 0 disables snapshots.
+     * Ignored under packet fidelity (no snapshot support) — events are
+     * still recorded.
+     */
+    Seconds snapshotEvery = 0.0;
+    /**
+     * When true and @p path already holds a journal of this run:
+     * reuse its recorded metrics if it is complete, or restore its
+     * latest snapshot and record the continuation if it is not.
+     */
+    bool resume = false;
+};
+
+/** What recordRun did and produced. */
+struct RecordOutcome
+{
+    RunMetrics metrics;
+    /** Event lines in the final journal (prefix included on resume). */
+    std::size_t eventsWritten = 0;
+    /** Snapshot events among them. */
+    std::size_t snapshotsWritten = 0;
+    /** A complete journal was found; metrics come from its run_end. */
+    bool reused = false;
+    /** An incomplete journal's snapshot was restored and continued. */
+    bool resumed = false;
+};
+
+/**
+ * Run @p config over @p trace, recording the journal to options.path
+ * (see RecordOptions for the resume semantics). On resume the journal
+ * is rewritten atomically: surviving prefix first, then the
+ * continuation's events, so the result is always one consistent file.
+ */
+RecordOutcome recordRun(const ExperimentConfig &config,
+                        const JobTrace &trace,
+                        const RecordOptions &options);
+
+/** Create @p dir (and parents) if missing; ConfigError on failure. */
+void ensureDirectory(const std::string &dir);
+
+/** @p label reduced to journal-filename-safe characters. */
+std::string sanitizeLabel(const std::string &label);
+
+} // namespace journal
+} // namespace netpack
+
+#endif // NETPACK_JOURNAL_RECORD_H

@@ -1,0 +1,518 @@
+#include "journal/replayer.h"
+
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+#include "core/experiment.h"
+#include "journal/serialize.h"
+#include "obs/json.h"
+#include "placement/baselines.h"
+#include "sim/cluster_sim.h"
+
+namespace netpack {
+namespace journal {
+
+namespace {
+
+/** Canonical string of one JSON-writable value (diff rendering). */
+template <typename WriteFn>
+std::string
+jsonOf(WriteFn &&write)
+{
+    std::ostringstream oss;
+    obs::JsonWriter json(oss, 0);
+    write(json);
+    return oss.str();
+}
+
+/**
+ * The event rendered as an ordered (field, canonical value) list. Two
+ * events are identical iff their kinds and field lists are — doubles go
+ * through JsonWriter's %.17g, so "equal strings" means "equal bits".
+ */
+std::vector<std::pair<std::string, std::string>>
+eventFields(const JournalEvent &event)
+{
+    std::vector<std::pair<std::string, std::string>> fields;
+    auto add = [&](const std::string &name, auto &&write) {
+        fields.emplace_back(name, jsonOf(write));
+    };
+    if (event.kind != EventKind::RunEnd)
+        add("t", [&](obs::JsonWriter &json) { json.value(event.t); });
+    switch (event.kind) {
+    case EventKind::Arrival:
+        add("job",
+            [&](obs::JsonWriter &json) { json.value(event.job.value); });
+        break;
+    case EventKind::JobStart:
+        add("job",
+            [&](obs::JsonWriter &json) { json.value(event.job.value); });
+        add("placement", [&](obs::JsonWriter &json) {
+            writePlacement(json, event.placed.front().placement);
+        });
+        break;
+    case EventKind::Placement:
+        add("round",
+            [&](obs::JsonWriter &json) { json.value(event.round); });
+        add("placed", [&](obs::JsonWriter &json) {
+            json.beginArray();
+            for (const PlacedJob &job : event.placed)
+                writePlacedJob(json, job);
+            json.endArray();
+        });
+        add("scores", [&](obs::JsonWriter &json) {
+            if (!event.hasScores) {
+                json.value("<none>");
+                return;
+            }
+            json.beginArray();
+            for (double score : event.scores)
+                json.value(score);
+            json.endArray();
+        });
+        add("deferred", [&](obs::JsonWriter &json) {
+            json.beginArray();
+            for (const auto &[id, value] : event.deferred) {
+                json.beginArray();
+                json.value(id.value);
+                json.value(value);
+                json.endArray();
+            }
+            json.endArray();
+        });
+        break;
+    case EventKind::JobFinish:
+        add("job",
+            [&](obs::JsonWriter &json) { json.value(event.job.value); });
+        add("record", [&](obs::JsonWriter &json) {
+            writeJobRecord(json, *event.record);
+        });
+        break;
+    case EventKind::ServerFailure:
+        add("server",
+            [&](obs::JsonWriter &json) { json.value(event.server.value); });
+        add("downtime",
+            [&](obs::JsonWriter &json) { json.value(event.downtime); });
+        add("victims", [&](obs::JsonWriter &json) {
+            json.beginArray();
+            for (JobId victim : event.victims)
+                json.value(victim.value);
+            json.endArray();
+        });
+        break;
+    case EventKind::ServerRecovery:
+        add("server",
+            [&](obs::JsonWriter &json) { json.value(event.server.value); });
+        break;
+    case EventKind::Rebalance:
+        add("jobs_changed",
+            [&](obs::JsonWriter &json) { json.value(event.jobsChanged); });
+        add("reverted", [&](obs::JsonWriter &json) {
+            json.value(event.revertedToAllEnabled);
+        });
+        add("changed", [&](obs::JsonWriter &json) {
+            json.beginArray();
+            for (const PlacedJob &job : event.changed)
+                writePlacedJob(json, job);
+            json.endArray();
+        });
+        break;
+    case EventKind::Waterfill:
+        add("stats", [&](obs::JsonWriter &json) {
+            writeContextStats(json, event.stats);
+        });
+        break;
+    case EventKind::Snapshot:
+    case EventKind::RunEnd:
+        break;
+    }
+    return fields;
+}
+
+/** First field-level difference between two same-index events. */
+std::optional<ReplayDivergence>
+diffEvents(const JournalEvent &recorded, const JournalEvent &replayed)
+{
+    ReplayDivergence divergence;
+    divergence.kind = recorded.kind;
+    if (recorded.kind != replayed.kind) {
+        divergence.field = "kind";
+        divergence.recorded = eventKindName(recorded.kind);
+        divergence.replayed = eventKindName(replayed.kind);
+        return divergence;
+    }
+    const auto recordedFields = eventFields(recorded);
+    const auto replayedFields = eventFields(replayed);
+    NETPACK_CHECK(recordedFields.size() == replayedFields.size());
+    for (std::size_t i = 0; i < recordedFields.size(); ++i) {
+        if (recordedFields[i].second == replayedFields[i].second)
+            continue;
+        divergence.field = recordedFields[i].first;
+        divergence.recorded = recordedFields[i].second;
+        divergence.replayed = replayedFields[i].second;
+        return divergence;
+    }
+    return std::nullopt;
+}
+
+// --- hook-argument -> JournalEvent builders (mirror JournalWriter) ------
+
+JournalEvent
+arrivalEvent(Seconds now, const JobSpec &spec)
+{
+    JournalEvent event;
+    event.kind = EventKind::Arrival;
+    event.t = now;
+    event.job = spec.id;
+    return event;
+}
+
+JournalEvent
+placementEvent(Seconds now, long long round,
+               const std::vector<PlacedJob> &placed,
+               const std::vector<double> *scores,
+               const std::vector<JobSpec> &deferred)
+{
+    JournalEvent event;
+    event.kind = EventKind::Placement;
+    event.t = now;
+    event.round = round;
+    event.placed = placed;
+    if (scores != nullptr) {
+        event.hasScores = true;
+        event.scores = *scores;
+    }
+    for (const JobSpec &spec : deferred)
+        event.deferred.emplace_back(spec.id, spec.value);
+    return event;
+}
+
+JournalEvent
+jobStartEvent(Seconds now, const JobSpec &spec, const Placement &placement)
+{
+    JournalEvent event;
+    event.kind = EventKind::JobStart;
+    event.t = now;
+    event.job = spec.id;
+    event.placed.push_back(PlacedJob{spec.id, placement});
+    return event;
+}
+
+JournalEvent
+jobFinishEvent(Seconds now, const JobRecord &record)
+{
+    JournalEvent event;
+    event.kind = EventKind::JobFinish;
+    event.t = now;
+    event.job = record.spec.id;
+    event.record = std::make_shared<JobRecord>(record);
+    return event;
+}
+
+/**
+ * Compares the replayed event stream against the recorded one, keeping
+ * only the first divergence (the run still completes so the final
+ * metrics comparison happens either way).
+ */
+class VerifySink : public SimJournalSink
+{
+  public:
+    explicit VerifySink(const std::vector<const JournalEvent *> &recorded)
+        : recorded_(recorded)
+    {}
+
+    void onArrival(Seconds now, const JobSpec &spec) override
+    {
+        compare(arrivalEvent(now, spec));
+    }
+
+    void onPlacement(Seconds now, long long round,
+                     const std::vector<PlacedJob> &placed,
+                     const std::vector<double> *scores,
+                     const std::vector<JobSpec> &deferred) override
+    {
+        compare(placementEvent(now, round, placed, scores, deferred));
+    }
+
+    void onJobStart(Seconds now, const JobSpec &spec,
+                    const Placement &placement) override
+    {
+        compare(jobStartEvent(now, spec, placement));
+    }
+
+    void onJobFinish(Seconds now, const JobRecord &record) override
+    {
+        compare(jobFinishEvent(now, record));
+    }
+
+    void onServerFailure(Seconds now, ServerId server, Seconds downtime,
+                         const std::vector<JobId> &victims) override
+    {
+        JournalEvent event;
+        event.kind = EventKind::ServerFailure;
+        event.t = now;
+        event.server = server;
+        event.downtime = downtime;
+        event.victims = victims;
+        compare(event);
+    }
+
+    void onServerRecovery(Seconds now, ServerId server) override
+    {
+        JournalEvent event;
+        event.kind = EventKind::ServerRecovery;
+        event.t = now;
+        event.server = server;
+        compare(event);
+    }
+
+    void onRebalance(Seconds now, const RebalanceOutcome &outcome) override
+    {
+        JournalEvent event;
+        event.kind = EventKind::Rebalance;
+        event.t = now;
+        event.jobsChanged = outcome.assignment.jobsChanged;
+        event.revertedToAllEnabled = outcome.assignment.revertedToAllEnabled;
+        event.changed = outcome.changed;
+        compare(event);
+    }
+
+    void onWaterfill(Seconds now,
+                     const PlacementContext::Stats &stats) override
+    {
+        JournalEvent event;
+        event.kind = EventKind::Waterfill;
+        event.t = now;
+        event.stats = stats;
+        compare(event);
+    }
+
+    std::size_t compared() const { return index_; }
+
+    const std::optional<ReplayDivergence> &divergence() const
+    {
+        return divergence_;
+    }
+
+    /** Flag recorded events the replay never produced. */
+    void finishStream()
+    {
+        if (divergence_ || index_ >= recorded_.size())
+            return;
+        ReplayDivergence divergence;
+        divergence.eventIndex = index_;
+        divergence.kind = recorded_[index_]->kind;
+        divergence.field = "stream";
+        divergence.recorded = eventKindName(recorded_[index_]->kind);
+        divergence.replayed = "<end of replay>";
+        divergence_ = divergence;
+    }
+
+  private:
+    void compare(const JournalEvent &replayed)
+    {
+        if (divergence_)
+            return;
+        if (index_ >= recorded_.size()) {
+            ReplayDivergence divergence;
+            divergence.eventIndex = index_;
+            divergence.kind = replayed.kind;
+            divergence.field = "stream";
+            divergence.recorded = "<end of recorded events>";
+            divergence.replayed = eventKindName(replayed.kind);
+            divergence_ = divergence;
+            return;
+        }
+        if (auto diff = diffEvents(*recorded_[index_], replayed)) {
+            diff->eventIndex = index_;
+            divergence_ = *diff;
+            return;
+        }
+        ++index_;
+    }
+
+    const std::vector<const JournalEvent *> &recorded_;
+    std::size_t index_ = 0;
+    std::optional<ReplayDivergence> divergence_;
+};
+
+/**
+ * Final-metrics comparison, placementSeconds excluded (wall-clock).
+ * @return the first differing field, as a run_end divergence
+ */
+std::optional<ReplayDivergence>
+diffMetrics(const RunMetrics &recorded, const RunMetrics &replayed,
+            std::size_t eventIndex)
+{
+    std::vector<std::pair<std::string, std::pair<std::string, std::string>>>
+        fields;
+    auto add = [&](const std::string &name, auto &&writeA, auto &&writeB) {
+        fields.emplace_back(
+            name, std::make_pair(jsonOf(writeA), jsonOf(writeB)));
+    };
+    auto records = [](const RunMetrics &m) {
+        return [&m](obs::JsonWriter &json) {
+            json.beginArray();
+            for (const JobRecord &record : m.records)
+                writeJobRecord(json, record);
+            json.endArray();
+        };
+    };
+    add("run_end.records", records(recorded), records(replayed));
+    auto scalar = [](double x) {
+        return [x](obs::JsonWriter &json) { json.value(x); };
+    };
+    auto integer = [](long long x) {
+        return [x](obs::JsonWriter &json) { json.value(x); };
+    };
+    add("run_end.makespan", scalar(recorded.makespan),
+        scalar(replayed.makespan));
+    add("run_end.placement_rounds", integer(recorded.placementRounds),
+        integer(replayed.placementRounds));
+    add("run_end.avg_gpu_utilization", scalar(recorded.avgGpuUtilization),
+        scalar(replayed.avgGpuUtilization));
+    add("run_end.job_restarts", integer(recorded.jobRestarts),
+        integer(replayed.jobRestarts));
+    add("run_end.avg_fragmentation", scalar(recorded.avgFragmentation),
+        scalar(replayed.avgFragmentation));
+    for (const auto &[name, values] : fields) {
+        if (values.first == values.second)
+            continue;
+        ReplayDivergence divergence;
+        divergence.eventIndex = eventIndex;
+        divergence.kind = EventKind::RunEnd;
+        divergence.field = name;
+        divergence.recorded = values.first;
+        divergence.replayed = values.second;
+        return divergence;
+    }
+    return std::nullopt;
+}
+
+/** The simulator of the journal's recorded experiment. */
+struct ReplaySim
+{
+    explicit ReplaySim(const ExperimentConfig &config)
+        : topo(config.cluster),
+          sim(topo, makeNetworkModel(config, topo),
+              makePlacerByName(config.placer, config.seed), config.sim)
+    {}
+
+    ClusterTopology topo;
+    ClusterSimulator sim;
+};
+
+} // namespace
+
+std::string
+ReplayDivergence::describe() const
+{
+    std::ostringstream oss;
+    oss << "event #" << eventIndex << " (" << eventKindName(kind) << "): "
+        << field << " — recorded " << recorded << ", replayed " << replayed;
+    return oss.str();
+}
+
+Replayer::Replayer(const std::string &path) : path_(path)
+{
+    JournalReader reader(path);
+    header_ = reader.header();
+    events_ = reader.readAll();
+    unknownSkipped_ = reader.unknownKindsSkipped();
+}
+
+bool
+Replayer::hasSnapshot() const
+{
+    for (const JournalEvent &event : events_)
+        if (event.kind == EventKind::Snapshot)
+            return true;
+    return false;
+}
+
+std::size_t
+Replayer::lastSnapshotIndex() const
+{
+    for (std::size_t i = events_.size(); i > 0; --i)
+        if (events_[i - 1].kind == EventKind::Snapshot)
+            return i - 1;
+    throw ConfigError("journal has no snapshot events: " + path_);
+}
+
+bool
+Replayer::complete() const
+{
+    return !events_.empty() && events_.back().kind == EventKind::RunEnd;
+}
+
+const RunMetrics &
+Replayer::recordedMetrics() const
+{
+    NETPACK_REQUIRE(complete(),
+                    "journal does not end in run_end (incomplete run): "
+                        << path_);
+    return *events_.back().metrics;
+}
+
+VerifyResult
+Replayer::verify() const
+{
+    std::vector<const JournalEvent *> stream;
+    for (const JournalEvent &event : events_)
+        if (event.kind != EventKind::Snapshot &&
+            event.kind != EventKind::RunEnd)
+            stream.push_back(&event);
+
+    ReplaySim replay(header_.config);
+    VerifySink sink(stream);
+    replay.sim.setJournal(&sink);
+    VerifyResult result;
+    result.metrics = replay.sim.run(header_.jobTrace());
+    sink.finishStream();
+    result.eventsCompared = sink.compared();
+    result.divergence = sink.divergence();
+    if (!result.divergence && complete())
+        result.divergence = diffMetrics(recordedMetrics(), result.metrics,
+                                        stream.size());
+    result.ok = !result.divergence.has_value();
+    return result;
+}
+
+RunMetrics
+Replayer::resume(SimJournalSink *sink) const
+{
+    ReplaySim replay(header_.config);
+    replay.sim.setJournal(sink);
+    JobTrace trace = header_.jobTrace();
+    if (!hasSnapshot())
+        return replay.sim.run(trace);
+    const JournalEvent &snapshot = events_[lastSnapshotIndex()];
+    replay.sim.restoreSnapshot(trace, *snapshot.snapshot);
+    while (replay.sim.step()) {
+    }
+    return replay.sim.finish();
+}
+
+WhatIfResult
+Replayer::whatIf(const std::string &placer, long long swapRound) const
+{
+    WhatIfResult result;
+    result.recorded = recordedMetrics();
+    result.placer = placer;
+
+    ReplaySim replay(header_.config);
+    JobTrace trace = header_.jobTrace();
+    replay.sim.begin(trace);
+    while (!replay.sim.done() && replay.sim.placementRounds() < swapRound)
+        replay.sim.step();
+    result.swapRound = replay.sim.placementRounds();
+    replay.sim.swapPlacer(makePlacerByName(placer, header_.config.seed));
+    while (replay.sim.step()) {
+    }
+    result.whatIf = replay.sim.finish();
+    return result;
+}
+
+} // namespace journal
+} // namespace netpack

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Deterministic replay over a recorded journal. Three modes:
+ *
+ *  - verify: rebuild the experiment from the journal header, re-run it,
+ *    and compare every lifecycle event the simulator emits against the
+ *    recorded stream — placements, scores, deferrals, failures,
+ *    rebalances, water-filling counters, final metrics. The first
+ *    divergence is reported with its event index and a field-level
+ *    diff; zero divergences is the acceptance bar for the determinism
+ *    contract (bit-identical floats included).
+ *
+ *  - resume: restore the latest snapshot event and run the remainder of
+ *    the trace, optionally recording into a fresh sink. Proven
+ *    bit-identical to never having stopped.
+ *
+ *  - what-if: replay the recorded prefix up to a chosen placement
+ *    round, swap in a different placer, and run the rest — the
+ *    counterfactual JCT/DE against the recorded outcome, at a fraction
+ *    of a full sweep's cost.
+ */
+
+#ifndef NETPACK_JOURNAL_REPLAYER_H
+#define NETPACK_JOURNAL_REPLAYER_H
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "journal/journal.h"
+
+namespace netpack {
+namespace journal {
+
+/** A field-level mismatch between a recorded and a replayed event. */
+struct ReplayDivergence
+{
+    /** Index into the recorded event stream (snapshots excluded). */
+    std::size_t eventIndex = 0;
+    /** Kind of the recorded event at that index. */
+    EventKind kind = EventKind::Arrival;
+    /** Which field disagreed ("kind" when the kinds differ). */
+    std::string field;
+    std::string recorded;
+    std::string replayed;
+
+    /** One-line human rendering. */
+    std::string describe() const;
+};
+
+/** Outcome of a verify pass. */
+struct VerifyResult
+{
+    /** True when every event and the final metrics matched. */
+    bool ok = false;
+    /** Events compared (recorded stream, snapshots/run_end excluded). */
+    std::size_t eventsCompared = 0;
+    /** The first divergence, when !ok. */
+    std::optional<ReplayDivergence> divergence;
+    /** Metrics of the re-run. */
+    RunMetrics metrics;
+};
+
+/** Outcome of a what-if replay. */
+struct WhatIfResult
+{
+    /** Metrics of the recorded run (from its run_end event). */
+    RunMetrics recorded;
+    /** Metrics with the placer swapped at @p swapRound. */
+    RunMetrics whatIf;
+    /** The placement round at which the swap happened. */
+    long long swapRound = 0;
+    /** The replacement placer. */
+    std::string placer;
+};
+
+/** Drives the three replay modes over one loaded journal. */
+class Replayer
+{
+  public:
+    /** Load @p path: header plus the full event stream. */
+    explicit Replayer(const std::string &path);
+
+    const JournalHeader &header() const { return header_; }
+    const std::vector<JournalEvent> &events() const { return events_; }
+
+    /** Whether the journal holds at least one snapshot event. */
+    bool hasSnapshot() const;
+
+    /**
+     * Index (into events()) of the last snapshot event; ConfigError
+     * when the journal has none.
+     */
+    std::size_t lastSnapshotIndex() const;
+
+    /** Whether the journal ends with a run_end event (run completed). */
+    bool complete() const;
+
+    /** The recorded final metrics; ConfigError when !complete(). */
+    const RunMetrics &recordedMetrics() const;
+
+    /** Re-run and compare (see file comment). */
+    VerifyResult verify() const;
+
+    /**
+     * Restore the latest snapshot (or begin fresh when none) and run to
+     * completion. Events of the continuation are mirrored to @p sink
+     * when non-null.
+     */
+    RunMetrics resume(SimJournalSink *sink = nullptr) const;
+
+    /**
+     * Replay with @p placer swapped in once placementRounds() reaches
+     * @p swapRound. Requires complete() (the comparison baseline).
+     */
+    WhatIfResult whatIf(const std::string &placer,
+                        long long swapRound) const;
+
+  private:
+    std::string path_;
+    JournalHeader header_;
+    std::vector<JournalEvent> events_;
+    std::size_t unknownSkipped_ = 0;
+};
+
+} // namespace journal
+} // namespace netpack
+
+#endif // NETPACK_JOURNAL_REPLAYER_H

@@ -1,0 +1,638 @@
+#include "journal/serialize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace netpack {
+namespace journal {
+
+namespace {
+
+int
+readInt(const obs::JsonValue &value)
+{
+    return static_cast<int>(value.asInt64());
+}
+
+/** Emit a double, preserving non-finite values as JsonWriter strings. */
+void
+writeKvDouble(obs::JsonWriter &json, std::string_view key, double x)
+{
+    json.key(key);
+    json.value(x);
+}
+
+void
+writeServerFailure(obs::JsonWriter &json, const ServerFailure &failure)
+{
+    json.beginObject();
+    json.kv("t", failure.time);
+    json.kv("server", failure.server.value);
+    json.kv("downtime", failure.downtime);
+    json.endObject();
+}
+
+ServerFailure
+readServerFailure(const obs::JsonValue &value)
+{
+    ServerFailure failure;
+    failure.time = readDouble(value.at("t"));
+    failure.server = ServerId(readInt(value.at("server")));
+    failure.downtime = readDouble(value.at("downtime"));
+    return failure;
+}
+
+void
+writeSteadyState(obs::JsonWriter &json, const SteadyState &steady)
+{
+    json.beginObject();
+    // jobRate is unordered in memory; serialize id-ascending so equal
+    // states always produce equal bytes.
+    std::vector<std::pair<JobId, Gbps>> rates(steady.jobRate.begin(),
+                                              steady.jobRate.end());
+    std::sort(rates.begin(), rates.end(),
+              [](const auto &a, const auto &b) { return a.first < b.first; });
+    json.key("job_rate");
+    json.beginArray();
+    for (const auto &[id, rate] : rates) {
+        json.beginArray();
+        json.value(id.value);
+        json.value(rate);
+        json.endArray();
+    }
+    json.endArray();
+    json.key("link_residual");
+    json.beginArray();
+    for (Gbps residual : steady.linkResidual)
+        json.value(residual);
+    json.endArray();
+    json.key("pat_residual");
+    json.beginArray();
+    for (Gbps residual : steady.patResidual)
+        json.value(residual);
+    json.endArray();
+    json.key("link_flows");
+    json.beginArray();
+    for (int flows : steady.linkFlows)
+        json.value(flows);
+    json.endArray();
+    json.endObject();
+}
+
+SteadyState
+readSteadyState(const obs::JsonValue &value)
+{
+    SteadyState steady;
+    for (const obs::JsonValue &pair : value.at("job_rate").items()) {
+        const auto &items = pair.items();
+        NETPACK_REQUIRE(items.size() == 2,
+                        "job_rate entry must be an [id, rate] pair");
+        steady.jobRate[JobId(readInt(items[0]))] = readDouble(items[1]);
+    }
+    for (const obs::JsonValue &residual : value.at("link_residual").items())
+        steady.linkResidual.push_back(readDouble(residual));
+    for (const obs::JsonValue &residual : value.at("pat_residual").items())
+        steady.patResidual.push_back(readDouble(residual));
+    for (const obs::JsonValue &flows : value.at("link_flows").items())
+        steady.linkFlows.push_back(readInt(flows));
+    return steady;
+}
+
+void
+writeContextState(obs::JsonWriter &json,
+                  const PlacementContext::State &state)
+{
+    json.beginObject();
+    json.key("running");
+    json.beginArray();
+    for (const PlacedJob &job : state.running)
+        writePlacedJob(json, job);
+    json.endArray();
+    json.key("cached");
+    writeSteadyState(json, state.cached);
+    json.kv("valid", state.valid);
+    json.kv("structural", state.structural);
+    json.key("dirty_links");
+    json.beginArray();
+    for (LinkId link : state.dirtyLinks)
+        json.value(link.value);
+    json.endArray();
+    json.key("dirty_racks");
+    json.beginArray();
+    for (RackId rack : state.dirtyRacks)
+        json.value(rack.value);
+    json.endArray();
+    json.key("stats");
+    writeContextStats(json, state.stats);
+    json.endObject();
+}
+
+PlacementContext::State
+readContextState(const obs::JsonValue &value)
+{
+    PlacementContext::State state;
+    for (const obs::JsonValue &job : value.at("running").items())
+        state.running.push_back(readPlacedJob(job));
+    state.cached = readSteadyState(value.at("cached"));
+    state.valid = value.at("valid").asBool();
+    state.structural = value.at("structural").asBool();
+    for (const obs::JsonValue &link : value.at("dirty_links").items())
+        state.dirtyLinks.push_back(LinkId(readInt(link)));
+    for (const obs::JsonValue &rack : value.at("dirty_racks").items())
+        state.dirtyRacks.push_back(RackId(readInt(rack)));
+    state.stats = readContextStats(value.at("stats"));
+    return state;
+}
+
+void
+writeRngState(obs::JsonWriter &json, const Rng::State &state)
+{
+    json.beginObject();
+    json.key("words");
+    json.beginArray();
+    for (std::uint64_t word : state.words)
+        json.value(word);
+    json.endArray();
+    json.kv("cached_normal", state.cachedNormal);
+    json.kv("has_cached_normal", state.hasCachedNormal);
+    json.endObject();
+}
+
+Rng::State
+readRngState(const obs::JsonValue &value)
+{
+    Rng::State state;
+    const auto &words = value.at("words").items();
+    NETPACK_REQUIRE(words.size() == state.words.size(),
+                    "RNG state must carry " << state.words.size()
+                                            << " words");
+    for (std::size_t i = 0; i < words.size(); ++i)
+        state.words[i] = words[i].asUInt64();
+    state.cachedNormal = readDouble(value.at("cached_normal"));
+    state.hasCachedNormal = value.at("has_cached_normal").asBool();
+    return state;
+}
+
+void
+writeClusterConfig(obs::JsonWriter &json, const ClusterConfig &config)
+{
+    json.beginObject();
+    json.kv("num_racks", config.numRacks);
+    json.kv("servers_per_rack", config.serversPerRack);
+    json.kv("gpus_per_server", config.gpusPerServer);
+    json.kv("server_link_gbps", config.serverLinkGbps);
+    json.kv("oversubscription", config.oversubscription);
+    json.kv("tor_pat_gbps", config.torPatGbps);
+    json.kv("rtt", config.rtt);
+    json.kv("racks_per_pod", config.racksPerPod);
+    json.kv("pod_oversubscription", config.podOversubscription);
+    json.endObject();
+}
+
+ClusterConfig
+readClusterConfig(const obs::JsonValue &value)
+{
+    ClusterConfig config;
+    config.numRacks = readInt(value.at("num_racks"));
+    config.serversPerRack = readInt(value.at("servers_per_rack"));
+    config.gpusPerServer = readInt(value.at("gpus_per_server"));
+    config.serverLinkGbps = readDouble(value.at("server_link_gbps"));
+    config.oversubscription = readDouble(value.at("oversubscription"));
+    config.torPatGbps = readDouble(value.at("tor_pat_gbps"));
+    config.rtt = readDouble(value.at("rtt"));
+    config.racksPerPod = readInt(value.at("racks_per_pod"));
+    config.podOversubscription =
+        readDouble(value.at("pod_oversubscription"));
+    return config;
+}
+
+void
+writeSimConfig(obs::JsonWriter &json, const SimConfig &config)
+{
+    json.beginObject();
+    json.kv("placement_period", config.placementPeriod);
+    json.kv("starvation_boost", config.starvationBoost);
+    json.kv("max_sim_time", config.maxSimTime);
+    json.kv("sample_period", config.samplePeriod);
+    json.kv("ina_rebalance_period", config.inaRebalancePeriod);
+    json.key("failures");
+    json.beginArray();
+    for (const ServerFailure &failure : config.failures)
+        writeServerFailure(json, failure);
+    json.endArray();
+    json.kv("checkpoint_iters", config.checkpointIters);
+    json.endObject();
+}
+
+SimConfig
+readSimConfig(const obs::JsonValue &value)
+{
+    SimConfig config;
+    config.placementPeriod = readDouble(value.at("placement_period"));
+    config.starvationBoost = readDouble(value.at("starvation_boost"));
+    config.maxSimTime = readDouble(value.at("max_sim_time"));
+    config.samplePeriod = readDouble(value.at("sample_period"));
+    config.inaRebalancePeriod =
+        readDouble(value.at("ina_rebalance_period"));
+    for (const obs::JsonValue &failure : value.at("failures").items())
+        config.failures.push_back(readServerFailure(failure));
+    config.checkpointIters = value.at("checkpoint_iters").asInt64();
+    return config;
+}
+
+void
+writePacketConfig(obs::JsonWriter &json, const PacketModelConfig &config)
+{
+    json.beginObject();
+    json.kv("additive_increase", config.additiveIncrease);
+    json.kv("multiplicative_decrease", config.multiplicativeDecrease);
+    json.kv("max_rate", config.maxRate);
+    json.kv("initial_rate", config.initialRate);
+    json.kv("min_rate", config.minRate);
+    json.kv("synchronous_ina", config.synchronousIna);
+    json.kv("sync_realloc_period", config.syncReallocPeriod);
+    json.kv("model_hash_collisions", config.modelHashCollisions);
+    json.kv("convergence_slots", config.convergenceSlots);
+    json.kv("rate_ema_alpha", config.rateEmaAlpha);
+    json.endObject();
+}
+
+PacketModelConfig
+readPacketConfig(const obs::JsonValue &value)
+{
+    PacketModelConfig config;
+    config.additiveIncrease = readDouble(value.at("additive_increase"));
+    config.multiplicativeDecrease =
+        readDouble(value.at("multiplicative_decrease"));
+    config.maxRate = readDouble(value.at("max_rate"));
+    config.initialRate = readDouble(value.at("initial_rate"));
+    config.minRate = readDouble(value.at("min_rate"));
+    config.synchronousIna = value.at("synchronous_ina").asBool();
+    config.syncReallocPeriod =
+        readDouble(value.at("sync_realloc_period"));
+    config.modelHashCollisions =
+        value.at("model_hash_collisions").asBool();
+    config.convergenceSlots = readInt(value.at("convergence_slots"));
+    config.rateEmaAlpha = readDouble(value.at("rate_ema_alpha"));
+    return config;
+}
+
+} // namespace
+
+double
+readDouble(const obs::JsonValue &value)
+{
+    if (value.kind() == obs::JsonValue::Kind::String) {
+        const std::string &s = value.asString();
+        if (s == "inf")
+            return std::numeric_limits<double>::infinity();
+        if (s == "-inf")
+            return -std::numeric_limits<double>::infinity();
+        if (s == "nan")
+            return std::numeric_limits<double>::quiet_NaN();
+        throw ConfigError("expected a number, got string \"" + s + "\"");
+    }
+    return value.asDouble();
+}
+
+void
+writePlacement(obs::JsonWriter &json, const Placement &placement)
+{
+    json.beginObject();
+    json.key("workers");
+    json.beginArray();
+    for (const auto &[server, count] : placement.workers) {
+        json.beginArray();
+        json.value(server.value);
+        json.value(count);
+        json.endArray();
+    }
+    json.endArray();
+    json.kv("ps", placement.psServer.value);
+    json.key("extra_ps");
+    json.beginArray();
+    for (ServerId server : placement.extraPsServers)
+        json.value(server.value);
+    json.endArray();
+    json.key("ina");
+    json.beginArray();
+    for (RackId rack : placement.inaRacks)
+        json.value(rack.value);
+    json.endArray();
+    json.endObject();
+}
+
+Placement
+readPlacement(const obs::JsonValue &value)
+{
+    Placement placement;
+    for (const obs::JsonValue &pair : value.at("workers").items()) {
+        const auto &items = pair.items();
+        NETPACK_REQUIRE(items.size() == 2,
+                        "workers entry must be a [server, count] pair");
+        placement.workers[ServerId(readInt(items[0]))] = readInt(items[1]);
+    }
+    placement.psServer = ServerId(readInt(value.at("ps")));
+    for (const obs::JsonValue &server : value.at("extra_ps").items())
+        placement.extraPsServers.push_back(ServerId(readInt(server)));
+    for (const obs::JsonValue &rack : value.at("ina").items())
+        placement.inaRacks.insert(RackId(readInt(rack)));
+    return placement;
+}
+
+void
+writeJobSpec(obs::JsonWriter &json, const JobSpec &spec)
+{
+    json.beginObject();
+    json.kv("id", spec.id.value);
+    json.kv("model", spec.modelName);
+    json.kv("gpus", spec.gpuDemand);
+    json.kv("submit", spec.submitTime);
+    json.kv("iters", spec.iterations);
+    json.kv("value", spec.value);
+    json.endObject();
+}
+
+JobSpec
+readJobSpec(const obs::JsonValue &value)
+{
+    JobSpec spec;
+    spec.id = JobId(readInt(value.at("id")));
+    spec.modelName = value.at("model").asString();
+    spec.gpuDemand = readInt(value.at("gpus"));
+    spec.submitTime = readDouble(value.at("submit"));
+    spec.iterations = value.at("iters").asInt64();
+    spec.value = readDouble(value.at("value"));
+    return spec;
+}
+
+void
+writePlacedJob(obs::JsonWriter &json, const PlacedJob &job)
+{
+    json.beginObject();
+    json.kv("job", job.id.value);
+    json.key("placement");
+    writePlacement(json, job.placement);
+    json.endObject();
+}
+
+PlacedJob
+readPlacedJob(const obs::JsonValue &value)
+{
+    PlacedJob job;
+    job.id = JobId(readInt(value.at("job")));
+    job.placement = readPlacement(value.at("placement"));
+    return job;
+}
+
+void
+writeJobRecord(obs::JsonWriter &json, const JobRecord &record)
+{
+    json.beginObject();
+    json.key("spec");
+    writeJobSpec(json, record.spec);
+    json.key("placement");
+    writePlacement(json, record.placement);
+    json.kv("submit", record.submitTime);
+    json.kv("start", record.startTime);
+    json.kv("finish", record.finishTime);
+    json.endObject();
+}
+
+JobRecord
+readJobRecord(const obs::JsonValue &value)
+{
+    JobRecord record;
+    record.spec = readJobSpec(value.at("spec"));
+    record.placement = readPlacement(value.at("placement"));
+    record.submitTime = readDouble(value.at("submit"));
+    record.startTime = readDouble(value.at("start"));
+    record.finishTime = readDouble(value.at("finish"));
+    return record;
+}
+
+void
+writeRunMetrics(obs::JsonWriter &json, const RunMetrics &metrics)
+{
+    json.beginObject();
+    json.key("records");
+    json.beginArray();
+    for (const JobRecord &record : metrics.records)
+        writeJobRecord(json, record);
+    json.endArray();
+    writeKvDouble(json, "makespan", metrics.makespan);
+    writeKvDouble(json, "placement_seconds", metrics.placementSeconds);
+    json.kv("placement_rounds",
+            static_cast<std::int64_t>(metrics.placementRounds));
+    writeKvDouble(json, "avg_gpu_utilization", metrics.avgGpuUtilization);
+    json.kv("job_restarts",
+            static_cast<std::int64_t>(metrics.jobRestarts));
+    writeKvDouble(json, "avg_fragmentation", metrics.avgFragmentation);
+    json.endObject();
+}
+
+RunMetrics
+readRunMetrics(const obs::JsonValue &value)
+{
+    RunMetrics metrics;
+    for (const obs::JsonValue &record : value.at("records").items())
+        metrics.records.push_back(readJobRecord(record));
+    metrics.makespan = readDouble(value.at("makespan"));
+    metrics.placementSeconds =
+        readDouble(value.at("placement_seconds"));
+    metrics.placementRounds = value.at("placement_rounds").asInt64();
+    metrics.avgGpuUtilization =
+        readDouble(value.at("avg_gpu_utilization"));
+    metrics.jobRestarts = value.at("job_restarts").asInt64();
+    metrics.avgFragmentation =
+        readDouble(value.at("avg_fragmentation"));
+    return metrics;
+}
+
+void
+writeContextStats(obs::JsonWriter &json,
+                  const PlacementContext::Stats &stats)
+{
+    json.beginObject();
+    json.kv("full", stats.fullEstimates);
+    json.kv("incremental", stats.incrementalEstimates);
+    json.kv("cache_hits", stats.cacheHits);
+    json.kv("jobs_reconverged", stats.jobsReconverged);
+    json.kv("view_rebuilds", stats.viewRebuilds);
+    json.kv("view_reuses", stats.viewReuses);
+    json.endObject();
+}
+
+PlacementContext::Stats
+readContextStats(const obs::JsonValue &value)
+{
+    PlacementContext::Stats stats;
+    stats.fullEstimates = value.at("full").asInt64();
+    stats.incrementalEstimates = value.at("incremental").asInt64();
+    stats.cacheHits = value.at("cache_hits").asInt64();
+    stats.jobsReconverged = value.at("jobs_reconverged").asInt64();
+    stats.viewRebuilds = value.at("view_rebuilds").asInt64();
+    stats.viewReuses = value.at("view_reuses").asInt64();
+    return stats;
+}
+
+void
+writeSnapshot(obs::JsonWriter &json, const SimSnapshot &snap)
+{
+    json.beginObject();
+    json.kv("now", snap.now);
+    json.kv("next_epoch", snap.nextEpoch);
+    json.kv("next_sample", snap.nextSample);
+    json.kv("next_rebalance", snap.nextRebalance);
+    json.kv("next_arrival", snap.nextArrival);
+    json.kv("next_failure", snap.nextFailure);
+    json.key("pending");
+    json.beginArray();
+    for (const JobSpec &spec : snap.pending)
+        writeJobSpec(json, spec);
+    json.endArray();
+    json.key("active");
+    json.beginArray();
+    for (const SimSnapshot::ActiveJob &job : snap.active) {
+        json.beginObject();
+        json.key("spec");
+        writeJobSpec(json, job.spec);
+        json.key("placement");
+        writePlacement(json, job.placement);
+        json.kv("start", job.startTime);
+        json.kv("remaining", job.remainingIters);
+        json.endObject();
+    }
+    json.endArray();
+    json.key("recoveries");
+    json.beginArray();
+    for (const auto &[when, server] : snap.recoveries) {
+        json.beginArray();
+        json.value(when);
+        json.value(server);
+        json.endArray();
+    }
+    json.endArray();
+    json.key("gpu_holdings");
+    json.beginArray();
+    for (const GpuLedger::Holding &holding : snap.gpuHoldings) {
+        json.beginObject();
+        json.kv("job", holding.job.value);
+        json.key("servers");
+        json.beginArray();
+        for (const auto &[server, count] : holding.servers) {
+            json.beginArray();
+            json.value(server.value);
+            json.value(count);
+            json.endArray();
+        }
+        json.endArray();
+        json.endObject();
+    }
+    json.endArray();
+    json.kv("gpu_busy_time", snap.gpuBusyTime);
+    json.kv("fragmentation_time", snap.fragmentationTime);
+    json.key("metrics");
+    writeRunMetrics(json, snap.metrics);
+    json.key("context");
+    writeContextState(json, snap.context);
+    if (snap.hasPlacerRng) {
+        json.key("placer_rng");
+        writeRngState(json, snap.placerRng);
+    }
+    json.endObject();
+}
+
+SimSnapshot
+readSnapshot(const obs::JsonValue &value)
+{
+    SimSnapshot snap;
+    snap.now = readDouble(value.at("now"));
+    snap.nextEpoch = readDouble(value.at("next_epoch"));
+    snap.nextSample = readDouble(value.at("next_sample"));
+    snap.nextRebalance = readDouble(value.at("next_rebalance"));
+    snap.nextArrival = value.at("next_arrival").asUInt64();
+    snap.nextFailure = value.at("next_failure").asUInt64();
+    for (const obs::JsonValue &spec : value.at("pending").items())
+        snap.pending.push_back(readJobSpec(spec));
+    for (const obs::JsonValue &job : value.at("active").items()) {
+        SimSnapshot::ActiveJob entry;
+        entry.spec = readJobSpec(job.at("spec"));
+        entry.placement = readPlacement(job.at("placement"));
+        entry.startTime = readDouble(job.at("start"));
+        entry.remainingIters = readDouble(job.at("remaining"));
+        snap.active.push_back(std::move(entry));
+    }
+    for (const obs::JsonValue &pair : value.at("recoveries").items()) {
+        const auto &items = pair.items();
+        NETPACK_REQUIRE(items.size() == 2,
+                        "recoveries entry must be a [time, server] pair");
+        snap.recoveries.emplace_back(readDouble(items[0]),
+                                     readInt(items[1]));
+    }
+    for (const obs::JsonValue &entry : value.at("gpu_holdings").items()) {
+        GpuLedger::Holding holding;
+        holding.job = JobId(readInt(entry.at("job")));
+        for (const obs::JsonValue &pair : entry.at("servers").items()) {
+            const auto &items = pair.items();
+            NETPACK_REQUIRE(items.size() == 2,
+                            "servers entry must be a [server, count] "
+                            "pair");
+            holding.servers.emplace_back(ServerId(readInt(items[0])),
+                                         readInt(items[1]));
+        }
+        snap.gpuHoldings.push_back(std::move(holding));
+    }
+    snap.gpuBusyTime = readDouble(value.at("gpu_busy_time"));
+    snap.fragmentationTime = readDouble(value.at("fragmentation_time"));
+    snap.metrics = readRunMetrics(value.at("metrics"));
+    snap.context = readContextState(value.at("context"));
+    if (const obs::JsonValue *rng = value.find("placer_rng")) {
+        snap.hasPlacerRng = true;
+        snap.placerRng = readRngState(*rng);
+    }
+    return snap;
+}
+
+void
+writeExperimentConfig(obs::JsonWriter &json, const ExperimentConfig &config)
+{
+    json.beginObject();
+    json.key("cluster");
+    writeClusterConfig(json, config.cluster);
+    json.key("sim");
+    writeSimConfig(json, config.sim);
+    json.key("packet");
+    writePacketConfig(json, config.packet);
+    json.kv("fidelity",
+            config.fidelity == Fidelity::Flow ? "flow" : "packet");
+    json.kv("placer", config.placer);
+    json.kv("seed", config.seed);
+    json.endObject();
+}
+
+ExperimentConfig
+readExperimentConfig(const obs::JsonValue &value)
+{
+    ExperimentConfig config;
+    config.cluster = readClusterConfig(value.at("cluster"));
+    config.sim = readSimConfig(value.at("sim"));
+    config.packet = readPacketConfig(value.at("packet"));
+    const std::string &fidelity = value.at("fidelity").asString();
+    if (fidelity == "flow") {
+        config.fidelity = Fidelity::Flow;
+    } else if (fidelity == "packet") {
+        config.fidelity = Fidelity::Packet;
+    } else {
+        throw ConfigError("unknown fidelity '" + fidelity + "'");
+    }
+    config.placer = value.at("placer").asString();
+    config.seed = value.at("seed").asUInt64();
+    return config;
+}
+
+} // namespace journal
+} // namespace netpack

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * JSON (de)serialization of the domain types the journal records:
+ * job specs, placements, run metrics, experiment configs, and the full
+ * mid-run SimSnapshot. Writers emit through obs::JsonWriter (%.17g
+ * doubles, so IEEE values round-trip bit-exactly through strtod);
+ * readers consume obs::JsonValue trees with strict validation —
+ * missing or mistyped fields are ConfigErrors, matching the journal's
+ * "malformed input is bad data, not a bug" contract. Non-finite
+ * doubles (disabled-schedule sentinels like nextSample = +inf) travel
+ * as the strings JsonWriter already emits for them.
+ */
+
+#ifndef NETPACK_JOURNAL_SERIALIZE_H
+#define NETPACK_JOURNAL_SERIALIZE_H
+
+#include "core/experiment.h"
+#include "obs/json.h"
+#include "sim/sim_snapshot.h"
+
+namespace netpack {
+namespace journal {
+
+/** Read a double that may be a number or an "inf"/"-inf"/"nan" string. */
+double readDouble(const obs::JsonValue &value);
+
+void writePlacement(obs::JsonWriter &json, const Placement &placement);
+Placement readPlacement(const obs::JsonValue &value);
+
+void writeJobSpec(obs::JsonWriter &json, const JobSpec &spec);
+JobSpec readJobSpec(const obs::JsonValue &value);
+
+void writePlacedJob(obs::JsonWriter &json, const PlacedJob &job);
+PlacedJob readPlacedJob(const obs::JsonValue &value);
+
+void writeJobRecord(obs::JsonWriter &json, const JobRecord &record);
+JobRecord readJobRecord(const obs::JsonValue &value);
+
+void writeRunMetrics(obs::JsonWriter &json, const RunMetrics &metrics);
+RunMetrics readRunMetrics(const obs::JsonValue &value);
+
+void writeContextStats(obs::JsonWriter &json,
+                       const PlacementContext::Stats &stats);
+PlacementContext::Stats readContextStats(const obs::JsonValue &value);
+
+void writeSnapshot(obs::JsonWriter &json, const SimSnapshot &snap);
+SimSnapshot readSnapshot(const obs::JsonValue &value);
+
+void writeExperimentConfig(obs::JsonWriter &json,
+                           const ExperimentConfig &config);
+ExperimentConfig readExperimentConfig(const obs::JsonValue &value);
+
+} // namespace journal
+} // namespace netpack
+
+#endif // NETPACK_JOURNAL_SERIALIZE_H

@@ -1,7 +1,9 @@
 #include "obs/json.h"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/check.h"
 
@@ -31,6 +33,104 @@ jsonEscape(std::string_view s)
             } else {
                 out += c;
             }
+        }
+    }
+    return out;
+}
+
+namespace {
+
+/** Decode 4 hex digits at s[i..i+3]; ConfigError on short/bad input. */
+unsigned
+hex4(std::string_view s, std::size_t i)
+{
+    NETPACK_REQUIRE(i + 4 <= s.size(),
+                    "truncated \\u escape in JSON string");
+    unsigned code = 0;
+    for (std::size_t k = i; k < i + 4; ++k) {
+        const char c = s[k];
+        code <<= 4;
+        if (c >= '0' && c <= '9')
+            code |= static_cast<unsigned>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            code |= static_cast<unsigned>(c - 'a' + 10);
+        else if (c >= 'A' && c <= 'F')
+            code |= static_cast<unsigned>(c - 'A' + 10);
+        else
+            throw ConfigError("bad hex digit in \\u escape");
+    }
+    return code;
+}
+
+/** Append @p code point as UTF-8. */
+void
+appendUtf8(std::string &out, unsigned code)
+{
+    if (code < 0x80) {
+        out += static_cast<char>(code);
+    } else if (code < 0x800) {
+        out += static_cast<char>(0xC0 | (code >> 6));
+        out += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+        out += static_cast<char>(0xE0 | (code >> 12));
+        out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+        out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+        out += static_cast<char>(0xF0 | (code >> 18));
+        out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+        out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+        out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+}
+
+} // namespace
+
+std::string
+jsonUnescape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        const char c = s[i];
+        if (c != '\\') {
+            out += c;
+            continue;
+        }
+        NETPACK_REQUIRE(i + 1 < s.size(),
+                        "dangling backslash in JSON string");
+        const char e = s[++i];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            unsigned code = hex4(s, i + 1);
+            i += 4;
+            if (code >= 0xD800 && code <= 0xDBFF) {
+                // High surrogate: must pair with \uDC00-\uDFFF.
+                NETPACK_REQUIRE(i + 2 < s.size() && s[i + 1] == '\\' &&
+                                    s[i + 2] == 'u',
+                                "unpaired UTF-16 high surrogate");
+                const unsigned low = hex4(s, i + 3);
+                NETPACK_REQUIRE(low >= 0xDC00 && low <= 0xDFFF,
+                                "invalid UTF-16 low surrogate");
+                i += 6;
+                code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+            } else {
+                NETPACK_REQUIRE(!(code >= 0xDC00 && code <= 0xDFFF),
+                                "stray UTF-16 low surrogate");
+            }
+            appendUtf8(out, code);
+            break;
+          }
+          default:
+            throw ConfigError(std::string("unknown JSON escape '\\") + e +
+                              "'");
         }
     }
     return out;
@@ -169,6 +269,283 @@ JsonWriter::value(double x)
     char buf[40];
     std::snprintf(buf, sizeof(buf), "%.17g", x);
     *os_ << buf;
+}
+
+// ---------------------------------------------------------------------------
+// JsonValue + parser
+// ---------------------------------------------------------------------------
+
+bool
+JsonValue::asBool() const
+{
+    NETPACK_REQUIRE(kind_ == Kind::Bool, "JSON value is not a boolean");
+    return bool_;
+}
+
+double
+JsonValue::asDouble() const
+{
+    NETPACK_REQUIRE(kind_ == Kind::Number, "JSON value is not a number");
+    return std::strtod(scalar_.c_str(), nullptr);
+}
+
+std::int64_t
+JsonValue::asInt64() const
+{
+    NETPACK_REQUIRE(kind_ == Kind::Number, "JSON value is not a number");
+    errno = 0;
+    char *end = nullptr;
+    const long long v = std::strtoll(scalar_.c_str(), &end, 10);
+    NETPACK_REQUIRE(errno == 0 && end != nullptr && *end == '\0',
+                    "JSON number '" << scalar_
+                                    << "' is not a 64-bit integer");
+    return static_cast<std::int64_t>(v);
+}
+
+std::uint64_t
+JsonValue::asUInt64() const
+{
+    NETPACK_REQUIRE(kind_ == Kind::Number, "JSON value is not a number");
+    NETPACK_REQUIRE(!scalar_.empty() && scalar_[0] != '-',
+                    "JSON number '" << scalar_ << "' is negative");
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(scalar_.c_str(), &end, 10);
+    NETPACK_REQUIRE(errno == 0 && end != nullptr && *end == '\0',
+                    "JSON number '" << scalar_
+                                    << "' is not a 64-bit unsigned");
+    return static_cast<std::uint64_t>(v);
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    NETPACK_REQUIRE(kind_ == Kind::String, "JSON value is not a string");
+    return scalar_;
+}
+
+const std::vector<JsonValue> &
+JsonValue::items() const
+{
+    NETPACK_REQUIRE(kind_ == Kind::Array, "JSON value is not an array");
+    return items_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>> &
+JsonValue::members() const
+{
+    NETPACK_REQUIRE(kind_ == Kind::Object, "JSON value is not an object");
+    return members_;
+}
+
+const JsonValue *
+JsonValue::find(std::string_view key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    for (const auto &[name, value] : members_) {
+        if (name == key)
+            return &value;
+    }
+    return nullptr;
+}
+
+bool
+JsonValue::has(std::string_view key) const
+{
+    return find(key) != nullptr;
+}
+
+const JsonValue &
+JsonValue::at(std::string_view key) const
+{
+    const JsonValue *value = find(key);
+    NETPACK_REQUIRE(value != nullptr,
+                    "JSON object has no member '" << key << "'");
+    return *value;
+}
+
+const std::string &
+JsonValue::numberToken() const
+{
+    NETPACK_REQUIRE(kind_ == Kind::Number, "JSON value is not a number");
+    return scalar_;
+}
+
+/** Recursive-descent parser over one in-memory document. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(std::string_view text) : text_(text) {}
+
+    JsonValue parse()
+    {
+        JsonValue value = parseValue();
+        skipWs();
+        NETPACK_REQUIRE(pos_ == text_.size(),
+                        "trailing garbage after JSON document at offset "
+                            << pos_);
+        return value;
+    }
+
+  private:
+    [[noreturn]] void fail(const std::string &what) const
+    {
+        throw ConfigError("JSON parse error at offset " +
+                          std::to_string(pos_) + ": " + what);
+    }
+
+    void skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "', found '" + peek() +
+                 "'");
+        ++pos_;
+    }
+
+    bool consumeLiteral(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word)
+            return false;
+        pos_ += word.size();
+        return true;
+    }
+
+    /** The body of a string literal, still escaped (cursor past '"'). */
+    std::string_view rawString()
+    {
+        expect('"');
+        const std::size_t start = pos_;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c == '"') {
+                const std::string_view body =
+                    text_.substr(start, pos_ - start);
+                ++pos_;
+                return body;
+            }
+            if (c == '\\') {
+                NETPACK_REQUIRE(pos_ + 1 < text_.size(),
+                                "dangling backslash in JSON string");
+                pos_ += 2;
+                continue;
+            }
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("unescaped control character in string");
+            ++pos_;
+        }
+        fail("unterminated string");
+    }
+
+    JsonValue parseValue()
+    {
+        skipWs();
+        JsonValue value;
+        const char c = peek();
+        if (c == '{') {
+            ++pos_;
+            value.kind_ = JsonValue::Kind::Object;
+            skipWs();
+            if (peek() == '}') {
+                ++pos_;
+                return value;
+            }
+            while (true) {
+                skipWs();
+                std::string key = jsonUnescape(rawString());
+                skipWs();
+                expect(':');
+                value.members_.emplace_back(std::move(key), parseValue());
+                skipWs();
+                if (peek() == ',') {
+                    ++pos_;
+                    continue;
+                }
+                expect('}');
+                return value;
+            }
+        }
+        if (c == '[') {
+            ++pos_;
+            value.kind_ = JsonValue::Kind::Array;
+            skipWs();
+            if (peek() == ']') {
+                ++pos_;
+                return value;
+            }
+            while (true) {
+                value.items_.push_back(parseValue());
+                skipWs();
+                if (peek() == ',') {
+                    ++pos_;
+                    continue;
+                }
+                expect(']');
+                return value;
+            }
+        }
+        if (c == '"') {
+            value.kind_ = JsonValue::Kind::String;
+            value.scalar_ = jsonUnescape(rawString());
+            return value;
+        }
+        if (consumeLiteral("true")) {
+            value.kind_ = JsonValue::Kind::Bool;
+            value.bool_ = true;
+            return value;
+        }
+        if (consumeLiteral("false")) {
+            value.kind_ = JsonValue::Kind::Bool;
+            value.bool_ = false;
+            return value;
+        }
+        if (consumeLiteral("null"))
+            return value;
+        // Number: [-]digits[.digits][(e|E)[+-]digits]
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               ((text_[pos_] >= '0' && text_[pos_] <= '9') ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start)
+            fail(std::string("unexpected character '") + c + "'");
+        value.kind_ = JsonValue::Kind::Number;
+        value.scalar_ = std::string(text_.substr(start, pos_ - start));
+        // Validate the token eagerly so asDouble never sees garbage.
+        char *end = nullptr;
+        std::strtod(value.scalar_.c_str(), &end);
+        if (end == nullptr || *end != '\0')
+            fail("malformed number '" + value.scalar_ + "'");
+        return value;
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+JsonValue
+parseJson(std::string_view text)
+{
+    return JsonParser(text).parse();
 }
 
 } // namespace obs

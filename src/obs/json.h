@@ -1,16 +1,18 @@
 /**
  * @file
  * Minimal streaming JSON emitter used by the observability layer (trace
- * files, metrics dumps, run manifests). Handles escaping, indentation,
- * and comma placement; the caller is responsible for balanced
- * begin/end calls (checked at destruction in debug builds via
- * NETPACK_CHECK).
+ * files, metrics dumps, run manifests), plus the matching strict parser
+ * the journal layer reads JSONL event lines back with. Escape/unescape
+ * are exact inverses (the journal depends on lossless string round-
+ * trips), and parsed numbers keep their raw token so 64-bit integers
+ * written by JsonWriter::value(std::uint64_t) survive unrounded.
  */
 
 #ifndef NETPACK_OBS_JSON_H
 #define NETPACK_OBS_JSON_H
 
 #include <cstdint>
+#include <map>
 #include <ostream>
 #include <string>
 #include <string_view>
@@ -21,6 +23,14 @@ namespace obs {
 
 /** Escape @p s for inclusion inside a JSON string literal (no quotes). */
 std::string jsonEscape(std::string_view s);
+
+/**
+ * Invert jsonEscape: decode the backslash escapes of a JSON string body
+ * (the text between the quotes). Handles the two-character escapes and
+ * \uXXXX sequences, including UTF-16 surrogate pairs (re-encoded as
+ * UTF-8). ConfigError on malformed escapes.
+ */
+std::string jsonUnescape(std::string_view s);
 
 /**
  * Streaming writer for one JSON document. Usage:
@@ -80,6 +90,85 @@ class JsonWriter
     std::vector<bool> hasValue_;
     bool pendingKey_ = false;
 };
+
+/**
+ * Parsed JSON value (the read side of JsonWriter). A thin immutable
+ * tree: objects keep insertion order for deterministic re-emission, and
+ * numbers retain their raw token so asUInt64/asInt64 are exact for
+ * anything JsonWriter emitted. Accessors throw ConfigError on kind
+ * mismatches — journal reading treats malformed documents as bad input,
+ * not as internal bugs.
+ */
+class JsonValue
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    JsonValue() = default;
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isObject() const { return kind_ == Kind::Object; }
+    bool isArray() const { return kind_ == Kind::Array; }
+
+    /** Boolean value; ConfigError unless Kind::Bool. */
+    bool asBool() const;
+
+    /** Number as double (%.17g tokens round-trip IEEE doubles). */
+    double asDouble() const;
+
+    /** Number as exact signed integer; ConfigError on non-integers. */
+    std::int64_t asInt64() const;
+
+    /** Number as exact unsigned integer. */
+    std::uint64_t asUInt64() const;
+
+    /** Decoded string value; ConfigError unless Kind::String. */
+    const std::string &asString() const;
+
+    /** Array elements; ConfigError unless Kind::Array. */
+    const std::vector<JsonValue> &items() const;
+
+    /** Object members in document order; ConfigError unless Object. */
+    const std::vector<std::pair<std::string, JsonValue>> &members() const;
+
+    /** Whether the object has member @p key. */
+    bool has(std::string_view key) const;
+
+    /** Object member by key; ConfigError when missing. */
+    const JsonValue &at(std::string_view key) const;
+
+    /** Object member by key, or nullptr when absent / not an object. */
+    const JsonValue *find(std::string_view key) const;
+
+    /** The raw number token as it appeared in the document. */
+    const std::string &numberToken() const;
+
+  private:
+    friend class JsonParser;
+
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    /** Raw token for numbers; decoded text for strings. */
+    std::string scalar_;
+    std::vector<JsonValue> items_;
+    std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/**
+ * Parse one JSON document from @p text (complete value, optionally
+ * surrounded by whitespace). ConfigError with offset context on
+ * malformed input or trailing garbage.
+ */
+JsonValue parseJson(std::string_view text);
 
 } // namespace obs
 } // namespace netpack

@@ -236,6 +236,19 @@ writeRunManifest(const std::string &path, const RunManifest &manifest)
     }
     json.endArray();
 
+    json.key("journal");
+    json.beginObject();
+    json.kv("enabled", manifest.journal.enabled);
+    json.kv("directory", manifest.journal.directory);
+    json.kv("snapshot_every", manifest.journal.snapshotEvery);
+    json.kv("events_written", manifest.journal.eventsWritten);
+    json.kv("snapshots_written", manifest.journal.snapshotsWritten);
+    json.kv("runs_recorded", manifest.journal.runsRecorded);
+    json.kv("runs_resumed", manifest.journal.runsResumed);
+    json.kv("runs_reused", manifest.journal.runsReused);
+    json.kv("replay_divergences", manifest.journal.replayDivergences);
+    json.endObject();
+
     json.key("metrics");
     writeSnapshotJson(json, snapshot());
 

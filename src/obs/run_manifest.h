@@ -72,11 +72,38 @@ struct AggregateSummary
     AggregateStat avgGpuUtilization;
 };
 
+/**
+ * Journal activity of the process (schema /3): what the run recorded
+ * via netpack::journal and what any in-process replay verification
+ * found. Zero-valued and disabled when --journal was not passed.
+ */
+struct JournalSummary
+{
+    /** Whether journal recording was enabled this run. */
+    bool enabled = false;
+    /** Directory the per-run journals were written to. */
+    std::string directory;
+    /** Simulated seconds between snapshots (0 = no snapshots). */
+    double snapshotEvery = 0.0;
+    /** Event lines written across all journals (prefixes included). */
+    std::uint64_t eventsWritten = 0;
+    /** Snapshot events among them. */
+    std::uint64_t snapshotsWritten = 0;
+    /** Runs recorded (fresh or resumed). */
+    std::uint64_t runsRecorded = 0;
+    /** Runs restored from a snapshot and continued. */
+    std::uint64_t runsResumed = 0;
+    /** Runs whose complete journal was reused without re-running. */
+    std::uint64_t runsReused = 0;
+    /** Divergences found by in-process replay verification. */
+    std::uint64_t replayDivergences = 0;
+};
+
 /** Accumulates a process's run description; written as one JSON file. */
 struct RunManifest
 {
     /** Manifest schema identifier (bump on breaking changes). */
-    std::string schema = "netpack.run_manifest/2";
+    std::string schema = "netpack.run_manifest/3";
     /** Bench executable name (argv[0] basename). */
     std::string bench;
     /** Human title from the bench banner. */
@@ -93,6 +120,8 @@ struct RunManifest
     std::vector<AggregateSummary> aggregates;
     /** Every table the bench emitted. */
     std::vector<Table> tables;
+    /** Journal recording/replay activity (schema /3). */
+    JournalSummary journal;
 
     /** Record a cluster config once per name (later calls are no-ops). */
     void addCluster(const std::string &name, const ClusterConfig &config);

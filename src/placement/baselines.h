@@ -172,6 +172,17 @@ class RandomPlacer : public BaselinePlacer
 
     std::string name() const override { return "Random"; }
 
+    bool captureRngState(Rng::State &out) const override
+    {
+        out = rng_.state();
+        return true;
+    }
+
+    void restoreRngState(const Rng::State &state) override
+    {
+        rng_.setState(state);
+    }
+
   protected:
     void serverOrder(const JobSpec &spec, const ClusterTopology &topo,
                      const GpuLedger &gpus, const SteadyStateView *view,

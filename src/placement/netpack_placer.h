@@ -93,6 +93,11 @@ class NetPackPlacer : public Placer
      */
     const std::vector<double> &lastScores() const { return lastScores_; }
 
+    const std::vector<double> *batchScores() const override
+    {
+        return &lastScores_;
+    }
+
   private:
     /** One DP candidate: a server with free GPUs. */
     struct Candidate

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
 #include "core/placement_context.h"
 #include "topology/cluster.h"
 #include "topology/gpu_ledger.h"
@@ -70,6 +71,31 @@ class Placer
     BatchResult placeBatch(const std::vector<JobSpec> &batch,
                            const ClusterTopology &topo, GpuLedger &gpus,
                            const std::vector<PlacedJob> &running);
+
+    /**
+     * Scores of the jobs placed by the last placeBatch call, in
+     * placement order, or nullptr for policies that do not score
+     * (baselines). The journal records them so replay verification can
+     * compare decisions bit-for-bit.
+     */
+    virtual const std::vector<double> *batchScores() const
+    {
+        return nullptr;
+    }
+
+    /**
+     * Capture the RNG stream of a stochastic placer into @p out and
+     * return true; deterministic placers return false. Snapshots carry
+     * this state so a resumed run draws the same stream.
+     */
+    virtual bool captureRngState(Rng::State &out) const
+    {
+        (void)out;
+        return false;
+    }
+
+    /** Restore a stream captured by captureRngState (no-op otherwise). */
+    virtual void restoreRngState(const Rng::State &state) { (void)state; }
 };
 
 namespace placement_util {

@@ -52,6 +52,11 @@ class ReferenceNetPackPlacer : public Placer
      */
     const std::vector<double> &lastScores() const { return lastScores_; }
 
+    const std::vector<double> *batchScores() const override
+    {
+        return &lastScores_;
+    }
+
   private:
     /** A worker plan recovered from the DP table. */
     struct WorkerPlan

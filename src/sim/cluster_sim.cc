@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
-#include <limits>
 
 #include "common/check.h"
 #include "common/log.h"
@@ -45,8 +44,8 @@ ClusterSimulator::setObserver(SimObserver observer)
     observer_ = std::move(observer);
 }
 
-RunMetrics
-ClusterSimulator::run(const JobTrace &trace)
+void
+ClusterSimulator::initState(const JobTrace &trace)
 {
     for (const JobSpec &spec : trace.jobs()) {
         NETPACK_REQUIRE(spec.gpuDemand <= topo_->totalGpus(),
@@ -56,34 +55,14 @@ ClusterSimulator::run(const JobTrace &trace)
                                << topo_->totalGpus());
     }
 
-    GpuLedger gpus(*topo_);
-    RunMetrics metrics;
+    state_.emplace(*topo_);
+    RunState &s = *state_;
+    s.arrivals = trace.jobs();
     context_.clear(); // fresh resource engine per run
 
-    // Manager state.
-    std::vector<JobSpec> pending; // value field ages in place
-    struct Active
-    {
-        JobSpec spec;
-        Placement placement;
-        Seconds startTime = 0.0;
-    };
-    std::unordered_map<JobId, Active> active;
-
-    const auto &arrivals = trace.jobs();
-    std::size_t next_arrival = 0;
-
-    Seconds now = 0.0;
-    Seconds next_epoch = 0.0;
-    Seconds next_sample =
-        (observer_ && config_.samplePeriod > 0.0) ? 0.0 : kInf;
-    Seconds next_rebalance = config_.inaRebalancePeriod > 0.0
-                                 ? config_.inaRebalancePeriod
-                                 : kInf;
-
-    // Injected failures, sorted by time, plus pending recoveries.
-    std::vector<ServerFailure> failures = config_.failures;
-    for (const ServerFailure &failure : failures) {
+    // Injected failures, sorted by time.
+    s.failures = config_.failures;
+    for (const ServerFailure &failure : s.failures) {
         NETPACK_REQUIRE(failure.server.valid() &&
                             failure.server.value < topo_->numServers(),
                         "failure names invalid server "
@@ -91,320 +70,515 @@ ClusterSimulator::run(const JobTrace &trace)
         NETPACK_REQUIRE(failure.time >= 0.0 && failure.downtime >= 0.0,
                         "failure times must be non-negative");
     }
-    std::sort(failures.begin(), failures.end(),
+    std::sort(s.failures.begin(), s.failures.end(),
               [](const ServerFailure &a, const ServerFailure &b) {
                   return a.time < b.time;
               });
-    std::size_t next_failure = 0;
-    // (recovery time, server) min-ordered.
-    std::vector<std::pair<Seconds, int>> recoveries;
+}
 
-    double gpu_busy_time = 0.0;     // ∫ used_gpus dt
-    double fragmentation_time = 0.0; // ∫ stranded_fraction dt
+void
+ClusterSimulator::begin(const JobTrace &trace)
+{
+    NETPACK_REQUIRE(!state_.has_value(),
+                    "begin() called while a run is already active");
+    initState(trace);
+    RunState &s = *state_;
+    s.nextSample =
+        (observer_ && config_.samplePeriod > 0.0) ? 0.0 : kInf;
+    s.nextRebalance = config_.inaRebalancePeriod > 0.0
+                          ? config_.inaRebalancePeriod
+                          : kInf;
+}
 
-    // Fraction of free GPUs stranded on partially-occupied servers.
-    const auto fragmentation = [&] {
-        int free_total = 0, free_partial = 0;
-        for (int s = 0; s < topo_->numServers(); ++s) {
-            const int free = gpus.freeGpus(ServerId(s));
-            free_total += free;
-            if (free > 0 && free < topo_->gpusPerServer())
-                free_partial += free;
+bool
+ClusterSimulator::done() const
+{
+    if (!state_.has_value())
+        return true;
+    const RunState &s = *state_;
+    return s.nextArrival >= s.arrivals.size() && s.pending.empty() &&
+           s.active.empty();
+}
+
+Seconds
+ClusterSimulator::currentTime() const
+{
+    NETPACK_CHECK_MSG(state_.has_value(), "no active run");
+    return state_->now;
+}
+
+long long
+ClusterSimulator::placementRounds() const
+{
+    NETPACK_CHECK_MSG(state_.has_value(), "no active run");
+    return state_->metrics.placementRounds;
+}
+
+void
+ClusterSimulator::swapPlacer(std::unique_ptr<Placer> placer)
+{
+    NETPACK_REQUIRE(placer != nullptr, "placer is required");
+    placer_ = std::move(placer);
+}
+
+double
+ClusterSimulator::fragmentation() const
+{
+    const RunState &s = *state_;
+    int free_total = 0, free_partial = 0;
+    for (int srv = 0; srv < topo_->numServers(); ++srv) {
+        const int free = s.gpus.freeGpus(ServerId(srv));
+        free_total += free;
+        if (free > 0 && free < topo_->gpusPerServer())
+            free_partial += free;
+    }
+    return free_total > 0 ? static_cast<double>(free_partial) /
+                                static_cast<double>(free_total)
+                          : 0.0;
+}
+
+// PAT occupancy per ToR (and cluster-wide), read from the resource
+// engine's already-converged fixed point. Strictly read-only on the
+// context: forcing convergence here would make the journaled
+// PlacementContext::Stats depend on whether metrics were enabled at
+// record time, breaking replay verification. Called right after a
+// placement round, where the placer has just converged the state; on
+// the rare dirty boundary the sample is skipped.
+void
+ClusterSimulator::recordPatGauges()
+{
+    if (!obs::metricsEnabled())
+        return;
+    const SteadyState *cached = context_.cachedSteadyState();
+    if (cached == nullptr)
+        return;
+    const SteadyState &steady = *cached;
+    double worst = 0.0, total_used = 0.0, total_pat = 0.0;
+    for (int r = 0; r < topo_->numRacks(); ++r) {
+        const Gbps pat = topo_->torPat(RackId(r));
+        if (pat <= 0.0)
+            continue;
+        const double used =
+            pat - steady.patResidual[static_cast<std::size_t>(r)];
+        const double util = used / pat;
+        worst = std::max(worst, util);
+        total_used += used;
+        total_pat += pat;
+        // Per-ToR series stay bounded: skip them on huge clusters.
+        if (topo_->numRacks() <= 64) {
+            obs::recordGauge("sim.pat_utilization.rack" +
+                                 std::to_string(r),
+                             util);
         }
-        return free_total > 0 ? static_cast<double>(free_partial) /
-                                    static_cast<double>(free_total)
-                              : 0.0;
-    };
+    }
+    NETPACK_GAUGE("sim.pat_utilization.max", worst);
+    NETPACK_GAUGE("sim.pat_utilization.mean",
+                  total_pat > 0.0 ? total_used / total_pat : 0.0);
+}
 
-    // PAT occupancy per ToR (and cluster-wide), read from the resource
-    // engine's converged view. Only runs with metrics on: the query is
-    // the same incremental re-estimation the next placement round would
-    // pay anyway (results are cached), but it is still extra work at
-    // observation points.
-    const auto recordPatGauges = [&] {
-        if (!obs::metricsEnabled())
-            return;
-        const SteadyState &steady = context_.steadyState();
-        double worst = 0.0, total_used = 0.0, total_pat = 0.0;
-        for (int r = 0; r < topo_->numRacks(); ++r) {
-            const Gbps pat = topo_->torPat(RackId(r));
-            if (pat <= 0.0)
-                continue;
-            const double used = pat - steady.patResidual[static_cast<
-                std::size_t>(r)];
-            const double util = used / pat;
-            worst = std::max(worst, util);
-            total_used += used;
-            total_pat += pat;
-            // Per-ToR series stay bounded: skip them on huge clusters.
-            if (topo_->numRacks() <= 64) {
-                obs::recordGauge("sim.pat_utilization.rack" +
-                                     std::to_string(r),
-                                 util);
-            }
+void
+ClusterSimulator::retire(JobId id, Seconds finish_time)
+{
+    RunState &s = *state_;
+    const auto it = s.active.find(id);
+    NETPACK_CHECK_MSG(it != s.active.end(),
+                      "model completed unknown job " << id.value);
+    JobRecord record;
+    record.spec = it->second.spec;
+    record.placement = it->second.placement;
+    record.submitTime = it->second.spec.submitTime;
+    record.startTime = it->second.startTime;
+    record.finishTime = finish_time;
+    if (journal_ != nullptr)
+        journal_->onJobFinish(finish_time, record);
+    s.metrics.records.push_back(std::move(record));
+    model_->jobFinished(id, finish_time);
+    s.gpus.releaseJob(id);
+    context_.removeJob(id);
+    s.active.erase(it);
+    NETPACK_COUNT("sim.completions", 1);
+}
+
+bool
+ClusterSimulator::step()
+{
+    NETPACK_REQUIRE(state_.has_value(), "step() without begin()");
+    if (done())
+        return false;
+    RunState &s = *state_;
+
+    NETPACK_REQUIRE(s.now <= config_.maxSimTime,
+                    "simulation exceeded maxSimTime = "
+                        << config_.maxSimTime
+                        << "s; the workload appears stuck");
+
+    const Seconds arrival_time =
+        s.nextArrival < s.arrivals.size()
+            ? s.arrivals[s.nextArrival].submitTime
+            : kInf;
+    // Epochs only matter while jobs wait for placement.
+    const Seconds epoch_time = s.pending.empty() ? kInf : s.nextEpoch;
+    const Seconds rebalance_time =
+        s.active.empty() ? kInf : s.nextRebalance;
+    const Seconds failure_time = s.nextFailure < s.failures.size()
+                                     ? s.failures[s.nextFailure].time
+                                     : kInf;
+    Seconds recovery_time = kInf;
+    for (const auto &[when, server] : s.recoveries)
+        recovery_time = std::min(recovery_time, when);
+    Seconds next_event =
+        std::min({arrival_time, epoch_time, s.nextSample,
+                  rebalance_time, failure_time, recovery_time});
+    if (!std::isfinite(next_event)) {
+        // Only completions remain.
+        NETPACK_CHECK(!s.active.empty());
+        next_event = config_.maxSimTime;
+    }
+    next_event = std::max(next_event, s.now);
+
+    // Advance the network model, retiring completions as they come.
+    while (s.now < next_event) {
+        if (s.active.empty() &&
+            !std::isfinite(std::min({arrival_time, epoch_time,
+                                     s.nextSample, rebalance_time,
+                                     failure_time, recovery_time}))) {
+            // Nothing left that could generate an event.
+            break;
         }
-        NETPACK_GAUGE("sim.pat_utilization.max", worst);
-        NETPACK_GAUGE("sim.pat_utilization.mean",
-                      total_pat > 0.0 ? total_used / total_pat : 0.0);
-    };
+        std::vector<JobId> completed;
+        const int used = topo_->totalGpus() - s.gpus.totalFreeGpus();
+        const double frag = fragmentation();
+        const Seconds reached =
+            model_->advance(s.now, next_event, completed);
+        s.gpuBusyTime += static_cast<double>(used) * (reached - s.now);
+        s.fragmentationTime += frag * (reached - s.now);
+        s.now = reached;
+        if (completed.empty())
+            break;
+        for (JobId id : completed)
+            retire(id, s.now);
+    }
 
-    const auto retire = [&](JobId id, Seconds finish_time) {
-        const auto it = active.find(id);
-        NETPACK_CHECK_MSG(it != active.end(),
-                          "model completed unknown job " << id.value);
-        JobRecord record;
-        record.spec = it->second.spec;
-        record.placement = it->second.placement;
-        record.submitTime = it->second.spec.submitTime;
-        record.startTime = it->second.startTime;
-        record.finishTime = finish_time;
-        metrics.records.push_back(std::move(record));
-        model_->jobFinished(id, finish_time);
-        gpus.releaseJob(id);
-        context_.removeJob(id);
-        active.erase(it);
-        NETPACK_COUNT("sim.completions", 1);
-    };
+    // Ingest arrivals that are due.
+    while (s.nextArrival < s.arrivals.size() &&
+           s.arrivals[s.nextArrival].submitTime <= s.now) {
+        s.pending.push_back(s.arrivals[s.nextArrival]);
+        ++s.nextArrival;
+        if (journal_ != nullptr)
+            journal_->onArrival(s.now, s.pending.back());
+        NETPACK_COUNT("sim.arrivals", 1);
+    }
 
-    while (next_arrival < arrivals.size() || !pending.empty() ||
-           !active.empty()) {
-        NETPACK_REQUIRE(now <= config_.maxSimTime,
-                        "simulation exceeded maxSimTime = "
-                            << config_.maxSimTime
-                            << "s; the workload appears stuck");
-
-        const Seconds arrival_time = next_arrival < arrivals.size()
-                                         ? arrivals[next_arrival].submitTime
-                                         : kInf;
-        // Epochs only matter while jobs wait for placement.
-        const Seconds epoch_time = pending.empty() ? kInf : next_epoch;
-        const Seconds rebalance_time =
-            active.empty() ? kInf : next_rebalance;
-        const Seconds failure_time = next_failure < failures.size()
-                                         ? failures[next_failure].time
-                                         : kInf;
-        Seconds recovery_time = kInf;
-        for (const auto &[when, server] : recoveries)
-            recovery_time = std::min(recovery_time, when);
-        Seconds next_event =
-            std::min({arrival_time, epoch_time, next_sample,
-                      rebalance_time, failure_time, recovery_time});
-        if (!std::isfinite(next_event)) {
-            // Only completions remain.
-            NETPACK_CHECK(!active.empty());
-            next_event = config_.maxSimTime;
-        }
-        next_event = std::max(next_event, now);
-
-        // Advance the network model, retiring completions as they come.
-        while (now < next_event) {
-            if (active.empty() && !std::isfinite(
-                    std::min({arrival_time, epoch_time, next_sample,
-                              rebalance_time, failure_time,
-                              recovery_time}))) {
-                // Nothing left that could generate an event.
-                break;
-            }
-            std::vector<JobId> completed;
-            const int used = topo_->totalGpus() - gpus.totalFreeGpus();
-            const double frag = fragmentation();
-            const Seconds reached =
-                model_->advance(now, next_event, completed);
-            gpu_busy_time += static_cast<double>(used) * (reached - now);
-            fragmentation_time += frag * (reached - now);
-            now = reached;
-            if (completed.empty())
-                break;
-            for (JobId id : completed)
-                retire(id, now);
-        }
-
-        // Ingest arrivals that are due.
-        while (next_arrival < arrivals.size() &&
-               arrivals[next_arrival].submitTime <= now) {
-            pending.push_back(arrivals[next_arrival]);
-            ++next_arrival;
-            NETPACK_COUNT("sim.arrivals", 1);
-        }
-
-        // Recoveries: a repaired server's GPUs rejoin the pool.
-        for (std::size_t r = 0; r < recoveries.size();) {
-            if (recoveries[r].first <= now) {
-                gpus.releaseJob(
-                    JobId(kFailureSentinelBase + recoveries[r].second));
-                recoveries.erase(recoveries.begin() +
-                                 static_cast<std::ptrdiff_t>(r));
-            } else {
-                ++r;
-            }
-        }
-
-        // Failures: kill and resubmit affected jobs, take the server's
-        // GPUs offline until recovery.
-        while (next_failure < failures.size() &&
-               failures[next_failure].time <= now) {
-            const ServerFailure &failure = failures[next_failure++];
-            std::vector<JobId> victims;
-            for (const auto &[id, job] : active) {
-                if (job.placement.workers.count(failure.server) > 0 ||
-                    job.placement.psServer == failure.server)
-                    victims.push_back(id);
-            }
-            for (JobId id : victims) {
-                const auto it = active.find(id);
-                NETPACK_CHECK(it != active.end());
-                // The resubmitted job restarts from scratch, or — with
-                // checkpointing — from its last completed checkpoint;
-                // the lost work is paid in its eventual JCT either way.
-                JobSpec respawn = it->second.spec;
-                if (config_.checkpointIters > 0) {
-                    const double done =
-                        model_->progressFraction(id) *
-                        static_cast<double>(it->second.spec.iterations);
-                    const std::int64_t checkpointed =
-                        static_cast<std::int64_t>(done) /
-                        config_.checkpointIters *
-                        config_.checkpointIters;
-                    respawn.iterations = std::max<std::int64_t>(
-                        1, it->second.spec.iterations - checkpointed);
-                }
-                pending.push_back(respawn);
-                model_->jobFinished(id, now);
-                gpus.releaseJob(id);
-                context_.removeJob(id);
-                active.erase(it);
-                ++metrics.jobRestarts;
-            }
-            // Failures reshape aggregation trees: force a structural
-            // re-estimate and dirty the server's rack so survivors never
-            // read residuals computed against the pre-failure mix.
-            context_.invalidateServer(failure.server);
-            const int free = gpus.freeGpus(failure.server);
-            if (free > 0) {
-                gpus.allocate(failure.server,
-                              JobId(kFailureSentinelBase +
-                                    failure.server.value),
-                              free);
-            }
-            recoveries.emplace_back(now + failure.downtime,
-                                    failure.server.value);
-            NETPACK_COUNT("sim.failures", 1);
-            NETPACK_COUNT("sim.job_restarts",
-                          static_cast<std::int64_t>(victims.size()));
-            NETPACK_LOG(Info, "t=" << now << "s server "
-                                   << failure.server.value << " failed, "
-                                   << victims.size()
-                                   << " job(s) resubmitted");
-        }
-
-        // Runtime INA rebalancing: re-run the selective assignment over
-        // the running jobs; endpoints re-tag, nothing migrates.
-        if (config_.inaRebalancePeriod > 0.0 && now >= next_rebalance) {
-            if (context_.jobCount() > 0) {
-                const VolumeLookup volume_of = [&](JobId id) -> MBytes {
-                    const auto it = active.find(id);
-                    if (it == active.end())
-                        return 0.0;
-                    return ModelZoo::byName(it->second.spec.modelName)
-                        .commVolumePerIter();
-                };
-                NETPACK_COUNT("sim.rebalance_rounds", 1);
-                const RebalanceOutcome outcome =
-                    rebalancer_.rebalance(context_, volume_of);
-                for (const PlacedJob &job : outcome.changed) {
-                    auto it = active.find(job.id);
-                    NETPACK_CHECK(it != active.end());
-                    it->second.placement.inaRacks = job.placement.inaRacks;
-                    model_->updateInaRacks(job.id, job.placement.inaRacks);
-                }
-                if (outcome.assignment.jobsChanged > 0) {
-                    NETPACK_LOG(Debug,
-                                "t=" << now << "s INA rebalance changed "
-                                     << outcome.assignment.jobsChanged
-                                     << " job(s)");
-                }
-            }
-            while (next_rebalance <= now)
-                next_rebalance += config_.inaRebalancePeriod;
-        }
-
-        // Periodic observation (Figure 15 instrumentation).
-        if (observer_ && now >= next_sample) {
-            observer_(now, *model_, context_.running());
-            next_sample += config_.samplePeriod;
-        }
-
-        // Placement round. Epoch boundaries that passed while the queue
-        // was empty are skipped: a job arriving mid-idle waits for the
-        // next k*period boundary, exactly like the periodic batching of
-        // Figure 4.
-        if (!pending.empty()) {
-            while (next_epoch < now - 1e-12)
-                next_epoch += config_.placementPeriod;
-        }
-        if (!pending.empty() && now >= next_epoch - 1e-12) {
-            NETPACK_SPAN(epoch_span, "sim.epoch");
-            epoch_span.arg("pending", pending.size());
-            const auto t0 = std::chrono::steady_clock::now();
-            BatchResult result =
-                placer_->placeBatch(pending, *topo_, gpus, context_);
-            const auto t1 = std::chrono::steady_clock::now();
-            metrics.placementSeconds +=
-                std::chrono::duration<double>(t1 - t0).count();
-            ++metrics.placementRounds;
-            NETPACK_COUNT("sim.epochs", 1);
-            epoch_span.arg("placed", result.placed.size());
-
-            for (PlacedJob &placed : result.placed) {
-                const auto it = std::find_if(
-                    pending.begin(), pending.end(),
-                    [&](const JobSpec &s) { return s.id == placed.id; });
-                NETPACK_CHECK_MSG(it != pending.end(),
-                                  "placer returned unknown job "
-                                      << placed.id.value);
-                Active job;
-                job.spec = *it;
-                job.placement = placed.placement;
-                job.startTime = now;
-                model_->jobStarted(job.spec, job.placement, now);
-                active.emplace(placed.id, std::move(job));
-                pending.erase(it);
-            }
-            // Deferred jobs gain value so they cannot starve.
-            for (JobSpec &spec : pending)
-                spec.value += config_.starvationBoost;
-
-            NETPACK_LOG(Debug, "t=" << now << "s placed "
-                                    << result.placed.size() << ", deferred "
-                                    << pending.size());
-            NETPACK_GAUGE("sim.queue_depth",
-                          static_cast<double>(pending.size()));
-            NETPACK_GAUGE("sim.running_jobs",
-                          static_cast<double>(active.size()));
-            NETPACK_GAUGE("sim.gpu_occupancy",
-                          static_cast<double>(topo_->totalGpus() -
-                                              gpus.totalFreeGpus()) /
-                              static_cast<double>(topo_->totalGpus()));
-            recordPatGauges();
-            next_epoch += config_.placementPeriod;
+    // Recoveries: a repaired server's GPUs rejoin the pool.
+    for (std::size_t r = 0; r < s.recoveries.size();) {
+        if (s.recoveries[r].first <= s.now) {
+            const int server = s.recoveries[r].second;
+            s.gpus.releaseJob(JobId(kFailureSentinelBase + server));
+            s.recoveries.erase(s.recoveries.begin() +
+                               static_cast<std::ptrdiff_t>(r));
+            if (journal_ != nullptr)
+                journal_->onServerRecovery(s.now, ServerId(server));
+        } else {
+            ++r;
         }
     }
 
+    // Failures: kill and resubmit affected jobs, take the server's
+    // GPUs offline until recovery.
+    while (s.nextFailure < s.failures.size() &&
+           s.failures[s.nextFailure].time <= s.now) {
+        const ServerFailure &failure = s.failures[s.nextFailure++];
+        // active is id-ordered, so the victim (and resubmission) order
+        // is reproducible from a restored snapshot.
+        std::vector<JobId> victims;
+        for (const auto &[id, job] : s.active) {
+            if (job.placement.workers.count(failure.server) > 0 ||
+                job.placement.psServer == failure.server)
+                victims.push_back(id);
+        }
+        for (JobId id : victims) {
+            const auto it = s.active.find(id);
+            NETPACK_CHECK(it != s.active.end());
+            // The resubmitted job restarts from scratch, or — with
+            // checkpointing — from its last completed checkpoint; the
+            // lost work is paid in its eventual JCT either way.
+            JobSpec respawn = it->second.spec;
+            if (config_.checkpointIters > 0) {
+                const double done_iters =
+                    model_->progressFraction(id) *
+                    static_cast<double>(it->second.spec.iterations);
+                const std::int64_t checkpointed =
+                    static_cast<std::int64_t>(done_iters) /
+                    config_.checkpointIters * config_.checkpointIters;
+                respawn.iterations = std::max<std::int64_t>(
+                    1, it->second.spec.iterations - checkpointed);
+            }
+            s.pending.push_back(respawn);
+            model_->jobFinished(id, s.now);
+            s.gpus.releaseJob(id);
+            context_.removeJob(id);
+            s.active.erase(it);
+            ++s.metrics.jobRestarts;
+        }
+        // Failures reshape aggregation trees: force a structural
+        // re-estimate and dirty the server's rack so survivors never
+        // read residuals computed against the pre-failure mix.
+        context_.invalidateServer(failure.server);
+        const int free = s.gpus.freeGpus(failure.server);
+        if (free > 0) {
+            s.gpus.allocate(failure.server,
+                            JobId(kFailureSentinelBase +
+                                  failure.server.value),
+                            free);
+        }
+        s.recoveries.emplace_back(s.now + failure.downtime,
+                                  failure.server.value);
+        if (journal_ != nullptr) {
+            journal_->onServerFailure(s.now, failure.server,
+                                      failure.downtime, victims);
+        }
+        NETPACK_COUNT("sim.failures", 1);
+        NETPACK_COUNT("sim.job_restarts",
+                      static_cast<std::int64_t>(victims.size()));
+        NETPACK_LOG(Info, "t=" << s.now << "s server "
+                               << failure.server.value << " failed, "
+                               << victims.size()
+                               << " job(s) resubmitted");
+    }
+
+    // Runtime INA rebalancing: re-run the selective assignment over
+    // the running jobs; endpoints re-tag, nothing migrates.
+    if (config_.inaRebalancePeriod > 0.0 && s.now >= s.nextRebalance) {
+        if (context_.jobCount() > 0) {
+            const VolumeLookup volume_of = [&](JobId id) -> MBytes {
+                const auto it = s.active.find(id);
+                if (it == s.active.end())
+                    return 0.0;
+                return ModelZoo::byName(it->second.spec.modelName)
+                    .commVolumePerIter();
+            };
+            NETPACK_COUNT("sim.rebalance_rounds", 1);
+            const RebalanceOutcome outcome =
+                rebalancer_.rebalance(context_, volume_of);
+            for (const PlacedJob &job : outcome.changed) {
+                auto it = s.active.find(job.id);
+                NETPACK_CHECK(it != s.active.end());
+                it->second.placement.inaRacks = job.placement.inaRacks;
+                model_->updateInaRacks(job.id, job.placement.inaRacks);
+            }
+            if (journal_ != nullptr)
+                journal_->onRebalance(s.now, outcome);
+            if (outcome.assignment.jobsChanged > 0) {
+                NETPACK_LOG(Debug,
+                            "t=" << s.now << "s INA rebalance changed "
+                                 << outcome.assignment.jobsChanged
+                                 << " job(s)");
+            }
+        }
+        while (s.nextRebalance <= s.now)
+            s.nextRebalance += config_.inaRebalancePeriod;
+    }
+
+    // Periodic observation (Figure 15 instrumentation). The sampling
+    // schedule advances whether or not an observer is attached: sample
+    // boundaries break the model's advance() segments, so a resumed run
+    // without the original observer must still stop at the same times
+    // to accumulate the same float sums.
+    if (s.now >= s.nextSample) {
+        if (observer_)
+            observer_(s.now, *model_, context_.running());
+        s.nextSample += config_.samplePeriod;
+    }
+
+    // Placement round. Epoch boundaries that passed while the queue
+    // was empty are skipped: a job arriving mid-idle waits for the
+    // next k*period boundary, exactly like the periodic batching of
+    // Figure 4.
+    if (!s.pending.empty()) {
+        while (s.nextEpoch < s.now - 1e-12)
+            s.nextEpoch += config_.placementPeriod;
+    }
+    if (!s.pending.empty() && s.now >= s.nextEpoch - 1e-12) {
+        NETPACK_SPAN(epoch_span, "sim.epoch");
+        epoch_span.arg("pending", s.pending.size());
+        const auto t0 = std::chrono::steady_clock::now();
+        BatchResult result =
+            placer_->placeBatch(s.pending, *topo_, s.gpus, context_);
+        const auto t1 = std::chrono::steady_clock::now();
+        s.metrics.placementSeconds +=
+            std::chrono::duration<double>(t1 - t0).count();
+        ++s.metrics.placementRounds;
+        NETPACK_COUNT("sim.epochs", 1);
+        epoch_span.arg("placed", result.placed.size());
+
+        for (PlacedJob &placed : result.placed) {
+            const auto it = std::find_if(
+                s.pending.begin(), s.pending.end(),
+                [&](const JobSpec &spec) { return spec.id == placed.id; });
+            NETPACK_CHECK_MSG(it != s.pending.end(),
+                              "placer returned unknown job "
+                                  << placed.id.value);
+            ActiveJob job;
+            job.spec = *it;
+            job.placement = placed.placement;
+            job.startTime = s.now;
+            model_->jobStarted(job.spec, job.placement, s.now);
+            if (journal_ != nullptr)
+                journal_->onJobStart(s.now, job.spec, job.placement);
+            s.active.emplace(placed.id, std::move(job));
+            s.pending.erase(it);
+        }
+        // Deferred jobs gain value so they cannot starve.
+        for (JobSpec &spec : s.pending)
+            spec.value += config_.starvationBoost;
+
+        if (journal_ != nullptr) {
+            journal_->onPlacement(s.now, s.metrics.placementRounds,
+                                  result.placed, placer_->batchScores(),
+                                  s.pending);
+            journal_->onWaterfill(s.now, context_.stats());
+        }
+
+        NETPACK_LOG(Debug, "t=" << s.now << "s placed "
+                                << result.placed.size() << ", deferred "
+                                << s.pending.size());
+        NETPACK_GAUGE("sim.queue_depth",
+                      static_cast<double>(s.pending.size()));
+        NETPACK_GAUGE("sim.running_jobs",
+                      static_cast<double>(s.active.size()));
+        NETPACK_GAUGE("sim.gpu_occupancy",
+                      static_cast<double>(topo_->totalGpus() -
+                                          s.gpus.totalFreeGpus()) /
+                          static_cast<double>(topo_->totalGpus()));
+        recordPatGauges();
+        s.nextEpoch += config_.placementPeriod;
+    }
+    return true;
+}
+
+RunMetrics
+ClusterSimulator::finish()
+{
+    NETPACK_REQUIRE(state_.has_value(), "finish() without begin()");
+    NETPACK_REQUIRE(done(), "finish() called before the run completed");
+    RunState &s = *state_;
+
     // Makespan is the last completion, not wherever the loop stopped.
+    RunMetrics metrics = std::move(s.metrics);
     metrics.makespan = 0.0;
     for (const auto &record : metrics.records)
         metrics.makespan = std::max(metrics.makespan, record.finishTime);
     if (metrics.makespan > 0.0) {
         metrics.avgGpuUtilization =
-            gpu_busy_time /
+            s.gpuBusyTime /
             (static_cast<double>(topo_->totalGpus()) * metrics.makespan);
-        metrics.avgFragmentation = fragmentation_time / metrics.makespan;
+        metrics.avgFragmentation = s.fragmentationTime / metrics.makespan;
     }
     std::sort(metrics.records.begin(), metrics.records.end(),
               [](const JobRecord &a, const JobRecord &b) {
                   return a.spec.id < b.spec.id;
               });
+    state_.reset();
     return metrics;
+}
+
+RunMetrics
+ClusterSimulator::run(const JobTrace &trace)
+{
+    begin(trace);
+    while (step()) {
+    }
+    return finish();
+}
+
+SimSnapshot
+ClusterSimulator::captureSnapshot() const
+{
+    NETPACK_REQUIRE(state_.has_value(),
+                    "captureSnapshot() without an active run");
+    NETPACK_REQUIRE(model_->snapshotSupported(),
+                    "the active network model cannot be snapshotted");
+    const RunState &s = *state_;
+
+    SimSnapshot snap;
+    snap.now = s.now;
+    snap.nextEpoch = s.nextEpoch;
+    snap.nextSample = s.nextSample;
+    snap.nextRebalance = s.nextRebalance;
+    snap.nextArrival = s.nextArrival;
+    snap.nextFailure = s.nextFailure;
+    snap.pending = s.pending;
+    snap.active.reserve(s.active.size());
+    for (const auto &[id, job] : s.active) {
+        SimSnapshot::ActiveJob entry;
+        entry.spec = job.spec;
+        entry.placement = job.placement;
+        entry.startTime = job.startTime;
+        entry.remainingIters = model_->remainingIterations(id);
+        snap.active.push_back(std::move(entry));
+    }
+    snap.recoveries = s.recoveries;
+    snap.gpuHoldings = s.gpus.holdings();
+    snap.gpuBusyTime = s.gpuBusyTime;
+    snap.fragmentationTime = s.fragmentationTime;
+    snap.metrics = s.metrics;
+    snap.context = context_.exportState();
+    snap.hasPlacerRng = placer_->captureRngState(snap.placerRng);
+    return snap;
+}
+
+void
+ClusterSimulator::restoreSnapshot(const JobTrace &trace,
+                                  const SimSnapshot &snap)
+{
+    NETPACK_REQUIRE(!state_.has_value(),
+                    "restoreSnapshot() while a run is already active");
+    NETPACK_REQUIRE(model_->snapshotSupported(),
+                    "the configured network model cannot restore "
+                    "snapshots");
+    initState(trace);
+    RunState &s = *state_;
+    NETPACK_REQUIRE(snap.nextArrival <= s.arrivals.size(),
+                    "snapshot arrival cursor " << snap.nextArrival
+                        << " exceeds the trace (" << s.arrivals.size()
+                        << " jobs) — wrong trace for this snapshot?");
+    NETPACK_REQUIRE(snap.nextFailure <= s.failures.size(),
+                    "snapshot failure cursor exceeds the configured "
+                    "failure schedule — wrong config for this snapshot?");
+    NETPACK_REQUIRE(!std::isfinite(snap.nextSample) ||
+                        config_.samplePeriod > 0.0,
+                    "snapshot has an active sampling schedule but "
+                    "samplePeriod is 0");
+
+    s.now = snap.now;
+    s.nextEpoch = snap.nextEpoch;
+    s.nextSample = snap.nextSample;
+    s.nextRebalance = snap.nextRebalance;
+    s.nextArrival = static_cast<std::size_t>(snap.nextArrival);
+    s.nextFailure = static_cast<std::size_t>(snap.nextFailure);
+    s.pending = snap.pending;
+    s.recoveries = snap.recoveries;
+    s.gpuBusyTime = snap.gpuBusyTime;
+    s.fragmentationTime = snap.fragmentationTime;
+    s.metrics = snap.metrics;
+
+    for (const GpuLedger::Holding &holding : snap.gpuHoldings) {
+        for (const auto &[server, count] : holding.servers)
+            s.gpus.allocate(server, holding.job, count);
+    }
+    for (const SimSnapshot::ActiveJob &entry : snap.active) {
+        model_->jobStarted(entry.spec, entry.placement, s.now);
+        model_->setRemainingIterations(entry.spec.id,
+                                       entry.remainingIters);
+        ActiveJob job;
+        job.spec = entry.spec;
+        job.placement = entry.placement;
+        job.startTime = entry.startTime;
+        s.active.emplace(entry.spec.id, std::move(job));
+    }
+    context_.importState(snap.context);
+    if (snap.hasPlacerRng)
+        placer_->restoreRngState(snap.placerRng);
 }
 
 } // namespace netpack

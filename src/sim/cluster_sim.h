@@ -5,20 +5,30 @@
  * jobs against the chosen network model, ages deferred jobs' values to
  * prevent starvation, and records JCT/DE metrics. The same loop drives
  * both the flow-level simulator and the packet-level testbed stand-in.
+ *
+ * The loop is a resumable state machine: begin()/step()/finish() expose
+ * each event-loop iteration so the journal layer can snapshot between
+ * steps, restore mid-run, and swap the placer for what-if replays —
+ * run() is the one-shot composition. Every lifecycle event is mirrored
+ * to an optional SimJournalSink in deterministic order.
  */
 
 #ifndef NETPACK_SIM_CLUSTER_SIM_H
 #define NETPACK_SIM_CLUSTER_SIM_H
 
 #include <functional>
+#include <limits>
+#include <map>
 #include <memory>
-#include <unordered_map>
+#include <optional>
 
 #include "core/ina_rebalancer.h"
 #include "core/placement_context.h"
 #include "placement/placer.h"
+#include "sim/journal_sink.h"
 #include "sim/metrics.h"
 #include "sim/network_model.h"
+#include "sim/sim_snapshot.h"
 #include "topology/cluster.h"
 #include "topology/gpu_ledger.h"
 #include "workload/trace.h"
@@ -87,8 +97,60 @@ class ClusterSimulator
     /** Install a periodic observer (requires config.samplePeriod > 0). */
     void setObserver(SimObserver observer);
 
+    /**
+     * Mirror every lifecycle event to @p sink (not owned; nullptr
+     * disconnects). Install before begin()/run().
+     */
+    void setJournal(SimJournalSink *sink) { journal_ = sink; }
+
     /** Replay @p trace to completion and return the metrics. */
     RunMetrics run(const JobTrace &trace);
+
+    // --- stepwise API (journal snapshots, replay, what-if) -------------
+
+    /** Initialize a run over @p trace; pair with step()/finish(). */
+    void begin(const JobTrace &trace);
+
+    /** Whether the active run has processed every job. */
+    bool done() const;
+
+    /**
+     * Execute one event-loop iteration (advance to the next event,
+     * ingest arrivals/failures/recoveries, maybe rebalance and place).
+     * Returns false — doing nothing — once the run is done.
+     */
+    bool step();
+
+    /** Finalize the run (makespan etc.), clear state, return metrics. */
+    RunMetrics finish();
+
+    /** Whether a run is in flight (begin()ed, not finish()ed). */
+    bool active() const { return state_.has_value(); }
+
+    /** Current simulated time of the active run. */
+    Seconds currentTime() const;
+
+    /** Placement rounds completed so far in the active run. */
+    long long placementRounds() const;
+
+    /**
+     * Replace the placement policy mid-run (what-if replays: swap
+     * NetPack for a baseline at an epoch boundary). Call between
+     * step()s; the next placement round uses the new policy.
+     */
+    void swapPlacer(std::unique_ptr<Placer> placer);
+
+    /**
+     * Capture the complete run state between step()s. Requires a model
+     * with snapshot support (flow fidelity).
+     */
+    SimSnapshot captureSnapshot() const;
+
+    /**
+     * Start a run mid-trace from @p snap (replaces begin()). @p trace
+     * and the simulator's config must be those of the recorded run.
+     */
+    void restoreSnapshot(const JobTrace &trace, const SimSnapshot &snap);
 
     /** The network model (instrumentation access for benches). */
     const NetworkModel &model() const { return *model_; }
@@ -104,6 +166,54 @@ class ClusterSimulator
     const PlacementContext &context() const { return context_; }
 
   private:
+    /** One running job. */
+    struct ActiveJob
+    {
+        JobSpec spec;
+        Placement placement;
+        Seconds startTime = 0.0;
+    };
+
+    /**
+     * All per-run state, previously locals of run(). active is an
+     * ordered map so failure-victim collection — and with it the
+     * resubmission order feeding every later placement round — is a
+     * pure function of the job set, which snapshot restore rebuilds.
+     */
+    struct RunState
+    {
+        explicit RunState(const ClusterTopology &topo) : gpus(topo) {}
+
+        GpuLedger gpus;
+        RunMetrics metrics;
+        std::vector<JobSpec> arrivals;
+        std::vector<JobSpec> pending;
+        std::map<JobId, ActiveJob> active;
+        std::size_t nextArrival = 0;
+        Seconds now = 0.0;
+        Seconds nextEpoch = 0.0;
+        Seconds nextSample = std::numeric_limits<double>::infinity();
+        Seconds nextRebalance = std::numeric_limits<double>::infinity();
+        std::vector<ServerFailure> failures; // time-sorted
+        std::size_t nextFailure = 0;
+        /** (recovery time, server value) pairs, insertion order. */
+        std::vector<std::pair<Seconds, int>> recoveries;
+        double gpuBusyTime = 0.0;     // ∫ used_gpus dt
+        double fragmentationTime = 0.0; // ∫ stranded_fraction dt
+    };
+
+    /** Validate @p trace and seed RunState (shared by begin/restore). */
+    void initState(const JobTrace &trace);
+
+    /** Fraction of free GPUs stranded on partially-occupied servers. */
+    double fragmentation() const;
+
+    /** PAT occupancy gauges at observation points (metrics only). */
+    void recordPatGauges();
+
+    /** Retire a completed job into the metrics records. */
+    void retire(JobId id, Seconds finish_time);
+
     const ClusterTopology *topo_;
     std::unique_ptr<NetworkModel> model_;
     std::unique_ptr<Placer> placer_;
@@ -111,6 +221,8 @@ class ClusterSimulator
     SimObserver observer_;
     PlacementContext context_;
     InaRebalancer rebalancer_;
+    SimJournalSink *journal_ = nullptr;
+    std::optional<RunState> state_;
 };
 
 } // namespace netpack

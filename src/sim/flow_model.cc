@@ -138,6 +138,25 @@ FlowNetworkModel::progressFraction(JobId id) const
     return std::clamp(1.0 - it->second.remaining / total, 0.0, 1.0);
 }
 
+double
+FlowNetworkModel::remainingIterations(JobId id) const
+{
+    const auto it = jobs_.find(id);
+    NETPACK_CHECK_MSG(it != jobs_.end(),
+                      "snapshotting unknown job " << id.value);
+    return it->second.remaining;
+}
+
+void
+FlowNetworkModel::setRemainingIterations(JobId id, double remaining)
+{
+    const auto it = jobs_.find(id);
+    NETPACK_CHECK_MSG(it != jobs_.end(),
+                      "restoring unknown job " << id.value);
+    it->second.remaining = remaining;
+    dirty_ = true;
+}
+
 Gbps
 FlowNetworkModel::currentRate(JobId id) const
 {

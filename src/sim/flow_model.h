@@ -10,7 +10,7 @@
 #ifndef NETPACK_SIM_FLOW_MODEL_H
 #define NETPACK_SIM_FLOW_MODEL_H
 
-#include <unordered_map>
+#include <map>
 
 #include "sim/network_model.h"
 #include "topology/cluster.h"
@@ -34,6 +34,9 @@ class FlowNetworkModel : public NetworkModel
     std::size_t runningJobs() const override { return jobs_.size(); }
     Gbps currentRate(JobId id) const override;
     double progressFraction(JobId id) const override;
+    bool snapshotSupported() const override { return true; }
+    double remainingIterations(JobId id) const override;
+    void setRemainingIterations(JobId id, double remaining) override;
 
     /** Current steady-state estimate (refreshed on demand). */
     const SteadyState &steadyState() const;
@@ -59,7 +62,13 @@ class FlowNetworkModel : public NetworkModel
 
     const ClusterTopology *topo_;
     WaterFillingEstimator estimator_;
-    mutable std::unordered_map<JobId, Running> jobs_;
+    /**
+     * Ordered by JobId so every float-accumulating pass (estimator
+     * input, rate refresh) runs in an order derivable from the job set
+     * alone — a snapshot-restored model is bit-identical to one that
+     * never stopped regardless of insertion history.
+     */
+    mutable std::map<JobId, Running> jobs_;
     mutable SteadyState steady_;
     mutable bool dirty_ = false;
 };

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The recording interface between the cluster manager loop and the
+ * journal layer. ClusterSimulator calls one hook per lifecycle event —
+ * arrival, placement decision, start, finish, failure, recovery,
+ * rebalance, water-filling summary — in deterministic simulation order.
+ * The sim layer only defines the interface; netpack::journal (a layer
+ * above) implements it with a JSONL writer, and the replay verifier
+ * implements it with an event-by-event comparator. Keeping the
+ * interface down here avoids a sim → journal dependency cycle.
+ */
+
+#ifndef NETPACK_SIM_JOURNAL_SINK_H
+#define NETPACK_SIM_JOURNAL_SINK_H
+
+#include <vector>
+
+#include "core/ina_rebalancer.h"
+#include "core/placement_context.h"
+#include "sim/metrics.h"
+#include "workload/job.h"
+
+namespace netpack {
+
+/** Receives the simulator's lifecycle events as they happen. */
+class SimJournalSink
+{
+  public:
+    virtual ~SimJournalSink() = default;
+
+    /** A job entered the pending queue at @p now. */
+    virtual void onArrival(Seconds now, const JobSpec &spec) = 0;
+
+    /**
+     * One placement round completed. @p placed carries the decisions
+     * (workers, PS, INA racks); @p scores are the placer's per-job
+     * scores in placement order or nullptr for non-scoring policies;
+     * @p deferred are the still-pending jobs with their aged values.
+     */
+    virtual void onPlacement(Seconds now, long long round,
+                             const std::vector<PlacedJob> &placed,
+                             const std::vector<double> *scores,
+                             const std::vector<JobSpec> &deferred) = 0;
+
+    /** A placed job began executing. */
+    virtual void onJobStart(Seconds now, const JobSpec &spec,
+                            const Placement &placement) = 0;
+
+    /** A job completed and was retired (record is final). */
+    virtual void onJobFinish(Seconds now, const JobRecord &record) = 0;
+
+    /**
+     * A server failed at @p now; @p victims were killed and resubmitted
+     * (victim order is the deterministic active-set order).
+     */
+    virtual void onServerFailure(Seconds now, ServerId server,
+                                 Seconds downtime,
+                                 const std::vector<JobId> &victims) = 0;
+
+    /** A failed server's GPUs rejoined the pool. */
+    virtual void onServerRecovery(Seconds now, ServerId server) = 0;
+
+    /** A runtime INA rebalance pass ran (possibly changing nothing). */
+    virtual void onRebalance(Seconds now,
+                             const RebalanceOutcome &outcome) = 0;
+
+    /**
+     * Cumulative water-filling re-estimation counters after a placement
+     * round (full vs incremental estimates, cache hits, jobs
+     * re-converged). Replay verification compares them to catch
+     * resource-engine divergence even when decisions happen to agree.
+     */
+    virtual void onWaterfill(Seconds now,
+                             const PlacementContext::Stats &stats) = 0;
+};
+
+} // namespace netpack
+
+#endif // NETPACK_SIM_JOURNAL_SINK_H

@@ -19,6 +19,7 @@
 
 #include <vector>
 
+#include "common/check.h"
 #include "common/units.h"
 #include "topology/ids.h"
 #include "workload/job.h"
@@ -75,6 +76,37 @@ class NetworkModel
      * progress dashboards.
      */
     virtual double progressFraction(JobId id) const = 0;
+
+    /**
+     * Whether this model's per-job progress can be captured and
+     * restored exactly (journal snapshots). The flow model supports it;
+     * the packet model's slotted state is not snapshottable — journaled
+     * packet runs record events but cannot resume.
+     */
+    virtual bool snapshotSupported() const { return false; }
+
+    /**
+     * Remaining fractional iterations of running job @p id (snapshot
+     * capture). ConfigError for models without snapshot support.
+     */
+    virtual double remainingIterations(JobId id) const
+    {
+        (void)id;
+        throw ConfigError("this network model does not support "
+                          "snapshots (flow fidelity required)");
+    }
+
+    /**
+     * Overwrite the remaining iterations of running job @p id (snapshot
+     * restore). ConfigError for models without snapshot support.
+     */
+    virtual void setRemainingIterations(JobId id, double remaining)
+    {
+        (void)id;
+        (void)remaining;
+        throw ConfigError("this network model does not support "
+                          "snapshots (flow fidelity required)");
+    }
 };
 
 } // namespace netpack

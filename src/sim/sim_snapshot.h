@@ -1,0 +1,81 @@
+/**
+ * @file
+ * A complete, serializable capture of mid-run ClusterSimulator state:
+ * manager cursors, pending queue, active jobs with exact remaining
+ * iterations, GPU ledger holdings, accumulated metrics, the placement
+ * context's cached fixed point, and stochastic placer RNG streams.
+ * Restoring a snapshot and continuing is proven bit-identical to never
+ * having stopped (tests/journal_test.cc) — every float-accumulating
+ * pass in the simulator runs in an order derivable from this state.
+ * The sim layer defines the plain data; netpack::journal serializes it.
+ */
+
+#ifndef NETPACK_SIM_SIM_SNAPSHOT_H
+#define NETPACK_SIM_SIM_SNAPSHOT_H
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "core/placement_context.h"
+#include "sim/metrics.h"
+#include "topology/gpu_ledger.h"
+#include "workload/job.h"
+
+namespace netpack {
+
+/** Mid-run manager state (see file comment). */
+struct SimSnapshot
+{
+    /** One running job with its exact model progress. */
+    struct ActiveJob
+    {
+        JobSpec spec;
+        Placement placement;
+        Seconds startTime = 0.0;
+        /** Remaining fractional iterations in the network model. */
+        double remainingIters = 0.0;
+    };
+
+    // --- event cursors -------------------------------------------------
+    Seconds now = 0.0;
+    Seconds nextEpoch = 0.0;
+    /** +inf when sampling is disabled. */
+    Seconds nextSample = 0.0;
+    /** +inf when rebalancing is disabled. */
+    Seconds nextRebalance = 0.0;
+    std::uint64_t nextArrival = 0;
+    std::uint64_t nextFailure = 0;
+
+    // --- manager state -------------------------------------------------
+    /** Pending queue in order, values aged in place. */
+    std::vector<JobSpec> pending;
+    /** Active jobs, id-ascending. */
+    std::vector<ActiveJob> active;
+    /** Pending (recovery time, server value) pairs in insertion order. */
+    std::vector<std::pair<Seconds, int>> recoveries;
+    /** GPU holdings including failure sentinels. */
+    std::vector<GpuLedger::Holding> gpuHoldings;
+
+    // --- accumulators --------------------------------------------------
+    double gpuBusyTime = 0.0;
+    double fragmentationTime = 0.0;
+    /**
+     * Metrics so far (completed-job records included). placementSeconds
+     * is wall-clock and therefore continuous but not reproducible; it
+     * is excluded from bit-identical comparisons.
+     */
+    RunMetrics metrics;
+
+    // --- subsystem state -----------------------------------------------
+    PlacementContext::State context;
+    /** RNG stream of a stochastic placer (Random), when it has one. */
+    bool hasPlacerRng = false;
+    Rng::State placerRng;
+};
+
+} // namespace netpack
+
+#endif // NETPACK_SIM_SIM_SNAPSHOT_H

@@ -89,6 +89,27 @@ GpuLedger::release(ServerId server, JobId job, int count)
         jobHoldings_.erase(job_it);
 }
 
+std::vector<GpuLedger::Holding>
+GpuLedger::holdings() const
+{
+    std::vector<Holding> out;
+    out.reserve(jobHoldings_.size());
+    for (const auto &[job, servers] : jobHoldings_) {
+        Holding holding;
+        holding.job = job;
+        holding.servers.reserve(servers.size());
+        for (const auto &[server_value, count] : servers)
+            holding.servers.emplace_back(ServerId(server_value), count);
+        std::sort(holding.servers.begin(), holding.servers.end());
+        out.push_back(std::move(holding));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const Holding &a, const Holding &b) {
+                  return a.job < b.job;
+              });
+    return out;
+}
+
 std::vector<ServerId>
 GpuLedger::serversOf(JobId job) const
 {

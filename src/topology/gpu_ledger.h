@@ -58,6 +58,21 @@ class GpuLedger
     /** Number of distinct jobs holding GPUs. */
     std::size_t activeJobs() const { return jobHoldings_.size(); }
 
+    /** One job's complete allocation (snapshot capture). */
+    struct Holding
+    {
+        JobId job;
+        /** (server, held count), server-ascending. */
+        std::vector<std::pair<ServerId, int>> servers;
+    };
+
+    /**
+     * Every holding, job-ascending (failure sentinels included). A
+     * fresh ledger replaying these through allocate() reproduces this
+     * ledger exactly.
+     */
+    std::vector<Holding> holdings() const;
+
   private:
     const ClusterTopology *topo_;
     std::vector<int> freeGpus_;

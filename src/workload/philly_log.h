@@ -45,10 +45,16 @@ struct PhillyLogParse
 };
 
 /**
- * Parse a CSV export of the Philly log. Malformed *syntax* raises
- * ConfigError; semantically unusable rows (end <= start, zero GPUs,
- * empty timestamp cells as produced for killed jobs) are skipped and
- * counted instead, mirroring how trace studies sanitize the log.
+ * Parse a CSV export of the Philly log under the repo's tolerant-read
+ * contract (the same one journal::JournalReader applies to event
+ * lines): malformed *syntax* — wrong field counts, non-numeric cells —
+ * raises ConfigError naming the line, because broken framing means the
+ * file is not what it claims to be; semantically unusable rows
+ * (end <= start, start < submit, non-positive GPUs, empty timestamp
+ * cells as produced for killed jobs) are expected in real exports and
+ * are skipped and counted in PhillyLogParse::skipped instead,
+ * mirroring how trace studies sanitize the log. Blank lines and an
+ * optional header row are ignored without counting.
  */
 PhillyLogParse parsePhillyCsv(std::istream &is);
 

@@ -15,6 +15,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/check.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/run_manifest.h"
@@ -367,7 +368,9 @@ TEST_F(ObsTest, RunManifestIsValidJson)
 
     const std::string text = slurp(path);
     EXPECT_TRUE(JsonValidator(text).valid()) << text;
-    EXPECT_NE(text.find("netpack.run_manifest/2"), std::string::npos);
+    EXPECT_NE(text.find("netpack.run_manifest/3"), std::string::npos);
+    EXPECT_NE(text.find("\"journal\""), std::string::npos);
+    EXPECT_NE(text.find("\"replay_divergences\""), std::string::npos);
     EXPECT_NE(text.find("waterfill.incremental_hits"), std::string::npos);
     EXPECT_NE(text.find("\"seeds\""), std::string::npos);
     EXPECT_NE(text.find("unit|run"), std::string::npos);
@@ -406,6 +409,69 @@ TEST_F(ObsTest, JsonWriterEscapesAndNestsCorrectly)
     EXPECT_TRUE(JsonValidator(text).valid()) << text;
     EXPECT_NE(text.find("\\\"b\\\\c\\n\\t"), std::string::npos);
     EXPECT_NE(text.find("\"inf\""), std::string::npos);
+}
+
+TEST_F(ObsTest, StringEscapingRoundTrips)
+{
+    // Every escape class the journal and manifest writers can hit:
+    // quotes/backslashes, the named control escapes, arbitrary control
+    // characters, and non-ASCII UTF-8 (passed through byte-for-byte).
+    const std::vector<std::string> cases = {
+        "",
+        "plain ascii",
+        "quote\" backslash\\ slash/",
+        "\n\r\t\b\f",
+        std::string("\x01\x02\x1f", 3),      // bare control chars
+        std::string("nul\0inside", 10),      // embedded NUL
+        "caf\xc3\xa9 \xe6\xbc\xa2\xe5\xad\x97", // 2- and 3-byte UTF-8
+        "\xf0\x9f\x9a\x80 rocket",           // 4-byte UTF-8
+        "already \\n escaped-looking \\u0041 text",
+    };
+    for (const std::string &original : cases) {
+        SCOPED_TRACE(obs::jsonEscape(original));
+        // Direct escape/unescape inverse.
+        EXPECT_EQ(obs::jsonUnescape(obs::jsonEscape(original)), original);
+        // Through a full document: writer → parser.
+        std::ostringstream out;
+        {
+            obs::JsonWriter json(out, 0);
+            json.beginObject();
+            json.key(original);
+            json.value(original);
+            json.endObject();
+        }
+        const obs::JsonValue doc = obs::parseJson(out.str());
+        ASSERT_TRUE(doc.has(original)) << out.str();
+        EXPECT_EQ(doc.at(original).asString(), original);
+    }
+}
+
+TEST_F(ObsTest, UnicodeEscapeSequencesDecode)
+{
+    // \uXXXX decodes to UTF-8, including surrogate pairs.
+    EXPECT_EQ(obs::jsonUnescape("\\u0041"), "A");
+    EXPECT_EQ(obs::jsonUnescape("\\u00e9"), "\xc3\xa9");
+    EXPECT_EQ(obs::jsonUnescape("\\u6f22\\u5b57"),
+              "\xe6\xbc\xa2\xe5\xad\x97");
+    EXPECT_EQ(obs::jsonUnescape("\\ud83d\\ude80"), "\xf0\x9f\x9a\x80");
+    EXPECT_EQ(obs::jsonUnescape("\\u0000"), std::string(1, '\0'));
+
+    // Case-insensitive hex digits; mixed with literal text.
+    EXPECT_EQ(obs::jsonUnescape("x\\u004Ay"), "xJy");
+
+    // Malformed sequences are ConfigErrors, not silent corruption.
+    EXPECT_THROW(obs::jsonUnescape("\\u12"), ConfigError);
+    EXPECT_THROW(obs::jsonUnescape("\\u12zz"), ConfigError);
+    EXPECT_THROW(obs::jsonUnescape("\\ud83d"), ConfigError); // lone high
+    EXPECT_THROW(obs::jsonUnescape("\\ud83d\\u0041"), ConfigError);
+    EXPECT_THROW(obs::jsonUnescape("\\ude80"), ConfigError); // stray low
+    EXPECT_THROW(obs::jsonUnescape("\\q"), ConfigError);
+
+    // A parsed document accepts \u spellings of what the writer would
+    // have escaped natively.
+    const obs::JsonValue doc =
+        obs::parseJson("{\"k\": \"tab\\u0009 rocket\\uD83D\\uDE80\"}");
+    EXPECT_EQ(doc.at("k").asString(), "tab\t rocket\xf0\x9f\x9a\x80");
 }
 
 TEST_F(ObsTest, MetricScopeCapturesWithoutTouchingRegistry)

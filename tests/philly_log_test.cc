@@ -51,8 +51,71 @@ TEST(PhillyLog, MalformedSyntaxThrows)
     std::stringstream missing_field("a,1,2,3\n");
     EXPECT_THROW(parsePhillyCsv(missing_field), ConfigError);
 
+    std::stringstream extra_field("a,1,2,3,4,5\n");
+    EXPECT_THROW(parsePhillyCsv(extra_field), ConfigError);
+
     std::stringstream not_a_number("a,xyz,2,3,4\n");
     EXPECT_THROW(parsePhillyCsv(not_a_number), ConfigError);
+
+    std::stringstream bad_gpu_cell("a,1,2,3,many\n");
+    EXPECT_THROW(parsePhillyCsv(bad_gpu_cell), ConfigError);
+}
+
+TEST(PhillyLog, SyntaxErrorsNameTheLine)
+{
+    // Strict-read half of the tolerant-read contract (the same one
+    // journal::JournalReader applies): broken framing is a ConfigError
+    // pointing at the offending line, never a silent skip.
+    std::stringstream in("job_id,submit_time,start_time,end_time,gpus\n"
+                         "good,100,110,200,4\n"
+                         "broken,100,110,200\n");
+    try {
+        parsePhillyCsv(in);
+        FAIL() << "wrong field count should throw";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+            << e.what();
+    }
+
+    std::stringstream numeric("good,100,110,200,4\n"
+                              "alpha,one,110,200,4\n");
+    try {
+        parsePhillyCsv(numeric);
+        FAIL() << "non-numeric cell should throw";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(PhillyLog, MalformedRowAfterGoodRowsStillThrows)
+{
+    // Tolerance covers expected row *semantics*, not corrupt framing:
+    // earlier good rows do not downgrade a syntax error to a skip.
+    std::stringstream in("a,100,110,200,4\n"
+                         "b,105,115,205,2\n"
+                         "c,110\n");
+    EXPECT_THROW(parsePhillyCsv(in), ConfigError);
+}
+
+TEST(PhillyLog, SkipAndCountIsExhaustive)
+{
+    // Every semantic-skip class, counted once each; blank lines and
+    // the header are ignored without counting.
+    std::stringstream in("job_id,submit_time,start_time,end_time,gpus\n"
+                         "\n"
+                         "killed,100,,,8\n"       // empty timestamps
+                         "zero_len,100,110,110,2\n" // end == start
+                         "backwards,100,50,200,4\n" // start < submit
+                         "no_gpus,100,110,200,0\n"
+                         "neg_gpus,100,110,200,-3\n"
+                         "\n"
+                         "good,100,110,200.5,4\n");
+    const PhillyLogParse parse = parsePhillyCsv(in);
+    EXPECT_EQ(parse.skipped, 5u);
+    ASSERT_EQ(parse.records.size(), 1u);
+    EXPECT_EQ(parse.records[0].jobName, "good");
+    EXPECT_DOUBLE_EQ(parse.records[0].endTime, 200.5);
 }
 
 TEST(PhillyLog, EmptyInputIsEmptyParse)
