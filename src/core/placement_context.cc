@@ -130,6 +130,7 @@ PlacementContext::addJob(JobId id, const Placement &placement)
     indexEntry(id, entry);
     markDirty(entry);
     jobs_.emplace(id, std::move(entry));
+    txnLogAdd(id);
 }
 
 void
@@ -138,6 +139,9 @@ PlacementContext::removeJob(JobId id)
     const auto it = jobs_.find(id);
     NETPACK_CHECK_MSG(it != jobs_.end(),
                       "removing untracked job " << id.value);
+    if (inTxn())
+        txnLogRemove(id, it->second.runningIndex,
+                     running_[it->second.runningIndex].placement);
     markDirty(it->second);
     unindexEntry(id, it->second);
     cached_.jobRate.erase(id);
@@ -161,6 +165,7 @@ PlacementContext::updateInaRacks(JobId id, const std::set<RackId> &ina_racks)
     if (placed.placement.inaRacks == ina_racks)
         return;
 
+    txnLogInaRacks(id, placed.placement.inaRacks);
     // INA toggling reshapes the aggregation trees (switches flip between
     // aggregating and passing through); rebuild and invalidate wholesale.
     markDirty(it->second);
@@ -215,6 +220,8 @@ PlacementContext::syncTo(const std::vector<PlacedJob> &running)
 void
 PlacementContext::clear()
 {
+    NETPACK_CHECK_MSG(!inTxn(),
+                      "clear() inside an open transaction frame");
     jobs_.clear();
     running_.clear();
     for (auto &jobs : linkJobs_)
@@ -249,6 +256,8 @@ PlacementContext::exportState() const
 void
 PlacementContext::importState(const State &state)
 {
+    NETPACK_CHECK_MSG(!inTxn(),
+                      "importState() inside an open transaction frame");
     clear();
     // Re-adding in running_ order rebuilds jobs_, the reverse indexes,
     // and every shard hierarchy exactly as a never-stopped context holds
@@ -271,6 +280,249 @@ PlacementContext::importState(const State &state)
     structural_ = state.structural;
     stats_ = state.stats;
     viewValid_ = false;
+}
+
+// ---------------------------------------------------------------------------
+// Transactions. One LIFO undo log shared by all open frames: each frame
+// remembers where the log stood at begin plus a snapshot of the cheap
+// scalar state (flags, pending dirt, Stats). Rollback replays the log
+// tail backwards — every inverse operation runs against exactly the
+// state its forward operation produced, so the restore is bit-exact —
+// then reinstates the frame snapshot. Commit simply abandons the
+// frame's log boundary, folding its entries into the parent (duplicate
+// pre-value saves are harmless under LIFO replay: the oldest save lands
+// last).
+// ---------------------------------------------------------------------------
+
+void
+PlacementContext::beginTxn()
+{
+    TxnFrame frame;
+    frame.logStart = txnLog_.size();
+    frame.fullSaveStart = txnFullSaves_.size();
+    frame.valid = valid_;
+    frame.structural = structural_;
+    frame.viewValid = viewValid_;
+    frame.dirtyLinks = dirtyLinks_;
+    frame.dirtyRacks = dirtyRacks_;
+    frame.stats = stats_;
+    txnFrames_.push_back(std::move(frame));
+    ++txnStats_.begins;
+}
+
+void
+PlacementContext::commitTxn()
+{
+    NETPACK_CHECK_MSG(inTxn(), "commitTxn() without an open frame");
+    const bool view_touched = txnFrames_.back().viewTouched;
+    txnFrames_.pop_back();
+    if (txnFrames_.empty()) {
+        txnLog_.clear();
+        txnFullSaves_.clear();
+    } else if (view_touched) {
+        txnFrames_.back().viewTouched = true;
+    }
+    ++txnStats_.commits;
+}
+
+void
+PlacementContext::rollbackTxn()
+{
+    NETPACK_CHECK_MSG(inTxn(), "rollbackTxn() without an open frame");
+    TxnFrame &frame = txnFrames_.back();
+    while (txnLog_.size() > frame.logStart) {
+        replayUndo(txnLog_.back());
+        txnLog_.pop_back();
+        ++txnStats_.entriesUndone;
+    }
+    txnFullSaves_.resize(frame.fullSaveStart);
+
+    valid_ = frame.valid;
+    structural_ = frame.structural;
+    // A view rebuilt under this frame holds content the restore just
+    // discarded; force the next steadyStateView() to re-snapshot.
+    viewValid_ = frame.viewValid && !frame.viewTouched;
+    stats_ = frame.stats;
+
+    for (LinkId link : dirtyLinks_)
+        dirtyLinkMask_[link.index()] = 0;
+    for (RackId rack : dirtyRacks_)
+        dirtyRackMask_[rack.index()] = 0;
+    dirtyLinks_ = std::move(frame.dirtyLinks);
+    dirtyRacks_ = std::move(frame.dirtyRacks);
+    for (LinkId link : dirtyLinks_)
+        dirtyLinkMask_[link.index()] = 1;
+    for (RackId rack : dirtyRacks_)
+        dirtyRackMask_[rack.index()] = 1;
+
+    const bool view_touched = frame.viewTouched;
+    txnFrames_.pop_back();
+    if (!txnFrames_.empty() && view_touched)
+        txnFrames_.back().viewTouched = true;
+    ++txnStats_.rollbacks;
+    NETPACK_COUNT("placement.txn_rollbacks", 1);
+}
+
+void
+PlacementContext::txnLogAdd(JobId id)
+{
+    if (!inTxn())
+        return;
+    TxnUndo undo;
+    undo.kind = TxnUndo::Kind::AddJob;
+    undo.job = id;
+    txnLog_.push_back(std::move(undo));
+}
+
+void
+PlacementContext::txnLogRemove(JobId id, std::size_t running_index,
+                               const Placement &placement)
+{
+    TxnUndo undo;
+    undo.kind = TxnUndo::Kind::RemoveJob;
+    undo.job = id;
+    undo.index = running_index;
+    undo.placement = placement;
+    const auto it = cached_.jobRate.find(id);
+    undo.present = it != cached_.jobRate.end();
+    if (undo.present)
+        undo.value = it->second;
+    txnLog_.push_back(std::move(undo));
+}
+
+void
+PlacementContext::txnLogInaRacks(JobId id,
+                                 const std::set<RackId> &old_racks)
+{
+    if (!inTxn())
+        return;
+    TxnUndo undo;
+    undo.kind = TxnUndo::Kind::InaRacks;
+    undo.job = id;
+    undo.placement.inaRacks = old_racks;
+    txnLog_.push_back(std::move(undo));
+}
+
+void
+PlacementContext::txnSaveLinkState(std::size_t link_index)
+{
+    if (!inTxn())
+        return;
+    TxnUndo undo;
+    undo.kind = TxnUndo::Kind::LinkState;
+    undo.index = link_index;
+    undo.value = cached_.linkResidual[link_index];
+    undo.flows = cached_.linkFlows[link_index];
+    txnLog_.push_back(std::move(undo));
+}
+
+void
+PlacementContext::txnSaveRackPat(std::size_t rack_index)
+{
+    if (!inTxn())
+        return;
+    TxnUndo undo;
+    undo.kind = TxnUndo::Kind::RackPat;
+    undo.index = rack_index;
+    undo.value = cached_.patResidual[rack_index];
+    txnLog_.push_back(std::move(undo));
+}
+
+void
+PlacementContext::txnSaveRate(JobId id)
+{
+    if (!inTxn())
+        return;
+    TxnUndo undo;
+    undo.kind = TxnUndo::Kind::JobRate;
+    undo.job = id;
+    const auto it = cached_.jobRate.find(id);
+    undo.present = it != cached_.jobRate.end();
+    if (undo.present)
+        undo.value = it->second;
+    txnLog_.push_back(std::move(undo));
+}
+
+void
+PlacementContext::txnSaveFullCached()
+{
+    if (!inTxn())
+        return;
+    TxnUndo undo;
+    undo.kind = TxnUndo::Kind::FullCached;
+    undo.index = txnFullSaves_.size();
+    txnFullSaves_.push_back(cached_);
+    txnLog_.push_back(std::move(undo));
+}
+
+void
+PlacementContext::replayUndo(const TxnUndo &undo)
+{
+    switch (undo.kind) {
+    case TxnUndo::Kind::AddJob: {
+        const auto it = jobs_.find(undo.job);
+        NETPACK_CHECK_MSG(it != jobs_.end(),
+                          "undo of addJob: job " << undo.job.value
+                                                 << " is not tracked");
+        // LIFO replay: every later operation has been undone, so the
+        // job sits exactly where addJob left it — at the back.
+        NETPACK_CHECK(it->second.runningIndex + 1 == running_.size());
+        unindexEntry(undo.job, it->second);
+        running_.pop_back();
+        jobs_.erase(it);
+        break;
+    }
+    case TxnUndo::Kind::RemoveJob: {
+        // Invert the swap-removal: the job that removeJob moved into
+        // the vacated slot goes back to the end, then the removed job
+        // reclaims its original slot and (rebuilt) entry.
+        JobEntry entry = buildEntry(undo.job, undo.placement);
+        entry.runningIndex = undo.index;
+        if (undo.index != running_.size()) {
+            running_.push_back(std::move(running_[undo.index]));
+            jobs_.at(running_.back().id).runningIndex =
+                running_.size() - 1;
+            running_[undo.index] = {undo.job, undo.placement};
+        } else {
+            running_.push_back({undo.job, undo.placement});
+        }
+        indexEntry(undo.job, entry);
+        jobs_.emplace(undo.job, std::move(entry));
+        if (undo.present)
+            cached_.jobRate[undo.job] = undo.value;
+        break;
+    }
+    case TxnUndo::Kind::InaRacks: {
+        const auto it = jobs_.find(undo.job);
+        NETPACK_CHECK_MSG(it != jobs_.end(),
+                          "undo of updateInaRacks: job "
+                              << undo.job.value << " is not tracked");
+        PlacedJob &placed = running_[it->second.runningIndex];
+        unindexEntry(undo.job, it->second);
+        placed.placement.inaRacks = undo.placement.inaRacks;
+        const std::size_t index = it->second.runningIndex;
+        it->second = buildEntry(undo.job, placed.placement);
+        it->second.runningIndex = index;
+        indexEntry(undo.job, it->second);
+        break;
+    }
+    case TxnUndo::Kind::LinkState:
+        cached_.linkResidual[undo.index] = undo.value;
+        cached_.linkFlows[undo.index] = undo.flows;
+        break;
+    case TxnUndo::Kind::RackPat:
+        cached_.patResidual[undo.index] = undo.value;
+        break;
+    case TxnUndo::Kind::JobRate:
+        if (undo.present)
+            cached_.jobRate[undo.job] = undo.value;
+        else
+            cached_.jobRate.erase(undo.job);
+        break;
+    case TxnUndo::Kind::FullCached:
+        cached_ = std::move(txnFullSaves_[undo.index]);
+        break;
+    }
 }
 
 void
@@ -355,6 +607,8 @@ PlacementContext::steadyStateView()
     }
     view_.assignFrom(*topo_, cached_);
     viewValid_ = true;
+    if (inTxn())
+        txnFrames_.back().viewTouched = true;
     ++stats_.viewRebuilds;
     NETPACK_COUNT("placement.view_rebuilds", 1);
     return view_;
@@ -385,6 +639,7 @@ WaterFillingEstimator::reestimate(PlacementContext &ctx,
 {
     if (delta.structural) {
         ++ctx.stats_.fullEstimates;
+        ctx.txnSaveFullCached();
         NETPACK_COUNT("waterfill.full_fallbacks", 1);
         NETPACK_SPAN(span, "waterfill.full_estimate");
         span.arg("jobs", ctx.jobs_.size());
@@ -446,6 +701,7 @@ WaterFillingEstimator::reestimate(PlacementContext &ctx,
     if (affected.size() == ctx.jobs_.size()) {
         // The perturbation reaches every job; incremental buys nothing.
         ++ctx.stats_.fullEstimates;
+        ctx.txnSaveFullCached();
         NETPACK_COUNT("waterfill.full_fallbacks", 1);
         NETPACK_SPAN(span, "waterfill.full_estimate");
         span.arg("jobs", ctx.jobs_.size());
@@ -473,19 +729,25 @@ WaterFillingEstimator::reestimate(PlacementContext &ctx,
         }
         const SteadyState sub = estimate(shards);
 
-        // Splice the component into the retained fixed point.
+        // Splice the component into the retained fixed point. An open
+        // transaction records each touched value's pre-image first —
+        // exactly the affected component, so undo stays O(dirty).
         merged = ctx.cached_;
         for (std::size_t l = 0; l < link_affected.size(); ++l) {
             if (!link_affected[l])
                 continue;
+            ctx.txnSaveLinkState(l);
             merged.linkResidual[l] = sub.linkResidual[l];
             merged.linkFlows[l] = sub.linkFlows[l];
         }
         for (std::size_t r = 0; r < rack_affected.size(); ++r) {
-            if (rack_affected[r])
+            if (rack_affected[r]) {
+                ctx.txnSaveRackPat(r);
                 merged.patResidual[r] = sub.patResidual[r];
+            }
         }
         for (const JobId id : affected) {
+            ctx.txnSaveRate(id);
             const auto it = sub.jobRate.find(id);
             if (it != sub.jobRate.end())
                 merged.jobRate[id] = it->second;

@@ -193,6 +193,54 @@ class PlacementContext
     /** Restore a captured state; replaces all tracked jobs. */
     void importState(const State &state);
 
+    /**
+     * Open a transaction frame. Until the matching commitTxn or
+     * rollbackTxn, every mutation (addJob, removeJob, updateInaRacks,
+     * syncTo, invalidations) and every cached-state change a
+     * steadyState() query makes is recorded in an undo log; rollbackTxn
+     * replays the log backwards and restores the context field-identical
+     * to its state at beginTxn — bitwise, including the cached
+     * water-filling fixed point, pending dirt, flags, and Stats.
+     *
+     * The log records only what was touched: an incremental
+     * re-estimation saves the pre-values of its affected component
+     * (links, racks, job rates), so undo cost is proportional to the
+     * dirty set and never runs the estimator. Full-estimate paths
+     * (structural invalidations, cold contexts) snapshot the whole
+     * cached state — O(cluster), but those estimates already are.
+     *
+     * Frames nest: commitTxn folds a child's log into its parent so an
+     * outer rollback still undoes committed inner work; the outermost
+     * commit discards the log. clear() and importState() are not
+     * permitted while a transaction is open.
+     */
+    void beginTxn();
+
+    /** Keep the innermost frame's changes (folds into the parent). */
+    void commitTxn();
+
+    /** Undo the innermost frame exactly (see beginTxn). */
+    void rollbackTxn();
+
+    /** Open transaction frames (0 = no transaction active). */
+    int txnDepth() const { return static_cast<int>(txnFrames_.size()); }
+
+    /**
+     * Transaction diagnostics. Deliberately separate from Stats: these
+     * live outside the serialized/snapshot state (a rollback counter
+     * inside Stats would undo itself) and are never restored.
+     */
+    struct TxnStats
+    {
+        std::int64_t begins = 0;
+        std::int64_t commits = 0;
+        std::int64_t rollbacks = 0;
+        /** Undo-log entries replayed across all rollbacks. */
+        std::int64_t entriesUndone = 0;
+    };
+
+    const TxnStats &txnStats() const { return txnStats_; }
+
   private:
     friend class WaterFillingEstimator; // reestimate() is the query engine
 
@@ -224,6 +272,70 @@ class PlacementContext
     /** Move the pending dirt out, leaving the context clean. */
     ResourceDelta takeDelta();
 
+    /**
+     * One inverse operation in the transaction undo log. Entries are
+     * replayed strictly LIFO, so each inverse sees exactly the state
+     * its operation produced: undoing an AddJob pops the then-last
+     * running_ slot, undoing a RemoveJob re-runs the swap-removal
+     * backwards, and the cached-state kinds restore single affected
+     * values saved by the incremental estimator.
+     */
+    struct TxnUndo
+    {
+        enum class Kind : std::uint8_t
+        {
+            AddJob,     ///< inverse: deregister the (then-last) job
+            RemoveJob,  ///< inverse: reinsert at its old running_ slot
+            InaRacks,   ///< inverse: restore the previous INA rack set
+            LinkState,  ///< inverse: restore one link's residual+flows
+            RackPat,    ///< inverse: restore one rack's PAT residual
+            JobRate,    ///< inverse: restore one job's converged rate
+            FullCached, ///< inverse: restore a whole cached SteadyState
+        };
+        Kind kind{};
+        JobId job{};
+        /** RemoveJob: runningIndex; LinkState/RackPat: resource index;
+         * FullCached: slot in txnFullSaves_. */
+        std::size_t index = 0;
+        /** LinkState: residual; RackPat: PAT; JobRate/RemoveJob: rate. */
+        double value = 0.0;
+        /** LinkState: flow count. */
+        int flows = 0;
+        /** JobRate/RemoveJob: the rate existed in cached_.jobRate. */
+        bool present = false;
+        /** RemoveJob: the removed placement; InaRacks: only inaRacks. */
+        Placement placement;
+    };
+
+    /** Per-frame snapshot of the cheap scalar/dirt state. */
+    struct TxnFrame
+    {
+        std::size_t logStart = 0;
+        std::size_t fullSaveStart = 0;
+        bool valid = false;
+        bool structural = false;
+        bool viewValid = false;
+        /** view_ was rebuilt under this frame (or a descendant), so its
+         * content no longer matches the state a rollback restores. */
+        bool viewTouched = false;
+        std::vector<LinkId> dirtyLinks;
+        std::vector<RackId> dirtyRacks;
+        Stats stats;
+    };
+
+    bool inTxn() const { return !txnFrames_.empty(); }
+    void txnLogAdd(JobId id);
+    void txnLogRemove(JobId id, std::size_t running_index,
+                      const Placement &placement);
+    void txnLogInaRacks(JobId id, const std::set<RackId> &old_racks);
+    /** Pre-value saves the incremental estimator calls per affected
+     * resource; no-ops outside a transaction. */
+    void txnSaveLinkState(std::size_t link_index);
+    void txnSaveRackPat(std::size_t rack_index);
+    void txnSaveRate(JobId id);
+    void txnSaveFullCached();
+    void replayUndo(const TxnUndo &undo);
+
     const ClusterTopology *topo_;
     WaterFillingEstimator estimator_;
 
@@ -245,6 +357,13 @@ class PlacementContext
     std::vector<RackId> dirtyRacks_;
 
     Stats stats_;
+
+    /** Open frames (innermost last) over one shared LIFO undo log. */
+    std::vector<TxnFrame> txnFrames_;
+    std::vector<TxnUndo> txnLog_;
+    /** Whole-SteadyState saves referenced by FullCached log entries. */
+    std::vector<SteadyState> txnFullSaves_;
+    TxnStats txnStats_;
 };
 
 } // namespace netpack

@@ -4,7 +4,9 @@
 #include <numeric>
 
 #include "common/check.h"
+#include "placement/local_search.h"
 #include "placement/netpack_placer.h"
+#include "placement/portfolio.h"
 #include "placement/reference_placer.h"
 
 namespace netpack {
@@ -19,35 +21,37 @@ BaselinePlacer::fillAllServers(const ClusterTopology &topo,
         out.emplace_back(s);
 }
 
-BatchResult
-BaselinePlacer::placeBatch(const std::vector<JobSpec> &batch,
-                           const ClusterTopology &topo, GpuLedger &gpus,
-                           PlacementContext &ctx)
+void
+BaselinePlacer::runBatch(const std::vector<JobSpec> &batch)
 {
-    NETPACK_CHECK_MSG(&ctx.topology() == &topo,
-                      "placement context built for a different topology");
-    BatchResult result;
-
     // Baselines consume one steady-state snapshot per batch (the
     // pre-batch network state); an incremental context makes this a
     // cache hit when nothing changed since the last round.
-    const SteadyStateView *view =
-        needsSteadyState() ? &ctx.steadyStateView() : nullptr;
+    batchView_ = needsSteadyState() ? &ctx().steadyStateView() : nullptr;
 
     for (const JobSpec &spec : batch) {
-        if (gpus.totalFreeGpus() < spec.gpuDemand) {
-            result.deferred.push_back(spec.id);
-            continue;
-        }
-        Placement placement;
-        if (placeOne(spec, topo, gpus, view, placement)) {
-            result.placed.push_back({spec.id, placement});
-            ctx.addJob(spec.id, placement);
-        } else {
-            result.deferred.push_back(spec.id);
-        }
+        const PackResult attempt = tryPlace(spec);
+        if (attempt.placed)
+            accept(attempt);
+        else
+            defer(spec.id);
     }
-    return result;
+    batchView_ = nullptr;
+}
+
+bool
+BaselinePlacer::packOne(const JobSpec &spec, PackResult &out)
+{
+    // FIFO admission: reject on raw capacity before consulting the
+    // policy, so stochastic orders (Random) draw nothing for a job
+    // that cannot fit anywhere.
+    if (gpus().totalFreeGpus() < spec.gpuDemand)
+        return false;
+    Placement placement;
+    if (!placeOne(spec, topo(), gpus(), batchView_, placement))
+        return false;
+    out.job.placement = std::move(placement);
+    return true;
 }
 
 bool
@@ -271,6 +275,10 @@ makePlacerByName(const std::string &name, std::uint64_t seed)
         return std::make_unique<NetPackPlacer>();
     if (name == "NetPackRef")
         return std::make_unique<ReferenceNetPackPlacer>();
+    if (name == "NetPack+LS")
+        return std::make_unique<LocalSearchPlacer>();
+    if (name == "Portfolio")
+        return std::make_unique<PortfolioPlacer>();
     if (name == "GB")
         return std::make_unique<GpuBalancePlacer>();
     if (name == "FB")
@@ -286,7 +294,22 @@ makePlacerByName(const std::string &name, std::uint64_t seed)
     if (name == "Random")
         return seed != 0 ? std::make_unique<RandomPlacer>(seed)
                          : std::make_unique<RandomPlacer>();
-    throw ConfigError("unknown placer '" + name + "'");
+    std::string known;
+    for (const std::string &candidate : placerNames()) {
+        if (!known.empty())
+            known += ", ";
+        known += candidate;
+    }
+    throw ConfigError("unknown placer '" + name +
+                      "' (valid names: " + known + ")");
+}
+
+std::vector<std::string>
+placerNames()
+{
+    return {"NetPack", "NetPackRef", "NetPack+LS", "Portfolio", "GB",
+            "FB",      "LF",         "Optimus",    "Tetris",    "Comb",
+            "Random"};
 }
 
 std::vector<std::string>

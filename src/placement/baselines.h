@@ -21,7 +21,7 @@
 #include <memory>
 
 #include "common/rng.h"
-#include "placement/placer.h"
+#include "placement/pack_harness.h"
 
 namespace netpack {
 
@@ -31,14 +31,8 @@ namespace netpack {
  * network state, greedy worker packing along a policy-specific server
  * preference order, PS on the least-loaded chosen server, INA everywhere.
  */
-class BaselinePlacer : public Placer
+class BaselinePlacer : public PlacerHarness<BaselinePlacer>
 {
-  public:
-    using Placer::placeBatch;
-    BatchResult placeBatch(const std::vector<JobSpec> &batch,
-                           const ClusterTopology &topo, GpuLedger &gpus,
-                           PlacementContext &ctx) final;
-
   protected:
     /** Whether serverOrder consumes the steady-state snapshot. */
     virtual bool needsSteadyState() const { return false; }
@@ -69,6 +63,16 @@ class BaselinePlacer : public Placer
 
     /** Reusable preference-order buffer for placeOne/serverOrder. */
     std::vector<ServerId> orderScratch_;
+
+  private:
+    friend class PlacerHarness<BaselinePlacer>;
+
+    /** Harness hooks: FIFO admission over the batch, one job at a time. */
+    void runBatch(const std::vector<JobSpec> &batch);
+    bool packOne(const JobSpec &spec, PackResult &out);
+
+    /** Pre-batch steady-state snapshot (null for local policies). */
+    const SteadyStateView *batchView_ = nullptr;
 };
 
 /** GB: prefer servers with the most free GPUs. */
@@ -203,6 +207,9 @@ std::unique_ptr<Placer> makePlacerByName(const std::string &name,
 
 /** The placer lineup of Figures 7-9: GB, FB, LF, Optimus, Tetris. */
 std::vector<std::string> baselineNames();
+
+/** Every name makePlacerByName accepts (the factory's full lineup). */
+std::vector<std::string> placerNames();
 
 } // namespace netpack
 

@@ -126,9 +126,14 @@ completeJob(SearchState &state, std::size_t job_index,
         if (!placement.singleServer())
             placement.inaRacks = placement.allRacks(*state.topo);
         state.chosen.push_back({spec.id, placement});
+        // Transactional backtracking: the rollback restores the engine
+        // (cached water-filling state included) to exactly the parent
+        // node's fixed point, so each sibling re-converges only its own
+        // subtree's delta instead of unwinding the previous leaf's.
+        state.ctx->beginTxn();
         state.ctx->addJob(spec.id, placement);
         searchJob(state, job_index + 1);
-        state.ctx->removeJob(spec.id);
+        state.ctx->rollbackTxn();
         state.chosen.pop_back();
     };
 
@@ -175,6 +180,11 @@ ExhaustiveSolver::solve(const std::vector<JobSpec> &jobs,
     NETPACK_REQUIRE(!jobs.empty(), "no jobs to place");
 
     PlacementContext ctx(topo);
+    // Converge the empty cluster once, outside any transaction: every
+    // recursion node queries the steady state inside a txn that rolls
+    // back, so without a committed base fixed point each leaf would
+    // fall back to a full estimate instead of an incremental one.
+    ctx.steadyState();
     SearchState state;
     state.jobs = &jobs;
     state.topo = &topo;

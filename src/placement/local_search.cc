@@ -1,0 +1,86 @@
+#include "placement/local_search.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace netpack {
+
+LocalSearchPlacer::LocalSearchPlacer(LocalSearchConfig config)
+    : config_(config), inner_(config.netpack)
+{
+    NETPACK_REQUIRE(config.maxMoves >= 0, "maxMoves must be >= 0, got "
+                                              << config.maxMoves);
+    NETPACK_REQUIRE(config.maxPasses >= 0, "maxPasses must be >= 0, got "
+                                               << config.maxPasses);
+}
+
+void
+LocalSearchPlacer::runBatch(const std::vector<JobSpec> &batch)
+{
+    movesAccepted_ = 0;
+
+    // Phase 1: the plain NetPack batch placement, run as the inner
+    // placer's own harness session on the shared context/ledger.
+    result() = inner_.placeBatch(batch, topo(), gpus(), ctx());
+
+    // Phase 2: greedy improvement. Moving a job only matters when it
+    // shares the network with others, so sweep the multi-server jobs.
+    NETPACK_SPAN(span, "placement.local_search");
+    double current = placement_util::batchCommTime(batch, ctx());
+    int moves = 0;
+    bool improved = true;
+    for (int pass = 0;
+         pass < config_.maxPasses && improved && moves < config_.maxMoves;
+         ++pass) {
+        improved = false;
+        for (std::size_t i = 0;
+             i < result().placed.size() && moves < config_.maxMoves; ++i) {
+            const PlacedJob &placed = result().placed[i];
+            if (placed.placement.singleServer() ||
+                placed.placement.totalWorkers() <= 1)
+                continue; // traffic-free; a move cannot help the batch
+            const auto spec_it = std::find_if(
+                batch.begin(), batch.end(),
+                [&](const JobSpec &s) { return s.id == placed.id; });
+            NETPACK_CHECK_MSG(spec_it != batch.end(),
+                              "placed job " << placed.id.value
+                                            << " missing from batch");
+            ++moves;
+
+            // Speculate: lift the job out, re-plan it against the full
+            // batch, and compare the batch objective.
+            pushFrame();
+            unplace(placed.id);
+            const PackResult attempt = tryPlace(*spec_it);
+            if (!attempt.placed) {
+                // Re-planning can fail (e.g. fragmentation after the
+                // unplace); restore the original placement exactly.
+                rollbackFrame();
+                continue;
+            }
+            const double candidate =
+                placement_util::batchCommTime(batch, ctx());
+            if (candidate < current - 1e-12) {
+                commitFrame(); // the attempt frame
+                commitFrame(); // the move frame
+                result().placed[i].placement = attempt.job.placement;
+                current = candidate;
+                improved = true;
+                ++movesAccepted_;
+                NETPACK_COUNT("placement.ls_moves_accepted", 1);
+            } else {
+                rollbackFrame(); // the attempt frame
+                rollbackFrame(); // the move frame
+            }
+        }
+    }
+    span.arg("moves", moves);
+    span.arg("accepted", movesAccepted_);
+    NETPACK_COUNT("placement.ls_moves_tried",
+                  static_cast<std::int64_t>(moves));
+}
+
+} // namespace netpack

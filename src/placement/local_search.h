@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Greedy local-search meta-placer ("NetPack+LS"): run the NetPack DP
+ * batch placement, then try to improve it with single-job reassignments
+ * — unpack one placed job, re-plan it against the cluster state *with
+ * the rest of the batch in place* (the DP placed it against a partial
+ * batch), and keep the move only when the batch's total communication
+ * time Σ d/v strictly improves. Every speculative move rides the
+ * try/accept/rollback harness: a rejected move rolls the placement
+ * context and the GPU ledger back to bit-identical pre-move state, so
+ * the search is free to probe without bookkeeping of its own.
+ */
+
+#ifndef NETPACK_PLACEMENT_LOCAL_SEARCH_H
+#define NETPACK_PLACEMENT_LOCAL_SEARCH_H
+
+#include "placement/netpack_placer.h"
+
+namespace netpack {
+
+/** Tunables of the local-search pass. */
+struct LocalSearchConfig
+{
+    /** Budget of speculative single-job reassignments per batch. */
+    int maxMoves = 32;
+    /** Improvement sweeps over the placed jobs (each sweep re-tries
+     * every placed network job once, while the move budget lasts). */
+    int maxPasses = 4;
+    /** Inner NetPack configuration. */
+    NetPackConfig netpack;
+};
+
+/** NetPack + greedy single-job reassignment local search. */
+class LocalSearchPlacer : public PlacerHarness<LocalSearchPlacer>
+{
+  public:
+    explicit LocalSearchPlacer(LocalSearchConfig config = {});
+
+    std::string name() const override { return "NetPack+LS"; }
+
+    /** Moves accepted by the last placeBatch (for tests/benches). */
+    int lastMovesAccepted() const { return movesAccepted_; }
+
+  private:
+    friend class PlacerHarness<LocalSearchPlacer>;
+
+    void runBatch(const std::vector<JobSpec> &batch);
+    bool packOne(const JobSpec &spec, PackResult &out)
+    {
+        return inner_.planOne(spec, topo(), gpus(), ctx(), out);
+    }
+
+    LocalSearchConfig config_;
+    NetPackPlacer inner_;
+    int movesAccepted_ = 0;
+};
+
+} // namespace netpack
+
+#endif // NETPACK_PLACEMENT_LOCAL_SEARCH_H

@@ -38,6 +38,7 @@ pruneSlack(Gbps c)
 NetPackPlacer::NetPackPlacer(NetPackConfig config)
     : config_(config)
 {
+    enableBatchScores();
     NETPACK_REQUIRE(config.maxFlowsTracked >= 1 &&
                         config.maxFlowsTracked <= 127,
                     "maxFlowsTracked must be in [1, 127], got "
@@ -89,37 +90,18 @@ NetPackPlacer::nextEpoch()
     }
 }
 
-BatchResult
-NetPackPlacer::placeBatch(const std::vector<JobSpec> &batch,
-                          const ClusterTopology &topo, GpuLedger &gpus,
-                          PlacementContext &ctx)
+void
+NetPackPlacer::runBatch(const std::vector<JobSpec> &batch)
 {
-    NETPACK_CHECK_MSG(&ctx.topology() == &topo,
-                      "placement context built for a different topology");
     NETPACK_SPAN(batch_span, "placement.batch");
     batch_span.arg("batch", batch.size());
-    BatchResult result;
-    lastScores_.clear();
-    ensureScratch(topo);
-    const std::int64_t view_rebuilds_before = ctx.stats().viewRebuilds;
-    const std::int64_t view_reuses_before = ctx.stats().viewReuses;
-
-    // Link capacities feeding the crossing penalty (topology-constant,
-    // refreshed per batch so the placer may serve several topologies).
-    rackCap_.resize(static_cast<std::size_t>(topo.numRacks()));
-    for (int r = 0; r < topo.numRacks(); ++r)
-        rackCap_[static_cast<std::size_t>(r)] =
-            topo.coreLinkCapacity(RackId(r));
-    if (topo.twoTier()) {
-        podCap_.resize(static_cast<std::size_t>(topo.numPods()));
-        for (int p = 0; p < topo.numPods(); ++p)
-            podCap_[static_cast<std::size_t>(p)] =
-                topo.link(topo.podUplink(p)).capacity;
-    }
+    ensureScratch(topo());
+    const std::int64_t view_rebuilds_before = ctx().stats().viewRebuilds;
+    const std::int64_t view_reuses_before = ctx().stats().viewReuses;
 
     // Step ④ treats the pre-batch jobs as fixed background; snapshot
     // them before this batch's placements enter the context.
-    const std::vector<PlacedJob> running = ctx.running();
+    const std::vector<PlacedJob> running = ctx().running();
 
     // Step ①: knapsack job-subset selection over the free GPUs.
     std::vector<KnapsackItem> items;
@@ -130,7 +112,7 @@ NetPackPlacer::placeBatch(const std::vector<JobSpec> &batch,
     {
         NETPACK_SPAN(span, "placement.knapsack");
         span.arg("items", items.size());
-        chosen = solveKnapsack(items, gpus.totalFreeGpus());
+        chosen = solveKnapsack(items, gpus().totalFreeGpus());
     }
 
     std::vector<bool> selected(batch.size(), false);
@@ -138,7 +120,7 @@ NetPackPlacer::placeBatch(const std::vector<JobSpec> &batch,
         selected[i] = true;
     for (std::size_t i = 0; i < batch.size(); ++i) {
         if (!selected[i])
-            result.deferred.push_back(batch[i].id);
+            defer(batch[i].id);
     }
 
     // Place admitted jobs in value-descending order (Alg. 2 line 3).
@@ -151,97 +133,116 @@ NetPackPlacer::placeBatch(const std::vector<JobSpec> &batch,
                          return a->value > b->value;
                      });
 
-    const int rpp = topo.config().racksPerPod;
     for (const JobSpec *spec : to_place) {
-        // Single-server fast path (lines 4-6): no cross-server traffic.
-        const ServerId single =
-            placement_util::bestFitSingleServer(topo, gpus, spec->gpuDemand);
-        if (single.valid()) {
-            Placement placement;
-            placement.workers[single] = spec->gpuDemand;
-            placement.psServer = single;
-            gpus.allocate(single, spec->id, spec->gpuDemand);
-            result.placed.push_back({spec->id, placement});
-            ctx.addJob(spec->id, placement);
-            NETPACK_COUNT("placement.single_server_fastpath", 1);
-            continue;
-        }
-
-        // Line 7: re-estimate the steady state with every job placed so
-        // far (resources are shared, not reserved, so each new job moves
-        // the fair share of everyone else). The context re-converges
-        // only the jobs coupled to the previous placement's resources
-        // and snapshots the result flat, once per revision.
-        const SteadyStateView &view = ctx.steadyStateView();
-
-        dpTablesUsed_ = 0;
-        workerPlacement(*spec, topo, gpus, view, acquireDp());
-        if (config_.oversubPenalty &&
-            topo.config().oversubscription > 1.0) {
-            // Rack-local alternatives: the global DP is rack-blind, so
-            // give the PS-placement scoring in-rack plans to prefer
-            // when the core is the bottleneck.
-            for (int r = 0; r < topo.numRacks(); ++r) {
-                const RackId rack(r);
-                if (gpus.freeGpusInRack(rack) < spec->gpuDemand)
-                    continue;
-                workerPlacement(*spec, topo, gpus, view, acquireDp(),
-                                rack);
-            }
-            // Pod-local alternatives in two-tier mode: crossing a rack
-            // is cheaper than crossing a pod.
-            if (topo.twoTier()) {
-                for (int p = 0; p < topo.numPods(); ++p) {
-                    int pod_free = 0;
-                    const int r_end = std::min(topo.numRacks(),
-                                               (p + 1) * rpp);
-                    for (int r = p * rpp; r < r_end; ++r)
-                        pod_free += gpus.freeGpusInRack(RackId(r));
-                    if (pod_free < spec->gpuDemand)
-                        continue;
-                    workerPlacement(*spec, topo, gpus, view, acquireDp(),
-                                    RackId(), p);
-                }
-            }
-        }
-        std::optional<FullPlan> best = psPlacement(*spec, topo, view);
-        if (!best) {
-            result.deferred.push_back(spec->id);
-            continue;
-        }
-        lastScores_.push_back(best->score);
-
-        Placement placement = std::move(best->placement);
-        // Default to INA-on everywhere; step ④ may disable some racks.
-        placement.inaRacks = placement.allRacks(topo);
-        placement_util::applyAllocation(gpus, spec->id, placement);
-        result.placed.push_back({spec->id, placement});
-        ctx.addJob(spec->id, placement);
+        const PackResult attempt = tryPlace(*spec);
+        if (attempt.placed)
+            accept(attempt);
+        else
+            defer(spec->id);
     }
 
     // Step ④: shift the INA budget toward jobs that benefit the most.
     if (config_.selectiveIna) {
         NETPACK_SPAN(span, "placement.selective_ina");
-        span.arg("placed", result.placed.size());
-        selectiveInaEnable(result.placed, topo, running, batch);
+        span.arg("placed", result().placed.size());
+        selectiveInaEnable(result().placed, topo(), running, batch);
         // Propagate the final INA assignment into the context (no-op for
         // jobs whose rack set step ④ kept unchanged).
-        for (const PlacedJob &job : result.placed)
-            ctx.updateInaRacks(job.id, job.placement.inaRacks);
+        for (const PlacedJob &job : result().placed)
+            ctx().updateInaRacks(job.id, job.placement.inaRacks);
     }
 
     NETPACK_COUNT("placement.batches", 1);
     NETPACK_COUNT("placement.jobs_placed",
-                  static_cast<std::int64_t>(result.placed.size()));
+                  static_cast<std::int64_t>(result().placed.size()));
     NETPACK_COUNT("placement.jobs_deferred",
-                  static_cast<std::int64_t>(result.deferred.size()));
-    batch_span.arg("placed", result.placed.size());
-    batch_span.arg("deferred", result.deferred.size());
+                  static_cast<std::int64_t>(result().deferred.size()));
+    batch_span.arg("placed", result().placed.size());
+    batch_span.arg("deferred", result().deferred.size());
     batch_span.arg("view_rebuilds",
-                   ctx.stats().viewRebuilds - view_rebuilds_before);
+                   ctx().stats().viewRebuilds - view_rebuilds_before);
     batch_span.arg("view_reuses",
-                   ctx.stats().viewReuses - view_reuses_before);
-    return result;
+                   ctx().stats().viewReuses - view_reuses_before);
+}
+
+bool
+NetPackPlacer::planOne(const JobSpec &spec, const ClusterTopology &topo,
+                       GpuLedger &gpus, PlacementContext &ctx,
+                       PackResult &out)
+{
+    ensureScratch(topo);
+    // Link capacities feeding the crossing penalty (topology-constant,
+    // refreshed per call so the placer may serve several topologies).
+    rackCap_.resize(static_cast<std::size_t>(topo.numRacks()));
+    for (int r = 0; r < topo.numRacks(); ++r)
+        rackCap_[static_cast<std::size_t>(r)] =
+            topo.coreLinkCapacity(RackId(r));
+    if (topo.twoTier()) {
+        podCap_.resize(static_cast<std::size_t>(topo.numPods()));
+        for (int p = 0; p < topo.numPods(); ++p)
+            podCap_[static_cast<std::size_t>(p)] =
+                topo.link(topo.podUplink(p)).capacity;
+    }
+
+    // Single-server fast path (lines 4-6): no cross-server traffic.
+    const ServerId single =
+        placement_util::bestFitSingleServer(topo, gpus, spec.gpuDemand);
+    if (single.valid()) {
+        out.job.placement.workers[single] = spec.gpuDemand;
+        out.job.placement.psServer = single;
+        gpus.allocate(single, spec.id, spec.gpuDemand);
+        NETPACK_COUNT("placement.single_server_fastpath", 1);
+        return true;
+    }
+
+    // Line 7: re-estimate the steady state with every job placed so
+    // far (resources are shared, not reserved, so each new job moves
+    // the fair share of everyone else). The context re-converges
+    // only the jobs coupled to the previous placement's resources
+    // and snapshots the result flat, once per revision.
+    const SteadyStateView &view = ctx.steadyStateView();
+
+    const int rpp = topo.config().racksPerPod;
+    dpTablesUsed_ = 0;
+    workerPlacement(spec, topo, gpus, view, acquireDp());
+    if (config_.oversubPenalty && topo.config().oversubscription > 1.0) {
+        // Rack-local alternatives: the global DP is rack-blind, so
+        // give the PS-placement scoring in-rack plans to prefer
+        // when the core is the bottleneck.
+        for (int r = 0; r < topo.numRacks(); ++r) {
+            const RackId rack(r);
+            if (gpus.freeGpusInRack(rack) < spec.gpuDemand)
+                continue;
+            workerPlacement(spec, topo, gpus, view, acquireDp(), rack);
+        }
+        // Pod-local alternatives in two-tier mode: crossing a rack
+        // is cheaper than crossing a pod.
+        if (topo.twoTier()) {
+            for (int p = 0; p < topo.numPods(); ++p) {
+                int pod_free = 0;
+                const int r_end =
+                    std::min(topo.numRacks(), (p + 1) * rpp);
+                for (int r = p * rpp; r < r_end; ++r)
+                    pod_free += gpus.freeGpusInRack(RackId(r));
+                if (pod_free < spec.gpuDemand)
+                    continue;
+                workerPlacement(spec, topo, gpus, view, acquireDp(),
+                                RackId(), p);
+            }
+        }
+    }
+    std::optional<FullPlan> best = psPlacement(spec, topo, view);
+    if (!best)
+        return false;
+    out.score = best->score;
+    out.scored = true;
+
+    Placement placement = std::move(best->placement);
+    // Default to INA-on everywhere; step ④ may disable some racks.
+    placement.inaRacks = placement.allRacks(topo);
+    placement_util::applyAllocation(gpus, spec.id, placement);
+    out.job.placement = std::move(placement);
+    return true;
 }
 
 void

@@ -33,7 +33,7 @@
 #include <cstdint>
 #include <optional>
 
-#include "placement/placer.h"
+#include "placement/pack_harness.h"
 
 namespace netpack {
 
@@ -70,17 +70,12 @@ struct NetPackConfig
 };
 
 /** The NetPack placement policy. */
-class NetPackPlacer : public Placer
+class NetPackPlacer : public PlacerHarness<NetPackPlacer>
 {
   public:
     explicit NetPackPlacer(NetPackConfig config = {});
 
     std::string name() const override { return "NetPack"; }
-
-    using Placer::placeBatch;
-    BatchResult placeBatch(const std::vector<JobSpec> &batch,
-                           const ClusterTopology &topo, GpuLedger &gpus,
-                           PlacementContext &ctx) override;
 
     /** Config in use (read-only; for tests). */
     const NetPackConfig &config() const { return config_; }
@@ -91,14 +86,33 @@ class NetPackPlacer : public Placer
      * The differential tests compare these bitwise against the naive
      * reference placer's.
      */
-    const std::vector<double> &lastScores() const { return lastScores_; }
-
-    const std::vector<double> *batchScores() const override
+    const std::vector<double> &lastScores() const
     {
-        return &lastScores_;
+        return PackHarnessBase::lastScores();
     }
 
+    /**
+     * Steps ②-③ for one job against explicit resources: single-server
+     * fast path, worker DP, PS scoring, allocation applied on success.
+     * Fills @p out (placement + Equation-1 score for DP plans). This is
+     * the building block meta-placers (local search, portfolio) call to
+     * re-place individual jobs; placeBatch adds admission and step ④ on
+     * top.
+     */
+    bool planOne(const JobSpec &spec, const ClusterTopology &topo,
+                 GpuLedger &gpus, PlacementContext &ctx, PackResult &out);
+
   private:
+    friend class PlacerHarness<NetPackPlacer>;
+
+    /** Harness hooks: knapsack admission + value-descending tryPlace
+     * loop + selective INA (step ④). */
+    void runBatch(const std::vector<JobSpec> &batch);
+    bool packOne(const JobSpec &spec, PackResult &out)
+    {
+        return planOne(spec, topo(), gpus(), ctx(), out);
+    }
+
     /** One DP candidate: a server with free GPUs. */
     struct Candidate
     {
@@ -240,8 +254,6 @@ class NetPackPlacer : public Placer
     /** Reachable DP f-rows (skip all-(-inf) rows in transitions). */
     std::vector<char> fReach_;
     std::uint32_t epoch_ = 0;
-
-    std::vector<double> lastScores_;
 };
 
 } // namespace netpack

@@ -1,0 +1,161 @@
+#include "placement/pack_harness.h"
+
+namespace netpack {
+
+void
+PackHarnessBase::beginSession(const ClusterTopology &topo, GpuLedger &gpus,
+                              PlacementContext &ctx)
+{
+    NETPACK_CHECK_MSG(frames_.empty(),
+                      "placement session started with open frames");
+    topo_ = &topo;
+    gpus_ = &gpus;
+    ctx_ = &ctx;
+    result_ = BatchResult{};
+    lastScores_.clear();
+}
+
+BatchResult
+PackHarnessBase::sealSession()
+{
+    while (!frames_.empty())
+        commitFrame();
+    topo_ = nullptr;
+    gpus_ = nullptr;
+    ctx_ = nullptr;
+    return std::move(result_);
+}
+
+void
+PackHarnessBase::beginAttempt()
+{
+    frames_.push_back(Frame{});
+    frames_.back().attempt = true;
+    ctx_->beginTxn();
+}
+
+void
+PackHarnessBase::failAttempt()
+{
+    NETPACK_CHECK(!frames_.empty() && frames_.back().attempt);
+    NETPACK_CHECK_MSG(frames_.back().undo.empty(),
+                      "failed packOne left GPU allocations behind");
+    // Keep (don't roll back) whatever steady-state convergence the
+    // probe triggered: it is a valid cache fill, and the pre-harness
+    // placers warmed the cache through failed attempts the same way.
+    commitFrame();
+}
+
+void
+PackHarnessBase::admitAttempt(const PackResult &attempt)
+{
+    NETPACK_CHECK(!frames_.empty() && frames_.back().attempt);
+    ctx_->addJob(attempt.job.id, attempt.job.placement);
+    LedgerUndo undo;
+    undo.job = attempt.job.id;
+    undo.reallocate = false;
+    frames_.back().undo.push_back(std::move(undo));
+    frames_.back().job = attempt.job.id;
+}
+
+void
+PackHarnessBase::accept(const PackResult &attempt)
+{
+    NETPACK_CHECK_MSG(attempt.placed, "accept() of a failed attempt");
+    NETPACK_CHECK(!frames_.empty());
+    Frame &frame = frames_.back();
+    NETPACK_CHECK_MSG(frame.attempt && !frame.accepted &&
+                          frame.job == attempt.job.id,
+                      "accept() must pair with the latest tryPlace");
+    frame.accepted = true;
+    frame.scored = attempt.scored;
+    result_.placed.push_back(attempt.job);
+    if (attempt.scored)
+        lastScores_.push_back(attempt.score);
+}
+
+void
+PackHarnessBase::unpackLast()
+{
+    NETPACK_CHECK_MSG(!frames_.empty() && frames_.back().attempt &&
+                          frames_.back().accepted,
+                      "unpackLast() without a matching accepted attempt");
+    Frame &frame = frames_.back();
+    NETPACK_CHECK(!result_.placed.empty() &&
+                  result_.placed.back().id == frame.job);
+    result_.placed.pop_back();
+    if (frame.scored)
+        lastScores_.pop_back();
+    frame.accepted = false; // bookkeeping undone; frame may roll back
+    rollbackFrame();
+}
+
+void
+PackHarnessBase::pushFrame()
+{
+    frames_.push_back(Frame{});
+    ctx_->beginTxn();
+}
+
+void
+PackHarnessBase::commitFrame()
+{
+    NETPACK_CHECK(!frames_.empty());
+    Frame frame = std::move(frames_.back());
+    frames_.pop_back();
+    ctx_->commitTxn();
+    if (!frames_.empty()) {
+        // Fold into the parent so a later parent rollback still undoes
+        // this frame's ledger effects (newest entries stay last; the
+        // rollback replay walks the vector backwards).
+        Frame &parent = frames_.back();
+        parent.undo.insert(parent.undo.end(),
+                           std::make_move_iterator(frame.undo.begin()),
+                           std::make_move_iterator(frame.undo.end()));
+    }
+}
+
+void
+PackHarnessBase::rollbackFrame()
+{
+    NETPACK_CHECK(!frames_.empty());
+    NETPACK_CHECK_MSG(!(frames_.back().attempt && frames_.back().accepted),
+                      "rollbackFrame() of an accepted attempt — use "
+                      "unpackLast()");
+    const Frame frame = std::move(frames_.back());
+    frames_.pop_back();
+    replayLedgerUndo(frame);
+    ctx_->rollbackTxn();
+}
+
+void
+PackHarnessBase::unplace(JobId id)
+{
+    NETPACK_CHECK_MSG(!frames_.empty(),
+                      "unplace() needs an open frame to record its undo");
+    const Placement *placement = ctx_->placementOf(id);
+    NETPACK_CHECK_MSG(placement != nullptr,
+                      "unplace() of untracked job " << id.value);
+    LedgerUndo undo;
+    undo.job = id;
+    undo.reallocate = true;
+    undo.workers = placement->workers;
+    ctx_->removeJob(id);
+    gpus_->releaseJob(id);
+    frames_.back().undo.push_back(std::move(undo));
+}
+
+void
+PackHarnessBase::replayLedgerUndo(const Frame &frame)
+{
+    for (auto it = frame.undo.rbegin(); it != frame.undo.rend(); ++it) {
+        if (it->reallocate) {
+            for (const auto &[server, count] : it->workers)
+                gpus_->allocate(server, it->job, count);
+        } else {
+            gpus_->releaseJob(it->job);
+        }
+    }
+}
+
+} // namespace netpack

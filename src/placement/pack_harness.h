@@ -1,0 +1,232 @@
+/**
+ * @file
+ * The transactional try/accept/rollback placement harness. A strategy
+ * implements two hooks — `runBatch` (batch orchestration: admission,
+ * ordering) and `packOne` (place a single job, applying its GPU
+ * allocation) — and the harness turns every attempt into a placement
+ * transaction:
+ *
+ *   tryPlace(spec)  opens a PlacementContext transaction frame, runs
+ *                   the strategy's packOne, and on success registers
+ *                   the job with the context. On failure the frame is
+ *                   *committed*, not rolled back: a failed probe leaves
+ *                   no placement state behind, and any steady-state
+ *                   convergence it triggered is kept as a legitimate
+ *                   cache fill — bit-identical to the pre-harness
+ *                   placers, whose failed attempts warmed the cache
+ *                   the same way.
+ *   accept(result)  records a successful attempt into the batch result
+ *                   (its frame stays open so it can still be undone).
+ *   unpackLast()    rolls back the most recent accepted-or-pending
+ *                   attempt: the context transaction is replayed
+ *                   backwards and the GPU allocation is released, at a
+ *                   cost proportional to what the attempt touched.
+ *
+ * Frames stack, so meta-placers (local search, portfolio) speculate
+ * whole sequences of placements and keep or discard them as a unit via
+ * pushFrame/commitFrame/rollbackFrame. All remaining open frames are
+ * committed when the batch ends.
+ */
+
+#ifndef NETPACK_PLACEMENT_PACK_HARNESS_H
+#define NETPACK_PLACEMENT_PACK_HARNESS_H
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "common/check.h"
+#include "placement/placer.h"
+
+namespace netpack {
+
+/** Outcome of one tryPlace attempt. */
+struct PackResult
+{
+    /** Whether the attempt produced a placement. */
+    bool placed = false;
+    /** The tentative placement (valid when placed). */
+    PlacedJob job;
+    /** Strategy score of the placement (valid when scored). */
+    double score = 0.0;
+    /** Whether @c score participates in batchScores(). */
+    bool scored = false;
+};
+
+/**
+ * Non-template core of PlacerHarness: the frame stack, the ledger undo
+ * log, and the batch-session bookkeeping. Strategy code interacts with
+ * it only through the protected API.
+ */
+class PackHarnessBase : public Placer
+{
+  public:
+    using Placer::placeBatch;
+
+    const std::vector<double> *batchScores() const override
+    {
+        return scoresLastBatch_ ? &lastScores_ : nullptr;
+    }
+
+  protected:
+    /** @name Session accessors (valid during runBatch/packOne) */
+    ///@{
+    const ClusterTopology &topo() const { return *topo_; }
+    GpuLedger &gpus() { return *gpus_; }
+    PlacementContext &ctx() { return *ctx_; }
+    BatchResult &result() { return result_; }
+    ///@}
+
+    /** Record a successful attempt into the batch result. Must pair
+     * with the most recent un-accepted tryPlace success. */
+    void accept(const PackResult &attempt);
+
+    /** Mark @p id deferred this round. */
+    void defer(JobId id) { result_.deferred.push_back(id); }
+
+    /**
+     * Undo the most recent accepted attempt: remove it from the batch
+     * result, roll its context transaction back, and release its GPUs.
+     */
+    void unpackLast();
+
+    /** Number of attempts currently accepted (and still undoable). */
+    std::size_t acceptedCount() const { return result_.placed.size(); }
+
+    /** @name Frame stack for meta-placers
+     * A frame groups everything placed (or unplaced) while it is open;
+     * rollbackFrame restores the context *and* the GPU ledger to the
+     * state at the matching pushFrame. Frames opened by tryPlace are
+     * managed by accept/unpackLast; these raw frames wrap sequences.
+     */
+    ///@{
+    void pushFrame();
+    void commitFrame();
+    void rollbackFrame();
+    std::size_t openFrames() const { return frames_.size(); }
+    ///@}
+
+    /**
+     * Remove a *previously committed* placement of the current session
+     * (e.g. a job placed earlier in this batch) so the slot can be
+     * re-tried. Undone if the innermost open frame rolls back. The
+     * caller owns the matching result_.placed bookkeeping.
+     */
+    void unplace(JobId id);
+
+    /** Scores of scored attempts, in acceptance order. */
+    std::vector<double> &lastScores() { return lastScores_; }
+    const std::vector<double> &lastScores() const { return lastScores_; }
+
+    /** Whether batchScores() exposes lastScores (set once per placer;
+     * policies that never score leave it false and report nullptr). */
+    void enableBatchScores() { scoresLastBatch_ = true; }
+
+    /** Bind the session state; called by PlacerHarness::placeBatch. */
+    void beginSession(const ClusterTopology &topo, GpuLedger &gpus,
+                      PlacementContext &ctx);
+
+    /** Commit every open frame and hand the batch result out. */
+    BatchResult sealSession();
+
+    /** Open the frame for one tryPlace attempt (internal). */
+    void beginAttempt();
+
+    /** Close a failed attempt's frame, keeping cache fills (internal). */
+    void failAttempt();
+
+    /** Register a successful attempt's placement (internal): the job
+     * enters the context and the frame records the ledger undo. */
+    void admitAttempt(const PackResult &attempt);
+
+  private:
+    /** One ledger-level undo action, replayed on frame rollback. */
+    struct LedgerUndo
+    {
+        JobId job;
+        /** false: release the job's GPUs (undo of a placement);
+         *  true: re-apply @c workers (undo of an unplace). */
+        bool reallocate = false;
+        std::map<ServerId, int> workers;
+    };
+
+    struct Frame
+    {
+        std::vector<LedgerUndo> undo;
+        /** Frame carries a tryPlace attempt (vs a raw meta frame). */
+        bool attempt = false;
+        /** The attempt was accepted into result_.placed. */
+        bool accepted = false;
+        /** The accepted attempt contributed to lastScores_. */
+        bool scored = false;
+        JobId job;
+    };
+
+    void replayLedgerUndo(const Frame &frame);
+
+    const ClusterTopology *topo_ = nullptr;
+    GpuLedger *gpus_ = nullptr;
+    PlacementContext *ctx_ = nullptr;
+    BatchResult result_;
+    std::vector<Frame> frames_;
+    std::vector<double> lastScores_;
+    bool scoresLastBatch_ = false;
+};
+
+/**
+ * CRTP entry point: binds Placer::placeBatch to the harness session and
+ * the Derived strategy's hooks.
+ *
+ * Derived must provide (privately, befriending PlacerHarness<Derived>):
+ *   void runBatch(const std::vector<JobSpec> &batch);
+ *   bool packOne(const JobSpec &spec, PackResult &out);
+ *
+ * runBatch decides admission and ordering and drives tryPlace/accept/
+ * defer; packOne places one job, filling out.job.placement (and
+ * optionally out.score/out.scored) and applying the GPU allocation to
+ * gpus(). packOne returning false must leave the ledger untouched.
+ */
+template <typename Derived> class PlacerHarness : public PackHarnessBase
+{
+  public:
+    using PackHarnessBase::placeBatch;
+
+    BatchResult placeBatch(const std::vector<JobSpec> &batch,
+                           const ClusterTopology &topo, GpuLedger &gpus,
+                           PlacementContext &ctx) override
+    {
+        NETPACK_CHECK_MSG(
+            &ctx.topology() == &topo,
+            "placement context built for a different topology");
+        beginSession(topo, gpus, ctx);
+        derived().runBatch(batch);
+        return sealSession();
+    }
+
+    /**
+     * Attempt to place @p spec inside a fresh transaction frame. On
+     * success the job is registered with the context and the frame
+     * stays open (undoable via unpackLast); on failure the frame is
+     * committed and an empty result returned.
+     */
+    PackResult tryPlace(const JobSpec &spec)
+    {
+        beginAttempt();
+        PackResult out;
+        out.job.id = spec.id;
+        if (!derived().packOne(spec, out)) {
+            failAttempt();
+            return PackResult{};
+        }
+        out.placed = true;
+        admitAttempt(out);
+        return out;
+    }
+
+  private:
+    Derived &derived() { return *static_cast<Derived *>(this); }
+};
+
+} // namespace netpack
+
+#endif // NETPACK_PLACEMENT_PACK_HARNESS_H

@@ -97,5 +97,23 @@ bestFitSingleServer(const ClusterTopology &topo, const GpuLedger &gpus,
     return best;
 }
 
+double
+batchCommTime(const std::vector<JobSpec> &batch, PlacementContext &ctx)
+{
+    double total = 0.0;
+    for (const JobSpec &spec : batch) {
+        const Placement *placement = ctx.placementOf(spec.id);
+        if (placement == nullptr || placement->singleServer() ||
+            placement->totalWorkers() <= 1)
+            continue; // deferred or traffic-free
+        const Gbps rate = ctx.steadyState().jobThroughput(spec.id);
+        if (rate <= 0.0)
+            return std::numeric_limits<double>::infinity();
+        const ModelProfile &model = ModelZoo::byName(spec.modelName);
+        total += units::transferTime(model.commVolumePerIter(), rate);
+    }
+    return total;
+}
+
 } // namespace placement_util
 } // namespace netpack

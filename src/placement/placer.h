@@ -127,6 +127,19 @@ void applyAllocation(GpuLedger &gpus, JobId job, const Placement &placement);
 ServerId bestFitSingleServer(const ClusterTopology &topo,
                              const GpuLedger &gpus, int demand);
 
+/**
+ * Total communication time Σ d/v (seconds) of the batch jobs the
+ * context currently tracks, under its converged steady state. Jobs of
+ * @p batch the context does not track (deferred) contribute zero; local
+ * jobs (single server or <= 1 worker) contribute zero; a starved
+ * network job (throughput <= 0) makes the total +infinity. This is the
+ * objective meta-placers (local search, portfolio) compare candidate
+ * batch outcomes with — unlike the exhaustive solver's
+ * placementObjective it does not require specs for pre-batch jobs.
+ */
+double batchCommTime(const std::vector<JobSpec> &batch,
+                     PlacementContext &ctx);
+
 } // namespace placement_util
 
 } // namespace netpack

@@ -1,0 +1,147 @@
+#include "placement/portfolio.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "placement/baselines.h"
+
+namespace netpack {
+
+namespace {
+
+/** One strategy's evaluated outcome on its private state clone. */
+struct Outcome
+{
+    BatchResult result;
+    /** Σ value over the placed jobs (admission quality). */
+    double placedValue = 0.0;
+    /** Σ d/v over the placed batch jobs (Equation-1 objective). */
+    double commTime = std::numeric_limits<double>::infinity();
+    std::vector<double> scores;
+    bool scored = false;
+};
+
+} // namespace
+
+PortfolioPlacer::PortfolioPlacer(PortfolioConfig config)
+    : config_(std::move(config))
+{
+    NETPACK_REQUIRE(!config_.strategies.empty(),
+                    "portfolio needs at least one strategy");
+    NETPACK_REQUIRE(config_.jobs >= 1,
+                    "portfolio jobs must be >= 1, got " << config_.jobs);
+    strategies_.reserve(config_.strategies.size());
+    for (const std::string &name : config_.strategies) {
+        NETPACK_REQUIRE(name != "Portfolio",
+                        "portfolio cannot contain itself");
+        strategies_.push_back(makePlacerByName(name));
+        Rng::State rng_state;
+        NETPACK_REQUIRE(
+            !strategies_.back()->captureRngState(rng_state),
+            "portfolio strategies must be deterministic; '"
+                << name << "' carries an RNG stream");
+    }
+}
+
+PortfolioPlacer::~PortfolioPlacer() = default;
+
+std::vector<std::string>
+PortfolioPlacer::strategyNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(strategies_.size());
+    for (const auto &strategy : strategies_)
+        names.push_back(strategy->name());
+    return names;
+}
+
+BatchResult
+PortfolioPlacer::placeBatch(const std::vector<JobSpec> &batch,
+                            const ClusterTopology &topo, GpuLedger &gpus,
+                            PlacementContext &ctx)
+{
+    NETPACK_CHECK_MSG(&ctx.topology() == &topo,
+                      "placement context built for a different topology");
+    NETPACK_SPAN(span, "placement.portfolio");
+    span.arg("batch", batch.size());
+    span.arg("strategies", strategies_.size());
+
+    std::unordered_map<JobId, double> value_of;
+    value_of.reserve(batch.size());
+    for (const JobSpec &spec : batch)
+        value_of.emplace(spec.id, spec.value);
+
+    // Every strategy evaluates against a private clone of the live
+    // state; the real context and ledger stay untouched until the
+    // winner is known.
+    const PlacementContext::State base = ctx.exportState();
+    const std::size_t n = strategies_.size();
+    std::vector<Outcome> outcomes(n);
+    const auto evaluate = [&](std::size_t i) {
+        PlacementContext clone(topo);
+        clone.importState(base);
+        GpuLedger ledger = gpus;
+        Outcome &out = outcomes[i];
+        out.result =
+            strategies_[i]->placeBatch(batch, topo, ledger, clone);
+        out.placedValue = 0.0;
+        for (const PlacedJob &job : out.result.placed) {
+            const auto it = value_of.find(job.id);
+            NETPACK_CHECK_MSG(it != value_of.end(),
+                              "strategy placed unknown job "
+                                  << job.id.value);
+            out.placedValue += it->second;
+        }
+        out.commTime = placement_util::batchCommTime(batch, clone);
+        if (const std::vector<double> *scores =
+                strategies_[i]->batchScores()) {
+            out.scores = *scores;
+            out.scored = true;
+        }
+    };
+
+    if (config_.jobs > 1 && n > 1) {
+        if (!pool_) {
+            const auto workers = std::min<std::size_t>(
+                static_cast<std::size_t>(config_.jobs), n);
+            pool_ = std::make_unique<exec::ThreadPool>(workers);
+        }
+        exec::parallelFor(*pool_, n, evaluate);
+    } else {
+        for (std::size_t i = 0; i < n; ++i)
+            evaluate(i);
+    }
+
+    // Serial reduction in lineup order: the winner is independent of
+    // how the evaluations were scheduled.
+    std::size_t winner = 0;
+    for (std::size_t i = 1; i < n; ++i) {
+        const Outcome &a = outcomes[i];
+        const Outcome &b = outcomes[winner];
+        if (a.placedValue > b.placedValue ||
+            (a.placedValue == b.placedValue && a.commTime < b.commTime))
+            winner = i;
+    }
+
+    // Apply the winning outcome to the real state — no re-run, the
+    // clone's decisions are carried over verbatim.
+    Outcome &won = outcomes[winner];
+    for (const PlacedJob &job : won.result.placed) {
+        placement_util::applyAllocation(gpus, job.id, job.placement);
+        ctx.addJob(job.id, job.placement);
+    }
+    lastWinner_ = strategies_[winner]->name();
+    lastScores_ = std::move(won.scores);
+    lastWinnerScored_ = won.scored;
+    obs::recordCount("placement.portfolio_wins." + lastWinner_, 1);
+    NETPACK_COUNT("placement.portfolio_epochs", 1);
+    span.arg("winner", static_cast<std::int64_t>(winner));
+    span.arg("placed", won.result.placed.size());
+    return std::move(won.result);
+}
+
+} // namespace netpack

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Portfolio placement: per scheduling epoch, run N placement strategies
+ * against private clones of the live cluster state (context + GPU
+ * ledger), score every outcome, apply only the winner to the real
+ * state, and discard the rest. The evaluations are embarrassingly
+ * parallel and fan out over a thread pool when jobs > 1; the reduction
+ * over outcomes is always serial in strategy order, so the decisions
+ * are bit-identical for any worker count.
+ *
+ * The winner is chosen lexicographically: highest total placed job
+ * value first (place more/higher-value work), then lowest total batch
+ * communication time Σ d/v (the Equation-1 objective the water-filling
+ * model evaluates), then lowest strategy index (deterministic
+ * tie-break).
+ */
+
+#ifndef NETPACK_PLACEMENT_PORTFOLIO_H
+#define NETPACK_PLACEMENT_PORTFOLIO_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/thread_pool.h"
+#include "placement/placer.h"
+
+namespace netpack {
+
+/** Tunables of the portfolio placer. */
+struct PortfolioConfig
+{
+    /**
+     * Strategy lineup, by factory name (makePlacerByName). Every member
+     * must be deterministic (no RNG stream to snapshot) so the
+     * portfolio's decisions are a pure function of the cluster state;
+     * "Portfolio" itself cannot be a member.
+     */
+    std::vector<std::string> strategies = {"NetPack", "NetPack+LS", "GB",
+                                           "FB",      "LF",         "Optimus",
+                                           "Tetris",  "Comb"};
+    /** Worker threads for the evaluation fan-out; 1 = run inline. The
+     * decisions are bit-identical for any value. */
+    int jobs = 1;
+};
+
+/** Evaluate-N-strategies, keep-the-winner placement policy. */
+class PortfolioPlacer : public Placer
+{
+  public:
+    explicit PortfolioPlacer(PortfolioConfig config = {});
+    ~PortfolioPlacer() override;
+
+    std::string name() const override { return "Portfolio"; }
+
+    using Placer::placeBatch;
+    BatchResult placeBatch(const std::vector<JobSpec> &batch,
+                           const ClusterTopology &topo, GpuLedger &gpus,
+                           PlacementContext &ctx) override;
+
+    /** The winning strategy's scores, when it reports any. */
+    const std::vector<double> *batchScores() const override
+    {
+        return lastWinnerScored_ ? &lastScores_ : nullptr;
+    }
+
+    /** Strategy names in lineup order (for tests/benches). */
+    std::vector<std::string> strategyNames() const;
+
+    /** Winning strategy of the last placeBatch ("" before any). */
+    const std::string &lastWinner() const { return lastWinner_; }
+
+  private:
+    PortfolioConfig config_;
+    std::vector<std::unique_ptr<Placer>> strategies_;
+    std::unique_ptr<exec::ThreadPool> pool_;
+    std::vector<double> lastScores_;
+    bool lastWinnerScored_ = false;
+    std::string lastWinner_;
+};
+
+} // namespace netpack
+
+#endif // NETPACK_PLACEMENT_PORTFOLIO_H

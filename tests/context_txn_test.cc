@@ -1,0 +1,436 @@
+/**
+ * @file
+ * PlacementContext transaction tests: randomized interleavings of
+ * begin/mutate/query/rollback/commit must leave the context
+ * field-identical — bitwise, cached water-filling fixed point included
+ * — to a context that only ever saw the surviving (committed)
+ * operations. Also pins the rollback cost contract: undoing a frame
+ * never runs the estimator (no full re-solve, no incremental pass), it
+ * only replays the undo log.
+ *
+ * Run with NETPACK_VERIFY_INCREMENTAL=1 to additionally cross-check
+ * every incremental re-estimation these interleavings trigger against a
+ * cold full estimate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <functional>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "core/placement_context.h"
+#include "obs/metrics.h"
+
+namespace netpack {
+namespace {
+
+bool
+sameBits(double a, double b)
+{
+    return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+void
+expectSameSteady(const SteadyState &a, const SteadyState &b,
+                 const std::string &what)
+{
+    ASSERT_EQ(a.jobRate.size(), b.jobRate.size()) << what;
+    for (const auto &[id, rate] : a.jobRate) {
+        const auto it = b.jobRate.find(id);
+        ASSERT_TRUE(it != b.jobRate.end())
+            << what << " job " << id.value;
+        EXPECT_TRUE(sameBits(rate, it->second))
+            << what << " job " << id.value << ": " << rate
+            << " != " << it->second;
+    }
+    ASSERT_EQ(a.linkResidual.size(), b.linkResidual.size()) << what;
+    for (std::size_t i = 0; i < a.linkResidual.size(); ++i)
+        EXPECT_TRUE(sameBits(a.linkResidual[i], b.linkResidual[i]))
+            << what << " link " << i;
+    ASSERT_EQ(a.patResidual.size(), b.patResidual.size()) << what;
+    for (std::size_t i = 0; i < a.patResidual.size(); ++i)
+        EXPECT_TRUE(sameBits(a.patResidual[i], b.patResidual[i]))
+            << what << " rack " << i;
+    EXPECT_EQ(a.linkFlows, b.linkFlows) << what;
+}
+
+void
+expectSameState(const PlacementContext::State &a,
+                const PlacementContext::State &b, const std::string &what)
+{
+    ASSERT_EQ(a.running.size(), b.running.size()) << what;
+    for (std::size_t i = 0; i < a.running.size(); ++i) {
+        EXPECT_EQ(a.running[i].id, b.running[i].id) << what;
+        EXPECT_EQ(a.running[i].placement.workers,
+                  b.running[i].placement.workers)
+            << what;
+        EXPECT_EQ(a.running[i].placement.psServer,
+                  b.running[i].placement.psServer)
+            << what;
+        EXPECT_EQ(a.running[i].placement.extraPsServers,
+                  b.running[i].placement.extraPsServers)
+            << what;
+        EXPECT_EQ(a.running[i].placement.inaRacks,
+                  b.running[i].placement.inaRacks)
+            << what;
+    }
+    expectSameSteady(a.cached, b.cached, what);
+    EXPECT_EQ(a.valid, b.valid) << what;
+    EXPECT_EQ(a.structural, b.structural) << what;
+    EXPECT_EQ(a.dirtyLinks, b.dirtyLinks) << what;
+    EXPECT_EQ(a.dirtyRacks, b.dirtyRacks) << what;
+    EXPECT_EQ(a.stats.fullEstimates, b.stats.fullEstimates) << what;
+    EXPECT_EQ(a.stats.incrementalEstimates, b.stats.incrementalEstimates)
+        << what;
+    EXPECT_EQ(a.stats.cacheHits, b.stats.cacheHits) << what;
+    EXPECT_EQ(a.stats.jobsReconverged, b.stats.jobsReconverged) << what;
+    EXPECT_EQ(a.stats.viewRebuilds, b.stats.viewRebuilds) << what;
+    EXPECT_EQ(a.stats.viewReuses, b.stats.viewReuses) << what;
+}
+
+ClusterTopology
+smallCluster(Rng &rng)
+{
+    ClusterConfig cluster;
+    cluster.numRacks = static_cast<int>(rng.uniformInt(2, 5));
+    cluster.serversPerRack = static_cast<int>(rng.uniformInt(2, 5));
+    cluster.gpusPerServer = static_cast<int>(rng.uniformInt(2, 4));
+    cluster.serverLinkGbps = 100.0;
+    cluster.torPatGbps = rng.uniformInt(0, 1) ? 400.0 : 1000.0;
+    cluster.oversubscription = rng.uniformInt(0, 2) == 0 ? 4.0 : 1.0;
+    return ClusterTopology(cluster);
+}
+
+Placement
+randomPlacement(Rng &rng, const ClusterTopology &topo)
+{
+    Placement placement;
+    const int n_servers = topo.numServers();
+    const int spread = static_cast<int>(
+        rng.uniformInt(1, std::min(4, n_servers)));
+    for (int k = 0; k < spread; ++k) {
+        const ServerId server(static_cast<int>(
+            rng.uniformInt(0, n_servers - 1)));
+        const int count =
+            static_cast<int>(rng.uniformInt(1, topo.gpusPerServer()));
+        placement.workers[server] = count;
+    }
+    placement.psServer = ServerId(
+        static_cast<int>(rng.uniformInt(0, n_servers - 1)));
+    if (!placement.singleServer())
+        placement.inaRacks = placement.allRacks(topo);
+    return placement;
+}
+
+/** An operation appliable to any context (for commit replay). */
+using Op = std::function<void(PlacementContext &)>;
+
+/**
+ * Random operation against @p live, also returned as a replayable
+ * closure. @p alive tracks the ids live currently holds.
+ */
+Op
+randomOp(Rng &rng, const ClusterTopology &topo, PlacementContext &live,
+         std::vector<JobId> &alive, int &next_id)
+{
+    const auto kind = rng.uniformInt(0, 9);
+    if (kind <= 3 || alive.empty()) { // add
+        JobId id(next_id++);
+        Placement placement = randomPlacement(rng, topo);
+        alive.push_back(id);
+        Op op = [id, placement](PlacementContext &ctx) {
+            ctx.addJob(id, placement);
+        };
+        op(live);
+        return op;
+    }
+    if (kind <= 5) { // remove
+        const auto victim = static_cast<std::size_t>(rng.uniformInt(
+            0, static_cast<std::int64_t>(alive.size()) - 1));
+        const JobId id = alive[victim];
+        alive.erase(alive.begin() + static_cast<std::ptrdiff_t>(victim));
+        Op op = [id](PlacementContext &ctx) { ctx.removeJob(id); };
+        op(live);
+        return op;
+    }
+    if (kind == 6) { // shrink the INA rack set of a multi-server job
+        const auto pick = static_cast<std::size_t>(rng.uniformInt(
+            0, static_cast<std::int64_t>(alive.size()) - 1));
+        const JobId id = alive[pick];
+        const Placement *placement = live.placementOf(id);
+        std::set<RackId> racks = placement->inaRacks;
+        if (!racks.empty())
+            racks.erase(racks.begin());
+        Op op = [id, racks](PlacementContext &ctx) {
+            ctx.updateInaRacks(id, racks);
+        };
+        op(live);
+        return op;
+    }
+    if (kind <= 8) { // steady-state query (re-converges, fills cache)
+        Op op = [](PlacementContext &ctx) { (void)ctx.steadyState(); };
+        op(live);
+        return op;
+    }
+    // flat snapshot query
+    Op op = [](PlacementContext &ctx) { (void)ctx.steadyStateView(); };
+    op(live);
+    return op;
+}
+
+/**
+ * Run one random frame at @p depth against @p live: a mix of ops,
+ * nested frames, and a final commit-or-rollback. Returns the surviving
+ * ops (empty when rolled back). On rollback the post-rollback export
+ * must equal the frame-entry export bitwise.
+ */
+std::vector<Op>
+runFrame(Rng &rng, const ClusterTopology &topo, PlacementContext &live,
+         std::vector<JobId> &alive, int &next_id, int depth,
+         const std::string &what)
+{
+    const PlacementContext::State entry = live.exportState();
+    const std::vector<JobId> alive_entry = alive;
+
+    live.beginTxn();
+    std::vector<Op> ops;
+    const int steps = static_cast<int>(rng.uniformInt(1, 6));
+    for (int step = 0; step < steps; ++step) {
+        if (depth < 2 && rng.uniformInt(0, 3) == 0) {
+            std::vector<Op> nested =
+                runFrame(rng, topo, live, alive, next_id, depth + 1,
+                         what + " nested");
+            ops.insert(ops.end(),
+                       std::make_move_iterator(nested.begin()),
+                       std::make_move_iterator(nested.end()));
+        } else {
+            ops.push_back(randomOp(rng, topo, live, alive, next_id));
+        }
+    }
+
+    if (rng.uniformInt(0, 1) == 0) {
+        live.commitTxn();
+        return ops;
+    }
+    live.rollbackTxn();
+    expectSameState(live.exportState(), entry, what + " rollback");
+    alive = alive_entry;
+    return {};
+}
+
+class TxnInterleavingTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(TxnInterleavingTest, RollbackRestoresBitIdenticalState)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 7);
+    const ClusterTopology topo = smallCluster(rng);
+
+    // `live` sees every operation, transactional or not; `control` only
+    // ever sees the survivors, replayed in order, and is the
+    // never-touched-by-rolled-back-work oracle.
+    PlacementContext live(topo), control(topo);
+    std::vector<JobId> alive;
+    int next_id = 1;
+
+    const int rounds = static_cast<int>(rng.uniformInt(4, 10));
+    for (int round = 0; round < rounds; ++round) {
+        const std::string what = "scenario " +
+                                 std::to_string(GetParam()) + " round " +
+                                 std::to_string(round);
+        std::vector<Op> survivors;
+        if (rng.uniformInt(0, 3) == 0) {
+            // Plain committed operation outside any frame.
+            survivors.push_back(
+                randomOp(rng, topo, live, alive, next_id));
+        } else {
+            survivors = runFrame(rng, topo, live, alive, next_id, 0,
+                                 what);
+        }
+        ASSERT_EQ(live.txnDepth(), 0) << what;
+        for (const Op &op : survivors)
+            op(control);
+        expectSameState(live.exportState(), control.exportState(), what);
+        if (::testing::Test::HasFailure())
+            return;
+    }
+    EXPECT_GE(live.txnStats().begins,
+              live.txnStats().commits + live.txnStats().rollbacks);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInterleavings, TxnInterleavingTest,
+                         ::testing::Range(0, 60));
+
+// ------------------------------------------------------ cost contract
+
+/** Registry deltas around a rollback: the undo replay must not touch
+ * the estimator at all — no full re-solve, no incremental pass. */
+TEST(TxnCost, RollbackNeverRunsTheEstimator)
+{
+    const bool metrics_were_on = obs::metricsEnabled();
+    obs::setMetricsEnabled(true);
+    ClusterConfig cluster;
+    cluster.numRacks = 8;
+    cluster.serversPerRack = 8;
+    cluster.gpusPerServer = 4;
+    cluster.serverLinkGbps = 100.0;
+    cluster.torPatGbps = 1000.0;
+    const ClusterTopology topo(cluster);
+    PlacementContext ctx(topo);
+
+    // A converged background of jobs in the first two racks.
+    Rng rng(41);
+    int next_id = 1;
+    for (int j = 0; j < 6; ++j) {
+        Placement placement;
+        const int base = (j % 2) * cluster.serversPerRack;
+        placement.workers[ServerId(base + j / 2)] = 2;
+        placement.workers[ServerId(base + j / 2 + 1)] = 2;
+        placement.psServer = ServerId(base + j / 2);
+        placement.inaRacks = placement.allRacks(topo);
+        ctx.addJob(JobId(next_id++), placement);
+    }
+    (void)ctx.steadyState();
+    const auto before_stats = ctx.stats();
+
+    // Transactional probe: one extra job far away, re-converged
+    // incrementally, then rolled back.
+    ctx.beginTxn();
+    Placement probe;
+    const int far = 6 * cluster.serversPerRack;
+    probe.workers[ServerId(far)] = 2;
+    probe.workers[ServerId(far + 1)] = 2;
+    probe.psServer = ServerId(far);
+    probe.inaRacks = probe.allRacks(topo);
+    ctx.addJob(JobId(next_id++), probe);
+    (void)ctx.steadyState();
+    EXPECT_EQ(ctx.stats().fullEstimates, before_stats.fullEstimates)
+        << "the probe must re-converge incrementally";
+    EXPECT_EQ(ctx.stats().incrementalEstimates,
+              before_stats.incrementalEstimates + 1);
+
+    const auto counters_before =
+        obs::Registry::instance().snapshot().counters;
+    const auto counter = [&](const char *name) {
+        const auto it = counters_before.find(name);
+        return it == counters_before.end() ? std::int64_t{0}
+                                           : it->second;
+    };
+    const std::int64_t incremental_before =
+        counter("waterfill.incremental_hits");
+    const std::int64_t full_before = counter("waterfill.full_fallbacks");
+    const std::int64_t rollbacks_before =
+        counter("placement.txn_rollbacks");
+
+    ctx.rollbackTxn();
+
+    const auto counters_after =
+        obs::Registry::instance().snapshot().counters;
+    const auto counter_after = [&](const char *name) {
+        const auto it = counters_after.find(name);
+        return it == counters_after.end() ? std::int64_t{0} : it->second;
+    };
+    EXPECT_EQ(counter_after("waterfill.incremental_hits"),
+              incremental_before)
+        << "rollback ran an incremental estimate";
+    EXPECT_EQ(counter_after("waterfill.full_fallbacks"), full_before)
+        << "rollback ran a full water-filling re-solve";
+    EXPECT_EQ(counter_after("placement.txn_rollbacks"),
+              rollbacks_before + 1);
+
+    // Stats restored to the pre-txn values; the next query is a pure
+    // cache hit because the committed fixed point is intact.
+    EXPECT_EQ(ctx.stats().fullEstimates, before_stats.fullEstimates);
+    EXPECT_EQ(ctx.stats().incrementalEstimates,
+              before_stats.incrementalEstimates);
+    (void)ctx.steadyState();
+    EXPECT_EQ(ctx.stats().cacheHits, before_stats.cacheHits + 1);
+
+    // The undo log was proportional to the touched component, not the
+    // cluster: far fewer entries than links in the topology.
+    EXPECT_GT(ctx.txnStats().entriesUndone, 0);
+    EXPECT_LT(ctx.txnStats().entriesUndone, topo.numLinks());
+    obs::setMetricsEnabled(metrics_were_on);
+}
+
+// --------------------------------------------------------- guardrails
+
+TEST(TxnGuards, ClearAndImportRefuseInsideOpenFrame)
+{
+    ClusterConfig cluster;
+    cluster.numRacks = 2;
+    cluster.serversPerRack = 2;
+    cluster.gpusPerServer = 2;
+    const ClusterTopology topo(cluster);
+    PlacementContext ctx(topo);
+    const PlacementContext::State snap = ctx.exportState();
+
+    ctx.beginTxn();
+    EXPECT_THROW(ctx.clear(), InternalError);
+    EXPECT_THROW(ctx.importState(snap), InternalError);
+    ctx.rollbackTxn();
+    EXPECT_NO_THROW(ctx.clear());
+    EXPECT_NO_THROW(ctx.importState(snap));
+}
+
+TEST(TxnGuards, CommitKeepsWorkAndCountsFrames)
+{
+    ClusterConfig cluster;
+    cluster.numRacks = 2;
+    cluster.serversPerRack = 2;
+    cluster.gpusPerServer = 2;
+    const ClusterTopology topo(cluster);
+    PlacementContext ctx(topo);
+
+    const auto stats0 = ctx.txnStats();
+    ctx.beginTxn();
+    Placement placement;
+    placement.workers[ServerId(0)] = 1;
+    placement.workers[ServerId(1)] = 1;
+    placement.psServer = ServerId(0);
+    placement.inaRacks = placement.allRacks(topo);
+    ctx.addJob(JobId(1), placement);
+    ctx.commitTxn();
+    EXPECT_NE(ctx.placementOf(JobId(1)), nullptr);
+    EXPECT_EQ(ctx.txnStats().begins, stats0.begins + 1);
+    EXPECT_EQ(ctx.txnStats().commits, stats0.commits + 1);
+    EXPECT_EQ(ctx.txnStats().rollbacks, stats0.rollbacks);
+    EXPECT_EQ(ctx.txnDepth(), 0);
+}
+
+/** Swap-removal restore: removing a non-tail running_ entry swaps the
+ * tail in; the rollback must reverse that exactly. */
+TEST(TxnGuards, RollbackRestoresSwapRemovedEntry)
+{
+    ClusterConfig cluster;
+    cluster.numRacks = 2;
+    cluster.serversPerRack = 4;
+    cluster.gpusPerServer = 4;
+    const ClusterTopology topo(cluster);
+    PlacementContext ctx(topo);
+
+    for (int j = 0; j < 4; ++j) {
+        Placement placement;
+        placement.workers[ServerId(2 * j)] = 1;
+        placement.workers[ServerId(2 * j + 1)] = 1;
+        placement.psServer = ServerId(2 * j);
+        placement.inaRacks = placement.allRacks(topo);
+        ctx.addJob(JobId(j + 1), placement);
+    }
+    (void)ctx.steadyState();
+    const PlacementContext::State before = ctx.exportState();
+
+    ctx.beginTxn();
+    ctx.removeJob(JobId(2)); // middle entry: tail swaps into its slot
+    ctx.removeJob(JobId(1));
+    (void)ctx.steadyState();
+    ctx.rollbackTxn();
+    expectSameState(ctx.exportState(), before, "swap-removal rollback");
+}
+
+} // namespace
+} // namespace netpack

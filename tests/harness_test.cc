@@ -1,0 +1,425 @@
+/**
+ * @file
+ * Tests for the try/accept/rollback placement harness and the
+ * meta-placers built on it: tryPlace/accept/unpackLast semantics
+ * (context and GPU ledger restored exactly), the frame stack,
+ * the NetPack+LS local search (never worse than plain NetPack,
+ * deterministic), portfolio placement (bit-identical for any worker
+ * count, winner applied verbatim), and the factory's structured
+ * unknown-name error.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/rng.h"
+#include "core/placement_context.h"
+#include "obs/metrics.h"
+#include "placement/baselines.h"
+#include "placement/local_search.h"
+#include "placement/netpack_placer.h"
+#include "placement/pack_harness.h"
+#include "placement/portfolio.h"
+
+namespace netpack {
+namespace {
+
+const char *const kModels[] = {"AlexNet", "VGG11", "VGG16", "ResNet50"};
+
+ClusterTopology
+testCluster(int racks = 4, int servers_per_rack = 4, int gpus = 4,
+            double oversub = 1.0)
+{
+    ClusterConfig cluster;
+    cluster.numRacks = racks;
+    cluster.serversPerRack = servers_per_rack;
+    cluster.gpusPerServer = gpus;
+    cluster.serverLinkGbps = 100.0;
+    cluster.torPatGbps = 1000.0;
+    cluster.oversubscription = oversub;
+    return ClusterTopology(cluster);
+}
+
+std::vector<JobSpec>
+randomBatch(Rng &rng, int jobs, int max_demand, int first_id = 1)
+{
+    std::vector<JobSpec> batch;
+    for (int j = 0; j < jobs; ++j) {
+        JobSpec spec;
+        spec.id = JobId(first_id + j);
+        spec.modelName = kModels[rng.uniformInt(0, 3)];
+        spec.gpuDemand =
+            static_cast<int>(rng.uniformInt(2, max_demand));
+        spec.iterations = 100;
+        spec.value = rng.uniform(0.5, 5.0);
+        batch.push_back(spec);
+    }
+    return batch;
+}
+
+void
+expectSameBatchResult(const BatchResult &a, const BatchResult &b,
+                      const std::string &what)
+{
+    ASSERT_EQ(a.placed.size(), b.placed.size()) << what;
+    for (std::size_t i = 0; i < a.placed.size(); ++i) {
+        EXPECT_EQ(a.placed[i].id, b.placed[i].id) << what;
+        EXPECT_EQ(a.placed[i].placement.workers,
+                  b.placed[i].placement.workers)
+            << what;
+        EXPECT_EQ(a.placed[i].placement.psServer,
+                  b.placed[i].placement.psServer)
+            << what;
+        EXPECT_EQ(a.placed[i].placement.inaRacks,
+                  b.placed[i].placement.inaRacks)
+            << what;
+    }
+    EXPECT_EQ(a.deferred, b.deferred) << what;
+}
+
+std::vector<int>
+freeGpuVector(const ClusterTopology &topo, const GpuLedger &gpus)
+{
+    std::vector<int> free;
+    free.reserve(static_cast<std::size_t>(topo.numServers()));
+    for (int s = 0; s < topo.numServers(); ++s)
+        free.push_back(gpus.freeGpus(ServerId(s)));
+    return free;
+}
+
+/**
+ * Minimal harness strategy: first-fit greedy packing, no scoring. Also
+ * re-exports the protected harness API so tests can drive frames
+ * directly.
+ */
+class FirstFitPlacer : public PlacerHarness<FirstFitPlacer>
+{
+  public:
+    std::string name() const override { return "FirstFit"; }
+
+    using PlacerHarness<FirstFitPlacer>::tryPlace;
+    using PackHarnessBase::accept;
+    using PackHarnessBase::commitFrame;
+    using PackHarnessBase::defer;
+    using PackHarnessBase::openFrames;
+    using PackHarnessBase::pushFrame;
+    using PackHarnessBase::result;
+    using PackHarnessBase::rollbackFrame;
+    using PackHarnessBase::unpackLast;
+    using PackHarnessBase::unplace;
+
+    /** Bind a session without running a batch (for direct driving). */
+    void begin(const ClusterTopology &topo, GpuLedger &gpus,
+               PlacementContext &ctx)
+    {
+        beginSession(topo, gpus, ctx);
+    }
+
+    BatchResult seal() { return sealSession(); }
+
+  private:
+    friend class PlacerHarness<FirstFitPlacer>;
+
+    void runBatch(const std::vector<JobSpec> &batch)
+    {
+        for (const JobSpec &spec : batch) {
+            const PackResult attempt = tryPlace(spec);
+            if (attempt.placed)
+                accept(attempt);
+            else
+                defer(spec.id);
+        }
+    }
+
+    bool packOne(const JobSpec &spec, PackResult &out)
+    {
+        int remaining = spec.gpuDemand;
+        for (int s = 0; s < topo().numServers() && remaining > 0; ++s) {
+            const ServerId server(s);
+            const int take =
+                std::min(remaining, gpus().freeGpus(server));
+            if (take > 0) {
+                out.job.placement.workers[server] = take;
+                remaining -= take;
+            }
+        }
+        if (remaining > 0)
+            return false;
+        out.job.placement.psServer =
+            out.job.placement.workers.begin()->first;
+        if (!out.job.placement.singleServer())
+            out.job.placement.inaRacks =
+                out.job.placement.allRacks(topo());
+        placement_util::applyAllocation(gpus(), spec.id,
+                                        out.job.placement);
+        return true;
+    }
+};
+
+// ------------------------------------------------------- harness core
+
+TEST(PackHarness, UnpackLastRestoresLedgerAndContextExactly)
+{
+    const ClusterTopology topo = testCluster();
+    GpuLedger gpus(topo);
+    PlacementContext ctx(topo);
+    FirstFitPlacer placer;
+    Rng rng(3);
+    const std::vector<JobSpec> batch = randomBatch(rng, 3, 8);
+
+    placer.begin(topo, gpus, ctx);
+    const PackResult first = placer.tryPlace(batch[0]);
+    ASSERT_TRUE(first.placed);
+    placer.accept(first);
+
+    const std::vector<int> free_before = freeGpuVector(topo, gpus);
+    const PlacementContext::State ctx_before = ctx.exportState();
+
+    const PackResult second = placer.tryPlace(batch[1]);
+    ASSERT_TRUE(second.placed);
+    placer.accept(second);
+    EXPECT_NE(ctx.placementOf(batch[1].id), nullptr);
+    EXPECT_NE(freeGpuVector(topo, gpus), free_before);
+
+    placer.unpackLast();
+    EXPECT_EQ(ctx.placementOf(batch[1].id), nullptr);
+    EXPECT_EQ(freeGpuVector(topo, gpus), free_before);
+    const PlacementContext::State ctx_after = ctx.exportState();
+    EXPECT_EQ(ctx_after.running.size(), ctx_before.running.size());
+    EXPECT_EQ(ctx_after.valid, ctx_before.valid);
+
+    const BatchResult result = placer.seal();
+    ASSERT_EQ(result.placed.size(), 1u);
+    EXPECT_EQ(result.placed[0].id, batch[0].id);
+}
+
+TEST(PackHarness, FailedAttemptLeavesNoTrace)
+{
+    const ClusterTopology topo = testCluster(2, 2, 2);
+    GpuLedger gpus(topo);
+    PlacementContext ctx(topo);
+    FirstFitPlacer placer;
+
+    JobSpec whale;
+    whale.id = JobId(1);
+    whale.modelName = "VGG16";
+    whale.gpuDemand = 1000; // cannot fit
+    whale.iterations = 100;
+    whale.value = 1.0;
+
+    const std::vector<int> free_before = freeGpuVector(topo, gpus);
+    placer.begin(topo, gpus, ctx);
+    const PackResult attempt = placer.tryPlace(whale);
+    EXPECT_FALSE(attempt.placed);
+    EXPECT_EQ(placer.openFrames(), 0u);
+    EXPECT_EQ(freeGpuVector(topo, gpus), free_before);
+    EXPECT_EQ(ctx.placementOf(whale.id), nullptr);
+    placer.defer(whale.id);
+    const BatchResult result = placer.seal();
+    EXPECT_TRUE(result.placed.empty());
+    ASSERT_EQ(result.deferred.size(), 1u);
+}
+
+TEST(PackHarness, FrameRollbackUndoesUnplaceAndReplace)
+{
+    const ClusterTopology topo = testCluster();
+    GpuLedger gpus(topo);
+    PlacementContext ctx(topo);
+    FirstFitPlacer placer;
+    Rng rng(17);
+    const std::vector<JobSpec> batch = randomBatch(rng, 2, 10);
+
+    BatchResult seeded =
+        placer.placeBatch(batch, topo, gpus, ctx);
+    ASSERT_EQ(seeded.placed.size(), 2u);
+    const std::vector<int> free_before = freeGpuVector(topo, gpus);
+    const Placement original = *ctx.placementOf(batch[0].id);
+
+    // Speculative move of job 0, then discard it.
+    placer.begin(topo, gpus, ctx);
+    placer.pushFrame();
+    placer.unplace(batch[0].id);
+    EXPECT_EQ(ctx.placementOf(batch[0].id), nullptr);
+    const PackResult retry = placer.tryPlace(batch[0]);
+    ASSERT_TRUE(retry.placed);
+    placer.rollbackFrame(); // the attempt
+    placer.rollbackFrame(); // the move frame
+    (void)placer.seal();
+
+    EXPECT_EQ(freeGpuVector(topo, gpus), free_before);
+    const Placement *restored = ctx.placementOf(batch[0].id);
+    ASSERT_NE(restored, nullptr);
+    EXPECT_EQ(restored->workers, original.workers);
+    EXPECT_EQ(restored->psServer, original.psServer);
+}
+
+// ------------------------------------------------------ local search
+
+TEST(LocalSearch, NeverWorseThanPlainNetPackAndDeterministic)
+{
+    const ClusterTopology topo = testCluster(4, 4, 4, 4.0);
+    Rng rng(11);
+    const std::vector<JobSpec> batch = randomBatch(rng, 8, 10);
+
+    GpuLedger np_gpus(topo), ls_gpus(topo), ls2_gpus(topo);
+    PlacementContext np_ctx(topo), ls_ctx(topo), ls2_ctx(topo);
+
+    NetPackPlacer netpack;
+    LocalSearchPlacer ls, ls2;
+    const BatchResult np_result =
+        netpack.placeBatch(batch, topo, np_gpus, np_ctx);
+    const BatchResult ls_result =
+        ls.placeBatch(batch, topo, ls_gpus, ls_ctx);
+    const BatchResult ls2_result =
+        ls2.placeBatch(batch, topo, ls2_gpus, ls2_ctx);
+
+    // Same admission (the inner NetPack decides it), possibly better
+    // placements: LS accepts only strict improvements, starting from
+    // the NetPack solution.
+    ASSERT_EQ(ls_result.placed.size(), np_result.placed.size());
+    EXPECT_EQ(ls_result.deferred, np_result.deferred);
+    const double np_time =
+        placement_util::batchCommTime(batch, np_ctx);
+    const double ls_time =
+        placement_util::batchCommTime(batch, ls_ctx);
+    EXPECT_LE(ls_time, np_time);
+
+    expectSameBatchResult(ls_result, ls2_result, "LS determinism");
+
+    // The ledger mirrors the final placements exactly.
+    for (const PlacedJob &job : ls_result.placed) {
+        int total = 0;
+        for (const auto &[server, count] : job.placement.workers)
+            total += count;
+        const auto spec_it =
+            std::find_if(batch.begin(), batch.end(),
+                         [&](const JobSpec &s) { return s.id == job.id; });
+        ASSERT_NE(spec_it, batch.end());
+        EXPECT_EQ(total, spec_it->gpuDemand);
+    }
+}
+
+TEST(LocalSearch, FactoryBuildsIt)
+{
+    const auto placer = makePlacerByName("NetPack+LS");
+    EXPECT_EQ(placer->name(), "NetPack+LS");
+}
+
+// --------------------------------------------------------- portfolio
+
+TEST(Portfolio, ParallelEvaluationIsBitIdenticalToSerial)
+{
+    const ClusterTopology topo = testCluster(4, 4, 4, 4.0);
+    Rng rng(23);
+
+    PortfolioConfig serial_cfg;
+    serial_cfg.jobs = 1;
+    PortfolioConfig parallel_cfg;
+    parallel_cfg.jobs = 4;
+    PortfolioPlacer serial(serial_cfg), parallel(parallel_cfg);
+
+    GpuLedger s_gpus(topo), p_gpus(topo);
+    PlacementContext s_ctx(topo), p_ctx(topo);
+
+    for (int round = 0; round < 3; ++round) {
+        const std::vector<JobSpec> batch =
+            randomBatch(rng, 6, 10, 1 + round * 100);
+        const BatchResult s_result =
+            serial.placeBatch(batch, topo, s_gpus, s_ctx);
+        const BatchResult p_result =
+            parallel.placeBatch(batch, topo, p_gpus, p_ctx);
+        expectSameBatchResult(s_result, p_result,
+                              "round " + std::to_string(round));
+        EXPECT_EQ(serial.lastWinner(), parallel.lastWinner());
+        ASSERT_FALSE(serial.lastWinner().empty());
+    }
+}
+
+TEST(Portfolio, WinnerIsAppliedVerbatimToTheRealState)
+{
+    const bool metrics_were_on = obs::metricsEnabled();
+    obs::setMetricsEnabled(true);
+    const ClusterTopology topo = testCluster();
+    Rng rng(5);
+    const std::vector<JobSpec> batch = randomBatch(rng, 5, 8);
+
+    PortfolioPlacer portfolio;
+    GpuLedger gpus(topo);
+    PlacementContext ctx(topo);
+    const BatchResult result =
+        portfolio.placeBatch(batch, topo, gpus, ctx);
+
+    // Every returned placement is tracked by the context and allocated
+    // in the ledger.
+    for (const PlacedJob &job : result.placed) {
+        const Placement *tracked = ctx.placementOf(job.id);
+        ASSERT_NE(tracked, nullptr);
+        EXPECT_EQ(tracked->workers, job.placement.workers);
+    }
+    EXPECT_EQ(ctx.running().size(), result.placed.size());
+
+    // The winner is a lineup member and its win was counted.
+    const auto names = portfolio.strategyNames();
+    EXPECT_NE(std::find(names.begin(), names.end(),
+                        portfolio.lastWinner()),
+              names.end());
+    const auto counters = obs::Registry::instance().snapshot().counters;
+    const auto it = counters.find("placement.portfolio_wins." +
+                                  portfolio.lastWinner());
+    ASSERT_NE(it, counters.end());
+    EXPECT_GE(it->second, 1);
+    obs::setMetricsEnabled(metrics_were_on);
+}
+
+TEST(Portfolio, RejectsStochasticAndRecursiveLineups)
+{
+    PortfolioConfig with_random;
+    with_random.strategies = {"NetPack", "Random"};
+    EXPECT_THROW(PortfolioPlacer{with_random}, ConfigError);
+
+    PortfolioConfig recursive;
+    recursive.strategies = {"Portfolio"};
+    EXPECT_THROW(PortfolioPlacer{recursive}, ConfigError);
+
+    PortfolioConfig empty;
+    empty.strategies = {};
+    EXPECT_THROW(PortfolioPlacer{empty}, ConfigError);
+
+    PortfolioConfig bad_jobs;
+    bad_jobs.jobs = 0;
+    EXPECT_THROW(PortfolioPlacer{bad_jobs}, ConfigError);
+}
+
+// ----------------------------------------------------------- factory
+
+TEST(Factory, UnknownNameListsTheValidOnes)
+{
+    try {
+        makePlacerByName("SkyNet");
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &err) {
+        const std::string message = err.what();
+        EXPECT_NE(message.find("unknown placer 'SkyNet'"),
+                  std::string::npos)
+            << message;
+        EXPECT_NE(message.find("valid names:"), std::string::npos)
+            << message;
+        for (const std::string &name : placerNames())
+            EXPECT_NE(message.find(name), std::string::npos)
+                << message << " missing " << name;
+    }
+}
+
+TEST(Factory, EveryAdvertisedNameRoundTrips)
+{
+    for (const std::string &name : placerNames()) {
+        const auto placer = makePlacerByName(name);
+        EXPECT_EQ(placer->name(), name);
+    }
+}
+
+} // namespace
+} // namespace netpack

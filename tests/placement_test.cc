@@ -388,8 +388,9 @@ TEST(NetPackPlacer, ValueOrderBreaksTies)
 
 TEST(Baselines, FactoryKnowsEveryName)
 {
-    for (const char *name : {"NetPack", "GB", "FB", "LF", "Optimus",
-                             "Tetris", "Comb", "Random"}) {
+    for (const char *name :
+         {"NetPack", "NetPack+LS", "Portfolio", "GB", "FB", "LF",
+          "Optimus", "Tetris", "Comb", "Random"}) {
         const auto placer = makePlacerByName(name);
         ASSERT_NE(placer, nullptr);
         EXPECT_EQ(placer->name(), name);
