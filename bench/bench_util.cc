@@ -4,7 +4,9 @@
 #include <iostream>
 #include <mutex>
 
+#include "common/check.h"
 #include "common/rng.h"
+#include "obs/http_export.h"
 #include "obs/metrics.h"
 
 namespace netpack {
@@ -53,6 +55,7 @@ usageText(const std::string &argv0)
            " [--full] [--csv] [--json <path>] [--jobs <n>] [--seeds <k>]\n"
            "       [--journal <dir>] [--snapshot-every <sim-s>] "
            "[--resume]\n"
+           "       [--metrics-port <p>] [--sample-every <k>]\n"
            "  --full         paper-scale parameters (slower)\n"
            "  --csv          also emit CSV\n"
            "  --json <path>  write a machine-readable run manifest\n"
@@ -71,6 +74,14 @@ usageText(const std::string &argv0)
            "                 snapshots (resume points; flow runs only)\n"
            "  --resume       reuse/resume runs whose journals already\n"
            "                 exist in --journal dir\n"
+           "  --metrics-port <p>\n"
+           "                 serve live OpenMetrics on\n"
+           "                 http://127.0.0.1:<p>/metrics (0 picks an\n"
+           "                 ephemeral port; enables metrics; env\n"
+           "                 NETPACK_METRICS_PORT does the same)\n"
+           "  --sample-every <k>\n"
+           "                 push telemetry time-series points every\n"
+           "                 k-th placement epoch (default 1)\n"
            "  --help         show this message and exit\n";
 }
 
@@ -140,6 +151,32 @@ parseOptionsInto(int argc, char **argv, Options &options)
                        "' must be positive";
         } else if (arg == "--resume") {
             options.resume = true;
+        } else if (arg == "--metrics-port") {
+            const auto value = operand(i);
+            if (!value)
+                return "--metrics-port requires a port number";
+            if (value->empty() ||
+                value->find_first_not_of("0123456789") != std::string::npos)
+                return "--metrics-port operand '" + *value +
+                       "' is not a port number";
+            try {
+                options.metricsPort = std::stoi(*value);
+            } catch (const std::exception &) {
+                return "--metrics-port operand '" + *value +
+                       "' is out of range";
+            }
+            if (options.metricsPort > 65535)
+                return "--metrics-port operand '" + *value +
+                       "' is out of range (0..65535)";
+        } else if (arg == "--sample-every") {
+            const auto value = operand(i);
+            if (!value)
+                return "--sample-every requires an epoch count";
+            const auto every = parsePositiveInt(*value);
+            if (!every)
+                return "--sample-every operand '" + *value +
+                       "' is not a positive integer";
+            options.sampleEvery = *every;
         } else if (arg == "--help" || arg == "-h") {
             options.help = true;
         } else {
@@ -152,6 +189,15 @@ parseOptionsInto(int argc, char **argv, Options &options)
     // The manifest embeds a metrics snapshot; make sure there is one.
     if (!options.jsonPath.empty())
         obs::setMetricsEnabled(true);
+    if (options.sampleEvery > 0)
+        obs::setSeriesSampleEvery(options.sampleEvery);
+    // Live scrape endpoint: the flag wins; with no flag the env var
+    // NETPACK_METRICS_PORT (if set) starts it. Idempotent.
+    try {
+        obs::ensureMetricsServer(options.metricsPort);
+    } catch (const ConfigError &e) {
+        return std::string(e.what());
+    }
     return std::nullopt;
 }
 

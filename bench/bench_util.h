@@ -48,6 +48,13 @@ struct Options
     double snapshotEvery = 0.0;
     /** Resume incomplete journals instead of re-running from scratch. */
     bool resume = false;
+    /** OpenMetrics scrape port (0 = ephemeral); -1 = flag absent, fall
+     * back to NETPACK_METRICS_PORT. Starting the server enables
+     * metrics. */
+    int metricsPort = -1;
+    /** Push telemetry series points every K-th placement epoch;
+     * 0 = keep the process default (1 = every epoch). */
+    int sampleEvery = 0;
     /** --help was passed (parseOptions prints usage and exits). */
     bool help = false;
 };

@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""Validate a netpack run manifest (netpack.run_manifest/4).
+
+Stdlib-only; used by CI and handy locally:
+
+    scripts/check_manifest.py manifest.json \
+        --require-counters placement.batches,sim.epochs \
+        --min-counters 10 --require-aggregates --aggregate-count 2
+
+    scripts/check_manifest.py manifest.json --require-journal
+
+    # Bit-identity: compare two manifests after stripping the
+    # wall-clock-dependent fields (placement_seconds, `_us`/`_seconds`
+    # metrics, wallclock-flagged quantiles) plus args/env.
+    scripts/check_manifest.py manifest-jobs4.json --diff manifest-jobs1.json
+
+Exits non-zero with a message on the first violated assertion.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "netpack.run_manifest/4"
+
+
+def fail(message):
+    print(f"check_manifest: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def is_wallclock_name(name):
+    """The obs wall-clock naming convention (obs::isWallClockMetric)."""
+    return name.endswith("_us") or name.endswith("_seconds")
+
+
+def strip_wallclock(value, key=None):
+    """Drop every machine-speed-dependent field so the remainder is
+    covered by the --jobs N bit-identity contract."""
+    if isinstance(value, dict):
+        out = {}
+        for k, v in value.items():
+            if k == "placement_seconds":
+                continue
+            if is_wallclock_name(k):
+                continue  # metrics/log_histograms/quantiles entries
+            out[k] = strip_wallclock(v, k)
+        return out
+    if isinstance(value, list):
+        return [strip_wallclock(v) for v in value]
+    return value
+
+
+def check(manifest, args):
+    if manifest.get("schema") != args.schema:
+        fail(f"schema is {manifest.get('schema')!r}, want {args.schema!r}")
+
+    for block in ("args", "env", "clusters", "seeds", "runs", "metrics",
+                  "journal", "series", "quantiles"):
+        if block not in manifest:
+            fail(f"missing top-level block {block!r}")
+
+    counters = manifest["metrics"].get("counters", {})
+    for name in args.require_counters:
+        if name not in counters:
+            fail(f"missing counter {name!r}")
+    if len(counters) < args.min_counters:
+        fail(f"only {len(counters)} counters, want >= {args.min_counters}")
+
+    if args.require_aggregates:
+        aggregates = manifest.get("aggregates", [])
+        if not aggregates:
+            fail("aggregates block is empty")
+        for entry in aggregates:
+            for metric in ("avg_jct", "avg_de", "makespan",
+                           "avg_gpu_utilization"):
+                stat = entry.get(metric)
+                if stat is None:
+                    fail(f"{entry.get('cell')}: missing {metric}")
+                for field in ("count", "mean", "stddev", "ci95"):
+                    if field not in stat:
+                        fail(f"{entry.get('cell')}: {metric} lacks {field}")
+            if args.aggregate_count and \
+                    entry["avg_jct"]["count"] != args.aggregate_count:
+                fail(f"{entry.get('cell')}: expected "
+                     f"{args.aggregate_count} runs per cell, got "
+                     f"{entry['avg_jct']['count']}")
+
+    if args.require_journal:
+        journal = manifest["journal"]
+        if journal.get("enabled") is not True:
+            fail(f"journal not enabled: {journal}")
+        for field in ("events_written", "snapshots_written",
+                      "runs_recorded"):
+            if not journal.get(field, 0) > 0:
+                fail(f"journal.{field} is not positive: {journal}")
+        if journal.get("replay_divergences", 0) != 0:
+            fail(f"replay divergences: {journal}")
+
+    if args.require_series:
+        series = manifest["series"]
+        if not series:
+            fail("series block is empty")
+        for name, data in series.items():
+            if not data.get("points"):
+                fail(f"series {name!r} has no points")
+            if data["total_pushed"] < len(data["points"]):
+                fail(f"series {name!r}: total_pushed "
+                     f"{data['total_pushed']} < {len(data['points'])} "
+                     "retained points")
+            # Points are sim-time-keyed but restart per run, so the
+            # merged registry series is per-run ordered, not globally.
+            for point in data["points"]:
+                if len(point) != 2:
+                    fail(f"series {name!r} has a malformed point: {point}")
+
+    if args.require_quantiles:
+        quantiles = manifest["quantiles"]
+        if not quantiles:
+            fail("quantiles block is empty")
+        for name, entry in quantiles.items():
+            for field in ("count", "sum", "min", "max", "p50", "p90",
+                          "p95", "p99", "rel_err", "wallclock"):
+                if field not in entry:
+                    fail(f"quantiles[{name!r}] lacks {field}")
+            if not (entry["min"] <= entry["p50"] <= entry["p95"]
+                    <= entry["p99"] <= entry["max"]):
+                fail(f"quantiles[{name!r}] are not monotone: {entry}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("manifest", help="manifest JSON to validate")
+    parser.add_argument("--schema", default=SCHEMA,
+                        help=f"expected schema id (default {SCHEMA})")
+    parser.add_argument("--require-counters", default="",
+                        help="comma-separated counter names that must exist")
+    parser.add_argument("--min-counters", type=int, default=0,
+                        help="minimum number of registered counters")
+    parser.add_argument("--require-aggregates", action="store_true",
+                        help="aggregates block must be present and well-formed")
+    parser.add_argument("--aggregate-count", type=int, default=0,
+                        help="expected runs per aggregate cell")
+    parser.add_argument("--require-journal", action="store_true",
+                        help="journal block must show a recorded run")
+    parser.add_argument("--require-series", action="store_true",
+                        help="series block must be non-empty and ordered")
+    parser.add_argument("--require-quantiles", action="store_true",
+                        help="quantiles block must be non-empty and monotone")
+    parser.add_argument("--diff", metavar="OTHER",
+                        help="second manifest that must be bit-identical "
+                             "after stripping wall-clock fields and args/env")
+    args = parser.parse_args()
+    args.require_counters = [c for c in args.require_counters.split(",") if c]
+
+    with open(args.manifest) as f:
+        manifest = json.load(f)
+    check(manifest, args)
+
+    if args.diff:
+        with open(args.diff) as f:
+            other = json.load(f)
+        for m in (manifest, other):
+            m.pop("args", None)
+            m.pop("env", None)
+        a, b = strip_wallclock(manifest), strip_wallclock(other)
+        if a != b:
+            keys = [k for k in a if a.get(k) != b.get(k)]
+            fail(f"manifests differ after wall-clock strip in: {keys}")
+        print(f"check_manifest: OK: {args.manifest} == {args.diff} "
+              "(wall-clock fields excluded)")
+    else:
+        counters = manifest["metrics"].get("counters", {})
+        print(f"check_manifest: OK: schema {manifest['schema']}, "
+              f"{len(counters)} counters, "
+              f"{len(manifest.get('aggregates', []))} aggregate cells, "
+              f"{len(manifest['series'])} series, "
+              f"{len(manifest['quantiles'])} quantile families")
+
+
+if __name__ == "__main__":
+    main()

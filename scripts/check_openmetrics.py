@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Validate an OpenMetrics text exposition (stdlib-only).
+
+Parses the subset of the OpenMetrics grammar the netpack exporter
+emits — `# HELP` / `# TYPE` metadata, counter/gauge/histogram samples,
+the `# EOF` terminator — and checks structural invariants:
+
+  * every sample line belongs to a declared metric family and uses the
+    suffix its TYPE allows (`_total` for counters; `_bucket`/`_sum`/
+    `_count` for histograms),
+  * histogram `_bucket` series are cumulative (non-decreasing in `le`
+    order), end with `le="+Inf"`, and match `_count`,
+  * metric names match the OpenMetrics name grammar,
+  * the payload ends with exactly one `# EOF`.
+
+    scripts/check_openmetrics.py scrape.txt \
+        --require netpack_placement_batches_total \
+        --require netpack_placement_batch_us_bucket
+
+Exits non-zero with a message on the first violation.
+"""
+
+import argparse
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})? "
+    r"(?P<value>\S+)(?: \S+)?$")  # optional timestamp
+TYPES = {"counter", "gauge", "histogram", "summary", "unknown"}
+SUFFIXES = {
+    "counter": ("_total",),
+    "histogram": ("_bucket", "_sum", "_count"),
+    "gauge": ("",),
+    "unknown": ("",),
+}
+
+
+def fail(message):
+    print(f"check_openmetrics: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def parse_value(text, where):
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    try:
+        return float(text)
+    except ValueError:
+        fail(f"{where}: unparsable value {text!r}")
+
+
+def family_of(name, families):
+    """Longest declared family this sample name belongs to."""
+    best = None
+    for family, ftype in families.items():
+        for suffix in SUFFIXES.get(ftype, ("",)):
+            if name == family + suffix:
+                if best is None or len(family) > len(best):
+                    best = family
+    return best
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("payload", help="scraped exposition text file")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="SAMPLE_NAME",
+                        help="a sample name that must appear (repeatable)")
+    args = parser.parse_args()
+
+    with open(args.payload) as f:
+        text = f.read()
+    if not text.endswith("# EOF\n"):
+        fail("payload does not end with '# EOF'")
+    lines = text.splitlines()
+    if lines.count("# EOF") != 1:
+        fail("multiple '# EOF' terminators")
+
+    families = {}   # family -> type
+    helped = set()
+    samples = {}    # sample name -> [(labels, value)]
+    for i, line in enumerate(lines, 1):
+        if not line:
+            fail(f"line {i}: blank line in exposition")
+        if line == "# EOF":
+            if i != len(lines):
+                fail(f"line {i}: '# EOF' before end of payload")
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4:
+                fail(f"line {i}: malformed HELP")
+            helped.add(parts[2])
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or parts[3] not in TYPES:
+                fail(f"line {i}: malformed TYPE: {line!r}")
+            if parts[2] in families:
+                fail(f"line {i}: duplicate TYPE for {parts[2]}")
+            if not NAME_RE.match(parts[2]):
+                fail(f"line {i}: illegal family name {parts[2]!r}")
+            families[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            fail(f"line {i}: unknown comment {line!r}")
+        m = SAMPLE_RE.match(line)
+        if not m:
+            fail(f"line {i}: unparsable sample {line!r}")
+        name = m.group("name")
+        if family_of(name, families) is None:
+            fail(f"line {i}: sample {name!r} has no declared family")
+        samples.setdefault(name, []).append(
+            (m.group("labels") or "", parse_value(m.group("value"),
+                                                  f"line {i}")))
+
+    for family, ftype in families.items():
+        if family not in helped:
+            fail(f"family {family!r} has TYPE but no HELP")
+        if ftype == "histogram":
+            buckets = samples.get(family + "_bucket", [])
+            if not buckets:
+                fail(f"histogram {family!r} has no _bucket samples")
+            previous = -1.0
+            previous_le = None
+            for labels, value in buckets:
+                le = re.search(r'le="([^"]*)"', labels)
+                if not le:
+                    fail(f"{family}_bucket sample lacks an le label")
+                le_value = parse_value(le.group(1), f"{family}_bucket le")
+                if previous_le is not None and le_value <= previous_le:
+                    fail(f"{family!r} buckets out of le order")
+                if value < previous:
+                    fail(f"{family!r} buckets are not cumulative")
+                previous, previous_le = value, le_value
+            if previous_le != float("inf"):
+                fail(f"{family!r} buckets do not end with le=\"+Inf\"")
+            counts = samples.get(family + "_count")
+            if not counts:
+                fail(f"histogram {family!r} lacks _count")
+            if counts[0][1] != buckets[-1][1]:
+                fail(f"{family!r}: _count {counts[0][1]} != "
+                     f"+Inf bucket {buckets[-1][1]}")
+            if family + "_sum" not in samples:
+                fail(f"histogram {family!r} lacks _sum")
+
+    for required in args.require:
+        if required not in samples:
+            fail(f"required sample {required!r} not found")
+
+    histograms = sum(1 for t in families.values() if t == "histogram")
+    print(f"check_openmetrics: OK: {len(families)} families "
+          f"({histograms} histograms), "
+          f"{sum(len(v) for v in samples.values())} samples")
+
+
+if __name__ == "__main__":
+    main()

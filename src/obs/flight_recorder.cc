@@ -1,0 +1,361 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <exception>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/log.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace netpack {
+namespace obs {
+
+namespace detail {
+bool g_flightEnabled = false; // armed by flight::configure (env or call)
+} // namespace detail
+
+namespace {
+
+int
+nextFlightTid()
+{
+    static std::atomic<int> next{1};
+    return next.fetch_add(1);
+}
+
+struct FlightEvent
+{
+    const char *name = nullptr;
+    double tsUs = 0.0;
+    double durUs = 0.0; // spans only
+    std::int64_t value = 0; // counters only
+    bool isSpan = false;
+    int tid = 0;
+};
+
+/** One thread's bounded event ring. The mutex is uncontended in steady
+ * state (only the owning thread records); dump/clear take it briefly. */
+struct Ring
+{
+    mutable std::mutex mutex;
+    std::vector<FlightEvent> buf;
+    std::size_t head = 0;
+    int tid;
+
+    Ring()
+        : tid(nextFlightTid())
+    {
+        buf.reserve(flight::kRingCapacity);
+    }
+
+    void push(FlightEvent event)
+    {
+        event.tid = tid;
+        const std::lock_guard<std::mutex> lock(mutex);
+        if (buf.size() < flight::kRingCapacity) {
+            buf.push_back(event);
+        } else {
+            buf[head] = event;
+            head = (head + 1) % flight::kRingCapacity;
+        }
+    }
+
+    void collect(std::vector<FlightEvent> &out) const
+    {
+        const std::lock_guard<std::mutex> lock(mutex);
+        for (std::size_t i = 0; i < buf.size(); ++i)
+            out.push_back(buf[(head + i) % buf.size()]);
+    }
+
+    void clear()
+    {
+        const std::lock_guard<std::mutex> lock(mutex);
+        buf.clear();
+        head = 0;
+    }
+};
+
+struct Global
+{
+    std::mutex mutex;
+    std::vector<std::shared_ptr<Ring>> rings;
+    std::string path;
+    bool hooksInstalled = false;
+};
+
+Global &
+global()
+{
+    static Global g;
+    return g;
+}
+
+Ring &
+threadRing()
+{
+    thread_local const std::shared_ptr<Ring> ring = [] {
+        auto created = std::make_shared<Ring>();
+        Global &g = global();
+        const std::lock_guard<std::mutex> lock(g.mutex);
+        g.rings.push_back(created);
+        return created;
+    }();
+    return *ring;
+}
+
+double g_sloBatchUs = [] {
+    const char *env = std::getenv("NETPACK_SLO_BATCH_US");
+    if (env == nullptr || env[0] == '\0')
+        return 0.0;
+    char *end = nullptr;
+    const double parsed = std::strtod(env, &end);
+    if (end == env || *end != '\0' || parsed < 0.0) {
+        NETPACK_LOG(Warn, "ignoring malformed NETPACK_SLO_BATCH_US='"
+                              << env << "'");
+        return 0.0;
+    }
+    return parsed;
+}();
+
+void
+crashDump(int sig)
+{
+    // Not async-signal-safe (locks, streams) — a best-effort last act,
+    // which is the accepted trade for flight recorders: the process is
+    // dying anyway, and a torn dump beats no dump.
+    std::signal(sig, SIG_DFL); // no recursion if the dump itself faults
+    flight::dump("signal:" + std::to_string(sig));
+    std::raise(sig);
+}
+
+std::terminate_handler g_previousTerminate = nullptr;
+
+[[noreturn]] void
+terminateDump()
+{
+    flight::dump("terminate");
+    if (g_previousTerminate != nullptr)
+        g_previousTerminate();
+    std::abort();
+}
+
+void
+installHooksLocked(Global &g)
+{
+    if (g.hooksInstalled)
+        return;
+    g.hooksInstalled = true;
+    for (const int sig : {SIGSEGV, SIGBUS, SIGFPE, SIGILL, SIGABRT})
+        std::signal(sig, crashDump);
+    g_previousTerminate = std::set_terminate(terminateDump);
+}
+
+/** Arms NETPACK_FLIGHT_RECORDER at static initialization so crash
+ * hooks cover the whole process lifetime. */
+struct FlightInit
+{
+    FlightInit()
+    {
+        const char *env = std::getenv("NETPACK_FLIGHT_RECORDER");
+        if (env != nullptr && env[0] != '\0')
+            flight::configure(env);
+    }
+};
+
+FlightInit g_flightInit;
+
+} // namespace
+
+namespace flight {
+
+void
+configure(const std::string &path)
+{
+    Global &g = global();
+    const std::lock_guard<std::mutex> lock(g.mutex);
+    g.path = path;
+    detail::g_flightEnabled = !path.empty();
+    if (detail::g_flightEnabled)
+        installHooksLocked(g);
+}
+
+std::string
+dumpPath()
+{
+    Global &g = global();
+    const std::lock_guard<std::mutex> lock(g.mutex);
+    return g.path;
+}
+
+std::size_t
+dump(const std::string &reason)
+{
+    Global &g = global();
+    std::string path;
+    std::vector<std::shared_ptr<Ring>> rings;
+    {
+        const std::lock_guard<std::mutex> lock(g.mutex);
+        path = g.path;
+        rings = g.rings;
+    }
+    if (path.empty())
+        return 0;
+    std::vector<FlightEvent> events;
+    for (const auto &ring : rings)
+        ring->collect(events);
+    std::stable_sort(events.begin(), events.end(),
+                     [](const FlightEvent &a, const FlightEvent &b) {
+                         return a.tsUs < b.tsUs;
+                     });
+    std::ofstream out(path);
+    if (!out) {
+        NETPACK_LOG(Error,
+                    "cannot write flight-recorder dump '" << path << "'");
+        return 0;
+    }
+    JsonWriter json(out, /*indent=*/0);
+    json.beginObject();
+    json.kv("displayTimeUnit", "ms");
+    json.key("traceEvents");
+    json.beginArray();
+    // Instant marker carrying the dump reason.
+    json.beginObject();
+    json.kv("name", "flight.dump");
+    json.kv("cat", "netpack");
+    json.kv("ph", "i");
+    json.kv("ts", traceNowMicros());
+    json.kv("pid", 1);
+    json.kv("tid", 0);
+    json.kv("s", "g");
+    json.key("args");
+    json.beginObject();
+    json.kv("reason", reason);
+    json.endObject();
+    json.endObject();
+    for (const FlightEvent &event : events) {
+        json.beginObject();
+        json.kv("name", event.name);
+        json.kv("cat", "netpack");
+        json.kv("ph", event.isSpan ? "X" : "C");
+        json.kv("ts", event.tsUs);
+        if (event.isSpan)
+            json.kv("dur", event.durUs);
+        json.kv("pid", 1);
+        json.kv("tid", event.tid);
+        if (!event.isSpan) {
+            json.key("args");
+            json.beginObject();
+            json.kv("value", event.value);
+            json.endObject();
+        }
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+    NETPACK_LOG(Info, "flight recorder dumped " << events.size()
+                                                << " events to '" << path
+                                                << "' (" << reason << ")");
+    return events.size();
+}
+
+void
+clear()
+{
+    Global &g = global();
+    std::vector<std::shared_ptr<Ring>> rings;
+    {
+        const std::lock_guard<std::mutex> lock(g.mutex);
+        rings = g.rings;
+    }
+    for (const auto &ring : rings)
+        ring->clear();
+}
+
+std::size_t
+bufferedEvents()
+{
+    Global &g = global();
+    std::vector<std::shared_ptr<Ring>> rings;
+    {
+        const std::lock_guard<std::mutex> lock(g.mutex);
+        rings = g.rings;
+    }
+    std::size_t total = 0;
+    for (const auto &ring : rings) {
+        const std::lock_guard<std::mutex> lock(ring->mutex);
+        total += ring->buf.size();
+    }
+    return total;
+}
+
+double
+sloBatchUs()
+{
+    return g_sloBatchUs;
+}
+
+void
+setSloBatchUs(double us)
+{
+    g_sloBatchUs = us < 0.0 ? 0.0 : us;
+}
+
+bool
+checkSlo(const char *name, double us)
+{
+    const double threshold = sloBatchUs();
+    if (threshold <= 0.0 || us <= threshold)
+        return false;
+    NETPACK_COUNT("obs.slo_breaches", 1);
+    if (enabled()) {
+        // At most one dump per second: a sustained breach storm should
+        // not turn the recorder into a disk-bandwidth problem.
+        static std::atomic<std::int64_t> lastDumpMs{-1000000};
+        const std::int64_t nowMs =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count();
+        std::int64_t last = lastDumpMs.load(std::memory_order_relaxed);
+        if (nowMs - last >= 1000 &&
+            lastDumpMs.compare_exchange_strong(last, nowMs,
+                                               std::memory_order_relaxed))
+            dump(std::string("slo:") + name);
+    }
+    return true;
+}
+
+} // namespace flight
+
+void
+flightRecordSpan(const char *name, double tsUs, double durUs)
+{
+    FlightEvent event;
+    event.name = name;
+    event.tsUs = tsUs;
+    event.durUs = durUs;
+    event.isSpan = true;
+    threadRing().push(event);
+}
+
+void
+flightRecordCount(const char *name, std::int64_t n)
+{
+    FlightEvent event;
+    event.name = name;
+    event.tsUs = traceNowMicros();
+    event.value = n;
+    event.isSpan = false;
+    threadRing().push(event);
+}
+
+} // namespace obs
+} // namespace netpack

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Flight recorder: a bounded per-thread ring of the most recent span and
+ * counter events, kept in memory at all times and dumped as Chrome
+ * trace-event JSON (Perfetto-loadable) when something goes wrong — a
+ * fatal signal, an unhandled exception (std::terminate), or an SLO
+ * breach — so tail-latency anomalies in hour-long runs are diagnosable
+ * after the fact without paying for full tracing.
+ *
+ * Arm it with NETPACK_FLIGHT_RECORDER=<file> (or flight::configure).
+ * While armed, every ScopedSpan end is captured (independently of
+ * NETPACK_TRACE) and every NETPACK_COUNT add is captured when metrics
+ * are enabled. Each thread owns a fixed 4096-event ring guarded by its
+ * own uncontended mutex; recording never blocks on other threads.
+ *
+ * SLO breaches: NETPACK_SLO_BATCH_US=<µs> sets a placement-batch
+ * latency threshold. The simulator calls flight::checkSlo with each
+ * batch's wall-clock latency; a breach bumps `obs.slo_breaches` and
+ * triggers a rate-limited dump. Note: breach counts depend on machine
+ * speed, so arming an SLO threshold voids the `--jobs N` manifest
+ * bit-identity contract — it is a diagnostic mode.
+ */
+
+#ifndef NETPACK_OBS_FLIGHT_RECORDER_H
+#define NETPACK_OBS_FLIGHT_RECORDER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace netpack {
+namespace obs {
+
+namespace detail {
+/** Plain bool by design; see metrics.h. Mirrored there and in trace.h
+ * so the capture hooks stay a single predicted branch. */
+extern bool g_flightEnabled;
+} // namespace detail
+
+namespace flight {
+
+/** Whether the flight recorder is armed. */
+inline bool
+enabled()
+{
+    return detail::g_flightEnabled;
+}
+
+/** Events each thread's ring retains (oldest overwritten first). */
+constexpr std::size_t kRingCapacity = 4096;
+
+/** Arm the recorder: dumps go to @p path; installs the crash (signal)
+ * and terminate hooks on first arming. An empty path disarms capture
+ * (buffered events are kept). Not thread-safe; configure at startup. */
+void configure(const std::string &path);
+
+/** The configured dump file path (empty when disarmed). */
+std::string dumpPath();
+
+/** Write every buffered event to the configured path as Chrome
+ * trace-event JSON, tagged with @p reason. Returns the number of
+ * events written, 0 when disarmed or the file cannot be written. */
+std::size_t dump(const std::string &reason);
+
+/** Drop all buffered events (test isolation). */
+void clear();
+
+/** Buffered events across all thread rings (diagnostics/tests). */
+std::size_t bufferedEvents();
+
+/** Placement-batch latency SLO threshold in µs; 0 disables breach
+ * checks. Env-seeded from NETPACK_SLO_BATCH_US. */
+double sloBatchUs();
+void setSloBatchUs(double us);
+
+/** Report a measured latency against the SLO threshold. On breach:
+ * bumps `obs.slo_breaches`, writes a rate-limited dump (at most one
+ * per second) tagged `slo:<name>`, and returns true. */
+bool checkSlo(const char *name, double us);
+
+} // namespace flight
+
+/** Capture hooks used by ScopedSpan (trace.cc) and NETPACK_COUNT. */
+void flightRecordSpan(const char *name, double tsUs, double durUs);
+void flightRecordCount(const char *name, std::int64_t n);
+
+} // namespace obs
+} // namespace netpack
+
+#endif // NETPACK_OBS_FLIGHT_RECORDER_H

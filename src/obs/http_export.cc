@@ -1,0 +1,175 @@
+#include "obs/http_export.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/check.h"
+#include "common/log.h"
+#include "obs/metrics.h"
+#include "obs/openmetrics.h"
+
+namespace netpack {
+namespace obs {
+
+namespace {
+
+void
+sendAll(int fd, const std::string &payload)
+{
+    std::size_t sent = 0;
+    while (sent < payload.size()) {
+        const ssize_t n =
+            ::send(fd, payload.data() + sent, payload.size() - sent, 0);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            return; // client went away; nothing to clean up
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+}
+
+std::string
+httpResponse(const char *status, const char *contentType,
+             const std::string &body)
+{
+    std::string out = "HTTP/1.1 ";
+    out += status;
+    out += "\r\nContent-Type: ";
+    out += contentType;
+    out += "\r\nContent-Length: ";
+    out += std::to_string(body.size());
+    out += "\r\nConnection: close\r\n\r\n";
+    out += body;
+    return out;
+}
+
+} // namespace
+
+MetricsHttpServer::MetricsHttpServer(std::uint16_t port)
+{
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    NETPACK_REQUIRE(listenFd_ >= 0, "metrics server: socket() failed");
+    const int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof addr);
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr), sizeof addr) !=
+            0 ||
+        ::listen(listenFd_, 16) != 0) {
+        const int savedErrno = errno;
+        ::close(listenFd_);
+        listenFd_ = -1;
+        throw ConfigError("metrics server: cannot listen on port " +
+                          std::to_string(port) + ": " +
+                          std::strerror(savedErrno));
+    }
+    socklen_t len = sizeof addr;
+    NETPACK_REQUIRE(::getsockname(listenFd_,
+                                  reinterpret_cast<sockaddr *>(&addr),
+                                  &len) == 0,
+                    "metrics server: getsockname() failed");
+    port_ = ntohs(addr.sin_port);
+    thread_ = std::thread([this] { serveLoop(); });
+}
+
+MetricsHttpServer::~MetricsHttpServer()
+{
+    stop_.store(true, std::memory_order_relaxed);
+    if (thread_.joinable())
+        thread_.join();
+    if (listenFd_ >= 0)
+        ::close(listenFd_);
+}
+
+void
+MetricsHttpServer::serveLoop()
+{
+    while (!stop_.load(std::memory_order_relaxed)) {
+        pollfd pfd;
+        pfd.fd = listenFd_;
+        pfd.events = POLLIN;
+        pfd.revents = 0;
+        // Short timeout so the stop flag is honoured promptly.
+        const int ready = ::poll(&pfd, 1, 50);
+        if (ready <= 0)
+            continue;
+        const int client = ::accept(listenFd_, nullptr, nullptr);
+        if (client < 0)
+            continue;
+        handleConnection(client);
+        ::close(client);
+    }
+}
+
+void
+MetricsHttpServer::handleConnection(int client)
+{
+    // One read is enough for the GET request lines we serve; anything
+    // longer is from a client we do not cater to.
+    char buf[2048];
+    ssize_t n;
+    do {
+        n = ::recv(client, buf, sizeof buf - 1, 0);
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0)
+        return;
+    buf[n] = '\0';
+    const std::string request(buf);
+    const auto lineEnd = request.find("\r\n");
+    const std::string requestLine =
+        lineEnd == std::string::npos ? request : request.substr(0, lineEnd);
+
+    if (requestLine.compare(0, 13, "GET /metrics ") == 0 ||
+        requestLine == "GET /metrics") {
+        NETPACK_COUNT("obs.scrapes", 1);
+        sendAll(client, httpResponse("200 OK", kOpenMetricsContentType,
+                                     renderOpenMetrics()));
+    } else if (requestLine.compare(0, 13, "GET /healthz ") == 0) {
+        sendAll(client, httpResponse("200 OK", "text/plain", "ok\n"));
+    } else {
+        sendAll(client,
+                httpResponse("404 Not Found", "text/plain", "not found\n"));
+    }
+}
+
+MetricsHttpServer *
+ensureMetricsServer(int port)
+{
+    static std::unique_ptr<MetricsHttpServer> server;
+    if (server)
+        return server.get();
+    if (port < 0) {
+        const char *env = std::getenv("NETPACK_METRICS_PORT");
+        if (env == nullptr || env[0] == '\0')
+            return nullptr;
+        char *end = nullptr;
+        const long parsed = std::strtol(env, &end, 10);
+        if (end == env || *end != '\0' || parsed < 0 || parsed > 65535)
+            throw ConfigError(
+                std::string("malformed NETPACK_METRICS_PORT='") + env +
+                "' (want 0..65535)");
+        port = static_cast<int>(parsed);
+    }
+    NETPACK_REQUIRE(port <= 65535, "metrics port out of range");
+    setMetricsEnabled(true);
+    server.reset(new MetricsHttpServer(static_cast<std::uint16_t>(port)));
+    NETPACK_LOG(Info, "metrics scrape endpoint on http://127.0.0.1:"
+                          << server->port() << "/metrics");
+    return server.get();
+}
+
+} // namespace obs
+} // namespace netpack

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Minimal single-threaded HTTP scrape server for the OpenMetrics
+ * exposition (obs/openmetrics.h). One background thread accepts
+ * connections sequentially and answers:
+ *
+ *   GET /metrics  -> 200, OpenMetrics text of the live registry
+ *   GET /healthz  -> 200, "ok\n"
+ *   anything else -> 404
+ *
+ * Enabled per-process via NETPACK_METRICS_PORT=<port> (which also turns
+ * the metrics registry on) or the bench `--metrics-port` flag; port 0
+ * binds an ephemeral port (query it with port()) for tests. Every
+ * served /metrics bumps the `obs.scrapes` counter.
+ */
+
+#ifndef NETPACK_OBS_HTTP_EXPORT_H
+#define NETPACK_OBS_HTTP_EXPORT_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+
+namespace netpack {
+namespace obs {
+
+class MetricsHttpServer
+{
+  public:
+    /** Bind 127.0.0.1:@p port (0 = ephemeral) and start serving on a
+     * background thread. Throws ConfigError when the bind fails. */
+    explicit MetricsHttpServer(std::uint16_t port);
+
+    /** Stops the accept loop and joins the thread. */
+    ~MetricsHttpServer();
+
+    MetricsHttpServer(const MetricsHttpServer &) = delete;
+    MetricsHttpServer &operator=(const MetricsHttpServer &) = delete;
+
+    /** The bound port (resolves ephemeral binds). */
+    std::uint16_t port() const { return port_; }
+
+  private:
+    void serveLoop();
+    void handleConnection(int client);
+
+    int listenFd_ = -1;
+    std::uint16_t port_ = 0;
+    std::atomic<bool> stop_{false};
+    std::thread thread_;
+};
+
+/**
+ * Process-wide scrape server, started at most once. @p port >= 0 wins;
+ * @p port < 0 falls back to NETPACK_METRICS_PORT (unset/empty -> no
+ * server, returns nullptr). Starting the server force-enables the
+ * metrics registry. Later calls return the already-running instance.
+ * Throws ConfigError on a malformed port or failed bind.
+ */
+MetricsHttpServer *ensureMetricsServer(int port = -1);
+
+} // namespace obs
+} // namespace netpack
+
+#endif // NETPACK_OBS_HTTP_EXPORT_H

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 
 #include "common/check.h"
 #include "common/log.h"
@@ -21,6 +22,50 @@ bool g_metricsEnabled = [] {
 thread_local MetricScope *g_scopeHead = nullptr;
 
 } // namespace detail
+
+namespace {
+
+int g_perRackGaugeLimit = [] {
+    const char *env = std::getenv("NETPACK_PER_RACK_GAUGES");
+    if (env == nullptr || env[0] == '\0')
+        return 64;
+    char *end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0' || parsed < 0) {
+        NETPACK_LOG(Warn, "ignoring malformed NETPACK_PER_RACK_GAUGES='"
+                              << env << "' (want a non-negative integer)");
+        return 64;
+    }
+    return static_cast<int>(parsed);
+}();
+
+int g_seriesSampleEvery = 1;
+
+} // namespace
+
+int
+perRackGaugeLimit()
+{
+    return g_perRackGaugeLimit;
+}
+
+void
+setPerRackGaugeLimit(int limit)
+{
+    g_perRackGaugeLimit = limit < 0 ? 0 : limit;
+}
+
+int
+seriesSampleEvery()
+{
+    return g_seriesSampleEvery;
+}
+
+void
+setSeriesSampleEvery(int every)
+{
+    g_seriesSampleEvery = every < 1 ? 1 : every;
+}
 
 namespace {
 
@@ -135,6 +180,26 @@ Registry::histogram(const std::string &name,
     return *slot;
 }
 
+LogHistogram &
+Registry::logHistogram(const std::string &name, const LogHistogramSpec &spec)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = logHistograms_[name];
+    if (!slot)
+        slot.reset(new LogHistogram(spec));
+    return *slot;
+}
+
+TimeSeries &
+Registry::series(const std::string &name, std::size_t capacity)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = series_[name];
+    if (!slot)
+        slot.reset(new TimeSeries(capacity));
+    return *slot;
+}
+
 MetricsSnapshot
 Registry::snapshot() const
 {
@@ -151,6 +216,24 @@ Registry::snapshot() const
         data.total = histogram->total();
         data.sum = histogram->sum();
         snap.histograms[name] = std::move(data);
+    }
+    for (const auto &[name, hist] : logHistograms_) {
+        MetricsSnapshot::LogHistogramData data;
+        data.spec = hist->spec();
+        data.bounds = hist->bounds();
+        data.counts = hist->counts();
+        data.total = hist->total();
+        data.sum = hist->sum();
+        data.observedMin = hist->observedMin();
+        data.observedMax = hist->observedMax();
+        snap.logHistograms[name] = std::move(data);
+    }
+    for (const auto &[name, series] : series_) {
+        MetricsSnapshot::SeriesData data;
+        data.capacity = series->capacity();
+        data.totalPushed = series->totalPushed();
+        data.points = series->points();
+        snap.series[name] = std::move(data);
     }
     return snap;
 }
@@ -171,6 +254,7 @@ Registry::merge(const MetricsSnapshot &snap)
                                   << name
                                   << "' bounds disagree with the registry; "
                                      "dropping the merged buckets");
+            counter("obs.merge_skipped").add(1);
             continue;
         }
         for (std::size_t i = 0; i < data.counts.size(); ++i)
@@ -178,6 +262,49 @@ Registry::merge(const MetricsSnapshot &snap)
                                       std::memory_order_relaxed);
         hist.total_.fetch_add(data.total, std::memory_order_relaxed);
         hist.sum_.fetch_add(data.sum, std::memory_order_relaxed);
+    }
+    for (const auto &[name, data] : snap.logHistograms) {
+        if (data.bounds.empty())
+            continue;
+        LogHistogram &hist = logHistogram(name, data.spec);
+        if (hist.spec() != data.spec) {
+            NETPACK_LOG(Warn, "log histogram '"
+                                  << name
+                                  << "' spec disagrees with the registry; "
+                                     "dropping the merged buckets");
+            counter("obs.merge_skipped").add(1);
+            continue;
+        }
+        for (std::size_t i = 0; i < data.counts.size(); ++i)
+            hist.counts_[i].fetch_add(data.counts[i],
+                                      std::memory_order_relaxed);
+        hist.total_.fetch_add(data.total, std::memory_order_relaxed);
+        hist.sum_.fetch_add(data.sum, std::memory_order_relaxed);
+        if (data.observedMin <= data.observedMax) {
+            double seen = hist.min_.load(std::memory_order_relaxed);
+            while (data.observedMin < seen &&
+                   !hist.min_.compare_exchange_weak(
+                       seen, data.observedMin, std::memory_order_relaxed)) {
+            }
+            seen = hist.max_.load(std::memory_order_relaxed);
+            while (data.observedMax > seen &&
+                   !hist.max_.compare_exchange_weak(
+                       seen, data.observedMax, std::memory_order_relaxed)) {
+            }
+        }
+    }
+    for (const auto &[name, data] : snap.series) {
+        if (data.capacity == 0)
+            continue;
+        TimeSeries &ts = series(name, data.capacity);
+        for (const auto &point : data.points)
+            ts.push(point.t, point.value);
+        // A scope ring may already have dropped old points; keep the
+        // lifetime count honest.
+        if (data.totalPushed > data.points.size()) {
+            const std::lock_guard<std::mutex> lock(ts.mutex_);
+            ts.totalPushed_ += data.totalPushed - data.points.size();
+        }
     }
 }
 
@@ -225,6 +352,42 @@ MetricScope::histogram(const std::string &name,
 }
 
 void
+MetricScope::logHistogram(const std::string &name,
+                          const LogHistogramSpec &spec, double x)
+{
+    MetricsSnapshot::LogHistogramData &data = local_.logHistograms[name];
+    if (data.bounds.empty()) {
+        data.spec = spec;
+        data.bounds = logBucketBounds(spec);
+        data.counts.assign(data.bounds.size() + 1, 0);
+        data.observedMin = std::numeric_limits<double>::infinity();
+        data.observedMax = -std::numeric_limits<double>::infinity();
+    }
+    const auto it =
+        std::lower_bound(data.bounds.begin(), data.bounds.end(), x);
+    const auto bucket =
+        static_cast<std::size_t>(std::distance(data.bounds.begin(), it));
+    ++data.counts[bucket];
+    ++data.total;
+    data.sum += x;
+    data.observedMin = std::min(data.observedMin, x);
+    data.observedMax = std::max(data.observedMax, x);
+}
+
+void
+MetricScope::seriesPoint(const std::string &name, std::size_t capacity,
+                         double t, double value)
+{
+    MetricsSnapshot::SeriesData &data = local_.series[name];
+    if (data.capacity == 0)
+        data.capacity = capacity;
+    data.points.push_back({t, value});
+    if (data.points.size() > data.capacity)
+        data.points.erase(data.points.begin());
+    ++data.totalPushed;
+}
+
+void
 MetricScope::merge(const MetricsSnapshot &snap)
 {
     for (const auto &[name, value] : snap.counters)
@@ -237,12 +400,47 @@ MetricScope::merge(const MetricsSnapshot &snap)
             mine = data;
             continue;
         }
-        if (mine.bounds != data.bounds)
-            continue; // call sites disagree; keep the first registration
+        if (mine.bounds != data.bounds) {
+            // call sites disagree; keep the first registration
+            ++local_.counters["obs.merge_skipped"];
+            continue;
+        }
         for (std::size_t i = 0; i < data.counts.size(); ++i)
             mine.counts[i] += data.counts[i];
         mine.total += data.total;
         mine.sum += data.sum;
+    }
+    for (const auto &[name, data] : snap.logHistograms) {
+        MetricsSnapshot::LogHistogramData &mine = local_.logHistograms[name];
+        if (mine.bounds.empty()) {
+            mine = data;
+            continue;
+        }
+        if (mine.spec != data.spec) {
+            ++local_.counters["obs.merge_skipped"];
+            continue;
+        }
+        for (std::size_t i = 0; i < data.counts.size(); ++i)
+            mine.counts[i] += data.counts[i];
+        mine.total += data.total;
+        mine.sum += data.sum;
+        if (data.observedMin <= data.observedMax) {
+            mine.observedMin = std::min(mine.observedMin, data.observedMin);
+            mine.observedMax = std::max(mine.observedMax, data.observedMax);
+        }
+    }
+    for (const auto &[name, data] : snap.series) {
+        MetricsSnapshot::SeriesData &mine = local_.series[name];
+        if (mine.capacity == 0) {
+            mine = data;
+            continue;
+        }
+        for (const auto &point : data.points) {
+            mine.points.push_back(point);
+            if (mine.points.size() > mine.capacity)
+                mine.points.erase(mine.points.begin());
+        }
+        mine.totalPushed += data.totalPushed;
     }
 }
 
@@ -259,6 +457,22 @@ Registry::reset()
             c.store(0, std::memory_order_relaxed);
         histogram->total_.store(0, std::memory_order_relaxed);
         histogram->sum_.store(0.0, std::memory_order_relaxed);
+    }
+    for (auto &[name, hist] : logHistograms_) {
+        for (auto &c : hist->counts_)
+            c.store(0, std::memory_order_relaxed);
+        hist->total_.store(0, std::memory_order_relaxed);
+        hist->sum_.store(0.0, std::memory_order_relaxed);
+        hist->min_.store(std::numeric_limits<double>::infinity(),
+                         std::memory_order_relaxed);
+        hist->max_.store(-std::numeric_limits<double>::infinity(),
+                         std::memory_order_relaxed);
+    }
+    for (auto &[name, series] : series_) {
+        const std::lock_guard<std::mutex> seriesLock(series->mutex_);
+        series->ring_.clear();
+        series->head_ = 0;
+        series->totalPushed_ = 0;
     }
 }
 
@@ -278,6 +492,18 @@ Histogram &
 histogram(const std::string &name, const std::vector<double> &bounds)
 {
     return Registry::instance().histogram(name, bounds);
+}
+
+LogHistogram &
+logHistogram(const std::string &name, const LogHistogramSpec &spec)
+{
+    return Registry::instance().logHistogram(name, spec);
+}
+
+TimeSeries &
+series(const std::string &name, std::size_t capacity)
+{
+    return Registry::instance().series(name, capacity);
 }
 
 MetricsSnapshot
@@ -321,6 +547,30 @@ recordHistogram(const std::string &name, const std::vector<double> &bounds,
 }
 
 void
+recordLogHistogram(const std::string &name, const LogHistogramSpec &spec,
+                   double value)
+{
+    if (!metricsEnabled())
+        return;
+    if (MetricScope *scope = MetricScope::current())
+        scope->logHistogram(name, spec, value);
+    else
+        Registry::instance().logHistogram(name, spec).record(value);
+}
+
+void
+recordSeriesPoint(const std::string &name, double t, double value,
+                  std::size_t capacity)
+{
+    if (!metricsEnabled())
+        return;
+    if (MetricScope *scope = MetricScope::current())
+        scope->seriesPoint(name, capacity, t, value);
+    else
+        Registry::instance().series(name, capacity).push(t, value);
+}
+
+void
 writeSnapshotJson(JsonWriter &json, const MetricsSnapshot &snap)
 {
     json.beginObject();
@@ -351,6 +601,58 @@ writeSnapshotJson(JsonWriter &json, const MetricsSnapshot &snap)
         json.endArray();
         json.kv("total", data.total);
         json.kv("sum", data.sum);
+        json.endObject();
+    }
+    json.endObject();
+    json.key("log_histograms");
+    json.beginObject();
+    for (const auto &[name, data] : snap.logHistograms) {
+        json.key(name);
+        json.beginObject();
+        json.kv("min_value", data.spec.minValue);
+        json.kv("max_value", data.spec.maxValue);
+        json.kv("rel_error", data.spec.relError);
+        // Sparse exposition: only non-empty buckets, as (bound, count)
+        // pairs — the dense geometric ladder is ~200 entries.
+        json.key("buckets");
+        json.beginArray();
+        for (std::size_t i = 0; i < data.counts.size(); ++i) {
+            if (data.counts[i] == 0)
+                continue;
+            json.beginArray();
+            json.value(i < data.bounds.size()
+                           ? data.bounds[i]
+                           : std::numeric_limits<double>::infinity());
+            json.value(data.counts[i]);
+            json.endArray();
+        }
+        json.endArray();
+        json.kv("total", data.total);
+        json.kv("sum", data.sum);
+        if (data.total > 0) {
+            json.kv("min", data.observedMin);
+            json.kv("max", data.observedMax);
+        }
+        json.endObject();
+    }
+    json.endObject();
+    json.key("series");
+    json.beginObject();
+    for (const auto &[name, data] : snap.series) {
+        json.key(name);
+        json.beginObject();
+        json.kv("capacity", static_cast<std::int64_t>(data.capacity));
+        json.kv("total_pushed",
+                static_cast<std::int64_t>(data.totalPushed));
+        json.key("points");
+        json.beginArray();
+        for (const auto &point : data.points) {
+            json.beginArray();
+            json.value(point.t);
+            json.value(point.value);
+            json.endArray();
+        }
+        json.endArray();
         json.endObject();
     }
     json.endObject();

@@ -30,6 +30,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/timeseries.h"
+
 namespace netpack {
 namespace obs {
 
@@ -37,6 +39,10 @@ namespace detail {
 /** Plain bool by design: read per call site without atomic traffic.
  * Configure at startup (env) or before spawning threads. */
 extern bool g_metricsEnabled;
+
+/** Mirrors flight::enabled() (obs/flight_recorder.h) so NETPACK_COUNT
+ * can feed the flight ring without including that header. */
+extern bool g_flightEnabled;
 } // namespace detail
 
 /** Whether metric recording is active. */
@@ -49,6 +55,40 @@ metricsEnabled()
 /** Turn recording on/off (tests, bench --json). Not thread-safe; call
  * before concurrent recording starts. */
 void setMetricsEnabled(bool on);
+
+/** Capture a counter add into the flight-recorder ring (defined in
+ * obs/flight_recorder.cc; the macros gate on detail::g_flightEnabled). */
+void flightRecordCount(const char *name, std::int64_t n);
+
+/**
+ * Per-ToR gauge cutoff: clusters with more racks than this emit only
+ * the `.mean`/`.max` PAT-utilization gauges, not one gauge per rack.
+ * Env-seeded from NETPACK_PER_RACK_GAUGES (default 64); setter is for
+ * tests/tools and is not thread-safe.
+ */
+int perRackGaugeLimit();
+void setPerRackGaugeLimit(int limit);
+
+/**
+ * Epoch series decimation: the simulator pushes time-series points on
+ * every K-th placement epoch (default 1 = every epoch). Configured by
+ * bench --sample-every; not thread-safe, set before the run starts.
+ */
+int seriesSampleEvery();
+void setSeriesSampleEvery(int every);
+
+/** Wall-clock metrics (names ending `_us` or `_seconds`) are excluded
+ * from the `--jobs N` bit-identity contract — their bucket placement
+ * depends on machine speed, not on the simulated workload. */
+inline bool
+isWallClockMetric(const std::string &name)
+{
+    const auto endsWith = [&name](const char *suffix, std::size_t len) {
+        return name.size() >= len &&
+               name.compare(name.size() - len, len, suffix) == 0;
+    };
+    return endsWith("_us", 3) || endsWith("_seconds", 8);
+}
 
 /** Monotonically increasing named count. */
 class Counter
@@ -126,9 +166,39 @@ struct MetricsSnapshot
         double sum = 0.0;
     };
 
+    struct LogHistogramData
+    {
+        LogHistogramSpec spec;
+        std::vector<double> bounds;
+        /** bounds.size() + 1 entries: [underflow, ..., overflow]. */
+        std::vector<std::int64_t> counts;
+        std::int64_t total = 0;
+        double sum = 0.0;
+        /** Exact extremes; min > max means no observations yet. */
+        double observedMin = 0.0;
+        double observedMax = 0.0;
+
+        /** Same bounded-relative-error estimate as LogHistogram. */
+        double quantile(double q) const
+        {
+            return logQuantile(spec, bounds, counts, total, observedMin,
+                               observedMax, q);
+        }
+    };
+
+    struct SeriesData
+    {
+        std::size_t capacity = 0;
+        std::uint64_t totalPushed = 0;
+        /** Oldest-to-newest, at most capacity entries. */
+        std::vector<SeriesPoint> points;
+    };
+
     std::map<std::string, std::int64_t> counters;
     std::map<std::string, double> gauges;
     std::map<std::string, HistogramData> histograms;
+    std::map<std::string, LogHistogramData> logHistograms;
+    std::map<std::string, SeriesData> series;
 };
 
 /** The process-wide registry. Registration takes a mutex; recording on
@@ -147,18 +217,28 @@ class Registry
     Histogram &histogram(const std::string &name,
                          const std::vector<double> &bounds);
 
+    /** Find-or-create; the spec is fixed by the first registration. */
+    LogHistogram &logHistogram(const std::string &name,
+                               const LogHistogramSpec &spec);
+
+    /** Find-or-create; the capacity is fixed by the first registration. */
+    TimeSeries &series(const std::string &name, std::size_t capacity);
+
     MetricsSnapshot snapshot() const;
 
     /**
      * Fold @p snap into the registry: counter values add, gauges are
-     * overwritten, histogram buckets add (a histogram whose bounds
-     * disagree with the registered ones is skipped with a warning).
-     * Used to publish run-scoped MetricScope snapshots in a
+     * overwritten, histogram buckets add, series points append in call
+     * order. A histogram whose bounds/spec disagree with the registered
+     * ones is skipped with a warning AND counted in the
+     * `obs.merge_skipped` counter so determinism tests can assert it
+     * stays zero. Used to publish run-scoped MetricScope snapshots in a
      * deterministic order after a parallel sweep.
      */
     void merge(const MetricsSnapshot &snap);
 
-    /** Zero every value, keeping registrations (test isolation). */
+    /** Zero every value (and drop series points), keeping registrations
+     * (test isolation). */
     void reset();
 
   private:
@@ -168,6 +248,8 @@ class Registry
     std::map<std::string, std::unique_ptr<Counter>> counters_;
     std::map<std::string, std::unique_ptr<Gauge>> gauges_;
     std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+    std::map<std::string, std::unique_ptr<LogHistogram>> logHistograms_;
+    std::map<std::string, std::unique_ptr<TimeSeries>> series_;
 };
 
 /**
@@ -204,6 +286,10 @@ class MetricScope
     void gauge(const std::string &name, double x);
     void histogram(const std::string &name,
                    const std::vector<double> &bounds, double x);
+    void logHistogram(const std::string &name, const LogHistogramSpec &spec,
+                      double x);
+    void seriesPoint(const std::string &name, std::size_t capacity,
+                     double t, double value);
 
   private:
     /** Fold a dying child scope's recordings into this one. */
@@ -229,6 +315,10 @@ Counter &counter(const std::string &name);
 Gauge &gauge(const std::string &name);
 Histogram &histogram(const std::string &name,
                      const std::vector<double> &bounds);
+LogHistogram &logHistogram(const std::string &name,
+                           const LogHistogramSpec &spec);
+TimeSeries &series(const std::string &name,
+                   std::size_t capacity = kDefaultSeriesCapacity);
 MetricsSnapshot snapshot();
 
 /**
@@ -242,6 +332,13 @@ void recordCount(const std::string &name, std::int64_t n = 1);
 void recordGauge(const std::string &name, double value);
 void recordHistogram(const std::string &name,
                      const std::vector<double> &bounds, double value);
+/** Record into a log-bucketed quantile histogram (latency metrics; use
+ * kLatencySpecUs for `*_us` names). */
+void recordLogHistogram(const std::string &name,
+                        const LogHistogramSpec &spec, double value);
+/** Append a (t, value) sample to a fixed-capacity time-series ring. */
+void recordSeriesPoint(const std::string &name, double t, double value,
+                       std::size_t capacity = kDefaultSeriesCapacity);
 
 class JsonWriter;
 
@@ -259,7 +356,9 @@ extern const std::vector<double> kPow2Buckets;
 } // namespace netpack
 
 /** Increment counter @p name by @p n; single-branch no-op when disabled.
- * Inside a MetricScope the add lands in the scope, not the registry. */
+ * Inside a MetricScope the add lands in the scope, not the registry.
+ * When the flight recorder is armed the add is also captured in its
+ * in-memory event ring (obs/flight_recorder.h). */
 #define NETPACK_COUNT(name, n)                                              \
     do {                                                                    \
         if (::netpack::obs::metricsEnabled()) {                             \
@@ -271,6 +370,8 @@ extern const std::vector<double> kPow2Buckets;
                     ::netpack::obs::counter(name);                          \
                 netpack_obs_c_.add(n);                                      \
             }                                                               \
+            if (::netpack::obs::detail::g_flightEnabled)                    \
+                ::netpack::obs::flightRecordCount(name, n);                 \
         }                                                                   \
     } while (0)
 

@@ -1,0 +1,180 @@
+#include "obs/openmetrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <sstream>
+
+namespace netpack {
+namespace obs {
+
+const char kOpenMetricsContentType[] =
+    "application/openmetrics-text; version=1.0.0; charset=utf-8";
+
+std::string
+openMetricsName(const std::string &raw)
+{
+    std::string out;
+    out.reserve(raw.size() + 1);
+    for (const char c : raw) {
+        const bool legal = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                           (c >= '0' && c <= '9') || c == '_';
+        out.push_back(legal ? c : '_');
+    }
+    if (out.empty() || (out[0] >= '0' && out[0] <= '9'))
+        out.insert(out.begin(), '_');
+    return out;
+}
+
+std::string
+openMetricsEscape(const std::string &raw)
+{
+    std::string out;
+    out.reserve(raw.size());
+    for (const char c : raw) {
+        switch (c) {
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '"':
+            out += "\\\"";
+            break;
+        default:
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
+namespace {
+
+/** Compact deterministic double rendering for sample values and `le`
+ * labels ("+Inf" handled by callers). */
+std::string
+formatDouble(double x)
+{
+    if (std::isnan(x))
+        return "NaN";
+    if (std::isinf(x))
+        return x > 0 ? "+Inf" : "-Inf";
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", x);
+    // Trim to the shortest representation that round-trips.
+    for (int precision = 1; precision < 17; ++precision) {
+        char shorter[64];
+        std::snprintf(shorter, sizeof shorter, "%.*g", precision, x);
+        if (std::strtod(shorter, nullptr) == x)
+            return shorter;
+    }
+    return buf;
+}
+
+/** Allocates unique exposition family names in render order. */
+class NameAllocator
+{
+  public:
+    explicit NameAllocator(const std::string &prefix)
+        : prefix_(prefix)
+    {
+    }
+
+    std::string allocate(const std::string &raw)
+    {
+        std::string base = prefix_.empty()
+                               ? openMetricsName(raw)
+                               : prefix_ + "_" + openMetricsName(raw);
+        std::string candidate = base;
+        for (int suffix = 2; !used_.insert(candidate).second; ++suffix)
+            candidate = base + "_" + std::to_string(suffix);
+        return candidate;
+    }
+
+  private:
+    std::string prefix_;
+    std::set<std::string> used_;
+};
+
+void
+renderHeader(std::ostringstream &out, const std::string &family,
+             const char *type, const std::string &raw)
+{
+    out << "# HELP " << family << " netpack metric '"
+        << openMetricsEscape(raw) << "'\n";
+    out << "# TYPE " << family << " " << type << "\n";
+}
+
+/** Emit one cumulative histogram family from bucket upper bounds and
+ * per-bucket counts (counts may have one trailing overflow bucket past
+ * bounds.size()). */
+void
+renderHistogram(std::ostringstream &out, const std::string &family,
+                const std::vector<double> &bounds,
+                const std::vector<std::int64_t> &counts, std::int64_t total,
+                double sum, bool sparse)
+{
+    std::int64_t cumulative = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        cumulative += counts[i];
+        if (i >= bounds.size())
+            break; // overflow bucket folds into +Inf below
+        if (sparse && counts[i] == 0)
+            continue;
+        out << family << "_bucket{le=\"" << formatDouble(bounds[i]) << "\"} "
+            << cumulative << "\n";
+    }
+    out << family << "_bucket{le=\"+Inf\"} " << total << "\n";
+    out << family << "_sum " << formatDouble(sum) << "\n";
+    out << family << "_count " << total << "\n";
+}
+
+} // namespace
+
+Exporter::Exporter(ExporterOptions options)
+    : options_(std::move(options))
+{
+}
+
+std::string
+Exporter::render(const MetricsSnapshot &snap) const
+{
+    std::ostringstream out;
+    NameAllocator names(options_.prefix);
+    for (const auto &[raw, value] : snap.counters) {
+        const std::string family = names.allocate(raw);
+        renderHeader(out, family, "counter", raw);
+        out << family << "_total " << value << "\n";
+    }
+    for (const auto &[raw, value] : snap.gauges) {
+        const std::string family = names.allocate(raw);
+        renderHeader(out, family, "gauge", raw);
+        out << family << " " << formatDouble(value) << "\n";
+    }
+    for (const auto &[raw, data] : snap.histograms) {
+        const std::string family = names.allocate(raw);
+        renderHeader(out, family, "histogram", raw);
+        renderHistogram(out, family, data.bounds, data.counts, data.total,
+                        data.sum, /*sparse=*/false);
+    }
+    for (const auto &[raw, data] : snap.logHistograms) {
+        const std::string family = names.allocate(raw);
+        renderHeader(out, family, "histogram", raw);
+        // Sparse: the geometric ladder is ~200 buckets, most empty.
+        renderHistogram(out, family, data.bounds, data.counts, data.total,
+                        data.sum, /*sparse=*/true);
+    }
+    out << "# EOF\n";
+    return out.str();
+}
+
+std::string
+renderOpenMetrics()
+{
+    return Exporter().render(Registry::instance().snapshot());
+}
+
+} // namespace obs
+} // namespace netpack

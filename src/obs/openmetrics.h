@@ -1,0 +1,63 @@
+/**
+ * @file
+ * OpenMetrics / Prometheus text exposition for the metrics registry.
+ *
+ * Dot-separated netpack names are mangled into the OpenMetrics grammar
+ * (`.` and any other illegal character become `_`, a leading digit gets
+ * an underscore prefix) under a configurable `netpack` prefix; two
+ * distinct raw names that mangle to the same exposition name get
+ * deterministic `_2`, `_3`, ... suffixes in render order. Counters are
+ * exposed with the OpenMetrics `_total` sample suffix, histograms (both
+ * fixed-bucket and log-bucketed) as cumulative `_bucket{le="..."}` /
+ * `_sum` / `_count` families. Time series are not exposed — a scraper
+ * builds its own history by polling. The payload ends with the
+ * mandatory `# EOF` terminator.
+ */
+
+#ifndef NETPACK_OBS_OPENMETRICS_H
+#define NETPACK_OBS_OPENMETRICS_H
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace netpack {
+namespace obs {
+
+/** Content-Type for the exposition payload. */
+extern const char kOpenMetricsContentType[];
+
+/** Mangle one raw metric name (no prefix): every character outside
+ * [a-zA-Z0-9_] becomes `_`; a leading digit gains a `_` prefix. */
+std::string openMetricsName(const std::string &raw);
+
+/** Escape a HELP text or label value: `\` -> `\\`, newline -> `\n`,
+ * `"` -> `\"`. */
+std::string openMetricsEscape(const std::string &raw);
+
+struct ExporterOptions
+{
+    /** Prepended (with `_`) to every mangled family name. */
+    std::string prefix = "netpack";
+};
+
+/** Renders a MetricsSnapshot as OpenMetrics text. Stateless other than
+ * the options; safe to share across threads. */
+class Exporter
+{
+  public:
+    explicit Exporter(ExporterOptions options = {});
+
+    std::string render(const MetricsSnapshot &snap) const;
+
+  private:
+    ExporterOptions options_;
+};
+
+/** Render the process registry with default options (scrape handler). */
+std::string renderOpenMetrics();
+
+} // namespace obs
+} // namespace netpack
+
+#endif // NETPACK_OBS_OPENMETRICS_H

@@ -249,8 +249,58 @@ writeRunManifest(const std::string &path, const RunManifest &manifest)
     json.kv("replay_divergences", manifest.journal.replayDivergences);
     json.endObject();
 
+    const MetricsSnapshot snap = snapshot();
+
+    // /4: telemetry time series — epoch-sampled registry rings, keyed
+    // by sim time, so a manifest carries the shape of the run rather
+    // than just its endpoint.
+    json.key("series");
+    json.beginObject();
+    for (const auto &[name, data] : snap.series) {
+        json.key(name);
+        json.beginObject();
+        json.kv("capacity", static_cast<std::int64_t>(data.capacity));
+        json.kv("total_pushed",
+                static_cast<std::int64_t>(data.totalPushed));
+        json.key("points");
+        json.beginArray();
+        for (const auto &point : data.points) {
+            json.beginArray();
+            json.value(point.t);
+            json.value(point.value);
+            json.endArray();
+        }
+        json.endArray();
+        json.endObject();
+    }
+    json.endObject();
+
+    // /4: headline quantiles of every log-bucketed histogram. The
+    // `wallclock` flag marks entries excluded from the --jobs N
+    // bit-identity contract (machine-speed dependent).
+    json.key("quantiles");
+    json.beginObject();
+    for (const auto &[name, data] : snap.logHistograms) {
+        if (data.total <= 0)
+            continue;
+        json.key(name);
+        json.beginObject();
+        json.kv("count", data.total);
+        json.kv("sum", data.sum);
+        json.kv("min", data.observedMin);
+        json.kv("max", data.observedMax);
+        json.kv("p50", data.quantile(0.50));
+        json.kv("p90", data.quantile(0.90));
+        json.kv("p95", data.quantile(0.95));
+        json.kv("p99", data.quantile(0.99));
+        json.kv("rel_err", data.spec.relError);
+        json.kv("wallclock", isWallClockMetric(name));
+        json.endObject();
+    }
+    json.endObject();
+
     json.key("metrics");
-    writeSnapshotJson(json, snapshot());
+    writeSnapshotJson(json, snap);
 
     json.endObject();
 }

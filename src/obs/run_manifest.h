@@ -103,7 +103,7 @@ struct JournalSummary
 struct RunManifest
 {
     /** Manifest schema identifier (bump on breaking changes). */
-    std::string schema = "netpack.run_manifest/3";
+    std::string schema = "netpack.run_manifest/4";
     /** Bench executable name (argv[0] basename). */
     std::string bench;
     /** Human title from the bench banner. */

@@ -1,0 +1,173 @@
+#include "obs/timeseries.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace netpack {
+namespace obs {
+
+const LogHistogramSpec kLatencySpecUs = {1.0, 1e9, 0.05};
+
+std::vector<double>
+logBucketBounds(const LogHistogramSpec &spec)
+{
+    NETPACK_REQUIRE(spec.minValue > 0.0,
+                    "log histogram minValue must be positive");
+    NETPACK_REQUIRE(spec.maxValue > spec.minValue,
+                    "log histogram maxValue must exceed minValue");
+    NETPACK_REQUIRE(spec.relError > 0.0 && spec.relError < 1.0,
+                    "log histogram relError must be in (0, 1)");
+    const double growth = (1.0 + spec.relError) * (1.0 + spec.relError);
+    std::vector<double> bounds;
+    bounds.push_back(spec.minValue);
+    double bound = spec.minValue;
+    while (bound < spec.maxValue) {
+        bound *= growth;
+        bounds.push_back(bound);
+    }
+    return bounds;
+}
+
+namespace {
+
+/** Representative value of bucket @p index in the lower_bound layout:
+ * underflow -> minValue, interior -> geometric midpoint, overflow ->
+ * the top resolvable bound. */
+double
+bucketEstimate(const std::vector<double> &bounds, std::size_t index)
+{
+    if (index == 0)
+        return bounds.front();
+    if (index >= bounds.size())
+        return bounds.back();
+    return std::sqrt(bounds[index - 1] * bounds[index]);
+}
+
+} // namespace
+
+double
+logQuantile(const LogHistogramSpec &spec, const std::vector<double> &bounds,
+            const std::vector<std::int64_t> &counts, std::int64_t total,
+            double observedMin, double observedMax, double q)
+{
+    (void)spec;
+    if (total <= 0)
+        return 0.0;
+    q = std::min(1.0, std::max(0.0, q));
+    // Nearest-rank: the smallest bucket whose cumulative count reaches
+    // rank ceil(q * total) holds the sample the quantile names.
+    std::int64_t rank = static_cast<std::int64_t>(
+        std::ceil(q * static_cast<double>(total)));
+    rank = std::min(total, std::max<std::int64_t>(1, rank));
+    // The extreme ranks are tracked exactly (DDSketch-style): the
+    // smallest and largest samples need no bucket estimate at all.
+    const bool tracked = observedMin <= observedMax;
+    if (tracked && rank == 1)
+        return observedMin;
+    if (tracked && rank == total)
+        return observedMax;
+    std::int64_t cumulative = 0;
+    std::size_t bucket = counts.size() - 1;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        cumulative += counts[i];
+        if (cumulative >= rank) {
+            bucket = i;
+            break;
+        }
+    }
+    double estimate = bucketEstimate(bounds, bucket);
+    // Exact min/max tracking lets the tails beat the bucket bound.
+    if (observedMin <= observedMax) {
+        estimate = std::max(estimate, observedMin);
+        estimate = std::min(estimate, observedMax);
+    }
+    return estimate;
+}
+
+LogHistogram::LogHistogram(const LogHistogramSpec &spec)
+    : spec_(spec), bounds_(logBucketBounds(spec)),
+      counts_(bounds_.size() + 1),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity())
+{
+}
+
+void
+LogHistogram::record(double x)
+{
+    const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+    const auto bucket =
+        static_cast<std::size_t>(std::distance(bounds_.begin(), it));
+    counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+    total_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(x, std::memory_order_relaxed);
+    double seen = min_.load(std::memory_order_relaxed);
+    while (x < seen &&
+           !min_.compare_exchange_weak(seen, x, std::memory_order_relaxed)) {
+    }
+    seen = max_.load(std::memory_order_relaxed);
+    while (x > seen &&
+           !max_.compare_exchange_weak(seen, x, std::memory_order_relaxed)) {
+    }
+}
+
+double
+LogHistogram::quantile(double q) const
+{
+    return logQuantile(spec_, bounds_, counts(), total(), observedMin(),
+                       observedMax(), q);
+}
+
+std::vector<std::int64_t>
+LogHistogram::counts() const
+{
+    std::vector<std::int64_t> out;
+    out.reserve(counts_.size());
+    for (const auto &c : counts_)
+        out.push_back(c.load(std::memory_order_relaxed));
+    return out;
+}
+
+TimeSeries::TimeSeries(std::size_t capacity)
+    : capacity_(capacity)
+{
+    NETPACK_REQUIRE(capacity_ > 0, "time series capacity must be positive");
+    ring_.reserve(capacity_);
+}
+
+void
+TimeSeries::push(double t, double value)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (ring_.size() < capacity_) {
+        ring_.push_back({t, value});
+    } else {
+        ring_[head_] = {t, value};
+        head_ = (head_ + 1) % capacity_;
+    }
+    ++totalPushed_;
+}
+
+std::vector<SeriesPoint>
+TimeSeries::points() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<SeriesPoint> out;
+    out.reserve(ring_.size());
+    for (std::size_t i = 0; i < ring_.size(); ++i)
+        out.push_back(ring_[(head_ + i) % ring_.size()]);
+    return out;
+}
+
+std::uint64_t
+TimeSeries::totalPushed() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return totalPushed_;
+}
+
+} // namespace obs
+} // namespace netpack

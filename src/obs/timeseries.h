@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Live-telemetry primitives for the obs layer:
+ *
+ *  - LogHistogram: a log-bucketed (HDR/DDSketch-style) histogram with a
+ *    quantile(q) query whose relative error is bounded by the spec's
+ *    relError. Bucket bounds grow geometrically by g = (1 + relError)^2
+ *    and each bucket's representative value is the geometric midpoint of
+ *    its bounds, so any estimate is within a factor (1 + relError) of
+ *    the true sample at that rank.
+ *
+ *  - TimeSeries: a fixed-capacity ring buffer of (t, value) points fed
+ *    by periodic sampling hooks (per sim epoch or wall clock). When the
+ *    ring is full the oldest point is dropped; totalPushed() keeps the
+ *    lifetime count so consumers can tell how much history was lost.
+ *
+ * Both integrate with Registry / MetricScope / merge exactly like the
+ * fixed-bucket metrics (see obs/metrics.h) and land in run-manifest
+ * schema netpack.run_manifest/4 as the `quantiles` and `series` blocks.
+ */
+
+#ifndef NETPACK_OBS_TIMESERIES_H
+#define NETPACK_OBS_TIMESERIES_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace netpack {
+namespace obs {
+
+/**
+ * Shape of a log-bucketed histogram. Observations are resolvable with
+ * bounded relative error inside [minValue, maxValue]; anything below
+ * clamps to minValue (underflow bucket), anything above to the observed
+ * maximum (overflow bucket). Two specs are compatible for merging iff
+ * all three fields are equal.
+ */
+struct LogHistogramSpec
+{
+    double minValue = 1.0;
+    double maxValue = 1e9;
+    /** Documented quantile relative-error bound (alpha). */
+    double relError = 0.05;
+
+    bool operator==(const LogHistogramSpec &o) const
+    {
+        return minValue == o.minValue && maxValue == o.maxValue &&
+               relError == o.relError;
+    }
+    bool operator!=(const LogHistogramSpec &o) const { return !(*this == o); }
+};
+
+/** Default spec for microsecond latency metrics (`*_us`): 1 µs .. 1000 s
+ * at 5% relative error (~213 buckets). */
+extern const LogHistogramSpec kLatencySpecUs;
+
+/** Geometric bucket bounds for @p spec: bounds[0] = min, bounds[i] =
+ * min * g^i with g = (1 + relError)^2, extended until bounds.back() >=
+ * maxValue. Shared by the registry histogram, MetricScope local
+ * capture, and tests. */
+std::vector<double> logBucketBounds(const LogHistogramSpec &spec);
+
+/**
+ * quantile(q) over log-bucketed data: nearest-rank walk of the
+ * cumulative counts, returning the geometric midpoint of the selected
+ * bucket clamped to the exactly-tracked [observedMin, observedMax]; the
+ * extreme ranks (1 and total) return observedMin / observedMax exactly.
+ * Returns 0 when total == 0. Bucket layout: counts[0] counts x <= min
+ * (underflow), counts[i] counts bounds[i-1] < x <= bounds[i] shifted by
+ * one, counts.back() is overflow (x > bounds.back()).
+ */
+double logQuantile(const LogHistogramSpec &spec,
+                   const std::vector<double> &bounds,
+                   const std::vector<std::int64_t> &counts,
+                   std::int64_t total, double observedMin,
+                   double observedMax, double q);
+
+/**
+ * Log-bucketed histogram with bounded-relative-error quantiles.
+ * Thread-safe recording (relaxed atomics + CAS min/max); layout is fixed
+ * by the spec at first registration.
+ */
+class LogHistogram
+{
+  public:
+    void record(double x);
+
+    /** Quantile estimate; relative error <= spec().relError against the
+     * exact nearest-rank sample (see logQuantile). */
+    double quantile(double q) const;
+
+    const LogHistogramSpec &spec() const { return spec_; }
+    const std::vector<double> &bounds() const { return bounds_; }
+
+    /** bounds().size() + 1 entries: [underflow, ..., overflow]. */
+    std::vector<std::int64_t> counts() const;
+
+    std::int64_t total() const
+    {
+        return total_.load(std::memory_order_relaxed);
+    }
+    double sum() const { return sum_.load(std::memory_order_relaxed); }
+    /** Exact smallest/largest recorded value; +inf/-inf when empty. */
+    double observedMin() const
+    {
+        return min_.load(std::memory_order_relaxed);
+    }
+    double observedMax() const
+    {
+        return max_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    friend class Registry;
+    explicit LogHistogram(const LogHistogramSpec &spec);
+
+    LogHistogramSpec spec_;
+    std::vector<double> bounds_;
+    std::vector<std::atomic<std::int64_t>> counts_;
+    std::atomic<std::int64_t> total_{0};
+    std::atomic<double> sum_{0.0};
+    std::atomic<double> min_;
+    std::atomic<double> max_;
+};
+
+/** One sampled point of a time series. */
+struct SeriesPoint
+{
+    double t = 0.0;
+    double value = 0.0;
+
+    bool operator==(const SeriesPoint &o) const
+    {
+        return t == o.t && value == o.value;
+    }
+};
+
+/** Default ring capacity for registry time series. */
+constexpr std::size_t kDefaultSeriesCapacity = 512;
+
+/**
+ * Fixed-capacity ring of (t, value) samples. push() is mutex-guarded —
+ * series are fed from periodic sampling hooks, not hot paths.
+ */
+class TimeSeries
+{
+  public:
+    void push(double t, double value);
+
+    /** Points oldest-to-newest (at most capacity()). */
+    std::vector<SeriesPoint> points() const;
+
+    std::size_t capacity() const { return capacity_; }
+
+    /** Lifetime pushes, including points the ring has since dropped. */
+    std::uint64_t totalPushed() const;
+
+  private:
+    friend class Registry;
+    explicit TimeSeries(std::size_t capacity);
+
+    mutable std::mutex mutex_;
+    std::size_t capacity_;
+    std::vector<SeriesPoint> ring_;
+    std::size_t head_ = 0; // next write slot once the ring is full
+    std::uint64_t totalPushed_ = 0;
+};
+
+} // namespace obs
+} // namespace netpack
+
+#endif // NETPACK_OBS_TIMESERIES_H

@@ -7,6 +7,7 @@
 #include <mutex>
 
 #include "common/log.h"
+#include "obs/flight_recorder.h"
 #include "obs/json.h"
 
 namespace netpack {
@@ -155,6 +156,12 @@ class TraceWriter
 
 } // namespace
 
+double
+traceNowMicros()
+{
+    return nowMicros();
+}
+
 void
 configureTrace(const std::string &path)
 {
@@ -192,12 +199,16 @@ void
 ScopedSpan::end()
 {
     const double end_us = nowMicros();
-    std::vector<TraceWriter::Arg> args;
-    args.reserve(args_.size());
-    for (const SpanArg &arg : args_)
-        args.push_back({arg.key, arg.isInt, arg.i, arg.d});
-    TraceWriter::instance().record(name_, startUs_, end_us - startUs_,
-                                   threadId(), std::move(args));
+    if (traceEnabled()) {
+        std::vector<TraceWriter::Arg> args;
+        args.reserve(args_.size());
+        for (const SpanArg &arg : args_)
+            args.push_back({arg.key, arg.isInt, arg.i, arg.d});
+        TraceWriter::instance().record(name_, startUs_, end_us - startUs_,
+                                       threadId(), std::move(args));
+    }
+    if (detail::g_flightEnabled)
+        flightRecordSpan(name_, startUs_, end_us - startUs_);
 }
 
 void

@@ -31,6 +31,9 @@ namespace obs {
 namespace detail {
 /** Plain bool by design; see metrics.h. */
 extern bool g_traceEnabled;
+/** Armed flight recorder (obs/flight_recorder.h); spans are captured
+ * into its ring even when full tracing is off. */
+extern bool g_flightEnabled;
 } // namespace detail
 
 /** Whether span recording is active. */
@@ -39,6 +42,10 @@ traceEnabled()
 {
     return detail::g_traceEnabled;
 }
+
+/** Microseconds on the tracer's monotonic clock (first-use epoch);
+ * shared with the flight recorder so both timelines align. */
+double traceNowMicros();
 
 /** Route spans to @p path and enable tracing (tests, tools). Pass an
  * empty path to disable. Buffered events are kept either way. */
@@ -61,7 +68,7 @@ class ScopedSpan
     /** @param name event name; must be a string literal */
     explicit ScopedSpan(const char *name)
     {
-        if (traceEnabled())
+        if (traceEnabled() || detail::g_flightEnabled)
             begin(name);
     }
 

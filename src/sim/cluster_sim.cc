@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/log.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "placement/ina_policy.h"
@@ -145,7 +146,7 @@ ClusterSimulator::fragmentation() const
 // placement round, where the placer has just converged the state; on
 // the rare dirty boundary the sample is skipped.
 void
-ClusterSimulator::recordPatGauges()
+ClusterSimulator::recordPatGauges(Seconds now, bool sampleSeries)
 {
     if (!obs::metricsEnabled())
         return;
@@ -153,6 +154,10 @@ ClusterSimulator::recordPatGauges()
     if (cached == nullptr)
         return;
     const SteadyState &steady = *cached;
+    // Per-ToR gauge count stays bounded: above the (env-configurable)
+    // cutoff only the .mean/.max aggregates are emitted, so 1024-rack
+    // topologies do not flood the registry. See NETPACK_PER_RACK_GAUGES.
+    const bool perRack = topo_->numRacks() <= obs::perRackGaugeLimit();
     double worst = 0.0, total_used = 0.0, total_pat = 0.0;
     for (int r = 0; r < topo_->numRacks(); ++r) {
         const Gbps pat = topo_->torPat(RackId(r));
@@ -164,16 +169,19 @@ ClusterSimulator::recordPatGauges()
         worst = std::max(worst, util);
         total_used += used;
         total_pat += pat;
-        // Per-ToR series stay bounded: skip them on huge clusters.
-        if (topo_->numRacks() <= 64) {
+        if (perRack) {
             obs::recordGauge("sim.pat_utilization.rack" +
                                  std::to_string(r),
                              util);
         }
     }
+    const double mean = total_pat > 0.0 ? total_used / total_pat : 0.0;
     NETPACK_GAUGE("sim.pat_utilization.max", worst);
-    NETPACK_GAUGE("sim.pat_utilization.mean",
-                  total_pat > 0.0 ? total_used / total_pat : 0.0);
+    NETPACK_GAUGE("sim.pat_utilization.mean", mean);
+    if (sampleSeries) {
+        obs::recordSeriesPoint("sim.pat_utilization.max", now, worst);
+        obs::recordSeriesPoint("sim.pat_utilization.mean", now, mean);
+    }
 }
 
 void
@@ -408,6 +416,16 @@ ClusterSimulator::step()
         s.metrics.placementSeconds +=
             std::chrono::duration<double>(t1 - t0).count();
         ++s.metrics.placementRounds;
+        // Wall-clock batch latency: log-bucketed so p50/p95/p99 are
+        // queryable (Fig 10's algorithm-time claim), and checked
+        // against the optional NETPACK_SLO_BATCH_US flight-recorder
+        // threshold. `_us` marks it wall-clock: excluded from the
+        // --jobs bit-identity contract like placement_seconds.
+        const double batch_us =
+            std::chrono::duration<double, std::micro>(t1 - t0).count();
+        obs::recordLogHistogram("placement.batch_us", obs::kLatencySpecUs,
+                                batch_us);
+        obs::flight::checkSlo("placement.batch", batch_us);
         NETPACK_COUNT("sim.epochs", 1);
         epoch_span.arg("placed", result.placed.size());
 
@@ -442,15 +460,29 @@ ClusterSimulator::step()
         NETPACK_LOG(Debug, "t=" << s.now << "s placed "
                                 << result.placed.size() << ", deferred "
                                 << s.pending.size());
+        const double occupancy =
+            static_cast<double>(topo_->totalGpus() -
+                                s.gpus.totalFreeGpus()) /
+            static_cast<double>(topo_->totalGpus());
         NETPACK_GAUGE("sim.queue_depth",
                       static_cast<double>(s.pending.size()));
         NETPACK_GAUGE("sim.running_jobs",
                       static_cast<double>(s.active.size()));
-        NETPACK_GAUGE("sim.gpu_occupancy",
-                      static_cast<double>(topo_->totalGpus() -
-                                          s.gpus.totalFreeGpus()) /
-                          static_cast<double>(topo_->totalGpus()));
-        recordPatGauges();
+        NETPACK_GAUGE("sim.gpu_occupancy", occupancy);
+        // Epoch telemetry series, decimated by --sample-every. Points
+        // are keyed by sim time and derived from simulated state only,
+        // so they stay bit-identical for any --jobs N.
+        const bool sampleSeries =
+            obs::metricsEnabled() &&
+            (s.metrics.placementRounds - 1) % obs::seriesSampleEvery() == 0;
+        if (sampleSeries) {
+            obs::recordSeriesPoint("sim.queue_depth", s.now,
+                                   static_cast<double>(s.pending.size()));
+            obs::recordSeriesPoint("sim.running_jobs", s.now,
+                                   static_cast<double>(s.active.size()));
+            obs::recordSeriesPoint("sim.gpu_occupancy", s.now, occupancy);
+        }
+        recordPatGauges(s.now, sampleSeries);
         s.nextEpoch += config_.placementPeriod;
     }
     return true;

@@ -208,8 +208,10 @@ class ClusterSimulator
     /** Fraction of free GPUs stranded on partially-occupied servers. */
     double fragmentation() const;
 
-    /** PAT occupancy gauges at observation points (metrics only). */
-    void recordPatGauges();
+    /** PAT occupancy gauges at observation points (metrics only). When
+     * @p sampleSeries, also push the epoch's telemetry time-series
+     * points stamped with sim time @p now. */
+    void recordPatGauges(Seconds now, bool sampleSeries);
 
     /** Retire a completed job into the metrics records. */
     void retire(JobId id, Seconds finish_time);

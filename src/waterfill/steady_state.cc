@@ -1,6 +1,7 @@
 #include "waterfill/steady_state.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 
@@ -151,6 +152,11 @@ WaterFillingEstimator::estimate(
 {
     NETPACK_SPAN(span, "waterfill.estimate");
     span.arg("hierarchies", hierarchies.size());
+    // Clock reads only when metrics are on: the disabled hot path stays
+    // free of syscalls.
+    const bool timed = obs::metricsEnabled();
+    const auto solve_t0 = timed ? std::chrono::steady_clock::now()
+                                : std::chrono::steady_clock::time_point{};
 
     const auto num_links = static_cast<std::size_t>(topo_->numLinks());
     const auto num_racks = static_cast<std::size_t>(topo_->numRacks());
@@ -314,6 +320,15 @@ WaterFillingEstimator::estimate(
         }
         NETPACK_GAUGE("waterfill.convergence_residual",
                       capacity > 0.0 ? residual / capacity : 0.0);
+    }
+    if (timed) {
+        const double solve_us = std::chrono::duration<double, std::micro>(
+                                    std::chrono::steady_clock::now() -
+                                    solve_t0)
+                                    .count();
+        // `_us` wall-clock quantile histogram; see placement.batch_us.
+        obs::recordLogHistogram("waterfill.solve_us", obs::kLatencySpecUs,
+                                solve_us);
     }
 
     NETPACK_LOG(Debug, "water-filling converged in " << lastIterations_

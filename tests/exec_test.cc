@@ -265,6 +265,8 @@ TEST(Sweep, MetricsRegistryIdenticalForAnyWorkerCount)
     obs::setMetricsEnabled(was_enabled);
 
     EXPECT_EQ(after_serial.counters, after_parallel.counters);
+    // No capture was silently dropped on either side.
+    EXPECT_EQ(after_serial.counters.count("obs.merge_skipped"), 0u);
     // Gauges are last-write-wins; ordered publication makes even those
     // identical across worker counts.
     EXPECT_EQ(after_serial.gauges, after_parallel.gauges);
@@ -276,6 +278,29 @@ TEST(Sweep, MetricsRegistryIdenticalForAnyWorkerCount)
         EXPECT_EQ(data.counts, it->second.counts) << name;
         EXPECT_EQ(data.total, it->second.total) << name;
         EXPECT_EQ(data.sum, it->second.sum) << name;
+    }
+    // Log-bucketed quantile histograms join the contract, except the
+    // `_us` / `_seconds` wall-clock ones (machine-speed dependent): for
+    // those only the registration and observation count must match.
+    ASSERT_EQ(after_serial.logHistograms.size(),
+              after_parallel.logHistograms.size());
+    for (const auto &[name, data] : after_serial.logHistograms) {
+        const auto it = after_parallel.logHistograms.find(name);
+        ASSERT_NE(it, after_parallel.logHistograms.end()) << name;
+        EXPECT_EQ(data.total, it->second.total) << name;
+        if (obs::isWallClockMetric(name))
+            continue;
+        EXPECT_EQ(data.counts, it->second.counts) << name;
+        EXPECT_EQ(data.sum, it->second.sum) << name;
+    }
+    // Telemetry series are keyed by sim time, so they are fully
+    // deterministic across worker counts.
+    ASSERT_EQ(after_serial.series.size(), after_parallel.series.size());
+    for (const auto &[name, data] : after_serial.series) {
+        const auto it = after_parallel.series.find(name);
+        ASSERT_NE(it, after_parallel.series.end()) << name;
+        EXPECT_EQ(data.totalPushed, it->second.totalPushed) << name;
+        EXPECT_TRUE(data.points == it->second.points) << name;
     }
 }
 

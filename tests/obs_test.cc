@@ -364,11 +364,22 @@ TEST_F(ObsTest, RunManifestIsValidJson)
     manifest.tables.push_back(table);
 
     obs::counter("waterfill.incremental_hits").add(3);
+    obs::recordLogHistogram("placement.batch_us", obs::kLatencySpecUs,
+                            125.0);
+    obs::recordSeriesPoint("sim.queue_depth", 1.0, 4.0);
+    obs::recordSeriesPoint("sim.queue_depth", 2.0, 6.0);
     obs::writeRunManifest(path, manifest);
 
     const std::string text = slurp(path);
     EXPECT_TRUE(JsonValidator(text).valid()) << text;
-    EXPECT_NE(text.find("netpack.run_manifest/3"), std::string::npos);
+    EXPECT_NE(text.find("netpack.run_manifest/4"), std::string::npos);
+    // /4 blocks: telemetry series and log-histogram quantiles.
+    EXPECT_NE(text.find("\"series\""), std::string::npos);
+    EXPECT_NE(text.find("\"quantiles\""), std::string::npos);
+    EXPECT_NE(text.find("\"sim.queue_depth\""), std::string::npos);
+    EXPECT_NE(text.find("\"placement.batch_us\""), std::string::npos);
+    EXPECT_NE(text.find("\"wallclock\": true"), std::string::npos);
+    EXPECT_NE(text.find("\"total_pushed\": 2"), std::string::npos);
     EXPECT_NE(text.find("\"journal\""), std::string::npos);
     EXPECT_NE(text.find("\"replay_divergences\""), std::string::npos);
     EXPECT_NE(text.find("waterfill.incremental_hits"), std::string::npos);
@@ -528,6 +539,24 @@ TEST_F(ObsTest, RegistryMergePublishesScopedSnapshot)
     const auto global = obs::snapshot();
     EXPECT_EQ(global.counters.at("test.merge"), 5); // 1 + merged 4
     EXPECT_EQ(global.histograms.at("test.merge_hist").total, 1);
+}
+
+TEST_F(ObsTest, RegistryMergeMismatchBumpsSkipCounter)
+{
+    // Pre-register the histogram with different bounds than the scoped
+    // capture used: merge must skip it and say so via obs.merge_skipped,
+    // instead of silently folding incompatible buckets.
+    obs::histogram("test.mismatch", {1.0, 2.0, 4.0}).record(1.5);
+    obs::MetricsSnapshot captured;
+    {
+        obs::MetricScope scope;
+        NETPACK_HISTOGRAM("test.mismatch", (std::vector<double>{8.0}), 0.5);
+        captured = scope.snapshot();
+    }
+    obs::Registry::instance().merge(captured);
+    const auto global = obs::snapshot();
+    EXPECT_EQ(global.histograms.at("test.mismatch").total, 1); // unmerged
+    EXPECT_EQ(global.counters.at("obs.merge_skipped"), 1);
 }
 
 TEST_F(ObsTest, MacrosHitRegistryAgainAfterScopeExits)

@@ -1,0 +1,481 @@
+/**
+ * @file
+ * Tier-1 tests for the live-telemetry layer (ISSUE 7): log-bucketed
+ * quantile histograms (accuracy against exact nearest-rank samples),
+ * time-series rings, scope capture / registry merge of both, the
+ * OpenMetrics exposition (mangling, collisions, escaping, bucket
+ * cumulativity), the HTTP scrape server, and the flight recorder.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "obs/flight_recorder.h"
+#include "obs/http_export.h"
+#include "obs/metrics.h"
+#include "obs/openmetrics.h"
+#include "obs/timeseries.h"
+#include "obs/trace.h"
+
+namespace netpack {
+namespace {
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+/** Deterministic log-uniform sample in [lo, hi] from an LCG stream. */
+double
+logUniform(std::uint64_t &state, double lo, double hi)
+{
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    const double u =
+        static_cast<double>(state >> 11) / 9007199254740992.0; // [0, 1)
+    return lo * std::pow(hi / lo, u);
+}
+
+/** Exact nearest-rank quantile (the definition logQuantile estimates). */
+double
+exactQuantile(std::vector<double> sorted, double q)
+{
+    std::sort(sorted.begin(), sorted.end());
+    const auto total = static_cast<std::int64_t>(sorted.size());
+    const auto rank = std::max<std::int64_t>(
+        1, std::min<std::int64_t>(
+               total, static_cast<std::int64_t>(
+                          std::ceil(q * static_cast<double>(total)))));
+    return sorted[static_cast<std::size_t>(rank - 1)];
+}
+
+class TelemetryTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        obs::setMetricsEnabled(true);
+        obs::Registry::instance().reset();
+        savedRackLimit_ = obs::perRackGaugeLimit();
+        savedSampleEvery_ = obs::seriesSampleEvery();
+    }
+
+    void TearDown() override
+    {
+        obs::flight::configure("");
+        obs::flight::clear();
+        obs::flight::setSloBatchUs(0.0);
+        obs::setPerRackGaugeLimit(savedRackLimit_);
+        obs::setSeriesSampleEvery(savedSampleEvery_);
+        obs::Registry::instance().reset();
+        obs::setMetricsEnabled(false);
+    }
+
+    int savedRackLimit_ = 0;
+    int savedSampleEvery_ = 1;
+};
+
+// ---------------------------------------------------------------- buckets
+
+TEST_F(TelemetryTest, LogBucketBoundsAreGeometric)
+{
+    const obs::LogHistogramSpec spec{1.0, 1000.0, 0.1};
+    const std::vector<double> bounds = obs::logBucketBounds(spec);
+    ASSERT_GE(bounds.size(), 2u);
+    EXPECT_DOUBLE_EQ(bounds.front(), spec.minValue);
+    EXPECT_GE(bounds.back(), spec.maxValue);
+    const double growth = (1.0 + spec.relError) * (1.0 + spec.relError);
+    for (std::size_t i = 1; i < bounds.size(); ++i)
+        EXPECT_NEAR(bounds[i] / bounds[i - 1], growth, 1e-9);
+    // The latency ladder stays small enough to snapshot cheaply.
+    EXPECT_LT(obs::logBucketBounds(obs::kLatencySpecUs).size(), 256u);
+}
+
+TEST_F(TelemetryTest, LogQuantileWithinDocumentedRelativeError)
+{
+    obs::LogHistogram &h =
+        obs::logHistogram("test.lat_us", obs::kLatencySpecUs);
+    std::vector<double> samples;
+    std::uint64_t state = 42;
+    for (int i = 0; i < 5000; ++i) {
+        const double x = logUniform(state, 10.0, 1e6);
+        samples.push_back(x);
+        h.record(x);
+    }
+    for (const double q : {0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999}) {
+        const double exact = exactQuantile(samples, q);
+        const double est = h.quantile(q);
+        EXPECT_LE(std::abs(est - exact),
+                  obs::kLatencySpecUs.relError * exact * (1.0 + 1e-9))
+            << "q=" << q << " exact=" << exact << " est=" << est;
+    }
+}
+
+TEST_F(TelemetryTest, LogQuantileEdgeCases)
+{
+    const obs::LogHistogramSpec spec{1.0, 1000.0, 0.05};
+    obs::LogHistogram &h = obs::logHistogram("test.edge", spec);
+    // Empty: quantile is 0, min/max sentinels say "no observations".
+    EXPECT_EQ(h.total(), 0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+    EXPECT_GT(h.observedMin(), h.observedMax());
+
+    // Single sample: every quantile is exactly that sample (the estimate
+    // clamps to the exact observed min/max).
+    h.record(37.5);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 37.5);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 37.5);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 37.5);
+
+    // Out-of-range samples clamp: below min lands in the underflow
+    // bucket, above max in overflow, and the exact min/max still win.
+    obs::LogHistogram &c = obs::logHistogram("test.clamp", spec);
+    c.record(0.001);
+    c.record(5e6);
+    EXPECT_EQ(c.total(), 2);
+    EXPECT_DOUBLE_EQ(c.observedMin(), 0.001);
+    EXPECT_DOUBLE_EQ(c.observedMax(), 5e6);
+    EXPECT_DOUBLE_EQ(c.quantile(0.0), 0.001);
+    EXPECT_DOUBLE_EQ(c.quantile(1.0), 5e6);
+}
+
+TEST_F(TelemetryTest, LogHistogramSpecFixedAtFirstRegistration)
+{
+    obs::LogHistogram &a =
+        obs::logHistogram("test.spec", {1.0, 100.0, 0.1});
+    obs::LogHistogram &b =
+        obs::logHistogram("test.spec", {2.0, 50.0, 0.2});
+    EXPECT_EQ(&a, &b);
+    EXPECT_DOUBLE_EQ(b.spec().minValue, 1.0);
+}
+
+// ----------------------------------------------------------------- series
+
+TEST_F(TelemetryTest, TimeSeriesRingDropsOldest)
+{
+    obs::TimeSeries &s = obs::series("test.series", 4);
+    for (int i = 0; i < 7; ++i)
+        s.push(static_cast<double>(i), static_cast<double>(i * 10));
+    EXPECT_EQ(s.capacity(), 4u);
+    EXPECT_EQ(s.totalPushed(), 7u);
+    const std::vector<obs::SeriesPoint> points = s.points();
+    ASSERT_EQ(points.size(), 4u);
+    // Oldest-to-newest: points 3, 4, 5, 6 survive.
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        EXPECT_DOUBLE_EQ(points[i].t, static_cast<double>(i + 3));
+        EXPECT_DOUBLE_EQ(points[i].value, static_cast<double>((i + 3) * 10));
+    }
+}
+
+TEST_F(TelemetryTest, IsWallClockMetricConvention)
+{
+    EXPECT_TRUE(obs::isWallClockMetric("placement.batch_us"));
+    EXPECT_TRUE(obs::isWallClockMetric("waterfill.solve_us"));
+    EXPECT_TRUE(obs::isWallClockMetric("run.placement_seconds"));
+    EXPECT_FALSE(obs::isWallClockMetric("sim.queue_depth"));
+    EXPECT_FALSE(obs::isWallClockMetric("waterfill.iterations"));
+    EXPECT_FALSE(obs::isWallClockMetric("_us_not_suffix.count"));
+}
+
+// --------------------------------------------------- scope capture / merge
+
+TEST_F(TelemetryTest, ScopeCapturesLogHistogramsAndSeries)
+{
+    obs::MetricsSnapshot captured;
+    {
+        obs::MetricScope scope;
+        obs::recordLogHistogram("test.scoped_us", obs::kLatencySpecUs, 50.0);
+        obs::recordLogHistogram("test.scoped_us", obs::kLatencySpecUs, 70.0);
+        obs::recordSeriesPoint("test.scoped_series", 1.0, 2.0);
+        captured = scope.snapshot();
+    }
+    // Nothing leaked into the registry...
+    const auto global = obs::snapshot();
+    EXPECT_EQ(global.logHistograms.count("test.scoped_us"), 0u);
+    EXPECT_EQ(global.series.count("test.scoped_series"), 0u);
+    // ...but the scope saw everything, with exact min/max.
+    const auto &hist = captured.logHistograms.at("test.scoped_us");
+    EXPECT_EQ(hist.total, 2);
+    EXPECT_DOUBLE_EQ(hist.observedMin, 50.0);
+    EXPECT_DOUBLE_EQ(hist.observedMax, 70.0);
+    EXPECT_DOUBLE_EQ(hist.quantile(1.0), 70.0);
+    const auto &series = captured.series.at("test.scoped_series");
+    ASSERT_EQ(series.points.size(), 1u);
+    EXPECT_DOUBLE_EQ(series.points[0].value, 2.0);
+
+    // Registry::merge publishes both into the process registry.
+    obs::Registry::instance().merge(captured);
+    const auto merged = obs::snapshot();
+    EXPECT_EQ(merged.logHistograms.at("test.scoped_us").total, 2);
+    EXPECT_DOUBLE_EQ(
+        merged.logHistograms.at("test.scoped_us").observedMax, 70.0);
+    EXPECT_EQ(merged.series.at("test.scoped_series").totalPushed, 1u);
+    EXPECT_EQ(merged.counters.count("obs.merge_skipped"), 0u);
+}
+
+TEST_F(TelemetryTest, MergeSkipsMismatchedLogHistogramSpecs)
+{
+    obs::logHistogram("test.spec_clash", {1.0, 100.0, 0.1}).record(5.0);
+    obs::MetricsSnapshot captured;
+    {
+        obs::MetricScope scope;
+        obs::recordLogHistogram("test.spec_clash", {1.0, 1000.0, 0.1}, 9.0);
+        captured = scope.snapshot();
+    }
+    obs::Registry::instance().merge(captured);
+    const auto global = obs::snapshot();
+    EXPECT_EQ(global.logHistograms.at("test.spec_clash").total, 1);
+    EXPECT_EQ(global.counters.at("obs.merge_skipped"), 1);
+}
+
+TEST_F(TelemetryTest, NestedScopeFoldsTelemetryIntoParent)
+{
+    obs::MetricScope outer;
+    obs::recordSeriesPoint("test.fold_series", 1.0, 1.0);
+    obs::recordLogHistogram("test.fold_us", obs::kLatencySpecUs, 10.0);
+    {
+        obs::MetricScope inner;
+        obs::recordSeriesPoint("test.fold_series", 2.0, 2.0);
+        obs::recordLogHistogram("test.fold_us", obs::kLatencySpecUs, 90.0);
+    } // folds into outer
+    const auto snap = outer.snapshot();
+    EXPECT_EQ(snap.series.at("test.fold_series").points.size(), 2u);
+    EXPECT_EQ(snap.logHistograms.at("test.fold_us").total, 2);
+    EXPECT_DOUBLE_EQ(snap.logHistograms.at("test.fold_us").observedMax,
+                     90.0);
+}
+
+// ------------------------------------------------------------ OpenMetrics
+
+TEST_F(TelemetryTest, OpenMetricsNameMangling)
+{
+    EXPECT_EQ(obs::openMetricsName("sim.queue_depth"), "sim_queue_depth");
+    EXPECT_EQ(obs::openMetricsName("sim.pat_utilization.rack0"),
+              "sim_pat_utilization_rack0");
+    EXPECT_EQ(obs::openMetricsName("9lives"), "_9lives");
+    EXPECT_EQ(obs::openMetricsName("a-b c"), "a_b_c");
+    EXPECT_EQ(obs::openMetricsName(""), "_");
+}
+
+TEST_F(TelemetryTest, OpenMetricsEscaping)
+{
+    EXPECT_EQ(obs::openMetricsEscape("plain"), "plain");
+    EXPECT_EQ(obs::openMetricsEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(obs::openMetricsEscape("line\nbreak"), "line\\nbreak");
+    EXPECT_EQ(obs::openMetricsEscape("say \"hi\""), "say \\\"hi\\\"");
+}
+
+TEST_F(TelemetryTest, OpenMetricsRendersCountersGaugesAndEof)
+{
+    obs::counter("test.batches").add(7);
+    obs::gauge("test.load").set(0.5);
+    const std::string text = obs::renderOpenMetrics();
+    EXPECT_NE(text.find("# TYPE netpack_test_batches counter\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("netpack_test_batches_total 7\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE netpack_test_load gauge\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("netpack_test_load 0.5\n"), std::string::npos);
+    // Help lines carry the raw dotted name; payload ends with # EOF.
+    EXPECT_NE(text.find("netpack metric 'test.batches'"), std::string::npos);
+    const std::string tail = "# EOF\n";
+    ASSERT_GE(text.size(), tail.size());
+    EXPECT_EQ(text.compare(text.size() - tail.size(), tail.size(), tail), 0);
+}
+
+TEST_F(TelemetryTest, OpenMetricsCollisionsGetDeterministicSuffixes)
+{
+    // Both mangle to netpack_col_a_b; render order (sorted raw names:
+    // '.' < '_') fixes who wins the base name.
+    obs::counter("col.a.b").add(1);
+    obs::counter("col.a_b").add(2);
+    const std::string text = obs::renderOpenMetrics();
+    EXPECT_NE(text.find("netpack_col_a_b_total 1\n"), std::string::npos);
+    EXPECT_NE(text.find("netpack_col_a_b_2_total 2\n"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, OpenMetricsHistogramBucketsAreCumulative)
+{
+    obs::Histogram &h =
+        obs::histogram("test.cume", std::vector<double>{1.0, 2.0, 4.0});
+    h.record(0.5); // le 1
+    h.record(1.5); // le 2
+    h.record(3.0); // le 4
+    h.record(9.0); // overflow -> +Inf only
+    const std::string text = obs::renderOpenMetrics();
+    EXPECT_NE(text.find("netpack_test_cume_bucket{le=\"1\"} 1\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("netpack_test_cume_bucket{le=\"2\"} 2\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("netpack_test_cume_bucket{le=\"4\"} 3\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("netpack_test_cume_bucket{le=\"+Inf\"} 4\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("netpack_test_cume_count 4\n"), std::string::npos);
+    EXPECT_NE(text.find("netpack_test_cume_sum 14\n"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, OpenMetricsLogHistogramIsSparse)
+{
+    obs::logHistogram("test.sparse_us", obs::kLatencySpecUs).record(100.0);
+    const std::string text = obs::renderOpenMetrics();
+    // One populated bucket plus +Inf — not the whole ~213-rung ladder.
+    std::size_t buckets = 0, pos = 0;
+    const std::string needle = "netpack_test_sparse_us_bucket{";
+    while ((pos = text.find(needle, pos)) != std::string::npos) {
+        ++buckets;
+        pos += needle.size();
+    }
+    EXPECT_EQ(buckets, 2u);
+    EXPECT_NE(text.find("netpack_test_sparse_us_count 1\n"),
+              std::string::npos);
+}
+
+// ------------------------------------------------------------ HTTP server
+
+/** One blocking HTTP request against 127.0.0.1:@p port. */
+std::string
+httpGet(std::uint16_t port, const std::string &path)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof addr),
+              0);
+    const std::string request =
+        "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+    EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+              static_cast<ssize_t>(request.size()));
+    std::string response;
+    char buf[4096];
+    ssize_t n;
+    while ((n = ::recv(fd, buf, sizeof buf, 0)) > 0)
+        response.append(buf, static_cast<std::size_t>(n));
+    ::close(fd);
+    return response;
+}
+
+TEST_F(TelemetryTest, HttpServerServesScrapesOnEphemeralPort)
+{
+    obs::counter("test.http").add(3);
+    obs::MetricsHttpServer server(0);
+    ASSERT_NE(server.port(), 0);
+
+    const std::string metrics = httpGet(server.port(), "/metrics");
+    EXPECT_NE(metrics.find("HTTP/1.1 200 OK"), std::string::npos);
+    EXPECT_NE(metrics.find(obs::kOpenMetricsContentType),
+              std::string::npos);
+    EXPECT_NE(metrics.find("netpack_test_http_total 3"), std::string::npos);
+    EXPECT_NE(metrics.find("# EOF"), std::string::npos);
+
+    EXPECT_NE(httpGet(server.port(), "/healthz").find("HTTP/1.1 200 OK"),
+              std::string::npos);
+    EXPECT_NE(httpGet(server.port(), "/nope").find("HTTP/1.1 404"),
+              std::string::npos);
+
+    // Each served /metrics bumped the scrape counter.
+    EXPECT_EQ(obs::snapshot().counters.at("obs.scrapes"), 1);
+}
+
+// -------------------------------------------------------- flight recorder
+
+TEST_F(TelemetryTest, FlightRecorderDumpsChromeTraceJson)
+{
+    const std::string path =
+        ::testing::TempDir() + "netpack_flight_test.json";
+    obs::flight::configure(path);
+    ASSERT_TRUE(obs::flight::enabled());
+    EXPECT_EQ(obs::flight::dumpPath(), path);
+
+    {
+        NETPACK_SPAN(span, "test.flight_span");
+    }
+    NETPACK_COUNT("test.flight_count", 2);
+    EXPECT_GE(obs::flight::bufferedEvents(), 2u);
+
+    const std::size_t written = obs::flight::dump("unit-test");
+    EXPECT_GE(written, 2u);
+    const std::string text = slurp(path);
+    EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(text.find("test.flight_span"), std::string::npos);
+    EXPECT_NE(text.find("test.flight_count"), std::string::npos);
+    EXPECT_NE(text.find("flight.dump"), std::string::npos);
+    EXPECT_NE(text.find("unit-test"), std::string::npos);
+
+    obs::flight::clear();
+    EXPECT_EQ(obs::flight::bufferedEvents(), 0u);
+    std::remove(path.c_str());
+}
+
+TEST_F(TelemetryTest, FlightRecorderDisarmedIsSilent)
+{
+    obs::flight::configure("");
+    obs::flight::clear();
+    {
+        NETPACK_SPAN(span, "test.quiet");
+    }
+    EXPECT_EQ(obs::flight::bufferedEvents(), 0u);
+    EXPECT_EQ(obs::flight::dump("nobody"), 0u);
+}
+
+TEST_F(TelemetryTest, SloBreachBumpsCounterAndDumps)
+{
+    const std::string path = ::testing::TempDir() + "netpack_slo_test.json";
+    obs::flight::configure(path);
+    obs::flight::setSloBatchUs(100.0);
+
+    EXPECT_FALSE(obs::flight::checkSlo("placement.batch", 50.0));
+    EXPECT_EQ(obs::snapshot().counters.count("obs.slo_breaches"), 0u);
+
+    EXPECT_TRUE(obs::flight::checkSlo("placement.batch", 500.0));
+    EXPECT_EQ(obs::snapshot().counters.at("obs.slo_breaches"), 1);
+    std::remove(path.c_str());
+}
+
+TEST_F(TelemetryTest, SloDisabledByDefault)
+{
+    obs::flight::setSloBatchUs(0.0);
+    EXPECT_FALSE(obs::flight::checkSlo("placement.batch", 1e12));
+}
+
+// ----------------------------------------------------------------- knobs
+
+TEST_F(TelemetryTest, PerRackGaugeLimitRoundTripsAndClamps)
+{
+    obs::setPerRackGaugeLimit(8);
+    EXPECT_EQ(obs::perRackGaugeLimit(), 8);
+    obs::setPerRackGaugeLimit(-3);
+    EXPECT_EQ(obs::perRackGaugeLimit(), 0);
+}
+
+TEST_F(TelemetryTest, SeriesSampleEveryClampsToOne)
+{
+    obs::setSeriesSampleEvery(5);
+    EXPECT_EQ(obs::seriesSampleEvery(), 5);
+    obs::setSeriesSampleEvery(0);
+    EXPECT_EQ(obs::seriesSampleEvery(), 1);
+}
+
+} // namespace
+} // namespace netpack
