@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Serving throughput and latency of netpack::serve (docs/serving.md):
+ * an in-process PlacementServer on a 64-rack cluster under closed-loop
+ * load from multiple client connections, each sending a deterministic
+ * place/depart/query mix. Departures track placements so the cluster
+ * reaches a steady running-job population rather than filling up.
+ *
+ * Reports sustained requests/s and client-observed p50/p99 latency,
+ * then hard-asserts the ISSUE 8 acceptance floor — >= 1,000 req/s with
+ * p99 < 50 ms — and exits non-zero on a miss, so CI can run this bench
+ * as a serving-regression gate. `--jobs N` sets the connection count,
+ * `--full` quadruples the request budget.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "serve/client.h"
+#include "serve/placement_server.h"
+#include "workload/models.h"
+
+namespace {
+
+using namespace netpack;
+
+/**
+ * One closed-loop client: place jobs, depart them a short window later
+ * (steady state), and sprinkle what-if queries. Job ids are striped by
+ * client index so connections never collide. Appends one latency
+ * sample (microseconds) per request to @p latencies.
+ */
+void
+clientLoop(std::uint16_t port, int client, std::uint64_t requests,
+           std::vector<double> &latencies)
+{
+    serve::ServeClient conn(port);
+    Rng rng(0x5e57 + static_cast<std::uint64_t>(client));
+    const auto &models = ModelZoo::all();
+    const int base = 1000000 * (client + 1);
+    std::vector<JobId> running;
+    latencies.reserve(requests);
+
+    for (std::uint64_t k = 0; k < requests; ++k) {
+        serve::Request request;
+        request.id = static_cast<std::int64_t>(k);
+        const std::uint64_t slot = rng() % 10;
+        if (slot < 4 || running.empty()) {
+            request.op = serve::Op::Place;
+            JobSpec spec;
+            spec.id = JobId(base + static_cast<int>(k));
+            spec.modelName = models[rng() % models.size()].name;
+            spec.gpuDemand = 1 + static_cast<int>(rng() % 8);
+            spec.iterations = 1000;
+            request.jobs.push_back(std::move(spec));
+        } else if (slot < 8) {
+            request.op = serve::Op::Depart;
+            const std::size_t pick = rng() % running.size();
+            request.departs.push_back(running[pick]);
+            running.erase(running.begin() +
+                          static_cast<std::ptrdiff_t>(pick));
+        } else if (slot == 8) {
+            request.op = serve::Op::Query;
+            JobSpec spec;
+            spec.id = JobId(base + 900000 + static_cast<int>(k));
+            spec.modelName = models[rng() % models.size()].name;
+            spec.gpuDemand = 1 + static_cast<int>(rng() % 8);
+            request.jobs.push_back(std::move(spec));
+        } else {
+            request.op = serve::Op::Stats;
+        }
+
+        const auto start = std::chrono::steady_clock::now();
+        const serve::Response response = conn.call(request);
+        latencies.push_back(
+            std::chrono::duration<double, std::micro>(
+                std::chrono::steady_clock::now() - start)
+                .count());
+        for (const PlacedJob &placed : response.placed)
+            running.push_back(placed.id);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace netpack;
+    const auto options = benchutil::parseOptions(argc, argv);
+
+    benchutil::printHeader(
+        "Serving throughput — netpack::serve on a 64-rack cluster",
+        "placement-as-a-service daemon: closed-loop NDJSON load over "
+        "loopback",
+        ">= 1000 req/s sustained with client-observed p99 < 50 ms");
+
+    const int clients =
+        std::max(1, std::min(options.jobs > 0 ? options.jobs : 4, 16));
+    const std::uint64_t total =
+        options.full ? std::uint64_t(40000) : std::uint64_t(10000);
+    const std::uint64_t perClient = total / clients;
+
+    serve::ServerConfig config;
+    config.engine.cluster = benchutil::simulatorCluster();
+    config.engine.cluster.numRacks = 64;
+    config.engine.seed = 1;
+    serve::PlacementServer server(config);
+
+    std::vector<std::vector<double>> latencies(clients);
+    std::vector<std::thread> threads;
+    const auto begin = std::chrono::steady_clock::now();
+    for (int c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+            clientLoop(server.port(), c, perClient, latencies[c]);
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      begin)
+            .count();
+
+    SampleSet merged;
+    for (const std::vector<double> &samples : latencies)
+        for (const double us : samples)
+            merged.add(us);
+    const double served = static_cast<double>(merged.count());
+    const double reqPerSec = served / seconds;
+    const double p50Ms = merged.percentile(50.0) / 1000.0;
+    const double p99Ms = merged.percentile(99.0) / 1000.0;
+
+    Table table({"load", "clients", "requests", "seconds", "req/s",
+                 "p50 ms", "p99 ms"});
+    table.addRow("closed-loop",
+                 {static_cast<double>(clients), served, seconds,
+                  reqPerSec, p50Ms, p99Ms});
+    benchutil::emit(table, options);
+
+    server.stop();
+    server.join();
+
+    if (reqPerSec < 1000.0 || p99Ms >= 50.0) {
+        std::cerr << "FAIL: serving floor missed (" << reqPerSec
+                  << " req/s, p99 " << p99Ms << " ms; need >= 1000 "
+                  << "req/s and p99 < 50 ms)\n";
+        return 1;
+    }
+    std::cout << "serving floor held: " << static_cast<long>(reqPerSec)
+              << " req/s, p99 " << p99Ms << " ms\n";
+    return 0;
+}

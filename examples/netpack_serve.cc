@@ -1,0 +1,287 @@
+/**
+ * @file
+ * The placement-as-a-service CLI: daemon and client in one binary
+ * (docs/serving.md).
+ *
+ * Daemon:
+ *   netpack_serve serve [--port <p>] [--racks <n>] [--servers-per-rack <n>]
+ *                       [--gpus-per-server <n>] [--placer <name>] [--seed <s>]
+ *                       [--wal <path>] [--recover] [--snapshot-every <k>]
+ *                       [--admission-cap <n>] [--query-threads <n>]
+ *                       [--metrics-port <p>] [--state-out <path>]
+ *   Prints "listening on port <p>" and serves until SIGINT/SIGTERM or a
+ *   client drain; on graceful exit writes the canonical state (schema
+ *   netpack.serve_state/1) to --state-out for bit-identity diffing.
+ *
+ * Client:
+ *   netpack_serve drive --port <p> --count <n> [--seed <s>] [--start <k>]
+ *     Deterministic mixed place/depart/query/stats workload: request k is
+ *     a pure function of (seed, k), so two daemons fed the same (seed,
+ *     start, count) ranges see byte-identical request streams — the CI
+ *     kill/restart check replays chunk 2 against a recovered daemon.
+ *   netpack_serve stats|snapshot|drain --port <p>
+ *   netpack_serve query --port <p> --model <name> --gpus <n>
+ */
+
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "obs/http_export.h"
+#include "obs/metrics.h"
+#include "serve/client.h"
+#include "serve/placement_server.h"
+#include "workload/models.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_signal = 0;
+
+void
+onSignal(int sig)
+{
+    g_signal = sig;
+}
+
+int
+usage(const char *argv0)
+{
+    std::cerr
+        << "usage: " << argv0 << " <mode> [options]\n"
+        << "  serve     run the placement daemon (see file header)\n"
+        << "  drive     deterministic load: --port --count [--seed] [--start]\n"
+        << "  stats     print the server's stats line: --port\n"
+        << "  snapshot  ask the server to journal a snapshot: --port\n"
+        << "  drain     gracefully shut the server down: --port\n"
+        << "  query     one what-if: --port --model <name> --gpus <n>\n";
+    return 2;
+}
+
+/**
+ * Request k of the drive workload, as a pure function of (seed, k):
+ * 5/8 place, 2/8 depart-a-recent-job, 1/8 query-or-stats. Departs can
+ * name jobs that were deferred or already departed — the server answers
+ * those with a deterministic error, which is part of the contract (the
+ * stream needs no client-side state to be reproducible in chunks).
+ */
+netpack::serve::Request
+driveRequest(std::uint64_t seed, std::uint64_t k)
+{
+    using netpack::serve::Op;
+    using netpack::serve::Request;
+    constexpr int kJobBase = 100000;
+    constexpr int kQueryBase = 50000000;
+
+    netpack::Rng rng(seed * 1000003ull + k);
+    const auto &models = netpack::ModelZoo::all();
+
+    Request request;
+    request.id = static_cast<std::int64_t>(k);
+    const std::uint64_t slot = k % 8;
+    if (slot <= 4) {
+        request.op = Op::Place;
+        netpack::JobSpec spec;
+        spec.id = netpack::JobId(kJobBase + static_cast<int>(k));
+        spec.modelName = models[rng() % models.size()].name;
+        spec.gpuDemand = 1 + static_cast<int>(rng() % 8);
+        spec.iterations = 1000;
+        spec.value = 1.0;
+        request.jobs.push_back(std::move(spec));
+    } else if (slot <= 6) {
+        request.op = Op::Depart;
+        // A recent-ish request index, nudged onto a place slot.
+        std::uint64_t target = k > 24 ? k - 1 - rng() % 24 : 0;
+        while (target % 8 > 4 && target > 0)
+            --target;
+        request.departs.push_back(
+            netpack::JobId(kJobBase + static_cast<int>(target)));
+    } else if (rng() % 2 == 0) {
+        request.op = Op::Query;
+        netpack::JobSpec spec;
+        spec.id = netpack::JobId(kQueryBase + static_cast<int>(k));
+        spec.modelName = models[rng() % models.size()].name;
+        spec.gpuDemand = 1 + static_cast<int>(rng() % 8);
+        spec.iterations = 1000;
+        request.jobs.push_back(std::move(spec));
+    } else {
+        request.op = Op::Stats;
+    }
+    return request;
+}
+
+int
+runServe(int argc, char **argv)
+{
+    using namespace netpack;
+    serve::ServerConfig config;
+    config.engine.cluster.numRacks = 16;
+    std::string stateOut;
+    int metricsPort = -1;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const bool hasValue = i + 1 < argc;
+        if (arg == "--port" && hasValue)
+            config.port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
+        else if (arg == "--racks" && hasValue)
+            config.engine.cluster.numRacks = std::atoi(argv[++i]);
+        else if (arg == "--servers-per-rack" && hasValue)
+            config.engine.cluster.serversPerRack = std::atoi(argv[++i]);
+        else if (arg == "--gpus-per-server" && hasValue)
+            config.engine.cluster.gpusPerServer = std::atoi(argv[++i]);
+        else if (arg == "--placer" && hasValue)
+            config.engine.placer = argv[++i];
+        else if (arg == "--seed" && hasValue)
+            config.engine.seed =
+                static_cast<std::uint64_t>(std::atoll(argv[++i]));
+        else if (arg == "--wal" && hasValue)
+            config.walPath = argv[++i];
+        else if (arg == "--recover")
+            config.recover = true;
+        else if (arg == "--snapshot-every" && hasValue)
+            config.snapshotEvery =
+                static_cast<std::uint64_t>(std::atoll(argv[++i]));
+        else if (arg == "--admission-cap" && hasValue)
+            config.admissionCapacity =
+                static_cast<std::size_t>(std::atoll(argv[++i]));
+        else if (arg == "--query-threads" && hasValue)
+            config.queryThreads = std::atoi(argv[++i]);
+        else if (arg == "--metrics-port" && hasValue)
+            metricsPort = std::atoi(argv[++i]);
+        else if (arg == "--state-out" && hasValue)
+            stateOut = argv[++i];
+        else
+            return usage(argv[0]);
+    }
+
+    if (metricsPort >= 0)
+        obs::ensureMetricsServer(metricsPort);
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+
+    serve::PlacementServer server(config);
+    std::cout << "listening on port " << server.port() << std::endl;
+
+    while (g_signal == 0 && !server.finished())
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    server.stop();
+    server.join();
+
+    const std::uint64_t seq = server.seq();
+    if (!stateOut.empty()) {
+        std::ofstream os(stateOut, std::ios::trunc);
+        NETPACK_REQUIRE(os.good(), "cannot write state: " << stateOut);
+        os << server.engine().canonicalState(seq) << '\n';
+    }
+    std::cout << "drained at seq " << seq << ", "
+              << server.requestsServed() << " requests served, digest "
+              << server.engine().stateDigest(seq) << std::endl;
+    return 0;
+}
+
+int
+runClient(const std::string &mode, int argc, char **argv)
+{
+    using namespace netpack;
+    int port = 0;
+    std::uint64_t count = 0, seed = 1, start = 0;
+    std::string model = "VGG16";
+    int gpus = 4;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const bool hasValue = i + 1 < argc;
+        if (arg == "--port" && hasValue)
+            port = std::atoi(argv[++i]);
+        else if (arg == "--count" && hasValue)
+            count = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+        else if (arg == "--seed" && hasValue)
+            seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+        else if (arg == "--start" && hasValue)
+            start = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+        else if (arg == "--model" && hasValue)
+            model = argv[++i];
+        else if (arg == "--gpus" && hasValue)
+            gpus = std::atoi(argv[++i]);
+        else
+            return usage(argv[0]);
+    }
+    NETPACK_REQUIRE(port > 0, "client modes need --port");
+    serve::ServeClient client(static_cast<std::uint16_t>(port));
+
+    if (mode == "drive") {
+        std::uint64_t ok = 0, errors = 0, rejected = 0, placed = 0,
+                      deferred = 0;
+        for (std::uint64_t k = start; k < start + count; ++k) {
+            const serve::Response response =
+                client.call(driveRequest(seed, k));
+            if (response.rejected)
+                ++rejected;
+            else if (response.ok)
+                ++ok;
+            else
+                ++errors;
+            placed += response.placed.size();
+            deferred += response.deferred.size();
+        }
+        serve::Request statsReq;
+        statsReq.op = serve::Op::Stats;
+        statsReq.id = -1;
+        const serve::Response stats = client.call(statsReq);
+        std::cout << "drive: ok " << ok << ", errors " << errors
+                  << ", rejected " << rejected << ", placed " << placed
+                  << ", deferred " << deferred << "\n"
+                  << "server: seq " << stats.stats.seq << ", running "
+                  << stats.stats.runningJobs << ", digest "
+                  << stats.stats.digest << std::endl;
+        return 0;
+    }
+    if (mode == "stats" || mode == "snapshot" || mode == "drain") {
+        serve::Request request;
+        request.op = mode == "stats"      ? serve::Op::Stats
+                     : mode == "snapshot" ? serve::Op::Snapshot
+                                          : serve::Op::Drain;
+        request.id = 1;
+        std::cout << client.callRaw(serve::serializeRequest(request))
+                  << std::endl;
+        return 0;
+    }
+    if (mode == "query") {
+        serve::Request request;
+        request.op = serve::Op::Query;
+        request.id = 1;
+        JobSpec spec;
+        spec.id = JobId(99000001);
+        spec.modelName = model;
+        spec.gpuDemand = gpus;
+        request.jobs.push_back(std::move(spec));
+        std::cout << client.callRaw(serve::serializeRequest(request))
+                  << std::endl;
+        return 0;
+    }
+    return usage(argv[0]);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage(argv[0]);
+    const std::string mode = argv[1];
+    try {
+        if (mode == "serve")
+            return runServe(argc, argv);
+        return runClient(mode, argc, argv);
+    } catch (const std::exception &err) {
+        std::cerr << "netpack_serve: " << err.what() << "\n";
+        return 1;
+    }
+}

@@ -14,6 +14,12 @@ Stdlib-only; used by CI and handy locally:
     # metrics, wallclock-flagged quantiles) plus args/env.
     scripts/check_manifest.py manifest-jobs4.json --diff manifest-jobs1.json
 
+    # Serve daemon canonical state (netpack.serve_state/1): validate
+    # one file, or assert two are byte-identical (the kill/restart
+    # recovery contract — no wall-clock stripping, equal states must
+    # produce equal bytes).
+    scripts/check_manifest.py stateA.json --state [--diff stateB.json]
+
 Exits non-zero with a message on the first violated assertion.
 """
 
@@ -22,6 +28,7 @@ import json
 import sys
 
 SCHEMA = "netpack.run_manifest/4"
+STATE_SCHEMA = "netpack.serve_state/1"
 
 
 def fail(message):
@@ -49,6 +56,33 @@ def strip_wallclock(value, key=None):
     if isinstance(value, list):
         return [strip_wallclock(v) for v in value]
     return value
+
+
+def check_state(path, args):
+    """Validate a serve canonical-state file; with --diff, require the
+    two files byte-identical (bit-identity is the whole contract)."""
+    with open(path, "rb") as f:
+        raw = f.read()
+    state = json.loads(raw)
+    if state.get("schema") != STATE_SCHEMA:
+        fail(f"state schema is {state.get('schema')!r}, "
+             f"want {STATE_SCHEMA!r}")
+    for block in ("seq", "placer", "placed_jobs", "departed_jobs",
+                  "deferred_jobs", "context", "gpu_holdings"):
+        if block not in state:
+            fail(f"state missing field {block!r}")
+    if args.diff:
+        with open(args.diff, "rb") as f:
+            other = f.read()
+        if raw != other:
+            fail(f"{path} and {args.diff} are not byte-identical "
+                 "(kill/restart recovery diverged)")
+        print(f"check_manifest: OK: {path} == {args.diff} "
+              f"(byte-identical, seq {state['seq']})")
+    else:
+        print(f"check_manifest: OK: serve state seq {state['seq']}, "
+              f"{len(state['gpu_holdings'])} holdings, "
+              f"placer {state['placer']}")
 
 
 def check(manifest, args):
@@ -147,11 +181,18 @@ def main():
                         help="series block must be non-empty and ordered")
     parser.add_argument("--require-quantiles", action="store_true",
                         help="quantiles block must be non-empty and monotone")
+    parser.add_argument("--state", action="store_true",
+                        help="the file is a serve canonical state "
+                             f"({STATE_SCHEMA}); --diff compares bytes")
     parser.add_argument("--diff", metavar="OTHER",
                         help="second manifest that must be bit-identical "
                              "after stripping wall-clock fields and args/env")
     args = parser.parse_args()
     args.require_counters = [c for c in args.require_counters.split(",") if c]
+
+    if args.state:
+        check_state(args.manifest, args)
+        return
 
     with open(args.manifest) as f:
         manifest = json.load(f)

@@ -50,6 +50,8 @@ ctest --test-dir build --output-on-failure | tee test_output.txt
               # BENCH_placer_micro.json alongside the figure manifests.
               # Every figure bench leaves a machine-readable manifest
               # (BENCH_fig07_jct.json, ...) next to bench_output.txt.
+              # bench_serve rides this arm too and aborts the trail if
+              # the serving floor (>= 1000 req/s, p99 < 50 ms) is missed.
               *)
                 JOURNAL_ARGS=()
                 if [ -n "${JOURNAL_DIR}" ]; then

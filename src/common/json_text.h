@@ -1,0 +1,32 @@
+/**
+ * @file
+ * JSON string escaping, shared by every layer that emits or parses
+ * JSON text: the obs JSON writer/parser, the journal's JSONL event
+ * lines, and the serve daemon's wire protocol. One implementation so
+ * the "escape/unescape are exact inverses" contract the journal and
+ * protocol codecs depend on is proven in one place (tests/common_test,
+ * tests/obs_test round-trips).
+ */
+
+#ifndef NETPACK_COMMON_JSON_TEXT_H
+#define NETPACK_COMMON_JSON_TEXT_H
+
+#include <string>
+#include <string_view>
+
+namespace netpack {
+
+/** Escape @p s for inclusion inside a JSON string literal (no quotes). */
+std::string jsonEscapeText(std::string_view s);
+
+/**
+ * Invert jsonEscapeText: decode the backslash escapes of a JSON string
+ * body (the text between the quotes). Handles the two-character escapes
+ * and \uXXXX sequences, including UTF-16 surrogate pairs (re-encoded as
+ * UTF-8). ConfigError on malformed escapes.
+ */
+std::string jsonUnescapeText(std::string_view s);
+
+} // namespace netpack
+
+#endif // NETPACK_COMMON_JSON_TEXT_H

@@ -1,0 +1,74 @@
+#include "common/net_io.h"
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/check.h"
+
+namespace netpack {
+
+int
+listenLoopback(std::uint16_t port, int backlog, const char *what,
+               std::uint16_t &boundPort)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    NETPACK_REQUIRE(fd >= 0, what << ": socket() failed: "
+                                  << std::strerror(errno));
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof addr);
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof addr) != 0 ||
+        ::listen(fd, backlog) != 0) {
+        const int savedErrno = errno;
+        ::close(fd);
+        throw ConfigError(std::string(what) + ": cannot listen on port " +
+                          std::to_string(port) + ": " +
+                          std::strerror(savedErrno));
+    }
+    socklen_t len = sizeof addr;
+    NETPACK_REQUIRE(
+        ::getsockname(fd, reinterpret_cast<sockaddr *>(&addr), &len) == 0,
+        what << ": getsockname() failed");
+    boundPort = ntohs(addr.sin_port);
+    return fd;
+}
+
+bool
+sendAll(int fd, std::string_view payload)
+{
+    std::size_t sent = 0;
+    while (sent < payload.size()) {
+        const ssize_t n = ::send(fd, payload.data() + sent,
+                                 payload.size() - sent, MSG_NOSIGNAL);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            return false; // peer went away; nothing to clean up
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+long
+recvSome(int fd, char *buf, std::size_t cap)
+{
+    ssize_t n;
+    do {
+        n = ::recv(fd, buf, cap, 0);
+    } while (n < 0 && errno == EINTR);
+    return static_cast<long>(n);
+}
+
+} // namespace netpack

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Loopback socket plumbing shared by the obs scrape server and the
+ * serve daemon: a bind+listen helper restricted to 127.0.0.1 and
+ * EINTR/partial-write-safe send/recv wrappers. All writes pass
+ * MSG_NOSIGNAL so a peer that disconnects mid-response surfaces as an
+ * EPIPE return value instead of a process-killing SIGPIPE — daemons
+ * must not die because one client hung up.
+ */
+
+#ifndef NETPACK_COMMON_NET_IO_H
+#define NETPACK_COMMON_NET_IO_H
+
+#include <cstdint>
+#include <string_view>
+
+namespace netpack {
+
+/**
+ * Create a TCP socket bound to 127.0.0.1:@p port (0 = ephemeral) and
+ * listening with @p backlog. Returns the fd; @p boundPort receives the
+ * resolved port. Throws ConfigError (tagged with @p what) when the
+ * bind/listen fails — loopback-only by construction, never exposed on
+ * external interfaces.
+ */
+int listenLoopback(std::uint16_t port, int backlog, const char *what,
+                   std::uint16_t &boundPort);
+
+/**
+ * Write all of @p payload to @p fd, looping over EINTR and short
+ * writes, with SIGPIPE suppressed via MSG_NOSIGNAL. Returns true when
+ * every byte was written, false when the peer went away (EPIPE,
+ * ECONNRESET, ...) — the caller just drops the connection.
+ */
+bool sendAll(int fd, std::string_view payload);
+
+/**
+ * Read up to @p cap bytes into @p buf, retrying on EINTR. Returns the
+ * byte count, 0 on orderly shutdown, or -1 on a (non-EINTR) error.
+ */
+long recvSome(int fd, char *buf, std::size_t cap);
+
+} // namespace netpack
+
+#endif // NETPACK_COMMON_NET_IO_H

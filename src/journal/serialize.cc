@@ -45,6 +45,8 @@ readServerFailure(const obs::JsonValue &value)
     return failure;
 }
 
+} // namespace
+
 void
 writeSteadyState(obs::JsonWriter &json, const SteadyState &steady)
 {
@@ -208,6 +210,51 @@ readClusterConfig(const obs::JsonValue &value)
         readDouble(value.at("pod_oversubscription"));
     return config;
 }
+
+void
+writeGpuHoldings(obs::JsonWriter &json,
+                 const std::vector<GpuLedger::Holding> &holdings)
+{
+    json.beginArray();
+    for (const GpuLedger::Holding &holding : holdings) {
+        json.beginObject();
+        json.kv("job", holding.job.value);
+        json.key("servers");
+        json.beginArray();
+        for (const auto &[server, count] : holding.servers) {
+            json.beginArray();
+            json.value(server.value);
+            json.value(count);
+            json.endArray();
+        }
+        json.endArray();
+        json.endObject();
+    }
+    json.endArray();
+}
+
+std::vector<GpuLedger::Holding>
+readGpuHoldings(const obs::JsonValue &value)
+{
+    std::vector<GpuLedger::Holding> holdings;
+    for (const obs::JsonValue &entry : value.items()) {
+        GpuLedger::Holding holding;
+        holding.job = JobId(static_cast<int>(entry.at("job").asInt64()));
+        for (const obs::JsonValue &pair : entry.at("servers").items()) {
+            const auto &items = pair.items();
+            NETPACK_REQUIRE(items.size() == 2,
+                            "servers entry must be a [server, count] "
+                            "pair");
+            holding.servers.emplace_back(
+                ServerId(static_cast<int>(items[0].asInt64())),
+                static_cast<int>(items[1].asInt64()));
+        }
+        holdings.push_back(std::move(holding));
+    }
+    return holdings;
+}
+
+namespace {
 
 void
 writeSimConfig(obs::JsonWriter &json, const SimConfig &config)
@@ -517,22 +564,7 @@ writeSnapshot(obs::JsonWriter &json, const SimSnapshot &snap)
     }
     json.endArray();
     json.key("gpu_holdings");
-    json.beginArray();
-    for (const GpuLedger::Holding &holding : snap.gpuHoldings) {
-        json.beginObject();
-        json.kv("job", holding.job.value);
-        json.key("servers");
-        json.beginArray();
-        for (const auto &[server, count] : holding.servers) {
-            json.beginArray();
-            json.value(server.value);
-            json.value(count);
-            json.endArray();
-        }
-        json.endArray();
-        json.endObject();
-    }
-    json.endArray();
+    writeGpuHoldings(json, snap.gpuHoldings);
     json.kv("gpu_busy_time", snap.gpuBusyTime);
     json.kv("fragmentation_time", snap.fragmentationTime);
     json.key("metrics");
@@ -573,19 +605,7 @@ readSnapshot(const obs::JsonValue &value)
         snap.recoveries.emplace_back(readDouble(items[0]),
                                      readInt(items[1]));
     }
-    for (const obs::JsonValue &entry : value.at("gpu_holdings").items()) {
-        GpuLedger::Holding holding;
-        holding.job = JobId(readInt(entry.at("job")));
-        for (const obs::JsonValue &pair : entry.at("servers").items()) {
-            const auto &items = pair.items();
-            NETPACK_REQUIRE(items.size() == 2,
-                            "servers entry must be a [server, count] "
-                            "pair");
-            holding.servers.emplace_back(ServerId(readInt(items[0])),
-                                         readInt(items[1]));
-        }
-        snap.gpuHoldings.push_back(std::move(holding));
-    }
+    snap.gpuHoldings = readGpuHoldings(value.at("gpu_holdings"));
     snap.gpuBusyTime = readDouble(value.at("gpu_busy_time"));
     snap.fragmentationTime = readDouble(value.at("fragmentation_time"));
     snap.metrics = readRunMetrics(value.at("metrics"));

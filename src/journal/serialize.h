@@ -14,9 +14,12 @@
 #ifndef NETPACK_JOURNAL_SERIALIZE_H
 #define NETPACK_JOURNAL_SERIALIZE_H
 
+#include <vector>
+
 #include "core/experiment.h"
 #include "obs/json.h"
 #include "sim/sim_snapshot.h"
+#include "topology/gpu_ledger.h"
 
 namespace netpack {
 namespace journal {
@@ -45,6 +48,30 @@ PlacementContext::Stats readContextStats(const obs::JsonValue &value);
 
 void writeSnapshot(obs::JsonWriter &json, const SimSnapshot &snap);
 SimSnapshot readSnapshot(const obs::JsonValue &value);
+
+/**
+ * Piecewise state serializers, shared between the SimSnapshot above and
+ * the serve daemon's WAL snapshots (src/serve/wal.h), which persist a
+ * PlacementContext + GpuLedger without a surrounding simulator. Same
+ * byte-exact round-trip contract as everything else here.
+ */
+void writeSteadyState(obs::JsonWriter &json, const SteadyState &steady);
+SteadyState readSteadyState(const obs::JsonValue &value);
+
+void writeContextState(obs::JsonWriter &json,
+                       const PlacementContext::State &state);
+PlacementContext::State readContextState(const obs::JsonValue &value);
+
+void writeRngState(obs::JsonWriter &json, const Rng::State &state);
+Rng::State readRngState(const obs::JsonValue &value);
+
+void writeClusterConfig(obs::JsonWriter &json, const ClusterConfig &config);
+ClusterConfig readClusterConfig(const obs::JsonValue &value);
+
+void writeGpuHoldings(obs::JsonWriter &json,
+                      const std::vector<GpuLedger::Holding> &holdings);
+std::vector<GpuLedger::Holding>
+readGpuHoldings(const obs::JsonValue &value);
 
 void writeExperimentConfig(obs::JsonWriter &json,
                            const ExperimentConfig &config);

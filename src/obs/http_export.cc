@@ -5,14 +5,13 @@
 #include <cstring>
 #include <string>
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include "common/check.h"
 #include "common/log.h"
+#include "common/net_io.h"
 #include "obs/metrics.h"
 #include "obs/openmetrics.h"
 
@@ -20,22 +19,6 @@ namespace netpack {
 namespace obs {
 
 namespace {
-
-void
-sendAll(int fd, const std::string &payload)
-{
-    std::size_t sent = 0;
-    while (sent < payload.size()) {
-        const ssize_t n =
-            ::send(fd, payload.data() + sent, payload.size() - sent, 0);
-        if (n <= 0) {
-            if (n < 0 && errno == EINTR)
-                continue;
-            return; // client went away; nothing to clean up
-        }
-        sent += static_cast<std::size_t>(n);
-    }
-}
 
 std::string
 httpResponse(const char *status, const char *contentType,
@@ -56,32 +39,7 @@ httpResponse(const char *status, const char *contentType,
 
 MetricsHttpServer::MetricsHttpServer(std::uint16_t port)
 {
-    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-    NETPACK_REQUIRE(listenFd_ >= 0, "metrics server: socket() failed");
-    const int one = 1;
-    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-
-    sockaddr_in addr;
-    std::memset(&addr, 0, sizeof addr);
-    addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port = htons(port);
-    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr), sizeof addr) !=
-            0 ||
-        ::listen(listenFd_, 16) != 0) {
-        const int savedErrno = errno;
-        ::close(listenFd_);
-        listenFd_ = -1;
-        throw ConfigError("metrics server: cannot listen on port " +
-                          std::to_string(port) + ": " +
-                          std::strerror(savedErrno));
-    }
-    socklen_t len = sizeof addr;
-    NETPACK_REQUIRE(::getsockname(listenFd_,
-                                  reinterpret_cast<sockaddr *>(&addr),
-                                  &len) == 0,
-                    "metrics server: getsockname() failed");
-    port_ = ntohs(addr.sin_port);
+    listenFd_ = listenLoopback(port, 16, "metrics server", port_);
     thread_ = std::thread([this] { serveLoop(); });
 }
 
@@ -105,8 +63,11 @@ MetricsHttpServer::serveLoop()
         // Short timeout so the stop flag is honoured promptly.
         const int ready = ::poll(&pfd, 1, 50);
         if (ready <= 0)
-            continue;
-        const int client = ::accept(listenFd_, nullptr, nullptr);
+            continue; // poll timeout, EINTR, and errors all just retry
+        int client;
+        do {
+            client = ::accept(listenFd_, nullptr, nullptr);
+        } while (client < 0 && errno == EINTR);
         if (client < 0)
             continue;
         handleConnection(client);
@@ -120,10 +81,7 @@ MetricsHttpServer::handleConnection(int client)
     // One read is enough for the GET request lines we serve; anything
     // longer is from a client we do not cater to.
     char buf[2048];
-    ssize_t n;
-    do {
-        n = ::recv(client, buf, sizeof buf - 1, 0);
-    } while (n < 0 && errno == EINTR);
+    const long n = recvSome(client, buf, sizeof buf - 1);
     if (n <= 0)
         return;
     buf[n] = '\0';

@@ -6,6 +6,7 @@
 #include <cstdlib>
 
 #include "common/check.h"
+#include "common/json_text.h"
 
 namespace netpack {
 namespace obs {
@@ -13,127 +14,13 @@ namespace obs {
 std::string
 jsonEscape(std::string_view s)
 {
-    std::string out;
-    out.reserve(s.size());
-    for (const char c : s) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\b': out += "\\b"; break;
-          case '\f': out += "\\f"; break;
-          case '\n': out += "\\n"; break;
-          case '\r': out += "\\r"; break;
-          case '\t': out += "\\t"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x",
-                              static_cast<unsigned>(c));
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    return out;
+    return jsonEscapeText(s);
 }
-
-namespace {
-
-/** Decode 4 hex digits at s[i..i+3]; ConfigError on short/bad input. */
-unsigned
-hex4(std::string_view s, std::size_t i)
-{
-    NETPACK_REQUIRE(i + 4 <= s.size(),
-                    "truncated \\u escape in JSON string");
-    unsigned code = 0;
-    for (std::size_t k = i; k < i + 4; ++k) {
-        const char c = s[k];
-        code <<= 4;
-        if (c >= '0' && c <= '9')
-            code |= static_cast<unsigned>(c - '0');
-        else if (c >= 'a' && c <= 'f')
-            code |= static_cast<unsigned>(c - 'a' + 10);
-        else if (c >= 'A' && c <= 'F')
-            code |= static_cast<unsigned>(c - 'A' + 10);
-        else
-            throw ConfigError("bad hex digit in \\u escape");
-    }
-    return code;
-}
-
-/** Append @p code point as UTF-8. */
-void
-appendUtf8(std::string &out, unsigned code)
-{
-    if (code < 0x80) {
-        out += static_cast<char>(code);
-    } else if (code < 0x800) {
-        out += static_cast<char>(0xC0 | (code >> 6));
-        out += static_cast<char>(0x80 | (code & 0x3F));
-    } else if (code < 0x10000) {
-        out += static_cast<char>(0xE0 | (code >> 12));
-        out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
-        out += static_cast<char>(0x80 | (code & 0x3F));
-    } else {
-        out += static_cast<char>(0xF0 | (code >> 18));
-        out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
-        out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
-        out += static_cast<char>(0x80 | (code & 0x3F));
-    }
-}
-
-} // namespace
 
 std::string
 jsonUnescape(std::string_view s)
 {
-    std::string out;
-    out.reserve(s.size());
-    for (std::size_t i = 0; i < s.size(); ++i) {
-        const char c = s[i];
-        if (c != '\\') {
-            out += c;
-            continue;
-        }
-        NETPACK_REQUIRE(i + 1 < s.size(),
-                        "dangling backslash in JSON string");
-        const char e = s[++i];
-        switch (e) {
-          case '"': out += '"'; break;
-          case '\\': out += '\\'; break;
-          case '/': out += '/'; break;
-          case 'b': out += '\b'; break;
-          case 'f': out += '\f'; break;
-          case 'n': out += '\n'; break;
-          case 'r': out += '\r'; break;
-          case 't': out += '\t'; break;
-          case 'u': {
-            unsigned code = hex4(s, i + 1);
-            i += 4;
-            if (code >= 0xD800 && code <= 0xDBFF) {
-                // High surrogate: must pair with \uDC00-\uDFFF.
-                NETPACK_REQUIRE(i + 2 < s.size() && s[i + 1] == '\\' &&
-                                    s[i + 2] == 'u',
-                                "unpaired UTF-16 high surrogate");
-                const unsigned low = hex4(s, i + 3);
-                NETPACK_REQUIRE(low >= 0xDC00 && low <= 0xDFFF,
-                                "invalid UTF-16 low surrogate");
-                i += 6;
-                code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
-            } else {
-                NETPACK_REQUIRE(!(code >= 0xDC00 && code <= 0xDFFF),
-                                "stray UTF-16 low surrogate");
-            }
-            appendUtf8(out, code);
-            break;
-          }
-          default:
-            throw ConfigError(std::string("unknown JSON escape '\\") + e +
-                              "'");
-        }
-    }
-    return out;
+    return jsonUnescapeText(s);
 }
 
 JsonWriter::JsonWriter(std::ostream &os, int indent)

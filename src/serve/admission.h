@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Admission control of the placement daemon: a bounded FIFO of parsed
+ * requests. The service loop parses every complete line its sockets
+ * deliver and offers the requests here; when clients pipeline faster
+ * than the engine places, the queue fills and tryEnqueue refuses — the
+ * server then sheds the request with an explicit `rejected` response
+ * instead of buffering unboundedly or stalling the poll loop.
+ *
+ * Deliberately a plain single-threaded container (the service loop is
+ * the only toucher) so shedding behaviour is deterministic and
+ * unit-testable without sockets or timing.
+ */
+
+#ifndef NETPACK_SERVE_ADMISSION_H
+#define NETPACK_SERVE_ADMISSION_H
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "serve/protocol.h"
+
+namespace netpack {
+namespace serve {
+
+/** A parsed request plus the connection that must get its response. */
+struct Envelope
+{
+    Request request;
+    /** Client fd (transport detail; -1 in unit tests). */
+    int client = -1;
+};
+
+/** Bounded request queue with shed accounting. */
+class AdmissionQueue
+{
+  public:
+    /** @param capacity maximum queued requests (>= 1). */
+    explicit AdmissionQueue(std::size_t capacity) : capacity_(capacity) {}
+
+    /** Admit @p envelope, or refuse (and count a shed) when full. */
+    bool tryEnqueue(Envelope envelope)
+    {
+        if (queue_.size() >= capacity_) {
+            ++shed_;
+            return false;
+        }
+        queue_.push_back(std::move(envelope));
+        return true;
+    }
+
+    /** Pop the oldest admitted request; nullopt when empty. */
+    std::optional<Envelope> pop()
+    {
+        if (queue_.empty())
+            return std::nullopt;
+        Envelope envelope = std::move(queue_.front());
+        queue_.pop_front();
+        return envelope;
+    }
+
+    std::size_t size() const { return queue_.size(); }
+    std::size_t capacity() const { return capacity_; }
+    bool empty() const { return queue_.empty(); }
+
+    /** Requests refused since construction. */
+    std::uint64_t shedCount() const { return shed_; }
+
+  private:
+    std::size_t capacity_;
+    std::deque<Envelope> queue_;
+    std::uint64_t shed_ = 0;
+};
+
+} // namespace serve
+} // namespace netpack
+
+#endif // NETPACK_SERVE_ADMISSION_H

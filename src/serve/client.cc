@@ -1,0 +1,80 @@
+#include "serve/client.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/check.h"
+#include "common/net_io.h"
+
+namespace netpack {
+namespace serve {
+
+ServeClient::ServeClient(std::uint16_t port)
+{
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    NETPACK_REQUIRE(fd_ >= 0, "serve client: socket() failed");
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof addr);
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    int rc;
+    do {
+        rc = ::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                       sizeof addr);
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+        const int savedErrno = errno;
+        ::close(fd_);
+        fd_ = -1;
+        throw ConfigError("serve client: cannot connect to port " +
+                          std::to_string(port) + ": " +
+                          std::strerror(savedErrno));
+    }
+}
+
+ServeClient::~ServeClient()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+std::string
+ServeClient::readLine()
+{
+    while (true) {
+        const std::size_t eol = inbuf_.find('\n');
+        if (eol != std::string::npos) {
+            std::string line = inbuf_.substr(0, eol);
+            inbuf_.erase(0, eol + 1);
+            return line;
+        }
+        char buf[4096];
+        const long n = recvSome(fd_, buf, sizeof buf);
+        NETPACK_REQUIRE(n > 0,
+                        "serve client: server closed the connection");
+        inbuf_.append(buf, static_cast<std::size_t>(n));
+    }
+}
+
+Response
+ServeClient::call(const Request &request)
+{
+    return parseResponse(callRaw(serializeRequest(request)));
+}
+
+std::string
+ServeClient::callRaw(const std::string &line)
+{
+    NETPACK_REQUIRE(sendAll(fd_, line + "\n"),
+                    "serve client: send failed (server gone)");
+    return readLine();
+}
+
+} // namespace serve
+} // namespace netpack

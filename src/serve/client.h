@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Blocking NDJSON client for the placement daemon: connect to a
+ * loopback port, send one request line, read one response line. Used
+ * by the netpack_serve CLI's client modes, the bench_serve load
+ * generator, and the socket smoke tests — all of them speak through
+ * the protocol codecs, so a response parses into the same Response the
+ * server built.
+ */
+
+#ifndef NETPACK_SERVE_CLIENT_H
+#define NETPACK_SERVE_CLIENT_H
+
+#include <cstdint>
+#include <string>
+
+#include "serve/protocol.h"
+
+namespace netpack {
+namespace serve {
+
+/** One connection to a PlacementServer. */
+class ServeClient
+{
+  public:
+    /** Connect to 127.0.0.1:@p port. ConfigError when refused. */
+    explicit ServeClient(std::uint16_t port);
+
+    ~ServeClient();
+
+    ServeClient(const ServeClient &) = delete;
+    ServeClient &operator=(const ServeClient &) = delete;
+
+    /** Send @p request and block for its response. ConfigError when
+     * the server hangs up mid-exchange. */
+    Response call(const Request &request);
+
+    /** Send a raw line (malformed-input tests) and read the reply. */
+    std::string callRaw(const std::string &line);
+
+  private:
+    /** Read up to the next newline (buffered). */
+    std::string readLine();
+
+    int fd_ = -1;
+    std::string inbuf_;
+};
+
+} // namespace serve
+} // namespace netpack
+
+#endif // NETPACK_SERVE_CLIENT_H

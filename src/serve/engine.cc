@@ -1,0 +1,236 @@
+#include "serve/engine.h"
+
+#include <cstdio>
+#include <sstream>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "exec/thread_pool.h"
+#include "journal/serialize.h"
+#include "obs/json.h"
+#include "placement/baselines.h"
+#include "workload/models.h"
+
+namespace netpack {
+namespace serve {
+
+PlacementEngine::PlacementEngine(const EngineConfig &config)
+    : config_(config), topo_(config.cluster), gpus_(topo_), ctx_(topo_),
+      placer_(makePlacerByName(config.placer, config.seed))
+{
+}
+
+void
+PlacementEngine::validatePlace(const std::vector<JobSpec> &jobs) const
+{
+    NETPACK_REQUIRE(!jobs.empty(), "place request carries no jobs");
+    std::unordered_set<int> seen;
+    for (const JobSpec &spec : jobs) {
+        NETPACK_REQUIRE(spec.id.valid(),
+                        "place: job id " << spec.id.value << " is invalid");
+        NETPACK_REQUIRE(seen.insert(spec.id.value).second,
+                        "place: duplicate job id " << spec.id.value
+                                                   << " in batch");
+        NETPACK_REQUIRE(!ctx_.tracks(spec.id),
+                        "place: job " << spec.id.value
+                                      << " is already placed");
+        NETPACK_REQUIRE(ModelZoo::contains(spec.modelName),
+                        "place: unknown model '" << spec.modelName
+                                                 << "' for job "
+                                                 << spec.id.value);
+        NETPACK_REQUIRE(spec.gpuDemand >= 1,
+                        "place: job " << spec.id.value
+                                      << " demands " << spec.gpuDemand
+                                      << " GPUs (want >= 1)");
+    }
+}
+
+void
+PlacementEngine::validateDepart(const std::vector<JobId> &ids) const
+{
+    NETPACK_REQUIRE(!ids.empty(), "depart request carries no jobs");
+    std::unordered_set<int> seen;
+    for (JobId id : ids) {
+        NETPACK_REQUIRE(seen.insert(id.value).second,
+                        "depart: duplicate job id " << id.value);
+        NETPACK_REQUIRE(ctx_.tracks(id),
+                        "depart: job " << id.value << " is not placed");
+    }
+}
+
+BatchResult
+PlacementEngine::applyPlace(const std::vector<JobSpec> &jobs)
+{
+    BatchResult result = placer_->placeBatch(jobs, topo_, gpus_, ctx_);
+    placedJobs_ += result.placed.size();
+    deferredJobs_ += result.deferred.size();
+    return result;
+}
+
+void
+PlacementEngine::applyDepart(const std::vector<JobId> &ids)
+{
+    for (JobId id : ids) {
+        ctx_.removeJob(id);
+        gpus_.releaseJob(id);
+        ++departedJobs_;
+    }
+}
+
+std::vector<QueryResult>
+PlacementEngine::whatIf(const std::vector<JobSpec> &candidates,
+                        exec::ThreadPool *pool)
+{
+    std::vector<QueryResult> results(candidates.size());
+    if (candidates.empty())
+        return results;
+
+    // One base capture serves every candidate; each task works on a
+    // private clone so the live state is never perturbed (same idiom
+    // as PortfolioPlacer's lineup evaluation).
+    const PlacementContext::State base = ctx_.exportState();
+
+    const auto evaluate = [&](std::size_t i) {
+        const JobSpec &candidate = candidates[i];
+        PlacementContext clone(topo_);
+        clone.importState(base);
+        GpuLedger ledger = gpus_;
+        // Fresh placer per task: stochastic placers draw from a private
+        // stream, so what-if answers are deterministic in request order
+        // (though not necessarily what a subsequent place would pick).
+        std::unique_ptr<Placer> placer =
+            makePlacerByName(config_.placer, config_.seed);
+        const std::vector<JobSpec> batch{candidate};
+        BatchResult outcome =
+            placer->placeBatch(batch, topo_, ledger, clone);
+        QueryResult &result = results[i];
+        result.job = candidate.id;
+        if (!outcome.placed.empty()) {
+            result.placeable = true;
+            result.placement = outcome.placed.front().placement;
+            result.commTime =
+                placement_util::batchCommTime(batch, clone);
+        }
+    };
+
+    if (pool != nullptr)
+        exec::parallelFor(*pool, candidates.size(), evaluate);
+    else
+        for (std::size_t i = 0; i < candidates.size(); ++i)
+            evaluate(i);
+    return results;
+}
+
+ServeSnapshot
+PlacementEngine::snapshot(std::uint64_t seq) const
+{
+    ServeSnapshot snap;
+    snap.seq = seq;
+    snap.context = ctx_.exportState();
+    snap.holdings = gpus_.holdings();
+    snap.hasPlacerRng = placer_->captureRngState(snap.placerRng);
+    snap.placedJobs = placedJobs_;
+    snap.departedJobs = departedJobs_;
+    snap.deferredJobs = deferredJobs_;
+    return snap;
+}
+
+void
+PlacementEngine::restore(const ServeSnapshot &snap)
+{
+    ctx_.importState(snap.context);
+    // Replaying holdings through allocate() reproduces the ledger
+    // exactly (GpuLedger::holdings contract).
+    GpuLedger fresh(topo_);
+    for (const GpuLedger::Holding &holding : snap.holdings) {
+        for (const auto &[server, count] : holding.servers)
+            fresh.allocate(server, holding.job, count);
+    }
+    gpus_ = fresh;
+    if (snap.hasPlacerRng)
+        placer_->restoreRngState(snap.placerRng);
+    placedJobs_ = snap.placedJobs;
+    departedJobs_ = snap.departedJobs;
+    deferredJobs_ = snap.deferredJobs;
+}
+
+std::string
+PlacementEngine::canonicalState(std::uint64_t seq) const
+{
+    std::ostringstream out;
+    obs::JsonWriter json(out, 0);
+    json.beginObject();
+    json.kv("schema", "netpack.serve_state/1");
+    json.kv("seq", seq);
+    json.kv("placer", config_.placer);
+    json.kv("placed_jobs", placedJobs_);
+    json.kv("departed_jobs", departedJobs_);
+    json.kv("deferred_jobs", deferredJobs_);
+    json.key("context");
+    journal::writeContextState(json, ctx_.exportState());
+    json.key("gpu_holdings");
+    journal::writeGpuHoldings(json, gpus_.holdings());
+    json.endObject();
+    return out.str();
+}
+
+std::string
+PlacementEngine::stateDigest(std::uint64_t seq) const
+{
+    const std::string state = canonicalState(seq);
+    // FNV-1a, 64-bit: deterministic, dependency-free, and plenty for a
+    // bit-identity regression check (a mismatch means the full states
+    // differ; the states themselves are diffable via --state-out).
+    std::uint64_t hash = 14695981039346656037ull;
+    for (const char c : state) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 1099511628211ull;
+    }
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(hash));
+    return buf;
+}
+
+std::unique_ptr<PlacementEngine>
+recoverEngine(const WalLoad &load, std::uint64_t &lastSeq)
+{
+    EngineConfig config;
+    config.cluster = load.header.cluster;
+    config.placer = load.header.placer;
+    config.seed = load.header.seed;
+    auto engine = std::make_unique<PlacementEngine>(config);
+    lastSeq = 0;
+
+    // Start from the latest snapshot (it folds in everything before
+    // it), then re-execute the tail through the live apply paths.
+    std::size_t replayFrom = 0;
+    for (std::size_t i = 0; i < load.events.size(); ++i) {
+        if (load.events[i].kind == WalEvent::Kind::Snapshot)
+            replayFrom = i + 1;
+    }
+    if (replayFrom > 0) {
+        const WalEvent &snap = load.events[replayFrom - 1];
+        engine->restore(*snap.snapshot);
+        lastSeq = snap.seq;
+    }
+    for (std::size_t i = replayFrom; i < load.events.size(); ++i) {
+        const WalEvent &event = load.events[i];
+        switch (event.kind) {
+          case WalEvent::Kind::Place:
+            engine->applyPlace(event.jobs);
+            lastSeq = event.seq;
+            break;
+          case WalEvent::Kind::Depart:
+            engine->applyDepart(event.departs);
+            lastSeq = event.seq;
+            break;
+          case WalEvent::Kind::Snapshot:
+            break; // unreachable: replayFrom is past the last snapshot
+        }
+    }
+    return engine;
+}
+
+} // namespace serve
+} // namespace netpack

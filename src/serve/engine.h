@@ -1,0 +1,145 @@
+/**
+ * @file
+ * The placement daemon's state machine, decoupled from sockets so tests
+ * drive it directly. A PlacementEngine owns the live topology, the GPU
+ * ledger, the PlacementContext, and the serving placer; the same
+ * applyPlace/applyDepart methods execute both live requests and WAL
+ * replay, which is what makes recovery bit-identical — there is exactly
+ * one code path that mutates state.
+ *
+ * Not thread-safe: the server serializes all mutations through its
+ * single service thread. Read-only what-if queries run on clones
+ * (exportState/importState, the PortfolioPlacer idiom) and can fan out
+ * across an exec::ThreadPool without touching the live state.
+ */
+
+#ifndef NETPACK_SERVE_ENGINE_H
+#define NETPACK_SERVE_ENGINE_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/placement_context.h"
+#include "placement/placer.h"
+#include "serve/protocol.h"
+#include "serve/wal.h"
+#include "topology/cluster.h"
+#include "topology/gpu_ledger.h"
+
+namespace netpack {
+namespace exec {
+class ThreadPool;
+}
+
+namespace serve {
+
+/** Construction parameters of a PlacementEngine. */
+struct EngineConfig
+{
+    ClusterConfig cluster;
+    /** Serving placer (makePlacerByName). */
+    std::string placer = "NetPack";
+    /** RNG seed for stochastic placers. */
+    std::uint64_t seed = 0;
+};
+
+/** Live placement state + the deterministic mutation/query paths. */
+class PlacementEngine
+{
+  public:
+    explicit PlacementEngine(const EngineConfig &config);
+
+    const EngineConfig &config() const { return config_; }
+    const ClusterTopology &topology() const { return topo_; }
+    PlacementContext &context() { return ctx_; }
+    const GpuLedger &ledger() const { return gpus_; }
+
+    /**
+     * Validate a place batch: ids must be valid, unique within the
+     * batch, and untracked; models known; gpuDemand >= 1. ConfigError
+     * on violation — called BEFORE the WAL append so invalid requests
+     * never enter the journal.
+     */
+    void validatePlace(const std::vector<JobSpec> &jobs) const;
+
+    /** Validate a depart batch: ids unique and currently tracked. */
+    void validateDepart(const std::vector<JobId> &ids) const;
+
+    /**
+     * Place @p jobs through the serving placer. Deferred jobs are
+     * returned, not retained (the daemon has no arrival queue — retry
+     * is the client's policy). Shared by live serving and WAL replay.
+     */
+    BatchResult applyPlace(const std::vector<JobSpec> &jobs);
+
+    /** Release @p ids (context + GPU ledger). */
+    void applyDepart(const std::vector<JobId> &ids);
+
+    /**
+     * Read-only what-if: for each candidate independently, clone the
+     * live state and ask the placer where the job would go and what
+     * communication time it would see. Results in request order
+     * (deterministic for any pool size); the live context, ledger, and
+     * placer are never touched. @p pool null = run serially.
+     */
+    std::vector<QueryResult> whatIf(const std::vector<JobSpec> &candidates,
+                                    exec::ThreadPool *pool);
+
+    /** Capture the full engine state at WAL sequence @p seq. */
+    ServeSnapshot snapshot(std::uint64_t seq) const;
+
+    /** Restore a captured state (crash recovery). */
+    void restore(const ServeSnapshot &snap);
+
+    /**
+     * Canonical JSON of the complete serialized state (schema
+     * "netpack.serve_state/1"): context, GPU holdings, counters, and
+     * @p seq. Equal states produce equal bytes — the CI kill/restart
+     * check diffs two of these files.
+     */
+    std::string canonicalState(std::uint64_t seq) const;
+
+    /** FNV-1a 64-bit digest of canonicalState (hex, 16 chars). */
+    std::string stateDigest(std::uint64_t seq) const;
+
+    /** Jobs currently placed. */
+    std::int64_t runningJobs() const
+    {
+        return static_cast<std::int64_t>(ctx_.jobCount());
+    }
+
+    /** Free GPUs cluster-wide. */
+    std::int64_t freeGpus() const { return gpus_.totalFreeGpus(); }
+
+    /** Lifetime jobs placed (replay restores these via snapshots). */
+    std::uint64_t placedJobs() const { return placedJobs_; }
+    std::uint64_t departedJobs() const { return departedJobs_; }
+    std::uint64_t deferredJobs() const { return deferredJobs_; }
+
+  private:
+    EngineConfig config_;
+    ClusterTopology topo_;
+    GpuLedger gpus_;
+    PlacementContext ctx_;
+    std::unique_ptr<Placer> placer_;
+
+    std::uint64_t placedJobs_ = 0;
+    std::uint64_t departedJobs_ = 0;
+    std::uint64_t deferredJobs_ = 0;
+};
+
+/**
+ * Rebuild an engine from a loaded WAL: restore the latest snapshot (if
+ * any), then re-execute every later place/depart through the same
+ * deterministic apply paths. Returns the engine and the sequence of the
+ * last applied mutation via @p lastSeq.
+ */
+std::unique_ptr<PlacementEngine> recoverEngine(const WalLoad &load,
+                                               std::uint64_t &lastSeq);
+
+} // namespace serve
+} // namespace netpack
+
+#endif // NETPACK_SERVE_ENGINE_H

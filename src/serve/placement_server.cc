@@ -1,0 +1,377 @@
+#include "serve/placement_server.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <fstream>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/check.h"
+#include "common/log.h"
+#include "common/net_io.h"
+#include "exec/thread_pool.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
+
+namespace netpack {
+namespace serve {
+
+namespace {
+
+bool
+fileExists(const std::string &path)
+{
+    std::ifstream is(path);
+    return is.good();
+}
+
+double
+microsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+PlacementServer::PlacementServer(const ServerConfig &config)
+    : config_(config), queue_(config.admissionCapacity)
+{
+    NETPACK_REQUIRE(config.admissionCapacity >= 1,
+                    "admission capacity must be >= 1");
+
+    if (!config_.walPath.empty() && config_.recover &&
+        fileExists(config_.walPath)) {
+        WalLoad load = loadWal(config_.walPath);
+        // The WAL is authoritative about what it journals: a config
+        // mismatch would silently replay into a different cluster.
+        WalHeader expected;
+        expected.cluster = config_.engine.cluster;
+        expected.placer = config_.engine.placer;
+        expected.seed = config_.engine.seed;
+        NETPACK_REQUIRE(serializeWalHeader(load.header) ==
+                            serializeWalHeader(expected),
+                        "WAL header does not match the server config: "
+                            << config_.walPath);
+        std::uint64_t lastSeq = 0;
+        engine_ = recoverEngine(load, lastSeq);
+        seq_.store(lastSeq, std::memory_order_relaxed);
+        if (load.torn) {
+            NETPACK_LOG(Warn, "serve: dropped torn WAL tail ("
+                                  << load.tornError << ")");
+            rewriteWal(config_.walPath, load.header, load.events);
+        }
+        wal_ = std::make_unique<WalWriter>(config_.walPath,
+                                           /*append=*/true);
+        NETPACK_LOG(Info, "serve: recovered " << load.events.size()
+                                              << " WAL events, seq "
+                                              << lastSeq);
+    } else {
+        engine_ = std::make_unique<PlacementEngine>(config_.engine);
+        if (!config_.walPath.empty()) {
+            WalHeader header;
+            header.cluster = config_.engine.cluster;
+            header.placer = config_.engine.placer;
+            header.seed = config_.engine.seed;
+            wal_ = std::make_unique<WalWriter>(config_.walPath, header);
+        }
+    }
+
+    if (config_.queryThreads != 0) {
+        pool_ = std::make_unique<exec::ThreadPool>(
+            config_.queryThreads < 0
+                ? 0
+                : static_cast<std::size_t>(config_.queryThreads));
+    }
+
+    listenFd_ = listenLoopback(config_.port, 64, "serve", port_);
+    // Non-blocking accept: the service loop drains a whole connection
+    // burst per poll wakeup without risking a block on the last one.
+    ::fcntl(listenFd_, F_SETFL,
+            ::fcntl(listenFd_, F_GETFL, 0) | O_NONBLOCK);
+    thread_ = std::thread([this] { serviceLoop(); });
+}
+
+PlacementServer::~PlacementServer()
+{
+    stop();
+    join();
+    if (listenFd_ >= 0)
+        ::close(listenFd_);
+}
+
+void
+PlacementServer::join()
+{
+    if (thread_.joinable())
+        thread_.join();
+}
+
+void
+PlacementServer::serviceLoop()
+{
+    while (true) {
+        const bool draining = stop_.load(std::memory_order_relaxed);
+        std::vector<pollfd> pfds;
+        if (!draining) {
+            pollfd listen;
+            listen.fd = listenFd_;
+            listen.events = POLLIN;
+            listen.revents = 0;
+            pfds.push_back(listen);
+        }
+        for (const Connection &conn : conns_) {
+            pollfd pfd;
+            pfd.fd = conn.fd;
+            pfd.events = POLLIN;
+            pfd.revents = 0;
+            pfds.push_back(pfd);
+        }
+
+        if (draining && queue_.empty()) {
+            // Graceful drain: everything admitted has been answered.
+            break;
+        }
+
+        const int ready =
+            ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), 50);
+        if (ready > 0) {
+            std::size_t base = 0;
+            if (!draining) {
+                if (pfds[0].revents & POLLIN)
+                    acceptClients();
+                base = 1;
+            }
+            for (std::size_t i = 0; i + base < pfds.size(); ++i) {
+                if (pfds[i + base].revents &
+                    (POLLIN | POLLHUP | POLLERR))
+                    readClient(conns_[i]);
+            }
+        }
+
+        drainQueue();
+        conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
+                                    [](const Connection &conn) {
+                                        if (conn.closed)
+                                            ::close(conn.fd);
+                                        return conn.closed;
+                                    }),
+                     conns_.end());
+    }
+    for (Connection &conn : conns_)
+        ::close(conn.fd);
+    conns_.clear();
+    finished_.store(true, std::memory_order_release);
+}
+
+void
+PlacementServer::acceptClients()
+{
+    while (true) {
+        int client;
+        do {
+            client = ::accept(listenFd_, nullptr, nullptr);
+        } while (client < 0 && errno == EINTR);
+        if (client < 0)
+            return; // would block (or transient error): poll again
+        Connection conn;
+        conn.fd = client;
+        conns_.push_back(std::move(conn));
+    }
+}
+
+void
+PlacementServer::readClient(Connection &conn)
+{
+    char buf[4096];
+    const long n = recvSome(conn.fd, buf, sizeof buf);
+    if (n <= 0) {
+        conn.closed = true;
+        return;
+    }
+    conn.inbuf.append(buf, static_cast<std::size_t>(n));
+
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t eol = conn.inbuf.find('\n', start);
+        if (eol == std::string::npos)
+            break;
+        const std::string_view line(conn.inbuf.data() + start,
+                                    eol - start);
+        start = eol + 1;
+        if (line.empty())
+            continue;
+        Request request;
+        try {
+            request = parseRequest(line);
+        } catch (const ConfigError &err) {
+            Response response;
+            response.ok = false;
+            response.error = err.what();
+            respond(conn.fd, response);
+            continue;
+        }
+        const std::int64_t requestId = request.id;
+        if (!queue_.tryEnqueue(Envelope{std::move(request), conn.fd})) {
+            NETPACK_COUNT("serve.rejected", 1);
+            Response response;
+            response.id = requestId;
+            response.ok = false;
+            response.rejected = true;
+            response.error = "queue_full";
+            respond(conn.fd, response);
+        }
+    }
+    conn.inbuf.erase(0, start);
+}
+
+void
+PlacementServer::drainQueue()
+{
+    while (std::optional<Envelope> envelope = queue_.pop()) {
+        const Request &request = envelope->request;
+        const bool timed = obs::metricsEnabled();
+        const auto start = std::chrono::steady_clock::now();
+        const Response response = dispatch(request);
+        if (timed) {
+            const double us = microsSince(start);
+            obs::recordLogHistogram("serve.request_us",
+                                    obs::kLatencySpecUs, us);
+            obs::recordLogHistogram(std::string("serve.") +
+                                        opName(request.op) + "_us",
+                                    obs::kLatencySpecUs, us);
+            if (request.op == Op::Place)
+                obs::flight::checkSlo("serve.place", us);
+        }
+        requests_.fetch_add(1, std::memory_order_relaxed);
+        NETPACK_COUNT("serve.requests", 1);
+        respond(envelope->client, response);
+    }
+}
+
+Response
+PlacementServer::dispatch(const Request &request)
+{
+    Response response;
+    response.id = request.id;
+    try {
+        switch (request.op) {
+          case Op::Place: {
+            engine_->validatePlace(request.jobs);
+            const std::uint64_t seq =
+                seq_.load(std::memory_order_relaxed) + 1;
+            if (wal_)
+                wal_->appendPlace(seq, request.jobs);
+            BatchResult result = engine_->applyPlace(request.jobs);
+            seq_.store(seq, std::memory_order_relaxed);
+            ++mutationsSinceSnapshot_;
+            NETPACK_COUNT("serve.placed_jobs",
+                          static_cast<std::int64_t>(
+                              result.placed.size()));
+            response.ok = true;
+            response.placed = std::move(result.placed);
+            response.deferred = std::move(result.deferred);
+            maybeAutoSnapshot();
+            break;
+          }
+          case Op::Depart: {
+            engine_->validateDepart(request.departs);
+            const std::uint64_t seq =
+                seq_.load(std::memory_order_relaxed) + 1;
+            if (wal_)
+                wal_->appendDepart(seq, request.departs);
+            engine_->applyDepart(request.departs);
+            seq_.store(seq, std::memory_order_relaxed);
+            ++mutationsSinceSnapshot_;
+            NETPACK_COUNT("serve.departed_jobs",
+                          static_cast<std::int64_t>(
+                              request.departs.size()));
+            response.ok = true;
+            maybeAutoSnapshot();
+            break;
+          }
+          case Op::Query: {
+            NETPACK_COUNT("serve.queries", 1);
+            response.queryResults =
+                engine_->whatIf(request.jobs, pool_.get());
+            response.ok = true;
+            break;
+          }
+          case Op::Stats: {
+            const std::uint64_t seq =
+                seq_.load(std::memory_order_relaxed);
+            StatsBody &stats = response.stats;
+            stats.seq = seq;
+            stats.runningJobs = engine_->runningJobs();
+            stats.freeGpus = engine_->freeGpus();
+            stats.requests =
+                requests_.load(std::memory_order_relaxed);
+            stats.placedJobs = engine_->placedJobs();
+            stats.departedJobs = engine_->departedJobs();
+            stats.deferredJobs = engine_->deferredJobs();
+            stats.rejected = queue_.shedCount();
+            stats.digest = engine_->stateDigest(seq);
+            response.hasStats = true;
+            response.ok = true;
+            break;
+          }
+          case Op::Snapshot: {
+            const std::uint64_t seq =
+                seq_.load(std::memory_order_relaxed);
+            if (wal_)
+                wal_->appendSnapshot(engine_->snapshot(seq));
+            mutationsSinceSnapshot_ = 0;
+            response.ok = true;
+            response.seq = seq;
+            break;
+          }
+          case Op::Drain: {
+            stop_.store(true, std::memory_order_relaxed);
+            response.ok = true;
+            response.seq = seq_.load(std::memory_order_relaxed);
+            break;
+          }
+        }
+    } catch (const ConfigError &err) {
+        response.ok = false;
+        response.error = err.what();
+    }
+    return response;
+}
+
+void
+PlacementServer::respond(int client, const Response &response)
+{
+    if (client < 0)
+        return;
+    const std::string line = serializeResponse(response) + "\n";
+    if (!sendAll(client, line)) {
+        // Peer went away mid-response; its connection will be reaped
+        // on the next read attempt.
+        for (Connection &conn : conns_) {
+            if (conn.fd == client)
+                conn.closed = true;
+        }
+    }
+}
+
+void
+PlacementServer::maybeAutoSnapshot()
+{
+    if (config_.snapshotEvery == 0 || wal_ == nullptr ||
+        mutationsSinceSnapshot_ < config_.snapshotEvery)
+        return;
+    wal_->appendSnapshot(
+        engine_->snapshot(seq_.load(std::memory_order_relaxed)));
+    mutationsSinceSnapshot_ = 0;
+    NETPACK_COUNT("serve.auto_snapshots", 1);
+}
+
+} // namespace serve
+} // namespace netpack

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * The placement-as-a-service daemon (ROADMAP item 1). A
+ * PlacementServer listens on a loopback socket, speaks the NDJSON
+ * protocol (serve/protocol.h), and serializes every mutation through
+ * one service thread that owns the PlacementEngine — the same
+ * single-writer discipline that keeps the simulator deterministic.
+ * Read-only what-if queries fan out across an exec::ThreadPool over
+ * state clones, so they scale with cores without a lock.
+ *
+ * Durability: with a WAL configured, every place/depart is appended
+ * and flushed BEFORE it is applied (serve/wal.h), so a kill -9 at any
+ * instant recovers bit-identically on restart (--recover): restore the
+ * latest snapshot, replay the tail through the same apply code path.
+ *
+ * Admission control: a bounded queue between the sockets and the
+ * engine. Overflow requests get an explicit `rejected` response
+ * (reason "queue_full") instead of unbounded buffering.
+ *
+ * Observability: per-request latency lands in `serve.request_us` /
+ * `serve.<op>_us` quantile histograms (PR-7 convention), place latency
+ * is checked against NETPACK_SLO_BATCH_US with flight-recorder
+ * forensics on breach, and the OpenMetrics scrape endpoint
+ * (NETPACK_METRICS_PORT) exposes all of it live.
+ */
+
+#ifndef NETPACK_SERVE_PLACEMENT_SERVER_H
+#define NETPACK_SERVE_PLACEMENT_SERVER_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/admission.h"
+#include "serve/engine.h"
+#include "serve/wal.h"
+
+namespace netpack {
+namespace exec {
+class ThreadPool;
+}
+
+namespace serve {
+
+/** Construction parameters of a PlacementServer. */
+struct ServerConfig
+{
+    /** Loopback port to bind (0 = ephemeral; query with port()). */
+    std::uint16_t port = 0;
+    EngineConfig engine;
+    /** WAL path; empty runs without durability (tests, benches). */
+    std::string walPath;
+    /**
+     * Recover from an existing WAL at walPath. The WAL header must
+     * match the engine config; a missing file starts fresh (so a
+     * supervisor can always pass --recover). A torn tail is dropped by
+     * an atomic rewrite before the WAL reopens for append.
+     */
+    bool recover = false;
+    /** Admission queue bound (requests). */
+    std::size_t admissionCapacity = 1024;
+    /** Auto-snapshot every N mutations (0 = only on request). */
+    std::uint64_t snapshotEvery = 0;
+    /**
+     * What-if query fan-out: -1 = pool with default thread count,
+     * 0 = serial (in the service thread), N > 0 = pool of N.
+     */
+    int queryThreads = -1;
+};
+
+/** The daemon. Starts serving on construction; drains on stop(). */
+class PlacementServer
+{
+  public:
+    explicit PlacementServer(const ServerConfig &config);
+
+    /** Stops (hard if still running) and joins the service thread. */
+    ~PlacementServer();
+
+    PlacementServer(const PlacementServer &) = delete;
+    PlacementServer &operator=(const PlacementServer &) = delete;
+
+    /** The bound port (resolves ephemeral binds). */
+    std::uint16_t port() const { return port_; }
+
+    /**
+     * Request a graceful drain: stop accepting connections, answer
+     * everything already admitted, flush, exit the service loop.
+     * A client's `drain` op triggers the same path remotely.
+     */
+    void stop() { stop_.store(true, std::memory_order_relaxed); }
+
+    /** Wait for the service loop to finish (after stop()/drain). */
+    void join();
+
+    /** True once the service loop has exited (e.g. a remote drain). */
+    bool finished() const
+    {
+        return finished_.load(std::memory_order_acquire);
+    }
+
+    /** WAL sequence of the last applied mutation. */
+    std::uint64_t seq() const
+    {
+        return seq_.load(std::memory_order_relaxed);
+    }
+
+    /** Requests processed (shed requests excluded). */
+    std::uint64_t requestsServed() const
+    {
+        return requests_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * The engine. Only safe once the service loop has exited (after
+     * join()) — the daemon CLI reads the final state through this.
+     */
+    PlacementEngine &engine() { return *engine_; }
+
+  private:
+    /** One client connection and its partial-line read buffer. */
+    struct Connection
+    {
+        int fd = -1;
+        std::string inbuf;
+        bool closed = false;
+    };
+
+    void serviceLoop();
+    void acceptClients();
+    void readClient(Connection &conn);
+    void drainQueue();
+    Response dispatch(const Request &request);
+    void respond(int client, const Response &response);
+    void maybeAutoSnapshot();
+
+    ServerConfig config_;
+    std::unique_ptr<PlacementEngine> engine_;
+    std::unique_ptr<WalWriter> wal_;
+    std::unique_ptr<exec::ThreadPool> pool_;
+    AdmissionQueue queue_;
+
+    int listenFd_ = -1;
+    std::uint16_t port_ = 0;
+    std::atomic<bool> stop_{false};
+    std::atomic<bool> finished_{false};
+    std::atomic<std::uint64_t> seq_{0};
+    std::atomic<std::uint64_t> requests_{0};
+    std::uint64_t mutationsSinceSnapshot_ = 0;
+    std::vector<Connection> conns_;
+    std::thread thread_;
+};
+
+} // namespace serve
+} // namespace netpack
+
+#endif // NETPACK_SERVE_PLACEMENT_SERVER_H

@@ -1,0 +1,208 @@
+#include "serve/protocol.h"
+
+#include <sstream>
+
+#include "common/check.h"
+#include "journal/serialize.h"
+#include "obs/json.h"
+
+namespace netpack {
+namespace serve {
+
+namespace {
+
+/** The wire names, indexed by Op. */
+constexpr const char *kOpNames[] = {
+    "place", "depart", "query", "stats", "snapshot", "drain",
+};
+
+Op
+opByName(const std::string &name)
+{
+    for (std::size_t i = 0; i < std::size(kOpNames); ++i) {
+        if (name == kOpNames[i])
+            return static_cast<Op>(i);
+    }
+    throw ConfigError("unknown serve op '" + name + "'");
+}
+
+void
+writeJobIds(obs::JsonWriter &json, const std::vector<JobId> &ids)
+{
+    json.beginArray();
+    for (JobId id : ids)
+        json.value(id.value);
+    json.endArray();
+}
+
+std::vector<JobId>
+readJobIds(const obs::JsonValue &value)
+{
+    std::vector<JobId> ids;
+    for (const obs::JsonValue &id : value.items())
+        ids.push_back(JobId(static_cast<int>(id.asInt64())));
+    return ids;
+}
+
+} // namespace
+
+const char *
+opName(Op op)
+{
+    return kOpNames[static_cast<int>(op)];
+}
+
+std::string
+serializeRequest(const Request &request)
+{
+    std::ostringstream line;
+    obs::JsonWriter json(line, 0);
+    json.beginObject();
+    json.kv("op", opName(request.op));
+    json.kv("id", request.id);
+    if (request.op == Op::Place || request.op == Op::Query) {
+        json.key("jobs");
+        json.beginArray();
+        for (const JobSpec &spec : request.jobs)
+            journal::writeJobSpec(json, spec);
+        json.endArray();
+    } else if (request.op == Op::Depart) {
+        json.key("jobs");
+        writeJobIds(json, request.departs);
+    }
+    json.endObject();
+    return line.str();
+}
+
+Request
+parseRequest(std::string_view line)
+{
+    const obs::JsonValue value = obs::parseJson(line);
+    NETPACK_REQUIRE(value.isObject(), "serve request must be an object");
+    Request request;
+    request.op = opByName(value.at("op").asString());
+    request.id = value.at("id").asInt64();
+    if (request.op == Op::Place || request.op == Op::Query) {
+        for (const obs::JsonValue &spec : value.at("jobs").items())
+            request.jobs.push_back(journal::readJobSpec(spec));
+    } else if (request.op == Op::Depart) {
+        request.departs = readJobIds(value.at("jobs"));
+    }
+    return request;
+}
+
+std::string
+serializeResponse(const Response &response)
+{
+    std::ostringstream line;
+    obs::JsonWriter json(line, 0);
+    json.beginObject();
+    json.kv("id", response.id);
+    json.kv("ok", response.ok);
+    if (response.rejected) {
+        json.kv("rejected", true);
+        json.kv("reason", response.error);
+    } else if (!response.ok) {
+        json.kv("error", response.error);
+    }
+    if (!response.placed.empty()) {
+        json.key("placed");
+        json.beginArray();
+        for (const PlacedJob &job : response.placed)
+            journal::writePlacedJob(json, job);
+        json.endArray();
+    }
+    if (!response.deferred.empty()) {
+        json.key("deferred");
+        writeJobIds(json, response.deferred);
+    }
+    if (!response.queryResults.empty()) {
+        json.key("results");
+        json.beginArray();
+        for (const QueryResult &result : response.queryResults) {
+            json.beginObject();
+            json.kv("job", result.job.value);
+            json.kv("placeable", result.placeable);
+            if (result.placeable) {
+                json.key("placement");
+                journal::writePlacement(json, result.placement);
+            }
+            json.kv("comm_time", result.commTime);
+            json.endObject();
+        }
+        json.endArray();
+    }
+    if (response.hasStats) {
+        const StatsBody &stats = response.stats;
+        json.key("stats");
+        json.beginObject();
+        json.kv("seq", stats.seq);
+        json.kv("running_jobs", stats.runningJobs);
+        json.kv("free_gpus", stats.freeGpus);
+        json.kv("requests", stats.requests);
+        json.kv("placed_jobs", stats.placedJobs);
+        json.kv("departed_jobs", stats.departedJobs);
+        json.kv("deferred_jobs", stats.deferredJobs);
+        json.kv("rejected", stats.rejected);
+        json.kv("digest", stats.digest);
+        json.endObject();
+    }
+    if (response.seq != 0)
+        json.kv("seq", response.seq);
+    json.endObject();
+    return line.str();
+}
+
+Response
+parseResponse(std::string_view line)
+{
+    const obs::JsonValue value = obs::parseJson(line);
+    NETPACK_REQUIRE(value.isObject(), "serve response must be an object");
+    Response response;
+    response.id = value.at("id").asInt64();
+    response.ok = value.at("ok").asBool();
+    if (const obs::JsonValue *rejected = value.find("rejected"))
+        response.rejected = rejected->asBool();
+    if (const obs::JsonValue *reason = value.find("reason"))
+        response.error = reason->asString();
+    else if (const obs::JsonValue *error = value.find("error"))
+        response.error = error->asString();
+    if (const obs::JsonValue *placed = value.find("placed")) {
+        for (const obs::JsonValue &job : placed->items())
+            response.placed.push_back(journal::readPlacedJob(job));
+    }
+    if (const obs::JsonValue *deferred = value.find("deferred"))
+        response.deferred = readJobIds(*deferred);
+    if (const obs::JsonValue *results = value.find("results")) {
+        for (const obs::JsonValue &entry : results->items()) {
+            QueryResult result;
+            result.job =
+                JobId(static_cast<int>(entry.at("job").asInt64()));
+            result.placeable = entry.at("placeable").asBool();
+            if (result.placeable)
+                result.placement =
+                    journal::readPlacement(entry.at("placement"));
+            result.commTime = journal::readDouble(entry.at("comm_time"));
+            response.queryResults.push_back(std::move(result));
+        }
+    }
+    if (const obs::JsonValue *stats = value.find("stats")) {
+        response.hasStats = true;
+        StatsBody &body = response.stats;
+        body.seq = stats->at("seq").asUInt64();
+        body.runningJobs = stats->at("running_jobs").asInt64();
+        body.freeGpus = stats->at("free_gpus").asInt64();
+        body.requests = stats->at("requests").asUInt64();
+        body.placedJobs = stats->at("placed_jobs").asUInt64();
+        body.departedJobs = stats->at("departed_jobs").asUInt64();
+        body.deferredJobs = stats->at("deferred_jobs").asUInt64();
+        body.rejected = stats->at("rejected").asUInt64();
+        body.digest = stats->at("digest").asString();
+    }
+    if (const obs::JsonValue *seq = value.find("seq"))
+        response.seq = seq->asUInt64();
+    return response;
+}
+
+} // namespace serve
+} // namespace netpack

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Wire protocol of the placement daemon: newline-delimited JSON, one
+ * request or response object per line (schema "netpack.serve/1").
+ * Parse/serialize are symmetric — the server, the CLI client, the load
+ * generator, and the tests all speak through these codecs, so a request
+ * round-trips byte-compatibly and malformed input surfaces as a
+ * ConfigError (bad data, not a bug).
+ *
+ * Requests:
+ *   {"op":"place","id":N,"jobs":[<JobSpec>...]}
+ *   {"op":"depart","id":N,"jobs":[<job id>...]}
+ *   {"op":"query","id":N,"jobs":[<JobSpec>...]}   (read-only what-if)
+ *   {"op":"stats","id":N}
+ *   {"op":"snapshot","id":N}                      (WAL snapshot barrier)
+ *   {"op":"drain","id":N}                         (graceful shutdown)
+ *
+ * Responses always carry the request id and "ok". Failures carry
+ * "error"; load-shed requests carry "rejected":true and a "reason"
+ * instead of being silently dropped, so a closed-loop client can tell
+ * backpressure from breakage.
+ */
+
+#ifndef NETPACK_SERVE_PROTOCOL_H
+#define NETPACK_SERVE_PROTOCOL_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "waterfill/steady_state.h"
+#include "workload/job.h"
+
+namespace netpack {
+namespace serve {
+
+/** Version tag carried by every request/response line. */
+inline constexpr const char *kServeSchema = "netpack.serve/1";
+
+/** Request discriminator. */
+enum class Op
+{
+    Place,
+    Depart,
+    Query,
+    Stats,
+    Snapshot,
+    Drain,
+};
+
+/** The wire name of @p op. */
+const char *opName(Op op);
+
+/** One client request. */
+struct Request
+{
+    /** Client-chosen correlation id, echoed in the response. */
+    std::int64_t id = 0;
+    Op op = Op::Stats;
+    /** Place/Query: the candidate jobs. */
+    std::vector<JobSpec> jobs;
+    /** Depart: the jobs to release. */
+    std::vector<JobId> departs;
+};
+
+/** Outcome of one read-only what-if candidate (Op::Query). */
+struct QueryResult
+{
+    JobId job;
+    /** Whether the candidate fits the live cluster state. */
+    bool placeable = false;
+    /** Its placement when placeable. */
+    Placement placement;
+    /** Projected communication time of the candidate (s; 0 = local). */
+    double commTime = 0.0;
+};
+
+/** Op::Stats payload. */
+struct StatsBody
+{
+    /** WAL sequence number of the last applied mutation. */
+    std::uint64_t seq = 0;
+    /** Jobs currently placed. */
+    std::int64_t runningJobs = 0;
+    /** Free GPUs cluster-wide. */
+    std::int64_t freeGpus = 0;
+    /** Requests processed (all ops, shed requests excluded). */
+    std::uint64_t requests = 0;
+    /** Jobs placed / departed / deferred over the server's lifetime. */
+    std::uint64_t placedJobs = 0;
+    std::uint64_t departedJobs = 0;
+    std::uint64_t deferredJobs = 0;
+    /** Requests shed by admission control. */
+    std::uint64_t rejected = 0;
+    /** FNV-1a digest of the canonical engine state (bit-identity). */
+    std::string digest;
+};
+
+/** One server response. */
+struct Response
+{
+    std::int64_t id = 0;
+    bool ok = false;
+    /** Set (with ok=false) when admission control shed the request. */
+    bool rejected = false;
+    /** Failure reason (parse error, validation error, shed reason). */
+    std::string error;
+
+    /** Place: jobs placed this request (GPU allocations applied). */
+    std::vector<PlacedJob> placed;
+    /** Place: jobs that did not fit (not retained by the server). */
+    std::vector<JobId> deferred;
+    /** Query: per-candidate outcomes, in request order. */
+    std::vector<QueryResult> queryResults;
+    /** Stats: present when hasStats. */
+    bool hasStats = false;
+    StatsBody stats;
+    /** Snapshot/Drain: the WAL sequence the ack covers. */
+    std::uint64_t seq = 0;
+};
+
+/** Serialize @p request as one compact JSON line (no trailing \n). */
+std::string serializeRequest(const Request &request);
+
+/** Parse one request line. ConfigError on malformed input. */
+Request parseRequest(std::string_view line);
+
+/** Serialize @p response as one compact JSON line (no trailing \n). */
+std::string serializeResponse(const Response &response);
+
+/** Parse one response line. ConfigError on malformed input. */
+Response parseResponse(std::string_view line);
+
+} // namespace serve
+} // namespace netpack
+
+#endif // NETPACK_SERVE_PROTOCOL_H

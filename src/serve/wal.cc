@@ -1,0 +1,251 @@
+#include "serve/wal.h"
+
+#include <sstream>
+
+#include <cstdio>
+
+#include "common/check.h"
+#include "journal/serialize.h"
+#include "obs/json.h"
+
+namespace netpack {
+namespace serve {
+
+namespace {
+
+constexpr const char *kKindNames[] = {"place", "depart", "snapshot"};
+
+void
+writeSnapshotBody(obs::JsonWriter &json, const ServeSnapshot &snap)
+{
+    json.beginObject();
+    json.kv("seq", snap.seq);
+    json.key("context");
+    journal::writeContextState(json, snap.context);
+    json.key("gpu_holdings");
+    journal::writeGpuHoldings(json, snap.holdings);
+    if (snap.hasPlacerRng) {
+        json.key("placer_rng");
+        journal::writeRngState(json, snap.placerRng);
+    }
+    json.kv("placed_jobs", snap.placedJobs);
+    json.kv("departed_jobs", snap.departedJobs);
+    json.kv("deferred_jobs", snap.deferredJobs);
+    json.endObject();
+}
+
+ServeSnapshot
+readSnapshotBody(const obs::JsonValue &value)
+{
+    ServeSnapshot snap;
+    snap.seq = value.at("seq").asUInt64();
+    snap.context = journal::readContextState(value.at("context"));
+    snap.holdings = journal::readGpuHoldings(value.at("gpu_holdings"));
+    if (const obs::JsonValue *rng = value.find("placer_rng")) {
+        snap.hasPlacerRng = true;
+        snap.placerRng = journal::readRngState(*rng);
+    }
+    snap.placedJobs = value.at("placed_jobs").asUInt64();
+    snap.departedJobs = value.at("departed_jobs").asUInt64();
+    snap.deferredJobs = value.at("deferred_jobs").asUInt64();
+    return snap;
+}
+
+WalEvent
+parseEventLine(const std::string &line)
+{
+    const obs::JsonValue value = obs::parseJson(line);
+    NETPACK_REQUIRE(value.isObject(), "WAL event must be an object");
+    WalEvent event;
+    const std::string &kind = value.at("kind").asString();
+    if (kind == "place") {
+        event.kind = WalEvent::Kind::Place;
+        event.seq = value.at("seq").asUInt64();
+        for (const obs::JsonValue &spec : value.at("jobs").items())
+            event.jobs.push_back(journal::readJobSpec(spec));
+    } else if (kind == "depart") {
+        event.kind = WalEvent::Kind::Depart;
+        event.seq = value.at("seq").asUInt64();
+        for (const obs::JsonValue &id : value.at("jobs").items())
+            event.departs.push_back(
+                JobId(static_cast<int>(id.asInt64())));
+    } else if (kind == "snapshot") {
+        event.kind = WalEvent::Kind::Snapshot;
+        event.snapshot = std::make_shared<ServeSnapshot>(
+            readSnapshotBody(value.at("state")));
+        event.seq = event.snapshot->seq;
+    } else {
+        throw ConfigError("unknown WAL event kind '" + kind + "'");
+    }
+    return event;
+}
+
+} // namespace
+
+std::string
+serializeWalHeader(const WalHeader &header)
+{
+    std::ostringstream line;
+    obs::JsonWriter json(line, 0);
+    json.beginObject();
+    json.kv("schema", kServeWalSchema);
+    json.kv("kind", "header");
+    json.key("cluster");
+    journal::writeClusterConfig(json, header.cluster);
+    json.kv("placer", header.placer);
+    json.kv("seed", header.seed);
+    json.endObject();
+    return line.str();
+}
+
+std::string
+serializeWalEvent(const WalEvent &event)
+{
+    std::ostringstream line;
+    obs::JsonWriter json(line, 0);
+    json.beginObject();
+    json.kv("kind", kKindNames[static_cast<int>(event.kind)]);
+    switch (event.kind) {
+      case WalEvent::Kind::Place:
+        json.kv("seq", event.seq);
+        json.key("jobs");
+        json.beginArray();
+        for (const JobSpec &spec : event.jobs)
+            journal::writeJobSpec(json, spec);
+        json.endArray();
+        break;
+      case WalEvent::Kind::Depart:
+        json.kv("seq", event.seq);
+        json.key("jobs");
+        json.beginArray();
+        for (JobId id : event.departs)
+            json.value(id.value);
+        json.endArray();
+        break;
+      case WalEvent::Kind::Snapshot:
+        NETPACK_CHECK_MSG(event.snapshot != nullptr,
+                          "snapshot event without payload");
+        json.key("state");
+        writeSnapshotBody(json, *event.snapshot);
+        break;
+    }
+    json.endObject();
+    return line.str();
+}
+
+WalWriter::WalWriter(const std::string &path, const WalHeader &header)
+    : os_(path, std::ios::trunc), path_(path)
+{
+    NETPACK_REQUIRE(os_.good(), "cannot open WAL for writing: " << path);
+    os_ << serializeWalHeader(header) << '\n';
+    os_.flush();
+    NETPACK_REQUIRE(os_.good(), "WAL header write failed: " << path);
+}
+
+WalWriter::WalWriter(const std::string &path, bool append)
+    : os_(path, append ? std::ios::app : std::ios::trunc), path_(path)
+{
+    NETPACK_REQUIRE(append, "use the header constructor for fresh WALs");
+    NETPACK_REQUIRE(os_.good(), "cannot reopen WAL for append: " << path);
+}
+
+void
+WalWriter::writeLine(const std::string &line)
+{
+    os_ << line << '\n';
+    // Write-ahead guarantee: the event must be durable before the
+    // mutation it describes is applied.
+    os_.flush();
+    NETPACK_REQUIRE(os_.good(), "WAL append failed: " << path_);
+    ++eventsWritten_;
+}
+
+void
+WalWriter::appendPlace(std::uint64_t seq, const std::vector<JobSpec> &jobs)
+{
+    WalEvent event;
+    event.kind = WalEvent::Kind::Place;
+    event.seq = seq;
+    event.jobs = jobs;
+    writeLine(serializeWalEvent(event));
+}
+
+void
+WalWriter::appendDepart(std::uint64_t seq, const std::vector<JobId> &ids)
+{
+    WalEvent event;
+    event.kind = WalEvent::Kind::Depart;
+    event.seq = seq;
+    event.departs = ids;
+    writeLine(serializeWalEvent(event));
+}
+
+void
+WalWriter::appendSnapshot(const ServeSnapshot &snap)
+{
+    std::ostringstream line;
+    obs::JsonWriter json(line, 0);
+    json.beginObject();
+    json.kv("kind", "snapshot");
+    json.key("state");
+    writeSnapshotBody(json, snap);
+    json.endObject();
+    writeLine(line.str());
+}
+
+WalLoad
+loadWal(const std::string &path)
+{
+    std::ifstream is(path);
+    NETPACK_REQUIRE(is.good(), "cannot open WAL: " << path);
+
+    WalLoad load;
+    std::string line;
+    NETPACK_REQUIRE(std::getline(is, line),
+                    "WAL is empty (no header): " << path);
+    // The header must parse: a file without one is not a WAL at all.
+    const obs::JsonValue header = obs::parseJson(line);
+    NETPACK_REQUIRE(header.isObject() &&
+                        header.at("schema").asString() == kServeWalSchema,
+                    "not a serve WAL (bad schema): " << path);
+    load.header.cluster =
+        journal::readClusterConfig(header.at("cluster"));
+    load.header.placer = header.at("placer").asString();
+    load.header.seed = header.at("seed").asUInt64();
+
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        try {
+            load.events.push_back(parseEventLine(line));
+        } catch (const ConfigError &err) {
+            // Torn tail: a crash mid-append left a partial line. Keep
+            // the completed prefix; the caller rewrites the file.
+            load.torn = true;
+            load.tornError = err.what();
+            break;
+        }
+    }
+    return load;
+}
+
+void
+rewriteWal(const std::string &path, const WalHeader &header,
+           const std::vector<WalEvent> &events)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::trunc);
+        NETPACK_REQUIRE(os.good(), "cannot open WAL rewrite: " << tmp);
+        os << serializeWalHeader(header) << '\n';
+        for (const WalEvent &event : events)
+            os << serializeWalEvent(event) << '\n';
+        os.flush();
+        NETPACK_REQUIRE(os.good(), "WAL rewrite failed: " << tmp);
+    }
+    NETPACK_REQUIRE(std::rename(tmp.c_str(), path.c_str()) == 0,
+                    "cannot rename " << tmp << " over " << path);
+}
+
+} // namespace serve
+} // namespace netpack

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Write-ahead log of the placement daemon (schema
+ * "netpack.serve_journal/1"). One JSONL file: a header line embedding
+ * the cluster config, placer name, and seed — the WAL is self-contained
+ * enough to rebuild the engine — followed by one event line per
+ * mutating request (place, depart) and periodic full-state snapshot
+ * events that bound replay cost.
+ *
+ * Durability contract: the server appends AND flushes an event before
+ * applying its mutation, so a kill -9 at any instant leaves a journal
+ * whose completed prefix describes exactly the applied state (plus at
+ * most one un-applied trailing event, which replay simply applies).
+ * Loading is torn-tail tolerant — the same contract as
+ * journal::record's tryLoad: the first malformed line ends the load,
+ * keeping the parseable prefix. Recovery rewrites the journal to that
+ * prefix atomically (tmp + rename) before reopening it for append.
+ */
+
+#ifndef NETPACK_SERVE_WAL_H
+#define NETPACK_SERVE_WAL_H
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/placement_context.h"
+#include "topology/cluster.h"
+#include "topology/gpu_ledger.h"
+#include "workload/job.h"
+
+namespace netpack {
+namespace serve {
+
+/** Version tag of the serve WAL format. */
+inline constexpr const char *kServeWalSchema = "netpack.serve_journal/1";
+
+/** The self-describing first line of every WAL. */
+struct WalHeader
+{
+    ClusterConfig cluster;
+    /** Factory name of the serving placer (makePlacerByName). */
+    std::string placer = "NetPack";
+    /** RNG seed for stochastic placers. */
+    std::uint64_t seed = 0;
+};
+
+/**
+ * Full engine state at one WAL sequence point. Restoring it and
+ * re-executing the events after it reproduces the live engine
+ * bit-identically (the placer path is deterministic; stochastic
+ * placers carry their RNG stream here).
+ */
+struct ServeSnapshot
+{
+    /** Sequence of the last mutation folded into this snapshot. */
+    std::uint64_t seq = 0;
+    PlacementContext::State context;
+    std::vector<GpuLedger::Holding> holdings;
+    bool hasPlacerRng = false;
+    Rng::State placerRng;
+    /** Lifetime counters (part of the bit-identity surface). */
+    std::uint64_t placedJobs = 0;
+    std::uint64_t departedJobs = 0;
+    std::uint64_t deferredJobs = 0;
+};
+
+/** One parsed WAL event line. */
+struct WalEvent
+{
+    enum class Kind
+    {
+        Place,
+        Depart,
+        Snapshot,
+    };
+    Kind kind = Kind::Place;
+    /** Mutation sequence (snapshots carry the seq they cover). */
+    std::uint64_t seq = 0;
+    /** Place: the requested batch, verbatim. */
+    std::vector<JobSpec> jobs;
+    /** Depart: the released job ids. */
+    std::vector<JobId> departs;
+    /** Snapshot payload (behind a pointer: events stay cheap to copy). */
+    std::shared_ptr<ServeSnapshot> snapshot;
+};
+
+/**
+ * Append-side of the WAL. Every append flushes before returning —
+ * that is the write-ahead guarantee the daemon's crash recovery
+ * depends on, and the throughput cost is what bench_serve measures.
+ */
+class WalWriter
+{
+  public:
+    /** Open @p path fresh (truncate) and write the header line. */
+    WalWriter(const std::string &path, const WalHeader &header);
+
+    /**
+     * Reopen an existing (already rewritten-clean) WAL for append.
+     * The header must already be on disk; nothing is written.
+     */
+    WalWriter(const std::string &path, bool append);
+
+    WalWriter(const WalWriter &) = delete;
+    WalWriter &operator=(const WalWriter &) = delete;
+
+    /** Append + flush one place event. */
+    void appendPlace(std::uint64_t seq, const std::vector<JobSpec> &jobs);
+
+    /** Append + flush one depart event. */
+    void appendDepart(std::uint64_t seq, const std::vector<JobId> &ids);
+
+    /** Append + flush one snapshot event. */
+    void appendSnapshot(const ServeSnapshot &snap);
+
+    /** Event lines appended by this writer (header excluded). */
+    std::uint64_t eventsWritten() const { return eventsWritten_; }
+
+  private:
+    void writeLine(const std::string &line);
+
+    std::ofstream os_;
+    std::string path_;
+    std::uint64_t eventsWritten_ = 0;
+};
+
+/** Result of loading a WAL file. */
+struct WalLoad
+{
+    WalHeader header;
+    /** The parseable event prefix, in file order. */
+    std::vector<WalEvent> events;
+    /** Whether a torn/malformed tail was dropped. */
+    bool torn = false;
+    /** The parse error that ended the load (diagnostics). */
+    std::string tornError;
+};
+
+/**
+ * Load @p path tolerantly: a malformed header is a ConfigError (the
+ * file is not a WAL), but a malformed event line ends the load and
+ * keeps the completed prefix — the torn-tail contract. Serialization
+ * helpers are exposed for tests that craft torn files byte-exactly.
+ */
+WalLoad loadWal(const std::string &path);
+
+/**
+ * Atomically rewrite @p path to hold exactly @p header + @p events
+ * (tmp + rename, same idiom as journal::record resume). Recovery calls
+ * this to drop a torn tail before reopening the WAL for append.
+ */
+void rewriteWal(const std::string &path, const WalHeader &header,
+                const std::vector<WalEvent> &events);
+
+/** One event as its exact WAL line (no trailing newline). */
+std::string serializeWalEvent(const WalEvent &event);
+
+/** The header as its exact WAL line (no trailing newline). */
+std::string serializeWalHeader(const WalHeader &header);
+
+} // namespace serve
+} // namespace netpack
+
+#endif // NETPACK_SERVE_WAL_H

@@ -1,0 +1,641 @@
+/**
+ * @file
+ * netpack::serve end-to-end: protocol codec round-trips, the shared
+ * JSON text escaping helper, admission-queue shedding, engine
+ * validation/mutation/what-if semantics, WAL round-trips and the
+ * torn-tail recovery contract (crafted byte-exact truncations),
+ * snapshot-bounded replay, kill/restart bit-identity, and a live
+ * socket smoke test through ServeClient.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/json_text.h"
+#include "exec/thread_pool.h"
+#include "serve/admission.h"
+#include "serve/client.h"
+#include "serve/engine.h"
+#include "serve/placement_server.h"
+#include "serve/protocol.h"
+#include "serve/wal.h"
+#include "workload/models.h"
+
+namespace netpack {
+namespace serve {
+namespace {
+
+// --- fixtures ----------------------------------------------------------
+
+ClusterConfig
+smallCluster()
+{
+    ClusterConfig cluster;
+    cluster.numRacks = 2;
+    cluster.serversPerRack = 4;
+    cluster.gpusPerServer = 4;
+    return cluster;
+}
+
+JobSpec
+job(int id, int demand, const std::string &model = "VGG16")
+{
+    JobSpec spec;
+    spec.id = JobId(id);
+    spec.modelName = model;
+    spec.gpuDemand = demand;
+    spec.iterations = 1000;
+    return spec;
+}
+
+std::string
+tempPath(const std::string &name)
+{
+    return std::string(::testing::TempDir()) + "serve_test_" + name;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream is(path);
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
+
+// --- shared JSON text helper -------------------------------------------
+
+TEST(JsonText, EscapeRoundTrip)
+{
+    const std::string raw = "a\"b\\c\n\t\x01 end";
+    const std::string escaped = jsonEscapeText(raw);
+    EXPECT_EQ(jsonUnescapeText(escaped), raw);
+    EXPECT_EQ(jsonEscapeText("plain"), "plain");
+}
+
+TEST(JsonText, SurrogatePairs)
+{
+    // U+1F600 as a surrogate pair.
+    EXPECT_EQ(jsonUnescapeText("\\ud83d\\ude00"), "\xF0\x9F\x98\x80");
+    EXPECT_THROW(jsonUnescapeText("\\ud83d"), ConfigError);
+    EXPECT_THROW(jsonUnescapeText("\\ude00"), ConfigError);
+    EXPECT_THROW(jsonUnescapeText("\\uZZZZ"), ConfigError);
+    EXPECT_THROW(jsonUnescapeText("\\q"), ConfigError);
+}
+
+// --- protocol codecs ---------------------------------------------------
+
+TEST(Protocol, RequestRoundTripsEveryOp)
+{
+    Request place;
+    place.id = 7;
+    place.op = Op::Place;
+    place.jobs = {job(1, 4), job(2, 8, "ResNet50")};
+
+    Request depart;
+    depart.id = 8;
+    depart.op = Op::Depart;
+    depart.departs = {JobId(1), JobId(2)};
+
+    Request stats;
+    stats.id = 9;
+    stats.op = Op::Stats;
+
+    for (const Request &request : {place, depart, stats}) {
+        const Request parsed = parseRequest(serializeRequest(request));
+        EXPECT_EQ(parsed.id, request.id);
+        EXPECT_EQ(parsed.op, request.op);
+        ASSERT_EQ(parsed.jobs.size(), request.jobs.size());
+        for (std::size_t i = 0; i < parsed.jobs.size(); ++i) {
+            EXPECT_EQ(parsed.jobs[i].id, request.jobs[i].id);
+            EXPECT_EQ(parsed.jobs[i].modelName,
+                      request.jobs[i].modelName);
+            EXPECT_EQ(parsed.jobs[i].gpuDemand,
+                      request.jobs[i].gpuDemand);
+        }
+        EXPECT_EQ(parsed.departs, request.departs);
+        // Codec symmetry: re-serialization is byte-identical.
+        EXPECT_EQ(serializeRequest(parsed), serializeRequest(request));
+    }
+}
+
+TEST(Protocol, ResponseRoundTrips)
+{
+    Response response;
+    response.id = 42;
+    response.ok = true;
+    response.deferred = {JobId(5)};
+    response.seq = 17;
+    const Response parsed = parseResponse(serializeResponse(response));
+    EXPECT_EQ(parsed.id, 42);
+    EXPECT_TRUE(parsed.ok);
+    EXPECT_EQ(parsed.deferred, response.deferred);
+    EXPECT_EQ(parsed.seq, 17u);
+
+    Response rejected;
+    rejected.id = 1;
+    rejected.ok = false;
+    rejected.rejected = true;
+    rejected.error = "queue_full";
+    const Response parsedRejected =
+        parseResponse(serializeResponse(rejected));
+    EXPECT_TRUE(parsedRejected.rejected);
+    EXPECT_FALSE(parsedRejected.ok);
+    EXPECT_EQ(parsedRejected.error, "queue_full");
+
+    Response stats;
+    stats.id = 2;
+    stats.ok = true;
+    stats.hasStats = true;
+    stats.stats.seq = 3;
+    stats.stats.runningJobs = 4;
+    stats.stats.freeGpus = 12;
+    stats.stats.digest = "00ff00ff00ff00ff";
+    const Response parsedStats =
+        parseResponse(serializeResponse(stats));
+    ASSERT_TRUE(parsedStats.hasStats);
+    EXPECT_EQ(parsedStats.stats.seq, 3u);
+    EXPECT_EQ(parsedStats.stats.runningJobs, 4);
+    EXPECT_EQ(parsedStats.stats.freeGpus, 12);
+    EXPECT_EQ(parsedStats.stats.digest, "00ff00ff00ff00ff");
+}
+
+TEST(Protocol, MalformedLinesThrow)
+{
+    EXPECT_THROW(parseRequest("not json"), ConfigError);
+    EXPECT_THROW(parseRequest("{\"op\":\"nosuch\",\"id\":1}"),
+                 ConfigError);
+    EXPECT_THROW(parseResponse("{\"truncated\":"), ConfigError);
+}
+
+// --- admission control -------------------------------------------------
+
+TEST(Admission, ShedsBeyondCapacityFifo)
+{
+    AdmissionQueue queue(2);
+    Request first;
+    first.id = 1;
+    Request second;
+    second.id = 2;
+    Request third;
+    third.id = 3;
+    EXPECT_TRUE(queue.tryEnqueue(Envelope{first, -1}));
+    EXPECT_TRUE(queue.tryEnqueue(Envelope{second, -1}));
+    EXPECT_FALSE(queue.tryEnqueue(Envelope{third, -1}));
+    EXPECT_EQ(queue.shedCount(), 1u);
+    EXPECT_EQ(queue.size(), 2u);
+
+    EXPECT_EQ(queue.pop()->request.id, 1);
+    // A freed slot admits again.
+    EXPECT_TRUE(queue.tryEnqueue(Envelope{third, -1}));
+    EXPECT_EQ(queue.pop()->request.id, 2);
+    EXPECT_EQ(queue.pop()->request.id, 3);
+    EXPECT_FALSE(queue.pop().has_value());
+    EXPECT_EQ(queue.shedCount(), 1u);
+}
+
+// --- engine ------------------------------------------------------------
+
+TEST(Engine, ValidateRejectsBadBatches)
+{
+    EngineConfig config;
+    config.cluster = smallCluster();
+    PlacementEngine engine(config);
+
+    EXPECT_THROW(engine.validatePlace({}), ConfigError);
+    EXPECT_THROW(engine.validatePlace({job(1, 4), job(1, 4)}),
+                 ConfigError);
+    EXPECT_THROW(engine.validatePlace({job(1, 0)}), ConfigError);
+    EXPECT_THROW(engine.validatePlace({job(1, 4, "NoSuchModel")}),
+                 ConfigError);
+    EXPECT_THROW(engine.validateDepart({JobId(99)}), ConfigError);
+
+    engine.applyPlace({job(1, 4)});
+    EXPECT_THROW(engine.validatePlace({job(1, 4)}), ConfigError);
+    EXPECT_NO_THROW(engine.validateDepart({JobId(1)}));
+    EXPECT_THROW(engine.validateDepart({JobId(1), JobId(1)}),
+                 ConfigError);
+}
+
+TEST(Engine, PlaceDepartUpdatesCountersAndLedger)
+{
+    EngineConfig config;
+    config.cluster = smallCluster();
+    PlacementEngine engine(config);
+    const std::int64_t totalGpus = engine.freeGpus();
+
+    const BatchResult result = engine.applyPlace({job(1, 4), job(2, 8)});
+    EXPECT_EQ(result.placed.size(), 2u);
+    EXPECT_EQ(engine.runningJobs(), 2);
+    EXPECT_EQ(engine.freeGpus(), totalGpus - 12);
+    EXPECT_EQ(engine.placedJobs(), 2u);
+
+    engine.applyDepart({JobId(1)});
+    EXPECT_EQ(engine.runningJobs(), 1);
+    EXPECT_EQ(engine.freeGpus(), totalGpus - 8);
+    EXPECT_EQ(engine.departedJobs(), 1u);
+}
+
+TEST(Engine, WhatIfIsReadOnlyAndPoolInvariant)
+{
+    EngineConfig config;
+    config.cluster = smallCluster();
+    PlacementEngine engine(config);
+    engine.applyPlace({job(1, 4), job(2, 4)});
+    const std::string before = engine.canonicalState(2);
+
+    std::vector<JobSpec> candidates;
+    for (int i = 0; i < 6; ++i)
+        candidates.push_back(job(100 + i, 2 + i));
+
+    const std::vector<QueryResult> serial =
+        engine.whatIf(candidates, nullptr);
+    exec::ThreadPool pool(4);
+    const std::vector<QueryResult> pooled =
+        engine.whatIf(candidates, &pool);
+
+    ASSERT_EQ(serial.size(), candidates.size());
+    ASSERT_EQ(pooled.size(), candidates.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].job, candidates[i].id);
+        EXPECT_EQ(serial[i].placeable, pooled[i].placeable);
+        EXPECT_DOUBLE_EQ(serial[i].commTime, pooled[i].commTime);
+        if (serial[i].placeable) {
+            EXPECT_EQ(serial[i].placement.workers,
+                      pooled[i].placement.workers);
+            EXPECT_EQ(serial[i].placement.psServer,
+                      pooled[i].placement.psServer);
+        }
+    }
+    // The live state never moved.
+    EXPECT_EQ(engine.canonicalState(2), before);
+}
+
+TEST(Engine, OversizedCandidateIsUnplaceableNotFatal)
+{
+    EngineConfig config;
+    config.cluster = smallCluster(); // 32 GPUs total
+    PlacementEngine engine(config);
+    const std::vector<QueryResult> results =
+        engine.whatIf({job(1, 1000)}, nullptr);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_FALSE(results[0].placeable);
+}
+
+// --- WAL ---------------------------------------------------------------
+
+WalHeader
+smallHeader()
+{
+    WalHeader header;
+    header.cluster = smallCluster();
+    header.seed = 3;
+    return header;
+}
+
+TEST(Wal, WriteLoadRoundTrip)
+{
+    const std::string path = tempPath("roundtrip.ndjson");
+    {
+        WalWriter writer(path, smallHeader());
+        writer.appendPlace(1, {job(1, 4), job(2, 8, "ResNet50")});
+        writer.appendDepart(2, {JobId(1)});
+        EXPECT_EQ(writer.eventsWritten(), 2u);
+    }
+    const WalLoad load = loadWal(path);
+    EXPECT_FALSE(load.torn);
+    EXPECT_EQ(serializeWalHeader(load.header),
+              serializeWalHeader(smallHeader()));
+    ASSERT_EQ(load.events.size(), 2u);
+    EXPECT_EQ(load.events[0].kind, WalEvent::Kind::Place);
+    EXPECT_EQ(load.events[0].seq, 1u);
+    ASSERT_EQ(load.events[0].jobs.size(), 2u);
+    EXPECT_EQ(load.events[0].jobs[1].modelName, "ResNet50");
+    EXPECT_EQ(load.events[1].kind, WalEvent::Kind::Depart);
+    EXPECT_EQ(load.events[1].departs, std::vector<JobId>{JobId(1)});
+    std::remove(path.c_str());
+}
+
+TEST(Wal, SnapshotEventRoundTrips)
+{
+    EngineConfig config;
+    config.cluster = smallCluster();
+    PlacementEngine engine(config);
+    engine.applyPlace({job(1, 4), job(2, 8)});
+    engine.applyDepart({JobId(1)});
+
+    const std::string path = tempPath("snapshot.ndjson");
+    {
+        WalWriter writer(path, smallHeader());
+        writer.appendSnapshot(engine.snapshot(2));
+    }
+    const WalLoad load = loadWal(path);
+    ASSERT_EQ(load.events.size(), 1u);
+    ASSERT_EQ(load.events[0].kind, WalEvent::Kind::Snapshot);
+    ASSERT_NE(load.events[0].snapshot, nullptr);
+
+    PlacementEngine restored(config);
+    restored.restore(*load.events[0].snapshot);
+    EXPECT_EQ(restored.canonicalState(2), engine.canonicalState(2));
+    EXPECT_EQ(restored.freeGpus(), engine.freeGpus());
+    std::remove(path.c_str());
+}
+
+TEST(Wal, TornTailKeepsPrefixAtEveryTruncation)
+{
+    // Craft the file byte-exactly, then replay every truncation point
+    // inside the final event line: each must load the 2-event prefix
+    // with torn=true (except the bare "header only" end-state).
+    const std::string header = serializeWalHeader(smallHeader());
+    WalEvent place;
+    place.kind = WalEvent::Kind::Place;
+    place.seq = 1;
+    place.jobs = {job(1, 4)};
+    WalEvent depart;
+    depart.kind = WalEvent::Kind::Depart;
+    depart.seq = 2;
+    depart.departs = {JobId(1)};
+    const std::string line1 = serializeWalEvent(place);
+    const std::string line2 = serializeWalEvent(depart);
+    const std::string intact =
+        header + "\n" + line1 + "\n" + line2 + "\n";
+    const std::size_t prefixBytes =
+        header.size() + 1 + line1.size() + 1;
+
+    const std::string path = tempPath("torn.ndjson");
+    // Cutting only the final '\n' leaves a complete, parseable event —
+    // that loads clean (the newline is not part of the contract).
+    {
+        std::ofstream os(path, std::ios::trunc | std::ios::binary);
+        os << intact.substr(0, intact.size() - 1);
+    }
+    const WalLoad noNewline = loadWal(path);
+    EXPECT_FALSE(noNewline.torn);
+    EXPECT_EQ(noNewline.events.size(), 2u);
+
+    for (std::size_t cut = prefixBytes + 1; cut + 1 < intact.size();
+         ++cut) {
+        {
+            std::ofstream os(path, std::ios::trunc | std::ios::binary);
+            os << intact.substr(0, cut);
+        }
+        const WalLoad load = loadWal(path);
+        EXPECT_TRUE(load.torn) << "cut at byte " << cut;
+        ASSERT_EQ(load.events.size(), 1u) << "cut at byte " << cut;
+        EXPECT_EQ(load.events[0].seq, 1u);
+    }
+
+    // Recovery's rewrite drops the tail; a reload is clean.
+    {
+        std::ofstream os(path, std::ios::trunc | std::ios::binary);
+        os << intact.substr(0, intact.size() - 3);
+    }
+    WalLoad load = loadWal(path);
+    EXPECT_TRUE(load.torn);
+    rewriteWal(path, load.header, load.events);
+    const WalLoad reloaded = loadWal(path);
+    EXPECT_FALSE(reloaded.torn);
+    EXPECT_EQ(reloaded.events.size(), 1u);
+    EXPECT_EQ(readFile(path), header + "\n" + line1 + "\n");
+    std::remove(path.c_str());
+}
+
+TEST(Wal, MalformedHeaderThrows)
+{
+    const std::string path = tempPath("badheader.ndjson");
+    {
+        std::ofstream os(path, std::ios::trunc);
+        os << "{\"schema\":\"other/1\"}\n";
+    }
+    EXPECT_THROW(loadWal(path), ConfigError);
+    std::remove(path.c_str());
+}
+
+// --- recovery ----------------------------------------------------------
+
+/** Replay-based recovery equals the uninterrupted engine, bit for bit. */
+TEST(Recovery, ReplayMatchesLiveEngine)
+{
+    EngineConfig config;
+    config.cluster = smallCluster();
+    const std::string path = tempPath("recover.ndjson");
+
+    WalHeader header;
+    header.cluster = config.cluster;
+    PlacementEngine live(config);
+    {
+        WalWriter writer(path, header);
+        std::uint64_t seq = 0;
+        for (int i = 1; i <= 10; ++i) {
+            const JobSpec spec = job(i, 1 + i % 6);
+            writer.appendPlace(++seq, {spec});
+            live.applyPlace({spec});
+            if (i % 3 == 0) {
+                writer.appendDepart(++seq, {JobId(i - 1)});
+                live.applyDepart({JobId(i - 1)});
+            }
+            if (i == 5)
+                writer.appendSnapshot(live.snapshot(seq));
+        }
+    }
+
+    std::uint64_t lastSeq = 0;
+    const WalLoad load = loadWal(path);
+    EXPECT_FALSE(load.torn);
+    const std::unique_ptr<PlacementEngine> recovered =
+        recoverEngine(load, lastSeq);
+    EXPECT_EQ(lastSeq, 13u);
+    EXPECT_EQ(recovered->canonicalState(lastSeq),
+              live.canonicalState(lastSeq));
+    EXPECT_EQ(recovered->stateDigest(lastSeq),
+              live.stateDigest(lastSeq));
+    std::remove(path.c_str());
+}
+
+// --- live server (socket smoke) ----------------------------------------
+
+ServerConfig
+serverConfig(const std::string &walPath = "")
+{
+    ServerConfig config;
+    config.engine.cluster = smallCluster();
+    config.walPath = walPath;
+    config.queryThreads = 0; // keep the test single-threaded inside
+    return config;
+}
+
+TEST(Server, PlaceQueryStatsDepartOverSocket)
+{
+    PlacementServer server(serverConfig());
+    ServeClient client(server.port());
+
+    Request place;
+    place.id = 1;
+    place.op = Op::Place;
+    place.jobs = {job(1, 4), job(2, 8)};
+    const Response placed = client.call(place);
+    EXPECT_TRUE(placed.ok);
+    EXPECT_EQ(placed.id, 1);
+    EXPECT_EQ(placed.placed.size() + placed.deferred.size(), 2u);
+
+    Request query;
+    query.id = 2;
+    query.op = Op::Query;
+    query.jobs = {job(50, 2)};
+    const Response whatIf = client.call(query);
+    ASSERT_TRUE(whatIf.ok);
+    ASSERT_EQ(whatIf.queryResults.size(), 1u);
+    EXPECT_TRUE(whatIf.queryResults[0].placeable);
+
+    Request stats;
+    stats.id = 3;
+    stats.op = Op::Stats;
+    const Response statsResponse = client.call(stats);
+    ASSERT_TRUE(statsResponse.hasStats);
+    EXPECT_EQ(statsResponse.stats.seq, 1u);
+    EXPECT_EQ(statsResponse.stats.runningJobs,
+              static_cast<std::int64_t>(placed.placed.size()));
+
+    // An invalid depart is an error response, not a dead server.
+    Request badDepart;
+    badDepart.id = 4;
+    badDepart.op = Op::Depart;
+    badDepart.departs = {JobId(777)};
+    const Response bad = client.call(badDepart);
+    EXPECT_FALSE(bad.ok);
+    EXPECT_FALSE(bad.rejected);
+    EXPECT_FALSE(bad.error.empty());
+
+    Request drain;
+    drain.id = 5;
+    drain.op = Op::Drain;
+    const Response drained = client.call(drain);
+    EXPECT_TRUE(drained.ok);
+    server.join();
+    EXPECT_TRUE(server.finished());
+}
+
+TEST(Server, KillRestartRecoversBitIdentically)
+{
+    const std::string path = tempPath("server_recover.ndjson");
+    std::string digestBefore;
+    std::uint64_t seqBefore = 0;
+    {
+        // "Kill": destroy the server without a drain barrier — the WAL
+        // alone must carry the state (every event is flushed pre-apply).
+        PlacementServer server(serverConfig(path));
+        ServeClient client(server.port());
+        for (int i = 1; i <= 8; ++i) {
+            Request place;
+            place.id = i;
+            place.op = Op::Place;
+            place.jobs = {job(i, 1 + i % 5)};
+            EXPECT_TRUE(client.call(place).ok);
+        }
+        Request depart;
+        depart.id = 9;
+        depart.op = Op::Depart;
+        depart.departs = {JobId(2), JobId(4)};
+        EXPECT_TRUE(client.call(depart).ok);
+
+        Request stats;
+        stats.id = 10;
+        stats.op = Op::Stats;
+        const Response statsResponse = client.call(stats);
+        ASSERT_TRUE(statsResponse.hasStats);
+        digestBefore = statsResponse.stats.digest;
+        seqBefore = statsResponse.stats.seq;
+        server.stop();
+    }
+
+    ServerConfig config = serverConfig(path);
+    config.recover = true;
+    PlacementServer recovered(config);
+    EXPECT_EQ(recovered.seq(), seqBefore);
+    ServeClient client(recovered.port());
+    Request stats;
+    stats.id = 1;
+    stats.op = Op::Stats;
+    const Response statsResponse = client.call(stats);
+    ASSERT_TRUE(statsResponse.hasStats);
+    EXPECT_EQ(statsResponse.stats.digest, digestBefore);
+
+    // The recovered server keeps serving (and appending) normally.
+    Request place;
+    place.id = 2;
+    place.op = Op::Place;
+    place.jobs = {job(100, 2)};
+    EXPECT_TRUE(client.call(place).ok);
+    EXPECT_EQ(recovered.seq(), seqBefore + 1);
+    std::remove(path.c_str());
+}
+
+TEST(Server, RecoverFromTornWalRewritesItClean)
+{
+    const std::string path = tempPath("server_torn.ndjson");
+    {
+        PlacementServer server(serverConfig(path));
+        ServeClient client(server.port());
+        for (int i = 1; i <= 4; ++i) {
+            Request place;
+            place.id = i;
+            place.op = Op::Place;
+            place.jobs = {job(i, 2)};
+            EXPECT_TRUE(client.call(place).ok);
+        }
+        server.stop();
+    }
+    // Tear the tail mid-line, as a kill -9 mid-write would.
+    std::string bytes = readFile(path);
+    ASSERT_GT(bytes.size(), 10u);
+    bytes.resize(bytes.size() - 7);
+    {
+        std::ofstream os(path, std::ios::trunc | std::ios::binary);
+        os << bytes;
+    }
+
+    ServerConfig config = serverConfig(path);
+    config.recover = true;
+    PlacementServer recovered(config);
+    EXPECT_EQ(recovered.seq(), 3u);
+    recovered.stop();
+    recovered.join();
+
+    const WalLoad reloaded = loadWal(path);
+    EXPECT_FALSE(reloaded.torn);
+    EXPECT_EQ(reloaded.events.size(), 3u);
+    std::remove(path.c_str());
+}
+
+TEST(Server, HeaderMismatchRefusesRecovery)
+{
+    const std::string path = tempPath("server_mismatch.ndjson");
+    {
+        PlacementServer server(serverConfig(path));
+        server.stop();
+    }
+    ServerConfig config = serverConfig(path);
+    config.recover = true;
+    config.engine.cluster.numRacks = 7; // not what the WAL journals
+    EXPECT_THROW(PlacementServer{config}, ConfigError);
+    std::remove(path.c_str());
+}
+
+TEST(Server, MissingWalWithRecoverStartsFresh)
+{
+    ServerConfig config = serverConfig(tempPath("never_written.ndjson"));
+    config.recover = true;
+    PlacementServer server(config);
+    EXPECT_EQ(server.seq(), 0u);
+    server.stop();
+    server.join();
+    std::remove(config.walPath.c_str());
+}
+
+} // namespace
+} // namespace serve
+} // namespace netpack
