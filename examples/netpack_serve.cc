@@ -6,7 +6,8 @@
  * Daemon:
  *   netpack_serve serve [--port <p>] [--racks <n>] [--servers-per-rack <n>]
  *                       [--gpus-per-server <n>] [--placer <name>] [--seed <s>]
- *                       [--wal <path>] [--recover] [--snapshot-every <k>]
+ *                       [--jobs <n>] [--wal <path>] [--recover]
+ *                       [--snapshot-every <k>]
  *                       [--admission-cap <n>] [--query-threads <n>]
  *                       [--metrics-port <p>] [--state-out <path>]
  *   Prints "listening on port <p>" and serves until SIGINT/SIGTERM or a
@@ -140,6 +141,8 @@ runServe(int argc, char **argv)
         else if (arg == "--seed" && hasValue)
             config.engine.seed =
                 static_cast<std::uint64_t>(std::atoll(argv[++i]));
+        else if (arg == "--jobs" && hasValue)
+            config.engine.jobs = std::atoi(argv[++i]);
         else if (arg == "--wal" && hasValue)
             config.walPath = argv[++i];
         else if (arg == "--recover")

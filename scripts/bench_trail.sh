@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# The CI-gated bench trail: regenerate (or verify) the committed
+# BENCH_placer.json / BENCH_serve.json baselines.
+#
+# Usage:
+#   scripts/bench_trail.sh [--jobs N]            refresh the baselines
+#   scripts/bench_trail.sh --check [--jobs N]    run fresh, compare
+#                                                against the committed
+#                                                baselines, do not touch
+#                                                them (CI mode)
+#
+# Both benches run deterministic pinned-seed workloads, so the only
+# baseline drift between runs is timing noise; scripts/check_bench.py
+# compares machine-portable speedup ratios (plus loose serve floors),
+# which is what makes a committed baseline meaningful across machines.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CHECK=0
+JOBS="$(nproc)"
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --check) CHECK=1; shift ;;
+    --jobs) JOBS="$2"; shift 2 ;;
+    *) echo "unknown flag: $1" >&2; exit 2 ;;
+  esac
+done
+
+# Reuse build/ with whatever generator it was configured with; only a
+# fresh tree gets the default generator.
+cmake -B build -DCMAKE_BUILD_TYPE=Release > /dev/null
+cmake --build build --target bench_placer_micro bench_serve > /dev/null
+
+if [ "$CHECK" = 1 ]; then
+  out=build/bench_trail
+  mkdir -p "$out"
+  build/bench/bench_placer_micro --jobs "$JOBS" --json "$out/BENCH_placer.json"
+  build/bench/bench_serve --jobs "$JOBS" --json "$out/BENCH_serve.json"
+  python3 scripts/check_bench.py placer BENCH_placer.json "$out/BENCH_placer.json"
+  python3 scripts/check_bench.py serve BENCH_serve.json "$out/BENCH_serve.json"
+else
+  build/bench/bench_placer_micro --jobs "$JOBS" --json BENCH_placer.json
+  build/bench/bench_serve --jobs "$JOBS" --json BENCH_serve.json
+  echo "baselines refreshed: BENCH_placer.json BENCH_serve.json (commit them)"
+fi

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Gate a fresh bench manifest against a committed BENCH_*.json baseline.
+
+Usage:
+  check_bench.py placer <baseline.json> <current.json> [--tolerance 0.25]
+  check_bench.py serve  <baseline.json> <current.json>
+
+The baselines pin the bench trail: refresh them with
+scripts/bench_trail.sh and commit the result; CI re-runs the benches and
+calls this script so a perf regression fails the build instead of
+rotting silently.
+
+What is compared is chosen for machine portability — CI runners and dev
+boxes differ wildly in absolute speed, so:
+
+  placer: the ref-relative *speedup ratios* of the serial optimized lane
+    ("speedup p50"/"speedup p95") must stay within --tolerance
+    (default 25%) of the baseline per (racks, batch) row — a ratio of
+    two timings on the same machine transfers across machines. The
+    parallel lane's ratios additionally depend on the runner's core
+    count, so they are gated by absolute floors only: >= 3x at the
+    64-rack acceptance point and >= 4x at the 256-rack point (the
+    intra-epoch parallelism target).
+
+  serve: absolute throughput/latency with loose floors — current req/s
+    must reach at least half the baseline (and the bench's own 1000
+    req/s floor), p99 at most twice the baseline (and under the bench's
+    50 ms ceiling).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_table(path):
+    with open(path) as fh:
+        manifest = json.load(fh)
+    tables = manifest.get("tables") or []
+    if not tables:
+        sys.exit(f"{path}: manifest has no tables")
+    table = tables[0]
+    headers = table["headers"]
+    return [dict(zip(headers, row)) for row in table["rows"]]
+
+
+def ratio(cell):
+    """Parse a '12.34x' speedup cell."""
+    return float(str(cell).rstrip("x"))
+
+
+def check_placer(baseline_rows, current_rows, tolerance):
+    failures = []
+    current = {(r["racks"], r["batch"]): r for r in current_rows}
+    for base in baseline_rows:
+        key = (base["racks"], base["batch"])
+        row = current.get(key)
+        if row is None:
+            failures.append(f"row racks={key[0]} batch={key[1]} "
+                            "missing from current manifest")
+            continue
+        for col in ("speedup p50", "speedup p95"):
+            want = ratio(base[col]) * (1.0 - tolerance)
+            got = ratio(row[col])
+            if got < want:
+                failures.append(
+                    f"racks={key[0]} batch={key[1]} {col}: {got:.2f}x "
+                    f"< {want:.2f}x (baseline {ratio(base[col]):.2f}x "
+                    f"- {tolerance:.0%})")
+        if key[0] == "64" and ratio(row["speedup p50"]) < 3.0:
+            failures.append(f"racks=64 batch={key[1]} speedup p50 "
+                            f"{ratio(row['speedup p50']):.2f}x < 3.0x floor")
+        if key[0] == "256" and ratio(row["speedup par p50"]) < 4.0:
+            failures.append(
+                f"racks=256 batch={key[1]} speedup par p50 "
+                f"{ratio(row['speedup par p50']):.2f}x < 4.0x floor")
+    return failures
+
+
+def check_serve(baseline_rows, current_rows):
+    failures = []
+    base = {r["load"]: r for r in baseline_rows}
+    cur = {r["load"]: r for r in current_rows}
+    for load, b in base.items():
+        row = cur.get(load)
+        if row is None:
+            failures.append(f"load={load} missing from current manifest")
+            continue
+        req_floor = max(1000.0, 0.5 * float(b["req/s"]))
+        if float(row["req/s"]) < req_floor:
+            failures.append(f"load={load} req/s {row['req/s']} "
+                            f"< floor {req_floor:.0f}")
+        p99_ceiling = min(50.0, 2.0 * float(b["p99 ms"]))
+        if float(row["p99 ms"]) > p99_ceiling:
+            failures.append(f"load={load} p99 {row['p99 ms']} ms "
+                            f"> ceiling {p99_ceiling:.1f} ms")
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("kind", choices=("placer", "serve"))
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--tolerance", type=float, default=0.25)
+    args = parser.parse_args()
+
+    baseline_rows = load_table(args.baseline)
+    current_rows = load_table(args.current)
+    if args.kind == "placer":
+        failures = check_placer(baseline_rows, current_rows,
+                                args.tolerance)
+    else:
+        failures = check_serve(baseline_rows, current_rows)
+
+    if failures:
+        print(f"check_bench[{args.kind}]: FAIL")
+        for failure in failures:
+            print("  " + failure)
+        sys.exit(1)
+    print(f"check_bench[{args.kind}]: OK "
+          f"({len(baseline_rows)} baseline rows held)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Pin the autovectorization of the placement/water-filling hot loops.
+#
+# The intra-epoch perf work restructured these loops into branch-free
+# contiguous passes specifically so GCC's vectorizer takes them (with
+# the value-preserving -fno-trapping-math the top-level CMakeLists
+# sets). Vectorization is an optimizer outcome, not a language
+# guarantee — an innocent-looking edit (a new branch in the loop, a
+# select on a conditional load, an FP min reduction) silently drops it
+# and the regression only shows up as a benchmark slowdown much later.
+# This check compiles the two hot translation units with
+# -fopt-info-vec-optimized and asserts a vectorized-loop report within
+# a few lines of every marker below, so the drop is caught at CI time
+# with a pointer to the exact loop.
+#
+# Usage: scripts/check_vectorization.sh [compiler]   (default: c++)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CXX="${1:-c++}"
+FLAGS=(-std=c++20 -O3 -fno-trapping-math -fopt-info-vec-optimized -c -I src -o /dev/null)
+
+report=$(mktemp)
+trap 'rm -f "$report"' EXIT
+for tu in src/waterfill/steady_state.cc src/placement/netpack_placer.cc; do
+  "$CXX" "${FLAGS[@]}" "$tu" 2>> "$report"
+done
+
+python3 - "$report" <<'EOF'
+import re
+import sys
+
+report_path = sys.argv[1]
+
+# (file, unique source snippet inside the loop body) per loop that must
+# vectorize. The snippet locates the loop in today's source; the
+# vectorizer reports the loop-header line, so a hit within a few lines
+# of the snippet counts.
+MARKERS = [
+    # Water-filling: the per-link and per-ToR fair-share division passes.
+    ("src/waterfill/steady_state.cc", "state.linkResidual[l] /"),
+    ("src/waterfill/steady_state.cc", "state.patResidual[r] /"),
+    # Worker DP: both relaxRow passes (decision select, value max).
+    ("src/placement/netpack_placer.cc", "dec[g] = src[g] + add > dst[g]"),
+    ("src/placement/netpack_placer.cc", "dst[g] = offered > dst[g]"),
+    # Equation-1 scoring: passes A-D.
+    ("src/placement/netpack_placer.cc", "fm[s] = (f > fs ? f : fs) + 1"),
+    ("src/placement/netpack_placer.cc", "pen[s] = c / static_cast<double>(fm[s])"),
+    ("src/placement/netpack_placer.cc", "seg[s] = cross > seg[s]"),
+    ("src/placement/netpack_placer.cc", "score[s] = plan_value + avail[s]"),
+    # Plan-invariant terms: the q0/q1 pass and the umax bound pass.
+    ("src/placement/netpack_placer.cc", "q1[s] = (c - avail[s])"),
+    ("src/placement/netpack_placer.cc", "avail[s] - q1[s] - c / static_cast"),
+]
+SLOP = 8  # max distance (lines) between snippet and reported loop header
+
+vectorized = {}  # file -> set of line numbers with a vectorized loop
+pattern = re.compile(r"([^\s:]+\.cc):(\d+):\d+: optimized: loop vectorized")
+with open(report_path) as fh:
+    for line in fh:
+        m = pattern.search(line)
+        if m:
+            path = m.group(1)
+            for known in ("src/waterfill/steady_state.cc",
+                          "src/placement/netpack_placer.cc"):
+                if path.endswith(known.rsplit("/", 1)[1]):
+                    vectorized.setdefault(known, set()).add(int(m.group(2)))
+
+failures = []
+for path, snippet in MARKERS:
+    with open(path) as fh:
+        lines = [i + 1 for i, text in enumerate(fh) if snippet in text]
+    if not lines:
+        failures.append(f"{path}: marker not found in source: {snippet!r}")
+        continue
+    hits = vectorized.get(path, set())
+    if not any(abs(marker - hit) <= SLOP for marker in lines for hit in hits):
+        failures.append(
+            f"{path}:{lines[0]}: loop did NOT vectorize: {snippet!r}")
+
+if failures:
+    print("check_vectorization: FAIL")
+    for failure in failures:
+        print("  " + failure)
+    sys.exit(1)
+print(f"check_vectorization: OK ({len(MARKERS)} hot loops vectorized)")
+EOF

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The deterministic fan-out-then-serial-reduce idiom, extracted from
+ * its copy-pasted call sites (PortfolioPlacer lineup evaluation, the
+ * serve daemon's what-if queries, and the intra-epoch placement
+ * parallelism). The contract every caller relies on:
+ *
+ *  - fn(i) runs exactly once for every i in [0, n), writing only into
+ *    slot i of some caller-owned result array;
+ *  - when the map runs in parallel the caller must still reduce the
+ *    results serially in index order, so the combined outcome is a pure
+ *    function of the inputs — bit-identical for any worker count,
+ *    including none;
+ *  - nested maps degrade to serial: a map issued from inside a pool
+ *    task (ThreadPool::insideTask()) runs inline instead of spawning a
+ *    second level of parallelism on an already-busy machine. This is
+ *    what keeps portfolio x intra-epoch composition from
+ *    oversubscribing, and it keeps per-task MetricScope attribution
+ *    intact (work stays on the thread that owns the scope).
+ */
+
+#ifndef NETPACK_EXEC_DETERMINISTIC_MAP_H
+#define NETPACK_EXEC_DETERMINISTIC_MAP_H
+
+#include <cstddef>
+
+#include "exec/thread_pool.h"
+
+namespace netpack {
+namespace exec {
+
+/**
+ * Run fn(i) for every i in [0, n): fanned across @p pool when it is
+ * non-null, there is more than one item, and the caller is not itself
+ * inside a pool task; serially in index order otherwise. Blocks until
+ * every invocation finished; exceptions propagate (lowest failing index
+ * wins in the parallel case, matching serial first-failure order).
+ *
+ * @return true when the work was fanned out, false when it ran serially
+ *         (callers use this to count fan-outs vs nested fallbacks)
+ */
+template <class Fn>
+bool
+deterministicMap(ThreadPool *pool, std::size_t n, Fn &&fn)
+{
+    if (pool != nullptr && n > 1 && !ThreadPool::insideTask()) {
+        parallelFor(*pool, n, fn);
+        return true;
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        fn(i);
+    return false;
+}
+
+} // namespace exec
+} // namespace netpack
+
+#endif // NETPACK_EXEC_DETERMINISTIC_MAP_H

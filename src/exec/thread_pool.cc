@@ -12,7 +12,25 @@ namespace {
 thread_local const ThreadPool *t_workerPool = nullptr;
 thread_local std::size_t t_workerIndex = 0;
 
+/** Nesting depth of pool tasks on this thread (any pool). Non-zero
+ * while a task body runs, including tasks executed by helper threads
+ * through runPendingTask. */
+thread_local int t_taskDepth = 0;
+
+/** RAII bump of t_taskDepth around a task body (exception-safe). */
+struct TaskDepthGuard
+{
+    TaskDepthGuard() { ++t_taskDepth; }
+    ~TaskDepthGuard() { --t_taskDepth; }
+};
+
 } // namespace
+
+bool
+ThreadPool::insideTask()
+{
+    return t_taskDepth > 0;
+}
 
 std::size_t
 ThreadPool::defaultThreadCount()
@@ -104,7 +122,10 @@ ThreadPool::runPendingTask()
     Task task = take(self);
     if (!task)
         return false;
-    task();
+    {
+        const TaskDepthGuard guard;
+        task();
+    }
     return true;
 }
 
@@ -115,6 +136,7 @@ ThreadPool::workerLoop(std::size_t index)
     t_workerIndex = index;
     for (;;) {
         if (Task task = take(index)) {
+            const TaskDepthGuard guard;
             task();
             continue;
         }

@@ -77,6 +77,18 @@ class ThreadPool
      */
     bool runPendingTask();
 
+    /**
+     * True while the calling thread is executing a pool task — on a
+     * worker thread, or on any thread helping via runPendingTask
+     * (parallelFor's drain loop included). Components that fan work out
+     * themselves (the intra-epoch placer parallelism, portfolio
+     * evaluation) consult this to degrade to serial execution instead
+     * of oversubscribing the machine with nested pools; the flag is
+     * per-thread and pool-agnostic, so nesting across distinct pools is
+     * caught too.
+     */
+    static bool insideTask();
+
   private:
     /** One worker's state; back = owner end (LIFO), front = steal end. */
     struct Worker

@@ -269,16 +269,25 @@ RandomPlacer::serverOrder(const JobSpec &spec, const ClusterTopology &topo,
 }
 
 std::unique_ptr<Placer>
-makePlacerByName(const std::string &name, std::uint64_t seed)
+makePlacerByName(const std::string &name, std::uint64_t seed, int jobs)
 {
-    if (name == "NetPack")
-        return std::make_unique<NetPackPlacer>();
+    if (name == "NetPack") {
+        NetPackConfig config;
+        config.jobs = jobs;
+        return std::make_unique<NetPackPlacer>(config);
+    }
     if (name == "NetPackRef")
         return std::make_unique<ReferenceNetPackPlacer>();
-    if (name == "NetPack+LS")
-        return std::make_unique<LocalSearchPlacer>();
-    if (name == "Portfolio")
-        return std::make_unique<PortfolioPlacer>();
+    if (name == "NetPack+LS") {
+        LocalSearchConfig config;
+        config.netpack.jobs = jobs;
+        return std::make_unique<LocalSearchPlacer>(config);
+    }
+    if (name == "Portfolio") {
+        PortfolioConfig config;
+        config.jobs = jobs;
+        return std::make_unique<PortfolioPlacer>(config);
+    }
     if (name == "GB")
         return std::make_unique<GpuBalancePlacer>();
     if (name == "FB")

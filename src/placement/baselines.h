@@ -199,11 +199,16 @@ class RandomPlacer : public BaselinePlacer
 /**
  * Factory by figure label; ConfigError for unknown names. @p seed
  * selects the RNG stream of stochastic placers (Random); 0 keeps their
- * fixed default, deterministic placers ignore it. "NetPackRef" builds
- * the frozen naive reference placer (differential-test oracle).
+ * fixed default, deterministic placers ignore it. @p jobs is the
+ * intra-epoch worker count of the placers that support it (NetPack's
+ * per-table fan-out, NetPack+LS's inner placer, Portfolio's lineup);
+ * decisions are bit-identical for any value, the others ignore it.
+ * "NetPackRef" builds the frozen naive reference placer
+ * (differential-test oracle).
  */
 std::unique_ptr<Placer> makePlacerByName(const std::string &name,
-                                         std::uint64_t seed = 0);
+                                         std::uint64_t seed = 0,
+                                         int jobs = 1);
 
 /** The placer lineup of Figures 7-9: GB, FB, LF, Optimus, Tetris. */
 std::vector<std::string> baselineNames();

@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "common/log.h"
+#include "exec/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "placement/ina_policy.h"
@@ -25,12 +26,40 @@ constexpr double kNegInf = -1e300;
  * by a few ULPs; the slack (orders of magnitude above any rounding
  * error, orders of magnitude below any meaningful score difference)
  * keeps the prune strictly conservative — a pruned cell provably cannot
- * beat the running best under the loop's own arithmetic.
+ * beat the running best under the loop's own arithmetic. The same
+ * strictness is what lets the parallel fan-out give every table a
+ * private bound: no cell tied with the global maximum is ever pruned
+ * under *any* bound, so the first cell achieving the maximum — the
+ * serial winner — is found by its table's local scan too.
  */
 double
 pruneSlack(Gbps c)
 {
     return 1e-6 * (1.0 + std::abs(c));
+}
+
+/**
+ * One source-row relaxation of the worker DP: for every column g of the
+ * contiguous [0, n) window, offer src[g] + add to dst[g] (the target row
+ * shifted by the candidate's weight) and record @p src_f in the decision
+ * row where the offer wins. Two branch-free passes instead of one fused
+ * conditional store: the decision pass must compare against the value
+ * row as it stood *before* this source's value pass, which is exactly
+ * what running it first provides — bit-identical to the reference's
+ * fused update, and both passes vectorize. The pointers never overlap
+ * (the caller snapshots a row whenever source and target coincide).
+ */
+void
+relaxRow(const double *__restrict src, double *__restrict dst,
+         std::int8_t *__restrict dec, int n, double add, int src_f)
+{
+    const auto f8 = static_cast<std::int8_t>(src_f);
+    for (int g = 0; g < n; ++g)
+        dec[g] = src[g] + add > dst[g] ? f8 : dec[g];
+    for (int g = 0; g < n; ++g) {
+        const double offered = src[g] + add;
+        dst[g] = offered > dst[g] ? offered : dst[g];
+    }
 }
 
 } // namespace
@@ -46,48 +75,91 @@ NetPackPlacer::NetPackPlacer(NetPackConfig config)
     NETPACK_REQUIRE(config.psShards >= 1 && config.psShards <= 64,
                     "psShards must be in [1, 64], got "
                         << config.psShards);
+    NETPACK_REQUIRE(config.jobs >= 1 && config.jobs <= 256,
+                    "jobs must be in [1, 256], got " << config.jobs);
 }
 
-NetPackPlacer::WorkerDp &
-NetPackPlacer::acquireDp()
-{
-    if (dpTablesUsed_ == dpTables_.size())
-        dpTables_.emplace_back();
-    return dpTables_[dpTablesUsed_++];
-}
+NetPackPlacer::~NetPackPlacer() = default;
 
 void
-NetPackPlacer::ensureScratch(const ClusterTopology &topo)
+NetPackPlacer::PlanScratch::ensure(int n_servers, int n_racks, int n_pods)
 {
-    const auto n_servers = static_cast<std::size_t>(topo.numServers());
-    const auto n_racks = static_cast<std::size_t>(topo.numRacks());
-    const auto n_pods =
-        topo.twoTier() ? static_cast<std::size_t>(topo.numPods()) : 0;
-    if (inPlanStamp_.size() == n_servers && rackStamp_.size() == n_racks &&
-        podStamp_.size() == n_pods)
+    const auto ns = static_cast<std::size_t>(n_servers);
+    const auto nr = static_cast<std::size_t>(n_racks);
+    const auto np = static_cast<std::size_t>(n_pods);
+    if (inPlanStamp.size() == ns && rackStamp.size() == nr &&
+        podStamp.size() == np)
         return;
-    inPlanStamp_.assign(n_servers, 0);
-    rackStamp_.assign(n_racks, 0);
-    rackCount_.assign(n_racks, 0);
-    crossStamp_.assign(n_racks, 0);
-    crossValue_.assign(n_racks, 0.0);
-    podStamp_.assign(n_pods, 0);
-    podCount_.assign(n_pods, 0);
-    epoch_ = 0;
+    inPlanStamp.assign(ns, 0);
+    rackStamp.assign(nr, 0);
+    rackCount.assign(nr, 0);
+    podStamp.assign(np, 0);
+    podCount.assign(np, 0);
+    fmaxScratch.assign(ns, 0);
+    penScratch.assign(ns, 0.0);
+    scoreScratch.assign(ns, 0.0);
+    epoch = 0;
 }
 
 void
-NetPackPlacer::nextEpoch()
+NetPackPlacer::PlanScratch::nextEpoch()
 {
-    if (++epoch_ == 0) {
+    if (++epoch == 0) {
         // Stamp wrap: every stale stamp could now collide with a fresh
         // epoch, so clear them all once per 2^32 plans.
-        std::fill(inPlanStamp_.begin(), inPlanStamp_.end(), 0);
-        std::fill(rackStamp_.begin(), rackStamp_.end(), 0);
-        std::fill(crossStamp_.begin(), crossStamp_.end(), 0);
-        std::fill(podStamp_.begin(), podStamp_.end(), 0);
-        epoch_ = 1;
+        std::fill(inPlanStamp.begin(), inPlanStamp.end(), 0);
+        std::fill(rackStamp.begin(), rackStamp.end(), 0);
+        std::fill(podStamp.begin(), podStamp.end(), 0);
+        epoch = 1;
     }
+}
+
+void
+NetPackPlacer::ensureScratchDims(const ClusterTopology &topo)
+{
+    scratchServers_ = topo.numServers();
+    scratchRacks_ = topo.numRacks();
+    scratchPods_ = topo.twoTier() ? topo.numPods() : 0;
+}
+
+NetPackPlacer::PlanScratch *
+NetPackPlacer::acquireScratch()
+{
+    PlanScratch *scratch = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(scratchMutex_);
+        if (!scratchFree_.empty()) {
+            scratch = scratchFree_.back();
+            scratchFree_.pop_back();
+        }
+    }
+    if (scratch == nullptr) {
+        auto owned = std::make_unique<PlanScratch>();
+        scratch = owned.get();
+        std::lock_guard<std::mutex> lock(scratchMutex_);
+        scratchAll_.push_back(std::move(owned));
+    }
+    // No-op when the topology dimensions are unchanged, so a warm
+    // arena carries its stamps (and capacity) across plans and batches.
+    scratch->ensure(scratchServers_, scratchRacks_, scratchPods_);
+    return scratch;
+}
+
+void
+NetPackPlacer::releaseScratch(PlanScratch *scratch)
+{
+    std::lock_guard<std::mutex> lock(scratchMutex_);
+    scratchFree_.push_back(scratch);
+}
+
+NetPackPlacer::ScratchLease::ScratchLease(NetPackPlacer &placer)
+    : placer_(placer), scratch_(placer.acquireScratch())
+{
+}
+
+NetPackPlacer::ScratchLease::~ScratchLease()
+{
+    placer_.releaseScratch(scratch_);
 }
 
 void
@@ -95,7 +167,6 @@ NetPackPlacer::runBatch(const std::vector<JobSpec> &batch)
 {
     NETPACK_SPAN(batch_span, "placement.batch");
     batch_span.arg("batch", batch.size());
-    ensureScratch(topo());
     const std::int64_t view_rebuilds_before = ctx().stats().viewRebuilds;
     const std::int64_t view_reuses_before = ctx().stats().viewReuses;
 
@@ -170,9 +241,10 @@ NetPackPlacer::planOne(const JobSpec &spec, const ClusterTopology &topo,
                        GpuLedger &gpus, PlacementContext &ctx,
                        PackResult &out)
 {
-    ensureScratch(topo);
+    ensureScratchDims(topo);
     // Link capacities feeding the crossing penalty (topology-constant,
-    // refreshed per call so the placer may serve several topologies).
+    // refreshed per call so the placer may serve several topologies;
+    // read-only once the fan-out starts).
     rackCap_.resize(static_cast<std::size_t>(topo.numRacks()));
     for (int r = 0; r < topo.numRacks(); ++r)
         rackCap_[static_cast<std::size_t>(r)] =
@@ -202,21 +274,21 @@ NetPackPlacer::planOne(const JobSpec &spec, const ClusterTopology &topo,
     // and snapshots the result flat, once per revision.
     const SteadyStateView &view = ctx.steadyStateView();
 
+    // Table descriptors: the global (rack-blind) DP first, then — in
+    // oversubscribed networks — rack-local alternatives for every rack
+    // that could host the whole job, and pod-local ones in two-tier
+    // mode (crossing a rack is cheaper than crossing a pod). The PS
+    // scoring prefers the local plans when the core is the bottleneck.
     const int rpp = topo.config().racksPerPod;
-    dpTablesUsed_ = 0;
-    workerPlacement(spec, topo, gpus, view, acquireDp());
+    tableSpecs_.clear();
+    tableSpecs_.emplace_back(RackId(), -1);
     if (config_.oversubPenalty && topo.config().oversubscription > 1.0) {
-        // Rack-local alternatives: the global DP is rack-blind, so
-        // give the PS-placement scoring in-rack plans to prefer
-        // when the core is the bottleneck.
         for (int r = 0; r < topo.numRacks(); ++r) {
             const RackId rack(r);
             if (gpus.freeGpusInRack(rack) < spec.gpuDemand)
                 continue;
-            workerPlacement(spec, topo, gpus, view, acquireDp(), rack);
+            tableSpecs_.emplace_back(rack, -1);
         }
-        // Pod-local alternatives in two-tier mode: crossing a rack
-        // is cheaper than crossing a pod.
         if (topo.twoTier()) {
             for (int p = 0; p < topo.numPods(); ++p) {
                 int pod_free = 0;
@@ -226,18 +298,168 @@ NetPackPlacer::planOne(const JobSpec &spec, const ClusterTopology &topo,
                     pod_free += gpus.freeGpusInRack(RackId(r));
                 if (pod_free < spec.gpuDemand)
                     continue;
-                workerPlacement(spec, topo, gpus, view, acquireDp(),
-                                RackId(), p);
+                tableSpecs_.emplace_back(RackId(), p);
             }
         }
     }
-    std::optional<FullPlan> best = psPlacement(spec, topo, view);
-    if (!best)
+    const std::size_t n_tables = tableSpecs_.size();
+    while (dpTables_.size() < n_tables)
+        dpTables_.emplace_back();
+    dpTablesUsed_ = n_tables;
+    tableBests_.assign(n_tables, TableBest{});
+
+    // Plan-invariant Equation-1 terms, hoisted before the fan-out.
+    prepareScoring(topo, view);
+
+    std::int64_t plans_scored = 0;
+    std::int64_t cells_pruned = 0;
+    {
+        NETPACK_SPAN(span, "placement.ps_scoring");
+
+        // Each task builds one DP table and scores every PS location of
+        // every plan in it against a leased scratch arena — the only
+        // shared mutable state is the arena freelist behind its mutex.
+        const auto run_table = [&](std::size_t ti, double &bound) {
+            WorkerDp &dp = dpTables_[ti];
+            const auto &[rack, pod] = tableSpecs_[ti];
+            workerPlacement(spec, topo, gpus, view, dp, rack, pod);
+            ScratchLease lease(*this);
+            scoreTable(spec, topo, view, dp, lease.get(), bound,
+                       tableBests_[ti]);
+        };
+
+        const bool want_par = config_.jobs > 1 && n_tables > 1;
+        if (want_par && !exec::ThreadPool::insideTask()) {
+            if (!pool_)
+                pool_ = std::make_unique<exec::ThreadPool>(
+                    static_cast<std::size_t>(config_.jobs));
+            NETPACK_COUNT("placement.par_tasks",
+                          static_cast<std::int64_t>(n_tables));
+            // Every table gets a private prune bound starting at -inf:
+            // strictly more conservative than the serial running bound,
+            // so more cells get scored but no cell tied with the global
+            // maximum is ever skipped — the reduction below recovers
+            // the serial argmax exactly.
+            exec::parallelFor(*pool_, n_tables, [&](std::size_t ti) {
+                double bound = kNegInf;
+                run_table(ti, bound);
+            });
+        } else {
+            if (want_par)
+                // jobs > 1 but this placer already runs inside a pool
+                // task (portfolio lineup, serve what-if, sweep cell):
+                // degrade to serial instead of nesting fan-outs.
+                NETPACK_COUNT("placement.par_serial_fallbacks", 1);
+            // Serial path: one running bound threads through all
+            // tables, exactly the reference traversal's prune state.
+            double bound = kNegInf;
+            for (std::size_t ti = 0; ti < n_tables; ++ti)
+                run_table(ti, bound);
+        }
+
+        for (const TableBest &tb : tableBests_) {
+            plans_scored += tb.plansScored;
+            cells_pruned += tb.cellsPruned;
+        }
+        span.arg("tables", n_tables);
+        span.arg("plans", plans_scored);
+        span.arg("pruned", cells_pruned);
+    }
+    NETPACK_COUNT("placement.dp_states_pruned", cells_pruned);
+
+    // Serial reduction in table order with strict >: the first table
+    // achieving the global maximum wins, which is the cell the serial
+    // (and reference) scan would have kept.
+    const WorkerDp *best_dp = nullptr;
+    int best_f = -1, best_g = -1;
+    ServerId best_ps;
+    double best_score = kNegInf;
+    for (std::size_t ti = 0; ti < n_tables; ++ti) {
+        const TableBest &tb = tableBests_[ti];
+        if (tb.found && tb.score > best_score) {
+            best_score = tb.score;
+            best_dp = &dpTables_[ti];
+            best_f = tb.f;
+            best_g = tb.g;
+            best_ps = tb.ps;
+        }
+    }
+    if (best_dp == nullptr)
         return false;
-    out.score = best->score;
+
+    ScratchLease lease(*this);
+    PlanScratch &scratch = lease.get();
+    harvestPlan(*best_dp, best_f, best_g, spec, scratch);
+    FullPlan full;
+    full.score = best_score;
+    full.gpusTaken = best_g;
+    full.placement.psServer = best_ps;
+    for (const auto &[server, count] : scratch.planServers)
+        full.placement.workers[server] = count;
+
+    // Sharded PS extension: the gradient splits over psShards PSes,
+    // each hosting its own one-PS AllReduce. The extras are the
+    // next-best distinct servers by the Equation-1 PS term; only the
+    // top psShards-1 need ordering, so a partial_sort replaces the
+    // full sort (the explicit id tie-break reproduces the stable
+    // sort's insertion order on equal terms).
+    if (config_.psShards > 1) {
+        const int n_servers = topo.numServers();
+        shardScored_.clear();
+        for (int s = 0; s < n_servers; ++s) {
+            const ServerId ps(s);
+            if (ps == best_ps)
+                continue;
+            const auto si = static_cast<std::size_t>(s);
+            const bool in_plan =
+                full.placement.workers.count(ps) != 0;
+            const double term = view.serverAvailBw[si] -
+                                (in_plan ? psQ0_[si] : psQ1_[si]);
+            shardScored_.emplace_back(term, ps);
+        }
+        const auto want = std::min<std::size_t>(
+            static_cast<std::size_t>(config_.psShards - 1),
+            shardScored_.size());
+        std::partial_sort(
+            shardScored_.begin(),
+            shardScored_.begin() + static_cast<std::ptrdiff_t>(want),
+            shardScored_.end(), [](const auto &a, const auto &b) {
+                if (a.first != b.first)
+                    return a.first > b.first;
+                return a.second < b.second;
+            });
+        for (std::size_t k = 0; k < want; ++k)
+            full.placement.extraPsServers.push_back(
+                shardScored_[k].second);
+    }
+
+    // Trim over-allocation: the DP takes whole servers, so the plan may
+    // hold up to gpusPerServer-1 extra GPUs. Release the extras from the
+    // least-loaded chosen server(s) — the ones contributing the most free
+    // GPUs — removing a server entirely if its contribution is consumed.
+    int extra = best_g - spec.gpuDemand;
+    NETPACK_CHECK(extra >= 0);
+    while (extra > 0) {
+        auto largest = full.placement.workers.begin();
+        for (auto it = full.placement.workers.begin();
+             it != full.placement.workers.end(); ++it) {
+            if (it->second > largest->second)
+                largest = it;
+        }
+        const int take = std::min(extra, largest->second);
+        largest->second -= take;
+        extra -= take;
+        if (largest->second == 0)
+            full.placement.workers.erase(largest);
+    }
+    NETPACK_CHECK_MSG(!full.placement.workers.empty(),
+                      "trimming removed every worker of job "
+                          << spec.id.value);
+
+    out.score = full.score;
     out.scored = true;
 
-    Placement placement = std::move(best->placement);
+    Placement placement = std::move(full.placement);
     // Default to INA-on everywhere; step ④ may disable some racks.
     placement.inaRacks = placement.allRacks(topo);
     placement_util::applyAllocation(gpus, spec.id, placement);
@@ -250,7 +472,7 @@ NetPackPlacer::workerPlacement(const JobSpec &spec,
                                const ClusterTopology &topo,
                                const GpuLedger &gpus,
                                const SteadyStateView &view, WorkerDp &dp,
-                               RackId restrict_rack, int restrict_pod)
+                               RackId restrict_rack, int restrict_pod) const
 {
     NETPACK_SPAN(span, "placement.worker_dp");
     const int demand = spec.gpuDemand;
@@ -306,56 +528,137 @@ NetPackPlacer::workerPlacement(const JobSpec &spec,
     dp.value[dp.idx(0, 0)] = 0.0;
     dp.decisions.assign(dp.candidates.size() * cells, -1);
 
-    // In-place DP over the single value table: iterating source g
-    // descending means a cell's writes (always at g + weight) land only
-    // after every read of it this stage, and within a target cell the
-    // transitions still arrive in the same f-ascending order as a
-    // two-table formulation — values and decision bytes are
-    // bit-identical to the reference placer's copy-per-stage DP.
-    // fReach_/reach_g skip provably unreachable rows and columns.
-    fReach_.assign(static_cast<std::size_t>(dp.fCap) + 1, 0);
-    fReach_[0] = 1;
+    // In-place DP over the single value table, restructured into
+    // contiguous row-relaxations so the inner loops are branch-free and
+    // vectorize. A stage taking candidate (weight w, flows cf) maps
+    // source cell (f', g) to target (max(f', cf), g + w); grouping by
+    // target row gives (a) the self rows f > cf, each fed only by
+    // itself, relaxed from a pre-stage snapshot so the shifted write
+    // window never feeds its own reads, and (b) row cf, fed by every
+    // source f' <= cf — relaxed in f'-ascending order (rows below cf
+    // are never written this stage, and the f' = cf self-transition
+    // reads its own pre-stage snapshot, taken before any f' < cf relax
+    // writes into the row). That is exactly the transition-arrival
+    // order of the reference's g-descending / f-ascending cell loop, so
+    // values and decision bytes stay bit-identical for every reachable
+    // cell. Unlike the reference, whole rows are relaxed without the
+    // per-cell reachability test: transitions out of unreachable
+    // (-1e300) cells write equally unreachable values (adding one
+    // candidate value moves them ~1e4 at most, never past the
+    // kNegInf/2 observation threshold), and a cell that later turns
+    // reachable can only be improved by reachable sources — its final
+    // value and *latest* decision byte are untouched by the ghost
+    // writes, which is all the lazy backtracking reads.
+    // fReach/reach_g still skip provably unreachable rows and columns.
+    dp.fReach.assign(static_cast<std::size_t>(dp.fCap) + 1, 0);
+    dp.fReach[0] = 1;
+    dp.rowScratch.resize(static_cast<std::size_t>(dp.gn));
     int reach_g = 0;
     for (std::size_t ci = 0; ci < dp.candidates.size(); ++ci) {
         const Candidate &cand = dp.candidates[ci];
         std::int8_t *dec = dp.decisions.data() + ci * cells;
-        const int g_hi = std::min(dp.gMax - cand.weight, reach_g);
-        for (int g = g_hi; g >= 0; --g) {
-            for (int f = 0; f <= dp.fCap; ++f) {
-                if (!fReach_[static_cast<std::size_t>(f)])
+        const int w = cand.weight;
+        const int cf = cand.flows;
+        const int g_hi = std::min(dp.gMax - w, reach_g);
+        if (g_hi >= 0) {
+            const int n_cols = g_hi + 1;
+            double *snapshot = dp.rowScratch.data();
+            for (int f = cf + 1; f <= dp.fCap; ++f) {
+                if (!dp.fReach[static_cast<std::size_t>(f)])
                     continue;
-                const double base = dp.value[dp.idx(f, g)];
-                if (base <= kNegInf / 2)
-                    continue;
-                const int f2 = std::max(f, cand.flows);
-                const int g2 = g + cand.weight;
-                const double candidate_value = base + cand.value;
-                if (candidate_value > dp.value[dp.idx(f2, g2)]) {
-                    dp.value[dp.idx(f2, g2)] = candidate_value;
-                    dec[dp.idx(f2, g2)] = static_cast<std::int8_t>(f);
-                }
+                const double *row = dp.value.data() + dp.idx(f, 0);
+                std::copy(row, row + n_cols, snapshot);
+                relaxRow(snapshot, dp.value.data() + dp.idx(f, w),
+                         dec + dp.idx(f, w), n_cols, cand.value, f);
             }
+            const bool cf_reachable = dp.fReach[
+                static_cast<std::size_t>(cf)] != 0;
+            if (cf_reachable) {
+                const double *row = dp.value.data() + dp.idx(cf, 0);
+                std::copy(row, row + n_cols, snapshot);
+            }
+            double *cf_dst = dp.value.data() + dp.idx(cf, w);
+            std::int8_t *cf_dec = dec + dp.idx(cf, w);
+            for (int f = 0; f < cf; ++f) {
+                if (!dp.fReach[static_cast<std::size_t>(f)])
+                    continue;
+                relaxRow(dp.value.data() + dp.idx(f, 0), cf_dst, cf_dec,
+                         n_cols, cand.value, f);
+            }
+            if (cf_reachable)
+                relaxRow(snapshot, cf_dst, cf_dec, n_cols, cand.value,
+                         cf);
         }
-        fReach_[static_cast<std::size_t>(cand.flows)] = 1;
-        reach_g = std::min(dp.gMax, reach_g + cand.weight);
+        dp.fReach[static_cast<std::size_t>(cf)] = 1;
+        reach_g = std::min(dp.gMax, reach_g + w);
     }
     span.arg("candidates", dp.candidates.size());
     span.arg("cells", cells);
 }
 
 void
-NetPackPlacer::harvestPlan(const WorkerDp &dp, int f, int g,
-                           const JobSpec &spec)
+NetPackPlacer::prepareScoring(const ClusterTopology &topo,
+                              const SteadyStateView &view)
 {
-    planServers_.clear();
+    const Gbps c = topo.config().serverLinkGbps;
+    const int n_servers = topo.numServers();
+
+    // Equation 1's per-server bandwidth-steal terms are plan-invariant;
+    // the naive loop re-derived them per (plan, server) pair. q0: the
+    // PS rides a chosen server (no extra flow); q1: it adds one.
+    psQ0_.resize(static_cast<std::size_t>(n_servers));
+    psQ1_.resize(static_cast<std::size_t>(n_servers));
+    const int *flows = view.serverFlows.data();
+    const double *avail = view.serverAvailBw.data();
+    double *q0 = psQ0_.data();
+    double *q1 = psQ1_.data();
+    for (int s = 0; s < n_servers; ++s) {
+        q0[s] = (c - avail[s]) / static_cast<double>(flows[s] + 1);
+        q1[s] = (c - avail[s]) / static_cast<double>(flows[s] + 2);
+    }
+
+    // umax_[f]: an upper bound (+ slack) on any server's PS contribution
+    // to a plan at DP row f — avail - q - penalty with the smallest
+    // possible steal term (q1 <= q0 since avail <= C) and the smallest
+    // possible penalty (the plain hot-spot term at the smallest f_max).
+    // A cell whose plan value plus this bound cannot beat the running
+    // best is skipped without backtracking or scoring ("pruned before
+    // harvesting"); the iteration order is unchanged and the winner
+    // breaks ties exactly like the exhaustive loop, so pruning never
+    // changes the argmax. The division pass runs branch-free into a
+    // scratch row (it vectorizes); the max reduction stays scalar.
+    const int f_cap = config_.twoDimWeight ? config_.maxFlowsTracked : 0;
+    const double slack = pruneSlack(c);
+    umax_.resize(static_cast<std::size_t>(f_cap) + 1);
+    umaxTermScratch_.resize(static_cast<std::size_t>(n_servers));
+    double *term = umaxTermScratch_.data();
+    for (int f = 0; f <= f_cap; ++f) {
+        for (int s = 0; s < n_servers; ++s) {
+            const int fs = flows[s] + 1;
+            const int f_max = f > fs ? f : fs;
+            term[s] =
+                avail[s] - q1[s] - c / static_cast<double>(f_max + 1);
+        }
+        double best = kNegInf;
+        for (int s = 0; s < n_servers; ++s)
+            best = std::max(best, term[s]);
+        umax_[static_cast<std::size_t>(f)] = best + slack;
+    }
+}
+
+void
+NetPackPlacer::harvestPlan(const WorkerDp &dp, int f, int g,
+                           const JobSpec &spec, PlanScratch &scratch) const
+{
+    scratch.planServers.clear();
     const std::size_t cells = dp.cells();
     int bf = f, bg = g;
     for (std::size_t ci = dp.candidates.size(); ci-- > 0;) {
         const std::int8_t prev_f = dp.decisions[ci * cells + dp.idx(bf, bg)];
         if (prev_f < 0)
             continue;
-        planServers_.emplace_back(dp.candidates[ci].id,
-                                  dp.candidates[ci].weight);
+        scratch.planServers.emplace_back(dp.candidates[ci].id,
+                                         dp.candidates[ci].weight);
         bg -= dp.candidates[ci].weight;
         bf = prev_f;
     }
@@ -365,20 +668,22 @@ NetPackPlacer::harvestPlan(const WorkerDp &dp, int f, int g,
     // The backtrack walks stages last-to-first; candidates were
     // collected id-ascending, so reversing restores ascending order
     // (what the reference gets from sorting the harvested pairs).
-    std::reverse(planServers_.begin(), planServers_.end());
+    std::reverse(scratch.planServers.begin(), scratch.planServers.end());
 }
 
 double
 NetPackPlacer::crossingLoss(const ClusterTopology &topo,
                             const SteadyStateView &view, int ps_rack,
-                            double plan_servers, Gbps c) const
+                            double plan_servers, Gbps c,
+                            const PlanScratch &scratch) const
 {
     // The crossing loss depends on the plan's rack footprint and the PS
     // rack only — not on which server of the rack hosts the PS — so
-    // psPlacement computes it once per (plan, rack).
+    // scoreTable computes it once per (plan, rack).
     const bool ps_rack_in_plan =
-        rackStamp_[static_cast<std::size_t>(ps_rack)] == epoch_;
-    const int total_racks = static_cast<int>(planRacks_.size()) +
+        scratch.rackStamp[static_cast<std::size_t>(ps_rack)] ==
+        scratch.epoch;
+    const int total_racks = static_cast<int>(scratch.planRacks.size()) +
                             (ps_rack_in_plan ? 0 : 1);
     Gbps min_share = std::numeric_limits<double>::infinity();
     const auto consider_rack = [&](int rack, int new_flows) {
@@ -390,15 +695,15 @@ NetPackPlacer::crossingLoss(const ClusterTopology &topo,
             min_share, rackCap_[static_cast<std::size_t>(rack)] /
                            static_cast<double>(existing + new_flows));
     };
-    for (int rack : planRacks_) {
+    for (int rack : scratch.planRacks) {
         if (rack == ps_rack) {
             // Streams from every remote rack converge here.
             consider_rack(rack, total_racks - 1);
         } else {
             // One merged stream per remote rack with INA;
             // conservatively, one per worker server without.
-            consider_rack(rack,
-                          rackCount_[static_cast<std::size_t>(rack)]);
+            consider_rack(
+                rack, scratch.rackCount[static_cast<std::size_t>(rack)]);
         }
     }
     if (!ps_rack_in_plan)
@@ -408,10 +713,11 @@ NetPackPlacer::crossingLoss(const ClusterTopology &topo,
         // Cross-pod plans additionally share the involved pods' uplinks.
         const int ps_pod = ps_rack / topo.config().racksPerPod;
         const bool ps_pod_in_plan =
-            podStamp_[static_cast<std::size_t>(ps_pod)] == epoch_;
+            scratch.podStamp[static_cast<std::size_t>(ps_pod)] ==
+            scratch.epoch;
         const bool extra_pod = !ps_rack_in_plan && !ps_pod_in_plan;
-        const int n_pods =
-            static_cast<int>(planPods_.size()) + (extra_pod ? 1 : 0);
+        const int n_pods = static_cast<int>(scratch.planPods.size()) +
+                           (extra_pod ? 1 : 0);
         const auto consider_pod = [&](int pod, int racks_in_pod) {
             // Streams crossing this pod's uplink: one merged stream per
             // rack on the smaller side.
@@ -426,9 +732,9 @@ NetPackPlacer::crossingLoss(const ClusterTopology &topo,
                                static_cast<double>(existing + crossing));
         };
         if (n_pods > 1) {
-            for (int pod : planPods_) {
+            for (int pod : scratch.planPods) {
                 int racks_in_pod =
-                    podCount_[static_cast<std::size_t>(pod)];
+                    scratch.podCount[static_cast<std::size_t>(pod)];
                 if (!ps_rack_in_plan && pod == ps_pod)
                     ++racks_in_pod;
                 consider_pod(pod, racks_in_pod);
@@ -448,237 +754,139 @@ NetPackPlacer::crossingLoss(const ClusterTopology &topo,
     return 0.0;
 }
 
-std::optional<NetPackPlacer::FullPlan>
-NetPackPlacer::psPlacement(const JobSpec &spec, const ClusterTopology &topo,
-                           const SteadyStateView &view)
+void
+NetPackPlacer::scoreTable(const JobSpec &spec, const ClusterTopology &topo,
+                          const SteadyStateView &view, const WorkerDp &dp,
+                          PlanScratch &scratch, double &bound,
+                          TableBest &out) const
 {
-    NETPACK_SPAN(span, "placement.ps_scoring");
     const Gbps c = topo.config().serverLinkGbps;
     const bool oversubscribed =
         topo.config().oversubscription > 1.0 ||
         (topo.twoTier() && topo.config().podOversubscription > 1.0);
     const bool need_cross = config_.oversubPenalty && oversubscribed;
     const int n_servers = topo.numServers();
+    const int n_racks = topo.numRacks();
     const int spr = topo.config().serversPerRack;
     const bool two_tier = topo.twoTier();
     const int rpp = two_tier ? topo.config().racksPerPod : 0;
 
-    // Equation 1's per-server bandwidth-steal terms are plan-invariant;
-    // the naive loop re-derived them per (plan, server) pair. q0: the
-    // PS rides a chosen server (no extra flow); q1: it adds one.
-    psQ0_.resize(static_cast<std::size_t>(n_servers));
-    psQ1_.resize(static_cast<std::size_t>(n_servers));
-    for (int s = 0; s < n_servers; ++s) {
-        const auto si = static_cast<std::size_t>(s);
-        const Gbps avail = view.serverAvailBw[si];
-        const int flows = view.serverFlows[si];
-        psQ0_[si] = (c - avail) / static_cast<double>(flows + 1);
-        psQ1_[si] = (c - avail) / static_cast<double>(flows + 2);
-    }
+    const int *flows = view.serverFlows.data();
+    const double *avail = view.serverAvailBw.data();
+    const double *q0 = psQ0_.data();
+    const double *q1 = psQ1_.data();
 
-    // umax_[f]: an upper bound (+ slack) on any server's PS contribution
-    // to a plan at DP row f — avail - q - penalty with the smallest
-    // possible steal term (q1 <= q0 since avail <= C) and the smallest
-    // possible penalty (the plain hot-spot term at the smallest f_max).
-    // A cell whose plan value plus this bound cannot beat the running
-    // best is skipped without backtracking or scoring ("pruned before
-    // harvesting"); the iteration order is unchanged and the winner
-    // breaks ties exactly like the exhaustive loop, so pruning never
-    // changes the argmax.
-    const int f_cap = config_.twoDimWeight ? config_.maxFlowsTracked : 0;
-    const double slack = pruneSlack(c);
-    umax_.resize(static_cast<std::size_t>(f_cap) + 1);
-    for (int f = 0; f <= f_cap; ++f) {
-        double best = kNegInf;
-        for (int s = 0; s < n_servers; ++s) {
-            const auto si = static_cast<std::size_t>(s);
-            const int f_max = std::max(f, view.serverFlows[si] + 1);
-            const double term =
-                view.serverAvailBw[si] - psQ1_[si] -
-                c / static_cast<double>(f_max + 1);
-            best = std::max(best, term);
-        }
-        umax_[static_cast<std::size_t>(f)] = best + slack;
-    }
+    for (int f = 0; f <= dp.fCap; ++f) {
+        for (int g = dp.demand; g <= dp.gMax; ++g) {
+            const double plan_value = dp.value[dp.idx(f, g)];
+            if (plan_value <= kNegInf / 2)
+                continue;
+            if (plan_value + umax_[static_cast<std::size_t>(f)] <= bound) {
+                ++out.cellsPruned;
+                continue;
+            }
+            harvestPlan(dp, f, g, spec, scratch);
+            if (scratch.planServers.empty())
+                continue;
+            ++out.plansScored;
 
-    const WorkerDp *best_dp = nullptr;
-    int best_f = -1, best_g = -1;
-    ServerId best_ps;
-    double best_score = kNegInf;
-    std::int64_t cells_pruned = 0;
-    std::int64_t plans_scored = 0;
-
-    for (std::size_t ti = 0; ti < dpTablesUsed_; ++ti) {
-        const WorkerDp &dp = dpTables_[ti];
-        for (int f = 0; f <= dp.fCap; ++f) {
-            for (int g = dp.demand; g <= dp.gMax; ++g) {
-                const double plan_value = dp.value[dp.idx(f, g)];
-                if (plan_value <= kNegInf / 2)
-                    continue;
-                if (plan_value + umax_[static_cast<std::size_t>(f)] <=
-                    best_score) {
-                    ++cells_pruned;
-                    continue;
+            // Plan footprint into the epoch-stamped scratch: chosen
+            // servers, racks (id-ascending, like the reference's
+            // std::set) with chosen-server counts, pods with rack
+            // counts.
+            scratch.nextEpoch();
+            const std::uint32_t epoch = scratch.epoch;
+            scratch.planRacks.clear();
+            for (const auto &[server, count] : scratch.planServers) {
+                (void)count;
+                const auto si = static_cast<std::size_t>(server.index());
+                scratch.inPlanStamp[si] = epoch;
+                const int rack = server.index() / spr;
+                const auto ri = static_cast<std::size_t>(rack);
+                if (scratch.rackStamp[ri] != epoch) {
+                    scratch.rackStamp[ri] = epoch;
+                    scratch.rackCount[ri] = 0;
+                    scratch.planRacks.push_back(rack);
                 }
-                harvestPlan(dp, f, g, spec);
-                if (planServers_.empty())
-                    continue;
-                ++plans_scored;
-
-                // Plan footprint into the epoch-stamped scratch: chosen
-                // servers, racks (id-ascending, like the reference's
-                // std::set) with chosen-server counts, pods with rack
-                // counts.
-                nextEpoch();
-                planRacks_.clear();
-                for (const auto &[server, count] : planServers_) {
-                    (void)count;
-                    const auto si =
-                        static_cast<std::size_t>(server.index());
-                    inPlanStamp_[si] = epoch_;
-                    const int rack = server.index() / spr;
-                    const auto ri = static_cast<std::size_t>(rack);
-                    if (rackStamp_[ri] != epoch_) {
-                        rackStamp_[ri] = epoch_;
-                        rackCount_[ri] = 0;
-                        planRacks_.push_back(rack);
+                ++scratch.rackCount[ri];
+            }
+            if (two_tier && need_cross) {
+                scratch.planPods.clear();
+                for (int rack : scratch.planRacks) {
+                    const int pod = rack / rpp;
+                    const auto pi = static_cast<std::size_t>(pod);
+                    if (scratch.podStamp[pi] != epoch) {
+                        scratch.podStamp[pi] = epoch;
+                        scratch.podCount[pi] = 0;
+                        scratch.planPods.push_back(pod);
                     }
-                    ++rackCount_[ri];
+                    ++scratch.podCount[pi];
                 }
-                if (two_tier && need_cross) {
-                    planPods_.clear();
-                    for (int rack : planRacks_) {
-                        const int pod = rack / rpp;
-                        const auto pi = static_cast<std::size_t>(pod);
-                        if (podStamp_[pi] != epoch_) {
-                            podStamp_[pi] = epoch_;
-                            podCount_[pi] = 0;
-                            planPods_.push_back(pod);
-                        }
-                        ++podCount_[pi];
-                    }
+            }
+            const bool single_rack = scratch.planRacks.size() == 1;
+            const double plan_n =
+                static_cast<double>(scratch.planServers.size());
+
+            // Equation 1 for every PS candidate, decomposed into
+            // branch-free contiguous passes so the divisions and
+            // selects vectorize; the values and the strict-> argmax
+            // order are exactly the reference's fused per-server loop.
+            const std::uint32_t *stamp = scratch.inPlanStamp.data();
+            // Pass A: the hot-spot flow count, f_max + 1 = max(f,
+            // flows + (PS adds a flow unless it rides a plan
+            // server)) + 1.
+            int *fm = scratch.fmaxScratch.data();
+            for (int s = 0; s < n_servers; ++s) {
+                const int fs = flows[s] + (stamp[s] == epoch ? 0 : 1);
+                fm[s] = (f > fs ? f : fs) + 1;
+            }
+            // Pass B: the plain hot-spot penalty C / (f_max + 1).
+            double *pen = scratch.penScratch.data();
+            for (int s = 0; s < n_servers; ++s)
+                pen[s] = c / static_cast<double>(fm[s]);
+            // Pass C: the oversubscription penalty, identical for all
+            // servers of a rack — computed once per rack, folded in as
+            // max(pen, crossing) over the rack's contiguous id range.
+            // A zero crossing loss is a no-op under max (pen >= 0).
+            if (need_cross) {
+                for (int r = 0; r < n_racks; ++r) {
+                    if (single_rack && scratch.planRacks[0] == r)
+                        continue;
+                    const double cross =
+                        crossingLoss(topo, view, r, plan_n, c, scratch);
+                    if (cross <= 0.0)
+                        continue;
+                    double *seg = pen + r * spr;
+                    const int seg_n =
+                        std::min(spr, n_servers - r * spr);
+                    for (int s = 0; s < seg_n; ++s)
+                        seg[s] = cross > seg[s] ? cross : seg[s];
                 }
-                const bool single_rack = planRacks_.size() == 1;
-                const double plan_n =
-                    static_cast<double>(planServers_.size());
-
-                for (int s = 0; s < n_servers; ++s) {
-                    const auto si = static_cast<std::size_t>(s);
-                    const bool in_plan = inPlanStamp_[si] == epoch_;
-                    const int extra_flow = in_plan ? 0 : 1;
-                    const int ps_flows = view.serverFlows[si];
-                    const Gbps ps_avail = view.serverAvailBw[si];
-                    const int f_max =
-                        std::max(f, ps_flows + extra_flow);
-
-                    // Hot-spot penalty (Equation 1).
-                    double penalty =
-                        c / static_cast<double>(f_max + 1);
-
-                    if (need_cross) {
-                        const int ps_rack = s / spr;
-                        if (!(single_rack &&
-                              planRacks_[0] == ps_rack)) {
-                            const auto ri =
-                                static_cast<std::size_t>(ps_rack);
-                            if (crossStamp_[ri] != epoch_) {
-                                crossStamp_[ri] = epoch_;
-                                crossValue_[ri] = crossingLoss(
-                                    topo, view, ps_rack, plan_n, c);
-                            }
-                            if (crossValue_[ri] > penalty)
-                                penalty = crossValue_[ri];
-                        }
-                    }
-
-                    const double score =
-                        plan_value + ps_avail -
-                        (in_plan ? psQ0_[si] : psQ1_[si]) - penalty;
-
-                    if (score > best_score) {
-                        best_score = score;
-                        best_dp = &dp;
-                        best_f = f;
-                        best_g = g;
-                        best_ps = ServerId(s);
-                    }
+            }
+            // Pass D: the full Equation-1 score.
+            double *score = scratch.scoreScratch.data();
+            for (int s = 0; s < n_servers; ++s) {
+                // Load both steal terms unconditionally so the select
+                // if-converts (a conditional load defeats it).
+                const double q_on = q0[s];
+                const double q_off = q1[s];
+                const double q = stamp[s] == epoch ? q_on : q_off;
+                score[s] = plan_value + avail[s] - q - pen[s];
+            }
+            // Scalar argmax in the reference's traversal order (strict
+            // >, first winner kept) — also raises the prune bound.
+            for (int s = 0; s < n_servers; ++s) {
+                if (score[s] > bound) {
+                    bound = score[s];
+                    out.score = score[s];
+                    out.f = f;
+                    out.g = g;
+                    out.ps = ServerId(s);
+                    out.found = true;
                 }
             }
         }
     }
-    span.arg("plans", plans_scored);
-    span.arg("pruned", cells_pruned);
-    NETPACK_COUNT("placement.dp_states_pruned", cells_pruned);
-
-    if (best_dp == nullptr)
-        return std::nullopt;
-
-    harvestPlan(*best_dp, best_f, best_g, spec);
-    FullPlan full;
-    full.score = best_score;
-    full.gpusTaken = best_g;
-    full.placement.psServer = best_ps;
-    for (const auto &[server, count] : planServers_)
-        full.placement.workers[server] = count;
-
-    // Sharded PS extension: the gradient splits over psShards PSes,
-    // each hosting its own one-PS AllReduce. The extras are the
-    // next-best distinct servers by the Equation-1 PS term; only the
-    // top psShards-1 need ordering, so a partial_sort replaces the
-    // full sort (the explicit id tie-break reproduces the stable
-    // sort's insertion order on equal terms).
-    if (config_.psShards > 1) {
-        shardScored_.clear();
-        for (int s = 0; s < n_servers; ++s) {
-            const ServerId ps(s);
-            if (ps == best_ps)
-                continue;
-            const auto si = static_cast<std::size_t>(s);
-            const bool in_plan =
-                full.placement.workers.count(ps) != 0;
-            const double term = view.serverAvailBw[si] -
-                                (in_plan ? psQ0_[si] : psQ1_[si]);
-            shardScored_.emplace_back(term, ps);
-        }
-        const auto want = std::min<std::size_t>(
-            static_cast<std::size_t>(config_.psShards - 1),
-            shardScored_.size());
-        std::partial_sort(
-            shardScored_.begin(),
-            shardScored_.begin() + static_cast<std::ptrdiff_t>(want),
-            shardScored_.end(), [](const auto &a, const auto &b) {
-                if (a.first != b.first)
-                    return a.first > b.first;
-                return a.second < b.second;
-            });
-        for (std::size_t k = 0; k < want; ++k)
-            full.placement.extraPsServers.push_back(
-                shardScored_[k].second);
-    }
-
-    // Trim over-allocation: the DP takes whole servers, so the plan may
-    // hold up to gpusPerServer-1 extra GPUs. Release the extras from the
-    // least-loaded chosen server(s) — the ones contributing the most free
-    // GPUs — removing a server entirely if its contribution is consumed.
-    int extra = best_g - spec.gpuDemand;
-    NETPACK_CHECK(extra >= 0);
-    while (extra > 0) {
-        auto largest = full.placement.workers.begin();
-        for (auto it = full.placement.workers.begin();
-             it != full.placement.workers.end(); ++it) {
-            if (it->second > largest->second)
-                largest = it;
-        }
-        const int take = std::min(extra, largest->second);
-        largest->second -= take;
-        extra -= take;
-        if (largest->second == 0)
-            full.placement.workers.erase(largest);
-    }
-    NETPACK_CHECK_MSG(!full.placement.workers.empty(),
-                      "trimming removed every worker of job "
-                          << spec.id.value);
-    return full;
 }
 
 void

@@ -22,20 +22,38 @@
  * reusable epoch-stamped scratch buffers (no allocation once warm), and
  * walk the DP tables lazily — a candidate (f, g) cell is only
  * backtracked into a plan when an exact upper bound on its best
- * achievable score beats the running best. The decisions must stay
- * bit-identical to the naive implementation retained in
- * reference_placer.{h,cc}; tests/placer_test.cc enforces that.
+ * achievable score beats the running best.
+ *
+ * On top of the PR-4 optimizations, the per-table work (one worker DP
+ * build plus its Equation-1 PS scan per candidate rack/pod) fans out
+ * across an exec::ThreadPool when `jobs > 1`: every table is scored
+ * against a private epoch-stamped PlanScratch arena with a table-local
+ * prune bound (strictly more conservative than the serial running
+ * bound, so the argmax is unchanged), and the per-table winners are
+ * reduced serially in table order with strict `>` comparisons — the
+ * same first-wins tie-break the serial scan applies. The DP relaxation
+ * and the Equation-1 scoring loops are restructured into branch-free
+ * contiguous passes the autovectorizer handles (see
+ * docs/performance.md). Decisions and scores must stay bit-identical to
+ * the naive implementation retained in reference_placer.{h,cc} for any
+ * `jobs`; tests/placer_test.cc enforces that.
  */
 
 #ifndef NETPACK_PLACEMENT_NETPACK_PLACER_H
 #define NETPACK_PLACEMENT_NETPACK_PLACER_H
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <optional>
 
 #include "placement/pack_harness.h"
 
 namespace netpack {
+
+namespace exec {
+class ThreadPool;
+}
 
 /** Tunables of the NetPack placer (ablation switches included). */
 struct NetPackConfig
@@ -67,6 +85,15 @@ struct NetPackConfig
      * servers of the winning plan. 1 = the paper's single-PS placement.
      */
     int psShards = 1;
+    /**
+     * Intra-epoch parallelism: worker threads for the per-table DP
+     * build + PS scoring fan-out. 1 = serial. Decisions and scores are
+     * bit-identical for any value; when the placer itself runs inside a
+     * pool task (portfolio lineup, serve what-if, sweep cells) it
+     * degrades to serial regardless, counted by
+     * placement.par_serial_fallbacks.
+     */
+    int jobs = 1;
 };
 
 /** The NetPack placement policy. */
@@ -74,6 +101,7 @@ class NetPackPlacer : public PlacerHarness<NetPackPlacer>
 {
   public:
     explicit NetPackPlacer(NetPackConfig config = {});
+    ~NetPackPlacer();
 
     std::string name() const override { return "NetPack"; }
 
@@ -124,12 +152,13 @@ class NetPackPlacer : public PlacerHarness<NetPackPlacer>
 
     /**
      * The worker DP's full table for one invocation, kept un-harvested:
-     * psPlacement walks the reachable (f, g) cells lazily and only
+     * the PS scan walks the reachable (f, g) cells lazily and only
      * backtracks the plans that survive the upper-bound prune. The
      * per-stage decision rows live in one contiguous arena
      * (candidates x cells int8) instead of one heap vector per stage.
      * Tables are pooled on the placer so a warm placer allocates
-     * nothing here.
+     * nothing here; under the intra-epoch fan-out each table is built
+     * and scored by exactly one task.
      */
     struct WorkerDp
     {
@@ -140,6 +169,11 @@ class NetPackPlacer : public PlacerHarness<NetPackPlacer>
          * Entry = previous f when taking the stage's server improved
          * the cell, -1 otherwise. */
         std::vector<std::int8_t> decisions;
+        /** Reachable DP f-rows (skip all-(-inf) rows in transitions). */
+        std::vector<char> fReach;
+        /** Pre-stage copy of a value row whose relax pass would
+         * otherwise read its own writes (source row == target row). */
+        std::vector<double> rowScratch;
         int fCap = 0;
         int gn = 0;
         int demand = 0;
@@ -159,6 +193,67 @@ class NetPackPlacer : public PlacerHarness<NetPackPlacer>
         }
     };
 
+    /**
+     * Per-plan scratch arena: the epoch-stamped plan footprint (chosen
+     * servers, racks with chosen-server counts, pods with rack counts)
+     * plus the contiguous per-server pass arrays of the vectorized
+     * Equation-1 scan. A stamp != epoch means "not in the current plan"
+     * — no clearing between plans. One arena per concurrent scoring
+     * task (leased from a freelist), so the fan-out shares nothing
+     * mutable.
+     */
+    struct PlanScratch
+    {
+        std::vector<std::uint32_t> inPlanStamp;
+        std::vector<std::uint32_t> rackStamp;
+        std::vector<int> rackCount;
+        std::vector<std::uint32_t> podStamp;
+        std::vector<int> podCount;
+        std::vector<int> planRacks, planPods;
+        std::vector<std::pair<ServerId, int>> planServers;
+        /** Pass A output: f_max + 1 per PS candidate server. */
+        std::vector<int> fmaxScratch;
+        /** Pass B/C output: the Equation-1 penalty per server. */
+        std::vector<double> penScratch;
+        /** Pass D output: the full Equation-1 score per server. */
+        std::vector<double> scoreScratch;
+        std::uint32_t epoch = 0;
+
+        /** Size for a topology (no-op when unchanged). */
+        void ensure(int n_servers, int n_racks, int n_pods);
+
+        /** Bump the plan epoch, clearing the stamps on wrap. */
+        void nextEpoch();
+    };
+
+    /** RAII lease of a PlanScratch from the placer's freelist. */
+    class ScratchLease
+    {
+      public:
+        explicit ScratchLease(NetPackPlacer &placer);
+        ~ScratchLease();
+        ScratchLease(const ScratchLease &) = delete;
+        ScratchLease &operator=(const ScratchLease &) = delete;
+        PlanScratch &get() { return *scratch_; }
+
+      private:
+        NetPackPlacer &placer_;
+        PlanScratch *scratch_;
+    };
+
+    /** One DP table's winning PS assignment (the fan-out's per-task
+     * result; reduced serially in table order). */
+    struct TableBest
+    {
+        double score = 0.0;
+        int f = -1;
+        int g = -1;
+        ServerId ps;
+        bool found = false;
+        std::int64_t plansScored = 0;
+        std::int64_t cellsPruned = 0;
+    };
+
     /** A full plan: workers + PS + score. */
     struct FullPlan
     {
@@ -172,20 +267,34 @@ class NetPackPlacer : public PlacerHarness<NetPackPlacer>
      * When @p restrict_rack is valid only that rack's servers are
      * candidates — in oversubscribed networks the placer additionally
      * searches rack-local (and, two-tier, pod-local) plans so the
-     * cross-rack penalty has local alternatives to prefer.
+     * cross-rack penalty has local alternatives to prefer. Writes only
+     * @p dp (safe to run one table per pool task).
      */
     void workerPlacement(const JobSpec &spec, const ClusterTopology &topo,
                          const GpuLedger &gpus, const SteadyStateView &view,
                          WorkerDp &dp, RackId restrict_rack = {},
-                         int restrict_pod = -1);
+                         int restrict_pod = -1) const;
 
     /**
-     * Step ③: best PS location over every plan of the DP tables built
-     * for the current job (dpTables_[0, dpTablesUsed_)).
+     * Fill psQ0_/psQ1_/umax_ from @p view (plan-invariant Equation-1
+     * terms; read-only during the fan-out).
      */
-    std::optional<FullPlan> psPlacement(const JobSpec &spec,
-                                        const ClusterTopology &topo,
-                                        const SteadyStateView &view);
+    void prepareScoring(const ClusterTopology &topo,
+                        const SteadyStateView &view);
+
+    /**
+     * Step ③ for one DP table: walk its reachable (f, g) cells,
+     * backtrack the plans that survive the @p bound prune, and score
+     * every PS location with the vectorized Equation-1 passes. @p bound
+     * is read for pruning and raised on every improvement: the serial
+     * path threads one bound through all tables (exactly the PR-4
+     * running best), the parallel path gives each table its own bound
+     * starting at -inf (prunes less, argmax unchanged).
+     */
+    void scoreTable(const JobSpec &spec, const ClusterTopology &topo,
+                    const SteadyStateView &view, const WorkerDp &dp,
+                    PlanScratch &scratch, double &bound,
+                    TableBest &out) const;
 
     /**
      * Step ④: selective INA enabling over the newly placed jobs. The
@@ -198,34 +307,41 @@ class NetPackPlacer : public PlacerHarness<NetPackPlacer>
                             const std::vector<PlacedJob> &running,
                             const std::vector<JobSpec> &batch) const;
 
-    /** Next pooled DP table (reuses allocations across jobs/batches). */
-    WorkerDp &acquireDp();
+    /** Freelist access for ScratchLease (sized for topoDims_). */
+    PlanScratch *acquireScratch();
+    void releaseScratch(PlanScratch *scratch);
 
-    /** Size the scratch arrays for @p topo (no-op when unchanged). */
-    void ensureScratch(const ClusterTopology &topo);
+    /** Record the scratch dimensions for @p topo. */
+    void ensureScratchDims(const ClusterTopology &topo);
 
-    /** Bump the plan epoch, clearing the stamped scratch on wrap. */
-    void nextEpoch();
-
-    /** Backtrack cell (f, g) of @p dp into planServers_ (id-ascending). */
-    void harvestPlan(const WorkerDp &dp, int f, int g, const JobSpec &spec);
+    /** Backtrack cell (f, g) of @p dp into scratch.planServers
+     * (id-ascending). */
+    void harvestPlan(const WorkerDp &dp, int f, int g, const JobSpec &spec,
+                     PlanScratch &scratch) const;
 
     /**
-     * The oversubscription crossing loss of placing the PS of the
-     * current scratch plan in @p ps_rack: (C - min_share) x plan size
-     * when the core bottleneck binds, else 0. Identical for every PS
-     * server of a rack, so psPlacement caches it per (plan, rack).
+     * The oversubscription crossing loss of placing the PS of
+     * @p scratch's current plan in @p ps_rack: (C - min_share) x plan
+     * size when the core bottleneck binds, else 0. Identical for every
+     * PS server of a rack, so scoreTable computes it once per
+     * (plan, rack).
      */
     double crossingLoss(const ClusterTopology &topo,
                         const SteadyStateView &view, int ps_rack,
-                        double plan_servers, Gbps c) const;
+                        double plan_servers, Gbps c,
+                        const PlanScratch &scratch) const;
 
     NetPackConfig config_;
 
-    // --- reusable scratch (sized by ensureScratch) ------------------
+    // --- reusable scratch (sized per topology) ----------------------
     /** Pooled DP tables; [0, dpTablesUsed_) belong to the current job. */
     std::vector<WorkerDp> dpTables_;
     std::size_t dpTablesUsed_ = 0;
+    /** Table descriptors of the current job: (restrict_rack,
+     * restrict_pod), global table first. */
+    std::vector<std::pair<RackId, int>> tableSpecs_;
+    /** Per-table winners, reduced serially after the fan-out. */
+    std::vector<TableBest> tableBests_;
     /** Per-server Equation-1 bandwidth-steal terms, hoisted out of the
      * plan loop: q0 = (C - avail)/(flows + 1) (PS on a chosen server),
      * q1 = (C - avail)/(flows + 2) (PS elsewhere). */
@@ -233,27 +349,24 @@ class NetPackPlacer : public PlacerHarness<NetPackPlacer>
     /** Upper bound (+ slack) on any server's PS contribution at DP row
      * f; prunes (f, g) cells without backtracking them. */
     std::vector<double> umax_;
+    /** Branch-free pass array feeding the umax_ max scans. */
+    std::vector<double> umaxTermScratch_;
     /** Core link capacity per rack (topology-constant). */
     std::vector<double> rackCap_;
     /** Pod uplink capacity per pod (two-tier mode). */
     std::vector<double> podCap_;
-    /** Epoch-stamped per-plan footprint: chosen servers, racks with
-     * their chosen-server counts, pods with their rack counts, and the
-     * per-rack crossing-loss cache. A stamp != epoch_ means "not in the
-     * current plan" — no clearing between plans. */
-    std::vector<std::uint32_t> inPlanStamp_;
-    std::vector<std::uint32_t> rackStamp_;
-    std::vector<int> rackCount_;
-    std::vector<std::uint32_t> podStamp_;
-    std::vector<int> podCount_;
-    std::vector<std::uint32_t> crossStamp_;
-    std::vector<double> crossValue_;
-    std::vector<int> planRacks_, planPods_;
-    std::vector<std::pair<ServerId, int>> planServers_;
     std::vector<std::pair<double, ServerId>> shardScored_;
-    /** Reachable DP f-rows (skip all-(-inf) rows in transitions). */
-    std::vector<char> fReach_;
-    std::uint32_t epoch_ = 0;
+
+    /** PlanScratch freelist: one arena per concurrent scoring task,
+     * reused across plans/jobs/batches (mutex held only for the
+     * acquire/release pointer swap, never during scoring). */
+    std::vector<std::unique_ptr<PlanScratch>> scratchAll_;
+    std::vector<PlanScratch *> scratchFree_;
+    std::mutex scratchMutex_;
+    int scratchServers_ = -1, scratchRacks_ = -1, scratchPods_ = -1;
+
+    /** Lazily built fan-out pool (config_.jobs workers). */
+    std::unique_ptr<exec::ThreadPool> pool_;
 };
 
 } // namespace netpack

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/check.h"
+#include "exec/deterministic_map.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "placement/baselines.h"
@@ -38,7 +39,10 @@ PortfolioPlacer::PortfolioPlacer(PortfolioConfig config)
     for (const std::string &name : config_.strategies) {
         NETPACK_REQUIRE(name != "Portfolio",
                         "portfolio cannot contain itself");
-        strategies_.push_back(makePlacerByName(name));
+        // The jobs knob flows down into the strategies: whichever level
+        // fans out first wins, the other degrades to serial (a strategy
+        // evaluated on a pool task sees insideTask and stays inline).
+        strategies_.push_back(makePlacerByName(name, 0, config_.jobs));
         Rng::State rng_state;
         NETPACK_REQUIRE(
             !strategies_.back()->captureRngState(rng_state),
@@ -104,17 +108,13 @@ PortfolioPlacer::placeBatch(const std::vector<JobSpec> &batch,
         }
     };
 
-    if (config_.jobs > 1 && n > 1) {
-        if (!pool_) {
-            const auto workers = std::min<std::size_t>(
-                static_cast<std::size_t>(config_.jobs), n);
-            pool_ = std::make_unique<exec::ThreadPool>(workers);
-        }
-        exec::parallelFor(*pool_, n, evaluate);
-    } else {
-        for (std::size_t i = 0; i < n; ++i)
-            evaluate(i);
+    if (config_.jobs > 1 && n > 1 && !pool_ &&
+        !exec::ThreadPool::insideTask()) {
+        const auto workers = std::min<std::size_t>(
+            static_cast<std::size_t>(config_.jobs), n);
+        pool_ = std::make_unique<exec::ThreadPool>(workers);
     }
+    exec::deterministicMap(pool_.get(), n, evaluate);
 
     // Serial reduction in lineup order: the winner is independent of
     // how the evaluations were scheduled.

@@ -5,7 +5,7 @@
 #include <unordered_set>
 
 #include "common/check.h"
-#include "exec/thread_pool.h"
+#include "exec/deterministic_map.h"
 #include "journal/serialize.h"
 #include "obs/json.h"
 #include "placement/baselines.h"
@@ -16,7 +16,7 @@ namespace serve {
 
 PlacementEngine::PlacementEngine(const EngineConfig &config)
     : config_(config), topo_(config.cluster), gpus_(topo_), ctx_(topo_),
-      placer_(makePlacerByName(config.placer, config.seed))
+      placer_(makePlacerByName(config.placer, config.seed, config.jobs))
 {
 }
 
@@ -99,7 +99,7 @@ PlacementEngine::whatIf(const std::vector<JobSpec> &candidates,
         // stream, so what-if answers are deterministic in request order
         // (though not necessarily what a subsequent place would pick).
         std::unique_ptr<Placer> placer =
-            makePlacerByName(config_.placer, config_.seed);
+            makePlacerByName(config_.placer, config_.seed, config_.jobs);
         const std::vector<JobSpec> batch{candidate};
         BatchResult outcome =
             placer->placeBatch(batch, topo_, ledger, clone);
@@ -113,11 +113,7 @@ PlacementEngine::whatIf(const std::vector<JobSpec> &candidates,
         }
     };
 
-    if (pool != nullptr)
-        exec::parallelFor(*pool, candidates.size(), evaluate);
-    else
-        for (std::size_t i = 0; i < candidates.size(); ++i)
-            evaluate(i);
+    exec::deterministicMap(pool, candidates.size(), evaluate);
     return results;
 }
 

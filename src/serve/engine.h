@@ -43,6 +43,14 @@ struct EngineConfig
     std::string placer = "NetPack";
     /** RNG seed for stochastic placers. */
     std::uint64_t seed = 0;
+    /**
+     * Intra-epoch worker count handed to the placer
+     * (makePlacerByName): parallelizes NetPack's per-table scoring
+     * without changing any decision. What-if placers inherit it too;
+     * when a what-if runs on a query-pool task the placer degrades to
+     * serial by itself.
+     */
+    int jobs = 1;
 };
 
 /** Live placement state + the deterministic mutation/query paths. */

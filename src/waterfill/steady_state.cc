@@ -180,6 +180,7 @@ WaterFillingEstimator::estimate(
     std::vector<double> rate(active.size(), 0.0);
     std::vector<bool> frozen(active.size(), false);
     std::size_t remaining = active.size();
+    shareScratch_.resize(std::max(num_links, num_racks));
 
     lastIterations_ = 0;
     // Each round exhausts at least one link or one ToR's PAT, so the loop
@@ -197,9 +198,13 @@ WaterFillingEstimator::estimate(
                 active[j]->updateFlows(state.patResidual);
         }
 
-        // Count flows per link and INA jobs per ToR (lines 4-5).
-        std::vector<int> link_flows(num_links, 0);
-        std::vector<int> tor_jobs(num_racks, 0);
+        // Count flows per link and INA jobs per ToR (lines 4-5). The
+        // count arrays are estimator members so a warm round allocates
+        // nothing.
+        linkFlowsScratch_.assign(num_links, 0);
+        torJobsScratch_.assign(num_racks, 0);
+        std::vector<int> &link_flows = linkFlowsScratch_;
+        std::vector<int> &tor_jobs = torJobsScratch_;
         for (std::size_t j = 0; j < active.size(); ++j) {
             if (frozen[j])
                 continue;
@@ -210,20 +215,31 @@ WaterFillingEstimator::estimate(
             }
         }
 
-        // Minimum per-flow share over links (line 6) and ToRs (line 7).
+        // Minimum per-flow share over links (line 6) and ToRs (line 7),
+        // split into a branch-free division pass the autovectorizer
+        // handles (max(flows, 1) only changes lanes the guard below
+        // discards) and a scalar guarded min scan in original index
+        // order — FP min reductions do not vectorize without value-
+        // changing reassociation, but the divisions dominate the cost.
+        for (std::size_t l = 0; l < num_links; ++l) {
+            shareScratch_[l] =
+                state.linkResidual[l] /
+                static_cast<double>(std::max(link_flows[l], 1));
+        }
         double bw1 = std::numeric_limits<double>::infinity();
         for (std::size_t l = 0; l < num_links; ++l) {
-            if (link_flows[l] > 0 && state.linkResidual[l] > kEpsilon) {
-                bw1 = std::min(bw1, state.linkResidual[l] /
-                                        static_cast<double>(link_flows[l]));
-            }
+            if (link_flows[l] > 0 && state.linkResidual[l] > kEpsilon)
+                bw1 = std::min(bw1, shareScratch_[l]);
+        }
+        for (std::size_t r = 0; r < num_racks; ++r) {
+            shareScratch_[r] =
+                state.patResidual[r] /
+                static_cast<double>(std::max(tor_jobs[r], 1));
         }
         double bw2 = std::numeric_limits<double>::infinity();
         for (std::size_t r = 0; r < num_racks; ++r) {
-            if (tor_jobs[r] > 0 && state.patResidual[r] > kEpsilon) {
-                bw2 = std::min(bw2, state.patResidual[r] /
-                                        static_cast<double>(tor_jobs[r]));
-            }
+            if (tor_jobs[r] > 0 && state.patResidual[r] > kEpsilon)
+                bw2 = std::min(bw2, shareScratch_[r]);
         }
         const double step = std::min(bw1, bw2);
 

@@ -188,6 +188,21 @@ class WaterFillingEstimator
   private:
     const ClusterTopology *topo_;
     mutable int lastIterations_ = 0;
+
+    // Round-loop scratch, hoisted out of estimate()'s hot loop so a
+    // warm estimator allocates nothing per round. Like lastIterations_,
+    // these make concurrent estimate() calls on ONE instance racy;
+    // every owner (PlacementContext, clones, simulator) already holds a
+    // private estimator, and the parallel idioms (portfolio, what-if,
+    // intra-epoch scoring) clone state per task.
+    /** Flows per link this round (Alg. 1 lines 4-5). */
+    mutable std::vector<int> linkFlowsScratch_;
+    /** INA jobs per ToR this round. */
+    mutable std::vector<int> torJobsScratch_;
+    /** Per-link / per-ToR fair-share candidates (lines 6-7), computed
+     * branch-free so the division pass vectorizes; the guarded min
+     * reduction over them stays scalar (bit-identical order). */
+    mutable std::vector<double> shareScratch_;
 };
 
 } // namespace netpack

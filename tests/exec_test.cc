@@ -8,12 +8,15 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <set>
 #include <stdexcept>
 #include <thread>
+#include <vector>
 
 #include "common/check.h"
+#include "exec/deterministic_map.h"
 #include "exec/sweep.h"
 #include "exec/thread_pool.h"
 #include "obs/metrics.h"
@@ -135,6 +138,80 @@ TEST(ThreadPool, SubmitFromWorkerStaysRunnable)
     });
     outer.get();
     EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ThreadPool, InsideTaskReflectsPoolExecution)
+{
+    EXPECT_FALSE(ThreadPool::insideTask());
+    ThreadPool pool(2);
+    std::atomic<int> inside{0};
+    exec::parallelFor(pool, 16, [&inside](std::size_t) {
+        if (ThreadPool::insideTask())
+            ++inside;
+    });
+    // Every body observed itself inside a task — including those the
+    // calling thread helped with via runPendingTask.
+    EXPECT_EQ(inside.load(), 16);
+    EXPECT_FALSE(ThreadPool::insideTask());
+}
+
+TEST(DeterministicMap, RunsSeriallyInOrderWithoutPool)
+{
+    std::vector<std::size_t> order;
+    const bool fanned = exec::deterministicMap(
+        nullptr, 5, [&order](std::size_t i) { order.push_back(i); });
+    EXPECT_FALSE(fanned);
+    EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(DeterministicMap, SingleItemStaysSerialEvenWithPool)
+{
+    ThreadPool pool(2);
+    int calls = 0;
+    const bool fanned = exec::deterministicMap(
+        &pool, 1, [&calls](std::size_t) { ++calls; });
+    EXPECT_FALSE(fanned);
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(DeterministicMap, FansOutEveryIndexExactlyOnce)
+{
+    ThreadPool pool(3);
+    std::vector<std::atomic<int>> hits(64);
+    const bool fanned = exec::deterministicMap(
+        &pool, hits.size(), [&hits](std::size_t i) { ++hits[i]; });
+    EXPECT_TRUE(fanned);
+    for (const auto &hit : hits)
+        EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(DeterministicMap, NestedMapDegradesToSerial)
+{
+    ThreadPool pool(2);
+    std::array<std::atomic<int>, 4> outer_hits{};
+    std::atomic<int> nested_fanned{0};
+    std::atomic<int> nested_out_of_order{0};
+    const bool outer_fanned = exec::deterministicMap(
+        &pool, outer_hits.size(), [&](std::size_t i) {
+            // A map issued from inside a pool task must run inline, in
+            // index order, and report that it did not fan out.
+            std::vector<std::size_t> inner_order;
+            const bool fanned = exec::deterministicMap(
+                &pool, 3,
+                [&inner_order](std::size_t j) {
+                    inner_order.push_back(j);
+                });
+            if (fanned)
+                ++nested_fanned;
+            if (inner_order != std::vector<std::size_t>{0, 1, 2})
+                ++nested_out_of_order;
+            ++outer_hits[i];
+        });
+    EXPECT_TRUE(outer_fanned);
+    EXPECT_EQ(nested_fanned.load(), 0);
+    EXPECT_EQ(nested_out_of_order.load(), 0);
+    for (const auto &hit : outer_hits)
+        EXPECT_EQ(hit.load(), 1);
 }
 
 TEST(StreamSeed, DeterministicAndDecorrelated)

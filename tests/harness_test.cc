@@ -338,6 +338,62 @@ TEST(Portfolio, ParallelEvaluationIsBitIdenticalToSerial)
     }
 }
 
+TEST(Portfolio, IntraEpochNestingDegradesToSerialAndStaysIdentical)
+{
+    // A portfolio at jobs=4 hands jobs=4 to its inner placers too. The
+    // lineup fan-out claims the pool first, so the placers' own
+    // intra-epoch fan-out must notice it is already on a pool task and
+    // degrade to serial — counted, not silent — while the outcome stays
+    // bit-identical to the fully serial portfolio.
+    const bool metrics_were_on = obs::metricsEnabled();
+    obs::setMetricsEnabled(true);
+    const ClusterTopology topo = testCluster(4, 4, 4, 4.0);
+    Rng rng(29);
+
+    PortfolioConfig serial_cfg;
+    serial_cfg.jobs = 1;
+    PortfolioConfig nested_cfg;
+    nested_cfg.jobs = 4;
+    PortfolioPlacer serial(serial_cfg), nested(nested_cfg);
+
+    GpuLedger s_gpus(topo), n_gpus(topo);
+    PlacementContext s_ctx(topo), n_ctx(topo);
+
+    for (int round = 0; round < 2; ++round) {
+        const std::vector<JobSpec> batch =
+            randomBatch(rng, 6, 12, 1 + round * 100);
+        const BatchResult s_result =
+            serial.placeBatch(batch, topo, s_gpus, s_ctx);
+        const BatchResult n_result =
+            nested.placeBatch(batch, topo, n_gpus, n_ctx);
+        expectSameBatchResult(s_result, n_result,
+                              "nested round " + std::to_string(round));
+        EXPECT_EQ(serial.lastWinner(), nested.lastWinner());
+    }
+
+    const auto counters = obs::Registry::instance().snapshot().counters;
+    const auto fallbacks =
+        counters.find("placement.par_serial_fallbacks");
+    ASSERT_NE(fallbacks, counters.end());
+    EXPECT_GE(fallbacks->second, 1);
+
+    // The same jobs=4 config at the top level (no enclosing pool task)
+    // does fan out, and counts its per-table tasks.
+    const auto it0 = counters.find("placement.par_tasks");
+    const auto tasks_before = it0 == counters.end() ? 0 : it0->second;
+    NetPackConfig par_config;
+    par_config.jobs = 4;
+    NetPackPlacer par(par_config);
+    GpuLedger p_gpus(topo);
+    PlacementContext p_ctx(topo);
+    par.placeBatch(randomBatch(rng, 6, 12, 1000), topo, p_gpus, p_ctx);
+    const auto after = obs::Registry::instance().snapshot().counters;
+    const auto tasks = after.find("placement.par_tasks");
+    ASSERT_NE(tasks, after.end());
+    EXPECT_GT(tasks->second, tasks_before);
+    obs::setMetricsEnabled(metrics_were_on);
+}
+
 TEST(Portfolio, WinnerIsAppliedVerbatimToTheRealState)
 {
     const bool metrics_were_on = obs::metricsEnabled();

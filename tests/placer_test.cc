@@ -4,13 +4,17 @@
  * the optimized NetPackPlacer must reproduce the retained naive
  * ReferenceNetPackPlacer decision-for-decision (placements, deferrals,
  * and Equation-1 scores, compared bitwise) over randomized topologies,
- * steady states, and config ablations. Also covers the SteadyStateView
- * caching/invalidation contract through PlacementContext.
+ * steady states, and config ablations. Every scenario additionally runs
+ * jobs-sweep lanes (jobs = 2/4/7) of the intra-epoch parallel fan-out,
+ * which must stay byte-identical to the reference for any worker count.
+ * Also covers the SteadyStateView caching/invalidation contract through
+ * PlacementContext.
  */
 
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <memory>
 
 #include "common/rng.h"
 #include "core/placement_context.h"
@@ -110,6 +114,32 @@ TEST_P(PlacerDifferentialTest, OptimizedMatchesReferenceExactly)
     PlacementContext opt_ctx(topo), ref_ctx(topo);
     std::vector<JobId> alive;
 
+    // Jobs-sweep lanes: the same scenario with the intra-epoch fan-out
+    // at several worker counts, each compared bitwise against the
+    // reference. 7 intentionally exceeds the DP-table count of most of
+    // these small scenarios, so idle workers are covered too. The lanes
+    // live behind unique_ptr because the placer is immovable (it owns a
+    // mutex and, once fanned, a thread pool).
+    struct ParLane
+    {
+        ParLane(const NetPackConfig &par_config,
+                const ClusterTopology &par_topo)
+            : jobs(par_config.jobs), placer(par_config), gpus(par_topo),
+              ctx(par_topo)
+        {
+        }
+        int jobs;
+        NetPackPlacer placer;
+        GpuLedger gpus;
+        PlacementContext ctx;
+    };
+    std::vector<std::unique_ptr<ParLane>> par_lanes;
+    for (const int par_jobs : {2, 4, 7}) {
+        NetPackConfig par_config = config;
+        par_config.jobs = par_jobs;
+        par_lanes.push_back(std::make_unique<ParLane>(par_config, topo));
+    }
+
     int next_id = 1;
     const int rounds = static_cast<int>(rng.uniformInt(2, 4));
     for (int round = 0; round < rounds; ++round) {
@@ -138,6 +168,17 @@ TEST_P(PlacerDifferentialTest, OptimizedMatchesReferenceExactly)
                                  std::to_string(round);
         expectSameBatchResult(opt_result, ref_result, what);
         expectSameScores(opt.lastScores(), ref.lastScores(), what);
+
+        for (const auto &lane : par_lanes) {
+            const BatchResult par_result =
+                lane->placer.placeBatch(batch, topo, lane->gpus,
+                                        lane->ctx);
+            const std::string par_what =
+                what + " jobs=" + std::to_string(lane->jobs);
+            expectSameBatchResult(par_result, ref_result, par_what);
+            expectSameScores(lane->placer.lastScores(),
+                             ref.lastScores(), par_what);
+        }
         if (::testing::Test::HasFailure())
             return; // diverged states make later rounds uninformative
 
@@ -154,6 +195,10 @@ TEST_P(PlacerDifferentialTest, OptimizedMatchesReferenceExactly)
             ref_gpus.releaseJob(victim);
             opt_ctx.removeJob(victim);
             ref_ctx.removeJob(victim);
+            for (const auto &lane : par_lanes) {
+                lane->gpus.releaseJob(victim);
+                lane->ctx.removeJob(victim);
+            }
         }
         alive.erase(alive.begin(),
                     alive.begin() + static_cast<std::ptrdiff_t>(retire));
