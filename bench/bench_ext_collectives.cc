@@ -40,9 +40,10 @@ main(int argc, char **argv)
             const auto cell = [&](CollectiveAlgorithm algorithm) {
                 const CollectiveCost cost =
                     collectiveCost(algorithm, n, model.modelSizeMb, 1.0);
+                const Seconds time = collectiveStepTime(
+                    algorithm, n, model.modelSizeMb, rate, latency, 1.0);
                 return formatDouble(cost.bottleneckVolume, 0) + " | " +
-                       formatDouble(cost.commTime(rate, latency) * 1e3,
-                                    1);
+                       formatDouble(time * 1e3, 1);
             };
             table.addRow({model.name, std::to_string(n),
                           cell(CollectiveAlgorithm::PsDirect),
@@ -59,9 +60,11 @@ main(int argc, char **argv)
     for (double ratio : {0.0, 0.25, 0.5, 0.75, 1.0}) {
         const CollectiveCost cost = collectiveCost(
             CollectiveAlgorithm::PsWithIna, 8, 554.0, ratio);
+        const Seconds time = collectiveStepTime(
+            CollectiveAlgorithm::PsWithIna, 8, 554.0, rate, 0.0, ratio);
         partial.addRow({formatDouble(ratio, 2),
                         formatDouble(cost.bottleneckVolume, 0),
-                        formatDouble(cost.commTime(rate) * 1e3, 1)});
+                        formatDouble(time * 1e3, 1)});
     }
     benchutil::emit(partial, options);
     return 0;

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Extension: mixed collective backends as first-class placeable jobs.
+ * Sweeps the fraction of ring_ina / rdma_ina jobs in a Poisson trace
+ * (assignBackends) and replays each mix under the full placer lineup on
+ * the flow simulator, reporting Figure 7/8-style normalized JCT and DE
+ * tables (NetPack = 1 per row). The pure-PS row is the regression
+ * anchor — it must match the pre-backend numbers — while the mixed rows
+ * show NetPack's rack-adjacency scoring of leaderful backends holding
+ * its lead when the workload is no longer all PS stars. The second
+ * table reports deployment efficiency (Figure 8's metric) of the same
+ * sweep.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace netpack;
+    const auto options = benchutil::parseOptions(argc, argv);
+
+    benchutil::printHeader(
+        "Extension — mixed collective backends: JCT and DE vs backend "
+        "mix (NetPack = 1.0 per row)",
+        "docs/backends.md (pluggable backends, ROADMAP item 3)",
+        "NetPack <= baselines on every mix; the pure-PS row reproduces "
+        "the Figure 7 simulator column");
+
+    struct Mix
+    {
+        const char *label;
+        double ring;
+        double rdma;
+    };
+    const std::vector<Mix> mixes = {
+        {"pure ps_ina", 0.0, 0.0},
+        {"25% ring", 0.25, 0.0},
+        {"25% ring + 25% rdma", 0.25, 0.25},
+        {"70% ring + 30% rdma", 0.7, 0.3},
+    };
+    const auto placers = benchutil::figurePlacers();
+    const int jobs = options.full ? 240 : 100;
+    const int seeds = benchutil::effectiveSeeds(options, options.full ? 3 : 1);
+
+    // The same per-seed base traces feed every row; only the backend
+    // assignment moves, so the mix axis is the single variable.
+    TraceGenConfig gen;
+    gen.numJobs = jobs;
+    gen.distribution = DemandDistribution::Poisson;
+    gen.demandMean = 10.0;
+    gen.maxGpuDemand = 32;
+    gen.meanInterarrival = 1.0;
+    gen.durationLogMu = 4.6;
+    gen.durationLogSigma = 0.9;
+    std::vector<JobTrace> base;
+    for (int s = 0; s < seeds; ++s) {
+        gen.seed = exec::streamSeed(97, static_cast<std::uint64_t>(s));
+        benchutil::manifest().addSeed(gen.seed);
+        base.push_back(generateTrace(gen));
+    }
+
+    std::vector<benchutil::SweepRow> rows;
+    for (const Mix &mix : mixes) {
+        benchutil::SweepRow row;
+        row.label = mix.label;
+        row.config.cluster = benchutil::simulatorCluster();
+        row.config.cluster.serversPerRack = 8; // tighter: 128 servers
+        row.config.cluster.torPatGbps = 400.0;
+        row.config.sim.placementPeriod = 10.0;
+        for (std::size_t s = 0; s < base.size(); ++s)
+            row.traces.push_back(assignBackends(
+                base[s], mix.ring, mix.rdma,
+                exec::streamSeed(131, static_cast<std::uint64_t>(s))));
+        rows.push_back(std::move(row));
+    }
+
+    benchutil::emit(benchutil::placerSweepTable("backend mix", rows,
+                                                placers, options,
+                                                /*use_de=*/false),
+                    options);
+    std::cout << "Deployment efficiency (same sweep, DE normalized so "
+                 "NetPack = 1; baselines <= 1):\n";
+    benchutil::emit(benchutil::placerSweepTable("backend mix", rows,
+                                                placers, options,
+                                                /*use_de=*/true),
+                    options);
+    return 0;
+}

@@ -1,0 +1,60 @@
+#include "backends/backend_kind.h"
+
+#include "common/check.h"
+
+namespace netpack {
+
+const char *
+backendName(BackendKind kind)
+{
+    switch (kind) {
+      case BackendKind::PsIna: return "ps_ina";
+      case BackendKind::RingIna: return "ring_ina";
+      case BackendKind::RdmaIna: return "rdma_ina";
+    }
+    return "?";
+}
+
+BackendKind
+backendFromName(const std::string &name)
+{
+    if (name == "ps_ina")
+        return BackendKind::PsIna;
+    if (name == "ring_ina")
+        return BackendKind::RingIna;
+    if (name == "rdma_ina")
+        return BackendKind::RdmaIna;
+    std::string known;
+    for (const std::string &candidate : backendNames()) {
+        if (!known.empty())
+            known += ", ";
+        known += candidate;
+    }
+    throw ConfigError("unknown backend '" + name +
+                      "' (valid names: " + known + ")");
+}
+
+std::vector<std::string>
+backendNames()
+{
+    return {"ps_ina", "ring_ina", "rdma_ina"};
+}
+
+double
+backendVolumeFactor(BackendKind kind, int worker_servers)
+{
+    switch (kind) {
+      case BackendKind::PsIna:
+      case BackendKind::RdmaIna:
+        return 1.0;
+      case BackendKind::RingIna: {
+        if (worker_servers <= 1)
+            return 0.0;
+        const double k = static_cast<double>(worker_servers);
+        return 2.0 * (k - 1.0) / k;
+      }
+    }
+    return 1.0;
+}
+
+} // namespace netpack

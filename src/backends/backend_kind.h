@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The collective-backend identity shared by every layer of the stack.
+ * A job's backend decides how its gradient exchange maps onto the
+ * network: the paper's PS+INA aggregation trees, a Rina-style
+ * hierarchical ring with in-network segment aggregation, or a
+ * NetReduce-style RDMA-compatible in-network reduction rooted at a
+ * worker. This header is deliberately tiny (enum + names + pure volume
+ * math) so `workload` can carry the field without depending on the
+ * full backend subsystem in src/backends/collective_backend.h.
+ */
+
+#ifndef NETPACK_BACKENDS_BACKEND_KIND_H
+#define NETPACK_BACKENDS_BACKEND_KIND_H
+
+#include <string>
+#include <vector>
+
+namespace netpack {
+
+/** Which collective backend a job trains with. */
+enum class BackendKind
+{
+    /** Parameter-server exchange with statistical INA (the paper). */
+    PsIna,
+    /** Rina-style ring AllReduce with ToR segment aggregation. */
+    RingIna,
+    /** NetReduce-style RDMA-compatible in-network reduction. */
+    RdmaIna,
+};
+
+/** Canonical wire/CLI name: "ps_ina", "ring_ina", "rdma_ina". */
+const char *backendName(BackendKind kind);
+
+/**
+ * Parse a canonical backend name. Throws ConfigError listing the valid
+ * names (the same UX as the placer factory's unknown-name error).
+ */
+BackendKind backendFromName(const std::string &name);
+
+/** All valid backend names, in declaration order. */
+std::vector<std::string> backendNames();
+
+/**
+ * Per-iteration communication volume of a backend as a multiple of the
+ * model gradient size d, given the number of worker *servers* k taking
+ * part (intra-server workers merge locally and count once):
+ *
+ *   ps_ina    1             each worker pushes d once; the PS-side
+ *                           incast is modelled by per-link flow counts,
+ *                           not by the per-flow volume
+ *   ring_ina  2(k-1)/k      reduce-scatter + all-gather chunks
+ *   rdma_ina  1             each worker pushes d; switches reduce
+ *
+ * k <= 1 returns 0 for ring (nothing to exchange) and 1 otherwise —
+ * callers gate on locality before charging any volume.
+ */
+double backendVolumeFactor(BackendKind kind, int worker_servers);
+
+} // namespace netpack
+
+#endif // NETPACK_BACKENDS_BACKEND_KIND_H

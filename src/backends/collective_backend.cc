@@ -1,0 +1,88 @@
+#include "backends/collective_backend.h"
+
+#include <limits>
+
+#include "backends/detail.h"
+#include "common/check.h"
+
+namespace netpack {
+namespace backends {
+
+Seconds
+CollectiveBackend::analyticStepTime(int worker_servers, MBytes model_mb,
+                                    Gbps rate,
+                                    double aggregation_ratio) const
+{
+    return collectiveStepTime(algorithm(), worker_servers, model_mb, rate,
+                              0.0, aggregation_ratio);
+}
+
+std::map<LinkId, MBytes>
+CollectiveBackend::trafficMatrix(const ClusterTopology &topo,
+                                 const Placement &placement,
+                                 MBytes model_mb) const
+{
+    std::map<LinkId, MBytes> volume;
+    std::vector<JobHierarchy> trees =
+        buildHierarchies(topo, JobId(0), placement);
+    if (trees.empty() || trees.front().local())
+        return volume;
+
+    // Full aggregation: every INA-enabled switch merges (ample PAT).
+    const std::vector<Gbps> ample(
+        static_cast<std::size_t>(topo.numRacks()),
+        std::numeric_limits<Gbps>::infinity());
+    const int workers = static_cast<int>(placement.workers.size());
+    const MBytes per_stream = model_mb * volumeFactor(workers) /
+                              static_cast<double>(trees.size());
+    for (JobHierarchy &tree : trees) {
+        tree.updateFlows(ample);
+        std::vector<int> flows(static_cast<std::size_t>(topo.numLinks()),
+                               0);
+        tree.accumulateLinkFlows(flows);
+        for (std::size_t i = 0; i < flows.size(); ++i) {
+            if (flows[i] > 0)
+                volume[LinkId(static_cast<int>(i))] +=
+                    per_stream * flows[i];
+        }
+    }
+    return volume;
+}
+
+std::set<RackId>
+CollectiveBackend::patDemandRacks(const ClusterTopology &topo,
+                                  const Placement &placement) const
+{
+    std::set<RackId> racks;
+    for (const JobHierarchy &tree :
+         buildHierarchies(topo, JobId(0), placement)) {
+        for (RackId rack : tree.inaRacks())
+            racks.insert(rack);
+    }
+    return racks;
+}
+
+const CollectiveBackend &
+CollectiveBackend::of(BackendKind kind)
+{
+    switch (kind) {
+      case BackendKind::PsIna: return detail::psInaBackend();
+      case BackendKind::RingIna: return detail::ringInaBackend();
+      case BackendKind::RdmaIna: return detail::rdmaInaBackend();
+    }
+    NETPACK_CHECK_MSG(false, "unreachable backend kind");
+    return detail::psInaBackend();
+}
+
+std::vector<JobHierarchy>
+buildJobHierarchies(const ClusterTopology &topo, JobId job,
+                    const Placement &placement)
+{
+    if (placement.backend == BackendKind::PsIna)
+        return buildShardHierarchies(topo, job, placement);
+    return CollectiveBackend::of(placement.backend)
+        .buildHierarchies(topo, job, placement);
+}
+
+} // namespace backends
+} // namespace netpack

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Pluggable collective backends (ROADMAP item 3). A backend owns the
+ * network behaviour of one gradient-exchange strategy: how a placed
+ * job's traffic maps onto physical links (its aggregation trees and
+ * traffic matrix), which ToRs it asks PAT from, and its analytic
+ * step-time model. Three implementations exist, mirroring the placer
+ * factory pattern:
+ *
+ *   ps_ina    the paper's PS exchange with statistical INA (the
+ *             pre-existing JobHierarchy PS trees, refactored behind
+ *             this interface)
+ *   ring_ina  Rina-style hierarchical ring AllReduce: worker servers
+ *             chain within each rack, one stream per rack crosses the
+ *             core to the leader's rack, ToRs aggregate ring segments
+ *   rdma_ina  NetReduce-style RDMA-compatible in-network reduction: a
+ *             star rooted at a leader *worker* (no dedicated PS) whose
+ *             ToRs must aggregate; PAT exhaustion degrades to incast
+ *
+ * Everything downstream of placement — water-filling, the flow-model
+ * simulator, selective-INA ranking — dispatches through
+ * buildJobHierarchies() on Placement::backend, so pure-PS workloads
+ * take exactly the pre-backend code path.
+ */
+
+#ifndef NETPACK_BACKENDS_COLLECTIVE_BACKEND_H
+#define NETPACK_BACKENDS_COLLECTIVE_BACKEND_H
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "backends/backend_kind.h"
+#include "common/units.h"
+#include "ina/collectives.h"
+#include "ina/hierarchy.h"
+#include "topology/cluster.h"
+#include "topology/ids.h"
+#include "workload/job.h"
+
+namespace netpack {
+namespace backends {
+
+/** One gradient-exchange strategy's network model. */
+class CollectiveBackend
+{
+  public:
+    virtual ~CollectiveBackend() = default;
+
+    /** Which backend this is. */
+    virtual BackendKind kind() const = 0;
+
+    /** Canonical name ("ps_ina", ...). */
+    const char *name() const { return backendName(kind()); }
+
+    /** Analytic collective this backend's step time follows. */
+    virtual CollectiveAlgorithm algorithm() const = 0;
+
+    /**
+     * True when placements need a dedicated parameter-server allocation.
+     * When false, Placement::psServer holds the leader worker server
+     * (tree root) and no extra GPU/server capacity is consumed for it.
+     */
+    virtual bool usesDedicatedPs() const = 0;
+
+    /**
+     * Per-iteration volume each worker server moves, as a multiple of
+     * the gradient size d (see backendVolumeFactor).
+     */
+    double volumeFactor(int worker_servers) const
+    {
+        return backendVolumeFactor(kind(), worker_servers);
+    }
+
+    /**
+     * Aggregation trees of a placed job, one per gradient shard. These
+     * are what water-filling and the flow simulator iterate: each tree
+     * edge lists the physical links it crosses and each Switch node
+     * knows whether it aggregates (consuming PAT).
+     */
+    virtual std::vector<JobHierarchy>
+    buildHierarchies(const ClusterTopology &topo, JobId job,
+                     const Placement &placement) const = 0;
+
+    /**
+     * Analytic communication time per iteration among @p worker_servers
+     * servers exchanging @p model_mb at sustained per-link @p rate —
+     * the closed-form model (shared with bench_ext_collectives), not
+     * the water-filling estimate.
+     */
+    virtual Seconds analyticStepTime(int worker_servers, MBytes model_mb,
+                                     Gbps rate,
+                                     double aggregation_ratio = 1.0) const;
+
+    /**
+     * Single-job traffic matrix: per-iteration gradient volume (MB)
+     * crossing each physical link under full aggregation. Derived from
+     * the backend's trees: each tree edge charges its child's flow
+     * count times the per-stream shard volume to every link it crosses.
+     */
+    std::map<LinkId, MBytes>
+    trafficMatrix(const ClusterTopology &topo, const Placement &placement,
+                  MBytes model_mb) const;
+
+    /**
+     * Racks whose ToR the job asks aggregation (PAT) from — the
+     * INA-enabled switches of its trees.
+     */
+    std::set<RackId> patDemandRacks(const ClusterTopology &topo,
+                                    const Placement &placement) const;
+
+    /** Registry: the singleton backend for @p kind. */
+    static const CollectiveBackend &of(BackendKind kind);
+};
+
+/**
+ * Dispatch helper used at every hierarchy-construction site: build the
+ * aggregation trees of @p placement through its backend. For
+ * BackendKind::PsIna this is exactly buildShardHierarchies().
+ */
+std::vector<JobHierarchy> buildJobHierarchies(const ClusterTopology &topo,
+                                              JobId job,
+                                              const Placement &placement);
+
+} // namespace backends
+} // namespace netpack
+
+#endif // NETPACK_BACKENDS_COLLECTIVE_BACKEND_H

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Internal registry hooks: each backend implementation file exposes its
+ * singleton through one of these accessors, consumed only by
+ * CollectiveBackend::of(). Not part of the public surface — include
+ * backends/collective_backend.h instead.
+ */
+
+#ifndef NETPACK_BACKENDS_DETAIL_H
+#define NETPACK_BACKENDS_DETAIL_H
+
+#include "backends/collective_backend.h"
+
+namespace netpack {
+namespace backends {
+namespace detail {
+
+const CollectiveBackend &psInaBackend();
+const CollectiveBackend &ringInaBackend();
+const CollectiveBackend &rdmaInaBackend();
+
+} // namespace detail
+} // namespace backends
+} // namespace netpack
+
+#endif // NETPACK_BACKENDS_DETAIL_H

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The paper's backend: parameter-server gradient exchange with
+ * statistical INA, placed with a dedicated PS (sharded across several
+ * when the placer adds extras). Traffic is the pre-existing PS
+ * aggregation tree — this file just puts buildShardHierarchies() behind
+ * the CollectiveBackend interface.
+ */
+
+#include "backends/detail.h"
+
+namespace netpack {
+namespace backends {
+namespace {
+
+class PsInaBackend final : public CollectiveBackend
+{
+  public:
+    BackendKind kind() const override { return BackendKind::PsIna; }
+
+    CollectiveAlgorithm algorithm() const override
+    {
+        return CollectiveAlgorithm::PsWithIna;
+    }
+
+    bool usesDedicatedPs() const override { return true; }
+
+    std::vector<JobHierarchy>
+    buildHierarchies(const ClusterTopology &topo, JobId job,
+                     const Placement &placement) const override
+    {
+        return buildShardHierarchies(topo, job, placement);
+    }
+};
+
+} // namespace
+
+namespace detail {
+
+const CollectiveBackend &
+psInaBackend()
+{
+    static const PsInaBackend backend;
+    return backend;
+}
+
+} // namespace detail
+} // namespace backends
+} // namespace netpack

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * NetReduce-style RDMA-compatible in-network reduction. One worker
+ * server acts as the leader (stored in Placement::psServer — no
+ * dedicated PS is allocated) and its rack's ToR terminates the
+ * reduction, so the exchange tree is exactly the PS star rooted at the
+ * leader: the existing JobHierarchy constructor is reused verbatim.
+ *
+ * What makes it rdma_ina rather than ps_ina:
+ *   - no PS server/GPU cost — the root rides on a worker;
+ *   - aggregation is mandatory, not opportunistic: the placer enables
+ *     INA on every rack the job touches, and each worker pushes the
+ *     gradient exactly once (volume factor 1);
+ *   - when a ToR's PAT is exhausted mid-run, the Switch-node semantics
+ *     degrade the rack to forwarding all its streams — an incast at the
+ *     leader's access link, matching NetReduce's fallback to end-host
+ *     reduction;
+ *   - the gradient never shards: extraPsServers must be empty.
+ */
+
+#include "backends/detail.h"
+#include "common/check.h"
+
+namespace netpack {
+namespace backends {
+namespace {
+
+class RdmaInaBackend final : public CollectiveBackend
+{
+  public:
+    BackendKind kind() const override { return BackendKind::RdmaIna; }
+
+    CollectiveAlgorithm algorithm() const override
+    {
+        return CollectiveAlgorithm::PsWithIna;
+    }
+
+    bool usesDedicatedPs() const override { return false; }
+
+    std::vector<JobHierarchy>
+    buildHierarchies(const ClusterTopology &topo, JobId job,
+                     const Placement &placement) const override
+    {
+        placement.validate();
+        NETPACK_REQUIRE(placement.extraPsServers.empty(),
+                        "rdma_ina job " << job.value
+                                        << " cannot shard across PSes");
+        if (!placement.singleServer() && placement.totalWorkers() > 1) {
+            NETPACK_REQUIRE(placement.workers.count(placement.psServer) > 0,
+                            "rdma_ina job "
+                                << job.value
+                                << ": leader must be a worker server");
+        }
+        std::vector<JobHierarchy> out;
+        out.emplace_back(topo, job, placement);
+        return out;
+    }
+};
+
+} // namespace
+
+namespace detail {
+
+const CollectiveBackend &
+rdmaInaBackend()
+{
+    static const RdmaInaBackend backend;
+    return backend;
+}
+
+} // namespace detail
+} // namespace backends
+} // namespace netpack

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Rina-style hierarchical ring AllReduce with in-network segment
+ * aggregation. The placement's psServer holds the *leader* — one of the
+ * worker servers — which roots the tree; there is no dedicated PS.
+ *
+ * Traffic model. The physical ring is hierarchical: servers within a
+ * rack chain through their ToR, and one stream per rack travels the
+ * inter-rack ring. In the tree encoding (which water-filling's
+ * heavier-direction-once accounting needs):
+ *
+ *   - root: the leader server (Ps-kind node);
+ *   - the leader rack's ToR below it, charging the leader's access link;
+ *   - every other rack's ToR below that, charging remote core + (in
+ *     two-tier mode, both pods' uplinks when crossing pods) + leader
+ *     core — the inter-rack ring hop;
+ *   - under each ToR, that rack's worker servers as a *chain* of Worker
+ *     nodes in server-id order, each charging only its own access link
+ *     (the intra-rack ring hop).
+ *
+ * A Worker node always forwards one stream, so each rack presents
+ * exactly one upward flow — a ring has no incast, which is what
+ * distinguishes this encoding from a PS star. INA's role is segment
+ * aggregation at the ToR: when a ToR is INA-enabled and PAT remains,
+ * the chain's stream stays one merged segment (flows already 1, so the
+ * benefit shows up as PAT-backed aggregation capacity rather than flow
+ * collapse). Volume is carried by the 2(k-1)/k ring factor
+ * (backendVolumeFactor), not the flow counts. Simplifications are
+ * documented in docs/backends.md.
+ */
+
+#include <algorithm>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "backends/detail.h"
+#include "common/check.h"
+
+namespace netpack {
+namespace backends {
+namespace {
+
+class RingInaBackend final : public CollectiveBackend
+{
+  public:
+    BackendKind kind() const override { return BackendKind::RingIna; }
+
+    CollectiveAlgorithm algorithm() const override
+    {
+        return CollectiveAlgorithm::RingAllReduce;
+    }
+
+    bool usesDedicatedPs() const override { return false; }
+
+    std::vector<JobHierarchy>
+    buildHierarchies(const ClusterTopology &topo, JobId job,
+                     const Placement &placement) const override
+    {
+        placement.validate();
+        NETPACK_REQUIRE(placement.extraPsServers.empty(),
+                        "ring_ina job " << job.value
+                                        << " cannot shard across PSes");
+        std::vector<JobHierarchy> out;
+        if (placement.singleServer() || placement.totalWorkers() <= 1) {
+            out.emplace_back(topo, job, placement);
+            return out;
+        }
+        const ServerId leader = placement.psServer;
+        NETPACK_REQUIRE(placement.workers.count(leader) > 0,
+                        "ring_ina job " << job.value
+                                        << ": leader must be a worker"
+                                           " server");
+        const RackId leader_rack = topo.rackOf(leader);
+
+        std::vector<HierarchyNode> nodes;
+
+        HierarchyNode root;
+        root.kind = HierarchyNode::Kind::Ps;
+        root.server = leader;
+        root.parent = 0;
+        nodes.push_back(root);
+
+        HierarchyNode leader_tor;
+        leader_tor.kind = HierarchyNode::Kind::Switch;
+        leader_tor.rack = leader_rack;
+        leader_tor.parent = 0;
+        leader_tor.uplinks = {topo.accessLink(leader)};
+        leader_tor.inaEnabled = placement.inaRacks.count(leader_rack) > 0;
+        const std::size_t leader_tor_idx = nodes.size();
+        nodes.push_back(leader_tor);
+        nodes[0].children.push_back(leader_tor_idx);
+
+        // Group worker servers by rack; std::map gives deterministic
+        // rack and server-id order, fixing the ring orientation.
+        std::map<RackId, std::vector<ServerId>> by_rack;
+        for (const auto &[server, count] : placement.workers) {
+            (void)count; // intra-server workers merge locally
+            if (server == leader)
+                continue; // the leader is the root, not a chain node
+            by_rack[topo.rackOf(server)].push_back(server);
+        }
+
+        int worker_servers = 1; // the leader
+        for (const auto &[rack, servers] : by_rack) {
+            std::size_t tor_idx;
+            if (rack == leader_rack) {
+                tor_idx = leader_tor_idx;
+            } else {
+                HierarchyNode tor;
+                tor.kind = HierarchyNode::Kind::Switch;
+                tor.rack = rack;
+                tor.parent = leader_tor_idx;
+                tor.uplinks = {topo.coreLink(rack)};
+                if (topo.twoTier() &&
+                    topo.podOf(rack) != topo.podOf(leader_rack)) {
+                    tor.uplinks.push_back(
+                        topo.podUplink(topo.podOf(rack)));
+                    tor.uplinks.push_back(
+                        topo.podUplink(topo.podOf(leader_rack)));
+                }
+                tor.uplinks.push_back(topo.coreLink(leader_rack));
+                tor.inaEnabled = placement.inaRacks.count(rack) > 0;
+                tor_idx = nodes.size();
+                nodes.push_back(tor);
+                nodes[leader_tor_idx].children.push_back(tor_idx);
+            }
+            // Chain the rack's servers: ToR -> s0 -> s1 -> ... Each hop
+            // charges only its own access link (the heavier direction of
+            // one intra-rack ring step).
+            std::size_t parent_idx = tor_idx;
+            for (ServerId server : servers) {
+                HierarchyNode hop;
+                hop.kind = HierarchyNode::Kind::Worker;
+                hop.server = server;
+                hop.parent = parent_idx;
+                hop.uplinks = {topo.accessLink(server)};
+                const std::size_t hop_idx = nodes.size();
+                nodes.push_back(hop);
+                nodes[parent_idx].children.push_back(hop_idx);
+                parent_idx = hop_idx;
+                ++worker_servers;
+            }
+        }
+
+        out.emplace_back(job, std::move(nodes), worker_servers);
+        return out;
+    }
+};
+
+} // namespace
+
+namespace detail {
+
+const CollectiveBackend &
+ringInaBackend()
+{
+    static const RingInaBackend backend;
+    return backend;
+}
+
+} // namespace detail
+} // namespace backends
+} // namespace netpack

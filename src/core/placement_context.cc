@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <unordered_set>
 
+#include "backends/collective_backend.h"
 #include "common/check.h"
 #include "common/log.h"
 #include "obs/metrics.h"
@@ -43,7 +44,7 @@ PlacementContext::JobEntry
 PlacementContext::buildEntry(JobId id, const Placement &placement) const
 {
     JobEntry entry;
-    entry.shards = buildShardHierarchies(*topo_, id, placement);
+    entry.shards = backends::buildJobHierarchies(*topo_, id, placement);
 
     std::vector<char> link_seen(static_cast<std::size_t>(topo_->numLinks()),
                                 0);
@@ -208,7 +209,8 @@ PlacementContext::syncTo(const std::vector<PlacedJob> &running)
             running_[it->second.runningIndex].placement;
         if (current.workers != job.placement.workers ||
             current.psServer != job.placement.psServer ||
-            current.extraPsServers != job.placement.extraPsServers) {
+            current.extraPsServers != job.placement.extraPsServers ||
+            current.backend != job.placement.backend) {
             removeJob(job.id);
             addJob(job);
         } else if (current.inaRacks != job.placement.inaRacks) {

@@ -38,8 +38,10 @@ collectiveCost(CollectiveAlgorithm algorithm, int n, MBytes model_mb,
                         << aggregation_ratio);
 
     CollectiveCost cost;
-    if (n == 1 || model_mb == 0.0)
-        return cost; // nothing to exchange
+    if (n == 1 || model_mb == 0.0) {
+        cost.rounds = 0; // nothing to exchange: no volume, no latency
+        return cost;
+    }
 
     const double dn = static_cast<double>(n);
     switch (algorithm) {
@@ -77,6 +79,16 @@ collectiveCost(CollectiveAlgorithm algorithm, int n, MBytes model_mb,
         break;
     }
     return cost;
+}
+
+Seconds
+collectiveStepTime(CollectiveAlgorithm algorithm, int n, MBytes model_mb,
+                   Gbps rate, Seconds round_latency,
+                   double aggregation_ratio)
+{
+    const CollectiveCost cost =
+        collectiveCost(algorithm, n, model_mb, aggregation_ratio);
+    return cost.commTime(rate, round_latency);
 }
 
 } // namespace netpack

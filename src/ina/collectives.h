@@ -63,6 +63,17 @@ CollectiveCost collectiveCost(CollectiveAlgorithm algorithm, int n,
                               MBytes model_mb,
                               double aggregation_ratio = 1.0);
 
+/**
+ * Analytic per-iteration communication time: collectiveCost() composed
+ * with CollectiveCost::commTime(). The single shared implementation of
+ * the step-time formulas used by the collective backends
+ * (src/backends/) and bench_ext_collectives — keep the math here.
+ */
+Seconds collectiveStepTime(CollectiveAlgorithm algorithm, int n,
+                           MBytes model_mb, Gbps rate,
+                           Seconds round_latency = 0.0,
+                           double aggregation_ratio = 1.0);
+
 } // namespace netpack
 
 #endif // NETPACK_INA_COLLECTIVES_H

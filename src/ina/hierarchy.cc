@@ -99,6 +99,25 @@ JobHierarchy::JobHierarchy(const ClusterTopology &topo, JobId job,
     std::sort(inaRacks_.begin(), inaRacks_.end());
 }
 
+JobHierarchy::JobHierarchy(JobId job, std::vector<HierarchyNode> nodes,
+                           int worker_servers)
+    : job_(job), nodes_(std::move(nodes)), workerServers_(worker_servers)
+{
+    if (nodes_.empty())
+        return;
+    NETPACK_CHECK_MSG(nodes_[0].parent == 0 && nodes_[0].uplinks.empty(),
+                      "hierarchy root must have no parent or uplinks");
+    for (const auto &n : nodes_) {
+        NETPACK_CHECK_MSG(n.parent < nodes_.size(),
+                          "hierarchy node parent out of range");
+        if (n.kind == HierarchyNode::Kind::Switch && n.inaEnabled)
+            inaRacks_.push_back(n.rack);
+    }
+    std::sort(inaRacks_.begin(), inaRacks_.end());
+    inaRacks_.erase(std::unique(inaRacks_.begin(), inaRacks_.end()),
+                    inaRacks_.end());
+}
+
 int
 JobHierarchy::recomputeFlows(std::size_t node,
                              const std::vector<Gbps> &pat_residual)
@@ -106,6 +125,12 @@ JobHierarchy::recomputeFlows(std::size_t node,
     HierarchyNode &n = nodes_[node];
     switch (n.kind) {
       case HierarchyNode::Kind::Worker:
+        // A worker forwards exactly one stream upward regardless of what
+        // sits below it. PS trees give workers no children; ring chains
+        // (src/backends/ring_ina.cc) hang the next hop underneath, whose
+        // flows still need recomputing.
+        for (std::size_t child : n.children)
+            recomputeFlows(child, pat_residual);
         n.flows = 1;
         return n.flows;
       case HierarchyNode::Kind::Ps: {

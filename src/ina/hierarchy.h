@@ -67,6 +67,17 @@ class JobHierarchy
     JobHierarchy(const ClusterTopology &topo, JobId job,
                  const Placement &placement);
 
+    /**
+     * Build a tree from explicitly-constructed nodes — how the
+     * collective backends (src/backends/) encode non-PS exchange
+     * patterns such as ring chains. Index 0 must be the root (parent ==
+     * 0, no uplinks); @p worker_servers is the worker-leaf count; the
+     * INA rack list is derived from INA-enabled Switch nodes. An empty
+     * @p nodes makes a local (traffic-free) hierarchy.
+     */
+    JobHierarchy(JobId job, std::vector<HierarchyNode> nodes,
+                 int worker_servers);
+
     /** Job this tree belongs to. */
     JobId job() const { return job_; }
 

@@ -336,10 +336,11 @@ JournalReader::JournalReader(const std::string &path)
     try {
         obs::JsonValue doc = obs::parseJson(line);
         const std::string &schema = doc.at("schema").asString();
-        NETPACK_REQUIRE(schema == kJournalSchema,
+        NETPACK_REQUIRE(schema == kJournalSchema ||
+                            schema == kJournalSchemaV1,
                         "unsupported journal schema '"
                             << schema << "' (expected " << kJournalSchema
-                            << ")");
+                            << " or " << kJournalSchemaV1 << ")");
         NETPACK_REQUIRE(doc.at("kind").asString() == "header",
                         "first journal line must be the header");
         header_.label = doc.at("label").asString();

@@ -1,7 +1,7 @@
 /**
  * @file
  * netpack::journal — the event-sourced run journal. One JSONL file per
- * run: a versioned header line (schema "netpack.journal/1") embedding
+ * run: a versioned header line (schema "netpack.journal/2") embedding
  * the full ExperimentConfig and trace so the file is self-contained,
  * followed by one typed event per line covering the whole cluster
  * lifecycle — arrival, placement decision (workers, PSes, INA, scores),
@@ -34,8 +34,15 @@
 namespace netpack {
 namespace journal {
 
-/** Version tag of the journal line format. */
-inline constexpr const char *kJournalSchema = "netpack.journal/1";
+/**
+ * Version tag of the journal line format. /2 adds the optional
+ * "backend" field on job specs and placements (absent = ps_ina), so /1
+ * files read back unchanged — JournalReader accepts both.
+ */
+inline constexpr const char *kJournalSchema = "netpack.journal/2";
+
+/** Previous schema, still accepted by JournalReader. */
+inline constexpr const char *kJournalSchemaV1 = "netpack.journal/1";
 
 /** The self-describing first line of every journal. */
 struct JournalHeader

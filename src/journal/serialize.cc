@@ -369,6 +369,11 @@ writePlacement(obs::JsonWriter &json, const Placement &placement)
     for (RackId rack : placement.inaRacks)
         json.value(rack.value);
     json.endArray();
+    // Emitted only for non-default backends so PS-only journals stay
+    // byte-identical to netpack.journal/1 output; readers default the
+    // absent key to ps_ina.
+    if (placement.backend != BackendKind::PsIna)
+        json.kv("backend", backendName(placement.backend));
     json.endObject();
 }
 
@@ -387,6 +392,8 @@ readPlacement(const obs::JsonValue &value)
         placement.extraPsServers.push_back(ServerId(readInt(server)));
     for (const obs::JsonValue &rack : value.at("ina").items())
         placement.inaRacks.insert(RackId(readInt(rack)));
+    if (const obs::JsonValue *backend = value.find("backend"))
+        placement.backend = backendFromName(backend->asString());
     return placement;
 }
 
@@ -400,6 +407,8 @@ writeJobSpec(obs::JsonWriter &json, const JobSpec &spec)
     json.kv("submit", spec.submitTime);
     json.kv("iters", spec.iterations);
     json.kv("value", spec.value);
+    if (spec.backend != BackendKind::PsIna)
+        json.kv("backend", backendName(spec.backend));
     json.endObject();
 }
 
@@ -413,6 +422,8 @@ readJobSpec(const obs::JsonValue &value)
     spec.submitTime = readDouble(value.at("submit"));
     spec.iterations = value.at("iters").asInt64();
     spec.value = readDouble(value.at("value"));
+    if (const obs::JsonValue *backend = value.find("backend"))
+        spec.backend = backendFromName(backend->asString());
     return spec;
 }
 

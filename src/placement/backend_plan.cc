@@ -1,0 +1,97 @@
+#include "placement/backend_plan.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "placement/placer.h"
+
+namespace netpack {
+namespace placement_util {
+
+bool
+planNonPsPlacement(const JobSpec &spec, const ClusterTopology &topo,
+                   GpuLedger &gpus, Placement &out)
+{
+    NETPACK_CHECK(spec.backend != BackendKind::PsIna);
+
+    // Single-server fast path: the whole ring/reduction collapses to
+    // local memory (same shape as NetPack's lines 4-6 fast path).
+    const ServerId single = bestFitSingleServer(topo, gpus, spec.gpuDemand);
+    if (single.valid()) {
+        out.workers[single] = spec.gpuDemand;
+        out.psServer = single;
+        out.backend = spec.backend;
+        gpus.allocate(single, spec.id, spec.gpuDemand);
+        return true;
+    }
+
+    // Rack-adjacency greedy: fill the emptiest racks first so the job
+    // spans as few racks as the current fragmentation allows. All
+    // orders break ties on id, keeping the plan a pure function of the
+    // ledger (the ref/opt bit-identity contract).
+    std::vector<std::pair<int, RackId>> racks;
+    for (int r = 0; r < topo.numRacks(); ++r) {
+        const RackId rack(r);
+        const int free = gpus.freeGpusInRack(rack);
+        if (free > 0)
+            racks.emplace_back(free, rack);
+    }
+    std::sort(racks.begin(), racks.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.first != b.first)
+                      return a.first > b.first;
+                  return a.second < b.second;
+              });
+
+    std::map<ServerId, int> workers;
+    int remaining = spec.gpuDemand;
+    for (const auto &[rack_free, rack] : racks) {
+        (void)rack_free;
+        if (remaining == 0)
+            break;
+        std::vector<std::pair<int, ServerId>> servers;
+        for (ServerId server : topo.serversInRack(rack)) {
+            const int free = gpus.freeGpus(server);
+            if (free > 0)
+                servers.emplace_back(free, server);
+        }
+        std::sort(servers.begin(), servers.end(),
+                  [](const auto &a, const auto &b) {
+                      if (a.first != b.first)
+                          return a.first > b.first;
+                      return a.second < b.second;
+                  });
+        for (const auto &[free, server] : servers) {
+            if (remaining == 0)
+                break;
+            const int take = std::min(free, remaining);
+            workers[server] = take;
+            remaining -= take;
+        }
+    }
+    if (remaining > 0)
+        return false; // not enough free GPUs anywhere
+
+    // Leader (tree root) = the chosen server with the most workers;
+    // std::map iteration makes the tie-break the lowest id.
+    ServerId leader;
+    int leader_count = -1;
+    for (const auto &[server, count] : workers) {
+        if (count > leader_count) {
+            leader_count = count;
+            leader = server;
+        }
+    }
+
+    out.workers = std::move(workers);
+    out.psServer = leader;
+    out.backend = spec.backend;
+    out.inaRacks = out.allRacks(topo);
+    applyAllocation(gpus, spec.id, out);
+    return true;
+}
+
+} // namespace placement_util
+} // namespace netpack

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Shared placement plan for non-PS collective backends (ring_ina,
+ * rdma_ina). Both NetPackPlacer and ReferenceNetPackPlacer delegate
+ * here, so the optimized/reference bit-identity contract extends to
+ * mixed-backend traces for free.
+ *
+ * Equation 1 scores the PS bottleneck — meaningless for backends whose
+ * root rides on a worker and whose link volumes are uniform. Ring and
+ * switch-reduction jobs instead want *rack adjacency*: the fewer racks
+ * the ring (or reduction tree) spans, the fewer core-link hops each
+ * segment takes and the fewer ToRs need PAT. The plan is a deterministic
+ * greedy packer that minimizes racks spanned, preferring emptier racks
+ * and servers so fragmentation stays low.
+ */
+
+#ifndef NETPACK_PLACEMENT_BACKEND_PLAN_H
+#define NETPACK_PLACEMENT_BACKEND_PLAN_H
+
+#include "topology/cluster.h"
+#include "topology/gpu_ledger.h"
+#include "workload/job.h"
+
+namespace netpack {
+namespace placement_util {
+
+/**
+ * Place a non-PS-backend job: single-server best-fit when it fits,
+ * otherwise greedy rack-adjacent packing (racks by free GPUs descending
+ * then id, servers within a rack likewise), leader = chosen server
+ * hosting the most workers (ties to the lowest id) stored in psServer,
+ * INA requested on every rack touched. Applies GPU allocations on
+ * success. Returns false (ledger untouched) when the demand cannot be
+ * met.
+ */
+bool planNonPsPlacement(const JobSpec &spec, const ClusterTopology &topo,
+                        GpuLedger &gpus, Placement &out);
+
+} // namespace placement_util
+} // namespace netpack
+
+#endif // NETPACK_PLACEMENT_BACKEND_PLAN_H

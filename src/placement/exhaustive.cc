@@ -178,6 +178,13 @@ ExhaustiveSolver::solve(const std::vector<JobSpec> &jobs,
                         const GpuLedger &gpus) const
 {
     NETPACK_REQUIRE(!jobs.empty(), "no jobs to place");
+    for (const JobSpec &spec : jobs) {
+        NETPACK_REQUIRE(spec.backend == BackendKind::PsIna,
+                        "the exhaustive oracle enumerates PS placements "
+                        "only; job "
+                            << spec.id.value << " uses "
+                            << backendName(spec.backend));
+    }
 
     PlacementContext ctx(topo);
     // Converge the empty cluster once, outside any transaction: every

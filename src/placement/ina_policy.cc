@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "backends/collective_backend.h"
 #include "common/check.h"
 #include "ina/hierarchy.h"
 #include "obs/trace.h"
@@ -91,7 +92,16 @@ assignSelectiveIna(const ClusterTopology &topo,
         const PlacedJob &job = targets[i];
         if (job.placement.inaRacks.empty())
             continue;
-        JobHierarchy hierarchy(topo, job.id, job.placement);
+        // PS jobs rank on the primary-PS unsharded tree (multi-PS shards
+        // split fan-in evenly, so the unsharded tree preserves the AE
+        // order); non-PS backends bring their own tree shape.
+        std::vector<JobHierarchy> trees;
+        if (job.placement.backend == BackendKind::PsIna)
+            trees.emplace_back(topo, job.id, job.placement);
+        else
+            trees = backends::buildJobHierarchies(topo, job.id,
+                                                  job.placement);
+        JobHierarchy &hierarchy = trees.front();
         if (hierarchy.local())
             continue;
         hierarchy.updateFlows(full.patResidual);

@@ -10,6 +10,7 @@
 #include "exec/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "placement/backend_plan.h"
 #include "placement/ina_policy.h"
 #include "placement/knapsack.h"
 
@@ -241,6 +242,15 @@ NetPackPlacer::planOne(const JobSpec &spec, const ClusterTopology &topo,
                        GpuLedger &gpus, PlacementContext &ctx,
                        PackResult &out)
 {
+    // Non-PS backends bypass Equation-1 (it scores the PS bottleneck,
+    // which they do not have) for the shared rack-adjacency plan; the
+    // reference placer calls the same helper, so the ref/opt
+    // bit-identity contract extends to mixed traces.
+    if (spec.backend != BackendKind::PsIna) {
+        return placement_util::planNonPsPlacement(spec, topo, gpus,
+                                                  out.job.placement);
+    }
+
     ensureScratchDims(topo);
     // Link capacities feeding the crossing penalty (topology-constant,
     // refreshed per call so the placer may serve several topologies;
@@ -898,12 +908,26 @@ NetPackPlacer::selectiveInaEnable(std::vector<PlacedJob> &placed,
     // Gradient volumes weigh the estimator guard's objective. Build the
     // id -> volume map once; the guard queries it O(targets x passes)
     // times and the old per-query linear scan was O(batch) each.
+    // Per-backend volume factors scale the gradient by what the backend
+    // actually moves per iteration (1 for PS, so pure-PS batches are
+    // untouched).
+    std::unordered_map<JobId, int> worker_servers;
+    worker_servers.reserve(placed.size());
+    for (const PlacedJob &job : placed)
+        worker_servers.emplace(
+            job.id, static_cast<int>(job.placement.workers.size()));
     std::unordered_map<JobId, MBytes> volumes;
     volumes.reserve(batch.size());
-    for (const JobSpec &spec : batch)
-        volumes.emplace(spec.id,
-                        ModelZoo::byName(spec.modelName)
-                            .commVolumePerIter());
+    for (const JobSpec &spec : batch) {
+        MBytes volume =
+            ModelZoo::byName(spec.modelName).commVolumePerIter();
+        if (spec.backend != BackendKind::PsIna) {
+            const auto it = worker_servers.find(spec.id);
+            if (it != worker_servers.end())
+                volume *= backendVolumeFactor(spec.backend, it->second);
+        }
+        volumes.emplace(spec.id, volume);
+    }
     const VolumeLookup volume_of = [&volumes](JobId id) -> MBytes {
         const auto it = volumes.find(id);
         return it == volumes.end() ? 0.0 : it->second;

@@ -1,5 +1,9 @@
 #include "placement/pack_harness.h"
 
+#include <string>
+
+#include "obs/metrics.h"
+
 namespace netpack {
 
 void
@@ -72,6 +76,12 @@ PackHarnessBase::accept(const PackResult &attempt)
     result_.placed.push_back(attempt.job);
     if (attempt.scored)
         lastScores_.push_back(attempt.score);
+    // Per-backend job mix for OpenMetrics scrapes. unpackLast does not
+    // decrement: the counter tracks accepted attempts, not net
+    // placements (meta-placers probe and retract freely).
+    obs::recordCount(std::string("placement.backend.") +
+                         backendName(attempt.job.placement.backend),
+                     1);
 }
 
 void

@@ -218,6 +218,9 @@ template <typename Derived> class PlacerHarness : public PackHarnessBase
             failAttempt();
             return PackResult{};
         }
+        // Stamp the backend here, at the single chokepoint every placer
+        // funnels through, so no packOne implementation can forget it.
+        out.job.placement.backend = spec.backend;
         out.placed = true;
         admitAttempt(out);
         return out;

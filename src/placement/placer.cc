@@ -110,7 +110,11 @@ batchCommTime(const std::vector<JobSpec> &batch, PlacementContext &ctx)
         if (rate <= 0.0)
             return std::numeric_limits<double>::infinity();
         const ModelProfile &model = ModelZoo::byName(spec.modelName);
-        total += units::transferTime(model.commVolumePerIter(), rate);
+        const double factor = backendVolumeFactor(
+            placement->backend,
+            static_cast<int>(placement->workers.size()));
+        total += units::transferTime(model.commVolumePerIter() * factor,
+                                     rate);
     }
     return total;
 }

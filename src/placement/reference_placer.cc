@@ -8,6 +8,7 @@
 
 #include "common/check.h"
 #include "common/log.h"
+#include "placement/backend_plan.h"
 #include "placement/ina_policy.h"
 #include "placement/knapsack.h"
 
@@ -72,6 +73,22 @@ ReferenceNetPackPlacer::placeBatch(const std::vector<JobSpec> &batch,
                      });
 
     for (const JobSpec *spec : to_place) {
+        // Non-PS backends bypass Equation-1 (it scores the PS
+        // bottleneck, which they do not have) for the shared
+        // rack-adjacency plan; both placers call the same helper so the
+        // ref/opt bit-identity contract extends to mixed traces.
+        if (spec->backend != BackendKind::PsIna) {
+            Placement placement;
+            if (!placement_util::planNonPsPlacement(*spec, topo, gpus,
+                                                    placement)) {
+                result.deferred.push_back(spec->id);
+                continue;
+            }
+            result.placed.push_back({spec->id, placement});
+            ctx.addJob(spec->id, placement);
+            continue;
+        }
+
         // Single-server fast path (lines 4-6): no cross-server traffic.
         const ServerId single =
             placement_util::bestFitSingleServer(topo, gpus, spec->gpuDemand);
@@ -476,15 +493,27 @@ ReferenceNetPackPlacer::selectiveInaEnable(
 {
     // Gradient volumes weigh the estimator guard's objective. The
     // reference keeps the O(batch)-per-query lookup the optimized
-    // placer replaced with a hash map.
-    const VolumeLookup volume_of = [&batch](JobId id) -> MBytes {
+    // placer replaced with a hash map. Per-backend volume factors scale
+    // the gradient by what the backend actually moves (1 for PS).
+    const VolumeLookup volume_of = [&batch, &placed](JobId id) -> MBytes {
         const auto spec = std::find_if(batch.begin(), batch.end(),
                                        [&](const JobSpec &s) {
                                            return s.id == id;
                                        });
         if (spec == batch.end())
             return 0.0;
-        return ModelZoo::byName(spec->modelName).commVolumePerIter();
+        MBytes volume =
+            ModelZoo::byName(spec->modelName).commVolumePerIter();
+        const auto job = std::find_if(placed.begin(), placed.end(),
+                                      [&](const PlacedJob &p) {
+                                          return p.id == id;
+                                      });
+        if (job != placed.end()) {
+            volume *= backendVolumeFactor(
+                job->placement.backend,
+                static_cast<int>(job->placement.workers.size()));
+        }
+        return volume;
     };
     assignSelectiveIna(topo, placed, running, volume_of);
 }

@@ -20,6 +20,10 @@ PacketNetworkModel::Running::Running(const ClusterTopology &topo,
     : spec(s), placement(p), model(&ModelZoo::byName(s.modelName)),
       hierarchy(topo, s.id, p)
 {
+    NETPACK_REQUIRE(p.backend == BackendKind::PsIna,
+                    "the packet-level model has PS+INA fidelity only; "
+                    "use the flow model for "
+                        << backendName(p.backend) << " jobs");
     NETPACK_REQUIRE(p.extraPsServers.empty(),
                     "the packet-level model supports single-PS jobs; "
                     "use the flow model for sharded-PS placements");

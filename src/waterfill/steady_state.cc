@@ -5,6 +5,7 @@
 #include <cmath>
 #include <limits>
 
+#include "backends/collective_backend.h"
 #include "common/check.h"
 #include "common/log.h"
 #include "obs/metrics.h"
@@ -123,12 +124,14 @@ WaterFillingEstimator::estimate(const std::vector<PlacedJob> &jobs) const
 {
     // Multi-PS jobs decompose into one-PS shard hierarchies
     // (Section 4.1); shards of the same job share its JobId and are
-    // re-aggregated when the converged rates are published.
+    // re-aggregated when the converged rates are published. Non-PS
+    // backends (ring/rdma) contribute their own tree shapes through the
+    // backend dispatch.
     std::vector<JobHierarchy> hierarchies;
     hierarchies.reserve(jobs.size());
     for (const auto &job : jobs) {
         std::vector<JobHierarchy> shards =
-            buildShardHierarchies(*topo_, job.id, job.placement);
+            backends::buildJobHierarchies(*topo_, job.id, job.placement);
         hierarchies.insert(hierarchies.end(),
                            std::make_move_iterator(shards.begin()),
                            std::make_move_iterator(shards.end()));

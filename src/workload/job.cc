@@ -96,8 +96,14 @@ iterationTime(const JobSpec &spec, const ModelProfile &model,
         return model.computeTimePerIter;
     if (throughput <= 0.0)
         return std::numeric_limits<double>::infinity();
-    const Seconds comm = units::transferTime(model.commVolumePerIter(),
-                                             throughput);
+    // Backends move different multiples of the gradient per iteration
+    // (ring reduce-scatter + all-gather moves 2(k-1)/k of it; PS and
+    // switch-reduction push it once). A factor of 0 (single-server ring)
+    // cannot happen here: singleServer() already returned above.
+    const double factor = backendVolumeFactor(
+        placement.backend, static_cast<int>(placement.workers.size()));
+    const Seconds comm = units::transferTime(
+        model.commVolumePerIter() * factor, throughput);
     return model.computeTimePerIter + comm;
 }
 

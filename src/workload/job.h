@@ -15,6 +15,7 @@
 #include <set>
 #include <vector>
 
+#include "backends/backend_kind.h"
 #include "common/units.h"
 #include "topology/cluster.h"
 #include "topology/ids.h"
@@ -40,6 +41,8 @@ struct JobSpec
      * prevent starvation.
      */
     double value = 1.0;
+    /** Collective backend the job trains with (default: the paper's). */
+    BackendKind backend = BackendKind::PsIna;
 };
 
 /** Where a job's workers and PS(es) live, and where its INA is enabled. */
@@ -58,6 +61,14 @@ struct Placement
     std::vector<ServerId> extraPsServers;
     /** Racks where statistical INA is enabled for this job (z_r^(j)). */
     std::set<RackId> inaRacks;
+    /**
+     * Collective backend this placement was made for. Stamped from the
+     * JobSpec by the placer harness so downstream consumers (water-fill,
+     * simulator, journal) need only the placement. For ring/rdma jobs
+     * `psServer` holds the *leader* worker server (tree root), not a
+     * dedicated parameter server.
+     */
+    BackendKind backend = BackendKind::PsIna;
 
     /** All PS servers: primary first, then the extras. */
     std::vector<ServerId> psServers() const;

@@ -77,11 +77,22 @@ JobTrace::prefix(std::size_t n) const
 void
 JobTrace::saveCsv(std::ostream &os) const
 {
-    os << "id,model,gpus,submit_time,iterations,value\n";
+    // Emit the optional backend column only when a non-default backend is
+    // present, so pure-PS traces stay byte-identical to pre-backend files.
+    bool mixed = false;
+    for (const auto &job : jobs_)
+        mixed = mixed || job.backend != BackendKind::PsIna;
+    os << "id,model,gpus,submit_time,iterations,value";
+    if (mixed)
+        os << ",backend";
+    os << "\n";
     for (const auto &job : jobs_) {
         os << job.id.value << "," << job.modelName << "," << job.gpuDemand
            << "," << formatDouble(job.submitTime, 6) << ","
-           << job.iterations << "," << formatDouble(job.value, 6) << "\n";
+           << job.iterations << "," << formatDouble(job.value, 6);
+        if (mixed)
+            os << "," << backendName(job.backend);
+        os << "\n";
     }
 }
 
@@ -103,8 +114,9 @@ JobTrace::loadCsv(std::istream &is)
                 continue; // header row
         }
         const auto fields = split(trimmed, ',');
-        NETPACK_REQUIRE(fields.size() == 6,
-                        "trace line " << line_no << ": expected 6 fields, got "
+        NETPACK_REQUIRE(fields.size() == 6 || fields.size() == 7,
+                        "trace line " << line_no
+                                      << ": expected 6 or 7 fields, got "
                                       << fields.size());
         JobSpec spec;
         try {
@@ -117,6 +129,14 @@ JobTrace::loadCsv(std::istream &is)
         } catch (const std::exception &e) {
             throw ConfigError("trace line " + std::to_string(line_no) +
                               ": " + e.what());
+        }
+        if (fields.size() == 7) {
+            try {
+                spec.backend = backendFromName(trim(fields[6]));
+            } catch (const ConfigError &e) {
+                throw ConfigError("trace line " + std::to_string(line_no) +
+                                  ": " + e.what());
+            }
         }
         NETPACK_REQUIRE(ModelZoo::contains(spec.modelName),
                         "trace line " << line_no << ": unknown model '"

@@ -47,7 +47,11 @@ class JobTrace
     /** Keep only the first @p n jobs (prefix in submit order). */
     JobTrace prefix(std::size_t n) const;
 
-    /** Serialize as CSV: id,model,gpus,submit_time,iterations,value. */
+    /**
+     * Serialize as CSV: id,model,gpus,submit_time,iterations,value with a
+     * trailing ",backend" column only when any job uses a non-default
+     * backend (keeps pure-PS traces byte-identical to older files).
+     */
     void saveCsv(std::ostream &os) const;
 
     /** Parse the CSV produced by saveCsv; ConfigError on malformed rows. */

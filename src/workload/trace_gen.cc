@@ -120,4 +120,27 @@ generateTrace(const TraceGenConfig &config, Gbps reference_rate)
     return JobTrace(std::move(jobs));
 }
 
+JobTrace
+assignBackends(const JobTrace &trace, double ring_fraction,
+               double rdma_fraction, std::uint64_t seed)
+{
+    NETPACK_REQUIRE(ring_fraction >= 0.0 && rdma_fraction >= 0.0 &&
+                        ring_fraction + rdma_fraction <= 1.0,
+                    "backend fractions must be non-negative and sum to <= 1"
+                        << " (ring=" << ring_fraction
+                        << ", rdma=" << rdma_fraction << ")");
+    Rng rng(seed);
+    std::vector<JobSpec> jobs = trace.jobs();
+    for (JobSpec &spec : jobs) {
+        const double draw = rng.uniform(0.0, 1.0);
+        if (draw < ring_fraction)
+            spec.backend = BackendKind::RingIna;
+        else if (draw < ring_fraction + rdma_fraction)
+            spec.backend = BackendKind::RdmaIna;
+        else
+            spec.backend = BackendKind::PsIna;
+    }
+    return JobTrace(std::move(jobs));
+}
+
 } // namespace netpack

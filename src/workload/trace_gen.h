@@ -78,6 +78,17 @@ JobTrace generateTrace(const TraceGenConfig &config,
  */
 int drawGpuDemand(const TraceGenConfig &config, Rng &rng);
 
+/**
+ * Return a copy of @p trace with collective backends assigned at random:
+ * each job independently becomes ring_ina with probability
+ * @p ring_fraction, rdma_ina with probability @p rdma_fraction, and
+ * keeps the default ps_ina otherwise. Kept separate from generateTrace
+ * so existing pure-PS traces remain bit-identical; equal seeds give
+ * identical assignments.
+ */
+JobTrace assignBackends(const JobTrace &trace, double ring_fraction,
+                        double rdma_fraction, std::uint64_t seed);
+
 } // namespace netpack
 
 #endif // NETPACK_WORKLOAD_TRACE_GEN_H

@@ -1,0 +1,669 @@
+/**
+ * @file
+ * The collective-backend subsystem end-to-end: kind names and volume
+ * factors, the registry, ring/rdma hierarchy shapes (chain encoding,
+ * one-flow-per-rack, leader validation), traffic matrices and PAT
+ * demand, the trace CSV backend column, assignBackends determinism,
+ * journal /2 serialization with /1 back-compat (golden fixture replay),
+ * the packet-model and exhaustive-oracle fidelity gates, serve WAL
+ * recovery of non-PS placements, mixed-trace record → replay-verify
+ * zero divergences, and --jobs 1 vs 4 placement bit-identity.
+ */
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "backends/collective_backend.h"
+#include "common/check.h"
+#include "core/experiment.h"
+#include "journal/journal.h"
+#include "journal/record.h"
+#include "journal/replayer.h"
+#include "journal/serialize.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "placement/baselines.h"
+#include "placement/exhaustive.h"
+#include "serve/engine.h"
+#include "serve/wal.h"
+#include "sim/packet_model.h"
+#include "workload/trace_gen.h"
+
+namespace netpack {
+namespace {
+
+using backends::CollectiveBackend;
+
+// --- fixtures ----------------------------------------------------------
+
+ClusterTopology
+makeTopo(int racks = 2, int servers_per_rack = 4, Gbps pat = 400.0)
+{
+    ClusterConfig config;
+    config.numRacks = racks;
+    config.serversPerRack = servers_per_rack;
+    config.gpusPerServer = 4;
+    config.serverLinkGbps = 100.0;
+    config.torPatGbps = pat;
+    return ClusterTopology(config);
+}
+
+JobSpec
+makeSpec(int id, int gpus, BackendKind backend = BackendKind::PsIna,
+         const std::string &model = "VGG16")
+{
+    JobSpec spec;
+    spec.id = JobId(id);
+    spec.modelName = model;
+    spec.gpuDemand = gpus;
+    spec.iterations = 100;
+    spec.backend = backend;
+    return spec;
+}
+
+/** A non-PS placement: leader is worker server 0, spanning both racks. */
+Placement
+ringPlacement(const ClusterTopology &topo, BackendKind backend,
+              ServerId leader = ServerId(0))
+{
+    Placement p;
+    p.workers[ServerId(0)] = 2;
+    p.workers[ServerId(1)] = 1;
+    p.workers[ServerId(4)] = 2; // rack 1 in the 2x4 topo
+    p.workers[ServerId(5)] = 1;
+    p.psServer = leader;
+    p.backend = backend;
+    p.inaRacks = p.allRacks(topo);
+    return p;
+}
+
+std::string
+tempPath(const std::string &name)
+{
+    return std::string(::testing::TempDir()) + "backends_test_" + name;
+}
+
+/** Serialize through the compact JsonWriter the journal itself uses. */
+template <typename Fn>
+std::string
+jsonOf(Fn &&write)
+{
+    std::ostringstream oss;
+    obs::JsonWriter json(oss, 0);
+    write(json);
+    return oss.str();
+}
+
+ExperimentConfig
+smallConfig()
+{
+    ExperimentConfig config;
+    config.cluster.numRacks = 2;
+    config.cluster.serversPerRack = 4;
+    config.cluster.gpusPerServer = 4;
+    config.cluster.torPatGbps = 200.0;
+    config.sim.placementPeriod = 5.0;
+    config.placer = "NetPack";
+    return config;
+}
+
+JobTrace
+smallTrace(std::uint64_t seed = 7, int jobs = 24)
+{
+    TraceGenConfig gen;
+    gen.numJobs = jobs;
+    gen.seed = seed;
+    gen.distribution = DemandDistribution::Poisson;
+    gen.demandMean = 5.0;
+    gen.maxGpuDemand = 16;
+    gen.meanInterarrival = 2.0;
+    gen.durationLogMu = 3.8;
+    return generateTrace(gen);
+}
+
+// --- kind: names and volume math ---------------------------------------
+
+TEST(BackendKind, NamesRoundTrip)
+{
+    for (auto kind : {BackendKind::PsIna, BackendKind::RingIna,
+                      BackendKind::RdmaIna})
+        EXPECT_EQ(backendFromName(backendName(kind)), kind);
+    EXPECT_STREQ(backendName(BackendKind::PsIna), "ps_ina");
+    EXPECT_STREQ(backendName(BackendKind::RingIna), "ring_ina");
+    EXPECT_STREQ(backendName(BackendKind::RdmaIna), "rdma_ina");
+    const std::vector<std::string> names = backendNames();
+    ASSERT_EQ(names.size(), 3u);
+    EXPECT_EQ(names[0], "ps_ina");
+}
+
+TEST(BackendKind, UnknownNameListsValidOnes)
+{
+    try {
+        backendFromName("nccl");
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("nccl"), std::string::npos) << what;
+        EXPECT_NE(what.find("ps_ina"), std::string::npos) << what;
+        EXPECT_NE(what.find("ring_ina"), std::string::npos) << what;
+        EXPECT_NE(what.find("rdma_ina"), std::string::npos) << what;
+    }
+}
+
+TEST(BackendKind, VolumeFactors)
+{
+    EXPECT_DOUBLE_EQ(backendVolumeFactor(BackendKind::PsIna, 8), 1.0);
+    EXPECT_DOUBLE_EQ(backendVolumeFactor(BackendKind::RdmaIna, 8), 1.0);
+    EXPECT_DOUBLE_EQ(backendVolumeFactor(BackendKind::RingIna, 4), 1.5);
+    EXPECT_DOUBLE_EQ(backendVolumeFactor(BackendKind::RingIna, 2), 1.0);
+    // k <= 1: nothing to exchange on a ring.
+    EXPECT_DOUBLE_EQ(backendVolumeFactor(BackendKind::RingIna, 1), 0.0);
+    EXPECT_DOUBLE_EQ(backendVolumeFactor(BackendKind::PsIna, 1), 1.0);
+}
+
+// --- registry ----------------------------------------------------------
+
+TEST(BackendRegistry, SingletonsExposeIdentity)
+{
+    for (auto kind : {BackendKind::PsIna, BackendKind::RingIna,
+                      BackendKind::RdmaIna}) {
+        const CollectiveBackend &backend = CollectiveBackend::of(kind);
+        EXPECT_EQ(backend.kind(), kind);
+        EXPECT_STREQ(backend.name(), backendName(kind));
+        // Same singleton on every lookup.
+        EXPECT_EQ(&backend, &CollectiveBackend::of(kind));
+    }
+    EXPECT_TRUE(CollectiveBackend::of(BackendKind::PsIna)
+                    .usesDedicatedPs());
+    EXPECT_FALSE(CollectiveBackend::of(BackendKind::RingIna)
+                     .usesDedicatedPs());
+    EXPECT_FALSE(CollectiveBackend::of(BackendKind::RdmaIna)
+                     .usesDedicatedPs());
+    EXPECT_EQ(CollectiveBackend::of(BackendKind::RingIna).algorithm(),
+              CollectiveAlgorithm::RingAllReduce);
+}
+
+TEST(BackendRegistry, AnalyticStepTimeFollowsTheAlgorithm)
+{
+    for (auto kind : {BackendKind::PsIna, BackendKind::RingIna,
+                      BackendKind::RdmaIna}) {
+        const CollectiveBackend &backend = CollectiveBackend::of(kind);
+        EXPECT_DOUBLE_EQ(
+            backend.analyticStepTime(6, 250.0, 40.0, 0.8),
+            collectiveStepTime(backend.algorithm(), 6, 250.0, 40.0, 0.0,
+                               0.8));
+    }
+}
+
+// --- ring hierarchy shape ----------------------------------------------
+
+TEST(RingHierarchy, ChainEncodingOneFlowPerRack)
+{
+    const ClusterTopology topo = makeTopo();
+    const Placement p = ringPlacement(topo, BackendKind::RingIna);
+    std::vector<JobHierarchy> trees =
+        backends::buildJobHierarchies(topo, JobId(1), p);
+    ASSERT_EQ(trees.size(), 1u);
+    JobHierarchy &tree = trees.front();
+    EXPECT_FALSE(tree.local());
+    EXPECT_EQ(tree.workerServerCount(), 4);
+
+    const auto &nodes = tree.nodes();
+    // Root is a Ps-kind node at the leader *worker* server.
+    ASSERT_FALSE(nodes.empty());
+    EXPECT_EQ(nodes[0].kind, HierarchyNode::Kind::Ps);
+    EXPECT_EQ(nodes[0].server, ServerId(0));
+
+    // 1 root + 2 ToRs + 3 non-leader worker hops.
+    std::size_t switches = 0, workers = 0;
+    for (const auto &node : nodes) {
+        switches += node.kind == HierarchyNode::Kind::Switch;
+        workers += node.kind == HierarchyNode::Kind::Worker;
+    }
+    EXPECT_EQ(switches, 2u);
+    EXPECT_EQ(workers, 3u);
+    ASSERT_EQ(nodes.size(), 6u);
+
+    // Rack 1's two servers chain: its ToR has exactly one Worker child,
+    // which itself parents the second hop.
+    for (const auto &node : nodes) {
+        if (node.kind != HierarchyNode::Kind::Switch ||
+            node.rack != RackId(1))
+            continue;
+        std::size_t worker_children = 0;
+        for (std::size_t child : node.children)
+            worker_children +=
+                nodes[child].kind == HierarchyNode::Kind::Worker;
+        EXPECT_EQ(worker_children, 1u);
+    }
+
+    // With ample PAT, each rack presents exactly one upward flow (a
+    // ring never incasts).
+    tree.updateFlows(std::vector<Gbps>(
+        static_cast<std::size_t>(topo.numRacks()), 1e9));
+    EXPECT_EQ(tree.incomingFlowsAtRack(RackId(0)), 2);
+    EXPECT_EQ(tree.incomingFlowsAtRack(RackId(1)), 1);
+    for (const auto &node : nodes) {
+        if (node.kind == HierarchyNode::Kind::Switch) {
+            EXPECT_EQ(node.flows, 1);
+        }
+    }
+
+    // Flow charging: the remote rack's single stream crosses both core
+    // links (the inter-rack ring hop), never more.
+    std::vector<int> flows(static_cast<std::size_t>(topo.numLinks()), 0);
+    tree.accumulateLinkFlows(flows);
+    EXPECT_EQ(flows[topo.coreLink(RackId(1)).value], 1);
+    EXPECT_EQ(flows[topo.coreLink(RackId(0)).value], 1);
+}
+
+TEST(RingHierarchy, SingleServerIsLocal)
+{
+    const ClusterTopology topo = makeTopo();
+    Placement p;
+    p.workers[ServerId(2)] = 4;
+    p.psServer = ServerId(2);
+    p.backend = BackendKind::RingIna;
+    const std::vector<JobHierarchy> trees =
+        backends::buildJobHierarchies(topo, JobId(1), p);
+    ASSERT_EQ(trees.size(), 1u);
+    EXPECT_TRUE(trees.front().local());
+}
+
+TEST(RingHierarchy, RejectsInvalidPlacements)
+{
+    const ClusterTopology topo = makeTopo();
+    // Leader not among the workers.
+    Placement stray = ringPlacement(topo, BackendKind::RingIna);
+    stray.psServer = ServerId(7);
+    EXPECT_THROW(backends::buildJobHierarchies(topo, JobId(1), stray),
+                 ConfigError);
+    // Sharded PS placements are a PS-backend concept.
+    Placement sharded = ringPlacement(topo, BackendKind::RingIna);
+    sharded.extraPsServers.push_back(ServerId(1));
+    EXPECT_THROW(backends::buildJobHierarchies(topo, JobId(1), sharded),
+                 ConfigError);
+}
+
+// --- rdma hierarchy shape ----------------------------------------------
+
+TEST(RdmaHierarchy, StarRootedAtLeaderWorker)
+{
+    const ClusterTopology topo = makeTopo();
+    const Placement p = ringPlacement(topo, BackendKind::RdmaIna);
+    std::vector<JobHierarchy> trees =
+        backends::buildJobHierarchies(topo, JobId(2), p);
+    ASSERT_EQ(trees.size(), 1u);
+    JobHierarchy &tree = trees.front();
+    const auto &nodes = tree.nodes();
+    ASSERT_FALSE(nodes.empty());
+    EXPECT_EQ(nodes[0].kind, HierarchyNode::Kind::Ps);
+    EXPECT_EQ(nodes[0].server, ServerId(0));
+
+    // The PS star: every worker server hangs directly off its ToR.
+    tree.updateFlows(std::vector<Gbps>(
+        static_cast<std::size_t>(topo.numRacks()), 1e9));
+    for (const auto &node : nodes) {
+        if (node.kind == HierarchyNode::Kind::Worker) {
+            EXPECT_EQ(nodes[node.parent].kind,
+                      HierarchyNode::Kind::Switch);
+        }
+    }
+
+    Placement stray = p;
+    stray.psServer = ServerId(7);
+    EXPECT_THROW(backends::buildJobHierarchies(topo, JobId(2), stray),
+                 ConfigError);
+    Placement sharded = p;
+    sharded.extraPsServers.push_back(ServerId(1));
+    EXPECT_THROW(backends::buildJobHierarchies(topo, JobId(2), sharded),
+                 ConfigError);
+}
+
+// --- traffic matrix / PAT demand ---------------------------------------
+
+TEST(BackendTraffic, MatrixAndPatDemandSpanThePlacement)
+{
+    const ClusterTopology topo = makeTopo();
+    for (auto kind : {BackendKind::PsIna, BackendKind::RingIna,
+                      BackendKind::RdmaIna}) {
+        SCOPED_TRACE(backendName(kind));
+        const CollectiveBackend &backend = CollectiveBackend::of(kind);
+        Placement p = ringPlacement(topo, kind);
+        if (kind == BackendKind::PsIna)
+            p.psServer = ServerId(2); // dedicated PS off the worker set
+
+        const std::map<LinkId, MBytes> matrix =
+            backend.trafficMatrix(topo, p, 100.0);
+        EXPECT_FALSE(matrix.empty());
+        double total = 0.0;
+        for (const auto &[link, mb] : matrix) {
+            EXPECT_GE(link.value, 0);
+            EXPECT_LT(link.value, topo.numLinks());
+            EXPECT_GT(mb, 0.0);
+            total += mb;
+        }
+        EXPECT_GT(total, 0.0);
+
+        const std::set<RackId> racks = backend.patDemandRacks(topo, p);
+        EXPECT_EQ(racks, p.allRacks(topo));
+    }
+
+    // A single-server job moves nothing and asks no PAT.
+    Placement local;
+    local.workers[ServerId(3)] = 4;
+    local.psServer = ServerId(3);
+    local.backend = BackendKind::RingIna;
+    const CollectiveBackend &ring =
+        CollectiveBackend::of(BackendKind::RingIna);
+    EXPECT_TRUE(ring.trafficMatrix(topo, local, 100.0).empty());
+    EXPECT_TRUE(ring.patDemandRacks(topo, local).empty());
+}
+
+// --- trace CSV ---------------------------------------------------------
+
+TEST(BackendTrace, CsvEmitsBackendColumnOnlyWhenMixed)
+{
+    const JobTrace pure = smallTrace(3, 6);
+    std::ostringstream pure_csv;
+    pure.saveCsv(pure_csv);
+    EXPECT_EQ(pure_csv.str().find("backend"), std::string::npos);
+
+    const JobTrace mixed = assignBackends(pure, 0.4, 0.3, 11);
+    std::ostringstream mixed_csv;
+    mixed.saveCsv(mixed_csv);
+    EXPECT_NE(mixed_csv.str().find(",backend"), std::string::npos);
+
+    std::istringstream is(mixed_csv.str());
+    const JobTrace back = JobTrace::loadCsv(is);
+    ASSERT_EQ(back.jobs().size(), mixed.jobs().size());
+    for (std::size_t i = 0; i < back.jobs().size(); ++i)
+        EXPECT_EQ(back.jobs()[i].backend, mixed.jobs()[i].backend);
+
+    // Round-trip is byte-identical.
+    std::ostringstream again;
+    back.saveCsv(again);
+    EXPECT_EQ(again.str(), mixed_csv.str());
+}
+
+TEST(BackendTrace, UnknownBackendNamesTheLineAndValidNames)
+{
+    std::istringstream is("id,model,gpus,submit_time,iterations,value,"
+                          "backend\n"
+                          "0,VGG16,4,0.000000,100,1.000000,nccl\n");
+    try {
+        JobTrace::loadCsv(is);
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("trace line 2"), std::string::npos) << what;
+        EXPECT_NE(what.find("nccl"), std::string::npos) << what;
+        EXPECT_NE(what.find("ring_ina"), std::string::npos) << what;
+    }
+}
+
+TEST(BackendTrace, AssignBackendsIsSeededAndLeavesSpecsIntact)
+{
+    const JobTrace base = smallTrace(5, 40);
+    const JobTrace a = assignBackends(base, 0.3, 0.3, 17);
+    const JobTrace b = assignBackends(base, 0.3, 0.3, 17);
+    ASSERT_EQ(a.jobs().size(), base.jobs().size());
+    std::size_t ring = 0, rdma = 0;
+    for (std::size_t i = 0; i < a.jobs().size(); ++i) {
+        EXPECT_EQ(a.jobs()[i].backend, b.jobs()[i].backend);
+        // Only the backend changes; everything else is untouched.
+        EXPECT_EQ(a.jobs()[i].id, base.jobs()[i].id);
+        EXPECT_EQ(a.jobs()[i].gpuDemand, base.jobs()[i].gpuDemand);
+        EXPECT_EQ(a.jobs()[i].submitTime, base.jobs()[i].submitTime);
+        ring += a.jobs()[i].backend == BackendKind::RingIna;
+        rdma += a.jobs()[i].backend == BackendKind::RdmaIna;
+    }
+    // 40 draws at 30%/30%: both kinds show up.
+    EXPECT_GT(ring, 0u);
+    EXPECT_GT(rdma, 0u);
+
+    // Zero fractions are the identity.
+    const JobTrace none = assignBackends(base, 0.0, 0.0, 17);
+    for (const JobSpec &spec : none.jobs())
+        EXPECT_EQ(spec.backend, BackendKind::PsIna);
+    EXPECT_THROW(assignBackends(base, 0.8, 0.3, 1), ConfigError);
+}
+
+// --- journal serialization ---------------------------------------------
+
+TEST(BackendJournal, FieldEmittedOnlyForNonDefaultBackends)
+{
+    const JobSpec ps = makeSpec(1, 4);
+    const JobSpec ring = makeSpec(2, 4, BackendKind::RingIna);
+    const std::string ps_json = jsonOf(
+        [&](obs::JsonWriter &json) { journal::writeJobSpec(json, ps); });
+    const std::string ring_json = jsonOf([&](obs::JsonWriter &json) {
+        journal::writeJobSpec(json, ring);
+    });
+    // Absent for the default: /1 files and pure-PS runs stay
+    // byte-identical.
+    EXPECT_EQ(ps_json.find("backend"), std::string::npos);
+    EXPECT_NE(ring_json.find("ring_ina"), std::string::npos);
+    EXPECT_EQ(journal::readJobSpec(obs::parseJson(ring_json)).backend,
+              BackendKind::RingIna);
+    EXPECT_EQ(journal::readJobSpec(obs::parseJson(ps_json)).backend,
+              BackendKind::PsIna);
+
+    const ClusterTopology topo = makeTopo();
+    const Placement placement =
+        ringPlacement(topo, BackendKind::RdmaIna);
+    const std::string placement_json = jsonOf([&](obs::JsonWriter &json) {
+        journal::writePlacement(json, placement);
+    });
+    EXPECT_NE(placement_json.find("rdma_ina"), std::string::npos);
+    const Placement back =
+        journal::readPlacement(obs::parseJson(placement_json));
+    EXPECT_EQ(back.backend, BackendKind::RdmaIna);
+    EXPECT_EQ(placement_json, jsonOf([&](obs::JsonWriter &json) {
+                  journal::writePlacement(json, back);
+              }));
+}
+
+TEST(BackendJournal, GoldenV1JournalStillVerifies)
+{
+    // Recorded by the /1 writer before backends existed; the /2 reader
+    // and replayer must accept it and reproduce it divergence-free.
+    const std::string path =
+        std::string(NETPACK_TEST_DATA_DIR) + "/golden_journal_v1.jsonl";
+    journal::JournalReader reader(path);
+    EXPECT_GT(reader.header().trace.size(), 0u);
+    for (const JobSpec &spec : reader.header().trace)
+        EXPECT_EQ(spec.backend, BackendKind::PsIna);
+
+    journal::Replayer replayer(path);
+    ASSERT_TRUE(replayer.complete());
+    const journal::VerifyResult result = replayer.verify();
+    EXPECT_TRUE(result.ok) << (result.divergence
+                                   ? result.divergence->describe()
+                                   : "no divergence reported");
+    EXPECT_GT(result.eventsCompared, 0u);
+}
+
+// --- fidelity gates ----------------------------------------------------
+
+TEST(BackendGates, PacketModelAcceptsOnlyPsIna)
+{
+    const ClusterTopology topo = makeTopo();
+    PacketNetworkModel model(topo);
+    Placement p = ringPlacement(topo, BackendKind::RingIna);
+    EXPECT_THROW(model.jobStarted(
+                     makeSpec(0, 6, BackendKind::RingIna), p, 0.0),
+                 ConfigError);
+}
+
+TEST(BackendGates, ExhaustiveOracleEnumeratesPsOnly)
+{
+    const ClusterTopology topo = makeTopo(1, 2);
+    GpuLedger gpus(topo);
+    const ExhaustiveSolver solver(1000);
+    EXPECT_THROW(
+        solver.solve({makeSpec(0, 2, BackendKind::RdmaIna)}, topo, gpus),
+        ConfigError);
+    EXPECT_NO_THROW(solver.solve({makeSpec(0, 2)}, topo, gpus));
+}
+
+// --- placement ---------------------------------------------------------
+
+TEST(BackendPlacement, NetPackPlacesNonPsJobsWithWorkerLeader)
+{
+    const ClusterTopology topo = makeTopo();
+    for (auto kind : {BackendKind::RingIna, BackendKind::RdmaIna}) {
+        SCOPED_TRACE(backendName(kind));
+        GpuLedger gpus(topo);
+        const auto placer = makePlacerByName("NetPack");
+        // 24 GPUs forces a multi-rack spread on the 2x4x4 cluster.
+        const BatchResult result =
+            placer->placeBatch({makeSpec(0, 24, kind)}, topo, gpus, {});
+        ASSERT_EQ(result.placed.size(), 1u);
+        const Placement &p = result.placed.front().placement;
+        EXPECT_EQ(p.backend, kind);
+        // The leader rides on a worker; no dedicated PS is allocated.
+        EXPECT_GT(p.workers.count(p.psServer), 0u);
+        EXPECT_TRUE(p.extraPsServers.empty());
+        EXPECT_EQ(p.allRacks(topo).size(), 2u);
+        EXPECT_EQ(p.inaRacks, p.allRacks(topo));
+        EXPECT_EQ(p.totalWorkers(), 24);
+    }
+}
+
+TEST(BackendPlacement, HarnessStampsTheBackendOnEveryPlacer)
+{
+    const ClusterTopology topo = makeTopo();
+    for (const std::string &name :
+         {std::string("NetPack"), std::string("GB"), std::string("LF")}) {
+        SCOPED_TRACE(name);
+        GpuLedger gpus(topo);
+        const auto placer = makePlacerByName(name);
+        const BatchResult result = placer->placeBatch(
+            {makeSpec(0, 4, BackendKind::RingIna)}, topo, gpus, {});
+        ASSERT_EQ(result.placed.size(), 1u);
+        EXPECT_EQ(result.placed.front().placement.backend,
+                  BackendKind::RingIna);
+    }
+}
+
+TEST(BackendPlacement, MixedBatchBitIdenticalForAnyJobsCount)
+{
+    const ClusterTopology topo = makeTopo(3, 4);
+    const JobTrace mixed = assignBackends(smallTrace(9, 10), 0.3, 0.3, 5);
+
+    auto placeAll = [&](int jobs) {
+        GpuLedger gpus(topo);
+        const auto placer = makePlacerByName("NetPack", 0, jobs);
+        const BatchResult result =
+            placer->placeBatch(mixed.jobs(), topo, gpus, {});
+        std::string canon;
+        for (const PlacedJob &placed : result.placed)
+            canon += jsonOf([&](obs::JsonWriter &json) {
+                journal::writePlacement(json, placed.placement);
+            });
+        for (JobId deferred : result.deferred)
+            canon += "D" + std::to_string(deferred.value);
+        return canon;
+    };
+    EXPECT_EQ(placeAll(1), placeAll(4));
+}
+
+TEST(BackendPlacement, AcceptCountsPerBackendCounter)
+{
+    obs::setMetricsEnabled(true);
+    obs::Registry::instance().reset();
+    const ClusterTopology topo = makeTopo();
+    GpuLedger gpus(topo);
+    const auto placer = makePlacerByName("NetPack");
+    placer->placeBatch({makeSpec(0, 4, BackendKind::RingIna),
+                        makeSpec(1, 4, BackendKind::RdmaIna),
+                        makeSpec(2, 4)},
+                       topo, gpus, {});
+    const auto snap = obs::snapshot();
+    obs::Registry::instance().reset();
+    obs::setMetricsEnabled(false);
+    EXPECT_EQ(snap.counters.at("placement.backend.ring_ina"), 1);
+    EXPECT_EQ(snap.counters.at("placement.backend.rdma_ina"), 1);
+    EXPECT_EQ(snap.counters.at("placement.backend.ps_ina"), 1);
+}
+
+// --- end to end --------------------------------------------------------
+
+TEST(BackendEndToEnd, MixedTraceRecordsAndVerifiesZeroDivergences)
+{
+    const std::string path = tempPath("mixed_journal.jsonl");
+    const ExperimentConfig config = smallConfig();
+    const JobTrace mixed = assignBackends(smallTrace(), 0.3, 0.3, 23);
+
+    journal::RecordOptions options;
+    options.path = path;
+    options.label = "mixed-backend";
+    const journal::RecordOutcome outcome =
+        journal::recordRun(config, mixed, options);
+    EXPECT_GT(outcome.eventsWritten, mixed.jobs().size());
+
+    // Every job ran under its requested backend.
+    std::size_t non_ps = 0;
+    ASSERT_EQ(outcome.metrics.records.size(), mixed.jobs().size());
+    for (const JobRecord &record : outcome.metrics.records) {
+        EXPECT_EQ(record.placement.backend, record.spec.backend);
+        non_ps += record.spec.backend != BackendKind::PsIna;
+    }
+    EXPECT_GT(non_ps, 0u);
+
+    journal::Replayer replayer(path);
+    ASSERT_TRUE(replayer.complete());
+    const journal::VerifyResult result = replayer.verify();
+    EXPECT_TRUE(result.ok) << (result.divergence
+                                   ? result.divergence->describe()
+                                   : "no divergence reported");
+    EXPECT_GT(result.eventsCompared, 0u);
+    std::remove(path.c_str());
+}
+
+TEST(BackendEndToEnd, ServeWalRecoversNonPsPlacements)
+{
+    serve::EngineConfig config;
+    config.cluster.numRacks = 2;
+    config.cluster.serversPerRack = 4;
+    config.cluster.gpusPerServer = 4;
+    const std::string path = tempPath("serve_backend.ndjson");
+
+    serve::WalHeader header;
+    header.cluster = config.cluster;
+    serve::PlacementEngine live(config);
+    {
+        serve::WalWriter writer(path, header);
+        std::uint64_t seq = 0;
+        const JobSpec ring = makeSpec(1, 24, BackendKind::RingIna);
+        const JobSpec ps = makeSpec(2, 4);
+        writer.appendPlace(++seq, {ring});
+        const BatchResult placed = live.applyPlace({ring});
+        ASSERT_EQ(placed.placed.size(), 1u);
+        EXPECT_EQ(placed.placed.front().placement.backend,
+                  BackendKind::RingIna);
+        writer.appendPlace(++seq, {ps});
+        live.applyPlace({ps});
+    }
+
+    std::uint64_t lastSeq = 0;
+    const serve::WalLoad load = serve::loadWal(path);
+    EXPECT_FALSE(load.torn);
+    const std::unique_ptr<serve::PlacementEngine> recovered =
+        serve::recoverEngine(load, lastSeq);
+    EXPECT_EQ(lastSeq, 2u);
+    const std::string state = live.canonicalState(lastSeq);
+    EXPECT_EQ(recovered->canonicalState(lastSeq), state);
+    EXPECT_EQ(recovered->stateDigest(lastSeq),
+              live.stateDigest(lastSeq));
+    // The recovered state carries the backend, not a ps_ina default.
+    EXPECT_NE(state.find("ring_ina"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace netpack

@@ -121,6 +121,67 @@ TEST(Collectives, InvalidInputsRejected)
     EXPECT_THROW(cost.commTime(0.0), ConfigError);
 }
 
+TEST(Collectives, ZeroGradientCostsNothing)
+{
+    for (auto algorithm : {CollectiveAlgorithm::PsDirect,
+                           CollectiveAlgorithm::PsWithIna,
+                           CollectiveAlgorithm::RingAllReduce,
+                           CollectiveAlgorithm::HalvingDoubling}) {
+        const CollectiveCost cost = collectiveCost(algorithm, 8, 0.0);
+        EXPECT_DOUBLE_EQ(cost.perWorkerEgress, 0.0);
+        EXPECT_DOUBLE_EQ(cost.bottleneckVolume, 0.0);
+        // Zero volume costs zero time even with round latency: the
+        // degenerate cost carries rounds = 0, not the algorithm's.
+        EXPECT_EQ(cost.rounds, 0);
+        EXPECT_DOUBLE_EQ(cost.commTime(10.0, 1e-3), 0.0);
+    }
+}
+
+TEST(Collectives, HalvingDoublingNonPowerOfTwoRoundsUp)
+{
+    // ceil(log2 n) rounds each way: n in (2^k, 2^(k+1)] pays k+1.
+    EXPECT_EQ(collectiveCost(CollectiveAlgorithm::HalvingDoubling, 5,
+                             100.0)
+                  .rounds,
+              6); // ceil(log2 5) = 3
+    EXPECT_EQ(collectiveCost(CollectiveAlgorithm::HalvingDoubling, 7,
+                             100.0)
+                  .rounds,
+              6);
+    EXPECT_EQ(collectiveCost(CollectiveAlgorithm::HalvingDoubling, 9,
+                             100.0)
+                  .rounds,
+              8); // ceil(log2 9) = 4
+    // Volume stays the ring volume regardless of the round count.
+    const CollectiveCost cost =
+        collectiveCost(CollectiveAlgorithm::HalvingDoubling, 5, 100.0);
+    EXPECT_NEAR(cost.perWorkerEgress, 160.0, 1e-12); // 2*4/5*100
+}
+
+TEST(Collectives, StepTimeMatchesCostComposition)
+{
+    // collectiveStepTime is the fused form the backends and
+    // bench_ext_collectives share; it must equal composing the parts.
+    for (auto algorithm : {CollectiveAlgorithm::PsDirect,
+                           CollectiveAlgorithm::PsWithIna,
+                           CollectiveAlgorithm::RingAllReduce,
+                           CollectiveAlgorithm::HalvingDoubling}) {
+        const Seconds fused =
+            collectiveStepTime(algorithm, 6, 250.0, 40.0, 1e-4, 0.8);
+        const Seconds composed =
+            collectiveCost(algorithm, 6, 250.0, 0.8).commTime(40.0, 1e-4);
+        EXPECT_DOUBLE_EQ(fused, composed) << collectiveName(algorithm);
+    }
+}
+
+TEST(Collectives, StepTimeSingleWorkerIsFree)
+{
+    EXPECT_DOUBLE_EQ(collectiveStepTime(
+                         CollectiveAlgorithm::RingAllReduce, 1, 500.0,
+                         10.0, 1e-3),
+                     0.0);
+}
+
 TEST(Collectives, NamesAreStable)
 {
     EXPECT_STREQ(collectiveName(CollectiveAlgorithm::PsDirect), "PS");
